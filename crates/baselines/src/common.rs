@@ -1,0 +1,492 @@
+//! Shared plumbing for the baseline schemes: replica fan-out with outage
+//! logging, fastest-first reads, erasure-coded object I/O, and the
+//! client-side content cache all schemes get (so comparisons measure the
+//! redundancy layout, not cache luck).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use hyrd::recovery::UpdateLog;
+use hyrd::scheme::{SchemeError, SchemeResult};
+use hyrd_cloudsim::{Fleet, SimProvider};
+use hyrd_gcsapi::{BatchReport, CloudStorage, ObjectKey, ProviderId};
+use hyrd_gfec::stripe::StripePlanner;
+use hyrd_gfec::{ErasureCode, Fragment, FragmentLayout};
+
+/// The container every scheme stores under.
+pub fn key(name: &str) -> ObjectKey {
+    ObjectKey::new(Fleet::CONTAINER, name)
+}
+
+/// Client-side write-through cache of file contents, shared by the
+/// replication-based schemes so update operations need no extra read
+/// round when the client recently produced the data. Bounded with FIFO
+/// eviction so terabyte-scale replays stay in memory budget.
+#[derive(Debug)]
+pub struct ContentCache {
+    budget: usize,
+    used: usize,
+    map: HashMap<String, Bytes>,
+    order: std::collections::VecDeque<String>,
+}
+
+impl Default for ContentCache {
+    fn default() -> Self {
+        ContentCache::with_budget(512 << 20)
+    }
+}
+
+impl ContentCache {
+    /// A cache bounded to `budget` bytes.
+    pub fn with_budget(budget: usize) -> Self {
+        ContentCache { budget, used: 0, map: HashMap::new(), order: Default::default() }
+    }
+
+    /// Stores/updates a path's content.
+    pub fn put(&mut self, path: &str, data: Bytes) {
+        self.remove(path);
+        self.used += data.len();
+        self.map.insert(path.to_string(), data);
+        self.order.push_back(path.to_string());
+        while self.used > self.budget {
+            let Some(victim) = self.order.pop_front() else { break };
+            if let Some(b) = self.map.remove(&victim) {
+                self.used -= b.len();
+            }
+        }
+    }
+
+    /// Fetches a path's content.
+    pub fn get(&self, path: &str) -> Option<Bytes> {
+        self.map.get(path).cloned()
+    }
+
+    /// Drops a path.
+    pub fn remove(&mut self, path: &str) {
+        if let Some(b) = self.map.remove(path) {
+            self.used -= b.len();
+            self.order.retain(|p| p != path);
+        }
+    }
+}
+
+/// Puts `data` on every provider **in parallel** (latency = max).
+/// Unavailable providers get the write logged. Returns `(batch, live)`.
+pub fn put_parallel(
+    providers: &[Arc<SimProvider>],
+    name: &str,
+    data: &Bytes,
+    log: &mut UpdateLog,
+) -> (BatchReport, usize) {
+    let k = key(name);
+    let mut ops = Vec::new();
+    let mut live = 0;
+    for p in providers {
+        match p.put(&k, data.clone()) {
+            Ok(out) => {
+                ops.push(out.report);
+                live += 1;
+            }
+            Err(_) => log.log_put(p.id(), k.clone(), data.clone()),
+        }
+    }
+    (BatchReport::parallel(ops), live)
+}
+
+/// Puts `data` on every provider **serially** (latency = sum) — the
+/// DuraCloud synchronization model.
+pub fn put_serial(
+    providers: &[Arc<SimProvider>],
+    name: &str,
+    data: &Bytes,
+    log: &mut UpdateLog,
+) -> (BatchReport, usize) {
+    let k = key(name);
+    let mut ops = Vec::new();
+    let mut live = 0;
+    for p in providers {
+        match p.put(&k, data.clone()) {
+            Ok(out) => {
+                ops.push(out.report);
+                live += 1;
+            }
+            Err(_) => log.log_put(p.id(), k.clone(), data.clone()),
+        }
+    }
+    (BatchReport::serial(ops), live)
+}
+
+/// Ranged overwrite on every provider **in parallel**. Unavailable
+/// providers get the *full* new content logged (the replay log restores
+/// whole objects). Returns `(batch, live)`.
+pub fn put_range_parallel(
+    providers: &[Arc<SimProvider>],
+    name: &str,
+    offset: u64,
+    patch: &Bytes,
+    full_for_log: &Bytes,
+    log: &mut UpdateLog,
+) -> (BatchReport, usize) {
+    let k = key(name);
+    let mut ops = Vec::new();
+    let mut live = 0;
+    for p in providers {
+        match p.put_range(&k, offset, patch.clone()) {
+            Ok(out) => {
+                ops.push(out.report);
+                live += 1;
+            }
+            Err(_) => log.log_put(p.id(), k.clone(), full_for_log.clone()),
+        }
+    }
+    (BatchReport::parallel(ops), live)
+}
+
+/// Ranged overwrite on every provider **serially** (the DuraCloud
+/// synchronization path).
+pub fn put_range_serial(
+    providers: &[Arc<SimProvider>],
+    name: &str,
+    offset: u64,
+    patch: &Bytes,
+    full_for_log: &Bytes,
+    log: &mut UpdateLog,
+) -> (BatchReport, usize) {
+    let k = key(name);
+    let mut ops = Vec::new();
+    let mut live = 0;
+    for p in providers {
+        match p.put_range(&k, offset, patch.clone()) {
+            Ok(out) => {
+                ops.push(out.report);
+                live += 1;
+            }
+            Err(_) => log.log_put(p.id(), k.clone(), full_for_log.clone()),
+        }
+    }
+    (BatchReport::serial(ops), live)
+}
+
+/// Gets the object from the first provider (in the given order) that
+/// serves it.
+pub fn get_first(
+    providers: &[Arc<SimProvider>],
+    name: &str,
+    path: &str,
+) -> SchemeResult<(Bytes, BatchReport)> {
+    let k = key(name);
+    for p in providers {
+        if let Ok(out) = p.get(&k) {
+            return Ok((out.value, BatchReport::parallel(vec![out.report])));
+        }
+    }
+    Err(SchemeError::DataUnavailable {
+        path: path.to_string(),
+        detail: format!("no replica of '{name}' reachable"),
+    })
+}
+
+/// Removes an object from every provider in parallel, logging removes on
+/// the unavailable ones; missing objects are tolerated.
+pub fn remove_everywhere(
+    providers: &[Arc<SimProvider>],
+    name: &str,
+    log: &mut UpdateLog,
+) -> BatchReport {
+    let k = key(name);
+    let mut ops = Vec::new();
+    for p in providers {
+        match p.remove(&k) {
+            Ok(out) => ops.push(out.report),
+            Err(hyrd_gcsapi::CloudError::Unavailable { .. }) => log.log_remove(p.id(), k.clone()),
+            Err(_) => {}
+        }
+    }
+    BatchReport::parallel(ops)
+}
+
+/// Orders providers fastest-first by their calibrated expected latency at
+/// a small probe size (baselines pick replicas greedily; HyRD's evaluator
+/// does the same thing through measurements).
+pub fn fastest_first(providers: &[Arc<SimProvider>]) -> Vec<Arc<SimProvider>> {
+    let mut v: Vec<Arc<SimProvider>> = providers.to_vec();
+    v.sort_by_key(|p| {
+        p.profile().latency.expected_latency(hyrd_gcsapi::OpKind::Get, 64 * 1024)
+    });
+    v
+}
+
+/// Erasure-codes `data` and puts fragment `i` on `providers[(i + rot) %
+/// n]` in parallel — `rot` rotates parity placement across objects, the
+/// RAID5 layout RACS uses. Returns the fragment map for the placement
+/// record.
+pub fn ec_write<C: ErasureCode + ?Sized>(
+    planner: &StripePlanner,
+    code: &C,
+    providers: &[Arc<SimProvider>],
+    base_name: &str,
+    data: &[u8],
+    rot: usize,
+    log: &mut UpdateLog,
+) -> SchemeResult<(FragmentLayout, Vec<(ProviderId, String)>, BatchReport, usize)> {
+    let (layout, frags) = planner.encode_object(code, data)?;
+    let n = frags.len();
+    assert_eq!(n, providers.len(), "one fragment per provider");
+    let mut ops = Vec::new();
+    let mut live = 0;
+    let mut map = Vec::with_capacity(n);
+    for frag in frags {
+        let p = &providers[(frag.index + rot) % n];
+        let name = format!("{base_name}.f{}", frag.index);
+        let k = key(&name);
+        let bytes = Bytes::from(frag.data);
+        match p.put(&k, bytes.clone()) {
+            Ok(out) => {
+                ops.push(out.report);
+                live += 1;
+            }
+            Err(_) => log.log_put(p.id(), k, bytes),
+        }
+        map.push((p.id(), name));
+    }
+    Ok((layout, map, BatchReport::parallel(ops), live))
+}
+
+/// Reads an erasure-coded object: the `m` data fragments when all their
+/// providers are up, otherwise any `m` reachable fragments with a decode
+/// (the degraded read that pulls extra providers in — the RACS behaviour
+/// §IV-C calls out).
+pub fn ec_read<C: ErasureCode + ?Sized>(
+    planner: &StripePlanner,
+    code: &C,
+    fleet_lookup: &dyn Fn(ProviderId) -> Arc<SimProvider>,
+    layout: &FragmentLayout,
+    fragments: &[(ProviderId, String)],
+    path: &str,
+) -> SchemeResult<(Bytes, BatchReport)> {
+    let m = layout.m;
+    // Preferred order: data fragments first (free decode), then parity.
+    let mut got: Vec<Fragment> = Vec::with_capacity(m);
+    let mut ops = Vec::new();
+    for (idx, (pid, name)) in fragments.iter().enumerate() {
+        if got.len() == m {
+            break;
+        }
+        let p = fleet_lookup(*pid);
+        if !p.is_available() {
+            continue;
+        }
+        if let Ok(out) = p.get(&key(name)) {
+            ops.push(out.report);
+            got.push(Fragment::new(idx, out.value.to_vec()));
+        }
+    }
+    if got.len() < m {
+        return Err(SchemeError::DataUnavailable {
+            path: path.to_string(),
+            detail: format!("{} of {} fragments reachable, need {m}", got.len(), fragments.len()),
+        });
+    }
+    let object = planner.decode_object(code, layout, &got)?;
+    Ok((Bytes::from(object), BatchReport::parallel(ops)))
+}
+
+/// Updates a byte range of an erasure-coded object through the shared
+/// engine in `hyrd::ecops` (ranged RMW when possible, window-decode
+/// degraded path otherwise). Returns the batch and the fragment indices
+/// that missed the write and must be rebuilt at recovery.
+#[allow(clippy::too_many_arguments)]
+pub fn ec_update<C: ErasureCode + ?Sized>(
+    planner: &StripePlanner,
+    code: &C,
+    fleet_lookup: &dyn Fn(ProviderId) -> Arc<SimProvider>,
+    layout: &FragmentLayout,
+    fragments: &[(ProviderId, String)],
+    path: &str,
+    offset: usize,
+    data: &[u8],
+    log: &mut UpdateLog,
+) -> SchemeResult<(BatchReport, Vec<usize>)> {
+    let _ = (planner, log); // placement/compaction handled by the caller
+    let out = hyrd::ecops::ranged_update(
+        code,
+        fleet_lookup,
+        layout,
+        fragments,
+        path,
+        offset,
+        data,
+    )?;
+    Ok((out.batch, out.missed))
+}
+
+/// State every baseline scheme carries: the fleet handle, a metadata
+/// store, the client content cache and the outage log. Scheme structs
+/// embed this and differ only in *placement policy*.
+pub struct SchemeCore {
+    /// The Cloud-of-Clouds.
+    pub fleet: Fleet,
+    /// Client-side metadata.
+    pub meta: hyrd_metastore::MetaStore,
+    /// Client content cache (write-through).
+    pub cache: ContentCache,
+    /// Missed writes per provider in outage.
+    pub log: UpdateLog,
+}
+
+impl SchemeCore {
+    /// Builds the core over a fleet.
+    pub fn new(fleet: &Fleet) -> Self {
+        SchemeCore {
+            fleet: fleet.clone(),
+            meta: hyrd_metastore::MetaStore::new(),
+            cache: ContentCache::default(),
+            log: UpdateLog::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> std::time::Duration {
+        self.fleet.clock().now()
+    }
+
+    /// Provider lookup (placements always reference fleet members).
+    pub fn provider(&self, id: ProviderId) -> Arc<SimProvider> {
+        self.fleet.get(id).expect("placement providers come from the fleet").clone()
+    }
+
+    /// Replays the outage log for a returned provider.
+    pub fn recover_provider(
+        &mut self,
+        id: ProviderId,
+    ) -> SchemeResult<(hyrd::recovery::RecoveryReport, BatchReport)> {
+        let p = self.provider(id);
+        Ok(self.log.replay(p.as_ref())?)
+    }
+
+    /// Directory-listing names from local metadata.
+    pub fn local_listing(&self, dir: &hyrd_metastore::NormPath) -> SchemeResult<Vec<String>> {
+        Ok(self
+            .meta
+            .list(dir)?
+            .into_iter()
+            .map(|e| match e {
+                hyrd_metastore::namespace::DirEntry::Dir(n) => n,
+                hyrd_metastore::namespace::DirEntry::File(n, _) => n,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyrd_cloudsim::SimClock;
+    use hyrd_gfec::Raid5;
+
+    fn fleet() -> Fleet {
+        Fleet::standard_four(SimClock::new())
+    }
+
+    #[test]
+    fn put_parallel_vs_serial_latency() {
+        let f = fleet();
+        let mut log = UpdateLog::new();
+        let data = Bytes::from(vec![0u8; 256 * 1024]);
+        let (par, live_p) = put_parallel(f.providers(), "par", &data, &mut log);
+        let (ser, live_s) = put_serial(f.providers(), "ser", &data, &mut log);
+        assert_eq!(live_p, 4);
+        assert_eq!(live_s, 4);
+        assert!(ser.latency > par.latency, "serial must sum, parallel max");
+    }
+
+    #[test]
+    fn put_logs_unavailable_targets() {
+        let f = fleet();
+        f.by_name("Aliyun").unwrap().force_down();
+        let mut log = UpdateLog::new();
+        let (_, live) = put_parallel(f.providers(), "x", &Bytes::from_static(b"d"), &mut log);
+        assert_eq!(live, 3);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn get_first_respects_order_and_falls_over() {
+        let f = fleet();
+        let mut log = UpdateLog::new();
+        put_parallel(f.providers(), "obj", &Bytes::from_static(b"v"), &mut log);
+        let order = fastest_first(f.providers());
+        assert_eq!(order[0].name(), "Aliyun");
+        let (_, report) = get_first(&order, "obj", "/p").unwrap();
+        assert_eq!(report.ops[0].provider, order[0].id());
+
+        order[0].force_down();
+        let (_, report) = get_first(&order, "obj", "/p").unwrap();
+        assert_eq!(report.ops[0].provider, order[1].id());
+    }
+
+    #[test]
+    fn ec_write_read_roundtrip_with_rotation() {
+        let f = fleet();
+        let planner = StripePlanner::new(3, 4).unwrap();
+        let code = Raid5::new(3).unwrap();
+        let mut log = UpdateLog::new();
+        let data: Vec<u8> = (0..100_000).map(|i| (i % 251) as u8).collect();
+
+        for rot in 0..4 {
+            let (layout, map, _, live) = ec_write(
+                &planner,
+                &code,
+                f.providers(),
+                &format!("obj{rot}"),
+                &data,
+                rot,
+                &mut log,
+            )
+            .unwrap();
+            assert_eq!(live, 4);
+            // Rotation moves the parity fragment (index 3) around.
+            assert_eq!(map[3].0, f.providers()[(3 + rot) % 4].id());
+
+            let lookup = |id: ProviderId| f.get(id).unwrap().clone();
+            let (bytes, report) =
+                ec_read(&planner, &code, &lookup, &layout, &map, "/p").unwrap();
+            assert_eq!(&bytes[..], &data[..]);
+            assert_eq!(report.op_count(), 3, "reads the three data fragments");
+        }
+    }
+
+    #[test]
+    fn ec_read_degrades_around_an_outage() {
+        let f = fleet();
+        let planner = StripePlanner::new(3, 4).unwrap();
+        let code = Raid5::new(3).unwrap();
+        let mut log = UpdateLog::new();
+        let data = vec![7u8; 50_000];
+        let (layout, map, _, _) =
+            ec_write(&planner, &code, f.providers(), "obj", &data, 0, &mut log).unwrap();
+
+        // Down the provider holding data fragment 0.
+        let victim = map[0].0;
+        f.get(victim).unwrap().force_down();
+        let lookup = |id: ProviderId| f.get(id).unwrap().clone();
+        let (bytes, report) = ec_read(&planner, &code, &lookup, &layout, &map, "/p").unwrap();
+        assert_eq!(&bytes[..], &data[..]);
+        assert_eq!(report.op_count(), 3);
+        assert!(report.ops.iter().all(|o| o.provider != victim));
+    }
+
+    #[test]
+    fn remove_everywhere_tolerates_missing_and_logs_down() {
+        let f = fleet();
+        let mut log = UpdateLog::new();
+        put_parallel(&f.providers()[..2].to_vec(), "only-two", &Bytes::from_static(b"x"), &mut log);
+        f.providers()[0].force_down();
+        let batch = remove_everywhere(f.providers(), "only-two", &mut log);
+        // Provider 1 removed it; 0 logged; 2 and 3 never had it (fine).
+        assert_eq!(batch.op_count(), 1);
+        assert_eq!(log.pending_for(f.providers()[0].id()).len(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! # hyrd-baselines — the comparator schemes of the paper's evaluation
+//!
+//! Every scheme HyRD is measured against in Figures 4 and 6 and Table I,
+//! each implementing the same [`hyrd::Scheme`] trait so one harness
+//! replays identical workloads through all of them:
+//!
+//! * [`single::SingleCloud`] — everything on one provider; the Amazon S3
+//!   instance is the normalization baseline of Figure 6.
+//! * [`duracloud::DuraCloud`] — full replication of *all* data on two
+//!   providers, with the synchronizing (serial) write path that makes its
+//!   normal-state writes slower than its outage-state writes — the
+//!   counter-intuitive Figure 6 observation.
+//! * [`racs::Racs`] — RAID5 striping of *everything* (files, small files,
+//!   metadata blocks) across all providers, with the 2-read + 2-write
+//!   small-update amplification of §I.
+//! * [`depsky::DepSky`] — replication on every provider, parallel writes,
+//!   fastest-replica reads (DepSky-A flavored).
+//! * [`nccloud::NcCloudLite`] — a rate-1/2 RS(2,4) layout in NCCloud's
+//!   4-cloud configuration, plus an explicit whole-provider
+//!   [`nccloud::NcCloudLite::repair_provider`] that measures repair traffic.
+//!
+//! Shared plumbing (replica fan-out, erasure read/write, metadata-block
+//! handling, outage logging) lives in [`common`].
+
+pub mod common;
+pub mod depsky;
+pub mod ecbase;
+pub mod duracloud;
+pub mod nccloud;
+pub mod racs;
+pub mod single;
+pub mod strips;
+
+pub use depsky::DepSky;
+pub use duracloud::DuraCloud;
+pub use nccloud::NcCloudLite;
+pub use racs::Racs;
+pub use single::SingleCloud;

@@ -1,0 +1,252 @@
+//! RACS baseline: RAID5 striping of everything across all providers.
+//!
+//! "RACS uses erasure coding to mitigate the vendor lock-in problem …
+//! It transparently stripes data across multiple cloud storage providers
+//! with RAID-like techniques" (§V). Being a transparent proxy it treats
+//! every object identically — small files and metadata blocks pay the
+//! same striping and the same read-modify-write update amplification
+//! ("a small update in the RACS system will incur a total of 4 accesses",
+//! §I), which is exactly the behaviour HyRD's workload-aware hybrid
+//! avoids.
+
+use hyrd::scheme::SchemeResult;
+use hyrd_cloudsim::Fleet;
+use hyrd_gcsapi::ProviderId;
+use hyrd_gfec::Raid5;
+
+use crate::ecbase::{EcEverything, RepairTraffic};
+
+/// RAID5-across-the-fleet (the paper's RACS configuration).
+pub struct Racs {
+    inner: EcEverything<Raid5>,
+}
+
+impl Racs {
+    /// Builds RACS on a fleet of `n` providers as an `(n-1) + 1` RAID5.
+    pub fn new(fleet: &Fleet) -> SchemeResult<Self> {
+        let code = Raid5::new(fleet.len() - 1).map_err(hyrd::scheme::SchemeError::from)?;
+        Ok(Racs { inner: EcEverything::new(fleet, code, "RACS")? })
+    }
+
+    /// Replays missed writes onto a returned provider.
+    pub fn recover_provider(
+        &mut self,
+        id: ProviderId,
+    ) -> SchemeResult<(hyrd::recovery::RecoveryReport, hyrd_gcsapi::BatchReport)> {
+        self.inner.recover_provider(id)
+    }
+
+    /// Pending missed-write records.
+    pub fn pending_log_len(&self) -> usize {
+        self.inner.pending_log_len()
+    }
+
+    /// Whole-provider rebuild (recovery-traffic experiment).
+    pub fn repair_provider(
+        &mut self,
+        id: ProviderId,
+    ) -> SchemeResult<(RepairTraffic, hyrd_gcsapi::BatchReport)> {
+        self.inner.repair_provider(id)
+    }
+}
+
+impl hyrd::Scheme for Racs {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn create_file(&mut self, path: &str, data: &[u8]) -> SchemeResult<hyrd_gcsapi::BatchReport> {
+        self.inner.create_file(path, data)
+    }
+
+    fn read_file(&mut self, path: &str) -> SchemeResult<(bytes::Bytes, hyrd_gcsapi::BatchReport)> {
+        self.inner.read_file(path)
+    }
+
+    fn update_file(
+        &mut self,
+        path: &str,
+        offset: u64,
+        data: &[u8],
+    ) -> SchemeResult<hyrd_gcsapi::BatchReport> {
+        self.inner.update_file(path, offset, data)
+    }
+
+    fn delete_file(&mut self, path: &str) -> SchemeResult<hyrd_gcsapi::BatchReport> {
+        self.inner.delete_file(path)
+    }
+
+    fn list_dir(&mut self, path: &str) -> SchemeResult<(Vec<String>, hyrd_gcsapi::BatchReport)> {
+        self.inner.list_dir(path)
+    }
+
+    fn file_size(&self, path: &str) -> Option<u64> {
+        self.inner.file_size(path)
+    }
+
+    fn recover_provider(
+        &mut self,
+        id: ProviderId,
+    ) -> hyrd::scheme::SchemeResult<(hyrd::recovery::RecoveryReport, hyrd_gcsapi::BatchReport)> {
+        Racs::recover_provider(self, id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyrd::Scheme;
+    use hyrd_cloudsim::SimClock;
+    use hyrd_gcsapi::{CloudStorage, OpKind};
+
+    fn setup() -> (Fleet, Racs) {
+        let fleet = Fleet::standard_four(SimClock::new());
+        let r = Racs::new(&fleet).unwrap();
+        (fleet, r)
+    }
+
+    #[test]
+    fn small_files_take_the_strip_layout() {
+        let (fleet, mut r) = setup();
+        r.create_file("/small", &[1u8; 2048]).unwrap();
+        // One data strip + one parity strip (plus the metadata strip):
+        // small objects do NOT fan out to all four providers.
+        let touched = fleet.providers().iter().filter(|p| p.stats().put > 0).count();
+        assert!(touched < 4, "small create must not touch the whole fleet");
+        let (_, report) = r.read_file("/small").unwrap();
+        assert_eq!(report.op_count(), 1, "normal small read is one access");
+    }
+
+    #[test]
+    fn large_files_stripe_across_all_providers() {
+        let (fleet, mut r) = setup();
+        r.create_file("/large", &vec![1u8; 3 << 20]).unwrap();
+        for p in fleet.providers() {
+            assert!(p.stats().put >= 1, "{} holds no fragment", p.name());
+        }
+        let (_, report) = r.read_file("/large").unwrap();
+        assert_eq!(report.op_count(), 3, "large read fetches m fragments");
+    }
+
+    #[test]
+    fn read_roundtrip_small_and_large() {
+        let (_fleet, mut r) = setup();
+        let small = vec![3u8; 4 * 1024];
+        let large = vec![5u8; 3 * 1024 * 1024];
+        r.create_file("/s", &small).unwrap();
+        r.create_file("/l", &large).unwrap();
+        let (s, report) = r.read_file("/s").unwrap();
+        assert_eq!(&s[..], &small[..]);
+        assert_eq!(report.op_count(), 1, "small strip read is one access");
+        let (l, _) = r.read_file("/l").unwrap();
+        assert_eq!(&l[..], &large[..]);
+    }
+
+    #[test]
+    fn small_update_is_the_famous_four_accesses() {
+        let (_fleet, mut r) = setup();
+        r.create_file("/f", &vec![0u8; 64 * 1024]).unwrap();
+        let report = r.update_file("/f", 100, &[9u8; 64]).unwrap();
+        // Strip-layout RMW: read old strip + parity, write strip + parity
+        // (plus the metadata-strip refresh).
+        // The data RMW runs first (the metadata-strip refresh appends its
+        // own ops afterwards): 2 reads then 2 writes, all strip-sized.
+        let kinds: Vec<OpKind> = report.ops[..4].iter().map(|o| o.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![OpKind::Get, OpKind::Get, OpKind::Put, OpKind::Put],
+            "RAID5 small update = 2 reads + 2 writes"
+        );
+        assert!(report.ops[0].bytes_out >= 64 * 1024, "old data strip");
+        assert!(report.ops[2].bytes_in >= 64 * 1024, "new data strip");
+
+        let (bytes, _) = r.read_file("/f").unwrap();
+        assert_eq!(&bytes[100..164], &[9u8; 64][..]);
+    }
+
+    #[test]
+    fn metadata_reads_are_one_access_until_an_outage() {
+        let (fleet, mut r) = setup();
+        r.create_file("/dir/f", &[1u8; 1000]).unwrap();
+        let (names, report) = r.list_dir("/dir").unwrap();
+        assert_eq!(names, vec!["f"]);
+        assert_eq!(report.op_count(), 1, "metadata strip read is one access");
+
+        // Find the provider holding the metadata strip and fail it: the
+        // paper's §IV-C — the read now touches the other three providers.
+        let holder = report.ops[0].provider;
+        fleet.get(holder).unwrap().force_down();
+        let (_, degraded) = r.list_dir("/dir").unwrap();
+        assert!(
+            degraded.op_count() >= 2,
+            "degraded metadata read reconstructs from survivors"
+        );
+        assert!(degraded.ops.iter().all(|o| o.provider != holder));
+    }
+
+    #[test]
+    fn degraded_read_during_outage() {
+        let (fleet, mut r) = setup();
+        let data = vec![7u8; 500_000];
+        r.create_file("/f", &data).unwrap();
+        for victim in ["Amazon S3", "Windows Azure", "Aliyun", "Rackspace"] {
+            fleet.by_name(victim).unwrap().force_down();
+            let (bytes, _) = r.read_file("/f").unwrap();
+            assert_eq!(&bytes[..], &data[..], "{victim} down");
+            fleet.by_name(victim).unwrap().restore();
+        }
+    }
+
+    #[test]
+    fn storage_overhead_is_4_over_3() {
+        let (fleet, mut r) = setup();
+        r.create_file("/f", &vec![1u8; 3_000_000]).unwrap();
+        let stored = fleet.total_stored_bytes() as f64;
+        assert!(stored / 3_000_000.0 > 1.32 && stored / 3_000_000.0 < 1.37);
+    }
+
+    #[test]
+    fn write_during_outage_then_recover_then_read_degraded_elsewhere() {
+        let (fleet, mut r) = setup();
+        // S3 holds the first strip slot; fail it during the write.
+        fleet.by_name("Amazon S3").unwrap().force_down();
+        let data = vec![9u8; 200_000];
+        r.create_file("/f", &data).unwrap();
+        assert!(r.pending_log_len() > 0, "missed strip write must be logged");
+        // Degraded read works immediately (parity reconstruct).
+        let (bytes, _) = r.read_file("/f").unwrap();
+        assert_eq!(&bytes[..], &data[..]);
+
+        fleet.by_name("Amazon S3").unwrap().restore();
+        r.recover_provider(fleet.by_name("Amazon S3").unwrap().id()).unwrap();
+
+        // Now fail a different provider: content still reads correctly.
+        fleet.by_name("Windows Azure").unwrap().force_down();
+        let (bytes, _) = r.read_file("/f").unwrap();
+        assert_eq!(&bytes[..], &data[..]);
+    }
+
+    #[test]
+    fn repair_reads_three_times_what_it_rebuilds() {
+        let (fleet, mut r) = setup();
+        for i in 0..5 {
+            r.create_file(&format!("/f{i}"), &vec![i as u8; 300_000]).unwrap();
+        }
+        let victim = fleet.by_name("Rackspace").unwrap();
+        let id = victim.id();
+        // Simulate permanent loss + re-provisioning: wipe by outage, then
+        // repair onto the (empty-handed) returned node. Here the node
+        // still has its objects, so repair just overwrites; traffic is
+        // what we measure.
+        let (traffic, _) = r.repair_provider(id).unwrap();
+        assert!(traffic.fragments_rebuilt >= 2);
+        // RAID5 repair reads roughly m = 3 survivor strips per rebuilt
+        // strip (group reconstruction may read a little more when parity
+        // strips also live on the failed provider).
+        assert!(
+            traffic.amplification() >= 2.5,
+            "amplification {}",
+            traffic.amplification()
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks for the erasure-coding substrate: the hot
+//! loops behind every large-file operation in the system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use hyrd_gfec::gf256::{mul_acc_slice, xor_slice, Gf256};
+use hyrd_gfec::parallel::encode_parallel;
+use hyrd_gfec::stripe::StripePlanner;
+use hyrd_gfec::update::plan_update;
+use hyrd_gfec::{ErasureCode, Fragment, Raid5, Raid6, ReedSolomon};
+
+fn shards(m: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..m)
+        .map(|i| (0..len).map(|b| ((b * 31 + i * 7) % 251) as u8).collect())
+        .collect()
+}
+
+fn bench_gf_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf256-kernels");
+    let src = vec![0xA7u8; 1 << 20];
+    let mut dst = vec![0x5Cu8; 1 << 20];
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("xor_slice/1MiB", |b| b.iter(|| xor_slice(&mut dst, &src)));
+    g.bench_function("mul_acc_slice/1MiB", |b| {
+        b.iter(|| mul_acc_slice(&mut dst, &src, Gf256(0x53)))
+    });
+    g.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode");
+    for len in [64 * 1024usize, 1 << 20, 4 << 20] {
+        let data = shards(3, len);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        g.throughput(Throughput::Bytes(3 * len as u64));
+
+        let raid5 = Raid5::new(3).expect("valid shape");
+        g.bench_with_input(BenchmarkId::new("raid5(3+1)", len), &refs, |b, refs| {
+            b.iter(|| raid5.encode(refs).expect("valid shards"))
+        });
+        let rs = ReedSolomon::new(3, 5).expect("valid shape");
+        g.bench_with_input(BenchmarkId::new("rs(3,5)", len), &refs, |b, refs| {
+            b.iter(|| rs.encode(refs).expect("valid shards"))
+        });
+        let raid6 = Raid6::new(3).expect("valid shape");
+        g.bench_with_input(BenchmarkId::new("raid6(3+2)", len), &refs, |b, refs| {
+            b.iter(|| raid6.encode(refs).expect("valid shards"))
+        });
+        g.bench_with_input(BenchmarkId::new("raid5-rayon", len), &refs, |b, refs| {
+            b.iter(|| encode_parallel(&raid5, refs).expect("valid shards"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reconstruct");
+    let len = 1usize << 20;
+    let planner = StripePlanner::new(3, 4).expect("valid shape");
+    let code = Raid5::new(3).expect("valid shape");
+    let object: Vec<u8> = (0..3 * len).map(|i| (i % 251) as u8).collect();
+    let (layout, frags) = planner.encode_object(&code, &object).expect("encodes");
+    g.throughput(Throughput::Bytes(object.len() as u64));
+
+    // Losing a data fragment forces the XOR rebuild.
+    let degraded: Vec<Fragment> = frags.iter().filter(|f| f.index != 1).cloned().collect();
+    g.bench_function("raid5-degraded/3MiB", |b| {
+        b.iter(|| code.reconstruct(&degraded, layout.shard_len).expect("decodable"))
+    });
+    // All data fragments present: the systematic fast path.
+    let healthy: Vec<Fragment> = frags.iter().filter(|f| f.index != 3).cloned().collect();
+    g.bench_function("raid5-systematic/3MiB", |b| {
+        b.iter(|| code.reconstruct(&healthy, layout.shard_len).expect("decodable"))
+    });
+
+    let rs = ReedSolomon::new(3, 5).expect("valid shape");
+    let (layout5, frags5) = StripePlanner::new(3, 5)
+        .expect("valid shape")
+        .encode_object(&rs, &object)
+        .expect("encodes");
+    let two_lost: Vec<Fragment> =
+        frags5.iter().filter(|f| f.index != 0 && f.index != 2).cloned().collect();
+    g.bench_function("rs(3,5)-two-erasures/3MiB", |b| {
+        b.iter(|| rs.reconstruct(&two_lost, layout5.shard_len).expect("decodable"))
+    });
+    g.finish();
+}
+
+fn bench_update_planning(c: &mut Criterion) {
+    let planner = StripePlanner::new(3, 4).expect("valid shape");
+    let layout = planner.plan(100 << 20);
+    c.bench_function("plan_update/4KB-in-100MB", |b| {
+        b.iter(|| plan_update(&layout, 12_345_678, 4096).expect("in bounds"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gf_kernels,
+    bench_encode,
+    bench_reconstruct,
+    bench_update_planning
+);
+criterion_main!(benches);

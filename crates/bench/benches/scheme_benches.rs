@@ -1,0 +1,122 @@
+//! Criterion benchmarks for the scheme layer: dispatcher overhead and
+//! end-to-end PostMark replay throughput (virtual time is free — these
+//! measure the *client-side CPU cost* of the placement machinery, not
+//! the simulated network).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use hyrd::driver::{replay, synth_content, ReplayOptions};
+use hyrd::prelude::*;
+use hyrd_baselines::{DuraCloud, Racs};
+use hyrd_workloads::{PostMark, PostMarkConfig};
+
+fn small_postmark(seed: u64) -> PostMarkConfig {
+    PostMarkConfig {
+        initial_files: 30,
+        transactions: 100,
+        size_dist: hyrd_workloads::FileSizeDist::log_uniform(1024, 256 * 1024),
+        seed,
+        ..PostMarkConfig::default()
+    }
+}
+
+fn bench_dispatcher_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatcher");
+    let small = synth_content("/s", 0, 16 << 10);
+    let large = synth_content("/l", 0, 4 << 20);
+
+    g.throughput(Throughput::Bytes(small.len() as u64));
+    g.bench_function("hyrd-create-small/16KB", |b| {
+        b.iter_batched(
+            || {
+                let fleet = Fleet::standard_four(SimClock::new());
+                Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config")
+            },
+            |mut h| h.create_file("/s", &small).expect("fleet up"),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    g.throughput(Throughput::Bytes(large.len() as u64));
+    g.bench_function("hyrd-create-large/4MB", |b| {
+        b.iter_batched(
+            || {
+                let fleet = Fleet::standard_four(SimClock::new());
+                for p in fleet.providers() {
+                    p.set_ghost_mode(true);
+                }
+                Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config")
+            },
+            |mut h| h.create_file("/l", &large).expect("fleet up"),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("hyrd-read-large/4MB", |b| {
+        b.iter_batched(
+            || {
+                let fleet = Fleet::standard_four(SimClock::new());
+                let mut h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config");
+                h.create_file("/l", &large).expect("fleet up");
+                h
+            },
+            |mut h| h.read_file("/l").expect("fleet up"),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("postmark-replay");
+    g.sample_size(10);
+    let (ops, _) = PostMark::new(small_postmark(1)).generate();
+    g.throughput(Throughput::Elements(ops.len() as u64));
+
+    g.bench_function("hyrd/160-files-230-txn", |b| {
+        b.iter_batched(
+            || {
+                let clock = SimClock::new();
+                let fleet = Fleet::standard_four(clock.clone());
+                for p in fleet.providers() {
+                    p.set_ghost_mode(true);
+                }
+                (clock, Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config"))
+            },
+            |(clock, mut h)| replay(&mut h, &ops, &clock, &ReplayOptions::default()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("racs/160-files-230-txn", |b| {
+        b.iter_batched(
+            || {
+                let clock = SimClock::new();
+                let fleet = Fleet::standard_four(clock.clone());
+                for p in fleet.providers() {
+                    p.set_ghost_mode(true);
+                }
+                (clock, Racs::new(&fleet).expect("4-provider fleet"))
+            },
+            |(clock, mut r)| replay(&mut r, &ops, &clock, &ReplayOptions::default()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("duracloud/160-files-230-txn", |b| {
+        b.iter_batched(
+            || {
+                let clock = SimClock::new();
+                let fleet = Fleet::standard_four(clock.clone());
+                for p in fleet.providers() {
+                    p.set_ghost_mode(true);
+                }
+                (clock, DuraCloud::standard(&fleet).expect("standard fleet"))
+            },
+            |(clock, mut d)| replay(&mut d, &ops, &clock, &ReplayOptions::default()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatcher_ops, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figure 3: the Internet Archive trace — data transferred per month
+//! (3a) and read/write request counts (3b), Feb 2008 – Jan 2009.
+//!
+//! Paper-reported statistics this synthesis reproduces exactly: read
+//! volume : write volume = 2.1 : 1, read requests : write requests =
+//! 3.5 : 1.
+
+use hyrd_bench::{header, write_json, Series};
+use hyrd_workloads::ia_trace::{IaTrace, REQUEST_RATIO, VOLUME_RATIO};
+
+fn main() {
+    let trace = IaTrace::synthesize(42);
+
+    header("Figure 3a: data transferred to/from the Internet Archive (TB)");
+    println!("{:<8} {:>12} {:>12}", "month", "written TB", "read TB");
+    for m in trace.months() {
+        println!(
+            "{:<8} {:>12.2} {:>12.2}",
+            m.label,
+            m.bytes_written as f64 / 1e12,
+            m.bytes_read as f64 / 1e12
+        );
+    }
+
+    header("Figure 3b: read/write requests (millions)");
+    println!("{:<8} {:>12} {:>12}", "month", "writes M", "reads M");
+    for m in trace.months() {
+        println!(
+            "{:<8} {:>12.1} {:>12.1}",
+            m.label,
+            m.write_requests as f64 / 1e6,
+            m.read_requests as f64 / 1e6
+        );
+    }
+
+    println!();
+    println!(
+        "volume ratio (read:write): {:.3}   [paper: {VOLUME_RATIO}]",
+        trace.volume_ratio()
+    );
+    println!(
+        "request ratio (read:write): {:.3}  [paper: {REQUEST_RATIO}]",
+        trace.request_ratio()
+    );
+
+    let series = vec![
+        Series {
+            label: "written_tb".into(),
+            values: trace.months().iter().map(|m| m.bytes_written as f64 / 1e12).collect(),
+        },
+        Series {
+            label: "read_tb".into(),
+            values: trace.months().iter().map(|m| m.bytes_read as f64 / 1e12).collect(),
+        },
+        Series {
+            label: "write_requests_m".into(),
+            values: trace.months().iter().map(|m| m.write_requests as f64 / 1e6).collect(),
+        },
+        Series {
+            label: "read_requests_m".into(),
+            values: trace.months().iter().map(|m| m.read_requests as f64 / 1e6).collect(),
+        },
+    ];
+    write_json("fig3_ia_trace", &series);
+}

@@ -1,0 +1,66 @@
+//! Figure 4: estimated monthly (4a) and cumulative (4b) costs of hosting
+//! the Internet Archive on each single cloud and on the Cloud-of-Clouds
+//! schemes (DuraCloud, RACS, HyRD), Table II prices.
+//!
+//! Paper-reported shape: Aliyun cheapest single cloud; DuraCloud most
+//! expensive overall; every Cloud-of-Clouds scheme costs more than any
+//! single cloud; HyRD 33.4 % below DuraCloud and 20.4 % below RACS;
+//! Azure/Rackspace bills grow near-monotonically while S3/Aliyun bills
+//! track the fluctuating reads.
+
+use hyrd_bench::{header, write_json, Series};
+use hyrd_costsim::model::{
+    CostModel, DepSkyModel, DuraCloudModel, HyrdModel, RacsModel, SingleModel, ALIYUN, AZURE,
+    RACKSPACE, S3,
+};
+use hyrd_costsim::report::{cumulative_table, monthly_table, run_model, CostSeries};
+use hyrd_workloads::IaTrace;
+
+fn main() {
+    let trace = IaTrace::synthesize(42);
+    let mut models: Vec<Box<dyn CostModel>> = vec![
+        Box::new(SingleModel::new("Amazon S3", S3)),
+        Box::new(SingleModel::new("Windows Azure", AZURE)),
+        Box::new(SingleModel::new("Aliyun", ALIYUN)),
+        Box::new(SingleModel::new("Rackspace", RACKSPACE)),
+        Box::new(DuraCloudModel::new()),
+        Box::new(RacsModel::new()),
+        Box::new(HyrdModel::paper_default()),
+        Box::new(DepSkyModel::new()), // beyond the paper's Figure 4 lineup
+    ];
+    let series: Vec<CostSeries> =
+        models.iter_mut().map(|m| run_model(m.as_mut(), &trace)).collect();
+
+    header("Figure 4a: monthly cost ($)");
+    print!("{}", monthly_table(&series));
+
+    header("Figure 4b: cumulative cost ($)");
+    print!("{}", cumulative_table(&series));
+
+    header("Year totals");
+    for s in &series {
+        println!("{:<14} ${:>10.0}", s.scheme, s.total());
+    }
+
+    let total = |name: &str| {
+        series.iter().find(|s| s.scheme == name).expect("in lineup").total()
+    };
+    let (hyrd, dura, racs) = (total("HyRD"), total("DuraCloud"), total("RACS"));
+    println!();
+    println!(
+        "HyRD vs DuraCloud: {:.1}% lower   [paper: 33.4%]",
+        (1.0 - hyrd / dura) * 100.0
+    );
+    println!("HyRD vs RACS:      {:.1}% lower   [paper: 20.4%]", (1.0 - hyrd / racs) * 100.0);
+
+    let json: Vec<Series> = series
+        .iter()
+        .flat_map(|s| {
+            vec![
+                Series { label: format!("{}/monthly", s.scheme), values: s.monthly() },
+                Series { label: format!("{}/cumulative", s.scheme), values: s.cumulative() },
+            ]
+        })
+        .collect();
+    write_json("fig4_costs", &json);
+}

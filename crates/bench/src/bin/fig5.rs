@@ -1,0 +1,84 @@
+//! Figure 5: read (5a) and write (5b) latency as a function of request
+//! size — 4 KB to 4 MB — for each single-cloud provider, three trials,
+//! mean ± deviation.
+//!
+//! Paper-reported shape: Aliyun fastest at every size; large variance
+//! across providers; a disproportionate latency jump from 1 MB to 4 MB
+//! (the observation that sets HyRD's file-size threshold at 1 MB).
+
+use bytes::Bytes;
+use hyrd_bench::{header, write_json, Series};
+use hyrd_cloudsim::{Fleet, SimClock};
+use hyrd_gcsapi::{CloudStorage, ObjectKey};
+
+const SIZES: [(u64, &str); 6] = [
+    (4 << 10, "4KB"),
+    (16 << 10, "16KB"),
+    (64 << 10, "64KB"),
+    (256 << 10, "256KB"),
+    (1 << 20, "1MB"),
+    (4 << 20, "4MB"),
+];
+const TRIALS: usize = 3;
+
+fn mean_dev(samples: &[f64]) -> (f64, f64) {
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+        / (samples.len().max(2) - 1) as f64;
+    (mean, var.sqrt())
+}
+
+fn main() {
+    let fleet = Fleet::standard_four(SimClock::new());
+    for p in fleet.providers() {
+        p.set_ghost_mode(true);
+    }
+
+    let mut json = Vec::new();
+    for (kind, title) in [("read", "Figure 5a: read latency (s)"), ("write", "Figure 5b: write latency (s)")] {
+        header(title);
+        print!("{:<14}", "provider");
+        for (_, label) in SIZES {
+            print!(" {label:>16}");
+        }
+        println!();
+        for p in fleet.providers() {
+            print!("{:<14}", p.name());
+            let mut means = Vec::new();
+            for (size, _) in SIZES {
+                let mut samples = Vec::new();
+                for t in 0..TRIALS {
+                    let key = ObjectKey::new(Fleet::CONTAINER, format!("f5-{kind}-{size}-{t}"));
+                    let payload = Bytes::from(vec![0u8; size as usize]);
+                    let latency = if kind == "write" {
+                        p.put(&key, payload).expect("provider up").report.latency
+                    } else {
+                        p.put(&key, payload).expect("provider up");
+                        p.get(&key).expect("object just written").report.latency
+                    };
+                    samples.push(latency.as_secs_f64());
+                }
+                let (mean, dev) = mean_dev(&samples);
+                means.push(mean);
+                print!(" {:>9.3}±{:<6.3}", mean, dev);
+            }
+            println!();
+            json.push(Series { label: format!("{}/{kind}", p.name()), values: means });
+        }
+    }
+
+    // The threshold observation.
+    header("1MB→4MB disproportion (latency ratio; 4x would be proportional)");
+    for p in fleet.providers() {
+        let lat = |bytes: u64| {
+            p.profile()
+                .latency
+                .expected_latency(hyrd_gcsapi::OpKind::Get, bytes)
+                .as_secs_f64()
+        };
+        println!("{:<14} {:.1}x", p.name(), lat(4 << 20) / lat(1 << 20));
+    }
+    println!("\n=> the paper sets the large/small threshold at 1MB on this gap (§IV-C)");
+
+    write_json("fig5_latency_vs_size", &json);
+}

@@ -1,0 +1,50 @@
+//! Table II: monthly price plans for Amazon S3, Windows Azure Storage,
+//! Aliyun OSS and Rackspace Cloud Files (September 10th 2014, China
+//! region), plus the category row the evaluator derives.
+
+use hyrd::evaluator::Evaluator;
+use hyrd_bench::header;
+use hyrd_cloudsim::{Fleet, ProviderCategory, SimClock};
+
+fn category(c: ProviderCategory) -> &'static str {
+    match c {
+        ProviderCategory::CostOriented => "Cost-oriented",
+        ProviderCategory::PerformanceOriented => "Performance-oriented",
+        ProviderCategory::Both => "Both",
+    }
+}
+
+fn main() {
+    let fleet = Fleet::standard_four(SimClock::new());
+    header("Table II: monthly price plans (USD)");
+    println!(
+        "{:<38} {:>12} {:>14} {:>10} {:>10}",
+        "Operations & Vendors", "Amazon S3", "Windows Azure", "Aliyun", "RackSpace"
+    );
+    let p: Vec<_> = fleet.providers().iter().map(|p| *p.prices()).collect();
+    let row = |name: &str, f: &dyn Fn(usize) -> String| {
+        println!("{:<38} {:>12} {:>14} {:>10} {:>10}", name, f(0), f(1), f(2), f(3));
+    };
+    let money = |v: f64| if v == 0.0 { "Free".to_string() } else { format!("${v}") };
+    row("Storage (per GB/month)", &|i| money(p[i].storage_gb_month));
+    row("Data In (per GB)", &|i| money(p[i].data_in_gb));
+    row("Data Out to Internet (per GB)", &|i| money(p[i].data_out_gb));
+    row("Put, Copy, Post, List (per 10K)", &|i| money(p[i].put_class_10k));
+    row("Get and others (per 10K)", &|i| money(p[i].get_class_10k));
+    row("Category (Table II last row)", &|i| {
+        category(fleet.providers()[i].category()).to_string()
+    });
+
+    // The evaluator derives the same tiers from measurements + prices.
+    let (eval, _) = Evaluator::assess(&fleet, 64 * 1024);
+    header("Derived by the Cost & Performance Evaluator (probe-measured)");
+    for a in eval.assessments() {
+        println!(
+            "{:<14} probe_get={:>8.3}s  perf-tier={:<5} cost-tier={:<5}",
+            a.name,
+            a.probe_get.as_secs_f64(),
+            a.performance_oriented,
+            a.cost_oriented
+        );
+    }
+}

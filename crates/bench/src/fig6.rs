@@ -1,0 +1,122 @@
+//! Shared machinery for the Figure 6 family of experiments (scheme
+//! latency under PostMark, normal state and Azure-outage state), reused
+//! by the threshold sweep and the ablation binaries.
+
+use hyrd::driver::{replay_with_state, ReplayOptions, ReplayState, ReplayStats};
+use hyrd::prelude::*;
+use hyrd_baselines::{DepSky, DuraCloud, NcCloudLite, Racs, SingleCloud};
+use hyrd_workloads::{FsOp, PostMark, PostMarkConfig};
+
+/// Operating state of the Figure 6 runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// All providers up.
+    Normal,
+    /// Windows Azure forced off-line before the transaction phase — the
+    /// paper's outage emulation (§IV-C).
+    AzureOutage,
+}
+
+/// The PostMark shape the paper describes: pool of files 1 KB–100 MB.
+pub fn paper_postmark(seed: u64) -> PostMarkConfig {
+    PostMarkConfig { initial_files: 60, transactions: 240, seed, ..PostMarkConfig::default() }
+}
+
+/// Splits a PostMark stream into (pool-initialization, transactions).
+pub fn split_ops(config: &PostMarkConfig) -> (Vec<FsOp>, Vec<FsOp>) {
+    let (ops, _) = PostMark::new(config.clone()).generate();
+    let init = config.initial_files;
+    let head = ops[..init].to_vec();
+    let tail = ops[init..].to_vec();
+    (head, tail)
+}
+
+/// Runs one scheme through the Figure 6 methodology on a fresh fleet:
+/// build, load the pool in the normal state, optionally fail Azure, then
+/// measure the transaction phase.
+pub fn run_scheme<F>(make: F, mode: Mode, config: &PostMarkConfig) -> ReplayStats
+where
+    F: FnOnce(&Fleet) -> Box<dyn Scheme>,
+{
+    let clock = SimClock::new();
+    let fleet = Fleet::standard_four(clock.clone());
+    for p in fleet.providers() {
+        p.set_ghost_mode(true);
+    }
+    let mut scheme = make(&fleet);
+    let (init, txns) = split_ops(config);
+    let opts = ReplayOptions::default();
+    let mut state = ReplayState::default();
+    let _ = replay_with_state(scheme.as_mut(), &init, &clock, &opts, &mut state);
+    if mode == Mode::AzureOutage {
+        fleet.by_name("Windows Azure").expect("standard fleet").force_down();
+    }
+    replay_with_state(scheme.as_mut(), &txns, &clock, &opts, &mut state)
+}
+
+/// The scheme lineup of Figure 6 (name, factory).
+pub fn lineup() -> Vec<(&'static str, fn(&Fleet) -> Box<dyn Scheme>)> {
+    vec![
+        ("Amazon S3", |f| Box::new(SingleCloud::amazon_s3(f).expect("fleet has S3"))),
+        ("DuraCloud", |f| Box::new(DuraCloud::standard(f).expect("standard fleet"))),
+        ("RACS", |f| Box::new(Racs::new(f).expect("4-provider fleet"))),
+        ("HyRD", |f| {
+            Box::new(Hyrd::new(f, HyrdConfig::default()).expect("valid default config"))
+        }),
+    ]
+}
+
+/// Extended lineup including the schemes beyond the paper's Figure 6,
+/// plus HyRD with the Figure 2 hot-file overlap enabled (frequently read
+/// large files gain a whole-object copy on the performance tier).
+pub fn extended_lineup() -> Vec<(&'static str, fn(&Fleet) -> Box<dyn Scheme>)> {
+    let mut v = lineup();
+    v.push(("HyRD+hot", |f| {
+        let mut cfg = HyrdConfig::default();
+        cfg.hot_read_threshold = Some(2);
+        Box::new(Hyrd::new(f, cfg).expect("valid config"))
+    }));
+    v.push(("DepSky", |f| Box::new(DepSky::new(f).expect("4-provider fleet"))));
+    v.push(("NCCloud-lite", |f| Box::new(NcCloudLite::new(f).expect("4-provider fleet"))));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ops_partitions_the_stream() {
+        let cfg = paper_postmark(1);
+        let (init, txns) = split_ops(&cfg);
+        assert_eq!(init.len(), cfg.initial_files);
+        assert!(init.iter().all(|o| matches!(o, FsOp::Create { .. })));
+        assert!(!txns.is_empty());
+    }
+
+    #[test]
+    fn s3_baseline_runs_clean_in_normal_mode() {
+        let mut cfg = paper_postmark(2);
+        cfg.initial_files = 10;
+        cfg.transactions = 30;
+        let stats = run_scheme(
+            |f| Box::new(SingleCloud::amazon_s3(f).unwrap()),
+            Mode::Normal,
+            &cfg,
+        );
+        assert_eq!(stats.errors, 0);
+        assert!(stats.overall.count() > 30);
+        assert_eq!(stats.verify_failures, 0);
+    }
+
+    #[test]
+    fn coc_schemes_survive_the_outage_mode() {
+        let mut cfg = paper_postmark(3);
+        cfg.initial_files = 10;
+        cfg.transactions = 30;
+        for (name, make) in lineup().into_iter().skip(1) {
+            let stats = run_scheme(make, Mode::AzureOutage, &cfg);
+            assert_eq!(stats.errors, 0, "{name} errored during outage");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Shared harness plumbing for the figure/table binaries.
+//!
+//! Every binary prints the series the paper plots *and* writes a JSON
+//! record under `target/experiments/` so EXPERIMENTS.md can be refreshed
+//! mechanically.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+pub mod fig6;
+
+/// Directory experiment outputs land in.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Writes an experiment's JSON record.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = experiments_dir().join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path).expect("create experiment file");
+    let body = serde_json::to_string_pretty(value).expect("serialize experiment");
+    f.write_all(body.as_bytes()).expect("write experiment");
+    println!("\n[written {}]", path.display());
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats seconds human-readably.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+/// A labelled series for JSON output.
+#[derive(Debug, Serialize)]
+pub struct Series {
+    /// Series label (scheme or provider name).
+    pub label: String,
+    /// Values in x-axis order.
+    pub values: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiments_dir_exists_and_json_roundtrips() {
+        let s = Series { label: "t".into(), values: vec![1.0, 2.0] };
+        write_json("self-test", &s);
+        let path = experiments_dir().join("self-test.json");
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("\"label\": \"t\""));
+    }
+
+    #[test]
+    fn secs_formats() {
+        assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.500s");
+    }
+}

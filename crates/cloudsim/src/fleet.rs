@@ -1,0 +1,160 @@
+//! The provider fleet: the Cloud-of-Clouds a scheme distributes over.
+
+use std::sync::Arc;
+
+use hyrd_gcsapi::{CloudStorage, ProviderId};
+
+use crate::clock::SimClock;
+use crate::profiles::{ProviderProfile, WellKnownProvider};
+use crate::provider::SimProvider;
+
+/// A set of simulated providers sharing one virtual clock.
+#[derive(Clone)]
+pub struct Fleet {
+    clock: SimClock,
+    providers: Vec<Arc<SimProvider>>,
+}
+
+impl Fleet {
+    /// The container name every scheme stores objects under.
+    pub const CONTAINER: &'static str = "hyrd";
+
+    /// Builds a fleet from profiles, assigning sequential ids.
+    pub fn new(clock: SimClock, profiles: Vec<ProviderProfile>) -> Self {
+        let providers = profiles
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Arc::new(SimProvider::new(ProviderId(i as u16), p, clock.clone())))
+            .collect();
+        Fleet { clock, providers }
+    }
+
+    /// The paper's evaluation fleet: Amazon S3, Windows Azure, Aliyun and
+    /// Rackspace, in Table II column order, each with a ready `hyrd`
+    /// container.
+    pub fn standard_four(clock: SimClock) -> Self {
+        let fleet = Fleet::new(
+            clock,
+            WellKnownProvider::ALL.iter().map(|w| w.profile()).collect(),
+        );
+        for p in &fleet.providers {
+            p.create(Self::CONTAINER).expect("fresh provider");
+        }
+        fleet
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// All providers in id order.
+    pub fn providers(&self) -> &[Arc<SimProvider>] {
+        &self.providers
+    }
+
+    /// Number of providers.
+    pub fn len(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.providers.is_empty()
+    }
+
+    /// Provider lookup by id.
+    pub fn get(&self, id: ProviderId) -> Option<&Arc<SimProvider>> {
+        self.providers.get(id.0 as usize)
+    }
+
+    /// Provider lookup by name (profile names are unique in practice).
+    pub fn by_name(&self, name: &str) -> Option<&Arc<SimProvider>> {
+        self.providers.iter().find(|p| p.name() == name)
+    }
+
+    /// Providers in the cost-oriented tier (Table II: S3, Aliyun,
+    /// Rackspace).
+    pub fn cost_oriented(&self) -> Vec<Arc<SimProvider>> {
+        self.providers
+            .iter()
+            .filter(|p| p.category().is_cost_oriented())
+            .cloned()
+            .collect()
+    }
+
+    /// Providers in the performance-oriented tier (Table II: Azure,
+    /// Aliyun).
+    pub fn performance_oriented(&self) -> Vec<Arc<SimProvider>> {
+        self.providers
+            .iter()
+            .filter(|p| p.category().is_performance_oriented())
+            .cloned()
+            .collect()
+    }
+
+    /// Providers currently answering requests.
+    pub fn available(&self) -> Vec<Arc<SimProvider>> {
+        self.providers.iter().filter(|p| p.is_available()).cloned().collect()
+    }
+
+    /// Total bytes stored across the fleet (space-overhead metric).
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.providers.iter().map(|p| p.stored_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use hyrd_gcsapi::ObjectKey;
+
+    #[test]
+    fn standard_four_matches_table2() {
+        let fleet = Fleet::standard_four(SimClock::new());
+        assert_eq!(fleet.len(), 4);
+        let names: Vec<&str> = fleet.providers().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["Amazon S3", "Windows Azure", "Aliyun", "Rackspace"]);
+    }
+
+    #[test]
+    fn tier_membership_matches_table2_categories() {
+        let fleet = Fleet::standard_four(SimClock::new());
+        let cost_names: Vec<String> =
+            fleet.cost_oriented().iter().map(|p| p.name().to_string()).collect();
+        assert_eq!(cost_names, vec!["Amazon S3", "Aliyun", "Rackspace"]);
+        let perf_names: Vec<String> =
+            fleet.performance_oriented().iter().map(|p| p.name().to_string()).collect();
+        assert_eq!(perf_names, vec!["Windows Azure", "Aliyun"]);
+    }
+
+    #[test]
+    fn containers_precreated_and_usable() {
+        let fleet = Fleet::standard_four(SimClock::new());
+        for p in fleet.providers() {
+            p.put(&ObjectKey::new(Fleet::CONTAINER, "probe"), Bytes::from_static(b"ok")).unwrap();
+        }
+        assert_eq!(fleet.total_stored_bytes(), 8);
+    }
+
+    #[test]
+    fn availability_filtering() {
+        let fleet = Fleet::standard_four(SimClock::new());
+        assert_eq!(fleet.available().len(), 4);
+        fleet.by_name("Windows Azure").unwrap().force_down();
+        let up = fleet.available();
+        assert_eq!(up.len(), 3);
+        assert!(up.iter().all(|p| p.name() != "Windows Azure"));
+    }
+
+    #[test]
+    fn lookup_by_id_and_name_agree() {
+        let fleet = Fleet::standard_four(SimClock::new());
+        let aliyun = fleet.by_name("Aliyun").unwrap();
+        let same = fleet.get(aliyun.id()).unwrap();
+        assert_eq!(same.name(), "Aliyun");
+        assert!(fleet.get(ProviderId(99)).is_none());
+        assert!(fleet.by_name("DigitalOcean").is_none());
+    }
+}

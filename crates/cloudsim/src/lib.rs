@@ -1,0 +1,46 @@
+//! # hyrd-cloudsim — the simulated Cloud-of-Clouds substrate
+//!
+//! The paper's prototype talks to Amazon S3, Windows Azure, Aliyun OSS and
+//! Rackspace Cloud Files over the Internet. This crate replaces that
+//! testbed with a deterministic simulation that preserves everything the
+//! experiments actually measure:
+//!
+//! * the **five-function passive storage semantics** (via `hyrd-gcsapi`),
+//! * each provider's **latency characteristics** — base RTT plus a
+//!   bandwidth term with a large-transfer knee, reproducing the Figure 5
+//!   shape (Aliyun fastest; the 1 MB→4 MB disproportionate jump that
+//!   motivates the paper's 1 MB threshold),
+//! * each provider's **Table II price plan** (September 2014, China
+//!   region),
+//! * **service outages**: scheduled windows or manual kill/restore, during
+//!   which every op fails with `CloudError::Unavailable`,
+//! * full **op/byte accounting** for the cost simulator.
+//!
+//! Time is virtual: ops return their latency in the `OpReport` and the
+//! *driver* advances the [`clock::SimClock`]. Parallel fan-out is
+//! therefore composed analytically (max of branches) — deterministic and
+//! free of host-machine noise, which is exactly what a figure-regenerating
+//! harness wants. A real-thread executor ([`realtime`]) is provided for
+//! demos that want to *feel* the latencies.
+
+pub mod clock;
+pub mod dircloud;
+pub mod fleet;
+pub mod latency;
+pub mod outage;
+pub mod pricing;
+pub mod profiles;
+pub mod provider;
+pub mod realtime;
+
+pub use clock::SimClock;
+pub use dircloud::DirCloud;
+pub use fleet::Fleet;
+pub use latency::LatencyModel;
+pub use outage::OutageSchedule;
+pub use pricing::{PriceBook, ProviderCategory};
+pub use profiles::{ProviderProfile, WellKnownProvider};
+pub use provider::SimProvider;
+
+/// Re-export of the middleware crate for downstream convenience.
+pub use hyrd_gcsapi as gcsapi;

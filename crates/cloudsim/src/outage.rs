@@ -1,0 +1,159 @@
+//! Service outage schedules.
+//!
+//! An outage of a cloud storage service "results in a period of time
+//! during which cloud storage service is unavailable. The period may be
+//! hours and up to days. However, most outages will return to the normal
+//! state eventually" (§III-C). We model outages as half-open virtual-time
+//! windows `[start, end)`; a provider inside a window fails every op with
+//! `Unavailable`. A manual override supports the Figure 6 methodology of
+//! simply "setting the Windows Azure service off-line".
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// One unavailability window in virtual time, `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// When service drops.
+    pub start: Duration,
+    /// When service returns.
+    pub end: Duration,
+}
+
+impl OutageWindow {
+    /// Creates a window; `end` must be after `start`.
+    pub fn new(start: Duration, end: Duration) -> Self {
+        assert!(end > start, "outage must end after it starts");
+        OutageWindow { start, end }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: Duration) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Outage duration.
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+}
+
+/// A provider's outage schedule: any number of windows plus a manual
+/// "forced down" switch.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OutageSchedule {
+    windows: Vec<OutageWindow>,
+    forced_down: bool,
+}
+
+impl OutageSchedule {
+    /// An always-available schedule.
+    pub fn always_up() -> Self {
+        OutageSchedule::default()
+    }
+
+    /// Adds a scheduled window.
+    pub fn with_window(mut self, start: Duration, end: Duration) -> Self {
+        self.add_window(start, end);
+        self
+    }
+
+    /// Adds a scheduled window in place.
+    pub fn add_window(&mut self, start: Duration, end: Duration) {
+        self.windows.push(OutageWindow::new(start, end));
+    }
+
+    /// Forces the provider down regardless of windows (Figure 6 setup).
+    pub fn force_down(&mut self) {
+        self.forced_down = true;
+    }
+
+    /// Clears the forced-down override.
+    pub fn restore(&mut self) {
+        self.forced_down = false;
+    }
+
+    /// Whether the provider is up at virtual time `t`.
+    pub fn is_up(&self, t: Duration) -> bool {
+        !self.forced_down && !self.windows.iter().any(|w| w.contains(t))
+    }
+
+    /// The scheduled windows.
+    pub fn windows(&self) -> &[OutageWindow] {
+        &self.windows
+    }
+
+    /// Total scheduled downtime overlapping `[from, to)` — the
+    /// availability metric of the experiments. Ignores the manual switch.
+    pub fn downtime_within(&self, from: Duration, to: Duration) -> Duration {
+        let mut total = Duration::ZERO;
+        for w in &self.windows {
+            let s = w.start.max(from);
+            let e = w.end.min(to);
+            if e > s {
+                total += e - s;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::units::{days, hours};
+
+    #[test]
+    fn window_containment_is_half_open() {
+        let w = OutageWindow::new(hours(2), hours(5));
+        assert!(!w.contains(hours(1)));
+        assert!(w.contains(hours(2)));
+        assert!(w.contains(hours(4)));
+        assert!(!w.contains(hours(5)));
+        assert_eq!(w.duration(), hours(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "end after")]
+    fn inverted_window_panics() {
+        let _ = OutageWindow::new(hours(5), hours(2));
+    }
+
+    #[test]
+    fn schedule_with_multiple_windows() {
+        let s = OutageSchedule::always_up()
+            .with_window(hours(1), hours(2))
+            .with_window(days(1), days(2));
+        assert!(s.is_up(Duration::ZERO));
+        assert!(!s.is_up(hours(1)));
+        assert!(s.is_up(hours(3)));
+        assert!(!s.is_up(days(1) + hours(6)));
+        assert!(s.is_up(days(3)));
+    }
+
+    #[test]
+    fn forced_down_overrides_everything() {
+        let mut s = OutageSchedule::always_up();
+        assert!(s.is_up(Duration::ZERO));
+        s.force_down();
+        assert!(!s.is_up(Duration::ZERO));
+        assert!(!s.is_up(days(100)));
+        s.restore();
+        assert!(s.is_up(Duration::ZERO));
+    }
+
+    #[test]
+    fn downtime_accounting_clips_to_range() {
+        let s = OutageSchedule::always_up()
+            .with_window(hours(10), hours(14))
+            .with_window(hours(20), hours(30));
+        // Query window covers half of the first and the start of second.
+        let d = s.downtime_within(hours(12), hours(22));
+        assert_eq!(d, hours(2) + hours(2));
+        // Fully outside.
+        assert_eq!(s.downtime_within(hours(0), hours(5)), Duration::ZERO);
+        // Covering everything.
+        assert_eq!(s.downtime_within(hours(0), hours(40)), hours(14));
+    }
+}

@@ -1,0 +1,488 @@
+//! The simulated cloud storage provider.
+//!
+//! [`SimProvider`] implements the GCS-API's [`CloudStorage`] trait over an
+//! in-memory object map, charging each operation the latency its
+//! calibrated [`crate::latency::LatencyModel`] predicts and refusing service during
+//! outage windows. It keeps its own op/byte statistics and a
+//! `stored_bytes` gauge, which is everything the cost simulator samples.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use std::sync::atomic::AtomicBool;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use hyrd_gcsapi::{
+    CloudError, CloudResult, CloudStorage, ObjectKey, OpKind, OpOutcome, OpReport, OpStats,
+    ProviderId, StatsSnapshot,
+};
+
+use crate::clock::SimClock;
+use crate::outage::OutageSchedule;
+use crate::pricing::{PriceBook, ProviderCategory};
+use crate::profiles::{ProviderProfile, WellKnownProvider};
+
+/// What the store keeps for one object. In **ghost mode** only the
+/// length is retained (Gets return zero-filled bytes of the right size),
+/// letting benchmarks replay terabyte-scale workloads without holding the
+/// payloads in RAM; latency, pricing and accounting are unaffected.
+#[derive(Debug, Clone)]
+enum Stored {
+    Real(Bytes),
+    Ghost(u64),
+}
+
+impl Stored {
+    fn len(&self) -> u64 {
+        match self {
+            Stored::Real(b) => b.len() as u64,
+            Stored::Ghost(n) => *n,
+        }
+    }
+
+    fn to_bytes(&self) -> Bytes {
+        match self {
+            Stored::Real(b) => b.clone(),
+            Stored::Ghost(n) => Bytes::from(vec![0u8; *n as usize]),
+        }
+    }
+}
+
+/// A simulated provider: latency model + prices + outage schedule around
+/// an in-memory object store.
+pub struct SimProvider {
+    id: ProviderId,
+    profile: ProviderProfile,
+    clock: SimClock,
+    store: RwLock<BTreeMap<String, BTreeMap<String, Stored>>>,
+    /// When set, payload bytes are discarded and only lengths retained.
+    ghost: AtomicBool,
+    outage: RwLock<OutageSchedule>,
+    /// Jitter stream position; one tick per op.
+    seq: AtomicU64,
+    stats: OpStats,
+    stored_bytes: AtomicU64,
+    /// Probability (deterministic, per-op-seq) of a transient fault.
+    flakiness_milli: AtomicU64,
+}
+
+impl SimProvider {
+    /// Creates a provider from a profile.
+    pub fn new(id: ProviderId, profile: ProviderProfile, clock: SimClock) -> Self {
+        SimProvider {
+            id,
+            profile,
+            clock,
+            store: RwLock::new(BTreeMap::new()),
+            outage: RwLock::new(OutageSchedule::always_up()),
+            seq: AtomicU64::new(0),
+            stats: OpStats::default(),
+            stored_bytes: AtomicU64::new(0),
+            flakiness_milli: AtomicU64::new(0),
+            ghost: AtomicBool::new(false),
+        }
+    }
+
+    /// Switches ghost mode on or off for subsequently stored objects
+    /// (existing objects keep their representation).
+    pub fn set_ghost_mode(&self, on: bool) {
+        self.ghost.store(on, Ordering::Relaxed);
+    }
+
+    /// Creates one of the paper's four calibrated providers.
+    pub fn well_known(id: ProviderId, which: WellKnownProvider, clock: SimClock) -> Self {
+        SimProvider::new(id, which.profile(), clock)
+    }
+
+    /// The provider's profile (prices, latency, category).
+    pub fn profile(&self) -> &ProviderProfile {
+        &self.profile
+    }
+
+    /// Table II price plan.
+    pub fn prices(&self) -> &PriceBook {
+        &self.profile.prices
+    }
+
+    /// Table II category.
+    pub fn category(&self) -> ProviderCategory {
+        self.profile.category
+    }
+
+    /// Accumulated op statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Bytes currently stored (the storage-cost gauge).
+    pub fn stored_bytes(&self) -> u64 {
+        self.stored_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of stored objects across containers.
+    pub fn object_count(&self) -> usize {
+        self.store.read().values().map(|c| c.len()).sum()
+    }
+
+    /// Forces the provider into an outage (Figure 6 methodology).
+    pub fn force_down(&self) {
+        self.outage.write().force_down();
+    }
+
+    /// Ends a forced outage.
+    pub fn restore(&self) {
+        self.outage.write().restore();
+    }
+
+    /// Adds a scheduled outage window in virtual time.
+    pub fn schedule_outage(&self, start: std::time::Duration, end: std::time::Duration) {
+        self.outage.write().add_window(start, end);
+    }
+
+    /// Sets the transient-fault probability (0.0–1.0), deterministic in
+    /// the op sequence. Used by failure-injection tests.
+    pub fn set_flakiness(&self, p: f64) {
+        let milli = (p.clamp(0.0, 1.0) * 1000.0) as u64;
+        self.flakiness_milli.store(milli, Ordering::Relaxed);
+    }
+
+    /// Availability check + per-op bookkeeping; returns the jitter seq.
+    fn admit(&self) -> CloudResult<u64> {
+        if !self.outage.read().is_up(self.clock.now()) {
+            self.stats.record_err();
+            return Err(CloudError::Unavailable { provider: self.id });
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let flake = self.flakiness_milli.load(Ordering::Relaxed);
+        if flake > 0 {
+            // SplitMix on the seq, compared against the probability.
+            let mut z = seq.wrapping_add(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z ^= z >> 31;
+            if z % 1000 < flake {
+                self.stats.record_err();
+                return Err(CloudError::Transient { provider: self.id, reason: "injected" });
+            }
+        }
+        Ok(seq)
+    }
+
+    fn report(&self, kind: OpKind, bytes_in: u64, bytes_out: u64, seq: u64) -> OpReport {
+        let payload = bytes_in.max(bytes_out);
+        let report = OpReport {
+            provider: self.id,
+            kind,
+            latency: self.profile.latency.latency(kind, payload, seq),
+            bytes_in,
+            bytes_out,
+        };
+        self.stats.record_ok(&report);
+        report
+    }
+}
+
+impl CloudStorage for SimProvider {
+    fn id(&self) -> ProviderId {
+        self.id
+    }
+
+    fn name(&self) -> &str {
+        &self.profile.name
+    }
+
+    fn create(&self, container: &str) -> CloudResult<OpOutcome<()>> {
+        let seq = self.admit()?;
+        let mut s = self.store.write();
+        if s.contains_key(container) {
+            self.stats.record_err();
+            return Err(CloudError::ContainerExists { container: container.to_string() });
+        }
+        s.insert(container.to_string(), BTreeMap::new());
+        drop(s);
+        Ok(OpOutcome::new((), self.report(OpKind::Create, 0, 0, seq)))
+    }
+
+    fn put(&self, key: &ObjectKey, data: Bytes) -> CloudResult<OpOutcome<()>> {
+        let seq = self.admit()?;
+        let mut s = self.store.write();
+        let container = s.get_mut(&key.container).ok_or_else(|| {
+            self.stats.record_err();
+            CloudError::NoSuchContainer { container: key.container.clone() }
+        })?;
+        let new_len = data.len() as u64;
+        let record = if self.ghost.load(Ordering::Relaxed) {
+            Stored::Ghost(new_len)
+        } else {
+            Stored::Real(data)
+        };
+        let old_len = container.insert(key.name.clone(), record).map_or(0, |b| b.len());
+        drop(s);
+        // Gauge update: overwrite replaces the old size.
+        self.stored_bytes.fetch_add(new_len, Ordering::Relaxed);
+        self.stored_bytes.fetch_sub(old_len, Ordering::Relaxed);
+        Ok(OpOutcome::new((), self.report(OpKind::Put, new_len, 0, seq)))
+    }
+
+    fn get(&self, key: &ObjectKey) -> CloudResult<OpOutcome<Bytes>> {
+        let seq = self.admit()?;
+        let s = self.store.read();
+        let container = s.get(&key.container).ok_or_else(|| {
+            self.stats.record_err();
+            CloudError::NoSuchContainer { container: key.container.clone() }
+        })?;
+        let data = container
+            .get(&key.name)
+            .map(Stored::to_bytes)
+            .ok_or_else(|| {
+                self.stats.record_err();
+                CloudError::NoSuchObject { key: key.clone() }
+            })?;
+        drop(s);
+        let len = data.len() as u64;
+        Ok(OpOutcome::new(data, self.report(OpKind::Get, 0, len, seq)))
+    }
+
+    fn list(&self, container: &str) -> CloudResult<OpOutcome<Vec<String>>> {
+        let seq = self.admit()?;
+        let s = self.store.read();
+        let cont = s.get(container).ok_or_else(|| {
+            self.stats.record_err();
+            CloudError::NoSuchContainer { container: container.to_string() }
+        })?;
+        let names: Vec<String> = cont.keys().cloned().collect();
+        drop(s);
+        Ok(OpOutcome::new(names, self.report(OpKind::List, 0, 0, seq)))
+    }
+
+    fn remove(&self, key: &ObjectKey) -> CloudResult<OpOutcome<()>> {
+        let seq = self.admit()?;
+        let mut s = self.store.write();
+        let container = s.get_mut(&key.container).ok_or_else(|| {
+            self.stats.record_err();
+            CloudError::NoSuchContainer { container: key.container.clone() }
+        })?;
+        let removed = container.remove(&key.name).ok_or_else(|| {
+            self.stats.record_err();
+            CloudError::NoSuchObject { key: key.clone() }
+        })?;
+        drop(s);
+        self.stored_bytes.fetch_sub(removed.len(), Ordering::Relaxed);
+        Ok(OpOutcome::new((), self.report(OpKind::Remove, 0, 0, seq)))
+    }
+
+    fn get_range(&self, key: &ObjectKey, offset: u64, len: u64) -> CloudResult<OpOutcome<Bytes>> {
+        let seq = self.admit()?;
+        let s = self.store.read();
+        let container = s.get(&key.container).ok_or_else(|| {
+            self.stats.record_err();
+            CloudError::NoSuchContainer { container: key.container.clone() }
+        })?;
+        let stored = container.get(&key.name).ok_or_else(|| {
+            self.stats.record_err();
+            CloudError::NoSuchObject { key: key.clone() }
+        })?;
+        let total = stored.len();
+        let end = (offset + len).min(total);
+        let start = offset.min(end);
+        let slice = match stored {
+            Stored::Real(b) => b.slice(start as usize..end as usize),
+            Stored::Ghost(_) => Bytes::from(vec![0u8; (end - start) as usize]),
+        };
+        drop(s);
+        let n = slice.len() as u64;
+        Ok(OpOutcome::new(slice, self.report(OpKind::Get, 0, n, seq)))
+    }
+
+    fn put_range(&self, key: &ObjectKey, offset: u64, data: Bytes) -> CloudResult<OpOutcome<()>> {
+        let seq = self.admit()?;
+        let written = data.len() as u64;
+        let mut s = self.store.write();
+        let container = s.get_mut(&key.container).ok_or_else(|| {
+            self.stats.record_err();
+            CloudError::NoSuchContainer { container: key.container.clone() }
+        })?;
+        let stored = container.get_mut(&key.name).ok_or_else(|| {
+            self.stats.record_err();
+            CloudError::NoSuchObject { key: key.clone() }
+        })?;
+        let old_len = stored.len();
+        let end = offset + written;
+        match stored {
+            Stored::Real(b) => {
+                let mut content = b.to_vec();
+                if (content.len() as u64) < end {
+                    content.resize(end as usize, 0);
+                }
+                content[offset as usize..end as usize].copy_from_slice(&data);
+                *b = Bytes::from(content);
+            }
+            Stored::Ghost(n) => {
+                *n = (*n).max(end);
+            }
+        }
+        let new_len = stored.len();
+        drop(s);
+        if new_len > old_len {
+            self.stored_bytes.fetch_add(new_len - old_len, Ordering::Relaxed);
+        }
+        Ok(OpOutcome::new((), self.report(OpKind::Put, written, 0, seq)))
+    }
+
+    fn is_available(&self) -> bool {
+        self.outage.read().is_up(self.clock.now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::units::hours;
+    use crate::latency::LatencyModel;
+
+    fn test_profile() -> ProviderProfile {
+        ProviderProfile {
+            name: "test".to_string(),
+            prices: PriceBook::FREE,
+            latency: LatencyModel::instant(),
+            category: ProviderCategory::Both,
+        }
+    }
+
+    fn provider() -> (SimProvider, SimClock) {
+        let clock = SimClock::new();
+        let p = SimProvider::new(ProviderId(0), test_profile(), clock.clone());
+        p.create("data").unwrap();
+        (p, clock)
+    }
+
+    #[test]
+    fn put_get_with_latency_reports() {
+        let (p, _) = provider();
+        let key = ObjectKey::new("data", "k");
+        let put = p.put(&key, Bytes::from(vec![7u8; 2048])).unwrap();
+        assert_eq!(put.report.bytes_in, 2048);
+        assert!(put.report.latency > std::time::Duration::ZERO);
+        let got = p.get(&key).unwrap();
+        assert_eq!(got.value.len(), 2048);
+        assert_eq!(got.report.bytes_out, 2048);
+    }
+
+    #[test]
+    fn stored_bytes_gauge_tracks_overwrites_and_removes() {
+        let (p, _) = provider();
+        let key = ObjectKey::new("data", "k");
+        p.put(&key, Bytes::from(vec![0u8; 100])).unwrap();
+        assert_eq!(p.stored_bytes(), 100);
+        p.put(&key, Bytes::from(vec![0u8; 40])).unwrap();
+        assert_eq!(p.stored_bytes(), 40);
+        p.put(&ObjectKey::new("data", "j"), Bytes::from(vec![0u8; 10])).unwrap();
+        assert_eq!(p.stored_bytes(), 50);
+        p.remove(&key).unwrap();
+        assert_eq!(p.stored_bytes(), 10);
+        assert_eq!(p.object_count(), 1);
+    }
+
+    #[test]
+    fn forced_outage_fails_every_op() {
+        let (p, _) = provider();
+        let key = ObjectKey::new("data", "k");
+        p.put(&key, Bytes::from_static(b"x")).unwrap();
+        p.force_down();
+        assert!(!p.is_available());
+        assert!(matches!(p.get(&key), Err(CloudError::Unavailable { .. })));
+        assert!(matches!(p.put(&key, Bytes::new()), Err(CloudError::Unavailable { .. })));
+        assert!(matches!(p.list("data"), Err(CloudError::Unavailable { .. })));
+        p.restore();
+        assert!(p.is_available());
+        assert_eq!(&p.get(&key).unwrap().value[..], b"x");
+    }
+
+    #[test]
+    fn scheduled_outage_follows_the_clock() {
+        let (p, clock) = provider();
+        let key = ObjectKey::new("data", "k");
+        p.put(&key, Bytes::from_static(b"x")).unwrap();
+        p.schedule_outage(hours(1), hours(3));
+
+        assert!(p.is_available());
+        clock.advance(hours(2));
+        assert!(!p.is_available());
+        assert!(matches!(p.get(&key), Err(CloudError::Unavailable { .. })));
+        clock.advance(hours(2));
+        assert!(p.is_available());
+        assert!(p.get(&key).is_ok());
+    }
+
+    #[test]
+    fn stats_count_ops_and_outage_errors() {
+        let (p, _) = provider();
+        let key = ObjectKey::new("data", "k");
+        p.put(&key, Bytes::from(vec![0u8; 10])).unwrap();
+        p.get(&key).unwrap();
+        p.force_down();
+        let _ = p.get(&key);
+        let s = p.stats();
+        assert_eq!(s.put, 1);
+        assert_eq!(s.get, 1);
+        assert_eq!(s.create, 1);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.bytes_in, 10);
+        assert_eq!(s.bytes_out, 10);
+    }
+
+    #[test]
+    fn flakiness_injects_transient_faults_deterministically() {
+        let (p, _) = provider();
+        p.set_flakiness(0.5);
+        let key = ObjectKey::new("data", "k");
+        let mut errs = 0;
+        let mut oks = 0;
+        for _ in 0..200 {
+            match p.put(&key, Bytes::from_static(b"v")) {
+                Ok(_) => oks += 1,
+                Err(CloudError::Transient { .. }) => errs += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(errs > 50 && oks > 50, "errs={errs} oks={oks}");
+        p.set_flakiness(0.0);
+        assert!(p.put(&key, Bytes::new()).is_ok());
+    }
+
+    #[test]
+    fn ghost_mode_keeps_lengths_not_bytes() {
+        let (p, _) = provider();
+        p.set_ghost_mode(true);
+        let key = ObjectKey::new("data", "big");
+        p.put(&key, Bytes::from(vec![0xAB; 1000])).unwrap();
+        assert_eq!(p.stored_bytes(), 1000);
+        let got = p.get(&key).unwrap();
+        assert_eq!(got.value.len(), 1000);
+        assert!(got.value.iter().all(|&b| b == 0), "ghost reads are zero-filled");
+        assert_eq!(got.report.bytes_out, 1000);
+        // Remove still maintains the gauge.
+        p.remove(&key).unwrap();
+        assert_eq!(p.stored_bytes(), 0);
+    }
+
+    #[test]
+    fn well_known_providers_have_their_names() {
+        let clock = SimClock::new();
+        let p = SimProvider::well_known(ProviderId(2), WellKnownProvider::Aliyun, clock);
+        assert_eq!(p.name(), "Aliyun");
+        assert_eq!(p.category(), ProviderCategory::Both);
+        assert_eq!(p.prices().storage_gb_month, 0.029);
+    }
+
+    #[test]
+    fn latency_uses_calibrated_model() {
+        let clock = SimClock::new();
+        let p = SimProvider::well_known(ProviderId(0), WellKnownProvider::AmazonS3, clock);
+        p.create("data").unwrap();
+        let out = p.put(&ObjectKey::new("data", "big"), Bytes::from(vec![0u8; 4 << 20])).unwrap();
+        // Figure 5b: 4 MB writes to S3 from China take tens of seconds.
+        assert!(out.report.latency.as_secs_f64() > 20.0);
+    }
+}

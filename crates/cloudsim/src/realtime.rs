@@ -1,0 +1,111 @@
+//! Real-thread execution of simulated batches.
+//!
+//! The figure harness composes latencies analytically in virtual time,
+//! but the examples want the system to *feel* real: issue the fragment
+//! ops on worker threads, sleep each op's simulated latency (scaled down
+//! so a demo finishes in seconds), and let the OS scheduler produce the
+//! fan-out overlap. Results are the same ops and bytes — only the waiting
+//! is real.
+
+use std::time::{Duration, Instant};
+
+use hyrd_gcsapi::BatchReport;
+
+/// Paces batches in real time, scaling simulated latencies.
+#[derive(Debug, Clone, Copy)]
+pub struct RealtimeRunner {
+    /// Wall seconds per simulated second (e.g. 0.01 to run 100x fast).
+    pub scale: f64,
+}
+
+impl RealtimeRunner {
+    /// A runner that compresses simulated time by `1/scale`.
+    pub fn new(scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        RealtimeRunner { scale }
+    }
+
+    /// Sleeps for the batch's simulated latency, scaled. Returns the wall
+    /// time actually slept.
+    pub fn pace(&self, batch: &BatchReport) -> Duration {
+        let wall = Duration::from_secs_f64(batch.latency.as_secs_f64() * self.scale);
+        let start = Instant::now();
+        if !wall.is_zero() {
+            std::thread::sleep(wall);
+        }
+        start.elapsed()
+    }
+
+    /// Runs the closures on parallel threads, sleeping each returned
+    /// batch's scaled latency *inside* its thread — so concurrent batches
+    /// overlap exactly as the virtual-time `max` composition predicts.
+    /// Returns the batches in input order plus the wall time of the whole
+    /// fan-out.
+    pub fn fan_out<F>(&self, tasks: Vec<F>) -> (Vec<BatchReport>, Duration)
+    where
+        F: FnOnce() -> BatchReport + Send,
+    {
+        let start = Instant::now();
+        let scale = self.scale;
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = tasks
+                .into_iter()
+                .map(|t| {
+                    s.spawn(move || {
+                        let batch = t();
+                        let wall =
+                            Duration::from_secs_f64(batch.latency.as_secs_f64() * scale);
+                        if !wall.is_zero() {
+                            std::thread::sleep(wall);
+                        }
+                        batch
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("task panicked")).collect()
+        });
+        (results, start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyrd_gcsapi::{OpKind, OpReport, ProviderId};
+
+    fn batch(ms: u64) -> BatchReport {
+        BatchReport::parallel(vec![OpReport {
+            provider: ProviderId(0),
+            kind: OpKind::Get,
+            latency: Duration::from_millis(ms),
+            bytes_in: 0,
+            bytes_out: 0,
+        }])
+    }
+
+    #[test]
+    fn pace_sleeps_scaled_latency() {
+        let r = RealtimeRunner::new(0.1);
+        let slept = r.pace(&batch(100)); // 100 ms sim -> 10 ms wall
+        assert!(slept >= Duration::from_millis(9), "slept {slept:?}");
+        assert!(slept < Duration::from_millis(200), "slept {slept:?}");
+    }
+
+    #[test]
+    fn fan_out_overlaps_sleeps() {
+        let r = RealtimeRunner::new(0.1);
+        // Four 100 ms (sim) batches in parallel: wall should be ~10 ms,
+        // not ~40 ms.
+        let tasks: Vec<Box<dyn FnOnce() -> BatchReport + Send>> =
+            (0..4).map(|_| Box::new(|| batch(100)) as _).collect();
+        let (results, wall) = r.fan_out(tasks);
+        assert_eq!(results.len(), 4);
+        assert!(wall < Duration::from_millis(60), "wall={wall:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = RealtimeRunner::new(0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! HyRD tunables, defaulting to the paper's evaluated configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Which erasure code protects the large-file tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CodeChoice {
+    /// Single XOR parity over `m` data fragments — the paper's choice
+    /// ("we choose the RAID5 scheme in HyRD as a case study", §IV-A).
+    Raid5 {
+        /// Data fragments.
+        m: usize,
+    },
+    /// General Reed-Solomon `RS(m, n)`.
+    ReedSolomon {
+        /// Data fragments.
+        m: usize,
+        /// Total fragments.
+        n: usize,
+    },
+    /// Double parity (tolerates two concurrent outages) — the
+    /// `ablation_code_choice` extension.
+    Raid6 {
+        /// Data fragments.
+        m: usize,
+    },
+}
+
+impl CodeChoice {
+    /// Data fragment count `m`.
+    pub fn m(&self) -> usize {
+        match *self {
+            CodeChoice::Raid5 { m } | CodeChoice::Raid6 { m } | CodeChoice::ReedSolomon { m, .. } => m,
+        }
+    }
+
+    /// Total fragment count `n`.
+    pub fn n(&self) -> usize {
+        match *self {
+            CodeChoice::Raid5 { m } => m + 1,
+            CodeChoice::Raid6 { m } => m + 2,
+            CodeChoice::ReedSolomon { n, .. } => n,
+        }
+    }
+}
+
+/// How the dispatcher picks which `m` fragments to fetch on a large read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FragmentSelection {
+    /// Prefer providers with the cheapest egress, break ties by expected
+    /// latency — the paper's cost-reduction policy ("by reading data from
+    /// the cost-oriented cloud storage providers, HyRD's cloud cost due
+    /// to the data out operations is also reduced", §IV-B).
+    #[default]
+    CheapestEgress,
+    /// Prefer the lowest expected latency regardless of egress price —
+    /// the ablation alternative.
+    Fastest,
+}
+
+/// Full HyRD configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HyrdConfig {
+    /// Large/small file boundary in bytes. The paper's sensitivity study
+    /// picks 1 MB ("we set the file-size threshold at 1MB", §IV-C).
+    pub threshold: u64,
+    /// Replicas for metadata and small files. "It is sensible to choose
+    /// the replication level of 2 in our current HyRD design" (§III-C);
+    /// configurable per the same paragraph.
+    pub replication_level: usize,
+    /// The large-file erasure code. Default RAID5 over 3 data fragments
+    /// (4 providers, matching RACS's configuration for fair comparison).
+    pub code: CodeChoice,
+    /// Large-read fragment selection policy.
+    pub fragment_selection: FragmentSelection,
+    /// Bytes of the probe object the evaluator uses to measure provider
+    /// latency.
+    pub probe_bytes: u64,
+    /// Whether frequently-read large files may also be cached on
+    /// performance-oriented providers (Figure 2's overlap region).
+    /// A file qualifies after `hot_read_threshold` reads.
+    pub hot_read_threshold: Option<u32>,
+}
+
+impl Default for HyrdConfig {
+    fn default() -> Self {
+        HyrdConfig {
+            threshold: 1024 * 1024,
+            replication_level: 2,
+            code: CodeChoice::Raid5 { m: 3 },
+            fragment_selection: FragmentSelection::CheapestEgress,
+            probe_bytes: 64 * 1024,
+            hot_read_threshold: None,
+        }
+    }
+}
+
+impl HyrdConfig {
+    /// Validates internal consistency against a fleet of `providers`.
+    pub fn validate(&self, providers: usize) -> Result<(), String> {
+        if self.threshold == 0 {
+            return Err("threshold must be positive".to_string());
+        }
+        if self.replication_level == 0 {
+            return Err("replication level must be at least 1".to_string());
+        }
+        if self.replication_level > providers {
+            return Err(format!(
+                "replication level {} exceeds fleet size {providers}",
+                self.replication_level
+            ));
+        }
+        let (m, n) = (self.code.m(), self.code.n());
+        if m == 0 || n <= m {
+            return Err(format!("invalid code shape m={m}, n={n}"));
+        }
+        if n > providers {
+            return Err(format!("code needs {n} providers, fleet has {providers}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = HyrdConfig::default();
+        assert_eq!(c.threshold, 1024 * 1024);
+        assert_eq!(c.replication_level, 2);
+        assert_eq!(c.code, CodeChoice::Raid5 { m: 3 });
+        assert_eq!(c.code.n(), 4);
+        assert_eq!(c.fragment_selection, FragmentSelection::CheapestEgress);
+        assert!(c.validate(4).is_ok());
+    }
+
+    #[test]
+    fn code_shapes() {
+        assert_eq!(CodeChoice::Raid5 { m: 3 }.n(), 4);
+        assert_eq!(CodeChoice::Raid6 { m: 4 }.n(), 6);
+        let rs = CodeChoice::ReedSolomon { m: 4, n: 7 };
+        assert_eq!(rs.m(), 4);
+        assert_eq!(rs.n(), 7);
+    }
+
+    #[test]
+    fn validation_catches_misconfiguration() {
+        let mut c = HyrdConfig::default();
+        c.threshold = 0;
+        assert!(c.validate(4).is_err());
+
+        let mut c = HyrdConfig::default();
+        c.replication_level = 0;
+        assert!(c.validate(4).is_err());
+
+        let mut c = HyrdConfig::default();
+        c.replication_level = 5;
+        assert!(c.validate(4).is_err());
+
+        let mut c = HyrdConfig::default();
+        c.code = CodeChoice::Raid5 { m: 4 }; // n=5 > 4 providers
+        assert!(c.validate(4).is_err());
+        assert!(c.validate(5).is_ok());
+
+        let mut c = HyrdConfig::default();
+        c.code = CodeChoice::ReedSolomon { m: 3, n: 3 };
+        assert!(c.validate(4).is_err());
+    }
+}

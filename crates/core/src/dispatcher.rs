@@ -1,0 +1,918 @@
+//! The Request Dispatcher (Figure 1, middle module) — HyRD proper.
+//!
+//! "Based on the data type information (i.e., file system metadata, small
+//! file, or large file), the Request Dispatcher module decides which
+//! redundancy scheme should be used for the incoming data, and
+//! distributes the data to the corresponding cloud storage providers"
+//! (§III-B). Concretely:
+//!
+//! * **metadata + small files** → full replicas (default level 2) on the
+//!   performance-oriented tier, fastest provider first;
+//! * **large files** → erasure-coded fragments (default RAID5 3+1) over
+//!   the cost-oriented tier (cheapest storage first);
+//! * **large reads** → any `m` fragments in parallel, preferring cheapest
+//!   egress (§IV-B) or fastest (ablation), reconstructing around outages
+//!   (degraded read, recovery phase 1);
+//! * **small updates** → one parallel replica-write round (the client
+//!   write-through cache supplies the base version);
+//! * **large updates** → the RAID5 read-modify-write of §II-B (2 reads +
+//!   2 writes for a sub-shard update);
+//! * **writes during an outage** → applied to the surviving providers and
+//!   appended to the [`UpdateLog`] for the consistency update when the
+//!   provider returns (recovery phase 2).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use hyrd_cloudsim::{Fleet, SimProvider};
+use hyrd_gcsapi::{BatchReport, CloudError, CloudStorage, ObjectKey, ProviderId};
+use hyrd_gfec::parallel::encode_parallel;
+use hyrd_gfec::stripe::StripePlanner;
+use hyrd_gfec::{ErasureCode, Fragment, Raid5, Raid6, ReedSolomon};
+use hyrd_metastore::{MetaStore, MetadataBlock, NormPath, Placement};
+
+use crate::config::{CodeChoice, FragmentSelection, HyrdConfig};
+use crate::evaluator::Evaluator;
+use crate::monitor::{DataClass, WorkloadMonitor};
+use crate::recovery::{RecoveryReport, UpdateLog};
+use crate::scheme::{Scheme, SchemeError, SchemeResult};
+
+/// Concrete erasure code behind [`CodeChoice`].
+enum CodeImpl {
+    Raid5(Raid5),
+    Rs(ReedSolomon),
+    Raid6(Raid6),
+}
+
+impl CodeImpl {
+    fn build(choice: CodeChoice) -> Result<Self, SchemeError> {
+        Ok(match choice {
+            CodeChoice::Raid5 { m } => CodeImpl::Raid5(Raid5::new(m)?),
+            CodeChoice::ReedSolomon { m, n } => CodeImpl::Rs(ReedSolomon::new(m, n)?),
+            CodeChoice::Raid6 { m } => CodeImpl::Raid6(Raid6::new(m)?),
+        })
+    }
+
+    fn as_code(&self) -> &dyn ErasureCode {
+        match self {
+            CodeImpl::Raid5(c) => c,
+            CodeImpl::Rs(c) => c,
+            CodeImpl::Raid6(c) => c,
+        }
+    }
+}
+
+/// Bounded write-through cache of small-file contents, so small updates
+/// need no read round. FIFO eviction is enough: the workloads touch
+/// recent files.
+struct SmallFileCache {
+    budget: usize,
+    used: usize,
+    map: HashMap<String, Bytes>,
+    order: VecDeque<String>,
+}
+
+impl SmallFileCache {
+    fn new(budget: usize) -> Self {
+        SmallFileCache { budget, used: 0, map: HashMap::new(), order: VecDeque::new() }
+    }
+
+    fn put(&mut self, path: &str, data: Bytes) {
+        self.remove(path);
+        self.used += data.len();
+        self.map.insert(path.to_string(), data);
+        self.order.push_back(path.to_string());
+        while self.used > self.budget {
+            let Some(victim) = self.order.pop_front() else { break };
+            if let Some(b) = self.map.remove(&victim) {
+                self.used -= b.len();
+            }
+        }
+    }
+
+    fn get(&self, path: &str) -> Option<Bytes> {
+        self.map.get(path).cloned()
+    }
+
+    fn remove(&mut self, path: &str) {
+        if let Some(b) = self.map.remove(path) {
+            self.used -= b.len();
+            self.order.retain(|p| p != path);
+        }
+    }
+}
+
+/// The HyRD client. See the crate docs for an end-to-end example.
+pub struct Hyrd {
+    fleet: Fleet,
+    config: HyrdConfig,
+    monitor: WorkloadMonitor,
+    evaluator: Evaluator,
+    meta: MetaStore,
+    log: UpdateLog,
+    planner: StripePlanner,
+    code: CodeImpl,
+    cache: SmallFileCache,
+    read_counts: HashMap<String, u32>,
+    dirty: crate::ecops::DirtyFragments,
+    setup_cost: BatchReport,
+}
+
+impl Hyrd {
+    /// Builds a HyRD client over a fleet: validates the configuration,
+    /// probes the providers (the evaluator's setup cost is retained in
+    /// [`Self::setup_cost`]) and derives the placement tiers.
+    pub fn new(fleet: &Fleet, config: HyrdConfig) -> SchemeResult<Self> {
+        config
+            .validate(fleet.len())
+            .map_err(|detail| SchemeError::DataUnavailable { path: String::new(), detail })?;
+        let (evaluator, setup_cost) = Evaluator::assess(fleet, config.probe_bytes);
+        let code = CodeImpl::build(config.code)?;
+        let planner = StripePlanner::new(config.code.m(), config.code.n())?;
+        Ok(Hyrd {
+            fleet: fleet.clone(),
+            monitor: WorkloadMonitor::new(config.threshold),
+            evaluator,
+            meta: MetaStore::new(),
+            log: UpdateLog::new(),
+            planner,
+            code,
+            cache: SmallFileCache::new(256 << 20),
+            read_counts: HashMap::new(),
+            dirty: crate::ecops::DirtyFragments::new(),
+            setup_cost,
+            config,
+        })
+    }
+
+    /// Attaches to an **existing** namespace: builds a client and loads
+    /// every metadata block from the cloud ("Before accessing a file, its
+    /// metadata blocks must be loaded into the client memory", §III-C) —
+    /// the market-mobility story of the Cloud-of-Clouds. Returns the
+    /// client plus what the bootstrap cost (one List + one Get per
+    /// directory block, served by the fastest metadata replica).
+    ///
+    /// The namespace has a single active writer at a time; attach after
+    /// the previous client is gone (object names embed the file ids the
+    /// loaded blocks carry, which `load_block` adopts).
+    pub fn attach(fleet: &Fleet, config: HyrdConfig) -> SchemeResult<(Self, BatchReport)> {
+        let mut hyrd = Hyrd::new(fleet, config)?;
+        let mut ops = Vec::new();
+
+        // Find a metadata replica that answers a List.
+        let mut listing: Option<Vec<String>> = None;
+        for id in hyrd.evaluator.fastest_first() {
+            match hyrd.provider(id).list(Fleet::CONTAINER) {
+                Ok(out) => {
+                    ops.push(out.report);
+                    listing = Some(out.value);
+                    break;
+                }
+                Err(_) => continue,
+            }
+        }
+        let names = listing.ok_or_else(|| SchemeError::DataUnavailable {
+            path: String::new(),
+            detail: "no provider answered the bootstrap List".to_string(),
+        })?;
+
+        // Fetch every metadata block (they are small; fastest replica
+        // first with failover, like any metadata read).
+        let targets = hyrd.replica_targets();
+        let mut blocks = Vec::new();
+        for name in names.iter().filter(|n| n.starts_with("meta:")) {
+            match hyrd.read_replicated("<bootstrap>", &targets, name) {
+                Ok((bytes, batch)) => {
+                    ops.extend(batch.ops);
+                    blocks.push(MetadataBlock::from_bytes(&bytes)?);
+                }
+                Err(_) => continue, // an orphaned or unreachable block
+            }
+        }
+        // Parent directories first so joins always resolve.
+        blocks.sort_by(|a, b| a.dir.cmp(&b.dir));
+        for block in &blocks {
+            hyrd.meta.load_block(block)?;
+        }
+        // Loading is not a mutation; nothing needs re-flushing.
+        let _ = hyrd.meta.flush_dirty();
+        Ok((hyrd, BatchReport::serial(ops)))
+    }
+
+    /// What provider probing cost at construction.
+    pub fn setup_cost(&self) -> &BatchReport {
+        &self.setup_cost
+    }
+
+    /// The workload monitor (sizes observed, classification stats).
+    pub fn monitor(&self) -> &WorkloadMonitor {
+        &self.monitor
+    }
+
+    /// The evaluator's provider assessments.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    /// Re-runs the Cost & Performance Evaluator and adopts the fresh
+    /// tiers for *future* placements (existing placements are untouched —
+    /// they carry their own provider lists). The paper's evaluator
+    /// "directly interacts with the individual cloud storage providers
+    /// to evaluate the corresponding values" (§III-D) on an ongoing
+    /// basis; call this after topology or pricing changes.
+    pub fn reassess(&mut self) -> BatchReport {
+        let (evaluator, cost) = Evaluator::assess(&self.fleet, self.config.probe_bytes);
+        self.evaluator = evaluator;
+        cost
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HyrdConfig {
+        &self.config
+    }
+
+    /// Logical bytes stored (sum of file sizes).
+    pub fn logical_bytes(&self) -> u64 {
+        self.meta.logical_bytes()
+    }
+
+    /// Physical bytes stored across providers (redundancy included).
+    pub fn physical_bytes(&self) -> u64 {
+        self.meta.physical_bytes()
+    }
+
+    /// Pending consistency-update records (writes missed by providers
+    /// currently in outage).
+    pub fn pending_log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Runs the consistency-update phase for a returned provider —
+    /// §III-C phase 2. Call after the provider's outage ends.
+    pub fn recover_provider(
+        &mut self,
+        id: ProviderId,
+    ) -> SchemeResult<(RecoveryReport, BatchReport)> {
+        let provider = self
+            .fleet
+            .get(id)
+            .ok_or_else(|| SchemeError::DataUnavailable {
+                path: String::new(),
+                detail: format!("{id} not in fleet"),
+            })?
+            .clone();
+        // Phase 2a: replay whole-object writes the provider missed.
+        let (mut report, mut batch) = self.log.replay(provider.as_ref())?;
+        // Phase 2b: rebuild fragments dirtied by degraded updates.
+        let lookup = {
+            let fleet = self.fleet.clone();
+            move |pid: ProviderId| fleet.get(pid).expect("fleet member").clone()
+        };
+        for path in self.dirty.paths() {
+            let Ok(npath) = NormPath::parse(&path) else { continue };
+            let Ok(inode) = self.meta.get(&npath) else {
+                self.dirty.forget(&path);
+                continue;
+            };
+            let Placement::ErasureCoded { layout, fragments, .. } = inode.placement.clone()
+            else {
+                self.dirty.forget(&path);
+                continue;
+            };
+            let indices = self.dirty.take(&path);
+            let mut remaining = std::collections::BTreeSet::new();
+            for idx in indices {
+                if fragments.get(idx).map(|(p, _)| *p) != Some(id) {
+                    remaining.insert(idx);
+                    continue;
+                }
+                match crate::ecops::rebuild_fragment(
+                    self.code.as_code(),
+                    &lookup,
+                    &layout,
+                    &fragments,
+                    idx,
+                    &path,
+                ) {
+                    Ok((b, bytes)) => {
+                        report.puts_replayed += 1;
+                        report.bytes_restored += bytes;
+                        batch = batch.then(b);
+                    }
+                    Err(_) => {
+                        remaining.insert(idx);
+                    }
+                }
+            }
+            self.dirty.put_back(&path, remaining);
+        }
+        Ok((report, batch))
+    }
+
+    /// Fragments awaiting rebuild after degraded updates.
+    pub fn pending_dirty_fragments(&self) -> usize {
+        self.dirty.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Placement helpers
+    // ------------------------------------------------------------------
+
+    fn provider(&self, id: ProviderId) -> &Arc<SimProvider> {
+        self.fleet.get(id).expect("placement providers come from the fleet")
+    }
+
+    /// Replica targets for metadata/small files: performance tier fastest
+    /// first, padded from the global fastest ranking if the tier is
+    /// smaller than the replication level.
+    fn replica_targets(&self) -> Vec<ProviderId> {
+        let mut targets = self.evaluator.performance_tier();
+        for id in self.evaluator.fastest_first() {
+            if targets.len() >= self.config.replication_level {
+                break;
+            }
+            if !targets.contains(&id) {
+                targets.push(id);
+            }
+        }
+        targets.truncate(self.config.replication_level);
+        targets
+    }
+
+    /// Fragment targets for large files: cost tier cheapest-storage
+    /// first, padded with the remaining fastest providers up to `n`.
+    fn fragment_targets(&self) -> Vec<ProviderId> {
+        let n = self.config.code.n();
+        let mut targets = self.evaluator.cost_tier();
+        for id in self.evaluator.fastest_first() {
+            if targets.len() >= n {
+                break;
+            }
+            if !targets.contains(&id) {
+                targets.push(id);
+            }
+        }
+        targets.truncate(n);
+        targets
+    }
+
+    fn key(name: &str) -> ObjectKey {
+        ObjectKey::new(Fleet::CONTAINER, name)
+    }
+
+    /// Puts `data` to every target in parallel. Unavailable targets get
+    /// the write logged for the consistency update. Returns the batch and
+    /// how many targets took the write synchronously.
+    fn put_replicated(
+        &mut self,
+        name: &str,
+        data: &Bytes,
+        targets: &[ProviderId],
+    ) -> (BatchReport, usize) {
+        let key = Self::key(name);
+        let mut ops = Vec::new();
+        let mut live = 0;
+        for &t in targets {
+            match self.provider(t).put(&key, data.clone()) {
+                Ok(out) => {
+                    ops.push(out.report);
+                    live += 1;
+                }
+                Err(CloudError::Unavailable { .. }) => {
+                    self.log.log_put(t, key.clone(), data.clone());
+                }
+                Err(_) => {
+                    // Container errors etc. — treat as missed write too;
+                    // the replay path will surface persistent problems.
+                    self.log.log_put(t, key.clone(), data.clone());
+                }
+            }
+        }
+        (BatchReport::parallel(ops), live)
+    }
+
+    /// Replicates every dirty metadata block to the metadata tier (one
+    /// parallel round; blocks are independent objects).
+    fn flush_metadata(&mut self) -> BatchReport {
+        let blocks = self.meta.flush_dirty();
+        let targets = self.replica_targets();
+        let mut ops = Vec::new();
+        for block in blocks {
+            let name = MetadataBlock::object_name(&block.dir);
+            let bytes = Bytes::from(block.to_bytes());
+            let (batch, _) = self.put_replicated(&name, &bytes, &targets);
+            ops.extend(batch.ops);
+        }
+        BatchReport::parallel(ops)
+    }
+
+    fn now(&self) -> std::time::Duration {
+        self.fleet.clock().now()
+    }
+
+    // ------------------------------------------------------------------
+    // Create
+    // ------------------------------------------------------------------
+
+    fn create_small(&mut self, path: &NormPath, data: &[u8]) -> SchemeResult<BatchReport> {
+        let now = self.now();
+        self.meta.create_file(path, data.len() as u64, now)?;
+        let name = crate::scheme::object_name(path.as_str());
+        let bytes = Bytes::copy_from_slice(data);
+        let targets = self.replica_targets();
+
+        let (batch, live) = self.put_replicated(&name, &bytes, &targets);
+        if live == 0 {
+            // No provider holds the data — fail the write and roll back.
+            self.meta.remove_file(path)?;
+            for &t in &targets {
+                // Drop the logged writes for the rolled-back object.
+                self.log.log_remove(t, Self::key(&name));
+            }
+            return Err(SchemeError::DataUnavailable {
+                path: path.to_string(),
+                detail: "all replica targets unavailable".to_string(),
+            });
+        }
+        self.cache.put(path.as_str(), bytes);
+        self.meta.set_placement(
+            path,
+            Placement::Replicated { providers: targets, object: name },
+            data.len() as u64,
+            now,
+        )?;
+        Ok(batch.then(self.flush_metadata()))
+    }
+
+    fn create_large(&mut self, path: &NormPath, data: &[u8]) -> SchemeResult<BatchReport> {
+        let now = self.now();
+        self.meta.create_file(path, data.len() as u64, now)?;
+        let base_name = crate::scheme::object_name(path.as_str());
+        let targets = self.fragment_targets();
+
+        // Split + encode (rayon-parallel for multi-MB objects).
+        let (layout, shards) = self.planner.split(data);
+        let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+        let parity = encode_parallel(self.code.as_code(), &refs)?;
+
+        let mut fragments: Vec<(ProviderId, String)> = Vec::with_capacity(targets.len());
+        let mut ops = Vec::new();
+        let mut live = 0;
+        for (idx, shard) in shards.into_iter().chain(parity).enumerate() {
+            let target = targets[idx];
+            let name = format!("{base_name}.f{idx}");
+            let key = Self::key(&name);
+            let bytes = Bytes::from(shard);
+            match self.provider(target).put(&key, bytes.clone()) {
+                Ok(out) => {
+                    ops.push(out.report);
+                    live += 1;
+                }
+                Err(_) => self.log.log_put(target, key, bytes),
+            }
+            fragments.push((target, name));
+        }
+
+        if live < self.config.code.m() {
+            // Not enough survivors to make the object durable: undo —
+            // remove what landed, supersede the logged writes.
+            self.meta.remove_file(path)?;
+            for (t, name) in &fragments {
+                let key = Self::key(name);
+                match self.provider(*t).remove(&key) {
+                    Ok(out) => ops.push(out.report),
+                    Err(_) => self.log.log_remove(*t, key),
+                }
+            }
+            return Err(SchemeError::DataUnavailable {
+                path: path.to_string(),
+                detail: format!("only {live} of {} fragment targets available", targets.len()),
+            });
+        }
+
+        self.meta.set_placement(
+            path,
+            Placement::ErasureCoded { layout, fragments, hot_copy: None },
+            data.len() as u64,
+            now,
+        )?;
+        Ok(BatchReport::parallel(ops).then(self.flush_metadata()))
+    }
+
+    // ------------------------------------------------------------------
+    // Read
+    // ------------------------------------------------------------------
+
+    fn read_replicated(
+        &self,
+        path: &str,
+        providers: &[ProviderId],
+        object: &str,
+    ) -> SchemeResult<(Bytes, BatchReport)> {
+        let key = Self::key(object);
+        // Fastest replica first — the evaluator's whole purpose.
+        let order = Evaluator::order_by(&self.evaluator.fastest_first(), providers);
+        for id in order {
+            if let Ok(out) = self.provider(id).get(&key) {
+                return Ok((out.value, BatchReport::parallel(vec![out.report])));
+            }
+        }
+        Err(SchemeError::DataUnavailable {
+            path: path.to_string(),
+            detail: format!("no replica of '{object}' reachable"),
+        })
+    }
+
+    /// Fetches any `m` fragments (policy-ordered) and decodes. The
+    /// degraded-read path is implicit: a lost data fragment simply means
+    /// a parity fragment gets picked and the decode reconstructs.
+    fn read_erasure(
+        &self,
+        path: &str,
+        layout: &hyrd_gfec::FragmentLayout,
+        fragments: &[(ProviderId, String)],
+    ) -> SchemeResult<(Bytes, BatchReport)> {
+        let ranking = match self.config.fragment_selection {
+            FragmentSelection::CheapestEgress => self.evaluator.cheapest_egress_first(),
+            FragmentSelection::Fastest => self.evaluator.fastest_first(),
+        };
+        let mut candidates: Vec<(usize, ProviderId, &String)> = fragments
+            .iter()
+            .enumerate()
+            .filter(|(_, (p, _))| self.provider(*p).is_available())
+            .map(|(i, (p, name))| (i, *p, name))
+            .collect();
+        candidates.sort_by_key(|(_, p, _)| {
+            ranking.iter().position(|r| r == p).unwrap_or(usize::MAX)
+        });
+
+        let m = layout.m;
+        if candidates.len() < m {
+            return Err(SchemeError::DataUnavailable {
+                path: path.to_string(),
+                detail: format!("{} of {} fragments reachable, need {m}", candidates.len(), fragments.len()),
+            });
+        }
+
+        let mut got: Vec<Fragment> = Vec::with_capacity(m);
+        let mut ops = Vec::new();
+        for (idx, p, name) in candidates {
+            if got.len() == m {
+                break;
+            }
+            match self.provider(p).get(&Self::key(name)) {
+                Ok(out) => {
+                    ops.push(out.report);
+                    got.push(Fragment::new(idx, out.value.to_vec()));
+                }
+                Err(_) => continue, // raced an outage; try the next one
+            }
+        }
+        if got.len() < m {
+            return Err(SchemeError::DataUnavailable {
+                path: path.to_string(),
+                detail: "fragment fetches failed mid-read".to_string(),
+            });
+        }
+        let object = self.planner.decode_object(self.code.as_code(), layout, &got)?;
+        Ok((Bytes::from(object), BatchReport::parallel(ops)))
+    }
+
+    /// After a large read, track hotness and install a whole-object copy
+    /// on the fastest performance-oriented provider once the file crosses
+    /// the configured read count (Figure 2's overlap region). The fill is
+    /// background traffic: it costs ops/bytes, not user latency.
+    fn maybe_cache_hot(
+        &mut self,
+        path: &NormPath,
+        data: &Bytes,
+        batch: BatchReport,
+    ) -> BatchReport {
+        let Some(threshold) = self.config.hot_read_threshold else { return batch };
+        let count = self.read_counts.entry(path.to_string()).or_insert(0);
+        *count += 1;
+        if *count != threshold {
+            return batch;
+        }
+        let Some((size, layout, fragments)) = self.meta.get(path).ok().and_then(|inode| {
+            match &inode.placement {
+                Placement::ErasureCoded { layout, fragments, hot_copy: None } => {
+                    Some((inode.size, *layout, fragments.clone()))
+                }
+                _ => None,
+            }
+        }) else {
+            return batch;
+        };
+        let Some(&target) = self.evaluator.performance_tier().first() else { return batch };
+        let name = format!("{}.hot", crate::scheme::object_name(path.as_str()));
+        let now = self.now();
+        match self.provider(target).put(&Self::key(&name), data.clone()) {
+            Ok(out) => {
+                let _ = self.meta.set_placement(
+                    path,
+                    Placement::ErasureCoded {
+                        layout,
+                        fragments,
+                        hot_copy: Some((target, name)),
+                    },
+                    size,
+                    now,
+                );
+                let meta_batch = self.flush_metadata();
+                batch.with_background(BatchReport::parallel(vec![out.report]).then(meta_batch))
+            }
+            Err(_) => batch,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Update
+    // ------------------------------------------------------------------
+
+    fn update_replicated(
+        &mut self,
+        path: &NormPath,
+        providers: Vec<ProviderId>,
+        object: String,
+        size: u64,
+        offset: u64,
+        data: &[u8],
+    ) -> SchemeResult<BatchReport> {
+        // Base version: write-through cache, or one replica read.
+        let (mut content, read_batch) = match self.cache.get(path.as_str()) {
+            Some(b) => (b.to_vec(), BatchReport::empty()),
+            None => {
+                let (b, r) = self.read_replicated(path.as_str(), &providers, &object)?;
+                (b.to_vec(), r)
+            }
+        };
+        debug_assert_eq!(content.len() as u64, size);
+        content[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        let bytes = Bytes::from(content);
+        // Ranged write: only the modified bytes travel to each replica
+        // (the Put function "writes or modifies a file", §III-D).
+        // Unavailable replicas get the *full* new content logged so the
+        // consistency update restores a complete object.
+        let key = Self::key(&object);
+        let patch = Bytes::copy_from_slice(data);
+        let mut ops = Vec::new();
+        let mut live = 0;
+        for &t in &providers {
+            match self.provider(t).put_range(&key, offset, patch.clone()) {
+                Ok(out) => {
+                    ops.push(out.report);
+                    live += 1;
+                }
+                Err(_) => self.log.log_put(t, key.clone(), bytes.clone()),
+            }
+        }
+        let write_batch = BatchReport::parallel(ops);
+        if live == 0 {
+            return Err(SchemeError::DataUnavailable {
+                path: path.to_string(),
+                detail: "no replica target available for update".to_string(),
+            });
+        }
+        self.cache.put(path.as_str(), bytes);
+        let now = self.now();
+        self.meta.set_placement(
+            path,
+            Placement::Replicated { providers, object },
+            size,
+            now,
+        )?;
+        Ok(read_batch.then(write_batch).then(self.flush_metadata()))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn update_erasure(
+        &mut self,
+        path: &NormPath,
+        layout: hyrd_gfec::FragmentLayout,
+        fragments: Vec<(ProviderId, String)>,
+        hot_copy: Option<(ProviderId, String)>,
+        size: u64,
+        offset: u64,
+        data: &[u8],
+    ) -> SchemeResult<BatchReport> {
+        // One engine for every code and every availability state: ranged
+        // RMW when all touched providers are up, the window-decode
+        // degraded path otherwise (missed fragments go dirty and are
+        // rebuilt by recover_provider).
+        let lookup = {
+            let fleet = self.fleet.clone();
+            move |id: ProviderId| fleet.get(id).expect("fleet member").clone()
+        };
+        let outcome = crate::ecops::ranged_update(
+            self.code.as_code(),
+            &lookup,
+            &layout,
+            &fragments,
+            path.as_str(),
+            offset as usize,
+            data,
+        )?;
+        let mut batch = outcome.batch;
+        for idx in outcome.missed {
+            self.dirty.mark(path.as_str(), idx);
+        }
+
+        // A stale hot copy must not serve future reads: drop it.
+        let mut new_hot = hot_copy;
+        if let Some((p, name)) = new_hot.take() {
+            match self.provider(p).remove(&Self::key(&name)) {
+                Ok(out) => batch = batch.with_background(BatchReport::parallel(vec![out.report])),
+                Err(CloudError::Unavailable { .. }) => self.log.log_remove(p, Self::key(&name)),
+                Err(_) => {}
+            }
+            self.read_counts.remove(path.as_str());
+        }
+
+        let now = self.now();
+        self.meta.set_placement(
+            path,
+            Placement::ErasureCoded { layout, fragments, hot_copy: None },
+            size,
+            now,
+        )?;
+        Ok(batch.then(self.flush_metadata()))
+    }
+
+    // ------------------------------------------------------------------
+    // Inherent API mirrored by the Scheme impl
+    // ------------------------------------------------------------------
+
+    /// Creates a file, classifying it through the Workload Monitor.
+    pub fn create_file(&mut self, path: &str, data: &[u8]) -> SchemeResult<BatchReport> {
+        let path = NormPath::parse(path)?;
+        match self.monitor.classify(data.len() as u64) {
+            DataClass::SmallFile | DataClass::Metadata => self.create_small(&path, data),
+            DataClass::LargeFile => self.create_large(&path, data),
+        }
+    }
+
+    /// Reads a whole file (degraded reads during outages are automatic).
+    pub fn read_file(&mut self, path: &str) -> SchemeResult<(Bytes, BatchReport)> {
+        let npath = NormPath::parse(path)?;
+        let inode = self.meta.get(&npath)?;
+        match inode.placement.clone() {
+            Placement::Pending => Err(SchemeError::DataUnavailable {
+                path: path.to_string(),
+                detail: "file has no placement".to_string(),
+            }),
+            Placement::Replicated { providers, object } => {
+                self.read_replicated(path, &providers, &object)
+            }
+            Placement::ErasureCoded { layout, fragments, hot_copy } => {
+                // Prefer the hot copy (one fast whole-object Get).
+                if let Some((p, name)) = &hot_copy {
+                    if let Ok(out) = self.provider(*p).get(&Self::key(name)) {
+                        return Ok((out.value, BatchReport::parallel(vec![out.report])));
+                    }
+                }
+                let (bytes, batch) = self.read_erasure(path, &layout, &fragments)?;
+                let batch = self.maybe_cache_hot(&npath, &bytes, batch);
+                Ok((bytes, batch))
+            }
+        }
+    }
+
+    /// Overwrites a byte range.
+    pub fn update_file(
+        &mut self,
+        path: &str,
+        offset: u64,
+        data: &[u8],
+    ) -> SchemeResult<BatchReport> {
+        let npath = NormPath::parse(path)?;
+        let inode = self.meta.get(&npath)?;
+        let size = inode.size;
+        if offset + data.len() as u64 > size {
+            return Err(SchemeError::BadRange {
+                path: path.to_string(),
+                offset,
+                len: data.len() as u64,
+                size,
+            });
+        }
+        match inode.placement.clone() {
+            Placement::Pending => Err(SchemeError::DataUnavailable {
+                path: path.to_string(),
+                detail: "file has no placement".to_string(),
+            }),
+            Placement::Replicated { providers, object } => {
+                self.update_replicated(&npath, providers, object, size, offset, data)
+            }
+            Placement::ErasureCoded { layout, fragments, hot_copy } => {
+                self.update_erasure(&npath, layout, fragments, hot_copy, size, offset, data)
+            }
+        }
+    }
+
+    /// Deletes a file and its physical objects.
+    pub fn delete_file(&mut self, path: &str) -> SchemeResult<BatchReport> {
+        let npath = NormPath::parse(path)?;
+        let inode = self.meta.remove_file(&npath)?;
+        self.cache.remove(path);
+        self.read_counts.remove(path);
+        self.dirty.forget(path);
+
+        let mut ops = Vec::new();
+        let mut remove_one = |this: &mut Self, p: ProviderId, name: &str| {
+            let key = Self::key(name);
+            match this.provider(p).remove(&key) {
+                Ok(out) => ops.push(out.report),
+                Err(CloudError::Unavailable { .. }) => this.log.log_remove(p, key),
+                Err(_) => {} // already gone (e.g. never landed): fine
+            }
+        };
+        match &inode.placement {
+            Placement::Pending => {}
+            Placement::Replicated { providers, object } => {
+                for &p in providers {
+                    remove_one(self, p, object);
+                }
+            }
+            Placement::ErasureCoded { fragments, hot_copy, .. } => {
+                for (p, name) in fragments {
+                    remove_one(self, *p, name);
+                }
+                if let Some((p, name)) = hot_copy {
+                    remove_one(self, *p, name);
+                }
+            }
+        }
+        Ok(BatchReport::parallel(ops).then(self.flush_metadata()))
+    }
+
+    /// Lists a directory; fetches its metadata block from the fastest
+    /// available replica first (the metadata access the workload studies
+    /// say dominates).
+    pub fn list_dir(&mut self, path: &str) -> SchemeResult<(Vec<String>, BatchReport)> {
+        let npath = NormPath::parse(path)?;
+        let name = MetadataBlock::object_name(&npath);
+        let targets = self.replica_targets();
+        let batch = match self.read_replicated(path, &targets, &name) {
+            Ok((_bytes, batch)) => batch,
+            // Directory never flushed (or all replicas down): local view,
+            // zero ops. Availability of listings degrades gracefully.
+            Err(_) => BatchReport::empty(),
+        };
+        let names = self
+            .meta
+            .list(&npath)?
+            .into_iter()
+            .map(|e| match e {
+                hyrd_metastore::namespace::DirEntry::Dir(n) => n,
+                hyrd_metastore::namespace::DirEntry::File(n, _) => n,
+            })
+            .collect();
+        Ok((names, batch))
+    }
+
+    /// Logical size of a file.
+    pub fn file_size(&self, path: &str) -> Option<u64> {
+        let npath = NormPath::parse(path).ok()?;
+        self.meta.get(&npath).ok().map(|i| i.size)
+    }
+}
+
+impl Scheme for Hyrd {
+    fn name(&self) -> &str {
+        "HyRD"
+    }
+
+    fn create_file(&mut self, path: &str, data: &[u8]) -> SchemeResult<BatchReport> {
+        Hyrd::create_file(self, path, data)
+    }
+
+    fn read_file(&mut self, path: &str) -> SchemeResult<(Bytes, BatchReport)> {
+        Hyrd::read_file(self, path)
+    }
+
+    fn update_file(&mut self, path: &str, offset: u64, data: &[u8]) -> SchemeResult<BatchReport> {
+        Hyrd::update_file(self, path, offset, data)
+    }
+
+    fn delete_file(&mut self, path: &str) -> SchemeResult<BatchReport> {
+        Hyrd::delete_file(self, path)
+    }
+
+    fn list_dir(&mut self, path: &str) -> SchemeResult<(Vec<String>, BatchReport)> {
+        Hyrd::list_dir(self, path)
+    }
+
+    fn file_size(&self, path: &str) -> Option<u64> {
+        Hyrd::file_size(self, path)
+    }
+
+    fn recover_provider(
+        &mut self,
+        id: ProviderId,
+    ) -> SchemeResult<(RecoveryReport, BatchReport)> {
+        Hyrd::recover_provider(self, id)
+    }
+}

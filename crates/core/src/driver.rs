@@ -1,0 +1,269 @@
+//! Workload replay: runs an [`FsOp`] stream through any [`Scheme`] and
+//! collects the latency statistics the figures report.
+//!
+//! The driver owns content synthesis (deterministic per path/version fill
+//! patterns) so reads can optionally be verified end-to-end, and advances
+//! the shared virtual clock by each request's latency — which is what
+//! makes scheduled outage windows actually open and close during a replay.
+
+use std::collections::{BTreeMap, HashMap};
+
+use hyrd_cloudsim::SimClock;
+use hyrd_workloads::FsOp;
+
+use crate::scheme::Scheme;
+use crate::stats::{LatencyStats, OpClass};
+
+/// Replay knobs.
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// Verify read contents against the driver's expected bytes. Costs
+    /// memory proportional to the live file set — use in tests, not in
+    /// ghost-mode benches.
+    pub verify_reads: bool,
+    /// Advance the fleet clock by each request's latency.
+    pub advance_clock: bool,
+    /// Small/large boundary used for *reporting* (class breakdown).
+    pub stats_threshold: u64,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            verify_reads: false,
+            advance_clock: true,
+            stats_threshold: 1024 * 1024,
+        }
+    }
+}
+
+/// What a replay produced.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayStats {
+    /// Scheme name.
+    pub scheme: String,
+    /// Latency per op class.
+    pub per_class: BTreeMap<String, LatencyStats>,
+    /// All requests combined.
+    pub overall: LatencyStats,
+    /// Requests that failed (e.g. data unavailable during an outage).
+    pub errors: u64,
+    /// Underlying provider operations issued.
+    pub provider_ops: u64,
+    /// Bytes uploaded to providers.
+    pub bytes_in: u64,
+    /// Bytes downloaded from providers.
+    pub bytes_out: u64,
+    /// Read verification failures (only counted when verification is on).
+    pub verify_failures: u64,
+}
+
+impl ReplayStats {
+    /// Stats for one class (empty stats if the class never occurred).
+    pub fn class(&self, class: OpClass) -> LatencyStats {
+        self.per_class.get(&class.to_string()).cloned().unwrap_or_default()
+    }
+
+    /// Mean latency across all requests.
+    pub fn mean_latency(&self) -> std::time::Duration {
+        self.overall.mean()
+    }
+
+    /// A human-readable summary table.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "scheme: {}", self.scheme).unwrap();
+        writeln!(
+            out,
+            "  overall: n={} mean={:.3}s p95={:.3}s errors={}",
+            self.overall.count(),
+            self.overall.mean().as_secs_f64(),
+            self.overall.quantile(0.95).as_secs_f64(),
+            self.errors
+        )
+        .unwrap();
+        for (class, stats) in &self.per_class {
+            if stats.count() > 0 {
+                writeln!(
+                    out,
+                    "  {class:<12} n={:<6} mean={:.3}s",
+                    stats.count(),
+                    stats.mean().as_secs_f64()
+                )
+                .unwrap();
+            }
+        }
+        writeln!(
+            out,
+            "  provider ops={} in={:.1}MB out={:.1}MB",
+            self.provider_ops,
+            self.bytes_in as f64 / 1e6,
+            self.bytes_out as f64 / 1e6
+        )
+        .unwrap();
+        out
+    }
+}
+
+/// Deterministic fill byte for a path + version.
+fn fill_byte(path: &str, version: u32) -> u8 {
+    let mut h: u32 = 2166136261;
+    for b in path.bytes() {
+        h = (h ^ b as u32).wrapping_mul(16777619);
+    }
+    (h ^ version.wrapping_mul(0x9E37)) as u8
+}
+
+/// Synthesizes `len` content bytes for a path at a version.
+pub fn synth_content(path: &str, version: u32, len: usize) -> Vec<u8> {
+    vec![fill_byte(path, version); len]
+}
+
+/// Driver state that must persist across phased replays (pool
+/// initialization, then transactions): the live-file table and, when
+/// verification is on, the expected contents.
+#[derive(Debug, Default)]
+pub struct ReplayState {
+    files: HashMap<String, (u64, u32)>,
+    expected: HashMap<String, Vec<u8>>,
+}
+
+/// Replays `ops` through `scheme` with fresh state.
+pub fn replay(
+    scheme: &mut dyn Scheme,
+    ops: &[FsOp],
+    clock: &SimClock,
+    opts: &ReplayOptions,
+) -> ReplayStats {
+    let mut state = ReplayState::default();
+    replay_with_state(scheme, ops, clock, opts, &mut state)
+}
+
+/// Replays `ops` through `scheme`, carrying `state` across calls —
+/// use this when splitting a workload into phases (e.g. Figure 6's
+/// pool-load in the normal state, transactions during the outage).
+pub fn replay_with_state(
+    scheme: &mut dyn Scheme,
+    ops: &[FsOp],
+    clock: &SimClock,
+    opts: &ReplayOptions,
+    state: &mut ReplayState,
+) -> ReplayStats {
+    let mut stats = ReplayStats { scheme: scheme.name().to_string(), ..Default::default() };
+    let ReplayState { files, expected } = state;
+
+    let record = |stats: &mut ReplayStats, class: OpClass, batch: &hyrd_gcsapi::BatchReport| {
+        stats.overall.record(batch.latency);
+        stats
+            .per_class
+            .entry(class.to_string())
+            .or_default()
+            .record(batch.latency);
+        stats.provider_ops += batch.op_count() as u64;
+        stats.bytes_in += batch.bytes_in();
+        stats.bytes_out += batch.bytes_out();
+        if opts.advance_clock {
+            clock.advance(batch.latency);
+        }
+    };
+
+    for op in ops {
+        match op {
+            FsOp::Create { path, size } => {
+                let data = synth_content(path, 0, *size as usize);
+                match scheme.create_file(path, &data) {
+                    Ok(batch) => {
+                        let class = if *size <= opts.stats_threshold {
+                            OpClass::SmallWrite
+                        } else {
+                            OpClass::LargeWrite
+                        };
+                        record(&mut stats, class, &batch);
+                        files.insert(path.clone(), (*size, 1));
+                        if opts.verify_reads {
+                            expected.insert(path.clone(), data);
+                        }
+                    }
+                    Err(_) => stats.errors += 1,
+                }
+            }
+            FsOp::Read { path } => {
+                let size = files.get(path).map_or(0, |(s, _)| *s);
+                match scheme.read_file(path) {
+                    Ok((bytes, batch)) => {
+                        let class = if size <= opts.stats_threshold {
+                            OpClass::SmallRead
+                        } else {
+                            OpClass::LargeRead
+                        };
+                        record(&mut stats, class, &batch);
+                        if opts.verify_reads {
+                            if let Some(want) = expected.get(path) {
+                                if &bytes[..] != want.as_slice() {
+                                    stats.verify_failures += 1;
+                                }
+                            }
+                        } else if bytes.len() as u64 != size {
+                            stats.verify_failures += 1;
+                        }
+                    }
+                    Err(_) => stats.errors += 1,
+                }
+            }
+            FsOp::Update { path, offset, len } => {
+                let version = files.get(path).map_or(1, |(_, v)| *v);
+                let data = synth_content(path, version, *len as usize);
+                match scheme.update_file(path, *offset, &data) {
+                    Ok(batch) => {
+                        record(&mut stats, OpClass::Update, &batch);
+                        if let Some((_, v)) = files.get_mut(path) {
+                            *v += 1;
+                        }
+                        if opts.verify_reads {
+                            if let Some(content) = expected.get_mut(path) {
+                                let off = *offset as usize;
+                                content[off..off + data.len()].copy_from_slice(&data);
+                            }
+                        }
+                    }
+                    Err(_) => stats.errors += 1,
+                }
+            }
+            FsOp::Delete { path } => match scheme.delete_file(path) {
+                Ok(batch) => {
+                    record(&mut stats, OpClass::Delete, &batch);
+                    files.remove(path);
+                    expected.remove(path);
+                }
+                Err(_) => stats.errors += 1,
+            },
+            FsOp::ListDir { path } => match scheme.list_dir(path) {
+                Ok((_, batch)) => record(&mut stats, OpClass::Metadata, &batch),
+                Err(_) => stats.errors += 1,
+            },
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_bytes_differ_by_path_and_version() {
+        assert_eq!(fill_byte("/a", 0), fill_byte("/a", 0));
+        assert_ne!(fill_byte("/a", 0), fill_byte("/a", 1));
+        assert_ne!(fill_byte("/a", 0), fill_byte("/b", 0));
+        assert_eq!(synth_content("/x", 2, 5).len(), 5);
+    }
+
+    #[test]
+    fn replay_options_default_matches_paper_threshold() {
+        let o = ReplayOptions::default();
+        assert_eq!(o.stats_threshold, 1024 * 1024);
+        assert!(o.advance_clock);
+        assert!(!o.verify_reads);
+    }
+}

@@ -1,0 +1,400 @@
+//! Shared erasure-coded object operations over a provider fleet: the
+//! range-granular update engine (normal and degraded) and the fragment
+//! rebuild used by the consistency-update phase of recovery. Both HyRD's
+//! dispatcher and the erasure-coded baselines (RACS, NCCloud-lite) run on
+//! this module, so the paper's write-amplification accounting has exactly
+//! one implementation.
+//!
+//! ## Update paths
+//!
+//! * **Ranged RMW** (every touched provider reachable): read the touched
+//!   byte ranges of the affected data fragments plus each parity shard's
+//!   window, apply the linear delta, write the ranges back. For the
+//!   paper's RAID5 sub-shard update this is exactly "2 reads + 2 writes"
+//!   (§I), transferring only the touched bytes.
+//! * **Degraded update** (some fragment provider in outage, but ≥ m
+//!   reachable): fetch the parity window from every reachable fragment,
+//!   decode the data windows, patch, recompute parity windows, write the
+//!   ranges to the reachable fragments — and mark the unreachable
+//!   fragments **dirty**. Dirty fragments are rebuilt from survivors when
+//!   their provider returns ([`rebuild_fragment`]), completing §III-C's
+//!   "consistency update upon service's return".
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use hyrd_cloudsim::{Fleet, SimProvider};
+use hyrd_gcsapi::{BatchReport, CloudStorage, ObjectKey, ProviderId};
+use hyrd_gfec::stripe::FragmentLayout;
+use hyrd_gfec::update::{
+    apply_ranged_update_multi, parity_window, plan_update, recompute_parity_windows,
+};
+use hyrd_gfec::{ErasureCode, Fragment};
+
+use crate::scheme::{SchemeError, SchemeResult};
+
+fn key(name: &str) -> ObjectKey {
+    ObjectKey::new(Fleet::CONTAINER, name)
+}
+
+/// Fragments that missed a write during an outage and must be rebuilt
+/// from survivors when their provider returns, keyed by file path.
+#[derive(Debug, Default)]
+pub struct DirtyFragments {
+    map: HashMap<String, BTreeSet<usize>>,
+}
+
+impl DirtyFragments {
+    /// An empty set.
+    pub fn new() -> Self {
+        DirtyFragments::default()
+    }
+
+    /// Marks fragment `index` of `path` as needing rebuild.
+    pub fn mark(&mut self, path: &str, index: usize) {
+        self.map.entry(path.to_string()).or_default().insert(index);
+    }
+
+    /// Total dirty fragments.
+    pub fn len(&self) -> usize {
+        self.map.values().map(|s| s.len()).sum()
+    }
+
+    /// Whether anything is dirty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops all entries for a deleted path.
+    pub fn forget(&mut self, path: &str) {
+        self.map.remove(path);
+    }
+
+    /// Paths with dirty fragments (for recovery iteration).
+    pub fn paths(&self) -> Vec<String> {
+        self.map.keys().cloned().collect()
+    }
+
+    /// Takes the dirty indices of one path (leaving it clean).
+    pub fn take(&mut self, path: &str) -> BTreeSet<usize> {
+        self.map.remove(path).unwrap_or_default()
+    }
+
+    /// Puts back indices that could not be rebuilt yet.
+    pub fn put_back(&mut self, path: &str, indices: BTreeSet<usize>) {
+        if !indices.is_empty() {
+            self.map.entry(path.to_string()).or_default().extend(indices);
+        }
+    }
+}
+
+/// Outcome of an erasure-coded update.
+pub struct EcUpdateOutcome {
+    /// Latency/ops of the update.
+    pub batch: BatchReport,
+    /// Fragment indices that missed the write (mark these dirty).
+    pub missed: Vec<usize>,
+}
+
+/// Range-granular update of an erasure-coded object (see module docs).
+#[allow(clippy::too_many_arguments)]
+pub fn ranged_update<C: ErasureCode + ?Sized>(
+    code: &C,
+    lookup: &dyn Fn(ProviderId) -> Arc<SimProvider>,
+    layout: &FragmentLayout,
+    fragments: &[(ProviderId, String)],
+    path: &str,
+    offset: usize,
+    data: &[u8],
+) -> SchemeResult<EcUpdateOutcome> {
+    let plan = plan_update(layout, offset, data.len())?;
+    let coeffs = code.parity_coefficients();
+    let (lo, hi) = parity_window(&plan.touched);
+    let up = |i: usize| lookup(fragments[i].0).is_available();
+
+    let all_needed_up =
+        plan.touched.iter().all(|&(s, _, _)| up(s)) && (layout.m..layout.n).all(up);
+
+    if all_needed_up {
+        // Normal ranged RMW.
+        let mut read_ops = Vec::new();
+        let mut old_segments = Vec::with_capacity(plan.touched.len());
+        for &(shard, start, len) in &plan.touched {
+            let (pid, name) = &fragments[shard];
+            let out = lookup(*pid).get_range(&key(name), start as u64, len as u64)?;
+            read_ops.push(out.report);
+            old_segments.push(out.value.to_vec());
+        }
+        let mut old_parities = Vec::with_capacity(layout.n - layout.m);
+        for p in layout.m..layout.n {
+            let (pid, name) = &fragments[p];
+            let out = lookup(*pid).get_range(&key(name), lo as u64, (hi - lo) as u64)?;
+            read_ops.push(out.report);
+            old_parities.push(out.value.to_vec());
+        }
+
+        let (new_segments, new_parities) =
+            apply_ranged_update_multi(&plan.touched, &old_segments, &old_parities, data, &coeffs)?;
+
+        let mut write_ops = Vec::new();
+        for (k, &(shard, start, _)) in plan.touched.iter().enumerate() {
+            let (pid, name) = &fragments[shard];
+            let out = lookup(*pid).put_range(
+                &key(name),
+                start as u64,
+                Bytes::from(new_segments[k].clone()),
+            )?;
+            write_ops.push(out.report);
+        }
+        for (j, w) in new_parities.into_iter().enumerate() {
+            let (pid, name) = &fragments[layout.m + j];
+            let out = lookup(*pid).put_range(&key(name), lo as u64, Bytes::from(w))?;
+            write_ops.push(out.report);
+        }
+        return Ok(EcUpdateOutcome {
+            batch: BatchReport::parallel(read_ops).then(BatchReport::parallel(write_ops)),
+            missed: Vec::new(),
+        });
+    }
+
+    // Degraded update: decode the window from any m reachable fragments.
+    let reachable: Vec<usize> = (0..layout.n).filter(|&i| up(i)).collect();
+    if reachable.len() < layout.m {
+        return Err(SchemeError::DataUnavailable {
+            path: path.to_string(),
+            detail: format!(
+                "{} of {} fragments reachable, need {}",
+                reachable.len(),
+                layout.n,
+                layout.m
+            ),
+        });
+    }
+    let mut read_ops = Vec::new();
+    let mut window_frags: Vec<Fragment> = Vec::new();
+    for &i in &reachable {
+        let (pid, name) = &fragments[i];
+        if let Ok(out) = lookup(*pid).get_range(&key(name), lo as u64, (hi - lo) as u64) {
+            read_ops.push(out.report);
+            window_frags.push(Fragment::new(i, out.value.to_vec()));
+        }
+    }
+    if window_frags.len() < layout.m {
+        return Err(SchemeError::DataUnavailable {
+            path: path.to_string(),
+            detail: "window fetches failed mid-update".to_string(),
+        });
+    }
+    // Decode the data windows; code.reconstruct works positionwise, so
+    // feeding it window slices is valid for these linear codes.
+    let mut data_windows = code.reconstruct(&window_frags, hi - lo)?;
+
+    // Patch the new bytes into the decoded windows.
+    let mut consumed = 0usize;
+    for &(shard, start, len) in &plan.touched {
+        data_windows[shard][start - lo..start - lo + len]
+            .copy_from_slice(&data[consumed..consumed + len]);
+        consumed += len;
+    }
+    let new_parities = recompute_parity_windows(&data_windows, &coeffs)?;
+
+    // Write back what is reachable; everything else goes dirty.
+    let mut write_ops = Vec::new();
+    let mut missed = Vec::new();
+    for &(shard, start, len) in &plan.touched {
+        let (pid, name) = &fragments[shard];
+        let seg = data_windows[shard][start - lo..start - lo + len].to_vec();
+        match lookup(*pid).put_range(&key(name), start as u64, Bytes::from(seg)) {
+            Ok(out) => write_ops.push(out.report),
+            Err(_) => missed.push(shard),
+        }
+    }
+    for (j, w) in new_parities.into_iter().enumerate() {
+        let idx = layout.m + j;
+        let (pid, name) = &fragments[idx];
+        match lookup(*pid).put_range(&key(name), lo as u64, Bytes::from(w)) {
+            Ok(out) => write_ops.push(out.report),
+            Err(_) => missed.push(idx),
+        }
+    }
+    missed.sort_unstable();
+    missed.dedup();
+    Ok(EcUpdateOutcome {
+        batch: BatchReport::parallel(read_ops).then(BatchReport::parallel(write_ops)),
+        missed,
+    })
+}
+
+/// Rebuilds one fragment from `m` surviving fragments and writes it to
+/// its (returned) provider — the per-fragment unit of the consistency
+/// update. Returns the ops and the rebuilt byte count.
+pub fn rebuild_fragment<C: ErasureCode + ?Sized>(
+    code: &C,
+    lookup: &dyn Fn(ProviderId) -> Arc<SimProvider>,
+    layout: &FragmentLayout,
+    fragments: &[(ProviderId, String)],
+    target: usize,
+    path: &str,
+) -> SchemeResult<(BatchReport, u64)> {
+    if target >= fragments.len() {
+        return Err(SchemeError::Code(hyrd_gfec::GfecError::BadFragmentIndex {
+            index: target,
+            n: fragments.len(),
+        }));
+    }
+    let mut read_ops = Vec::new();
+    let mut got: Vec<Fragment> = Vec::new();
+    for (i, (pid, name)) in fragments.iter().enumerate() {
+        if i == target || got.len() == layout.m {
+            continue;
+        }
+        let p = lookup(*pid);
+        if !p.is_available() {
+            continue;
+        }
+        if let Ok(out) = p.get(&key(name)) {
+            read_ops.push(out.report);
+            got.push(Fragment::new(i, out.value.to_vec()));
+        }
+    }
+    if got.len() < layout.m {
+        return Err(SchemeError::DataUnavailable {
+            path: path.to_string(),
+            detail: format!("only {} survivors for rebuild, need {}", got.len(), layout.m),
+        });
+    }
+    let shards = code.reconstruct(&got, layout.shard_len)?;
+    let bytes = if target < layout.m {
+        shards[target].clone()
+    } else {
+        let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+        code.encode(&refs)?[target - layout.m].clone()
+    };
+    let n = bytes.len() as u64;
+    let (pid, name) = &fragments[target];
+    let out = lookup(*pid).put(&key(name), Bytes::from(bytes))?;
+    let mut ops = read_ops;
+    ops.push(out.report);
+    Ok((BatchReport::serial(ops), n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyrd_cloudsim::SimClock;
+    use hyrd_gfec::{Raid5, StripePlanner};
+
+    fn setup(obj: &[u8]) -> (Fleet, Raid5, FragmentLayout, Vec<(ProviderId, String)>) {
+        let fleet = Fleet::standard_four(SimClock::new());
+        let code = Raid5::new(3).unwrap();
+        let planner = StripePlanner::new(3, 4).unwrap();
+        let (layout, frags) = planner.encode_object(&code, obj).unwrap();
+        let mut map = Vec::new();
+        for f in frags {
+            let pid = fleet.providers()[f.index].id();
+            let name = format!("t.f{}", f.index);
+            fleet.providers()[f.index].put(&key(&name), Bytes::from(f.data)).unwrap();
+            map.push((pid, name));
+        }
+        (fleet, code, layout, map)
+    }
+
+    fn read_all(
+        fleet: &Fleet,
+        code: &Raid5,
+        layout: &FragmentLayout,
+        map: &[(ProviderId, String)],
+    ) -> Vec<u8> {
+        let planner = StripePlanner::new(3, 4).unwrap();
+        let frags: Vec<Fragment> = map
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (pid, name))| {
+                fleet
+                    .get(*pid)
+                    .unwrap()
+                    .get(&key(name))
+                    .ok()
+                    .map(|out| Fragment::new(i, out.value.to_vec()))
+            })
+            .collect();
+        planner.decode_object(code, layout, &frags).unwrap()
+    }
+
+    #[test]
+    fn normal_ranged_update_is_consistent() {
+        let mut obj: Vec<u8> = (0..4096).map(|i| (i % 256) as u8).collect();
+        let (fleet, code, layout, map) = setup(&obj);
+        let lookup = |id: ProviderId| fleet.get(id).unwrap().clone();
+        let patch = vec![0xEEu8; 100];
+        let out =
+            ranged_update(&code, &lookup, &layout, &map, "/t", 500, &patch).unwrap();
+        assert!(out.missed.is_empty());
+        obj[500..600].copy_from_slice(&patch);
+        assert_eq!(read_all(&fleet, &code, &layout, &map), obj);
+    }
+
+    #[test]
+    fn degraded_update_marks_dirty_and_rebuild_restores() {
+        let mut obj: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+        let (fleet, code, layout, map) = setup(&obj);
+        let lookup = |id: ProviderId| fleet.get(id).unwrap().clone();
+
+        // Take down the provider holding the touched data fragment 0.
+        let victim = map[0].0;
+        fleet.get(victim).unwrap().force_down();
+        let patch = vec![0xABu8; 64];
+        let out = ranged_update(&code, &lookup, &layout, &map, "/t", 10, &patch).unwrap();
+        assert_eq!(out.missed, vec![0], "fragment 0 missed the write");
+        obj[10..74].copy_from_slice(&patch);
+
+        // Survivors already encode the new content (decode avoids frag 0
+        // because its provider is down... verify via full read after
+        // restore+rebuild).
+        fleet.get(victim).unwrap().restore();
+        let (batch, bytes) =
+            rebuild_fragment(&code, &lookup, &layout, &map, 0, "/t").unwrap();
+        assert!(bytes > 0);
+        assert!(batch.op_count() >= 4, "m reads + 1 write");
+        assert_eq!(read_all(&fleet, &code, &layout, &map), obj);
+
+        // And fragment 0 alone now matches a fresh encode.
+        let planner = StripePlanner::new(3, 4).unwrap();
+        let (_, oracle) = planner.encode_object(&code, &obj).unwrap();
+        let got = fleet.get(victim).unwrap().get(&key(&map[0].1)).unwrap().value;
+        assert_eq!(&got[..], &oracle[0].data[..]);
+    }
+
+    #[test]
+    fn dirty_fragments_bookkeeping() {
+        let mut d = DirtyFragments::new();
+        assert!(d.is_empty());
+        d.mark("/a", 1);
+        d.mark("/a", 3);
+        d.mark("/b", 0);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.paths().len(), 2);
+        let taken = d.take("/a");
+        assert_eq!(taken.into_iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(d.len(), 1);
+        let mut back = BTreeSet::new();
+        back.insert(3usize);
+        d.put_back("/a", back);
+        assert_eq!(d.len(), 2);
+        d.forget("/b");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn update_with_two_providers_down_fails_for_raid5() {
+        let obj = vec![1u8; 2048];
+        let (fleet, code, layout, map) = setup(&obj);
+        let lookup = |id: ProviderId| fleet.get(id).unwrap().clone();
+        fleet.get(map[0].0).unwrap().force_down();
+        fleet.get(map[1].0).unwrap().force_down();
+        let r = ranged_update(&code, &lookup, &layout, &map, "/t", 0, &[0u8; 8]);
+        assert!(matches!(r, Err(SchemeError::DataUnavailable { .. })));
+    }
+}

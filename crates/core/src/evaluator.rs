@@ -1,0 +1,283 @@
+//! The Cost & Performance Evaluator (Figure 1, right module).
+//!
+//! "The Cost & Performance Evaluator module is responsible for evaluating
+//! the cloud storage services from the perspectives of cost and
+//! performance … These evaluation results will enable the Request
+//! Dispatcher module to select the appropriate cloud storage providers"
+//! (§III-B). It probes each provider with a real Put/Get/Remove through
+//! the GCS-API (the paper's evaluator "will directly interact with the
+//! individual cloud storage providers", §III-D) and combines the measured
+//! latency with the provider's price book to derive the two tiers of
+//! Figure 2:
+//!
+//! * **performance-oriented**: the faster half of the fleet by measured
+//!   small-object Get latency;
+//! * **cost-oriented**: every provider except the most expensive by
+//!   storage price.
+//!
+//! Applied to the Table II fleet this derivation reproduces the paper's
+//! categories exactly: {Azure, Aliyun} performance-oriented, {S3, Aliyun,
+//! Rackspace} cost-oriented, Aliyun in both.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use hyrd_cloudsim::pricing::PriceBook;
+use hyrd_cloudsim::Fleet;
+use hyrd_gcsapi::{BatchReport, CloudStorage, ObjectKey, ProviderId};
+
+/// The evaluator's verdict on one provider.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProviderAssessment {
+    /// Who.
+    pub id: ProviderId,
+    /// Display name.
+    pub name: String,
+    /// Measured Get latency of the probe object.
+    pub probe_get: Duration,
+    /// Measured Put latency of the probe object.
+    pub probe_put: Duration,
+    /// Price plan (supplied by configuration; bills are public).
+    pub prices: PriceBook,
+    /// In the faster half of the fleet.
+    pub performance_oriented: bool,
+    /// Not the most expensive storage.
+    pub cost_oriented: bool,
+}
+
+/// The evaluator: probes a fleet once and answers placement queries.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    assessments: Vec<ProviderAssessment>,
+}
+
+impl Evaluator {
+    /// Probes every provider with a `probe_bytes` object (Put + Get +
+    /// Remove through the ordinary API) and derives the tiers. Returns
+    /// the evaluator and the cost of probing.
+    ///
+    /// Unavailable providers are assessed with infinite latency (they end
+    /// up in no tier until re-assessed).
+    pub fn assess(fleet: &Fleet, probe_bytes: u64) -> (Evaluator, BatchReport) {
+        let probe = Bytes::from(vec![0xE7u8; probe_bytes as usize]);
+        let mut reports = Vec::new();
+        let mut raw: Vec<ProviderAssessment> = Vec::with_capacity(fleet.len());
+
+        for p in fleet.providers() {
+            let key = ObjectKey::new(Fleet::CONTAINER, format!("probe-{}", p.id().0));
+            let (get_lat, put_lat) = match p.put(&key, probe.clone()) {
+                Ok(put) => {
+                    let put_lat = put.report.latency;
+                    reports.push(put.report);
+                    let get_lat = match p.get(&key) {
+                        Ok(got) => {
+                            let l = got.report.latency;
+                            reports.push(got.report);
+                            l
+                        }
+                        Err(_) => Duration::MAX,
+                    };
+                    if let Ok(rm) = p.remove(&key) {
+                        reports.push(rm.report);
+                    }
+                    (get_lat, put_lat)
+                }
+                Err(_) => (Duration::MAX, Duration::MAX),
+            };
+            raw.push(ProviderAssessment {
+                id: p.id(),
+                name: p.name().to_string(),
+                probe_get: get_lat,
+                probe_put: put_lat,
+                prices: *p.prices(),
+                performance_oriented: false,
+                cost_oriented: false,
+            });
+        }
+
+        // Performance tier: faster half by probe Get (ties by id).
+        let mut by_latency: Vec<usize> = (0..raw.len()).collect();
+        by_latency.sort_by_key(|&i| (raw[i].probe_get, raw[i].id));
+        let perf_count = raw.len().div_ceil(2);
+        for &i in by_latency.iter().take(perf_count) {
+            if raw[i].probe_get < Duration::MAX {
+                raw[i].performance_oriented = true;
+            }
+        }
+
+        // Cost tier: everyone but the most expensive storage.
+        if let Some(max_price) = raw
+            .iter()
+            .map(|a| a.prices.storage_gb_month)
+            .max_by(|a, b| a.partial_cmp(b).expect("prices are finite"))
+        {
+            for a in &mut raw {
+                a.cost_oriented = a.prices.storage_gb_month < max_price;
+            }
+        }
+
+        // Probes of different providers run concurrently.
+        (Evaluator { assessments: raw }, BatchReport::parallel(reports))
+    }
+
+    /// All assessments in provider-id order.
+    pub fn assessments(&self) -> &[ProviderAssessment] {
+        &self.assessments
+    }
+
+    /// Lookup by id.
+    pub fn get(&self, id: ProviderId) -> Option<&ProviderAssessment> {
+        self.assessments.iter().find(|a| a.id == id)
+    }
+
+    /// Performance-oriented providers, fastest first.
+    pub fn performance_tier(&self) -> Vec<ProviderId> {
+        let mut tier: Vec<&ProviderAssessment> =
+            self.assessments.iter().filter(|a| a.performance_oriented).collect();
+        tier.sort_by_key(|a| (a.probe_get, a.id));
+        tier.into_iter().map(|a| a.id).collect()
+    }
+
+    /// Cost-oriented providers, cheapest storage first.
+    pub fn cost_tier(&self) -> Vec<ProviderId> {
+        let mut tier: Vec<&ProviderAssessment> =
+            self.assessments.iter().filter(|a| a.cost_oriented).collect();
+        tier.sort_by(|a, b| {
+            a.prices
+                .storage_gb_month
+                .partial_cmp(&b.prices.storage_gb_month)
+                .expect("prices are finite")
+                .then(a.id.cmp(&b.id))
+        });
+        tier.into_iter().map(|a| a.id).collect()
+    }
+
+    /// All providers ordered fastest-first by measured Get latency.
+    pub fn fastest_first(&self) -> Vec<ProviderId> {
+        let mut ids: Vec<usize> = (0..self.assessments.len()).collect();
+        ids.sort_by_key(|&i| (self.assessments[i].probe_get, self.assessments[i].id));
+        ids.into_iter().map(|i| self.assessments[i].id).collect()
+    }
+
+    /// All providers ordered by egress price then latency — the
+    /// CheapestEgress fragment-selection order.
+    pub fn cheapest_egress_first(&self) -> Vec<ProviderId> {
+        let mut ids: Vec<usize> = (0..self.assessments.len()).collect();
+        ids.sort_by(|&i, &j| {
+            let (a, b) = (&self.assessments[i], &self.assessments[j]);
+            a.prices
+                .data_out_gb
+                .partial_cmp(&b.prices.data_out_gb)
+                .expect("prices are finite")
+                .then(a.probe_get.cmp(&b.probe_get))
+                .then(a.id.cmp(&b.id))
+        });
+        ids.into_iter().map(|i| self.assessments[i].id).collect()
+    }
+
+    /// Orders the given providers by a reference ranking (providers not
+    /// in the ranking keep their relative order at the end).
+    pub fn order_by(ranking: &[ProviderId], subset: &[ProviderId]) -> Vec<ProviderId> {
+        let pos = |id: ProviderId| {
+            ranking.iter().position(|&r| r == id).unwrap_or(usize::MAX)
+        };
+        let mut out = subset.to_vec();
+        out.sort_by_key(|&id| (pos(id), id));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyrd_cloudsim::SimClock;
+
+    fn eval() -> Evaluator {
+        let fleet = Fleet::standard_four(SimClock::new());
+        Evaluator::assess(&fleet, 64 * 1024).0
+    }
+
+    #[test]
+    fn derived_tiers_match_table2_categories() {
+        let e = eval();
+        let name = |id: ProviderId| e.get(id).unwrap().name.clone();
+
+        let perf: Vec<String> = e.performance_tier().into_iter().map(name).collect();
+        assert_eq!(perf, vec!["Aliyun", "Windows Azure"], "fastest first");
+
+        let name2 = |id: ProviderId| e.get(id).unwrap().name.clone();
+        let cost: Vec<String> = e.cost_tier().into_iter().map(name2).collect();
+        assert_eq!(cost, vec!["Aliyun", "Amazon S3", "Rackspace"], "cheapest first");
+    }
+
+    #[test]
+    fn aliyun_is_in_both_tiers() {
+        let e = eval();
+        let aliyun = e
+            .assessments()
+            .iter()
+            .find(|a| a.name == "Aliyun")
+            .expect("aliyun assessed");
+        assert!(aliyun.performance_oriented && aliyun.cost_oriented);
+    }
+
+    #[test]
+    fn fastest_first_is_total_order() {
+        let e = eval();
+        let order = e.fastest_first();
+        assert_eq!(order.len(), 4);
+        let names: Vec<String> = order.iter().map(|&id| e.get(id).unwrap().name.clone()).collect();
+        assert_eq!(names[0], "Aliyun");
+        assert_eq!(names[1], "Windows Azure");
+    }
+
+    #[test]
+    fn cheapest_egress_puts_free_providers_first() {
+        let e = eval();
+        let order = e.cheapest_egress_first();
+        let names: Vec<String> = order.iter().map(|&id| e.get(id).unwrap().name.clone()).collect();
+        // Azure and Rackspace are free egress; Azure is faster.
+        assert_eq!(names[0], "Windows Azure");
+        assert_eq!(names[1], "Rackspace");
+        assert_eq!(names[2], "Aliyun"); // $0.123 < S3's $0.201
+        assert_eq!(names[3], "Amazon S3");
+    }
+
+    #[test]
+    fn probing_costs_appear_in_the_report() {
+        let fleet = Fleet::standard_four(SimClock::new());
+        let (_, report) = Evaluator::assess(&fleet, 1024);
+        // 3 ops per provider x 4 providers.
+        assert_eq!(report.op_count(), 12);
+        assert!(report.bytes_in() >= 4 * 1024);
+        assert!(report.latency > Duration::ZERO);
+    }
+
+    #[test]
+    fn down_provider_is_excluded_from_tiers() {
+        let fleet = Fleet::standard_four(SimClock::new());
+        fleet.by_name("Aliyun").unwrap().force_down();
+        let (e, _) = Evaluator::assess(&fleet, 1024);
+        let perf = e.performance_tier();
+        assert!(perf.iter().all(|&id| e.get(id).unwrap().name != "Aliyun"));
+        // Azure and one of the slow pair fill the performance tier.
+        assert_eq!(perf.len(), 2);
+    }
+
+    #[test]
+    fn order_by_follows_reference_ranking() {
+        let ranking = vec![ProviderId(2), ProviderId(0), ProviderId(1)];
+        let subset = vec![ProviderId(0), ProviderId(1), ProviderId(2)];
+        assert_eq!(
+            Evaluator::order_by(&ranking, &subset),
+            vec![ProviderId(2), ProviderId(0), ProviderId(1)]
+        );
+        // Unknown ids sink to the end.
+        let with_unknown = vec![ProviderId(9), ProviderId(2)];
+        assert_eq!(
+            Evaluator::order_by(&ranking, &with_unknown),
+            vec![ProviderId(2), ProviderId(9)]
+        );
+    }
+}

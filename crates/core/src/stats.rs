@@ -1,0 +1,201 @@
+//! Latency statistics the figures report: mean (the paper's headline
+//! metric is "average response time"), percentiles, and per-class
+//! breakdowns.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Online latency statistics with retained samples for percentiles.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    samples_secs: Vec<f64>,
+    sum_secs: f64,
+}
+
+impl LatencyStats {
+    /// An empty collector.
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: Duration) {
+        let s = d.as_secs_f64();
+        self.samples_secs.push(s);
+        self.sum_secs += s;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples_secs.len()
+    }
+
+    /// Mean latency (zero if empty).
+    pub fn mean(&self) -> Duration {
+        if self.samples_secs.is_empty() {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64(self.sum_secs / self.samples_secs.len() as f64)
+    }
+
+    /// The `q`-quantile (0.0–1.0) by nearest-rank on sorted samples.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.samples_secs.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples_secs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+        Duration::from_secs_f64(sorted[rank])
+    }
+
+    /// Sample standard deviation (the "deviation values" of §IV-C).
+    pub fn std_dev(&self) -> Duration {
+        let n = self.samples_secs.len();
+        if n < 2 {
+            return Duration::ZERO;
+        }
+        let mean = self.sum_secs / n as f64;
+        let var = self
+            .samples_secs
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        Duration::from_secs_f64(var.sqrt())
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Duration {
+        self.samples_secs
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max)
+            .pipe_to_duration()
+    }
+
+    /// Merges another collector into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples_secs.extend_from_slice(&other.samples_secs);
+        self.sum_secs += other.sum_secs;
+    }
+}
+
+trait PipeToDuration {
+    fn pipe_to_duration(self) -> Duration;
+}
+
+impl PipeToDuration for f64 {
+    fn pipe_to_duration(self) -> Duration {
+        Duration::from_secs_f64(self)
+    }
+}
+
+/// The operation classes the experiments break latency down by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Creates at or below the threshold.
+    SmallWrite,
+    /// Creates above the threshold.
+    LargeWrite,
+    /// Reads at or below the threshold.
+    SmallRead,
+    /// Reads above the threshold.
+    LargeRead,
+    /// Byte-range updates.
+    Update,
+    /// Deletes.
+    Delete,
+    /// Directory listings / metadata fetches.
+    Metadata,
+}
+
+impl OpClass {
+    /// All classes, for table rendering.
+    pub const ALL: [OpClass; 7] = [
+        OpClass::SmallWrite,
+        OpClass::LargeWrite,
+        OpClass::SmallRead,
+        OpClass::LargeRead,
+        OpClass::Update,
+        OpClass::Delete,
+        OpClass::Metadata,
+    ];
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpClass::SmallWrite => "small-write",
+            OpClass::LargeWrite => "large-write",
+            OpClass::SmallRead => "small-read",
+            OpClass::LargeRead => "large-read",
+            OpClass::Update => "update",
+            OpClass::Delete => "delete",
+            OpClass::Metadata => "metadata",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn mean_and_count() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.mean(), Duration::ZERO);
+        for v in [10, 20, 30] {
+            s.record(ms(v));
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), ms(20));
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut s = LatencyStats::new();
+        for v in 1..=100 {
+            s.record(ms(v));
+        }
+        assert_eq!(s.quantile(0.0), ms(1));
+        assert_eq!(s.quantile(1.0), ms(100));
+        let p50 = s.quantile(0.5).as_millis();
+        assert!((49..=51).contains(&p50), "p50={p50}");
+        let p95 = s.quantile(0.95).as_millis();
+        assert!((94..=96).contains(&p95), "p95={p95}");
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        let mut s = LatencyStats::new();
+        for _ in 0..10 {
+            s.record(ms(42));
+        }
+        assert!(s.std_dev() < Duration::from_micros(1));
+        assert_eq!(s.max(), ms(42));
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyStats::new();
+        a.record(ms(10));
+        let mut b = LatencyStats::new();
+        b.record(ms(30));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), ms(20));
+    }
+
+    #[test]
+    fn op_class_display_and_all() {
+        assert_eq!(OpClass::ALL.len(), 7);
+        assert_eq!(OpClass::LargeRead.to_string(), "large-read");
+    }
+}

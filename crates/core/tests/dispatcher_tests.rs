@@ -1,0 +1,508 @@
+//! End-to-end tests of the HyRD dispatcher over the simulated fleet.
+
+use hyrd::config::{CodeChoice, FragmentSelection, HyrdConfig};
+use hyrd::driver::synth_content;
+use hyrd::scheme::{Scheme, SchemeError};
+use hyrd::Hyrd;
+use hyrd_cloudsim::{Fleet, SimClock};
+use hyrd_gcsapi::{CloudStorage, OpKind};
+
+const KB: usize = 1024;
+const MB: usize = 1024 * 1024;
+
+fn fleet() -> Fleet {
+    Fleet::standard_four(SimClock::new())
+}
+
+fn hyrd(fleet: &Fleet) -> Hyrd {
+    Hyrd::new(fleet, HyrdConfig::default()).expect("valid default config")
+}
+
+#[test]
+fn small_file_is_replicated_on_performance_tier() {
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+    let data = synth_content("/a.txt", 0, 4 * KB);
+    h.create_file("/a.txt", &data).unwrap();
+
+    // Replicas land on Aliyun and Azure (the performance tier), not on
+    // S3/Rackspace.
+    let aliyun = fleet.by_name("Aliyun").unwrap();
+    let azure = fleet.by_name("Windows Azure").unwrap();
+    let s3 = fleet.by_name("Amazon S3").unwrap();
+    assert!(aliyun.stats().put >= 1);
+    assert!(azure.stats().put >= 1);
+    // S3 saw only the evaluator probe put, no data put.
+    assert_eq!(s3.stats().put, 1, "S3 must hold no small-file replica");
+
+    let (bytes, report) = h.read_file("/a.txt").unwrap();
+    assert_eq!(&bytes[..], &data[..]);
+    // Small read is a single Get from the fastest replica (Aliyun).
+    assert_eq!(report.op_count(), 1);
+    assert_eq!(report.ops[0].provider, aliyun.id());
+}
+
+#[test]
+fn large_file_is_erasure_coded_across_four_providers() {
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+    let data = synth_content("/big.bin", 0, 3 * MB);
+    h.create_file("/big.bin", &data).unwrap();
+
+    // One fragment object everywhere (4 fragments over 4 providers).
+    for p in fleet.providers() {
+        let frag_puts = p.stats().put - 1; // minus the probe
+        assert!(
+            frag_puts >= 1,
+            "{} holds no fragment (puts={})",
+            p.name(),
+            p.stats().put
+        );
+    }
+    // Physical bytes ≈ 4/3 of logical for RAID5(3+1) — plus replicated
+    // metadata, which is small.
+    let logical = h.logical_bytes() as f64;
+    let physical = h.physical_bytes() as f64;
+    assert!(physical / logical > 1.30 && physical / logical < 1.40, "{}", physical / logical);
+
+    let (bytes, report) = h.read_file("/big.bin").unwrap();
+    assert_eq!(&bytes[..], &data[..]);
+    // Large read fetches exactly m = 3 fragments in parallel.
+    assert_eq!(report.op_count(), 3);
+}
+
+#[test]
+fn cheapest_egress_policy_avoids_s3_reads() {
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+    h.create_file("/big.bin", &synth_content("/big.bin", 0, 3 * MB)).unwrap();
+    let s3 = fleet.by_name("Amazon S3").unwrap();
+    let gets_before = s3.stats().get;
+    for _ in 0..5 {
+        h.read_file("/big.bin").unwrap();
+    }
+    assert_eq!(s3.stats().get, gets_before, "S3 egress is the dearest; reads must avoid it");
+}
+
+#[test]
+fn fastest_policy_reads_differently_from_cheapest() {
+    let fleet_a = fleet();
+    let mut cfg = HyrdConfig::default();
+    cfg.fragment_selection = FragmentSelection::Fastest;
+    let mut h = Hyrd::new(&fleet_a, cfg).unwrap();
+    h.create_file("/big.bin", &synth_content("/big.bin", 0, 3 * MB)).unwrap();
+    let (_, fast_report) = h.read_file("/big.bin").unwrap();
+
+    let fleet_b = fleet();
+    let mut h2 = Hyrd::new(&fleet_b, HyrdConfig::default()).unwrap();
+    h2.create_file("/big.bin", &synth_content("/big.bin", 0, 3 * MB)).unwrap();
+    let (_, cheap_report) = h2.read_file("/big.bin").unwrap();
+
+    // Fastest pulls from Aliyun+Azure+one more; cheapest from
+    // Azure+Rackspace+Aliyun. Latency of fastest <= cheapest.
+    assert!(fast_report.latency <= cheap_report.latency);
+    let cheap_providers: Vec<String> = cheap_report
+        .ops
+        .iter()
+        .map(|o| fleet_b.get(o.provider).unwrap().name().to_string())
+        .collect();
+    assert!(cheap_providers.contains(&"Rackspace".to_string()));
+}
+
+#[test]
+fn single_outage_degraded_read_still_serves_everything() {
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+    let small = synth_content("/s", 0, 2 * KB);
+    let large = synth_content("/l", 0, 4 * MB);
+    h.create_file("/s", &small).unwrap();
+    h.create_file("/l", &large).unwrap();
+
+    for victim in ["Amazon S3", "Windows Azure", "Aliyun", "Rackspace"] {
+        fleet.by_name(victim).unwrap().force_down();
+        let (s, _) = h.read_file("/s").unwrap();
+        let (l, _) = h.read_file("/l").unwrap();
+        assert_eq!(&s[..], &small[..], "small read with {victim} down");
+        assert_eq!(&l[..], &large[..], "large read with {victim} down");
+        fleet.by_name(victim).unwrap().restore();
+    }
+}
+
+#[test]
+fn writes_during_outage_are_logged_and_replayed() {
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+
+    let azure = fleet.by_name("Windows Azure").unwrap();
+    azure.force_down();
+
+    // Small file: Azure is a replica target but down → logged.
+    let data = synth_content("/during-outage", 0, KB);
+    h.create_file("/during-outage", &data).unwrap();
+    assert!(h.pending_log_len() > 0, "missed writes must be logged");
+
+    // Reads work from the surviving replica meanwhile.
+    let (bytes, _) = h.read_file("/during-outage").unwrap();
+    assert_eq!(&bytes[..], &data[..]);
+
+    // Outage ends → consistency update.
+    azure.restore();
+    let azure_objects_before = azure.object_count();
+    let (report, _) = h.recover_provider(azure.id()).unwrap();
+    assert!(report.puts_replayed > 0);
+    assert_eq!(h.pending_log_len(), 0);
+    assert!(azure.object_count() > azure_objects_before);
+
+    // After recovery the replica serves reads: kill the *other* replica.
+    fleet.by_name("Aliyun").unwrap().force_down();
+    let (bytes, report) = h.read_file("/during-outage").unwrap();
+    assert_eq!(&bytes[..], &data[..]);
+    assert_eq!(report.ops[0].provider, azure.id());
+}
+
+#[test]
+fn large_write_during_outage_recovers_consistently() {
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+    let rackspace = fleet.by_name("Rackspace").unwrap();
+    rackspace.force_down();
+
+    let data = synth_content("/big", 0, 2 * MB);
+    h.create_file("/big", &data).unwrap();
+    assert!(h.pending_log_len() > 0);
+
+    rackspace.restore();
+    h.recover_provider(rackspace.id()).unwrap();
+
+    // Now kill a different provider: the recovered fragment must carry
+    // its weight in the decode.
+    fleet.by_name("Windows Azure").unwrap().force_down();
+    let (bytes, _) = h.read_file("/big").unwrap();
+    assert_eq!(&bytes[..], &data[..]);
+}
+
+#[test]
+fn update_small_file_is_one_write_round() {
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+    h.create_file("/f", &synth_content("/f", 0, 8 * KB)).unwrap();
+
+    let patch = synth_content("/f", 1, KB);
+    let report = h.update_file("/f", 1000, &patch).unwrap();
+    // Cache hit → no read round; 2 replica puts + metadata puts, all Put
+    // class.
+    assert!(report.ops.iter().all(|o| o.kind == OpKind::Put));
+
+    let (bytes, _) = h.read_file("/f").unwrap();
+    assert_eq!(&bytes[1000..1000 + KB], &patch[..]);
+    assert_eq!(bytes.len(), 8 * KB);
+}
+
+#[test]
+fn update_large_file_is_raid5_rmw_with_four_data_accesses() {
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+    h.create_file("/big", &synth_content("/big", 0, 6 * MB)).unwrap();
+
+    let patch = synth_content("/big", 1, 4 * KB);
+    let report = h.update_file("/big", 12345, &patch).unwrap();
+    // The paper's write amplification: 2 reads + 2 writes for the data,
+    // plus the metadata flush (puts). Transfers are range-granular: each
+    // op moves only the touched 4 KB, not whole fragments.
+    let gets: Vec<_> = report.ops.iter().filter(|o| o.kind == OpKind::Get).collect();
+    let data_puts: Vec<_> = report
+        .ops
+        .iter()
+        .filter(|o| o.kind == OpKind::Put && o.bytes_in == 4 * KB as u64)
+        .collect();
+    assert_eq!(gets.len(), 2, "RMW reads old data range + old parity window");
+    assert!(gets.iter().all(|o| o.bytes_out == 4 * KB as u64), "ranged reads");
+    assert_eq!(data_puts.len(), 2, "RMW writes new data range + new parity window");
+
+    let (bytes, _) = h.read_file("/big").unwrap();
+    assert_eq!(&bytes[12345..12345 + 4 * KB], &patch[..]);
+}
+
+#[test]
+fn chained_large_updates_survive_any_single_outage() {
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+    let mut content = synth_content("/big", 0, 3 * MB);
+    h.create_file("/big", &content).unwrap();
+
+    for (i, offset) in [(1u32, 0usize), (2, MB), (3, 2 * MB - 512), (4, 3 * MB - KB)].iter() {
+        let patch = synth_content("/big", *i, KB.min(3 * MB - offset));
+        h.update_file("/big", *offset as u64, &patch).unwrap();
+        content[*offset..*offset + patch.len()].copy_from_slice(&patch);
+    }
+
+    for victim in ["Amazon S3", "Windows Azure", "Aliyun", "Rackspace"] {
+        fleet.by_name(victim).unwrap().force_down();
+        let (bytes, _) = h.read_file("/big").unwrap();
+        assert_eq!(&bytes[..], &content[..], "with {victim} down");
+        fleet.by_name(victim).unwrap().restore();
+    }
+}
+
+#[test]
+fn update_during_outage_takes_degraded_path_and_recovers() {
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+    let mut content = synth_content("/big", 0, 3 * MB);
+    h.create_file("/big", &content).unwrap();
+
+    // Down a provider that holds a fragment, then update.
+    let victim = fleet.by_name("Rackspace").unwrap();
+    victim.force_down();
+    let patch = synth_content("/big", 7, 64 * KB);
+    h.update_file("/big", 500_000, &patch).unwrap();
+    content[500_000..500_000 + patch.len()].copy_from_slice(&patch);
+
+    // Degraded read agrees.
+    let (bytes, _) = h.read_file("/big").unwrap();
+    assert_eq!(&bytes[..], &content[..]);
+
+    // Recover, then kill a different provider: content must still match
+    // (the replayed fragment is consistent with the update).
+    victim.restore();
+    h.recover_provider(victim.id()).unwrap();
+    fleet.by_name("Aliyun").unwrap().force_down();
+    let (bytes, _) = h.read_file("/big").unwrap();
+    assert_eq!(&bytes[..], &content[..]);
+}
+
+#[test]
+fn delete_removes_objects_and_listing() {
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+    h.create_file("/dir/a", &synth_content("/dir/a", 0, KB)).unwrap();
+    h.create_file("/dir/b", &synth_content("/dir/b", 0, 2 * MB)).unwrap();
+
+    let (names, _) = h.list_dir("/dir").unwrap();
+    assert_eq!(names, vec!["a", "b"]);
+
+    let stored_before = fleet.total_stored_bytes();
+    h.delete_file("/dir/b").unwrap();
+    assert!(fleet.total_stored_bytes() < stored_before);
+
+    let (names, _) = h.list_dir("/dir").unwrap();
+    assert_eq!(names, vec!["a"]);
+    assert!(matches!(h.read_file("/dir/b"), Err(SchemeError::Meta(_))));
+}
+
+#[test]
+fn list_dir_is_a_single_fast_metadata_get() {
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+    h.create_file("/docs/x", &synth_content("/docs/x", 0, KB)).unwrap();
+    let (_, report) = h.list_dir("/docs").unwrap();
+    assert_eq!(report.op_count(), 1);
+    assert_eq!(report.ops[0].kind, OpKind::Get);
+    // Served by the fastest metadata replica: Aliyun.
+    let aliyun = fleet.by_name("Aliyun").unwrap();
+    assert_eq!(report.ops[0].provider, aliyun.id());
+}
+
+#[test]
+fn hot_large_files_gain_a_performance_tier_copy() {
+    let fleet = fleet();
+    let mut cfg = HyrdConfig::default();
+    cfg.hot_read_threshold = Some(3);
+    let mut h = Hyrd::new(&fleet, cfg).unwrap();
+    let data = synth_content("/hot", 0, 2 * MB);
+    h.create_file("/hot", &data).unwrap();
+
+    // First two reads: striped (3 gets each).
+    let (_, r1) = h.read_file("/hot").unwrap();
+    assert_eq!(r1.ops.iter().filter(|o| o.kind == OpKind::Get).count(), 3);
+    let (_, _r2) = h.read_file("/hot").unwrap();
+    // Third read crosses the threshold: still striped, but installs the
+    // hot copy in the background.
+    let (_, r3) = h.read_file("/hot").unwrap();
+    assert!(r3.ops.iter().any(|o| o.kind == OpKind::Put), "hot copy fill");
+
+    // Fourth read: one whole-object Get from the performance tier.
+    let (bytes, r4) = h.read_file("/hot").unwrap();
+    assert_eq!(&bytes[..], &data[..]);
+    assert_eq!(r4.op_count(), 1);
+    let p = fleet.get(r4.ops[0].provider).unwrap();
+    assert_eq!(p.name(), "Aliyun");
+    // And it should be faster than the striped read.
+    assert!(r4.latency < r1.latency);
+}
+
+#[test]
+fn hot_copy_is_invalidated_by_updates() {
+    let fleet = fleet();
+    let mut cfg = HyrdConfig::default();
+    cfg.hot_read_threshold = Some(1);
+    let mut h = Hyrd::new(&fleet, cfg).unwrap();
+    let mut content = synth_content("/hot", 0, 2 * MB);
+    h.create_file("/hot", &content).unwrap();
+    h.read_file("/hot").unwrap(); // installs hot copy
+
+    let patch = synth_content("/hot", 1, KB);
+    h.update_file("/hot", 42, &patch).unwrap();
+    content[42..42 + KB].copy_from_slice(&patch);
+
+    // Next read must not serve the stale hot copy.
+    let (bytes, _) = h.read_file("/hot").unwrap();
+    assert_eq!(&bytes[..], &content[..]);
+}
+
+#[test]
+fn total_blackout_reports_data_unavailable() {
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+    h.create_file("/f", &synth_content("/f", 0, KB)).unwrap();
+    h.create_file("/big", &synth_content("/big", 0, 2 * MB)).unwrap();
+    for p in fleet.providers() {
+        p.force_down();
+    }
+    assert!(matches!(h.read_file("/f"), Err(SchemeError::DataUnavailable { .. })));
+    assert!(matches!(h.read_file("/big"), Err(SchemeError::DataUnavailable { .. })));
+    assert!(matches!(
+        h.create_file("/new", &[0u8; 10]),
+        Err(SchemeError::DataUnavailable { .. })
+    ));
+}
+
+#[test]
+fn two_outages_break_raid5_but_not_raid6() {
+    // RAID5 (tolerates 1) vs RAID6 (tolerates 2) — the code-choice
+    // ablation's core claim.
+    let data: Vec<u8> = synth_content("/big", 0, 2 * MB);
+
+    let fleet5 = fleet();
+    let mut h5 = hyrd(&fleet5);
+    h5.create_file("/big", &data).unwrap();
+    fleet5.by_name("Amazon S3").unwrap().force_down();
+    fleet5.by_name("Rackspace").unwrap().force_down();
+    assert!(matches!(h5.read_file("/big"), Err(SchemeError::DataUnavailable { .. })));
+
+    let fleet6 = fleet();
+    let mut cfg = HyrdConfig::default();
+    cfg.code = CodeChoice::Raid6 { m: 2 }; // n = 4 providers
+    let mut h6 = Hyrd::new(&fleet6, cfg).unwrap();
+    h6.create_file("/big", &data).unwrap();
+    fleet6.by_name("Amazon S3").unwrap().force_down();
+    fleet6.by_name("Rackspace").unwrap().force_down();
+    let (bytes, _) = h6.read_file("/big").unwrap();
+    assert_eq!(&bytes[..], &data[..]);
+}
+
+#[test]
+fn reed_solomon_code_choice_works_end_to_end() {
+    let fleet = fleet();
+    let mut cfg = HyrdConfig::default();
+    cfg.code = CodeChoice::ReedSolomon { m: 2, n: 4 };
+    let mut h = Hyrd::new(&fleet, cfg).unwrap();
+    let data = synth_content("/rs", 0, 3 * MB);
+    h.create_file("/rs", &data).unwrap();
+
+    fleet.by_name("Aliyun").unwrap().force_down();
+    fleet.by_name("Windows Azure").unwrap().force_down();
+    let (bytes, _) = h.read_file("/rs").unwrap();
+    assert_eq!(&bytes[..], &data[..]);
+}
+
+#[test]
+fn replication_level_is_configurable() {
+    let fleet = fleet();
+    let mut cfg = HyrdConfig::default();
+    cfg.replication_level = 3;
+    let mut h = Hyrd::new(&fleet, cfg).unwrap();
+    h.create_file("/f", &synth_content("/f", 0, KB)).unwrap();
+
+    // Three replicas → two providers down still serves.
+    fleet.by_name("Aliyun").unwrap().force_down();
+    fleet.by_name("Windows Azure").unwrap().force_down();
+    let (bytes, _) = h.read_file("/f").unwrap();
+    assert_eq!(bytes.len(), KB);
+}
+
+#[test]
+fn monitor_observes_the_classification() {
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+    for i in 0..8 {
+        h.create_file(&format!("/s{i}"), &synth_content("x", 0, 4 * KB)).unwrap();
+    }
+    h.create_file("/l0", &synth_content("y", 0, 5 * MB)).unwrap();
+    h.create_file("/l1", &synth_content("y", 0, 2 * MB)).unwrap();
+    assert_eq!(h.monitor().files_seen(), 10);
+    assert!((h.monitor().small_count_frac() - 0.8).abs() < 1e-9);
+    assert!(h.monitor().small_bytes_frac() < 0.01);
+}
+
+#[test]
+fn threshold_boundary_routes_exactly() {
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+    // Exactly 1 MB → replicated; 1 MB + 1 → erasure-coded.
+    h.create_file("/at", &vec![1u8; MB]).unwrap();
+    h.create_file("/above", &vec![2u8; MB + 1]).unwrap();
+
+    let s3 = fleet.by_name("Amazon S3").unwrap();
+    // /at must not touch S3 (replication on perf tier only): S3 puts =
+    // probe + fragments of /above only.
+    let (b1, r1) = h.read_file("/at").unwrap();
+    assert_eq!(b1.len(), MB);
+    assert_eq!(r1.op_count(), 1, "replicated read");
+    let (b2, r2) = h.read_file("/above").unwrap();
+    assert_eq!(b2.len(), MB + 1);
+    assert_eq!(r2.op_count(), 3, "striped read");
+    let _ = s3;
+}
+
+#[test]
+fn setup_cost_covers_probing_all_providers() {
+    let fleet = fleet();
+    let h = hyrd(&fleet);
+    assert_eq!(h.setup_cost().op_count(), 12); // put+get+remove x 4
+}
+
+#[test]
+fn file_size_and_missing_paths() {
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+    h.create_file("/f", &vec![0u8; 123]).unwrap();
+    assert_eq!(h.file_size("/f"), Some(123));
+    assert_eq!(h.file_size("/nope"), None);
+    assert!(matches!(h.read_file("/nope"), Err(SchemeError::Meta(_))));
+    assert!(matches!(h.delete_file("/nope"), Err(SchemeError::Meta(_))));
+    assert!(matches!(
+        h.update_file("/f", 100, &[0u8; 100]),
+        Err(SchemeError::BadRange { .. })
+    ));
+}
+
+#[test]
+fn reassess_adopts_the_current_topology() {
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+    let aliyun = fleet.by_name("Aliyun").unwrap();
+    assert!(h
+        .evaluator()
+        .performance_tier()
+        .contains(&aliyun.id()));
+
+    // Aliyun goes into a long outage; a re-assessment drops it from the
+    // tiers so future small files land elsewhere.
+    aliyun.force_down();
+    let cost = h.reassess();
+    assert!(cost.op_count() > 0, "probing costs ops");
+    assert!(!h.evaluator().performance_tier().contains(&aliyun.id()));
+
+    h.create_file("/after", &synth_content("/after", 0, 4 * KB)).unwrap();
+    let (_, report) = h.read_file("/after").unwrap();
+    assert_ne!(report.ops[0].provider, aliyun.id());
+}
+
+#[test]
+fn duplicate_create_is_rejected() {
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+    h.create_file("/f", &[1u8; 10]).unwrap();
+    assert!(matches!(h.create_file("/f", &[2u8; 10]), Err(SchemeError::Meta(_))));
+}

@@ -1,0 +1,30 @@
+//! # hyrd-costsim — long-term cloud cost simulation
+//!
+//! The paper's cost analysis (§IV-B, Figure 4) replays a year of Internet
+//! Archive traffic against Table II price plans: "it's assumed that the
+//! cloud services start with an empty storage without any data being
+//! preloaded". Replaying billions of individual requests is pointless for
+//! a *billing* question — clouds bill on monthly aggregates — so this
+//! crate works exactly the way the bill does:
+//!
+//! * [`usage`] — what one scheme consumed on one provider in one month
+//!   (GB-months retained, bytes out, transactions by billing class), and
+//!   the ledger that turns usage into dollars via a
+//!   [`hyrd_cloudsim::PriceBook`].
+//! * [`model`] — per-scheme accounting models: how DuraCloud, RACS,
+//!   HyRD, DepSky and each single cloud translate a month of trace
+//!   traffic into per-provider usage. These encode the placement rules of
+//!   the actual scheme implementations (verified against them in the
+//!   integration tests).
+//! * [`report`] — monthly and cumulative series (Figures 4a and 4b) plus
+//!   markdown/CSV rendering for the bench harness.
+
+pub mod availability;
+pub mod model;
+pub mod report;
+pub mod usage;
+
+pub use availability::{erasure_availability, hyrd_availability, nines, replication_availability};
+pub use model::{CostModel, DepSkyModel, DuraCloudModel, HyrdModel, RacsModel, SingleModel};
+pub use report::{CostSeries, MonthCost};
+pub use usage::MonthlyUsage;

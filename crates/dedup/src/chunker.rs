@@ -1,0 +1,271 @@
+//! FastCDC-style content-defined chunking.
+//!
+//! Fixed-size chunking defeats dedup the moment one byte is inserted —
+//! every later chunk shifts. Content-defined chunking picks boundaries
+//! from the data itself via a rolling *gear* hash, so edits disturb only
+//! nearby boundaries. This is the FastCDC recipe (Xia et al., ATC'16):
+//! a gear table, normalized chunking with a stricter mask before the
+//! average size and a looser one after, and hard min/max bounds.
+
+use crate::sha256::{sha256, Digest};
+
+/// One content-defined chunk of a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Byte offset within the file.
+    pub offset: usize,
+    /// Chunk payload.
+    pub data: Vec<u8>,
+    /// SHA-256 fingerprint of the payload.
+    pub digest: Digest,
+}
+
+/// Chunking parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkerConfig {
+    /// No chunk smaller than this (except a file's final chunk).
+    pub min_size: usize,
+    /// Target average chunk size; must be a power of two.
+    pub avg_size: usize,
+    /// Hard upper bound per chunk.
+    pub max_size: usize,
+}
+
+impl Default for ChunkerConfig {
+    fn default() -> Self {
+        // 16 KB average: small enough that 4 KB-ish duplicate regions
+        // dedup, large enough that the index stays client-memory sized.
+        ChunkerConfig { min_size: 4 * 1024, avg_size: 16 * 1024, max_size: 64 * 1024 }
+    }
+}
+
+impl ChunkerConfig {
+    fn validate(&self) {
+        assert!(self.min_size > 0, "min chunk size must be positive");
+        assert!(self.avg_size.is_power_of_two(), "average size must be a power of two");
+        assert!(
+            self.min_size < self.avg_size && self.avg_size < self.max_size,
+            "need min < avg < max"
+        );
+    }
+
+    /// FastCDC's normalized masks: stricter (more mask bits) before the
+    /// average point, looser after, centering the distribution on avg.
+    fn masks(&self) -> (u64, u64) {
+        let bits = self.avg_size.trailing_zeros();
+        let strict = (1u64 << (bits + 2)) - 1;
+        let loose = (1u64 << (bits - 2)) - 1;
+        (strict, loose)
+    }
+}
+
+/// Deterministic gear table (SplitMix64 over the index): one 64-bit
+/// random-looking word per byte value.
+fn gear_table() -> [u64; 256] {
+    let mut t = [0u64; 256];
+    for (i, slot) in t.iter_mut().enumerate() {
+        let mut z = (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        *slot = z ^ (z >> 31);
+    }
+    t
+}
+
+/// The content-defined chunker.
+#[derive(Debug, Clone)]
+pub struct Chunker {
+    config: ChunkerConfig,
+    gear: [u64; 256],
+}
+
+impl Default for Chunker {
+    fn default() -> Self {
+        Chunker::new(ChunkerConfig::default())
+    }
+}
+
+impl Chunker {
+    /// Builds a chunker; panics on inconsistent config.
+    pub fn new(config: ChunkerConfig) -> Self {
+        config.validate();
+        Chunker { config, gear: gear_table() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ChunkerConfig {
+        &self.config
+    }
+
+    /// Finds the end of the chunk starting at `data[0]` (FastCDC cut
+    /// point), in bytes.
+    fn cut_point(&self, data: &[u8]) -> usize {
+        let len = data.len();
+        if len <= self.config.min_size {
+            return len;
+        }
+        let (strict, loose) = self.config.masks();
+        let center = self.config.avg_size.min(len);
+        let cap = self.config.max_size.min(len);
+
+        let mut h: u64 = 0;
+        // Skip the minimum region entirely (no boundary allowed there).
+        for (i, &b) in data.iter().enumerate().take(center).skip(self.config.min_size) {
+            h = (h << 1).wrapping_add(self.gear[b as usize]);
+            if h & strict == 0 {
+                return i + 1;
+            }
+        }
+        for (i, &b) in data.iter().enumerate().take(cap).skip(center) {
+            h = (h << 1).wrapping_add(self.gear[b as usize]);
+            if h & loose == 0 {
+                return i + 1;
+            }
+        }
+        cap
+    }
+
+    /// Splits a file into content-defined chunks with fingerprints.
+    pub fn chunk(&self, data: &[u8]) -> Vec<Chunk> {
+        let mut out = Vec::new();
+        let mut offset = 0;
+        while offset < data.len() {
+            let end = offset + self.cut_point(&data[offset..]);
+            let payload = data[offset..end].to_vec();
+            let digest = sha256(&payload);
+            out.push(Chunk { offset, data: payload, digest });
+            offset = end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn content(len: usize, seed: u64) -> Vec<u8> {
+        // xorshift-ish deterministic pseudo-random content (incompressible
+        // enough that gear boundaries are well distributed).
+        let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 24) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunks_tile_the_file_exactly() {
+        let c = Chunker::default();
+        let data = content(300_000, 1);
+        let chunks = c.chunk(&data);
+        let mut pos = 0;
+        for ch in &chunks {
+            assert_eq!(ch.offset, pos);
+            pos += ch.data.len();
+        }
+        assert_eq!(pos, data.len());
+        let rebuilt: Vec<u8> = chunks.iter().flat_map(|c| c.data.clone()).collect();
+        assert_eq!(rebuilt, data);
+    }
+
+    #[test]
+    fn sizes_respect_bounds_and_average() {
+        let cfg = ChunkerConfig::default();
+        let c = Chunker::new(cfg);
+        let data = content(2_000_000, 2);
+        let chunks = c.chunk(&data);
+        for (i, ch) in chunks.iter().enumerate() {
+            assert!(ch.data.len() <= cfg.max_size, "chunk {i} too big");
+            if i + 1 != chunks.len() {
+                assert!(ch.data.len() >= cfg.min_size, "chunk {i} too small");
+            }
+        }
+        let avg = data.len() / chunks.len();
+        assert!(
+            avg > cfg.avg_size / 3 && avg < cfg.avg_size * 3,
+            "average {avg} far from target {}",
+            cfg.avg_size
+        );
+    }
+
+    #[test]
+    fn chunking_is_deterministic() {
+        let c = Chunker::default();
+        let data = content(100_000, 3);
+        assert_eq!(c.chunk(&data), c.chunk(&data));
+    }
+
+    #[test]
+    fn identical_regions_produce_identical_fingerprints() {
+        // Two files sharing a 200 KB middle: most of that region's chunks
+        // must have matching digests despite different surroundings.
+        let shared = content(200_000, 4);
+        let mut a = content(30_000, 5);
+        a.extend_from_slice(&shared);
+        a.extend_from_slice(&content(10_000, 6));
+        let mut b = content(50_000, 7);
+        b.extend_from_slice(&shared);
+        b.extend_from_slice(&content(5_000, 8));
+
+        let c = Chunker::default();
+        let fps_a: std::collections::HashSet<_> =
+            c.chunk(&a).into_iter().map(|ch| ch.digest).collect();
+        let chunks_b = c.chunk(&b);
+        let shared_bytes: usize = chunks_b
+            .iter()
+            .filter(|ch| fps_a.contains(&ch.digest))
+            .map(|ch| ch.data.len())
+            .sum();
+        assert!(
+            shared_bytes > 150_000,
+            "only {shared_bytes} of 200000 shared bytes dedup across files"
+        );
+    }
+
+    #[test]
+    fn insertion_shifts_boundaries_only_locally() {
+        // The CDC property fixed-size chunking lacks.
+        let base = content(500_000, 9);
+        let mut edited = base.clone();
+        edited.splice(1000..1000, [0xEEu8; 17]); // insert 17 bytes early on
+        let c = Chunker::default();
+        let fps_base: std::collections::HashSet<_> =
+            c.chunk(&base).into_iter().map(|ch| ch.digest).collect();
+        let chunks_edited = c.chunk(&edited);
+        let reused: usize = chunks_edited
+            .iter()
+            .filter(|ch| fps_base.contains(&ch.digest))
+            .map(|ch| ch.data.len())
+            .sum();
+        assert!(
+            reused as f64 > 0.9 * base.len() as f64,
+            "only {reused} of {} bytes reused after a 17-byte insertion",
+            base.len()
+        );
+    }
+
+    #[test]
+    fn small_file_is_one_chunk() {
+        let c = Chunker::default();
+        let data = content(1000, 10);
+        let chunks = c.chunk(&data);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].data, data);
+    }
+
+    #[test]
+    fn empty_file_has_no_chunks() {
+        assert!(Chunker::default().chunk(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_config_rejected() {
+        let _ = Chunker::new(ChunkerConfig { min_size: 1024, avg_size: 3000, max_size: 9000 });
+    }
+}

@@ -1,0 +1,128 @@
+//! The chunk fingerprint index: digest → (stored object, length,
+//! reference count). This is the client-side memory footprint §VI warns
+//! about, so it tracks its own size.
+
+use std::collections::HashMap;
+
+use crate::sha256::Digest;
+
+/// A chunk fingerprint (SHA-256 digest).
+pub type Fingerprint = Digest;
+
+/// Index entry for one unique chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Object name the chunk is stored under.
+    pub object: String,
+    /// Chunk length in bytes.
+    pub len: usize,
+    /// Number of file manifests referencing this chunk.
+    pub refs: u64,
+}
+
+/// The in-memory fingerprint index with reference counting.
+#[derive(Debug, Default)]
+pub struct ChunkIndex {
+    map: HashMap<Fingerprint, IndexEntry>,
+}
+
+impl ChunkIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        ChunkIndex::default()
+    }
+
+    /// Looks up a fingerprint.
+    pub fn get(&self, fp: &Fingerprint) -> Option<&IndexEntry> {
+        self.map.get(fp)
+    }
+
+    /// Registers a new unique chunk with one reference.
+    ///
+    /// # Panics
+    /// Panics if the fingerprint is already present (callers must check
+    /// with [`Self::get`] / [`Self::add_ref`] first).
+    pub fn insert(&mut self, fp: Fingerprint, object: String, len: usize) {
+        let prev = self.map.insert(fp, IndexEntry { object, len, refs: 1 });
+        assert!(prev.is_none(), "duplicate insert of a known fingerprint");
+    }
+
+    /// Adds a reference to a known chunk, returning its entry.
+    pub fn add_ref(&mut self, fp: &Fingerprint) -> Option<&IndexEntry> {
+        let e = self.map.get_mut(fp)?;
+        e.refs += 1;
+        Some(&*e)
+    }
+
+    /// Drops a reference; returns the stored object's name if that was
+    /// the last reference (the caller should delete the physical chunk).
+    pub fn release(&mut self, fp: &Fingerprint) -> Option<String> {
+        let e = self.map.get_mut(fp)?;
+        e.refs = e.refs.saturating_sub(1);
+        if e.refs == 0 {
+            return self.map.remove(fp).map(|e| e.object);
+        }
+        None
+    }
+
+    /// Number of unique chunks tracked.
+    pub fn unique_chunks(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Logical bytes of unique chunk payloads.
+    pub fn unique_bytes(&self) -> u64 {
+        self.map.values().map(|e| e.len as u64).sum()
+    }
+
+    /// Approximate resident memory of the index itself — the client-side
+    /// cost §VI calls out (digest + entry + map overhead per chunk).
+    pub fn memory_bytes(&self) -> usize {
+        self.map
+            .values()
+            .map(|e| 32 + std::mem::size_of::<IndexEntry>() + e.object.len() + 16)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    #[test]
+    fn refcount_lifecycle() {
+        let mut idx = ChunkIndex::new();
+        let fp = sha256(b"chunk");
+        assert!(idx.get(&fp).is_none());
+        idx.insert(fp, "c-abc".into(), 5);
+        assert_eq!(idx.get(&fp).expect("present").refs, 1);
+
+        idx.add_ref(&fp).expect("present");
+        assert_eq!(idx.get(&fp).expect("present").refs, 2);
+
+        assert_eq!(idx.release(&fp), None, "still referenced");
+        assert_eq!(idx.release(&fp), Some("c-abc".to_string()), "last ref drops");
+        assert!(idx.get(&fp).is_none());
+        assert_eq!(idx.release(&fp), None, "releasing unknown is a no-op");
+    }
+
+    #[test]
+    fn accounting() {
+        let mut idx = ChunkIndex::new();
+        idx.insert(sha256(b"a"), "c-a".into(), 100);
+        idx.insert(sha256(b"b"), "c-b".into(), 200);
+        assert_eq!(idx.unique_chunks(), 2);
+        assert_eq!(idx.unique_bytes(), 300);
+        assert!(idx.memory_bytes() > 2 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate insert")]
+    fn double_insert_panics() {
+        let mut idx = ChunkIndex::new();
+        let fp = sha256(b"x");
+        idx.insert(fp, "o1".into(), 1);
+        idx.insert(fp, "o2".into(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # hyrd-dedup — client-side deduplication for the Cloud-of-Clouds
+//!
+//! The paper's §VI names this as the first future-work direction: "we
+//! will apply data deduplication in the HyRD module to eliminate the
+//! redundant data and reduce the total data transferred over the
+//! network, thus further improving the performance and cost efficiency."
+//! It also names the constraint: "data deduplication requires powerful
+//! computing resources and extra memory space while HyRD is located in
+//! the client side."
+//!
+//! This crate is that module, built to the constraint:
+//!
+//! * [`sha256`] — a from-scratch FIPS 180-4 SHA-256 for chunk
+//!   fingerprints (verified against the standard test vectors).
+//! * [`chunker`] — FastCDC-style content-defined chunking with a gear
+//!   hash: boundaries follow content, so an insertion early in a file
+//!   shifts chunk boundaries only locally and the rest of the file still
+//!   dedups.
+//! * [`index`] — the in-memory fingerprint index with reference counts —
+//!   the "extra memory space" §VI warns about, measured and bounded.
+//! * [`store`] — [`DedupStore`], a layer over any [`hyrd::Scheme`]: files
+//!   become chunk manifests; unique chunks are stored once (under the
+//!   scheme's own redundancy policy — small chunks get replicated, the
+//!   rare huge ones erasure-coded); duplicate chunks never hit the
+//!   network again.
+
+pub mod chunker;
+pub mod index;
+pub mod sha256;
+pub mod store;
+
+pub use chunker::{Chunk, Chunker, ChunkerConfig};
+pub use index::{ChunkIndex, Fingerprint};
+pub use store::{DedupStats, DedupStore};

@@ -1,0 +1,107 @@
+//! Error taxonomy of the GCS-API.
+//!
+//! The distinction that matters for HyRD is `Unavailable` (the provider
+//! is in a service outage — the event the whole paper is about) versus
+//! everything else: outages trigger degraded reads and update logging,
+//! other errors are client bugs or transient faults.
+
+use crate::types::{ObjectKey, ProviderId};
+
+/// Errors returned by cloud storage operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloudError {
+    /// The provider is in a service outage. Persistent until the outage
+    /// ends; retrying does not help, failover does.
+    Unavailable {
+        /// The unavailable provider.
+        provider: ProviderId,
+    },
+    /// The container does not exist.
+    NoSuchContainer {
+        /// Offending container name.
+        container: String,
+    },
+    /// The object does not exist.
+    NoSuchObject {
+        /// Offending key.
+        key: ObjectKey,
+    },
+    /// The container already exists (Create is not idempotent on real
+    /// object stores; we mirror that).
+    ContainerExists {
+        /// Offending container name.
+        container: String,
+    },
+    /// A transient fault (packet loss, throttling). Retrying may help.
+    Transient {
+        /// Provider that produced the fault.
+        provider: ProviderId,
+        /// Short description for logs.
+        reason: &'static str,
+    },
+}
+
+impl CloudError {
+    /// Whether a retry on the same provider is worthwhile.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CloudError::Transient { .. })
+    }
+
+    /// Whether this error means the provider is down (failover needed).
+    pub fn is_outage(&self) -> bool {
+        matches!(self, CloudError::Unavailable { .. })
+    }
+}
+
+impl std::fmt::Display for CloudError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CloudError::Unavailable { provider } => {
+                write!(f, "{provider} is unavailable (service outage)")
+            }
+            CloudError::NoSuchContainer { container } => {
+                write!(f, "container '{container}' does not exist")
+            }
+            CloudError::NoSuchObject { key } => write!(f, "object '{key}' does not exist"),
+            CloudError::ContainerExists { container } => {
+                write!(f, "container '{container}' already exists")
+            }
+            CloudError::Transient { provider, reason } => {
+                write!(f, "transient fault on {provider}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+/// Result alias for cloud operations.
+pub type CloudResult<T> = Result<T, CloudError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_classification() {
+        let t = CloudError::Transient { provider: ProviderId(0), reason: "throttled" };
+        assert!(t.is_retryable());
+        assert!(!t.is_outage());
+
+        let u = CloudError::Unavailable { provider: ProviderId(0) };
+        assert!(!u.is_retryable());
+        assert!(u.is_outage());
+
+        let n = CloudError::NoSuchObject { key: ObjectKey::new("c", "o") };
+        assert!(!n.is_retryable());
+        assert!(!n.is_outage());
+    }
+
+    #[test]
+    fn display_mentions_the_subject() {
+        let e = CloudError::NoSuchContainer { container: "photos".into() };
+        assert!(e.to_string().contains("photos"));
+        let e = CloudError::Unavailable { provider: ProviderId(2) };
+        assert!(e.to_string().contains("provider#2"));
+    }
+}

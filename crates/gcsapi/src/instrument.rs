@@ -1,0 +1,296 @@
+//! Per-provider operation statistics, accumulated lock-free.
+//!
+//! The ablation experiments (DESIGN.md §4.5, `ablation_update_recovery`)
+//! need exact op/byte counts per provider to show write amplification and
+//! recovery traffic. `Instrumented<C>` wraps any [`CloudStorage`] and
+//! counts everything that passes through, using relaxed atomics — counts
+//! are monotonic tallies with no cross-counter invariants to order, so
+//! `Relaxed` is the correct (and cheapest) ordering per the Rust memory
+//! model.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+
+use crate::error::CloudResult;
+use crate::storage::CloudStorage;
+use crate::types::{ObjectKey, OpKind, OpOutcome, ProviderId};
+
+/// Lock-free tally of operations through one provider.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    list: AtomicU64,
+    get: AtomicU64,
+    create: AtomicU64,
+    put: AtomicU64,
+    remove: AtomicU64,
+    errors: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    latency_ns: AtomicU64,
+}
+
+/// A point-in-time copy of [`OpStats`], cheap to diff and print.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// List op count.
+    pub list: u64,
+    /// Get op count.
+    pub get: u64,
+    /// Create op count.
+    pub create: u64,
+    /// Put op count.
+    pub put: u64,
+    /// Remove op count.
+    pub remove: u64,
+    /// Failed op count (any kind).
+    pub errors: u64,
+    /// Total bytes uploaded.
+    pub bytes_in: u64,
+    /// Total bytes downloaded.
+    pub bytes_out: u64,
+    /// Sum of op latencies in nanoseconds (virtual time in simulation).
+    pub latency_ns: u64,
+}
+
+impl StatsSnapshot {
+    /// Total successful op count.
+    pub fn total_ops(&self) -> u64 {
+        self.list + self.get + self.create + self.put + self.remove
+    }
+
+    /// Ops in Table II's Put/Copy/Post/List billing class.
+    pub fn put_class_ops(&self) -> u64 {
+        self.list + self.create + self.put
+    }
+
+    /// Ops in Table II's "Get and others" billing class.
+    pub fn get_class_ops(&self) -> u64 {
+        self.get + self.remove
+    }
+
+    /// Element-wise difference (`self - earlier`), for interval deltas.
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            list: self.list - earlier.list,
+            get: self.get - earlier.get,
+            create: self.create - earlier.create,
+            put: self.put - earlier.put,
+            remove: self.remove - earlier.remove,
+            errors: self.errors - earlier.errors,
+            bytes_in: self.bytes_in - earlier.bytes_in,
+            bytes_out: self.bytes_out - earlier.bytes_out,
+            latency_ns: self.latency_ns - earlier.latency_ns,
+        }
+    }
+}
+
+impl OpStats {
+    fn counter(&self, kind: OpKind) -> &AtomicU64 {
+        match kind {
+            OpKind::List => &self.list,
+            OpKind::Get => &self.get,
+            OpKind::Create => &self.create,
+            OpKind::Put => &self.put,
+            OpKind::Remove => &self.remove,
+        }
+    }
+
+    /// Records a successful operation's report.
+    pub fn record_ok(&self, report: &crate::types::OpReport) {
+        self.counter(report.kind).fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(report.bytes_in, Ordering::Relaxed);
+        self.bytes_out.fetch_add(report.bytes_out, Ordering::Relaxed);
+        self.latency_ns.fetch_add(report.latency.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records a failed operation.
+    pub fn record_err(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record<T>(&self, kind: OpKind, result: &CloudResult<OpOutcome<T>>) {
+        match result {
+            Ok(out) => {
+                debug_assert_eq!(out.report.kind, kind);
+                self.record_ok(&out.report);
+            }
+            Err(_) => self.record_err(),
+        }
+    }
+
+    /// Copies the current tallies.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            list: self.list.load(Ordering::Relaxed),
+            get: self.get.load(Ordering::Relaxed),
+            create: self.create.load(Ordering::Relaxed),
+            put: self.put.load(Ordering::Relaxed),
+            remove: self.remove.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            latency_ns: self.latency_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Transparent statistics-collecting wrapper around any provider.
+pub struct Instrumented<C> {
+    inner: C,
+    stats: OpStats,
+}
+
+impl<C: CloudStorage> Instrumented<C> {
+    /// Wraps a provider.
+    pub fn new(inner: C) -> Self {
+        Instrumented { inner, stats: OpStats::default() }
+    }
+
+    /// Access to the accumulated statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Access to the wrapped provider.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: CloudStorage> CloudStorage for Instrumented<C> {
+    fn id(&self) -> ProviderId {
+        self.inner.id()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn create(&self, container: &str) -> CloudResult<OpOutcome<()>> {
+        let r = self.inner.create(container);
+        self.stats.record(OpKind::Create, &r);
+        r
+    }
+
+    fn put(&self, key: &ObjectKey, data: Bytes) -> CloudResult<OpOutcome<()>> {
+        let r = self.inner.put(key, data);
+        self.stats.record(OpKind::Put, &r);
+        r
+    }
+
+    fn get(&self, key: &ObjectKey) -> CloudResult<OpOutcome<Bytes>> {
+        let r = self.inner.get(key);
+        self.stats.record(OpKind::Get, &r);
+        r
+    }
+
+    fn list(&self, container: &str) -> CloudResult<OpOutcome<Vec<String>>> {
+        let r = self.inner.list(container);
+        self.stats.record(OpKind::List, &r);
+        r
+    }
+
+    fn remove(&self, key: &ObjectKey) -> CloudResult<OpOutcome<()>> {
+        let r = self.inner.remove(key);
+        self.stats.record(OpKind::Remove, &r);
+        r
+    }
+
+    fn get_range(&self, key: &ObjectKey, offset: u64, len: u64) -> CloudResult<OpOutcome<Bytes>> {
+        let r = self.inner.get_range(key, offset, len);
+        self.stats.record(OpKind::Get, &r);
+        r
+    }
+
+    fn put_range(&self, key: &ObjectKey, offset: u64, data: Bytes) -> CloudResult<OpOutcome<()>> {
+        let r = self.inner.put_range(key, offset, data);
+        self.stats.record(OpKind::Put, &r);
+        r
+    }
+
+    fn is_available(&self) -> bool {
+        self.inner.is_available()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemoryCloud;
+
+    #[test]
+    fn counts_every_op_kind_and_bytes() {
+        let c = Instrumented::new(MemoryCloud::new(ProviderId(0), "mem"));
+        c.create("data").unwrap();
+        let key = ObjectKey::new("data", "k");
+        c.put(&key, Bytes::from(vec![0u8; 100])).unwrap();
+        c.get(&key).unwrap();
+        c.get(&key).unwrap();
+        c.list("data").unwrap();
+        c.remove(&key).unwrap();
+
+        let s = c.stats();
+        assert_eq!(s.create, 1);
+        assert_eq!(s.put, 1);
+        assert_eq!(s.get, 2);
+        assert_eq!(s.list, 1);
+        assert_eq!(s.remove, 1);
+        assert_eq!(s.total_ops(), 6);
+        assert_eq!(s.bytes_in, 100);
+        assert_eq!(s.bytes_out, 200);
+        assert_eq!(s.errors, 0);
+        assert_eq!(s.put_class_ops(), 3);
+        assert_eq!(s.get_class_ops(), 3);
+    }
+
+    #[test]
+    fn errors_counted_separately() {
+        let c = Instrumented::new(MemoryCloud::new(ProviderId(0), "mem"));
+        let key = ObjectKey::new("missing", "k");
+        assert!(c.get(&key).is_err());
+        assert!(c.remove(&key).is_err());
+        let s = c.stats();
+        assert_eq!(s.errors, 2);
+        assert_eq!(s.total_ops(), 0);
+    }
+
+    #[test]
+    fn delta_since_isolates_an_interval() {
+        let c = Instrumented::new(MemoryCloud::new(ProviderId(0), "mem"));
+        c.create("data").unwrap();
+        let before = c.stats();
+        c.put(&ObjectKey::new("data", "a"), Bytes::from(vec![1u8; 10])).unwrap();
+        let d = c.stats().delta_since(&before);
+        assert_eq!(d.put, 1);
+        assert_eq!(d.create, 0);
+        assert_eq!(d.bytes_in, 10);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        use std::sync::Arc;
+        let c = Arc::new(Instrumented::new(MemoryCloud::new(ProviderId(0), "mem")));
+        c.create("data").unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        let key = ObjectKey::new("data", format!("{t}-{i}"));
+                        c.put(&key, Bytes::from(vec![0u8; 8])).unwrap();
+                        c.get(&key).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = c.stats();
+        assert_eq!(s.put, 800);
+        assert_eq!(s.get, 800);
+        assert_eq!(s.bytes_in, 6400);
+        assert_eq!(s.bytes_out, 6400);
+    }
+}

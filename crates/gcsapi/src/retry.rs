@@ -1,0 +1,123 @@
+//! Bounded retry for transient faults.
+//!
+//! Outages are *not* retried — the paper's recovery design (§III-C)
+//! handles those with degraded reads and update logging. Retry only makes
+//! sense for throttling/packet-loss style [`CloudError::Transient`]
+//! failures, and only a bounded number of times so a misclassified outage
+//! cannot stall the dispatcher.
+
+use crate::error::{CloudError, CloudResult};
+
+/// How many times to re-attempt a transiently-failing operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts (>= 1). 1 means "no retries".
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3 }
+    }
+}
+
+impl RetryPolicy {
+    /// Policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1 }
+    }
+
+    /// Runs `op` until it succeeds, fails non-retryably, or attempts run
+    /// out. Returns the last error on exhaustion.
+    pub fn run<T>(&self, mut op: impl FnMut() -> CloudResult<T>) -> CloudResult<T> {
+        assert!(self.max_attempts >= 1, "max_attempts must be at least 1");
+        let mut last: Option<CloudError> = None;
+        for _ in 0..self.max_attempts {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("loop ran at least once"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ObjectKey, ProviderId};
+
+    fn transient() -> CloudError {
+        CloudError::Transient { provider: ProviderId(0), reason: "throttled" }
+    }
+
+    #[test]
+    fn succeeds_first_try() {
+        let calls = std::cell::Cell::new(0);
+        let r = RetryPolicy::default().run(|| {
+            calls.set(calls.get() + 1);
+            Ok::<_, CloudError>(7)
+        });
+        assert_eq!(r.unwrap(), 7);
+        assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn retries_transient_until_success() {
+        let calls = std::cell::Cell::new(0);
+        let r = RetryPolicy { max_attempts: 5 }.run(|| {
+            calls.set(calls.get() + 1);
+            if calls.get() < 3 {
+                Err(transient())
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(r.unwrap(), 42);
+        assert_eq!(calls.get(), 3);
+    }
+
+    #[test]
+    fn exhaustion_returns_last_error() {
+        let calls = std::cell::Cell::new(0);
+        let r: CloudResult<()> = RetryPolicy { max_attempts: 4 }.run(|| {
+            calls.set(calls.get() + 1);
+            Err(transient())
+        });
+        assert!(matches!(r, Err(CloudError::Transient { .. })));
+        assert_eq!(calls.get(), 4);
+    }
+
+    #[test]
+    fn outage_is_not_retried() {
+        let calls = std::cell::Cell::new(0);
+        let r: CloudResult<()> = RetryPolicy { max_attempts: 10 }.run(|| {
+            calls.set(calls.get() + 1);
+            Err(CloudError::Unavailable { provider: ProviderId(1) })
+        });
+        assert!(matches!(r, Err(CloudError::Unavailable { .. })));
+        assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn not_found_is_not_retried() {
+        let calls = std::cell::Cell::new(0);
+        let r: CloudResult<()> = RetryPolicy::default().run(|| {
+            calls.set(calls.get() + 1);
+            Err(CloudError::NoSuchObject { key: ObjectKey::new("c", "o") })
+        });
+        assert!(r.is_err());
+        assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn none_policy_is_single_shot() {
+        let calls = std::cell::Cell::new(0);
+        let _: CloudResult<()> = RetryPolicy::none().run(|| {
+            calls.set(calls.get() + 1);
+            Err(transient())
+        });
+        assert_eq!(calls.get(), 1);
+    }
+}

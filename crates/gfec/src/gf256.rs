@@ -1,0 +1,357 @@
+//! Arithmetic over the finite field GF(2^8).
+//!
+//! The field is constructed as GF(2)\[x\] modulo the primitive polynomial
+//! `x^8 + x^4 + x^3 + x^2 + 1` (0x11d), the same polynomial used by
+//! AES-adjacent storage codes and the classic Rizzo FEC paper. Log/exp
+//! tables are built at compile time by a `const fn`, so there is no lazy
+//! initialization and no runtime branching on table readiness.
+
+/// The primitive polynomial 0x11d, with the implicit x^8 term.
+pub const PRIMITIVE_POLY: u16 = 0x11d;
+
+/// Generator of the multiplicative group used to build the tables.
+pub const GENERATOR: u8 = 2;
+
+const fn build_exp_log() -> ([u8; 512], [u8; 256]) {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= PRIMITIVE_POLY;
+        }
+        i += 1;
+    }
+    // Duplicate the table so `exp[log a + log b]` never needs a mod-255.
+    let mut j = 255;
+    while j < 512 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    (exp, log)
+}
+
+const TABLES: ([u8; 512], [u8; 256]) = build_exp_log();
+/// `EXP[i] = g^i` for `i in 0..510` (doubled to avoid a modulo on lookup).
+pub static EXP: [u8; 512] = TABLES.0;
+/// `LOG[a] = log_g a` for `a in 1..=255`; `LOG[0]` is unused and 0.
+pub static LOG: [u8; 256] = TABLES.1;
+
+/// An element of GF(2^8).
+///
+/// Addition is XOR; multiplication goes through the log/exp tables. The
+/// type is a transparent wrapper so slices of bytes can be reinterpreted
+/// freely by the block routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(transparent)]
+pub struct Gf256(pub u8);
+
+impl Gf256 {
+    /// Additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// Multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+
+    /// Field addition (XOR; identical to subtraction in GF(2^8)).
+    #[inline]
+    pub fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+
+    /// Field subtraction (same as addition in characteristic 2).
+    #[inline]
+    pub fn sub(self, rhs: Gf256) -> Gf256 {
+        self.add(rhs)
+    }
+
+    /// Field multiplication via log/exp tables.
+    #[inline]
+    pub fn mul(self, rhs: Gf256) -> Gf256 {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let idx = LOG[self.0 as usize] as usize + LOG[rhs.0 as usize] as usize;
+        Gf256(EXP[idx])
+    }
+
+    /// Field division.
+    ///
+    /// # Panics
+    /// Panics on division by zero, mirroring integer division semantics.
+    #[inline]
+    pub fn div(self, rhs: Gf256) -> Gf256 {
+        assert!(rhs.0 != 0, "division by zero in GF(2^8)");
+        if self.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let idx = LOG[self.0 as usize] as usize + 255 - LOG[rhs.0 as usize] as usize;
+        Gf256(EXP[idx])
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics for zero, which has no inverse.
+    #[inline]
+    pub fn inv(self) -> Gf256 {
+        assert!(self.0 != 0, "zero has no inverse in GF(2^8)");
+        Gf256(EXP[255 - LOG[self.0 as usize] as usize])
+    }
+
+    /// Exponentiation by a non-negative integer, `self^k`.
+    pub fn pow(self, mut k: u32) -> Gf256 {
+        if k == 0 {
+            return Gf256::ONE;
+        }
+        if self.0 == 0 {
+            return Gf256::ZERO;
+        }
+        // log(a^k) = k * log(a) mod 255
+        let l = LOG[self.0 as usize] as u64;
+        k %= 255; // order of the multiplicative group
+        let idx = (l * k as u64) % 255;
+        Gf256(EXP[idx as usize])
+    }
+
+    /// `g^i` for the field generator.
+    #[inline]
+    pub fn exp(i: usize) -> Gf256 {
+        Gf256(EXP[i % 255])
+    }
+}
+
+impl From<u8> for Gf256 {
+    fn from(v: u8) -> Self {
+        Gf256(v)
+    }
+}
+
+impl From<Gf256> for u8 {
+    fn from(v: Gf256) -> Self {
+        v.0
+    }
+}
+
+impl std::ops::Add for Gf256 {
+    type Output = Gf256;
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for Gf256 {
+    type Output = Gf256;
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        Gf256::sub(self, rhs)
+    }
+}
+
+impl std::ops::Mul for Gf256 {
+    type Output = Gf256;
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        Gf256::mul(self, rhs)
+    }
+}
+
+impl std::ops::Div for Gf256 {
+    type Output = Gf256;
+    fn div(self, rhs: Gf256) -> Gf256 {
+        Gf256::div(self, rhs)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block (slice) operations — the hot loops of encoding.
+// ---------------------------------------------------------------------------
+
+/// `dst[i] ^= c * src[i]` over whole slices. This is the inner loop of
+/// Reed-Solomon encoding; it is written index-free so LLVM autovectorizes.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: Gf256) {
+    assert_eq!(dst.len(), src.len(), "mul_acc_slice length mismatch");
+    if c.0 == 0 {
+        return;
+    }
+    if c.0 == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= *s;
+        }
+        return;
+    }
+    let lc = LOG[c.0 as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= EXP[lc + LOG[*s as usize] as usize];
+        }
+    }
+}
+
+/// `dst[i] = c * src[i]` over whole slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn mul_slice(dst: &mut [u8], src: &[u8], c: Gf256) {
+    assert_eq!(dst.len(), src.len(), "mul_slice length mismatch");
+    if c.0 == 0 {
+        dst.fill(0);
+        return;
+    }
+    if c.0 == 1 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let lc = LOG[c.0 as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = if *s == 0 { 0 } else { EXP[lc + LOG[*s as usize] as usize] };
+    }
+}
+
+/// `dst[i] ^= src[i]` — pure XOR accumulate (the RAID5 hot loop).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_slice length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= *s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_consistent() {
+        // exp and log are mutually inverse on the multiplicative group.
+        for a in 1..=255u8 {
+            assert_eq!(EXP[LOG[a as usize] as usize], a);
+        }
+        for i in 0..255usize {
+            assert_eq!(LOG[EXP[i] as usize] as usize, i);
+        }
+        // The doubled half mirrors the first half.
+        for i in 255..510 {
+            assert_eq!(EXP[i], EXP[i - 255]);
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // g^i must enumerate all 255 nonzero elements.
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            let v = Gf256::exp(i).0;
+            assert!(!seen[v as usize], "g^{i} repeats value {v}");
+            seen[v as usize] = true;
+        }
+        assert!(!seen[0]);
+    }
+
+    #[test]
+    fn mul_matches_schoolbook() {
+        // Carry-less "Russian peasant" multiplication as the oracle.
+        fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+            let mut p = 0u8;
+            while b != 0 {
+                if b & 1 != 0 {
+                    p ^= a;
+                }
+                let hi = a & 0x80 != 0;
+                a <<= 1;
+                if hi {
+                    a ^= (PRIMITIVE_POLY & 0xff) as u8;
+                }
+                b >>= 1;
+            }
+            p
+        }
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(
+                    Gf256(a).mul(Gf256(b)).0,
+                    slow_mul(a, b),
+                    "mismatch at {a} * {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn div_inverts_mul() {
+        for a in 0..=255u8 {
+            for b in 1..=255u8 {
+                let p = Gf256(a) * Gf256(b);
+                assert_eq!(p / Gf256(b), Gf256(a));
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_works_for_all_nonzero() {
+        for a in 1..=255u8 {
+            assert_eq!(Gf256(a) * Gf256(a).inv(), Gf256::ONE);
+        }
+    }
+
+    #[test]
+    fn pow_basic_identities() {
+        for a in 0..=255u8 {
+            assert_eq!(Gf256(a).pow(0), Gf256::ONE);
+            assert_eq!(Gf256(a).pow(1), Gf256(a));
+            assert_eq!(Gf256(a).pow(2), Gf256(a) * Gf256(a));
+        }
+        // Fermat: a^255 == 1 for nonzero a (group order 255).
+        for a in 1..=255u8 {
+            assert_eq!(Gf256(a).pow(255), Gf256::ONE);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Gf256(5) / Gf256(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_inverse_panics() {
+        let _ = Gf256::ZERO.inv();
+    }
+
+    #[test]
+    fn slice_ops_match_scalar() {
+        let src: Vec<u8> = (0..=255).collect();
+        for c in [0u8, 1, 2, 3, 0x53, 0xff] {
+            let mut dst = vec![0xAAu8; 256];
+            let mut expect = dst.clone();
+            mul_acc_slice(&mut dst, &src, Gf256(c));
+            for (e, s) in expect.iter_mut().zip(&src) {
+                *e ^= (Gf256(c) * Gf256(*s)).0;
+            }
+            assert_eq!(dst, expect, "mul_acc c={c}");
+
+            let mut dst2 = vec![0u8; 256];
+            mul_slice(&mut dst2, &src, Gf256(c));
+            let expect2: Vec<u8> = src.iter().map(|&s| (Gf256(c) * Gf256(s)).0).collect();
+            assert_eq!(dst2, expect2, "mul c={c}");
+        }
+        let mut d = vec![0b1010u8; 16];
+        xor_slice(&mut d, &vec![0b0110u8; 16]);
+        assert!(d.iter().all(|&b| b == 0b1100));
+    }
+
+    #[test]
+    fn operators_delegate() {
+        assert_eq!(Gf256(3) + Gf256(5), Gf256(6));
+        assert_eq!(Gf256(3) - Gf256(5), Gf256(6));
+        assert_eq!((Gf256(7) * Gf256(9)) / Gf256(9), Gf256(7));
+        assert_eq!(u8::from(Gf256::from(42u8)), 42);
+    }
+}

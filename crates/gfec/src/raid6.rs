@@ -1,0 +1,307 @@
+//! RAID6: double parity (P + Q) tolerating any two erasures.
+//!
+//! This extends the paper's RAID5 choice for the large-file tier and backs
+//! the `ablation_code_choice` experiment (DESIGN.md §4.4): what does HyRD
+//! pay/gain if the Cloud-of-Clouds must survive two concurrent outages?
+//!
+//! P is the plain XOR parity; Q is the Reed-Solomon-style syndrome
+//! `Q = sum_i g^i * D_i` over GF(2^8) — the classic Anvin construction
+//! used by Linux md.
+
+use crate::gf256::{mul_acc_slice, mul_slice, xor_slice, Gf256};
+use crate::{ErasureCode, Fragment, GfecError, Result};
+
+/// Double-parity erasure code: `m` data fragments, parity fragments P
+/// (index `m`) and Q (index `m + 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Raid6 {
+    m: usize,
+}
+
+impl Raid6 {
+    /// Creates a RAID6 code over `m` data fragments (n = m + 2).
+    pub fn new(m: usize) -> Result<Self> {
+        if m == 0 || m + 2 > 255 {
+            return Err(GfecError::InvalidParams { m, n: m + 2 });
+        }
+        Ok(Raid6 { m })
+    }
+
+    fn validate(&self, shards: &[&[u8]]) -> Result<usize> {
+        if shards.len() != self.m {
+            return Err(GfecError::NotEnoughFragments { have: shards.len(), need: self.m });
+        }
+        let len = shards[0].len();
+        for s in shards {
+            if s.len() != len {
+                return Err(GfecError::FragmentSizeMismatch { expected: len, got: s.len() });
+            }
+        }
+        Ok(len)
+    }
+
+    /// Rebuilds two lost data shards `(a, b)` from the survivors plus P
+    /// and Q — the hardest RAID6 case, solved with the standard 2x2
+    /// system over GF(2^8).
+    fn rebuild_two_data(
+        &self,
+        by_index: &[Option<&Fragment>],
+        a: usize,
+        b: usize,
+        shard_len: usize,
+    ) -> Result<(Vec<u8>, Vec<u8>)> {
+        let p = &by_index[self.m].ok_or(GfecError::NotEnoughFragments {
+            have: self.m,
+            need: self.m,
+        })?
+        .data;
+        let q = &by_index[self.m + 1]
+            .ok_or(GfecError::NotEnoughFragments { have: self.m, need: self.m })?
+            .data;
+
+        // Pxy = P ^ sum(surviving data); Qxy = Q ^ sum(g^i * surviving data)
+        let mut pxy = p.clone();
+        let mut qxy = q.clone();
+        for (i, f) in by_index.iter().enumerate().take(self.m) {
+            if let Some(f) = f {
+                xor_slice(&mut pxy, &f.data);
+                mul_acc_slice(&mut qxy, &f.data, Gf256::exp(i));
+            }
+        }
+        // Solve: Da ^ Db = Pxy ; g^a*Da ^ g^b*Db = Qxy
+        // => Da = (g^b * Pxy ^ Qxy) / (g^a ^ g^b); Db = Pxy ^ Da
+        let ga = Gf256::exp(a);
+        let gb = Gf256::exp(b);
+        let denom = (ga + gb).inv();
+
+        let mut da = vec![0u8; shard_len];
+        mul_slice(&mut da, &pxy, gb);
+        xor_slice(&mut da, &qxy);
+        let mut da_final = vec![0u8; shard_len];
+        mul_slice(&mut da_final, &da, denom);
+
+        let mut db = pxy;
+        xor_slice(&mut db, &da_final);
+        Ok((da_final, db))
+    }
+}
+
+impl ErasureCode for Raid6 {
+    fn data_fragments(&self) -> usize {
+        self.m
+    }
+
+    fn total_fragments(&self) -> usize {
+        self.m + 2
+    }
+
+    fn encode(&self, shards: &[&[u8]]) -> Result<Vec<Vec<u8>>> {
+        let len = self.validate(shards)?;
+        let mut p = vec![0u8; len];
+        let mut q = vec![0u8; len];
+        for (i, s) in shards.iter().enumerate() {
+            xor_slice(&mut p, s);
+            mul_acc_slice(&mut q, s, Gf256::exp(i));
+        }
+        Ok(vec![p, q])
+    }
+
+    fn parity_coefficients(&self) -> Vec<Vec<Gf256>> {
+        vec![
+            vec![Gf256::ONE; self.m],
+            (0..self.m).map(Gf256::exp).collect(),
+        ]
+    }
+
+    fn reconstruct(&self, available: &[Fragment], shard_len: usize) -> Result<Vec<Vec<u8>>> {
+        let n = self.m + 2;
+        if available.len() < self.m {
+            return Err(GfecError::NotEnoughFragments { have: available.len(), need: self.m });
+        }
+        let mut by_index: Vec<Option<&Fragment>> = vec![None; n];
+        for f in available {
+            if f.index >= n {
+                return Err(GfecError::BadFragmentIndex { index: f.index, n });
+            }
+            if by_index[f.index].is_some() {
+                return Err(GfecError::DuplicateFragment { index: f.index });
+            }
+            if f.data.len() != shard_len {
+                return Err(GfecError::FragmentSizeMismatch {
+                    expected: shard_len,
+                    got: f.data.len(),
+                });
+            }
+            by_index[f.index] = Some(f);
+        }
+
+        let missing_data: Vec<usize> = (0..self.m).filter(|&i| by_index[i].is_none()).collect();
+        match missing_data.len() {
+            0 => Ok((0..self.m)
+                .map(|i| by_index[i].expect("present").data.clone())
+                .collect()),
+            1 => {
+                let lost = missing_data[0];
+                // Prefer P-based XOR rebuild; fall back to Q if P is gone.
+                let rebuilt = if let Some(p) = by_index[self.m] {
+                    let mut r = p.data.clone();
+                    for (i, f) in by_index.iter().enumerate().take(self.m) {
+                        if i != lost {
+                            if let Some(f) = f {
+                                xor_slice(&mut r, &f.data);
+                            }
+                        }
+                    }
+                    r
+                } else if let Some(q) = by_index[self.m + 1] {
+                    // Q ^ sum_{i != lost} g^i D_i = g^lost * D_lost
+                    let mut syn = q.data.clone();
+                    for (i, f) in by_index.iter().enumerate().take(self.m) {
+                        if i != lost {
+                            if let Some(f) = f {
+                                mul_acc_slice(&mut syn, &f.data, Gf256::exp(i));
+                            }
+                        }
+                    }
+                    let mut r = vec![0u8; shard_len];
+                    mul_slice(&mut r, &syn, Gf256::exp(lost).inv());
+                    r
+                } else {
+                    return Err(GfecError::NotEnoughFragments {
+                        have: available.len(),
+                        need: self.m,
+                    });
+                };
+                Ok((0..self.m)
+                    .map(|i| {
+                        if i == lost {
+                            rebuilt.clone()
+                        } else {
+                            by_index[i].expect("present").data.clone()
+                        }
+                    })
+                    .collect())
+            }
+            2 => {
+                let (a, b) = (missing_data[0], missing_data[1]);
+                let (da, db) = self.rebuild_two_data(&by_index, a, b, shard_len)?;
+                Ok((0..self.m)
+                    .map(|i| {
+                        if i == a {
+                            da.clone()
+                        } else if i == b {
+                            db.clone()
+                        } else {
+                            by_index[i].expect("present").data.clone()
+                        }
+                    })
+                    .collect())
+            }
+            _ => Err(GfecError::NotEnoughFragments {
+                have: self.m - missing_data.len() + 2,
+                need: self.m,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_shards(m: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..m)
+            .map(|i| (0..len).map(|b| (b as u8).wrapping_mul(17) ^ (i as u8 + 1)).collect())
+            .collect()
+    }
+
+    fn frags_for(r: &Raid6, d: &[Vec<u8>]) -> Vec<Fragment> {
+        let refs: Vec<&[u8]> = d.iter().map(|x| x.as_slice()).collect();
+        let parity = r.encode(&refs).unwrap();
+        let mut frags: Vec<Fragment> =
+            d.iter().enumerate().map(|(i, x)| Fragment::new(i, x.clone())).collect();
+        frags.push(Fragment::new(d.len(), parity[0].clone()));
+        frags.push(Fragment::new(d.len() + 1, parity[1].clone()));
+        frags
+    }
+
+    #[test]
+    fn every_double_loss_recovers() {
+        let m = 4;
+        let r = Raid6::new(m).unwrap();
+        let d = mk_shards(m, 40);
+        let frags = frags_for(&r, &d);
+        let n = m + 2;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let avail: Vec<Fragment> =
+                    frags.iter().filter(|f| f.index != a && f.index != b).cloned().collect();
+                let got = r.reconstruct(&avail, 40).unwrap();
+                assert_eq!(got, d, "lost=({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn single_loss_recovers_via_q_when_p_also_gone() {
+        let m = 3;
+        let r = Raid6::new(m).unwrap();
+        let d = mk_shards(m, 24);
+        let frags = frags_for(&r, &d);
+        // Lose data shard 1 AND parity P — forces the Q path.
+        let avail: Vec<Fragment> =
+            frags.iter().filter(|f| f.index != 1 && f.index != m).cloned().collect();
+        assert_eq!(r.reconstruct(&avail, 24).unwrap(), d);
+    }
+
+    #[test]
+    fn triple_loss_fails() {
+        let m = 4;
+        let r = Raid6::new(m).unwrap();
+        let d = mk_shards(m, 16);
+        let frags = frags_for(&r, &d);
+        let avail: Vec<Fragment> =
+            frags.iter().filter(|f| f.index > 2).cloned().collect();
+        assert!(matches!(
+            r.reconstruct(&avail, 16),
+            Err(GfecError::NotEnoughFragments { .. })
+        ));
+    }
+
+    #[test]
+    fn q_parity_matches_definition() {
+        let m = 3;
+        let r = Raid6::new(m).unwrap();
+        let d = mk_shards(m, 8);
+        let refs: Vec<&[u8]> = d.iter().map(|x| x.as_slice()).collect();
+        let parity = r.encode(&refs).unwrap();
+        for b in 0..8 {
+            let mut q = Gf256::ZERO;
+            for (i, shard) in d.iter().enumerate() {
+                q = q + Gf256::exp(i) * Gf256(shard[b]);
+            }
+            assert_eq!(parity[1][b], q.0);
+        }
+    }
+
+    #[test]
+    fn params_and_rate() {
+        assert!(Raid6::new(0).is_err());
+        assert!(Raid6::new(254).is_err());
+        let r = Raid6::new(4).unwrap();
+        assert_eq!(r.total_fragments(), 6);
+        assert_eq!(r.parity_fragments(), 2);
+        assert!((r.rate() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let r = Raid6::new(3).unwrap();
+        let d = mk_shards(3, 16);
+        let frags = frags_for(&r, &d);
+        let dup = vec![frags[0].clone(), frags[0].clone(), frags[1].clone()];
+        assert!(matches!(r.reconstruct(&dup, 16), Err(GfecError::DuplicateFragment { .. })));
+        let bad = vec![frags[0].clone(), frags[1].clone(), Fragment::new(99, vec![0; 16])];
+        assert!(matches!(r.reconstruct(&bad, 16), Err(GfecError::BadFragmentIndex { .. })));
+    }
+}

@@ -1,0 +1,389 @@
+//! Systematic Reed-Solomon codes over GF(2^8).
+//!
+//! The encode matrix is built the way Plank's tutorial and production
+//! systems (Backblaze, HDFS-EC) do it: take a distinct-row matrix
+//! (Vandermonde or Cauchy-extended identity), normalize so its top `m`
+//! rows are the identity, and use the bottom `n - m` rows as parity
+//! generators. The systematic property means data fragments are verbatim
+//! slices of the object — reads that lose no fragment never pay a decode.
+
+use crate::gf256::Gf256;
+use crate::matrix::Matrix;
+use crate::{ErasureCode, Fragment, GfecError, Result};
+
+/// Which matrix construction generates the parity rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatrixKind {
+    /// Vandermonde matrix normalized to systematic form.
+    Vandermonde,
+    /// Identity stacked on a Cauchy matrix (already systematic; every
+    /// square submatrix of a Cauchy matrix is invertible).
+    #[default]
+    Cauchy,
+}
+
+/// A systematic `RS(m, n)` code: `m` data fragments, `n - m` parity
+/// fragments, tolerating any `n - m` erasures.
+///
+/// ```
+/// use hyrd_gfec::{ReedSolomon, ErasureCode, Fragment};
+///
+/// let rs = ReedSolomon::new(3, 5).unwrap();
+/// let shards: Vec<Vec<u8>> = (0..3).map(|i| vec![i as u8; 64]).collect();
+/// let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+/// let fragments = rs.encode_fragments(&refs).unwrap();
+///
+/// // Lose any two of the five fragments — the data still decodes.
+/// let survivors: Vec<Fragment> =
+///     fragments.into_iter().filter(|f| f.index != 0 && f.index != 4).collect();
+/// assert_eq!(rs.reconstruct(&survivors, 64).unwrap(), shards);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    m: usize,
+    n: usize,
+    /// Full `n x m` encode matrix; top `m` rows are the identity.
+    encode_matrix: Matrix,
+}
+
+impl ReedSolomon {
+    /// Creates an `RS(m, n)` code with the default (Cauchy) construction.
+    pub fn new(m: usize, n: usize) -> Result<Self> {
+        Self::with_kind(m, n, MatrixKind::default())
+    }
+
+    /// Creates an `RS(m, n)` code with an explicit matrix construction.
+    pub fn with_kind(m: usize, n: usize, kind: MatrixKind) -> Result<Self> {
+        if m == 0 || n <= m || n > 255 {
+            return Err(GfecError::InvalidParams { m, n });
+        }
+        let encode_matrix = match kind {
+            MatrixKind::Vandermonde => {
+                // Normalize V (n x m) so the top m x m block becomes I:
+                // E = V * inv(V_top). Any m rows of E stay independent
+                // because row operations preserve that property.
+                let v = Matrix::vandermonde(n, m);
+                let top = v.select_rows(&(0..m).collect::<Vec<_>>());
+                let top_inv = top.invert().map_err(|_| GfecError::SingularMatrix)?;
+                v.mul(&top_inv)
+            }
+            MatrixKind::Cauchy => {
+                let mut e = Matrix::zero(n, m);
+                for i in 0..m {
+                    e.set(i, i, Gf256::ONE);
+                }
+                let c = Matrix::cauchy(n - m, m);
+                for i in 0..(n - m) {
+                    for j in 0..m {
+                        e.set(m + i, j, c.get(i, j));
+                    }
+                }
+                e
+            }
+        };
+        Ok(ReedSolomon { m, n, encode_matrix })
+    }
+
+    /// The full `n x m` encode matrix (top `m` rows are the identity).
+    pub fn encode_matrix(&self) -> &Matrix {
+        &self.encode_matrix
+    }
+
+    /// Encodes `m` equal-length data shards into the full fragment set
+    /// (data fragments first, verbatim, then parity).
+    pub fn encode_fragments(&self, shards: &[&[u8]]) -> Result<Vec<Fragment>> {
+        let parity = self.encode(shards)?;
+        let mut out = Vec::with_capacity(self.n);
+        for (i, s) in shards.iter().enumerate() {
+            out.push(Fragment::new(i, s.to_vec()));
+        }
+        for (k, p) in parity.into_iter().enumerate() {
+            out.push(Fragment::new(self.m + k, p));
+        }
+        Ok(out)
+    }
+
+    fn validate_shards(&self, shards: &[&[u8]]) -> Result<usize> {
+        if shards.len() != self.m {
+            return Err(GfecError::NotEnoughFragments { have: shards.len(), need: self.m });
+        }
+        let len = shards[0].len();
+        for s in shards {
+            if s.len() != len {
+                return Err(GfecError::FragmentSizeMismatch { expected: len, got: s.len() });
+            }
+        }
+        Ok(len)
+    }
+
+    /// Validates a decode input: exactly-once indices in range, equal
+    /// lengths, at least `m` fragments. Returns the shard length.
+    fn validate_fragments(&self, available: &[Fragment], shard_len: usize) -> Result<()> {
+        if available.len() < self.m {
+            return Err(GfecError::NotEnoughFragments { have: available.len(), need: self.m });
+        }
+        let mut seen = vec![false; self.n];
+        for f in available {
+            if f.index >= self.n {
+                return Err(GfecError::BadFragmentIndex { index: f.index, n: self.n });
+            }
+            if seen[f.index] {
+                return Err(GfecError::DuplicateFragment { index: f.index });
+            }
+            seen[f.index] = true;
+            if f.data.len() != shard_len {
+                return Err(GfecError::FragmentSizeMismatch {
+                    expected: shard_len,
+                    got: f.data.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Reconstructs one specific missing fragment (data or parity) from
+    /// any `m` available fragments — the degraded-read path for a single
+    /// cloud outage where only the lost fragment matters.
+    pub fn reconstruct_fragment(
+        &self,
+        available: &[Fragment],
+        target_index: usize,
+        shard_len: usize,
+    ) -> Result<Fragment> {
+        if target_index >= self.n {
+            return Err(GfecError::BadFragmentIndex { index: target_index, n: self.n });
+        }
+        let data = self.reconstruct(available, shard_len)?;
+        if target_index < self.m {
+            return Ok(Fragment::new(target_index, data[target_index].clone()));
+        }
+        // Parity fragment: re-apply its generator row to the data shards.
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let row = self
+            .encode_matrix
+            .select_rows(&[target_index])
+            .mul_shards(&refs)
+            .pop()
+            .expect("one selected row yields one shard");
+        Ok(Fragment::new(target_index, row))
+    }
+}
+
+impl ErasureCode for ReedSolomon {
+    fn data_fragments(&self) -> usize {
+        self.m
+    }
+
+    fn total_fragments(&self) -> usize {
+        self.n
+    }
+
+    fn encode(&self, shards: &[&[u8]]) -> Result<Vec<Vec<u8>>> {
+        self.validate_shards(shards)?;
+        let parity_rows: Vec<usize> = (self.m..self.n).collect();
+        Ok(self.encode_matrix.select_rows(&parity_rows).mul_shards(shards))
+    }
+
+    fn parity_coefficients(&self) -> Vec<Vec<Gf256>> {
+        (self.m..self.n)
+            .map(|r| (0..self.m).map(|c| self.encode_matrix.get(r, c)).collect())
+            .collect()
+    }
+
+    fn reconstruct(&self, available: &[Fragment], shard_len: usize) -> Result<Vec<Vec<u8>>> {
+        self.validate_fragments(available, shard_len)?;
+
+        // Fast path: all data fragments present — systematic, just copy.
+        let mut by_index: Vec<Option<&Fragment>> = vec![None; self.n];
+        for f in available {
+            by_index[f.index] = Some(f);
+        }
+        if (0..self.m).all(|i| by_index[i].is_some()) {
+            return Ok((0..self.m)
+                .map(|i| by_index[i].expect("checked present").data.clone())
+                .collect());
+        }
+
+        // General path: pick m fragments (prefer data fragments to keep
+        // the decode matrix close to identity), invert, multiply.
+        let mut picked: Vec<&Fragment> = Vec::with_capacity(self.m);
+        for f in by_index.iter().flatten() {
+            if picked.len() == self.m {
+                break;
+            }
+            picked.push(f);
+        }
+        let rows: Vec<usize> = picked.iter().map(|f| f.index).collect();
+        let decode = self
+            .encode_matrix
+            .select_rows(&rows)
+            .invert()
+            .map_err(|_| GfecError::SingularMatrix)?;
+        let refs: Vec<&[u8]> = picked.iter().map(|f| f.data.as_slice()).collect();
+        Ok(decode.mul_shards(&refs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shards(m: usize, len: usize, seed: u8) -> Vec<Vec<u8>> {
+        (0..m)
+            .map(|i| (0..len).map(|b| (b as u8).wrapping_mul(31).wrapping_add(seed + i as u8)).collect())
+            .collect()
+    }
+
+    fn roundtrip(kind: MatrixKind, m: usize, n: usize) {
+        let rs = ReedSolomon::with_kind(m, n, kind).unwrap();
+        let data = shards(m, 64, 7);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let frags = rs.encode_fragments(&refs).unwrap();
+        assert_eq!(frags.len(), n);
+
+        // Every way of losing up to n-m fragments must still decode.
+        for lost_a in 0..n {
+            for lost_b in 0..n {
+                let avail: Vec<Fragment> = frags
+                    .iter()
+                    .filter(|f| f.index != lost_a && f.index != lost_b)
+                    .cloned()
+                    .collect();
+                if avail.len() < m {
+                    continue;
+                }
+                let got = rs.reconstruct(&avail, 64).unwrap();
+                assert_eq!(got, data, "kind={kind:?} m={m} n={n} lost=({lost_a},{lost_b})");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_raid5_shape_cauchy() {
+        roundtrip(MatrixKind::Cauchy, 3, 4);
+    }
+
+    #[test]
+    fn roundtrip_raid5_shape_vandermonde() {
+        roundtrip(MatrixKind::Vandermonde, 3, 4);
+    }
+
+    #[test]
+    fn roundtrip_wide_codes() {
+        roundtrip(MatrixKind::Cauchy, 4, 6);
+        roundtrip(MatrixKind::Vandermonde, 4, 6);
+        roundtrip(MatrixKind::Cauchy, 6, 9);
+        roundtrip(MatrixKind::Cauchy, 10, 14);
+    }
+
+    #[test]
+    fn systematic_top_is_identity() {
+        for kind in [MatrixKind::Cauchy, MatrixKind::Vandermonde] {
+            let rs = ReedSolomon::with_kind(4, 6, kind).unwrap();
+            let e = rs.encode_matrix();
+            for i in 0..4 {
+                for j in 0..4 {
+                    let want = if i == j { 1 } else { 0 };
+                    assert_eq!(e.get(i, j).0, want, "kind={kind:?} at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn data_fragments_are_verbatim() {
+        let rs = ReedSolomon::new(3, 5).unwrap();
+        let data = shards(3, 32, 1);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let frags = rs.encode_fragments(&refs).unwrap();
+        for i in 0..3 {
+            assert_eq!(frags[i].data, data[i]);
+        }
+    }
+
+    #[test]
+    fn reconstruct_single_fragment_data_and_parity() {
+        let rs = ReedSolomon::new(3, 5).unwrap();
+        let data = shards(3, 48, 9);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let frags = rs.encode_fragments(&refs).unwrap();
+        for target in 0..5 {
+            let avail: Vec<Fragment> =
+                frags.iter().filter(|f| f.index != target).cloned().collect();
+            let rebuilt = rs.reconstruct_fragment(&avail, target, 48).unwrap();
+            assert_eq!(rebuilt, frags[target], "target={target}");
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(matches!(ReedSolomon::new(0, 4), Err(GfecError::InvalidParams { .. })));
+        assert!(matches!(ReedSolomon::new(4, 4), Err(GfecError::InvalidParams { .. })));
+        assert!(matches!(ReedSolomon::new(4, 3), Err(GfecError::InvalidParams { .. })));
+        assert!(matches!(ReedSolomon::new(200, 256), Err(GfecError::InvalidParams { .. })));
+    }
+
+    #[test]
+    fn decode_input_validation() {
+        let rs = ReedSolomon::new(3, 4).unwrap();
+        let data = shards(3, 16, 2);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let frags = rs.encode_fragments(&refs).unwrap();
+
+        // Too few.
+        let err = rs.reconstruct(&frags[..2], 16).unwrap_err();
+        assert!(matches!(err, GfecError::NotEnoughFragments { have: 2, need: 3 }));
+
+        // Duplicate index.
+        let dup = vec![frags[0].clone(), frags[0].clone(), frags[1].clone()];
+        assert!(matches!(rs.reconstruct(&dup, 16), Err(GfecError::DuplicateFragment { index: 0 })));
+
+        // Bad index.
+        let bad = vec![frags[0].clone(), frags[1].clone(), Fragment::new(9, vec![0; 16])];
+        assert!(matches!(rs.reconstruct(&bad, 16), Err(GfecError::BadFragmentIndex { index: 9, .. })));
+
+        // Ragged sizes.
+        let ragged = vec![frags[0].clone(), frags[1].clone(), Fragment::new(2, vec![0; 8])];
+        assert!(matches!(
+            rs.reconstruct(&ragged, 16),
+            Err(GfecError::FragmentSizeMismatch { expected: 16, got: 8 })
+        ));
+    }
+
+    #[test]
+    fn encode_shard_validation() {
+        let rs = ReedSolomon::new(3, 4).unwrap();
+        let a = vec![0u8; 8];
+        let b = vec![0u8; 9];
+        assert!(matches!(
+            rs.encode(&[a.as_slice(), a.as_slice(), b.as_slice()]),
+            Err(GfecError::FragmentSizeMismatch { .. })
+        ));
+        assert!(matches!(
+            rs.encode(&[a.as_slice()]),
+            Err(GfecError::NotEnoughFragments { .. })
+        ));
+    }
+
+    #[test]
+    fn rate_and_overhead() {
+        let rs = ReedSolomon::new(3, 4).unwrap();
+        assert_eq!(rs.data_fragments(), 3);
+        assert_eq!(rs.total_fragments(), 4);
+        assert_eq!(rs.parity_fragments(), 1);
+        assert!((rs.rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_data_encodes_to_constant_fragments_vandermonde() {
+        // The normalized Vandermonde rows are Lagrange basis evaluations,
+        // which sum to 1 — so all-equal data shards must yield all-equal
+        // fragments (the interpolating polynomial is constant).
+        let rs = ReedSolomon::with_kind(3, 5, MatrixKind::Vandermonde).unwrap();
+        let d = vec![0x5Au8; 16];
+        let frags = rs.encode_fragments(&[&d, &d, &d]).unwrap();
+        for f in &frags {
+            assert_eq!(f.data, d, "fragment {} not constant", f.index);
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Striping: how an object of arbitrary size maps onto the fixed-shape
+//! fragments of an erasure code.
+//!
+//! HyRD ships one fragment per cloud provider, so the layout here is the
+//! simple contiguous one: shard `i` holds bytes
+//! `[i * shard_len, (i+1) * shard_len)` of the (zero-padded) object. This
+//! keeps byte ranges local to few shards, which is what makes partial
+//! updates cheap to plan, and lets large reads fan out one Get per
+//! provider in parallel (the paper's latency argument for large files).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ErasureCode, Fragment, GfecError, Result};
+
+/// The geometry of one encoded object: everything needed to split, join
+/// and plan updates. Stored in HyRD's metadata next to the fragment
+/// locations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FragmentLayout {
+    /// Original object length in bytes (before padding).
+    pub object_len: usize,
+    /// Data fragments `m`.
+    pub m: usize,
+    /// Total fragments `n`.
+    pub n: usize,
+    /// Bytes per fragment (object padded to `m * shard_len`).
+    pub shard_len: usize,
+}
+
+impl FragmentLayout {
+    /// Total padded length `m * shard_len`.
+    pub fn padded_len(&self) -> usize {
+        self.m * self.shard_len
+    }
+
+    /// Bytes of zero padding appended to the object.
+    pub fn padding(&self) -> usize {
+        self.padded_len() - self.object_len
+    }
+
+    /// Total bytes stored across all `n` fragments.
+    pub fn stored_bytes(&self) -> usize {
+        self.n * self.shard_len
+    }
+
+    /// Storage overhead factor versus the raw object (`>= n/m`; slightly
+    /// more for tiny objects because of padding).
+    pub fn overhead(&self) -> f64 {
+        if self.object_len == 0 {
+            return self.n as f64 / self.m as f64;
+        }
+        self.stored_bytes() as f64 / self.object_len as f64
+    }
+
+    /// Maps an absolute byte range of the object to the set of data
+    /// shards it touches, as `(shard_index, start_within_shard, len)`.
+    pub fn shards_for_range(&self, offset: usize, len: usize) -> Result<Vec<(usize, usize, usize)>> {
+        if offset + len > self.object_len {
+            return Err(GfecError::RangeOutOfBounds { offset, len, object: self.object_len });
+        }
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let shard = pos / self.shard_len;
+            let within = pos % self.shard_len;
+            let take = (self.shard_len - within).min(end - pos);
+            out.push((shard, within, take));
+            pos += take;
+        }
+        Ok(out)
+    }
+}
+
+/// Splits objects into shards and reassembles them, for a given code shape.
+///
+/// ```
+/// use hyrd_gfec::{StripePlanner, Raid5, Fragment};
+///
+/// let planner = StripePlanner::new(3, 4).unwrap();
+/// let code = Raid5::new(3).unwrap();
+/// let object = vec![7u8; 10_000];
+/// let (layout, fragments) = planner.encode_object(&code, &object).unwrap();
+///
+/// // Any single fragment may vanish (one cloud outage).
+/// let survivors: Vec<Fragment> =
+///     fragments.into_iter().filter(|f| f.index != 2).collect();
+/// assert_eq!(planner.decode_object(&code, &layout, &survivors).unwrap(), object);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripePlanner {
+    m: usize,
+    n: usize,
+    /// Shard lengths are rounded up to a multiple of this (provider
+    /// object stores and the GF block ops both like aligned sizes).
+    align: usize,
+}
+
+impl StripePlanner {
+    /// Default alignment for shard sizes (64 B keeps the XOR loops on
+    /// cache-line boundaries without bloating tiny objects).
+    pub const DEFAULT_ALIGN: usize = 64;
+
+    /// Creates a planner for an `(m, n)` code shape.
+    pub fn new(m: usize, n: usize) -> Result<Self> {
+        if m == 0 || n <= m || n > 255 {
+            return Err(GfecError::InvalidParams { m, n });
+        }
+        Ok(StripePlanner { m, n, align: Self::DEFAULT_ALIGN })
+    }
+
+    /// Overrides the shard alignment (must be nonzero).
+    pub fn with_align(mut self, align: usize) -> Self {
+        assert!(align > 0, "alignment must be nonzero");
+        self.align = align;
+        self
+    }
+
+    /// Computes the layout for an object of `object_len` bytes.
+    pub fn plan(&self, object_len: usize) -> FragmentLayout {
+        let raw = object_len.div_ceil(self.m).max(1);
+        let shard_len = raw.div_ceil(self.align) * self.align;
+        FragmentLayout { object_len, m: self.m, n: self.n, shard_len }
+    }
+
+    /// Splits an object into `m` zero-padded data shards per [`Self::plan`].
+    pub fn split(&self, object: &[u8]) -> (FragmentLayout, Vec<Vec<u8>>) {
+        let layout = self.plan(object.len());
+        let mut shards = Vec::with_capacity(self.m);
+        for i in 0..self.m {
+            let start = (i * layout.shard_len).min(object.len());
+            let end = ((i + 1) * layout.shard_len).min(object.len());
+            let mut shard = vec![0u8; layout.shard_len];
+            shard[..end - start].copy_from_slice(&object[start..end]);
+            shards.push(shard);
+        }
+        (layout, shards)
+    }
+
+    /// Reassembles an object from its data shards, trimming padding.
+    pub fn join(&self, layout: &FragmentLayout, shards: &[Vec<u8>]) -> Result<Vec<u8>> {
+        if shards.len() != self.m {
+            return Err(GfecError::NotEnoughFragments { have: shards.len(), need: self.m });
+        }
+        for s in shards {
+            if s.len() != layout.shard_len {
+                return Err(GfecError::FragmentSizeMismatch {
+                    expected: layout.shard_len,
+                    got: s.len(),
+                });
+            }
+        }
+        let mut out = Vec::with_capacity(layout.object_len);
+        for s in shards {
+            let remaining = layout.object_len - out.len();
+            if remaining == 0 {
+                break;
+            }
+            out.extend_from_slice(&s[..remaining.min(s.len())]);
+        }
+        Ok(out)
+    }
+
+    /// Convenience: split + encode in one call, returning all `n`
+    /// fragments and the layout.
+    pub fn encode_object<C: ErasureCode + ?Sized>(
+        &self,
+        code: &C,
+        object: &[u8],
+    ) -> Result<(FragmentLayout, Vec<Fragment>)> {
+        assert_eq!(code.data_fragments(), self.m, "code/planner m mismatch");
+        assert_eq!(code.total_fragments(), self.n, "code/planner n mismatch");
+        let (layout, shards) = self.split(object);
+        let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+        let parity = code.encode(&refs)?;
+        let mut frags: Vec<Fragment> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Fragment::new(i, s))
+            .collect();
+        for (k, p) in parity.into_iter().enumerate() {
+            frags.push(Fragment::new(self.m + k, p));
+        }
+        Ok((layout, frags))
+    }
+
+    /// Convenience: reconstruct data shards from any `m` fragments and
+    /// reassemble the original object.
+    pub fn decode_object<C: ErasureCode + ?Sized>(
+        &self,
+        code: &C,
+        layout: &FragmentLayout,
+        available: &[Fragment],
+    ) -> Result<Vec<u8>> {
+        let shards = code.reconstruct(available, layout.shard_len)?;
+        self.join(layout, &shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raid5::Raid5;
+    use crate::rs::ReedSolomon;
+
+    #[test]
+    fn plan_pads_and_aligns() {
+        let p = StripePlanner::new(3, 4).unwrap();
+        let l = p.plan(1000);
+        assert_eq!(l.m, 3);
+        assert_eq!(l.n, 4);
+        assert!(l.shard_len % StripePlanner::DEFAULT_ALIGN == 0);
+        assert!(l.padded_len() >= 1000);
+        assert_eq!(l.padding(), l.padded_len() - 1000);
+    }
+
+    #[test]
+    fn empty_object_still_has_one_aligned_shard() {
+        let p = StripePlanner::new(2, 3).unwrap();
+        let l = p.plan(0);
+        assert_eq!(l.shard_len, StripePlanner::DEFAULT_ALIGN);
+        let (l2, shards) = p.split(&[]);
+        assert_eq!(l2, l);
+        assert_eq!(shards.len(), 2);
+        assert_eq!(p.join(&l2, &shards).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn split_join_roundtrip_various_sizes() {
+        let p = StripePlanner::new(3, 4).unwrap();
+        for size in [0usize, 1, 63, 64, 65, 191, 192, 193, 1000, 4096, 100_000] {
+            let obj: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+            let (layout, shards) = p.split(&obj);
+            assert!(shards.iter().all(|s| s.len() == layout.shard_len));
+            let back = p.join(&layout, &shards).unwrap();
+            assert_eq!(back, obj, "size={size}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_object_with_raid5_any_loss() {
+        let p = StripePlanner::new(3, 4).unwrap();
+        let code = Raid5::new(3).unwrap();
+        let obj: Vec<u8> = (0..10_000).map(|i| (i * 7 % 256) as u8).collect();
+        let (layout, frags) = p.encode_object(&code, &obj).unwrap();
+        assert_eq!(frags.len(), 4);
+        for lost in 0..4 {
+            let avail: Vec<Fragment> = frags.iter().filter(|f| f.index != lost).cloned().collect();
+            let back = p.decode_object(&code, &layout, &avail).unwrap();
+            assert_eq!(back, obj, "lost={lost}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_object_with_rs() {
+        let p = StripePlanner::new(4, 6).unwrap();
+        let code = ReedSolomon::new(4, 6).unwrap();
+        let obj = vec![0xC3u8; 5555];
+        let (layout, frags) = p.encode_object(&code, &obj).unwrap();
+        let avail: Vec<Fragment> = frags.iter().skip(2).cloned().collect();
+        assert_eq!(p.decode_object(&code, &layout, &avail).unwrap(), obj);
+    }
+
+    #[test]
+    fn shards_for_range_covers_exactly() {
+        let p = StripePlanner::new(4, 5).unwrap();
+        let l = p.plan(1024);
+        // Range fully inside one shard.
+        let r = l.shards_for_range(10, 20).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0], (0, 10, 20));
+        // Range crossing a shard boundary.
+        let r = l.shards_for_range(l.shard_len - 4, 8).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0], (0, l.shard_len - 4, 4));
+        assert_eq!(r[1], (1, 0, 4));
+        // Whole object.
+        let r = l.shards_for_range(0, 1024).unwrap();
+        let total: usize = r.iter().map(|&(_, _, len)| len).sum();
+        assert_eq!(total, 1024);
+        // Empty range.
+        assert!(l.shards_for_range(5, 0).unwrap().is_empty());
+        // Out of bounds.
+        assert!(matches!(
+            l.shards_for_range(1020, 10),
+            Err(GfecError::RangeOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn overhead_approaches_code_rate_for_large_objects() {
+        let p = StripePlanner::new(3, 4).unwrap();
+        let l = p.plan(30 * 1024 * 1024);
+        assert!((l.overhead() - 4.0 / 3.0).abs() < 0.01, "overhead={}", l.overhead());
+        // Tiny objects pay padding overhead instead.
+        let tiny = p.plan(10);
+        assert!(tiny.overhead() > 4.0 / 3.0);
+    }
+
+    #[test]
+    fn join_validates_inputs() {
+        let p = StripePlanner::new(2, 3).unwrap();
+        let (l, shards) = p.split(b"hello world");
+        assert!(p.join(&l, &shards[..1].to_vec()).is_err());
+        let bad = vec![vec![0u8; 1], vec![0u8; 1]];
+        assert!(matches!(p.join(&l, &bad), Err(GfecError::FragmentSizeMismatch { .. })));
+    }
+}

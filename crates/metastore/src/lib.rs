@@ -1,0 +1,69 @@
+//! # hyrd-metastore — client-side file-system metadata
+//!
+//! HyRD sits on the client and presents a file-system view over the
+//! Cloud-of-Clouds. "Before accessing a file, its metadata blocks must be
+//! loaded into the client memory. HyRD uses replication to store the file
+//! system metadata and groups the metadata in a directory together to
+//! exploit the access locality" (§III-C).
+//!
+//! This crate owns that metadata model:
+//!
+//! * [`path`] — normalized absolute paths and parent/child arithmetic.
+//! * [`inode`] — per-file metadata: size, version, timestamps and the
+//!   *placement* record that says where the bytes physically live
+//!   (replicas on providers, or erasure-coded fragments with their
+//!   [`hyrd_gfec::FragmentLayout`]).
+//! * [`namespace`] — the directory tree mapping paths to file ids.
+//! * [`store`] — the [`MetaStore`] facade: inode table + namespace +
+//!   dirty-directory tracking, and (de)serialization of per-directory
+//!   **metadata blocks**, the replication unit the dispatcher ships to
+//!   performance-oriented providers.
+//!
+//! The justification for `serde_json` (DESIGN.md §2): metadata blocks are
+//! the only wire format in the system that benefits from being
+//! human-inspectable, and JSON keeps recovery debugging honest.
+
+pub mod inode;
+pub mod namespace;
+pub mod path;
+pub mod store;
+
+pub use inode::{FileId, Inode, Placement};
+pub use namespace::Namespace;
+pub use path::NormPath;
+pub use store::{MetaStore, MetadataBlock};
+
+/// Errors from the metadata layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaError {
+    /// Path is not absolute or contains empty components.
+    BadPath(String),
+    /// A path component that must be a directory is a file.
+    NotADirectory(String),
+    /// The named directory does not exist.
+    NoSuchDirectory(String),
+    /// The named file does not exist.
+    NoSuchFile(String),
+    /// Target name already exists.
+    AlreadyExists(String),
+    /// A metadata block failed to parse.
+    CorruptBlock(String),
+}
+
+impl std::fmt::Display for MetaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetaError::BadPath(p) => write!(f, "bad path: '{p}'"),
+            MetaError::NotADirectory(p) => write!(f, "'{p}' is not a directory"),
+            MetaError::NoSuchDirectory(p) => write!(f, "no such directory: '{p}'"),
+            MetaError::NoSuchFile(p) => write!(f, "no such file: '{p}'"),
+            MetaError::AlreadyExists(p) => write!(f, "'{p}' already exists"),
+            MetaError::CorruptBlock(e) => write!(f, "corrupt metadata block: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, MetaError>;

@@ -1,0 +1,257 @@
+//! The directory tree: paths to file ids.
+//!
+//! Directories exist explicitly (they carry metadata blocks); files are
+//! leaves holding a [`FileId`] into the inode table. The tree is a nested
+//! `BTreeMap` so listings are sorted and deterministic.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::inode::FileId;
+use crate::path::NormPath;
+use crate::{MetaError, Result};
+
+/// One directory's children.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct DirNode {
+    subdirs: BTreeMap<String, DirNode>,
+    files: BTreeMap<String, FileId>,
+}
+
+/// An entry in a directory listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirEntry {
+    /// A subdirectory name.
+    Dir(String),
+    /// A file name with its id.
+    File(String, FileId),
+}
+
+/// The namespace tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Namespace {
+    root: DirNode,
+}
+
+impl Namespace {
+    /// An empty namespace (just the root).
+    pub fn new() -> Self {
+        Namespace::default()
+    }
+
+    fn node(&self, dir: &NormPath) -> Result<&DirNode> {
+        let mut cur = &self.root;
+        for comp in dir.components() {
+            cur = cur
+                .subdirs
+                .get(comp)
+                .ok_or_else(|| MetaError::NoSuchDirectory(dir.as_str().to_string()))?;
+        }
+        Ok(cur)
+    }
+
+    fn node_mut(&mut self, dir: &NormPath) -> Result<&mut DirNode> {
+        let mut cur = &mut self.root;
+        for comp in dir.components() {
+            cur = cur
+                .subdirs
+                .get_mut(comp)
+                .ok_or_else(|| MetaError::NoSuchDirectory(dir.as_str().to_string()))?;
+        }
+        Ok(cur)
+    }
+
+    /// Creates a directory and all missing ancestors.
+    pub fn mkdir_all(&mut self, dir: &NormPath) {
+        let mut cur = &mut self.root;
+        for comp in dir.components() {
+            cur = cur.subdirs.entry(comp.to_string()).or_default();
+        }
+    }
+
+    /// Whether the directory exists.
+    pub fn dir_exists(&self, dir: &NormPath) -> bool {
+        self.node(dir).is_ok()
+    }
+
+    /// Registers a file at `path`, creating parent directories as needed.
+    /// Fails if a file of that name already exists.
+    pub fn insert_file(&mut self, path: &NormPath, id: FileId) -> Result<()> {
+        let name = path
+            .file_name()
+            .ok_or_else(|| MetaError::BadPath(path.as_str().to_string()))?
+            .to_string();
+        let parent = path.parent();
+        self.mkdir_all(&parent);
+        let node = self.node_mut(&parent)?;
+        if node.files.contains_key(&name) || node.subdirs.contains_key(&name) {
+            return Err(MetaError::AlreadyExists(path.as_str().to_string()));
+        }
+        node.files.insert(name, id);
+        Ok(())
+    }
+
+    /// Looks up a file id.
+    pub fn lookup(&self, path: &NormPath) -> Result<FileId> {
+        let name =
+            path.file_name().ok_or_else(|| MetaError::NoSuchFile(path.as_str().to_string()))?;
+        let node = self
+            .node(&path.parent())
+            .map_err(|_| MetaError::NoSuchFile(path.as_str().to_string()))?;
+        node.files
+            .get(name)
+            .copied()
+            .ok_or_else(|| MetaError::NoSuchFile(path.as_str().to_string()))
+    }
+
+    /// Removes a file entry, returning its id.
+    pub fn remove_file(&mut self, path: &NormPath) -> Result<FileId> {
+        let name = path
+            .file_name()
+            .ok_or_else(|| MetaError::NoSuchFile(path.as_str().to_string()))?
+            .to_string();
+        let node = self
+            .node_mut(&path.parent())
+            .map_err(|_| MetaError::NoSuchFile(path.as_str().to_string()))?;
+        node.files
+            .remove(&name)
+            .ok_or_else(|| MetaError::NoSuchFile(path.as_str().to_string()))
+    }
+
+    /// Sorted listing of a directory.
+    pub fn list(&self, dir: &NormPath) -> Result<Vec<DirEntry>> {
+        let node = self.node(dir)?;
+        let mut out = Vec::with_capacity(node.subdirs.len() + node.files.len());
+        for name in node.subdirs.keys() {
+            out.push(DirEntry::Dir(name.clone()));
+        }
+        for (name, id) in &node.files {
+            out.push(DirEntry::File(name.clone(), *id));
+        }
+        Ok(out)
+    }
+
+    /// File ids directly inside `dir` (not recursive) — the content of
+    /// that directory's metadata block.
+    pub fn files_in(&self, dir: &NormPath) -> Result<Vec<(String, FileId)>> {
+        Ok(self.node(dir)?.files.iter().map(|(n, id)| (n.clone(), *id)).collect())
+    }
+
+    /// All directories, depth-first, starting at root.
+    pub fn all_dirs(&self) -> Vec<NormPath> {
+        let mut out = vec![NormPath::root()];
+        fn walk(node: &DirNode, prefix: &NormPath, out: &mut Vec<NormPath>) {
+            for (name, child) in &node.subdirs {
+                let p = prefix.join(name).expect("tree names are valid components");
+                out.push(p.clone());
+                walk(child, &p, out);
+            }
+        }
+        walk(&self.root, &NormPath::root(), &mut out);
+        out
+    }
+
+    /// Total number of files in the namespace.
+    pub fn file_count(&self) -> usize {
+        fn count(node: &DirNode) -> usize {
+            node.files.len() + node.subdirs.values().map(count).sum::<usize>()
+        }
+        count(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> NormPath {
+        NormPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn insert_creates_parents() {
+        let mut ns = Namespace::new();
+        ns.insert_file(&p("/a/b/c.txt"), FileId(1)).unwrap();
+        assert!(ns.dir_exists(&p("/a")));
+        assert!(ns.dir_exists(&p("/a/b")));
+        assert_eq!(ns.lookup(&p("/a/b/c.txt")).unwrap(), FileId(1));
+        assert_eq!(ns.file_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_fails() {
+        let mut ns = Namespace::new();
+        ns.insert_file(&p("/x"), FileId(1)).unwrap();
+        assert!(matches!(
+            ns.insert_file(&p("/x"), FileId(2)),
+            Err(MetaError::AlreadyExists(_))
+        ));
+        // A file may not shadow a directory either.
+        ns.mkdir_all(&p("/dir"));
+        assert!(ns.insert_file(&p("/dir"), FileId(3)).is_err());
+    }
+
+    #[test]
+    fn remove_then_lookup_fails() {
+        let mut ns = Namespace::new();
+        ns.insert_file(&p("/a/f"), FileId(9)).unwrap();
+        assert_eq!(ns.remove_file(&p("/a/f")).unwrap(), FileId(9));
+        assert!(matches!(ns.lookup(&p("/a/f")), Err(MetaError::NoSuchFile(_))));
+        assert!(matches!(ns.remove_file(&p("/a/f")), Err(MetaError::NoSuchFile(_))));
+        // Directory remains.
+        assert!(ns.dir_exists(&p("/a")));
+    }
+
+    #[test]
+    fn listing_is_sorted_dirs_then_files() {
+        let mut ns = Namespace::new();
+        ns.insert_file(&p("/d/zfile"), FileId(1)).unwrap();
+        ns.insert_file(&p("/d/afile"), FileId(2)).unwrap();
+        ns.mkdir_all(&p("/d/subdir"));
+        let entries = ns.list(&p("/d")).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                DirEntry::Dir("subdir".into()),
+                DirEntry::File("afile".into(), FileId(2)),
+                DirEntry::File("zfile".into(), FileId(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn files_in_is_directory_scoped() {
+        let mut ns = Namespace::new();
+        ns.insert_file(&p("/a/one"), FileId(1)).unwrap();
+        ns.insert_file(&p("/a/b/two"), FileId(2)).unwrap();
+        let files = ns.files_in(&p("/a")).unwrap();
+        assert_eq!(files, vec![("one".to_string(), FileId(1))]);
+    }
+
+    #[test]
+    fn all_dirs_walks_depth_first() {
+        let mut ns = Namespace::new();
+        ns.mkdir_all(&p("/a/b"));
+        ns.mkdir_all(&p("/c"));
+        let dirs: Vec<String> = ns.all_dirs().iter().map(|d| d.as_str().to_string()).collect();
+        assert_eq!(dirs, vec!["/", "/a", "/a/b", "/c"]);
+    }
+
+    #[test]
+    fn missing_directory_errors() {
+        let ns = Namespace::new();
+        assert!(matches!(ns.list(&p("/nope")), Err(MetaError::NoSuchDirectory(_))));
+        assert!(matches!(ns.lookup(&p("/nope/f")), Err(MetaError::NoSuchFile(_))));
+    }
+
+    #[test]
+    fn namespace_serde_roundtrip() {
+        let mut ns = Namespace::new();
+        ns.insert_file(&p("/a/b/c"), FileId(5)).unwrap();
+        ns.mkdir_all(&p("/empty"));
+        let json = serde_json::to_string(&ns).unwrap();
+        let back: Namespace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ns);
+    }
+}

@@ -1,0 +1,359 @@
+//! The [`MetaStore`] facade: inode table + namespace + dirty-block
+//! tracking + metadata-block (de)serialization.
+//!
+//! The replication unit is the **metadata block**: one serialized record
+//! per directory holding that directory's file entries and their inodes
+//! ("groups the metadata in a directory together to exploit the access
+//! locality", §III-C). The store tracks which directories changed since
+//! the last flush so the dispatcher only re-replicates dirty blocks.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::inode::{FileId, Inode, Placement};
+use crate::namespace::{DirEntry, Namespace};
+use crate::path::NormPath;
+use crate::{MetaError, Result};
+
+/// One directory's replicable metadata record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetadataBlock {
+    /// The directory this block describes.
+    pub dir: NormPath,
+    /// Block version (max inode version inside, plus structural bumps).
+    pub version: u64,
+    /// File entries: name → inode.
+    pub entries: BTreeMap<String, Inode>,
+}
+
+impl MetadataBlock {
+    /// Serializes to the bytes the dispatcher ships to providers.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("metadata blocks always serialize")
+    }
+
+    /// Parses a block fetched from a provider.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        serde_json::from_slice(bytes).map_err(|e| MetaError::CorruptBlock(e.to_string()))
+    }
+
+    /// The object name this block is stored under on every replica.
+    pub fn object_name(dir: &NormPath) -> String {
+        // Encode the path so it is a legal flat object name.
+        format!("meta:{}", dir.as_str().replace('/', "\u{1}"))
+    }
+}
+
+/// Client-side metadata store.
+#[derive(Debug, Default)]
+pub struct MetaStore {
+    namespace: Namespace,
+    inodes: BTreeMap<FileId, Inode>,
+    paths: BTreeMap<FileId, NormPath>,
+    next_id: u64,
+    dirty_dirs: BTreeSet<NormPath>,
+    /// Structural version bumps per directory (file create/remove).
+    dir_versions: BTreeMap<NormPath, u64>,
+}
+
+impl MetaStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MetaStore::default()
+    }
+
+    /// Creates a file of `size` bytes at `path` (virtual time `now`),
+    /// returning its id. Placement starts [`Placement::Pending`].
+    pub fn create_file(&mut self, path: &NormPath, size: u64, now: Duration) -> Result<FileId> {
+        let id = FileId(self.next_id);
+        self.namespace.insert_file(path, id)?;
+        self.next_id += 1;
+        self.inodes.insert(id, Inode::new(id, size, now));
+        self.paths.insert(id, path.clone());
+        self.mark_dirty(&path.parent());
+        Ok(id)
+    }
+
+    /// Looks up a file's inode by path.
+    pub fn get(&self, path: &NormPath) -> Result<&Inode> {
+        let id = self.namespace.lookup(path)?;
+        Ok(self.inodes.get(&id).expect("namespace and inode table in sync"))
+    }
+
+    /// Looks up by id.
+    pub fn get_by_id(&self, id: FileId) -> Option<&Inode> {
+        self.inodes.get(&id)
+    }
+
+    /// The path a file id lives at.
+    pub fn path_of(&self, id: FileId) -> Option<&NormPath> {
+        self.paths.get(&id)
+    }
+
+    /// Updates a file's placement (and optionally size) after dispatch,
+    /// bumping its version.
+    pub fn set_placement(
+        &mut self,
+        path: &NormPath,
+        placement: Placement,
+        size: u64,
+        now: Duration,
+    ) -> Result<()> {
+        let id = self.namespace.lookup(path)?;
+        let inode = self.inodes.get_mut(&id).expect("in sync");
+        inode.placement = placement;
+        inode.size = size;
+        inode.touch(now);
+        self.mark_dirty(&path.parent());
+        Ok(())
+    }
+
+    /// Removes a file, returning its inode (so the dispatcher can delete
+    /// the physical objects).
+    pub fn remove_file(&mut self, path: &NormPath) -> Result<Inode> {
+        let id = self.namespace.remove_file(path)?;
+        let inode = self.inodes.remove(&id).expect("in sync");
+        self.paths.remove(&id);
+        self.mark_dirty(&path.parent());
+        Ok(inode)
+    }
+
+    /// Creates a directory chain.
+    pub fn mkdir_all(&mut self, dir: &NormPath) {
+        self.namespace.mkdir_all(dir);
+        self.mark_dirty(dir);
+    }
+
+    /// Sorted listing.
+    pub fn list(&self, dir: &NormPath) -> Result<Vec<DirEntry>> {
+        self.namespace.list(dir)
+    }
+
+    /// Every directory in the namespace, depth-first from the root.
+    pub fn all_dirs(&self) -> Vec<NormPath> {
+        self.namespace.all_dirs()
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.namespace.file_count()
+    }
+
+    /// Logical bytes across all files.
+    pub fn logical_bytes(&self) -> u64 {
+        self.inodes.values().map(|i| i.size).sum()
+    }
+
+    /// Physical bytes across all placements (the space-overhead metric).
+    pub fn physical_bytes(&self) -> u64 {
+        self.inodes.values().map(|i| i.placement.stored_bytes(i.size)).sum()
+    }
+
+    fn mark_dirty(&mut self, dir: &NormPath) {
+        *self.dir_versions.entry(dir.clone()).or_insert(0) += 1;
+        self.dirty_dirs.insert(dir.clone());
+    }
+
+    /// Directories whose metadata blocks changed since the last
+    /// [`Self::flush_dirty`].
+    pub fn dirty_dirs(&self) -> Vec<NormPath> {
+        self.dirty_dirs.iter().cloned().collect()
+    }
+
+    /// Builds the current metadata block for one directory.
+    pub fn block_for(&self, dir: &NormPath) -> Result<MetadataBlock> {
+        let files = self.namespace.files_in(dir)?;
+        let mut entries = BTreeMap::new();
+        let mut version = self.dir_versions.get(dir).copied().unwrap_or(0);
+        for (name, id) in files {
+            let inode = self.inodes.get(&id).expect("in sync").clone();
+            version = version.max(inode.version);
+            entries.insert(name, inode);
+        }
+        Ok(MetadataBlock { dir: dir.clone(), version, entries })
+    }
+
+    /// Returns the blocks for all dirty directories and clears the dirty
+    /// set — the dispatcher replicates exactly these.
+    pub fn flush_dirty(&mut self) -> Vec<MetadataBlock> {
+        let dirs: Vec<NormPath> = self.dirty_dirs.iter().cloned().collect();
+        self.dirty_dirs.clear();
+        dirs.iter()
+            .filter_map(|d| self.block_for(d).ok())
+            .collect()
+    }
+
+    /// Merges a metadata block loaded from a provider (the bootstrap and
+    /// recovery paths). Entries newer than local state win; unknown files
+    /// are created **keeping their original file ids** — placements refer
+    /// to object names derived from those ids, so a client attaching to
+    /// an existing namespace must adopt them (the namespace has a single
+    /// writer at a time; see the dispatcher docs). `next_id` is advanced
+    /// past every adopted id so new files never collide.
+    pub fn load_block(&mut self, block: &MetadataBlock) -> Result<()> {
+        self.namespace.mkdir_all(&block.dir);
+        for (name, inode) in &block.entries {
+            let path = block.dir.join(name)?;
+            match self.namespace.lookup(&path) {
+                Ok(existing_id) => {
+                    let existing = self.inodes.get_mut(&existing_id).expect("in sync");
+                    if inode.version > existing.version {
+                        let mut updated = inode.clone();
+                        updated.id = existing_id; // path keeps its local id
+                        *existing = updated;
+                    }
+                }
+                Err(_) => {
+                    self.namespace.insert_file(&path, inode.id)?;
+                    self.inodes.insert(inode.id, inode.clone());
+                    self.paths.insert(inode.id, path);
+                    self.next_id = self.next_id.max(inode.id.0 + 1);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyrd_gcsapi::ProviderId;
+
+    fn p(s: &str) -> NormPath {
+        NormPath::parse(s).unwrap()
+    }
+
+    fn t(secs: u64) -> Duration {
+        Duration::from_secs(secs)
+    }
+
+    fn replicated() -> Placement {
+        Placement::Replicated { providers: vec![ProviderId(1), ProviderId(2)], object: "o".into() }
+    }
+
+    #[test]
+    fn create_get_remove_lifecycle() {
+        let mut s = MetaStore::new();
+        let id = s.create_file(&p("/docs/a.txt"), 123, t(1)).unwrap();
+        assert_eq!(s.get(&p("/docs/a.txt")).unwrap().id, id);
+        assert_eq!(s.get_by_id(id).unwrap().size, 123);
+        assert_eq!(s.path_of(id).unwrap().as_str(), "/docs/a.txt");
+        assert_eq!(s.file_count(), 1);
+        let inode = s.remove_file(&p("/docs/a.txt")).unwrap();
+        assert_eq!(inode.id, id);
+        assert_eq!(s.file_count(), 0);
+        assert!(s.get(&p("/docs/a.txt")).is_err());
+    }
+
+    #[test]
+    fn placement_update_bumps_version() {
+        let mut s = MetaStore::new();
+        s.create_file(&p("/f"), 10, t(0)).unwrap();
+        s.set_placement(&p("/f"), replicated(), 10, t(5)).unwrap();
+        let i = s.get(&p("/f")).unwrap();
+        assert_eq!(i.version, 1);
+        assert_eq!(i.modified, t(5));
+        assert!(matches!(i.placement, Placement::Replicated { .. }));
+    }
+
+    #[test]
+    fn dirty_tracking_follows_parent_directories() {
+        let mut s = MetaStore::new();
+        s.create_file(&p("/a/one"), 1, t(0)).unwrap();
+        s.create_file(&p("/b/two"), 2, t(0)).unwrap();
+        let mut dirty = s.dirty_dirs();
+        dirty.sort();
+        assert_eq!(dirty.iter().map(|d| d.as_str()).collect::<Vec<_>>(), vec!["/a", "/b"]);
+
+        let blocks = s.flush_dirty();
+        assert_eq!(blocks.len(), 2);
+        assert!(s.dirty_dirs().is_empty());
+
+        // A placement change redirties only the affected directory.
+        s.set_placement(&p("/a/one"), replicated(), 1, t(3)).unwrap();
+        assert_eq!(s.dirty_dirs().len(), 1);
+        assert_eq!(s.dirty_dirs()[0].as_str(), "/a");
+    }
+
+    #[test]
+    fn block_roundtrip_preserves_entries() {
+        let mut s = MetaStore::new();
+        s.create_file(&p("/dir/x"), 100, t(1)).unwrap();
+        s.create_file(&p("/dir/y"), 200, t(2)).unwrap();
+        s.set_placement(&p("/dir/x"), replicated(), 100, t(3)).unwrap();
+        let block = s.block_for(&p("/dir")).unwrap();
+        assert_eq!(block.entries.len(), 2);
+
+        let bytes = block.to_bytes();
+        let parsed = MetadataBlock::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, block);
+    }
+
+    #[test]
+    fn corrupt_block_is_an_error() {
+        assert!(matches!(
+            MetadataBlock::from_bytes(b"not json"),
+            Err(MetaError::CorruptBlock(_))
+        ));
+    }
+
+    #[test]
+    fn load_block_merges_newer_and_creates_missing() {
+        // Build source store with two files.
+        let mut src = MetaStore::new();
+        src.create_file(&p("/d/a"), 10, t(1)).unwrap();
+        src.create_file(&p("/d/b"), 20, t(1)).unwrap();
+        src.set_placement(&p("/d/a"), replicated(), 10, t(2)).unwrap();
+        let block = src.block_for(&p("/d")).unwrap();
+
+        // Destination knows /d/a at version 0 and nothing about /d/b.
+        let mut dst = MetaStore::new();
+        dst.create_file(&p("/d/a"), 999, t(0)).unwrap();
+        dst.load_block(&block).unwrap();
+
+        // /d/a updated (version 1 beats 0), /d/b created.
+        assert_eq!(dst.get(&p("/d/a")).unwrap().size, 10);
+        assert_eq!(dst.get(&p("/d/b")).unwrap().size, 20);
+        assert_eq!(dst.file_count(), 2);
+
+        // Re-loading the same block is idempotent.
+        dst.load_block(&block).unwrap();
+        assert_eq!(dst.file_count(), 2);
+    }
+
+    #[test]
+    fn load_block_does_not_regress_newer_local_state() {
+        let mut src = MetaStore::new();
+        src.create_file(&p("/d/a"), 10, t(1)).unwrap();
+        let stale_block = src.block_for(&p("/d")).unwrap(); // version 0 entry
+
+        let mut dst = MetaStore::new();
+        dst.create_file(&p("/d/a"), 50, t(1)).unwrap();
+        dst.set_placement(&p("/d/a"), replicated(), 50, t(2)).unwrap(); // version 1
+        dst.load_block(&stale_block).unwrap();
+        assert_eq!(dst.get(&p("/d/a")).unwrap().size, 50, "stale block must not win");
+    }
+
+    #[test]
+    fn logical_vs_physical_bytes() {
+        let mut s = MetaStore::new();
+        s.create_file(&p("/f"), 1000, t(0)).unwrap();
+        assert_eq!(s.logical_bytes(), 1000);
+        assert_eq!(s.physical_bytes(), 0); // pending placement
+        s.set_placement(&p("/f"), replicated(), 1000, t(1)).unwrap();
+        assert_eq!(s.physical_bytes(), 2000);
+    }
+
+    #[test]
+    fn object_names_are_flat_and_unique() {
+        let a = MetadataBlock::object_name(&p("/a/b"));
+        let b = MetadataBlock::object_name(&p("/a"));
+        let r = MetadataBlock::object_name(&NormPath::root());
+        assert_ne!(a, b);
+        assert_ne!(b, r);
+        assert!(!a.contains('/'));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the metadata layer: a random operation
+//! sequence applied both to the [`MetaStore`] and to a plain
+//! `HashMap<String, u64>` model must always agree.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use hyrd_metastore::{MetaStore, MetadataBlock, NormPath};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create { dir: u8, name: u8, size: u64 },
+    Remove { dir: u8, name: u8 },
+    Lookup { dir: u8, name: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..4u8, 0..6u8, 1..1_000_000u64)
+            .prop_map(|(dir, name, size)| Op::Create { dir, name, size }),
+        (0..4u8, 0..6u8).prop_map(|(dir, name)| Op::Remove { dir, name }),
+        (0..4u8, 0..6u8).prop_map(|(dir, name)| Op::Lookup { dir, name }),
+    ]
+}
+
+fn path_of(dir: u8, name: u8) -> NormPath {
+    NormPath::parse(&format!("/d{dir}/f{name}")).expect("well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn store_agrees_with_a_map_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut store = MetaStore::new();
+        let mut model: HashMap<String, u64> = HashMap::new();
+        let mut t = 0u64;
+
+        for op in ops {
+            t += 1;
+            match op {
+                Op::Create { dir, name, size } => {
+                    let p = path_of(dir, name);
+                    let created = store.create_file(&p, size, Duration::from_secs(t)).is_ok();
+                    prop_assert_eq!(
+                        created,
+                        !model.contains_key(p.as_str()),
+                        "create {} must succeed iff absent", p
+                    );
+                    if created {
+                        model.insert(p.as_str().to_string(), size);
+                    }
+                }
+                Op::Remove { dir, name } => {
+                    let p = path_of(dir, name);
+                    let removed = store.remove_file(&p).is_ok();
+                    prop_assert_eq!(removed, model.remove(p.as_str()).is_some());
+                }
+                Op::Lookup { dir, name } => {
+                    let p = path_of(dir, name);
+                    match model.get(p.as_str()) {
+                        Some(&size) => {
+                            let inode = store.get(&p).expect("model says present");
+                            prop_assert_eq!(inode.size, size);
+                        }
+                        None => prop_assert!(store.get(&p).is_err()),
+                    }
+                }
+            }
+        }
+
+        // Global invariants at the end.
+        prop_assert_eq!(store.file_count(), model.len());
+        let logical: u64 = model.values().sum();
+        prop_assert_eq!(store.logical_bytes(), logical);
+    }
+
+    #[test]
+    fn flush_and_reload_reconstructs_the_namespace(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        // Apply ops, serialize every directory block, load into a fresh
+        // store: file sets and sizes must match.
+        let mut store = MetaStore::new();
+        let mut t = 0u64;
+        for op in ops {
+            t += 1;
+            match op {
+                Op::Create { dir, name, size } => {
+                    let _ = store.create_file(&path_of(dir, name), size, Duration::from_secs(t));
+                }
+                Op::Remove { dir, name } => {
+                    let _ = store.remove_file(&path_of(dir, name));
+                }
+                Op::Lookup { .. } => {}
+            }
+        }
+
+        let mut fresh = MetaStore::new();
+        for dir in store.all_dirs() {
+            let block = store.block_for(&dir).expect("dir exists");
+            let bytes = block.to_bytes();
+            let parsed = MetadataBlock::from_bytes(&bytes).expect("own serialization");
+            fresh.load_block(&parsed).expect("well-formed block");
+        }
+
+        prop_assert_eq!(fresh.file_count(), store.file_count());
+        prop_assert_eq!(fresh.logical_bytes(), store.logical_bytes());
+        for dir in store.all_dirs() {
+            let a = store.list(&dir).expect("exists");
+            let b = fresh.list(&dir).expect("reloaded");
+            // Compare names (ids are preserved by load_block, but compare
+            // structurally to stay robust).
+            let names = |v: &[hyrd_metastore::namespace::DirEntry]| -> Vec<String> {
+                v.iter()
+                    .map(|e| match e {
+                        hyrd_metastore::namespace::DirEntry::Dir(n) => format!("d:{n}"),
+                        hyrd_metastore::namespace::DirEntry::File(n, _) => format!("f:{n}"),
+                    })
+                    .collect()
+            };
+            prop_assert_eq!(names(&a), names(&b), "dir {}", dir);
+        }
+    }
+}

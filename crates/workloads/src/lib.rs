@@ -1,0 +1,29 @@
+//! # hyrd-workloads — workload generation for the HyRD experiments
+//!
+//! Three generators, each a from-scratch implementation of what the paper
+//! used:
+//!
+//! * [`filesize`] — file-size distributions calibrated to the two facts
+//!   the paper's design argument rests on (Agrawal et al., FAST'07 /
+//!   §II-B): more than half of all files are ≤ 4 KB, while files in the
+//!   3–9 MB band carry ~80 % of all bytes.
+//! * [`postmark`] — a PostMark-compatible transaction engine (file pool,
+//!   create/read/append/delete transaction mix, seeded), standing in for
+//!   the NetApp binary the paper drives its latency experiments with.
+//! * [`ia_trace`] — a 12-month synthetic Internet Archive trace with the
+//!   aggregate statistics Figure 3 reports: read:write volume 2.1:1 and
+//!   read:write request count 3.5:1, TB-scale monthly volumes with
+//!   seasonal variation.
+//!
+//! Everything is deterministic given a seed, so every figure regenerates
+//! bit-identically.
+
+pub mod filesize;
+pub mod ia_trace;
+pub mod ops;
+pub mod postmark;
+
+pub use filesize::{FileSizeDist, SizeMixSummary};
+pub use ia_trace::{IaTrace, MonthTraffic};
+pub use ops::FsOp;
+pub use postmark::{PostMark, PostMarkConfig, PostMarkReport};

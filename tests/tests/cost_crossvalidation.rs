@@ -1,0 +1,150 @@
+//! Cross-validation of the analytic cost models (`hyrd-costsim`) against
+//! the *executable* schemes: replay a miniature "month" through the real
+//! implementations, bill the actual per-provider usage with Table II
+//! prices, and require the analytic model to predict the same scheme
+//! ordering and roughly the same relative costs.
+
+use hyrd::driver::synth_content;
+use hyrd::prelude::*;
+use hyrd_baselines::{DuraCloud, Racs, SingleCloud};
+use hyrd_cloudsim::pricing::PriceBook;
+use hyrd_costsim::model::{CostModel, DuraCloudModel, HyrdModel, RacsModel, SingleModel, S3};
+use hyrd_costsim::usage::MonthlyUsage;
+use hyrd_workloads::ia_trace::MonthTraffic;
+use hyrd_workloads::FileSizeDist;
+use rand::prelude::*;
+
+const READS_PER_FILE: usize = 2; // approximates the 2.1:1 volume ratio
+
+/// Builds the mini-month file set: Agrawal mix, deterministic.
+fn month_files() -> Vec<(String, Vec<u8>)> {
+    let dist = FileSizeDist::agrawal();
+    let mut rng = SmallRng::seed_from_u64(0xC057);
+    (0..60)
+        .map(|i| {
+            let size = rng.sample(&dist) as usize;
+            let path = format!("/m/f{i}");
+            let data = synth_content(&path, 0, size);
+            (path, data)
+        })
+        .collect()
+}
+
+/// Replays the mini-month and bills the real per-provider usage.
+fn measured_cost<F>(make: F) -> f64
+where
+    F: FnOnce(&Fleet) -> Box<dyn Scheme>,
+{
+    let fleet = Fleet::standard_four(SimClock::new());
+    for p in fleet.providers() {
+        p.set_ghost_mode(true);
+    }
+    let mut scheme = make(&fleet);
+    let files = month_files();
+    for (path, data) in &files {
+        scheme.create_file(path, data).expect("fleet up");
+    }
+    for _ in 0..READS_PER_FILE {
+        for (path, _) in &files {
+            scheme.read_file(path).expect("fleet up");
+        }
+    }
+    fleet
+        .providers()
+        .iter()
+        .map(|p| {
+            let s = p.stats();
+            let usage = MonthlyUsage {
+                stored_bytes: p.stored_bytes(),
+                bytes_in: s.bytes_in,
+                bytes_out: s.bytes_out,
+                put_class_ops: s.put_class_ops(),
+                get_class_ops: s.get_class_ops(),
+            };
+            usage.cost(p.prices())
+        })
+        .sum()
+}
+
+/// Runs the analytic model on traffic matching the mini-month.
+fn modelled_cost(model: &mut dyn CostModel) -> f64 {
+    let files = month_files();
+    let written: u64 = files.iter().map(|(_, d)| d.len() as u64).sum();
+    let traffic = MonthTraffic {
+        month: 0,
+        label: "mini".into(),
+        bytes_written: written,
+        bytes_read: written * READS_PER_FILE as u64,
+        write_requests: files.len() as u64,
+        read_requests: (files.len() * READS_PER_FILE) as u64,
+    };
+    let usage = model.month(&traffic);
+    let prices = [
+        PriceBook::AMAZON_S3,
+        PriceBook::WINDOWS_AZURE,
+        PriceBook::ALIYUN,
+        PriceBook::RACKSPACE,
+    ];
+    usage.iter().zip(prices).map(|(u, p)| u.cost(&p)).sum()
+}
+
+#[test]
+fn analytic_models_match_the_executable_schemes() {
+    let measured = [
+        ("S3", measured_cost(|f| Box::new(SingleCloud::amazon_s3(f).expect("has S3")))),
+        ("DuraCloud", measured_cost(|f| Box::new(DuraCloud::standard(f).expect("std")))),
+        ("RACS", measured_cost(|f| Box::new(Racs::new(f).expect("4p")))),
+        ("HyRD", measured_cost(|f| {
+            Box::new(Hyrd::new(f, HyrdConfig::default()).expect("valid config"))
+        })),
+    ];
+    let modelled = [
+        ("S3", modelled_cost(&mut SingleModel::new("S3", S3))),
+        ("DuraCloud", modelled_cost(&mut DuraCloudModel::new())),
+        ("RACS", modelled_cost(&mut RacsModel::new())),
+        ("HyRD", modelled_cost(&mut HyrdModel::paper_default())),
+    ];
+
+    // 1. Same ordering: HyRD < RACS < DuraCloud on both sides, singles
+    //    cheapest.
+    let get = |set: &[(&str, f64)], n: &str| {
+        set.iter().find(|(name, _)| *name == n).expect("present").1
+    };
+    for set in [&measured, &modelled] {
+        assert!(
+            get(set, "HyRD") < get(set, "RACS"),
+            "HyRD {:.4} vs RACS {:.4}",
+            get(set, "HyRD"),
+            get(set, "RACS")
+        );
+        assert!(get(set, "RACS") < get(set, "DuraCloud"));
+    }
+
+    // 2. Relative costs agree within a factor-level tolerance (the model
+    //    is aggregate; the execution has metadata overheads, rounding and
+    //    placement detail the model abstracts away).
+    for ((name_m, measured_c), (name_a, modelled_c)) in measured.iter().zip(&modelled) {
+        assert_eq!(name_m, name_a);
+        let ratio = measured_c / modelled_c;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "{name_m}: measured {measured_c:.4} vs modelled {modelled_c:.4} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn measured_hyrd_discount_lands_in_the_papers_band() {
+    let dura = measured_cost(|f| Box::new(DuraCloud::standard(f).expect("std")));
+    let hyrd = measured_cost(|f| {
+        Box::new(Hyrd::new(f, HyrdConfig::default()).expect("valid config"))
+    });
+    let discount = 1.0 - hyrd / dura;
+    // Paper's cumulative figure is 33.4%; a single synthetic month with
+    // replicated-metadata overhead lands looser, but the sign and
+    // magnitude class must hold.
+    assert!(
+        (0.10..0.75).contains(&discount),
+        "HyRD vs DuraCloud measured discount {discount:.3}"
+    );
+}

@@ -1,0 +1,140 @@
+//! Property-based integration tests: random operation sequences against
+//! a model filesystem, with random single-provider outages interleaved —
+//! the schemes must always agree with the model bytewise.
+
+use proptest::prelude::*;
+
+use hyrd::prelude::*;
+use hyrd_baselines::Racs;
+use hyrd_gcsapi::CloudStorage;
+use integration_tests::fresh_fleet;
+
+/// A random op against a bounded namespace.
+#[derive(Debug, Clone)]
+enum Op {
+    Create { slot: usize, size: usize },
+    Update { slot: usize, frac: f64, len: usize },
+    Delete { slot: usize },
+    Read { slot: usize },
+    FailProvider { which: usize },
+    RestoreAll,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..6usize, prop_oneof![Just(512usize), Just(4096), Just(100_000), Just(2_200_000)])
+            .prop_map(|(slot, size)| Op::Create { slot, size }),
+        (0..6usize, 0.0..1.0f64, 1..4096usize)
+            .prop_map(|(slot, frac, len)| Op::Update { slot, frac, len }),
+        (0..6usize).prop_map(|slot| Op::Delete { slot }),
+        (0..6usize).prop_map(|slot| Op::Read { slot }),
+        (0..4usize).prop_map(|which| Op::FailProvider { which }),
+        Just(Op::RestoreAll),
+    ]
+}
+
+fn run_against_model(mut scheme: Box<dyn Scheme>, fleet: &Fleet, ops: Vec<Op>) {
+    let mut model: Vec<Option<Vec<u8>>> = vec![None; 6];
+    let mut version = 0u32;
+    let mut down: Option<usize> = None;
+
+    for op in ops {
+        match op {
+            Op::Create { slot, size } => {
+                if model[slot].is_some() {
+                    continue;
+                }
+                version += 1;
+                let data = hyrd::driver::synth_content(&format!("/p/f{slot}"), version, size);
+                // With a provider down the write may legitimately fail
+                // (e.g. too few fragment targets); the model only records
+                // acknowledged writes.
+                if scheme.create_file(&format!("/p/f{slot}"), &data).is_ok() {
+                    model[slot] = Some(data);
+                }
+            }
+            Op::Update { slot, frac, len } => {
+                let Some(content) = model[slot].clone() else { continue };
+                if content.is_empty() {
+                    continue;
+                }
+                let offset = ((content.len() - 1) as f64 * frac) as usize;
+                let len = len.min(content.len() - offset).max(1);
+                version += 1;
+                let patch = hyrd::driver::synth_content("patch", version, len);
+                if scheme.update_file(&format!("/p/f{slot}"), offset as u64, &patch).is_ok() {
+                    let c = model[slot].as_mut().expect("checked above");
+                    c[offset..offset + len].copy_from_slice(&patch);
+                }
+            }
+            Op::Delete { slot } => {
+                if model[slot].is_none() {
+                    continue;
+                }
+                if scheme.delete_file(&format!("/p/f{slot}")).is_ok() {
+                    model[slot] = None;
+                }
+            }
+            Op::Read { slot } => {
+                let Some(want) = &model[slot] else {
+                    assert!(
+                        scheme.read_file(&format!("/p/f{slot}")).is_err(),
+                        "read of deleted/missing slot {slot} must fail"
+                    );
+                    continue;
+                };
+                // A single outage must never lose acknowledged data.
+                let (got, _) = scheme
+                    .read_file(&format!("/p/f{slot}"))
+                    .unwrap_or_else(|e| panic!("{} slot {slot}: {e}", scheme.name()));
+                assert_eq!(&got[..], &want[..], "{} slot {slot}", scheme.name());
+            }
+            Op::FailProvider { which } => {
+                // At most one provider down at a time (the paper's
+                // single-outage model). A returned provider runs its
+                // consistency update before counting again — §III-C.
+                if let Some(prev) = down {
+                    if prev == which {
+                        continue;
+                    }
+                    let p = &fleet.providers()[prev];
+                    p.restore();
+                    scheme.recover_provider(p.id()).expect("replay onto returned provider");
+                }
+                fleet.providers()[which].force_down();
+                down = Some(which);
+            }
+            Op::RestoreAll => {
+                if let Some(prev) = down.take() {
+                    let p = &fleet.providers()[prev];
+                    p.restore();
+                    scheme.recover_provider(p.id()).expect("replay onto returned provider");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn hyrd_matches_the_model_under_random_ops_and_outages(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        let (_, fleet) = fresh_fleet();
+        let scheme = Box::new(
+            Hyrd::new(&fleet, HyrdConfig::default()).expect("valid default config"),
+        );
+        run_against_model(scheme, &fleet, ops);
+    }
+
+    #[test]
+    fn racs_matches_the_model_under_random_ops_and_outages(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        let (_, fleet) = fresh_fleet();
+        let scheme = Box::new(Racs::new(&fleet).expect("4-provider fleet"));
+        run_against_model(scheme, &fleet, ops);
+    }
+}
