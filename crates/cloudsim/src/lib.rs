@@ -14,6 +14,9 @@
 //!   region),
 //! * **service outages**: scheduled windows or manual kill/restore, during
 //!   which every op fails with `CloudError::Unavailable`,
+//! * **seeded fault injection** ([`faults`]): throttling bursts, latency
+//!   spikes, wire corruption, torn writes and bit rot, reproducible from
+//!   one seed,
 //! * full **op/byte accounting** for the cost simulator.
 //!
 //! Time is virtual: ops return their latency in the `OpReport` and the
@@ -25,6 +28,7 @@
 
 pub mod clock;
 pub mod dircloud;
+pub mod faults;
 pub mod fleet;
 pub mod latency;
 pub mod outage;
@@ -35,6 +39,7 @@ pub mod realtime;
 
 pub use clock::SimClock;
 pub use dircloud::DirCloud;
+pub use faults::{FaultPlan, FaultWindow, LatencySpike};
 pub use fleet::Fleet;
 pub use latency::LatencyModel;
 pub use outage::OutageSchedule;

@@ -59,9 +59,24 @@ impl OutageSchedule {
         self
     }
 
-    /// Adds a scheduled window in place.
+    /// Adds a scheduled window in place, merging it with any existing
+    /// windows it overlaps or touches. The schedule therefore stays a
+    /// sorted set of disjoint windows, and `downtime_within` never
+    /// double-counts an instant claimed by two inserts.
     pub fn add_window(&mut self, start: Duration, end: Duration) {
-        self.windows.push(OutageWindow::new(start, end));
+        let mut merged = OutageWindow::new(start, end);
+        let mut kept = Vec::with_capacity(self.windows.len() + 1);
+        for &w in &self.windows {
+            if w.end < merged.start || w.start > merged.end {
+                kept.push(w);
+            } else {
+                merged.start = merged.start.min(w.start);
+                merged.end = merged.end.max(w.end);
+            }
+        }
+        kept.push(merged);
+        kept.sort_by_key(|w| w.start);
+        self.windows = kept;
     }
 
     /// Forces the provider down regardless of windows (Figure 6 setup).
@@ -141,6 +156,43 @@ mod tests {
         assert!(!s.is_up(days(100)));
         s.restore();
         assert!(s.is_up(Duration::ZERO));
+    }
+
+    #[test]
+    fn overlapping_windows_merge_on_insert() {
+        let s = OutageSchedule::always_up()
+            .with_window(hours(1), hours(4))
+            .with_window(hours(3), hours(6))
+            .with_window(hours(10), hours(11));
+        assert_eq!(s.windows().len(), 2, "overlapping pair collapsed");
+        assert_eq!(s.windows()[0], OutageWindow::new(hours(1), hours(6)));
+        assert_eq!(s.windows()[1], OutageWindow::new(hours(10), hours(11)));
+        // Downtime is counted once, not per overlapping insert.
+        assert_eq!(s.downtime_within(hours(0), hours(8)), hours(5));
+    }
+
+    #[test]
+    fn adjacent_and_contained_windows_merge_too() {
+        let mut s = OutageSchedule::always_up();
+        s.add_window(hours(1), hours(2));
+        s.add_window(hours(2), hours(3)); // touching
+        assert_eq!(s.windows(), &[OutageWindow::new(hours(1), hours(3))]);
+        s.add_window(hours(1) + Duration::from_secs(600), hours(2)); // contained
+        assert_eq!(s.windows(), &[OutageWindow::new(hours(1), hours(3))]);
+        // A window bridging two separate ones swallows both.
+        s.add_window(hours(5), hours(6));
+        s.add_window(hours(2), hours(5) + Duration::from_secs(1));
+        assert_eq!(s.windows(), &[OutageWindow::new(hours(1), hours(6))]);
+    }
+
+    #[test]
+    fn merged_schedule_stays_sorted() {
+        let mut s = OutageSchedule::always_up();
+        s.add_window(hours(10), hours(11));
+        s.add_window(hours(1), hours(2));
+        s.add_window(hours(5), hours(6));
+        let starts: Vec<_> = s.windows().iter().map(|w| w.start).collect();
+        assert_eq!(starts, vec![hours(1), hours(5), hours(10)]);
     }
 
     #[test]

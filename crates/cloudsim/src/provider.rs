@@ -20,6 +20,7 @@ use hyrd_gcsapi::{
 };
 
 use crate::clock::SimClock;
+use crate::faults::FaultPlan;
 use crate::outage::OutageSchedule;
 use crate::pricing::{PriceBook, ProviderCategory};
 use crate::profiles::{ProviderProfile, WellKnownProvider};
@@ -66,6 +67,11 @@ pub struct SimProvider {
     stored_bytes: AtomicU64,
     /// Probability (deterministic, per-op-seq) of a transient fault.
     flakiness_milli: AtomicU64,
+    /// Seeded fault schedule (bursts, spikes, corruption, torn writes,
+    /// rot). Quiet by default.
+    faults: RwLock<FaultPlan>,
+    /// How many of the plan's rot events have been applied.
+    rot_applied: AtomicU64,
 }
 
 impl SimProvider {
@@ -82,6 +88,8 @@ impl SimProvider {
             stored_bytes: AtomicU64::new(0),
             flakiness_milli: AtomicU64::new(0),
             ghost: AtomicBool::new(false),
+            faults: RwLock::new(FaultPlan::quiet()),
+            rot_applied: AtomicU64::new(0),
         }
     }
 
@@ -148,8 +156,81 @@ impl SimProvider {
         self.flakiness_milli.store(milli, Ordering::Relaxed);
     }
 
+    /// Installs a fault schedule (replacing any previous one; the rot
+    /// cursor restarts with the new plan).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.faults.write() = plan;
+        self.rot_applied.store(0, Ordering::Relaxed);
+    }
+
+    /// The active fault schedule.
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.faults.read().clone()
+    }
+
+    /// Whether ghost mode is on (payloads discarded, Gets zero-filled).
+    /// Integrity checks are meaningless against ghost reads, so clients
+    /// must skip verification for ghost-mode providers.
+    pub fn ghost_mode(&self) -> bool {
+        self.ghost.load(Ordering::Relaxed)
+    }
+
+    /// Maintenance/test backdoor: flips one stored bit of an object *at
+    /// rest*, without an op, stats, or latency. Returns false when the
+    /// object is absent, empty, or ghost (nothing to corrupt).
+    pub fn corrupt_object(&self, key: &ObjectKey, bit: u64) -> bool {
+        let mut s = self.store.write();
+        let Some(container) = s.get_mut(&key.container) else { return false };
+        let Some(Stored::Real(b)) = container.get_mut(&key.name) else { return false };
+        if b.is_empty() {
+            return false;
+        }
+        let mut v = b.to_vec();
+        let target = (bit as usize) % (v.len() * 8);
+        v[target / 8] ^= 1 << (target % 8);
+        *b = Bytes::from(v);
+        true
+    }
+
+    /// Applies any rot events whose time has passed: each flips one bit
+    /// of one stored object (chosen by the event's entropy over the
+    /// deterministic store order). Ghost objects absorb the event with
+    /// no effect.
+    fn apply_due_rot(&self) {
+        loop {
+            let consumed = self.rot_applied.load(Ordering::Relaxed) as usize;
+            let Some(entropy) = self.faults.read().rot_due(consumed, self.clock.now()) else {
+                return;
+            };
+            self.rot_applied.store(consumed as u64 + 1, Ordering::Relaxed);
+            let mut s = self.store.write();
+            let total: usize = s.values().map(|c| c.len()).sum();
+            if total == 0 {
+                continue;
+            }
+            let mut k = (entropy as usize) % total;
+            'select: for objects in s.values_mut() {
+                for stored in objects.values_mut() {
+                    if k == 0 {
+                        if let Stored::Real(b) = stored {
+                            if !b.is_empty() {
+                                let mut v = b.to_vec();
+                                let target = ((entropy >> 17) as usize) % (v.len() * 8);
+                                v[target / 8] ^= 1 << (target % 8);
+                                *b = Bytes::from(v);
+                            }
+                        }
+                        break 'select;
+                    }
+                    k -= 1;
+                }
+            }
+        }
+    }
+
     /// Availability check + per-op bookkeeping; returns the jitter seq.
     fn admit(&self) -> CloudResult<u64> {
+        self.apply_due_rot();
         if !self.outage.read().is_up(self.clock.now()) {
             self.stats.record_err();
             return Err(CloudError::Unavailable { provider: self.id });
@@ -166,18 +247,21 @@ impl SimProvider {
                 return Err(CloudError::Transient { provider: self.id, reason: "injected" });
             }
         }
+        if self.faults.read().burst_error(self.clock.now(), seq) {
+            self.stats.record_err();
+            return Err(CloudError::Transient { provider: self.id, reason: "burst" });
+        }
         Ok(seq)
     }
 
     fn report(&self, kind: OpKind, bytes_in: u64, bytes_out: u64, seq: u64) -> OpReport {
         let payload = bytes_in.max(bytes_out);
-        let report = OpReport {
-            provider: self.id,
-            kind,
-            latency: self.profile.latency.latency(kind, payload, seq),
-            bytes_in,
-            bytes_out,
-        };
+        let mut latency = self.profile.latency.latency(kind, payload, seq);
+        let spike = self.faults.read().latency_multiplier(self.clock.now());
+        if spike > 1.0 {
+            latency = latency.mul_f64(spike);
+        }
+        let report = OpReport { provider: self.id, kind, latency, bytes_in, bytes_out };
         self.stats.record_ok(&report);
         report
     }
@@ -206,11 +290,29 @@ impl CloudStorage for SimProvider {
 
     fn put(&self, key: &ObjectKey, data: Bytes) -> CloudResult<OpOutcome<()>> {
         let seq = self.admit()?;
+        let torn = self.faults.read().torn_put(seq);
         let mut s = self.store.write();
         let container = s.get_mut(&key.container).ok_or_else(|| {
             self.stats.record_err();
             CloudError::NoSuchContainer { container: key.container.clone() }
         })?;
+        if let Some(entropy) = torn {
+            // Torn write: a prefix lands, the op reports failure. The
+            // kept fraction is 10%–90% of the payload.
+            let frac_milli = 100 + entropy % 801;
+            let keep = (data.len() as u64 * frac_milli / 1000) as usize;
+            let record = if self.ghost.load(Ordering::Relaxed) {
+                Stored::Ghost(keep as u64)
+            } else {
+                Stored::Real(data.slice(..keep))
+            };
+            let old_len = container.insert(key.name.clone(), record).map_or(0, |b| b.len());
+            drop(s);
+            self.stored_bytes.fetch_add(keep as u64, Ordering::Relaxed);
+            self.stored_bytes.fetch_sub(old_len, Ordering::Relaxed);
+            self.stats.record_err();
+            return Err(CloudError::Transient { provider: self.id, reason: "torn write" });
+        }
         let new_len = data.len() as u64;
         let record = if self.ghost.load(Ordering::Relaxed) {
             Stored::Ghost(new_len)
@@ -232,7 +334,7 @@ impl CloudStorage for SimProvider {
             self.stats.record_err();
             CloudError::NoSuchContainer { container: key.container.clone() }
         })?;
-        let data = container
+        let mut data = container
             .get(&key.name)
             .map(Stored::to_bytes)
             .ok_or_else(|| {
@@ -240,6 +342,15 @@ impl CloudStorage for SimProvider {
                 CloudError::NoSuchObject { key: key.clone() }
             })?;
         drop(s);
+        if !data.is_empty() {
+            if let Some(entropy) = self.faults.read().wire_corruption(seq) {
+                // One bit flips on the wire; the stored object is intact.
+                let mut v = data.to_vec();
+                let target = ((entropy >> 11) as usize) % (v.len() * 8);
+                v[target / 8] ^= 1 << (target % 8);
+                data = Bytes::from(v);
+            }
+        }
         let len = data.len() as u64;
         Ok(OpOutcome::new(data, self.report(OpKind::Get, 0, len, seq)))
     }
@@ -465,6 +576,96 @@ mod tests {
         // Remove still maintains the gauge.
         p.remove(&key).unwrap();
         assert_eq!(p.stored_bytes(), 0);
+    }
+
+    #[test]
+    fn burst_windows_inject_transients_only_while_open() {
+        let (p, clock) = provider();
+        let key = ObjectKey::new("data", "k");
+        p.put(&key, Bytes::from_static(b"v")).unwrap();
+        p.set_fault_plan(FaultPlan::quiet().with_seed(5).with_burst(hours(1), hours(2), 1000));
+        assert!(p.get(&key).is_ok(), "clean before the window");
+        clock.advance(hours(1));
+        assert!(matches!(p.get(&key), Err(CloudError::Transient { reason: "burst", .. })));
+        clock.advance(hours(1));
+        assert!(p.get(&key).is_ok(), "clean after the window");
+    }
+
+    #[test]
+    fn latency_spikes_multiply_reported_latency() {
+        let clock = SimClock::new();
+        let p = SimProvider::well_known(ProviderId(0), WellKnownProvider::AmazonS3, clock.clone());
+        p.create("data").unwrap();
+        let key = ObjectKey::new("data", "k");
+        let payload = Bytes::from(vec![1u8; 64 * 1024]);
+        p.put(&key, payload).unwrap();
+        let base = p.get(&key).unwrap().report.latency;
+        p.set_fault_plan(FaultPlan::quiet().with_spike(
+            std::time::Duration::ZERO,
+            hours(1),
+            4.0,
+        ));
+        let spiked = p.get(&key).unwrap().report.latency;
+        // The latency model jitters per seq, but a 4x multiplier
+        // dominates that spread.
+        assert!(spiked > base.mul_f64(2.0), "base={base:?} spiked={spiked:?}");
+    }
+
+    #[test]
+    fn wire_corruption_flips_one_bit_without_touching_the_store() {
+        let (p, _) = provider();
+        let key = ObjectKey::new("data", "k");
+        let payload = vec![0u8; 256];
+        p.put(&key, Bytes::from(payload.clone())).unwrap();
+        p.set_fault_plan(FaultPlan::quiet().with_seed(3).with_wire_corruption(1000));
+        let got = p.get(&key).unwrap().value;
+        let flipped: u32 = got.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit differs on the wire");
+        p.set_fault_plan(FaultPlan::quiet());
+        assert_eq!(&p.get(&key).unwrap().value[..], &payload[..], "stored bytes are intact");
+    }
+
+    #[test]
+    fn torn_puts_store_a_prefix_and_report_a_transient() {
+        let (p, _) = provider();
+        let key = ObjectKey::new("data", "k");
+        p.set_fault_plan(FaultPlan::quiet().with_seed(9).with_torn_puts(1000));
+        let r = p.put(&key, Bytes::from(vec![7u8; 1000]));
+        assert!(matches!(r, Err(CloudError::Transient { reason: "torn write", .. })));
+        p.set_fault_plan(FaultPlan::quiet());
+        let got = p.get(&key).unwrap().value;
+        assert!(!got.is_empty() && got.len() < 1000, "a strict prefix landed: {}", got.len());
+        assert!(got.iter().all(|&b| b == 7));
+        assert_eq!(p.stored_bytes(), got.len() as u64, "gauge tracks the torn prefix");
+    }
+
+    #[test]
+    fn rot_events_corrupt_a_stored_object_once_due() {
+        let (p, clock) = provider();
+        let key = ObjectKey::new("data", "k");
+        let payload = vec![0u8; 128];
+        p.put(&key, Bytes::from(payload.clone())).unwrap();
+        p.set_fault_plan(FaultPlan::quiet().with_seed(1).with_rot_at(hours(1)));
+        assert_eq!(&p.get(&key).unwrap().value[..], &payload[..], "intact before the event");
+        clock.advance(hours(2));
+        let got = p.get(&key).unwrap().value;
+        let flipped: u32 = got.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1, "one stored bit rotted");
+        // Rot is persistent: the same corrupt bytes come back again.
+        assert_eq!(&p.get(&key).unwrap().value[..], &got[..]);
+    }
+
+    #[test]
+    fn corrupt_object_backdoor_flips_the_requested_bit() {
+        let (p, _) = provider();
+        let key = ObjectKey::new("data", "k");
+        p.put(&key, Bytes::from(vec![0u8; 4])).unwrap();
+        assert!(p.corrupt_object(&key, 9));
+        assert_eq!(&p.get(&key).unwrap().value[..], &[0u8, 2, 0, 0]);
+        assert!(!p.corrupt_object(&ObjectKey::new("data", "missing"), 0));
+        let ops_before = p.stats().get;
+        let _ = p.stats();
+        assert_eq!(p.stats().get, ops_before, "the backdoor is not an op");
     }
 
     #[test]

@@ -2,6 +2,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::health::BreakerSettings;
+use hyrd_gcsapi::RetryPolicy;
+
 /// Which erasure code protects the large-file tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CodeChoice {
@@ -80,6 +83,10 @@ pub struct HyrdConfig {
     /// performance-oriented providers (Figure 2's overlap region).
     /// A file qualifies after `hot_read_threshold` reads.
     pub hot_read_threshold: Option<u32>,
+    /// Per-op retry/backoff policy applied to every cloud call.
+    pub retry: RetryPolicy,
+    /// Per-provider circuit-breaker tuning.
+    pub breaker: BreakerSettings,
 }
 
 impl Default for HyrdConfig {
@@ -91,6 +98,8 @@ impl Default for HyrdConfig {
             fragment_selection: FragmentSelection::CheapestEgress,
             probe_bytes: 64 * 1024,
             hot_read_threshold: None,
+            retry: RetryPolicy::default(),
+            breaker: BreakerSettings::default(),
         }
     }
 }
@@ -133,6 +142,8 @@ mod tests {
         assert_eq!(c.code, CodeChoice::Raid5 { m: 3 });
         assert_eq!(c.code.n(), 4);
         assert_eq!(c.fragment_selection, FragmentSelection::CheapestEgress);
+        assert_eq!(c.retry, RetryPolicy::default());
+        assert_eq!(c.breaker, BreakerSettings::default());
         assert!(c.validate(4).is_ok());
     }
 

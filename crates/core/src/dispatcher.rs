@@ -20,6 +20,17 @@
 //! * **writes during an outage** → applied to the surviving providers and
 //!   appended to the [`UpdateLog`] for the consistency update when the
 //!   provider returns (recovery phase 2).
+//!
+//! Every provider call additionally runs through the hardening stack
+//! ([`Hyrd::guarded`]): retry with capped exponential backoff on
+//! transient faults (sleeps advance the virtual clock), a per-provider
+//! circuit breaker ([`crate::health`]) that short-circuits providers in
+//! a failure streak, and — on whole-object Gets — client-side SHA-256
+//! verification ([`crate::integrity`]); a corrupt payload is treated as
+//! an erasure (failover / degraded read) and repaired by the scrub pass
+//! ([`crate::scrub`]). Breakers never veto a read outright: when no
+//! healthier copy is left, the suspect breaker is force-closed and the
+//! read proceeds — a probing read beats a refused one.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -27,7 +38,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 
 use hyrd_cloudsim::{Fleet, SimProvider};
-use hyrd_gcsapi::{BatchReport, CloudError, CloudStorage, ObjectKey, ProviderId};
+use hyrd_gcsapi::{BatchReport, CloudError, CloudResult, CloudStorage, ObjectKey, ProviderId};
 use hyrd_gfec::parallel::encode_parallel;
 use hyrd_gfec::stripe::StripePlanner;
 use hyrd_gfec::{ErasureCode, Fragment, Raid5, Raid6, ReedSolomon};
@@ -35,12 +46,14 @@ use hyrd_metastore::{MetaStore, MetadataBlock, NormPath, Placement};
 
 use crate::config::{CodeChoice, FragmentSelection, HyrdConfig};
 use crate::evaluator::Evaluator;
+use crate::health::{FaultCounterSnapshot, FaultCounters, HealthTracker};
+use crate::integrity::{IntegrityIndex, Verdict};
 use crate::monitor::{DataClass, WorkloadMonitor};
 use crate::recovery::{RecoveryReport, UpdateLog};
 use crate::scheme::{Scheme, SchemeError, SchemeResult};
 
 /// Concrete erasure code behind [`CodeChoice`].
-enum CodeImpl {
+pub(crate) enum CodeImpl {
     Raid5(Raid5),
     Rs(ReedSolomon),
     Raid6(Raid6),
@@ -55,7 +68,7 @@ impl CodeImpl {
         })
     }
 
-    fn as_code(&self) -> &dyn ErasureCode {
+    pub(crate) fn as_code(&self) -> &dyn ErasureCode {
         match self {
             CodeImpl::Raid5(c) => c,
             CodeImpl::Rs(c) => c,
@@ -106,18 +119,21 @@ impl SmallFileCache {
 
 /// The HyRD client. See the crate docs for an end-to-end example.
 pub struct Hyrd {
-    fleet: Fleet,
-    config: HyrdConfig,
+    pub(crate) fleet: Fleet,
+    pub(crate) config: HyrdConfig,
     monitor: WorkloadMonitor,
     evaluator: Evaluator,
-    meta: MetaStore,
-    log: UpdateLog,
-    planner: StripePlanner,
-    code: CodeImpl,
+    pub(crate) meta: MetaStore,
+    pub(crate) log: UpdateLog,
+    pub(crate) planner: StripePlanner,
+    pub(crate) code: CodeImpl,
     cache: SmallFileCache,
     read_counts: HashMap<String, u32>,
-    dirty: crate::ecops::DirtyFragments,
+    pub(crate) dirty: crate::ecops::DirtyFragments,
     setup_cost: BatchReport,
+    pub(crate) health: HealthTracker,
+    pub(crate) integrity: IntegrityIndex,
+    pub(crate) counters: FaultCounters,
 }
 
 impl Hyrd {
@@ -131,6 +147,7 @@ impl Hyrd {
         let (evaluator, setup_cost) = Evaluator::assess(fleet, config.probe_bytes);
         let code = CodeImpl::build(config.code)?;
         let planner = StripePlanner::new(config.code.m(), config.code.n())?;
+        let health = HealthTracker::new(config.breaker);
         Ok(Hyrd {
             fleet: fleet.clone(),
             monitor: WorkloadMonitor::new(config.threshold),
@@ -143,6 +160,9 @@ impl Hyrd {
             read_counts: HashMap::new(),
             dirty: crate::ecops::DirtyFragments::new(),
             setup_cost,
+            health,
+            integrity: IntegrityIndex::new(),
+            counters: FaultCounters::default(),
             config,
         })
     }
@@ -216,6 +236,22 @@ impl Hyrd {
         &self.evaluator
     }
 
+    /// The per-provider circuit breakers.
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// Current fault-handling counters (retries, breaker rejections,
+    /// corruption detections).
+    pub fn fault_counters(&self) -> FaultCounterSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Objects with a recorded client-side checksum.
+    pub fn integrity_len(&self) -> usize {
+        self.integrity.len()
+    }
+
     /// Re-runs the Cost & Performance Evaluator and adopts the fresh
     /// tiers for *future* placements (existing placements are untouched —
     /// they carry their own provider lists). The paper's evaluator
@@ -263,6 +299,10 @@ impl Hyrd {
                 detail: format!("{id} not in fleet"),
             })?
             .clone();
+        // The provider is declaredly back: give it a clean bill of health
+        // so the replay and the reads that follow are not short-circuited
+        // by a breaker left open from its bad spell.
+        self.health.reset(id);
         // Phase 2a: replay whole-object writes the provider missed.
         let (mut report, mut batch) = self.log.replay(provider.as_ref())?;
         // Phase 2b: rebuild fragments dirtied by degraded updates.
@@ -320,8 +360,61 @@ impl Hyrd {
     // Placement helpers
     // ------------------------------------------------------------------
 
-    fn provider(&self, id: ProviderId) -> &Arc<SimProvider> {
+    pub(crate) fn provider(&self, id: ProviderId) -> &Arc<SimProvider> {
         self.fleet.get(id).expect("placement providers come from the fleet")
+    }
+
+    /// Runs one cloud op through the full hardening stack: circuit
+    /// breaker admission, retry with capped exponential backoff (sleeps
+    /// advance the *virtual* clock), and health bookkeeping on the
+    /// outcome. On the clean path this is exactly one provider call with
+    /// zero added latency, so fault-free runs are bit-identical to the
+    /// unhardened dispatcher.
+    pub(crate) fn guarded<T>(
+        &self,
+        id: ProviderId,
+        mut op: impl FnMut(&SimProvider) -> CloudResult<T>,
+    ) -> CloudResult<T> {
+        if !self.health.probe(id, self.now()) {
+            self.counters.note_breaker_rejection();
+            return Err(CloudError::Unavailable { provider: id });
+        }
+        let provider = self.provider(id).clone();
+        let clock = self.fleet.clock().clone();
+        let policy = self.config.retry;
+        let mut retries = 0u32;
+        let result = policy.run_with(
+            |delay| {
+                retries += 1;
+                clock.advance(delay);
+            },
+            || op(provider.as_ref()),
+        );
+        self.counters.note_retries(retries);
+        match result {
+            Ok(v) => {
+                self.health.record_success(id);
+                Ok(v)
+            }
+            Err(re) => {
+                let e = re.into_cloud_error();
+                if e.counts_against_health() {
+                    self.health.record_failure(id, self.now());
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Verifies fetched whole-object bytes against the recorded digest.
+    /// Ghost-mode providers return synthetic zeroes by design, so their
+    /// payloads are exempt (`Unknown`).
+    pub(crate) fn check(&self, id: ProviderId, object: &str, bytes: &[u8]) -> Verdict {
+        if self.provider(id).ghost_mode() {
+            Verdict::Unknown
+        } else {
+            self.integrity.verify(object, bytes)
+        }
     }
 
     /// Replica targets for metadata/small files: performance tier fastest
@@ -358,13 +451,14 @@ impl Hyrd {
         targets
     }
 
-    fn key(name: &str) -> ObjectKey {
+    pub(crate) fn key(name: &str) -> ObjectKey {
         ObjectKey::new(Fleet::CONTAINER, name)
     }
 
-    /// Puts `data` to every target in parallel. Unavailable targets get
-    /// the write logged for the consistency update. Returns the batch and
-    /// how many targets took the write synchronously.
+    /// Puts `data` to every target in parallel. Unavailable (or
+    /// breaker-rejected) targets get the write logged for the consistency
+    /// update. Returns the batch and how many targets took the write
+    /// synchronously.
     fn put_replicated(
         &mut self,
         name: &str,
@@ -372,21 +466,45 @@ impl Hyrd {
         targets: &[ProviderId],
     ) -> (BatchReport, usize) {
         let key = Self::key(name);
+        // The digest is what the object *should* hold from now on; it is
+        // recorded up front so even log-replayed copies verify.
+        self.integrity.record(name, data);
         let mut ops = Vec::new();
         let mut live = 0;
+        let mut rejected: Vec<ProviderId> = Vec::new();
         for &t in targets {
-            match self.provider(t).put(&key, data.clone()) {
+            if !self.health.admits(t, self.now()) {
+                // Open breaker: skip the call, log the write like an
+                // outage miss. If it turns out no target takes the write
+                // we come back to these below.
+                self.counters.note_breaker_rejection();
+                rejected.push(t);
+                self.log.log_put(t, key.clone(), data.clone());
+                continue;
+            }
+            match self.guarded(t, |p| p.put(&key, data.clone())) {
                 Ok(out) => {
                     ops.push(out.report);
                     live += 1;
                 }
-                Err(CloudError::Unavailable { .. }) => {
+                Err(_) => {
+                    // Outages, exhausted retries, container errors — all
+                    // become missed writes; the replay path will surface
+                    // persistent problems.
                     self.log.log_put(t, key.clone(), data.clone());
                 }
-                Err(_) => {
-                    // Container errors etc. — treat as missed write too;
-                    // the replay path will surface persistent problems.
-                    self.log.log_put(t, key.clone(), data.clone());
+            }
+        }
+        if live == 0 && !rejected.is_empty() {
+            // Desperation pass: every admitted target failed, so a
+            // breaker verdict is no longer allowed to cost us the write.
+            // Force the rejected breakers closed and try for real (the
+            // pessimistic log entries stay — replay is idempotent).
+            for t in rejected {
+                self.health.reset(t);
+                if let Ok(out) = self.guarded(t, |p| p.put(&key, data.clone())) {
+                    ops.push(out.report);
+                    live += 1;
                 }
             }
         }
@@ -408,7 +526,7 @@ impl Hyrd {
         BatchReport::parallel(ops)
     }
 
-    fn now(&self) -> std::time::Duration {
+    pub(crate) fn now(&self) -> std::time::Duration {
         self.fleet.clock().now()
     }
 
@@ -427,6 +545,7 @@ impl Hyrd {
         if live == 0 {
             // No provider holds the data — fail the write and roll back.
             self.meta.remove_file(path)?;
+            self.integrity.forget(&name);
             for &t in &targets {
                 // Drop the logged writes for the rolled-back object.
                 self.log.log_remove(t, Self::key(&name));
@@ -460,19 +579,40 @@ impl Hyrd {
         let mut fragments: Vec<(ProviderId, String)> = Vec::with_capacity(targets.len());
         let mut ops = Vec::new();
         let mut live = 0;
+        let mut rejected: Vec<(ProviderId, String, Bytes)> = Vec::new();
         for (idx, shard) in shards.into_iter().chain(parity).enumerate() {
             let target = targets[idx];
             let name = format!("{base_name}.f{idx}");
             let key = Self::key(&name);
             let bytes = Bytes::from(shard);
-            match self.provider(target).put(&key, bytes.clone()) {
-                Ok(out) => {
+            self.integrity.record(&name, &bytes);
+            if !self.health.admits(target, self.now()) {
+                self.counters.note_breaker_rejection();
+                self.log.log_put(target, key, bytes.clone());
+                rejected.push((target, name.clone(), bytes));
+            } else {
+                match self.guarded(target, |p| p.put(&key, bytes.clone())) {
+                    Ok(out) => {
+                        ops.push(out.report);
+                        live += 1;
+                    }
+                    Err(_) => self.log.log_put(target, key, bytes),
+                }
+            }
+            fragments.push((target, name));
+        }
+        if live < self.config.code.m() && !rejected.is_empty() {
+            // Desperation pass: below the durability floor, so open
+            // breakers no longer get a vote — force them closed and put
+            // the rejected fragments for real.
+            for (t, name, bytes) in rejected {
+                self.health.reset(t);
+                let key = Self::key(&name);
+                if let Ok(out) = self.guarded(t, |p| p.put(&key, bytes.clone())) {
                     ops.push(out.report);
                     live += 1;
                 }
-                Err(_) => self.log.log_put(target, key, bytes),
             }
-            fragments.push((target, name));
         }
 
         if live < self.config.code.m() {
@@ -481,7 +621,8 @@ impl Hyrd {
             self.meta.remove_file(path)?;
             for (t, name) in &fragments {
                 let key = Self::key(name);
-                match self.provider(*t).remove(&key) {
+                self.integrity.forget(name);
+                match self.guarded(*t, |p| p.remove(&key)) {
                     Ok(out) => ops.push(out.report),
                     Err(_) => self.log.log_remove(*t, key),
                 }
@@ -512,11 +653,45 @@ impl Hyrd {
         object: &str,
     ) -> SchemeResult<(Bytes, BatchReport)> {
         let key = Self::key(object);
-        // Fastest replica first — the evaluator's whole purpose.
-        let order = Evaluator::order_by(&self.evaluator.fastest_first(), providers);
+        // Fastest replica first — the evaluator's whole purpose — with
+        // breaker-suspect providers demoted to the back of the line.
+        let mut order = Evaluator::order_by(&self.evaluator.fastest_first(), providers);
+        let now = self.now();
+        order.sort_by_key(|&id| !self.health.admits(id, now));
+        let mut ops = Vec::new();
         for id in order {
-            if let Ok(out) = self.provider(id).get(&key) {
-                return Ok((out.value, BatchReport::parallel(vec![out.report])));
+            // A replica with a pending log record holds stale bytes (it
+            // missed the latest write); never serve a read from it.
+            if self.log.is_pending(id, &key) {
+                continue;
+            }
+            if !self.health.admits(id, self.now()) {
+                // Last-resort candidate: every healthier replica already
+                // failed, so an open breaker must not veto the read.
+                // Force it closed — the attempt records a real outcome.
+                self.health.reset(id);
+            }
+            // A corrupt payload gets one immediate re-fetch (wire faults
+            // are per-attempt); a second mismatch means the *stored*
+            // copy is bad, so fail over and leave it to scrub.
+            for _ in 0..2 {
+                match self.guarded(id, |p| p.get(&key)) {
+                    Ok(out) => match self.check(id, object, &out.value) {
+                        Verdict::Corrupt => {
+                            self.counters.note_corruption();
+                            ops.push(out.report);
+                            continue;
+                        }
+                        Verdict::Verified | Verdict::Unknown => {
+                            ops.push(out.report);
+                            // Serial: any corruption re-fetches happened
+                            // one after another. With a single clean op
+                            // this equals the old parallel report.
+                            return Ok((out.value, BatchReport::serial(ops)));
+                        }
+                    },
+                    Err(_) => break,
+                }
             }
         }
         Err(SchemeError::DataUnavailable {
@@ -538,14 +713,26 @@ impl Hyrd {
             FragmentSelection::CheapestEgress => self.evaluator.cheapest_egress_first(),
             FragmentSelection::Fastest => self.evaluator.fastest_first(),
         };
+        // A fragment is a candidate when its provider is up, its stored
+        // bytes are current (no pending replay, not dirtied by a
+        // degraded update), ordered by the selection policy with
+        // breaker-suspect providers last.
+        let now = self.now();
         let mut candidates: Vec<(usize, ProviderId, &String)> = fragments
             .iter()
             .enumerate()
-            .filter(|(_, (p, _))| self.provider(*p).is_available())
+            .filter(|(i, (p, name))| {
+                self.provider(*p).is_available()
+                    && !self.log.is_pending(*p, &Self::key(name))
+                    && !self.dirty.contains(path, *i)
+            })
             .map(|(i, (p, name))| (i, *p, name))
             .collect();
         candidates.sort_by_key(|(_, p, _)| {
-            ranking.iter().position(|r| r == p).unwrap_or(usize::MAX)
+            (
+                !self.health.admits(*p, now),
+                ranking.iter().position(|r| r == p).unwrap_or(usize::MAX),
+            )
         });
 
         let m = layout.m;
@@ -562,12 +749,31 @@ impl Hyrd {
             if got.len() == m {
                 break;
             }
-            match self.provider(p).get(&Self::key(name)) {
-                Ok(out) => {
-                    ops.push(out.report);
-                    got.push(Fragment::new(idx, out.value.to_vec()));
+            let key = Self::key(name);
+            if !self.health.admits(p, self.now()) {
+                // Needed despite the open breaker (healthier candidates
+                // are exhausted): a read beats a refusal, force-close it.
+                self.health.reset(p);
+            }
+            // One re-fetch on a checksum mismatch: wire corruption is
+            // per-attempt; a repeat means the stored fragment is bad and
+            // decode must route around it (scrub repairs it later).
+            for _ in 0..2 {
+                match self.guarded(p, |prov| prov.get(&key)) {
+                    Ok(out) => match self.check(p, name, &out.value) {
+                        Verdict::Corrupt => {
+                            self.counters.note_corruption();
+                            ops.push(out.report);
+                            continue;
+                        }
+                        Verdict::Verified | Verdict::Unknown => {
+                            ops.push(out.report);
+                            got.push(Fragment::new(idx, out.value.to_vec()));
+                            break;
+                        }
+                    },
+                    Err(_) => break, // raced an outage; try the next one
                 }
-                Err(_) => continue, // raced an outage; try the next one
             }
         }
         if got.len() < m {
@@ -609,8 +815,10 @@ impl Hyrd {
         let Some(&target) = self.evaluator.performance_tier().first() else { return batch };
         let name = format!("{}.hot", crate::scheme::object_name(path.as_str()));
         let now = self.now();
-        match self.provider(target).put(&Self::key(&name), data.clone()) {
+        let hot_key = Self::key(&name);
+        match self.guarded(target, |p| p.put(&hot_key, data.clone())) {
             Ok(out) => {
+                self.integrity.record(&name, data);
                 let _ = self.meta.set_placement(
                     path,
                     Placement::ErasureCoded {
@@ -650,6 +858,10 @@ impl Hyrd {
             }
         };
         debug_assert_eq!(content.len() as u64, size);
+        // Keep the overwritten window so a totally failed update can
+        // restore the pre-update content in the log (the update is
+        // reported failed; replaying its bytes anyway would diverge).
+        let old_window = content[offset as usize..offset as usize + data.len()].to_vec();
         content[offset as usize..offset as usize + data.len()].copy_from_slice(data);
         let bytes = Bytes::from(content);
         // Ranged write: only the modified bytes travel to each replica
@@ -660,8 +872,15 @@ impl Hyrd {
         let patch = Bytes::copy_from_slice(data);
         let mut ops = Vec::new();
         let mut live = 0;
+        let mut rejected: Vec<ProviderId> = Vec::new();
         for &t in &providers {
-            match self.provider(t).put_range(&key, offset, patch.clone()) {
+            if !self.health.admits(t, self.now()) {
+                self.counters.note_breaker_rejection();
+                rejected.push(t);
+                self.log.log_put(t, key.clone(), bytes.clone());
+                continue;
+            }
+            match self.guarded(t, |p| p.put_range(&key, offset, patch.clone())) {
                 Ok(out) => {
                     ops.push(out.report);
                     live += 1;
@@ -669,13 +888,37 @@ impl Hyrd {
                 Err(_) => self.log.log_put(t, key.clone(), bytes.clone()),
             }
         }
+        if live == 0 && !rejected.is_empty() {
+            // Desperation pass (see put_replicated): no admitted replica
+            // took the update, so open breakers lose their veto.
+            for t in rejected {
+                self.health.reset(t);
+                if let Ok(out) = self.guarded(t, |p| p.put_range(&key, offset, patch.clone())) {
+                    ops.push(out.report);
+                    live += 1;
+                }
+            }
+        }
         let write_batch = BatchReport::parallel(ops);
         if live == 0 {
+            // The update failed outright: supersede the logged entries
+            // with the pre-update content so replay restores the state
+            // the caller was told still stands.
+            let mut old = bytes.to_vec();
+            old[offset as usize..offset as usize + old_window.len()]
+                .copy_from_slice(&old_window);
+            let old_bytes = Bytes::from(old);
+            for &t in &providers {
+                self.log.log_put(t, key.clone(), old_bytes.clone());
+            }
             return Err(SchemeError::DataUnavailable {
                 path: path.to_string(),
                 detail: "no replica target available for update".to_string(),
             });
         }
+        // The object's authoritative content changed: refresh the digest
+        // (live replicas hold it; logged replicas will after replay).
+        self.integrity.record(&object, &bytes);
         self.cache.put(path.as_str(), bytes);
         let now = self.now();
         self.meta.set_placement(
@@ -719,13 +962,21 @@ impl Hyrd {
         for idx in outcome.missed {
             self.dirty.mark(path.as_str(), idx);
         }
+        // Ranged writes changed the fragments in place; the recorded
+        // whole-fragment digests no longer apply. Drop them — reads fall
+        // back to `Unknown` until the scrub pass re-records them.
+        for (_, name) in &fragments {
+            self.integrity.forget(name);
+        }
 
         // A stale hot copy must not serve future reads: drop it.
         let mut new_hot = hot_copy;
         if let Some((p, name)) = new_hot.take() {
-            match self.provider(p).remove(&Self::key(&name)) {
+            let hot_key = Self::key(&name);
+            self.integrity.forget(&name);
+            match self.guarded(p, |prov| prov.remove(&hot_key)) {
                 Ok(out) => batch = batch.with_background(BatchReport::parallel(vec![out.report])),
-                Err(CloudError::Unavailable { .. }) => self.log.log_remove(p, Self::key(&name)),
+                Err(CloudError::Unavailable { .. }) => self.log.log_remove(p, hot_key),
                 Err(_) => {}
             }
             self.read_counts.remove(path.as_str());
@@ -767,10 +1018,26 @@ impl Hyrd {
                 self.read_replicated(path, &providers, &object)
             }
             Placement::ErasureCoded { layout, fragments, hot_copy } => {
-                // Prefer the hot copy (one fast whole-object Get).
+                // Prefer the hot copy (one fast whole-object Get) — but
+                // only when it is current (no pending replay), its
+                // breaker admits the call, and its bytes verify; any
+                // doubt falls back to the erasure-coded truth.
                 if let Some((p, name)) = &hot_copy {
-                    if let Ok(out) = self.provider(*p).get(&Self::key(name)) {
-                        return Ok((out.value, BatchReport::parallel(vec![out.report])));
+                    let hot_key = Self::key(name);
+                    if !self.log.is_pending(*p, &hot_key)
+                        && self.health.admits(*p, self.now())
+                    {
+                        if let Ok(out) = self.guarded(*p, |prov| prov.get(&hot_key)) {
+                            match self.check(*p, name, &out.value) {
+                                Verdict::Corrupt => self.counters.note_corruption(),
+                                Verdict::Verified | Verdict::Unknown => {
+                                    return Ok((
+                                        out.value,
+                                        BatchReport::parallel(vec![out.report]),
+                                    ));
+                                }
+                            }
+                        }
                     }
                 }
                 let (bytes, batch) = self.read_erasure(path, &layout, &fragments)?;
@@ -823,7 +1090,8 @@ impl Hyrd {
         let mut ops = Vec::new();
         let mut remove_one = |this: &mut Self, p: ProviderId, name: &str| {
             let key = Self::key(name);
-            match this.provider(p).remove(&key) {
+            this.integrity.forget(name);
+            match this.guarded(p, |prov| prov.remove(&key)) {
                 Ok(out) => ops.push(out.report),
                 Err(CloudError::Unavailable { .. }) => this.log.log_remove(p, key),
                 Err(_) => {} // already gone (e.g. never landed): fine

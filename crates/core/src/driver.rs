@@ -129,6 +129,26 @@ pub struct ReplayState {
     expected: HashMap<String, Vec<u8>>,
 }
 
+impl ReplayState {
+    /// Paths with verified expected contents, sorted (deterministic
+    /// iteration for final verification sweeps).
+    pub fn expected_paths(&self) -> Vec<&str> {
+        let mut paths: Vec<&str> = self.expected.keys().map(String::as_str).collect();
+        paths.sort_unstable();
+        paths
+    }
+
+    /// The bytes a verified replay expects `path` to hold right now.
+    pub fn expected_content(&self, path: &str) -> Option<&[u8]> {
+        self.expected.get(path).map(Vec::as_slice)
+    }
+
+    /// Live files the replay has created and not deleted.
+    pub fn live_files(&self) -> usize {
+        self.files.len()
+    }
+}
+
 /// Replays `ops` through `scheme` with fresh state.
 pub fn replay(
     scheme: &mut dyn Scheme,

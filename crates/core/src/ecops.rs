@@ -20,7 +20,7 @@
 //!   their provider returns ([`rebuild_fragment`]), completing §III-C's
 //!   "consistency update upon service's return".
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -41,9 +41,10 @@ fn key(name: &str) -> ObjectKey {
 
 /// Fragments that missed a write during an outage and must be rebuilt
 /// from survivors when their provider returns, keyed by file path.
+/// `BTreeMap` so recovery and scrub iterate paths deterministically.
 #[derive(Debug, Default)]
 pub struct DirtyFragments {
-    map: HashMap<String, BTreeSet<usize>>,
+    map: BTreeMap<String, BTreeSet<usize>>,
 }
 
 impl DirtyFragments {
@@ -70,6 +71,12 @@ impl DirtyFragments {
     /// Drops all entries for a deleted path.
     pub fn forget(&mut self, path: &str) {
         self.map.remove(path);
+    }
+
+    /// Whether fragment `index` of `path` is dirty (its stored bytes are
+    /// stale and must not serve reads).
+    pub fn contains(&self, path: &str, index: usize) -> bool {
+        self.map.get(path).is_some_and(|s| s.contains(&index))
     }
 
     /// Paths with dirty fragments (for recovery iteration).
@@ -138,24 +145,36 @@ pub fn ranged_update<C: ErasureCode + ?Sized>(
         let (new_segments, new_parities) =
             apply_ranged_update_multi(&plan.touched, &old_segments, &old_parities, data, &coeffs)?;
 
+        // Writes are not allowed to abort the stripe half-written: a
+        // provider that fails mid-phase (a transient burst, say) just
+        // misses the write and its fragment goes dirty, exactly like the
+        // degraded path below.
         let mut write_ops = Vec::new();
+        let mut missed = Vec::new();
         for (k, &(shard, start, _)) in plan.touched.iter().enumerate() {
             let (pid, name) = &fragments[shard];
-            let out = lookup(*pid).put_range(
+            match lookup(*pid).put_range(
                 &key(name),
                 start as u64,
                 Bytes::from(new_segments[k].clone()),
-            )?;
-            write_ops.push(out.report);
+            ) {
+                Ok(out) => write_ops.push(out.report),
+                Err(_) => missed.push(shard),
+            }
         }
         for (j, w) in new_parities.into_iter().enumerate() {
-            let (pid, name) = &fragments[layout.m + j];
-            let out = lookup(*pid).put_range(&key(name), lo as u64, Bytes::from(w))?;
-            write_ops.push(out.report);
+            let idx = layout.m + j;
+            let (pid, name) = &fragments[idx];
+            match lookup(*pid).put_range(&key(name), lo as u64, Bytes::from(w)) {
+                Ok(out) => write_ops.push(out.report),
+                Err(_) => missed.push(idx),
+            }
         }
+        missed.sort_unstable();
+        missed.dedup();
         return Ok(EcUpdateOutcome {
             batch: BatchReport::parallel(read_ops).then(BatchReport::parallel(write_ops)),
-            missed: Vec::new(),
+            missed,
         });
     }
 
@@ -375,7 +394,10 @@ mod tests {
         d.mark("/a", 3);
         d.mark("/b", 0);
         assert_eq!(d.len(), 3);
-        assert_eq!(d.paths().len(), 2);
+        assert_eq!(d.paths(), vec!["/a".to_string(), "/b".to_string()], "sorted");
+        assert!(d.contains("/a", 1));
+        assert!(!d.contains("/a", 2));
+        assert!(!d.contains("/c", 0));
         let taken = d.take("/a");
         assert_eq!(taken.into_iter().collect::<Vec<_>>(), vec![1, 3]);
         assert_eq!(d.len(), 1);

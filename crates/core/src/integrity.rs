@@ -1,0 +1,119 @@
+//! Client-side integrity: SHA-256 digests for every object HyRD writes.
+//!
+//! Cloud storage returns whatever bytes it holds; it does not promise they
+//! are the bytes you stored. The dispatcher records a digest at write time
+//! (kept client-side, *never* stored next to the payload — a provider that
+//! corrupts data could corrupt a co-located checksum just as easily) and
+//! verifies every whole-object Get against it. A mismatch is treated as an
+//! erasure: the read fails over to another replica or to erasure-coded
+//! reconstruction, and the scrub pass rewrites the damaged copy.
+
+use std::collections::BTreeMap;
+
+use hyrd_dedup::sha256::{sha256, Digest};
+
+/// Outcome of verifying fetched bytes against the recorded digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Bytes match the digest recorded at write time.
+    Verified,
+    /// Bytes differ from the recorded digest.
+    Corrupt,
+    /// No digest on record (e.g. object predates the index, or the
+    /// provider runs in ghost mode and returns synthetic zeroes).
+    Unknown,
+}
+
+/// Object-name → SHA-256 digest map. `BTreeMap` so iteration order (and
+/// anything serialized from it) is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct IntegrityIndex {
+    digests: BTreeMap<String, Digest>,
+}
+
+impl IntegrityIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        IntegrityIndex::default()
+    }
+
+    /// Records the digest of `bytes` under `name`, replacing any previous
+    /// entry.
+    pub fn record(&mut self, name: &str, bytes: &[u8]) {
+        self.digests.insert(name.to_string(), sha256(bytes));
+    }
+
+    /// Drops the entry for `name` (object deleted or rewritten opaquely).
+    pub fn forget(&mut self, name: &str) {
+        self.digests.remove(name);
+    }
+
+    /// Verifies `bytes` against the recorded digest for `name`.
+    pub fn verify(&self, name: &str, bytes: &[u8]) -> Verdict {
+        match self.digests.get(name) {
+            None => Verdict::Unknown,
+            Some(expected) if *expected == sha256(bytes) => Verdict::Verified,
+            Some(_) => Verdict::Corrupt,
+        }
+    }
+
+    /// The recorded digest for `name`, if any.
+    pub fn digest(&self, name: &str) -> Option<&Digest> {
+        self.digests.get(name)
+    }
+
+    /// Number of tracked objects.
+    pub fn len(&self) -> usize {
+        self.digests.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.digests.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_lifecycle() {
+        let mut idx = IntegrityIndex::new();
+        assert_eq!(idx.verify("o1", b"payload"), Verdict::Unknown);
+
+        idx.record("o1", b"payload");
+        assert_eq!(idx.verify("o1", b"payload"), Verdict::Verified);
+        assert_eq!(idx.verify("o1", b"payloaD"), Verdict::Corrupt);
+        assert_eq!(idx.verify("o2", b"payload"), Verdict::Unknown);
+
+        idx.record("o1", b"new payload");
+        assert_eq!(idx.verify("o1", b"payload"), Verdict::Corrupt);
+        assert_eq!(idx.verify("o1", b"new payload"), Verdict::Verified);
+
+        idx.forget("o1");
+        assert_eq!(idx.verify("o1", b"new payload"), Verdict::Unknown);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn single_bit_flip_is_caught() {
+        let mut idx = IntegrityIndex::new();
+        let data = vec![0xABu8; 4096];
+        idx.record("frag", &data);
+        let mut flipped = data.clone();
+        flipped[2048] ^= 0x01;
+        assert_eq!(idx.verify("frag", &flipped), Verdict::Corrupt);
+        assert_eq!(idx.verify("frag", &data), Verdict::Verified);
+    }
+
+    #[test]
+    fn empty_objects_verify_too() {
+        let mut idx = IntegrityIndex::new();
+        idx.record("empty", b"");
+        assert_eq!(idx.verify("empty", b""), Verdict::Verified);
+        assert_eq!(idx.verify("empty", b"x"), Verdict::Corrupt);
+        assert_eq!(idx.len(), 1);
+        assert!(idx.digest("empty").is_some());
+    }
+}

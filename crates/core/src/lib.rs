@@ -26,6 +26,10 @@
 //! [`scheme`] (the `Scheme` trait every Cloud-of-Clouds layout — HyRD and
 //! the baselines — implements), [`recovery`] (the update log), [`driver`]
 //! (workload replay), [`stats`] (latency statistics the figures report).
+//! Hardening modules: [`health`] (per-provider circuit breakers and fault
+//! counters), [`integrity`] (client-side SHA-256 digests verified on
+//! every whole-object read), [`scrub`] (the background sweep that finds
+//! and repairs silent corruption).
 //!
 //! ## Quick start
 //!
@@ -52,17 +56,23 @@ pub mod dispatcher;
 pub mod ecops;
 pub mod driver;
 pub mod evaluator;
+pub mod health;
+pub mod integrity;
 pub mod monitor;
 pub mod recovery;
 pub mod scheme;
+pub mod scrub;
 pub mod stats;
 
 pub use config::{CodeChoice, FragmentSelection, HyrdConfig};
 pub use dispatcher::Hyrd;
 pub use evaluator::{Evaluator, ProviderAssessment};
+pub use health::{BreakerSettings, BreakerState, FaultCounterSnapshot, HealthTracker};
+pub use integrity::{IntegrityIndex, Verdict};
 pub use monitor::{DataClass, WorkloadMonitor};
 pub use recovery::{LogRecord, RecoveryReport, UpdateLog};
 pub use scheme::{Scheme, SchemeError, SchemeResult};
+pub use scrub::ScrubReport;
 
 /// One-stop imports for examples and benches.
 pub mod prelude {

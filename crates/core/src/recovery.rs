@@ -102,6 +102,21 @@ impl UpdateLog {
         self.records.iter().filter(|(p, _)| *p == provider).map(|(_, r)| r).collect()
     }
 
+    /// Whether `provider` has a pending record for `key` — i.e. whatever
+    /// the provider currently stores under `key` is stale and must not
+    /// serve reads.
+    pub fn is_pending(&self, provider: ProviderId, key: &ObjectKey) -> bool {
+        self.records.iter().any(|(p, r)| *p == provider && r.key() == key)
+    }
+
+    /// Providers with at least one pending record, sorted and deduped.
+    pub fn pending_providers(&self) -> Vec<ProviderId> {
+        let mut ids: Vec<ProviderId> = self.records.iter().map(|(p, _)| *p).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
     /// Replays the log onto a returned provider ("when the logs are
     /// completely processed, the recovery process completes"). On
     /// success the provider's records are dropped from the log.
@@ -178,6 +193,10 @@ mod tests {
         assert_eq!(log.len(), 2);
         assert_eq!(log.pending_for(ProviderId(0)).len(), 1);
         assert_eq!(log.pending_for(ProviderId(1)).len(), 1);
+        assert_eq!(log.pending_providers(), vec![ProviderId(0), ProviderId(1)]);
+        assert!(log.is_pending(ProviderId(0), &key("a")));
+        assert!(!log.is_pending(ProviderId(0), &key("b")));
+        assert!(!log.is_pending(ProviderId(2), &key("a")));
     }
 
     #[test]

@@ -75,7 +75,18 @@ impl std::fmt::Display for SchemeError {
     }
 }
 
-impl std::error::Error for SchemeError {}
+impl std::error::Error for SchemeError {
+    /// Exposes the wrapped layer error so `anyhow`-style chain walking
+    /// (and plain `{:#}` reporting) reaches the root cause.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchemeError::Cloud(e) => Some(e),
+            SchemeError::Meta(e) => Some(e),
+            SchemeError::Code(e) => Some(e),
+            SchemeError::DataUnavailable { .. } | SchemeError::BadRange { .. } => None,
+        }
+    }
+}
 
 /// Result alias for scheme operations.
 pub type SchemeResult<T> = Result<T, SchemeError>;
@@ -149,5 +160,20 @@ mod tests {
         assert!(e.to_string().contains("2 of 4 down"));
         let e = SchemeError::BadRange { path: "/f".into(), offset: 9, len: 5, size: 10 };
         assert!(e.to_string().contains("9+5"));
+    }
+
+    #[test]
+    fn source_reaches_the_wrapped_layer_error() {
+        use std::error::Error;
+        let e: SchemeError = CloudError::Unavailable { provider: ProviderId(1) }.into();
+        let src = e.source().expect("wrapped errors expose a source");
+        assert!(src.to_string().contains("unavailable"));
+        assert!(src.downcast_ref::<CloudError>().is_some());
+
+        let e: SchemeError = MetaError::NoSuchFile("/x".into()).into();
+        assert!(e.source().expect("meta source").downcast_ref::<MetaError>().is_some());
+
+        let e = SchemeError::DataUnavailable { path: "/f".into(), detail: "d".into() };
+        assert!(e.source().is_none(), "scheme-level verdicts have no deeper cause");
     }
 }

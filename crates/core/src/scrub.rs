@@ -1,0 +1,436 @@
+//! Background integrity scrub: sweep stored objects, verify them against
+//! the client-side digest index, and rewrite what fails.
+//!
+//! Checksum-on-read only catches corruption when somebody reads; a cold
+//! object can rot silently until the day its fragment is needed for a
+//! degraded read. The scrub pass closes that gap. It walks the namespace,
+//! fetches every reachable copy/fragment, and
+//!
+//! * **verifies** each against the recorded SHA-256 digest,
+//! * **repairs** corrupt replicas from a verified sibling, and corrupt
+//!   fragments by decoding the object from `m` verified fragments and
+//!   re-encoding the damaged one,
+//! * **refreshes** digests the dispatcher had to drop (ranged erasure
+//!   updates rewrite fragments in place), once the stored state proves
+//!   self-consistent,
+//! * reports anything it cannot restore as **unrecoverable** — the number
+//!   the chaos drill asserts to be zero.
+//!
+//! Unreachable copies (provider in outage, open breaker, pending replay,
+//! dirty fragment) are *skipped*, not condemned: outage recovery owns
+//! them. Scrub traffic runs through the same hardened [`Hyrd::guarded`]
+//! call path as foreground I/O.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use hyrd_gcsapi::{BatchReport, CloudStorage, OpReport, ProviderId};
+use hyrd_gfec::Fragment;
+use hyrd_metastore::Placement;
+
+use crate::dispatcher::Hyrd;
+use crate::integrity::Verdict;
+use crate::scheme::SchemeResult;
+
+/// What one scrub pass found and fixed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubReport {
+    /// Stored copies/fragments fetched and examined.
+    pub objects_swept: u64,
+    /// Copies whose bytes failed their digest.
+    pub corrupt_detected: u64,
+    /// Copies rewritten with known-good bytes.
+    pub repaired: u64,
+    /// Objects whose digests were re-recorded after proving consistent.
+    pub digests_refreshed: u64,
+    /// Objects with no intact source left to repair from.
+    pub unrecoverable: u64,
+    /// Copies not examined (outage, open breaker, pending replay, dirty).
+    pub skipped: u64,
+}
+
+impl ScrubReport {
+    /// Merges another report into this one.
+    pub fn absorb(&mut self, other: ScrubReport) {
+        self.objects_swept += other.objects_swept;
+        self.corrupt_detected += other.corrupt_detected;
+        self.repaired += other.repaired;
+        self.digests_refreshed += other.digests_refreshed;
+        self.unrecoverable += other.unrecoverable;
+        self.skipped += other.skipped;
+    }
+}
+
+impl Hyrd {
+    /// Whether scrub may touch `provider`'s copy of `object` right now.
+    fn scrubbable(&self, provider: ProviderId, name: &str) -> bool {
+        self.provider(provider).is_available()
+            && self.health.admits(provider, self.now())
+            && !self.log.is_pending(provider, &Self::key(name))
+    }
+
+    /// Fetches one copy for scrubbing, pushing its op on success.
+    fn scrub_fetch(
+        &self,
+        provider: ProviderId,
+        name: &str,
+        ops: &mut Vec<OpReport>,
+    ) -> Option<Bytes> {
+        let key = Self::key(name);
+        match self.guarded(provider, |p| p.get(&key)) {
+            Ok(out) => {
+                ops.push(out.report);
+                Some(out.value)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Rewrites one copy with known-good bytes, pushing its op.
+    fn scrub_rewrite(
+        &self,
+        provider: ProviderId,
+        name: &str,
+        good: &Bytes,
+        ops: &mut Vec<OpReport>,
+    ) -> bool {
+        let key = Self::key(name);
+        match self.guarded(provider, |p| p.put(&key, good.clone())) {
+            Ok(out) => {
+                ops.push(out.report);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn scrub_replicated(
+        &mut self,
+        providers: &[ProviderId],
+        object: &str,
+        report: &mut ScrubReport,
+        ops: &mut Vec<OpReport>,
+    ) {
+        let mut copies: Vec<(ProviderId, Bytes)> = Vec::new();
+        for &p in providers {
+            if !self.scrubbable(p, object) {
+                report.skipped += 1;
+                continue;
+            }
+            if let Some(bytes) = self.scrub_fetch(p, object, ops) {
+                report.objects_swept += 1;
+                copies.push((p, bytes));
+            }
+        }
+        if copies.is_empty() {
+            return;
+        }
+        if self.integrity.digest(object).is_some() {
+            let mut good: Option<Bytes> = None;
+            let mut bad: Vec<ProviderId> = Vec::new();
+            for (p, bytes) in &copies {
+                match self.integrity.verify(object, bytes) {
+                    Verdict::Verified => {
+                        if good.is_none() {
+                            good = Some(bytes.clone());
+                        }
+                    }
+                    Verdict::Corrupt => {
+                        report.corrupt_detected += 1;
+                        bad.push(*p);
+                    }
+                    Verdict::Unknown => unreachable!("digest is on record"),
+                }
+            }
+            match good {
+                Some(good) => {
+                    for p in bad {
+                        if self.scrub_rewrite(p, object, &good, ops) {
+                            report.repaired += 1;
+                        }
+                    }
+                }
+                None => report.unrecoverable += 1,
+            }
+        } else {
+            // No digest on record (legacy object): adopt the stored state
+            // if every reachable copy agrees, otherwise flag it — there
+            // is no way to tell which copy is the truth.
+            if copies.iter().all(|(_, b)| b == &copies[0].1) {
+                self.integrity.record(object, &copies[0].1);
+                report.digests_refreshed += 1;
+            } else {
+                report.unrecoverable += 1;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn scrub_erasure(
+        &mut self,
+        path: &str,
+        layout: &hyrd_gfec::FragmentLayout,
+        fragments: &[(ProviderId, String)],
+        hot_copy: &Option<(ProviderId, String)>,
+        report: &mut ScrubReport,
+        ops: &mut Vec<OpReport>,
+    ) {
+        let mut fetched: Vec<(usize, ProviderId, Bytes, Verdict)> = Vec::new();
+        for (i, (p, name)) in fragments.iter().enumerate() {
+            if !self.scrubbable(*p, name) || self.dirty.contains(path, i) {
+                report.skipped += 1;
+                continue;
+            }
+            if let Some(bytes) = self.scrub_fetch(*p, name, ops) {
+                report.objects_swept += 1;
+                let verdict = self.integrity.verify(name, &bytes);
+                if verdict == Verdict::Corrupt {
+                    report.corrupt_detected += 1;
+                }
+                fetched.push((i, *p, bytes, verdict));
+            }
+        }
+
+        // Reconstruct the truth from m trusted fragments: verified ones
+        // if we have enough, otherwise (digests dropped after a ranged
+        // update) any m fetched — the re-encode check below catches an
+        // inconsistent stripe.
+        let m = layout.m;
+        let trusted: Vec<&(usize, ProviderId, Bytes, Verdict)> =
+            fetched.iter().filter(|(_, _, _, v)| *v == Verdict::Verified).collect();
+        let from_verified = trusted.len() >= m;
+        let source: Vec<&(usize, ProviderId, Bytes, Verdict)> = if from_verified {
+            trusted
+        } else if fetched.len() >= m && fetched.iter().all(|(_, _, _, v)| *v != Verdict::Corrupt) {
+            fetched.iter().collect()
+        } else if !fetched.is_empty() {
+            // Corrupt fragments and not enough verified ones to decode
+            // around them: nothing trustworthy to rebuild from.
+            report.unrecoverable += 1;
+            return;
+        } else {
+            return; // nothing reachable; outage recovery's problem
+        };
+
+        let frags: Vec<Fragment> = source
+            .iter()
+            .take(m)
+            .map(|(i, _, b, _)| Fragment::new(*i, b.to_vec()))
+            .collect();
+        let Ok(object) = self.planner.decode_object(self.code.as_code(), layout, &frags) else {
+            report.unrecoverable += 1;
+            return;
+        };
+        let Ok((_, oracle)) = self.planner.encode_object(self.code.as_code(), &object) else {
+            report.unrecoverable += 1;
+            return;
+        };
+
+        if !from_verified {
+            // The decode came from unverified fragments; only adopt it if
+            // the whole fetched stripe is consistent with the re-encode.
+            let consistent = fetched
+                .iter()
+                .all(|(i, _, b, _)| oracle.get(*i).map(|f| f.data == b[..]) == Some(true));
+            if !consistent {
+                report.unrecoverable += 1;
+                return;
+            }
+        }
+
+        // The truth is established: repair mismatching fragments and
+        // (re-)record every fragment digest we are now sure of.
+        for (i, p, bytes, verdict) in &fetched {
+            let want = &oracle[*i].data;
+            if &bytes[..] != want.as_slice() {
+                let name = &fragments[*i].1;
+                if self.scrub_rewrite(*p, name, &Bytes::from(want.clone()), ops) {
+                    report.repaired += 1;
+                }
+            } else if *verdict == Verdict::Unknown {
+                self.integrity.record(&fragments[*i].1, want);
+                report.digests_refreshed += 1;
+            }
+        }
+
+        // The hot copy, when reachable, must match the decoded object.
+        if let Some((p, name)) = hot_copy {
+            if self.scrubbable(*p, name) {
+                if let Some(bytes) = self.scrub_fetch(*p, name, ops) {
+                    report.objects_swept += 1;
+                    if bytes[..] != object[..] {
+                        report.corrupt_detected += 1;
+                        let good = Bytes::from(object.clone());
+                        if self.scrub_rewrite(*p, name, &good, ops) {
+                            report.repaired += 1;
+                            self.integrity.record(name, &good);
+                        }
+                    } else if self.integrity.digest(name).is_none() {
+                        self.integrity.record(name, &bytes);
+                        report.digests_refreshed += 1;
+                    }
+                } else {
+                    report.skipped += 1;
+                }
+            } else {
+                report.skipped += 1;
+            }
+        }
+    }
+
+    /// One full scrub pass over every file in the namespace. Returns what
+    /// was found/fixed plus the op accounting (scrub is background
+    /// traffic: latencies sum serially).
+    pub fn scrub(&mut self) -> SchemeResult<(ScrubReport, BatchReport)> {
+        let mut report = ScrubReport::default();
+        let mut ops: Vec<OpReport> = Vec::new();
+
+        let mut dirs = self.meta.all_dirs();
+        dirs.sort_by(|a, b| a.as_str().cmp(b.as_str()));
+        for dir in dirs {
+            let entries = self.meta.list(&dir)?;
+            for entry in entries {
+                let hyrd_metastore::namespace::DirEntry::File(name, _) = entry else {
+                    continue;
+                };
+                let Ok(fpath) = dir.join(&name) else { continue };
+                let Ok(inode) = self.meta.get(&fpath) else { continue };
+                match inode.placement.clone() {
+                    Placement::Pending => {}
+                    Placement::Replicated { providers, object } => {
+                        self.scrub_replicated(&providers, &object, &mut report, &mut ops);
+                    }
+                    Placement::ErasureCoded { layout, fragments, hot_copy } => {
+                        self.scrub_erasure(
+                            fpath.as_str(),
+                            &layout,
+                            &fragments,
+                            &hot_copy,
+                            &mut report,
+                            &mut ops,
+                        );
+                    }
+                }
+            }
+        }
+        Ok((report, BatchReport::serial(ops)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HyrdConfig;
+    use crate::driver::synth_content;
+    use hyrd_cloudsim::{Fleet, SimClock};
+
+    const KB: usize = 1024;
+    const MB: usize = 1024 * 1024;
+
+    fn fleet() -> Fleet {
+        Fleet::standard_four(SimClock::new())
+    }
+
+    #[test]
+    fn clean_store_scrubs_clean() {
+        let fleet = fleet();
+        let mut h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config");
+        h.create_file("/a", &synth_content("/a", 0, 8 * KB)).expect("up");
+        h.create_file("/b", &synth_content("/b", 0, 2 * MB)).expect("up");
+        let (report, batch) = h.scrub().expect("scrub runs");
+        assert_eq!(report.corrupt_detected, 0);
+        assert_eq!(report.repaired, 0);
+        assert_eq!(report.unrecoverable, 0);
+        assert!(report.objects_swept >= 6, "2 replicas + 4 fragments");
+        assert!(batch.op_count() as u64 >= report.objects_swept);
+    }
+
+    #[test]
+    fn corrupt_replica_is_detected_and_rewritten() {
+        let fleet = fleet();
+        let mut h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config");
+        let data = synth_content("/f", 0, 8 * KB);
+        h.create_file("/f", &data).expect("up");
+
+        // Flip a bit in one replica via the maintenance backdoor.
+        let object = crate::scheme::object_name("/f");
+        let key = Hyrd::key(&object);
+        let victim = fleet
+            .providers()
+            .iter()
+            .find(|p| p.corrupt_object(&key, 12345))
+            .map(|p| p.id())
+            .expect("some provider holds a replica");
+
+        let (report, _) = h.scrub().expect("scrub runs");
+        assert_eq!(report.corrupt_detected, 1);
+        assert_eq!(report.repaired, 1);
+        assert_eq!(report.unrecoverable, 0);
+
+        // The rewritten copy is bytewise right again.
+        let got = fleet.get(victim).expect("fleet member").get(&key).expect("stored");
+        assert_eq!(&got.value[..], &data[..]);
+        // And a second pass finds nothing.
+        let (again, _) = h.scrub().expect("scrub runs");
+        assert_eq!(again.corrupt_detected, 0);
+        assert_eq!(again.repaired, 0);
+    }
+
+    #[test]
+    fn corrupt_fragment_is_rebuilt_from_the_stripe() {
+        let fleet = fleet();
+        let mut h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config");
+        let data = synth_content("/big", 0, 3 * MB);
+        h.create_file("/big", &data).expect("up");
+
+        let base = crate::scheme::object_name("/big");
+        let key0 = Hyrd::key(&format!("{base}.f0"));
+        fleet
+            .providers()
+            .iter()
+            .find(|p| p.corrupt_object(&key0, 777))
+            .expect("some provider holds fragment 0");
+
+        let (report, _) = h.scrub().expect("scrub runs");
+        assert_eq!(report.corrupt_detected, 1);
+        assert_eq!(report.repaired, 1);
+        assert_eq!(report.unrecoverable, 0);
+
+        // The file reads back correctly and another scrub is quiet.
+        let (bytes, _) = h.read_file("/big").expect("up");
+        assert_eq!(&bytes[..], &data[..]);
+        let (again, _) = h.scrub().expect("scrub runs");
+        assert_eq!(again.corrupt_detected, 0);
+    }
+
+    #[test]
+    fn ranged_update_drops_digests_and_scrub_refreshes_them() {
+        let fleet = fleet();
+        let mut h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config");
+        let data = synth_content("/big", 0, 2 * MB);
+        h.create_file("/big", &data).expect("up");
+        h.update_file("/big", 4096, &synth_content("/big", 1, 32 * KB)).expect("up");
+
+        let before = h.integrity_len();
+        let (report, _) = h.scrub().expect("scrub runs");
+        assert!(report.digests_refreshed >= 4, "all four fragment digests return");
+        assert_eq!(report.unrecoverable, 0);
+        assert!(h.integrity_len() > before);
+
+        // Refreshed digests verify on the next scrub.
+        let (again, _) = h.scrub().expect("scrub runs");
+        assert_eq!(again.digests_refreshed, 0);
+        assert_eq!(again.corrupt_detected, 0);
+    }
+
+    #[test]
+    fn report_absorb_sums_fields() {
+        let mut a = ScrubReport { objects_swept: 1, corrupt_detected: 2, ..Default::default() };
+        let b = ScrubReport { objects_swept: 3, repaired: 4, skipped: 5, ..Default::default() };
+        a.absorb(b);
+        assert_eq!(a.objects_swept, 4);
+        assert_eq!(a.corrupt_detected, 2);
+        assert_eq!(a.repaired, 4);
+        assert_eq!(a.skipped, 5);
+    }
+}

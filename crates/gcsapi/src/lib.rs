@@ -20,7 +20,8 @@
 //! * [`instrument`] — a transparent wrapper accumulating per-op statistics
 //!   with atomics (op counts, bytes, latency), used by the ablation
 //!   benches to count write-amplification and recovery traffic.
-//! * [`retry`] — bounded retry policy for transient failures.
+//! * [`retry`] — bounded retry policy for transient failures: capped
+//!   exponential backoff with deterministic jitter and a deadline budget.
 //! * [`compose`] — virtual-time composition of op reports: parallel
 //!   fan-out takes the max of branch latencies, serial rounds sum.
 
@@ -34,6 +35,6 @@ pub mod types;
 pub use compose::{parallel_latency, serial_latency, BatchReport};
 pub use error::{CloudError, CloudResult};
 pub use instrument::{Instrumented, OpStats, StatsSnapshot};
-pub use retry::RetryPolicy;
+pub use retry::{RetryError, RetryPolicy};
 pub use storage::{CloudStorage, MemoryCloud};
 pub use types::{ObjectKey, OpKind, OpOutcome, OpReport, ProviderId};

@@ -1,0 +1,20 @@
+# Developer entry points. `just verify` is the tier-1 gate CI runs.
+
+# Format check, lints as errors, full test suite.
+verify:
+    cargo fmt --check
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo test -q
+
+# Quick chaos soak: seeded fault schedule, asserts zero unrecoverable
+# reads and a byte-identical report across two same-seed runs.
+chaos:
+    cargo run --release -p hyrd-bench --bin chaos_drill -- --smoke --selfcheck
+
+# Full-length drill (10k ops) with the default seed.
+chaos-full:
+    cargo run --release -p hyrd-bench --bin chaos_drill
+
+# Regenerate the paper-figure experiment JSONs.
+experiments:
+    cargo run --release -p hyrd-bench --bin fig6

@@ -17,7 +17,7 @@ fn transient_faults_are_retryable_at_the_middleware() {
     p.set_flakiness(0.4);
 
     let key = hyrd_gcsapi::ObjectKey::new(Fleet::CONTAINER, "flaky");
-    let policy = RetryPolicy { max_attempts: 8 };
+    let policy = RetryPolicy { max_attempts: 8, ..RetryPolicy::default() };
     let mut failures = 0;
     for i in 0..50 {
         let data = bytes::Bytes::from(vec![i as u8; 256]);
