@@ -206,7 +206,7 @@ impl StripStore {
             .map(|row| {
                 let mut p = vec![0u8; len];
                 for (i, d) in data.iter().enumerate() {
-                    hyrd_gfec::gf256::mul_acc_slice(&mut p, d, row[i]);
+                    hyrd_gfec::gf256::mul_slice_acc(&mut p, d, row[i]);
                 }
                 p
             })
@@ -309,7 +309,7 @@ impl StripStore {
         } else {
             let padded = Self::pad(data, new_strip_len);
             for (j, p) in parities.iter_mut().enumerate() {
-                hyrd_gfec::gf256::mul_acc_slice(p, &padded, self.coeffs[j][slot]);
+                hyrd_gfec::gf256::mul_slice_acc(p, &padded, self.coeffs[j][slot]);
             }
         }
 
@@ -405,7 +405,7 @@ impl StripStore {
             let mut diff = old_pad;
             hyrd_gfec::gf256::xor_slice(&mut diff, &new_pad);
             for (j, p) in old_parities.iter_mut().enumerate() {
-                hyrd_gfec::gf256::mul_acc_slice(p, &diff, self.coeffs[j][r.slot]);
+                hyrd_gfec::gf256::mul_slice_acc(p, &diff, self.coeffs[j][r.slot]);
             }
             let out = member_provider.put(&key(object), Bytes::copy_from_slice(new_data))?;
             write_ops.push(out.report);
@@ -487,7 +487,7 @@ impl StripStore {
                 let out = p.get(&key(pname))?;
                 read_ops.push(out.report);
                 let mut parity = Self::pad(&out.value, group_snapshot.strip_len);
-                hyrd_gfec::gf256::mul_acc_slice(&mut parity, &diff, self.coeffs[j][r.slot]);
+                hyrd_gfec::gf256::mul_slice_acc(&mut parity, &diff, self.coeffs[j][r.slot]);
                 parities.push(parity);
             }
             let mut write_ops = Vec::new();

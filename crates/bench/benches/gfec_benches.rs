@@ -1,13 +1,24 @@
 //! Criterion micro-benchmarks for the erasure-coding substrate: the hot
 //! loops behind every large-file operation in the system.
+//!
+//! Besides the Criterion groups, this binary maintains the machine-
+//! readable baseline `BENCH_gfec.json` at the repo root (DESIGN.md §8).
+//! Set `BENCH_JSON_ONLY=1` to skip Criterion and only refresh the JSON —
+//! the mode CI's bench-smoke job runs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
 
-use hyrd_gfec::gf256::{mul_acc_slice, xor_slice, Gf256};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+
+use hyrd_bench::summary;
+use hyrd_gfec::gf256::{mul_slice_acc, reference, xor_slice, Gf256};
 use hyrd_gfec::parallel::encode_parallel;
 use hyrd_gfec::stripe::StripePlanner;
-use hyrd_gfec::update::plan_update;
+use hyrd_gfec::update::{apply_ranged_update_multi, parity_window, plan_update};
 use hyrd_gfec::{ErasureCode, Fragment, Raid5, Raid6, ReedSolomon};
+
+const MB: usize = 1 << 20;
 
 fn shards(m: usize, len: usize) -> Vec<Vec<u8>> {
     (0..m)
@@ -17,12 +28,17 @@ fn shards(m: usize, len: usize) -> Vec<Vec<u8>> {
 
 fn bench_gf_kernels(c: &mut Criterion) {
     let mut g = c.benchmark_group("gf256-kernels");
-    let src = vec![0xA7u8; 1 << 20];
-    let mut dst = vec![0x5Cu8; 1 << 20];
-    g.throughput(Throughput::Bytes(1 << 20));
+    let src = vec![0xA7u8; MB];
+    let mut dst = vec![0x5Cu8; MB];
+    g.throughput(Throughput::Bytes(MB as u64));
     g.bench_function("xor_slice/1MiB", |b| b.iter(|| xor_slice(&mut dst, &src)));
-    g.bench_function("mul_acc_slice/1MiB", |b| {
-        b.iter(|| mul_acc_slice(&mut dst, &src, Gf256(0x53)))
+    g.bench_function("mul_slice_acc/1MiB", |b| {
+        b.iter(|| mul_slice_acc(&mut dst, &src, Gf256(0x53)))
+    });
+    // The seed's naive log/exp loop, kept as the correctness oracle —
+    // benched here so the nibble-kernel speedup stays visible.
+    g.bench_function("mul_slice_acc-naive/1MiB", |b| {
+        b.iter(|| reference::mul_slice_acc(&mut dst, &src, Gf256(0x53)))
     });
     g.finish();
 }
@@ -41,6 +57,10 @@ fn bench_encode(c: &mut Criterion) {
         let rs = ReedSolomon::new(3, 5).expect("valid shape");
         g.bench_with_input(BenchmarkId::new("rs(3,5)", len), &refs, |b, refs| {
             b.iter(|| rs.encode(refs).expect("valid shards"))
+        });
+        let mut parity = vec![Vec::new(); 2];
+        g.bench_with_input(BenchmarkId::new("rs(3,5)-into", len), &refs, |b, refs| {
+            b.iter(|| rs.encode_into(refs, &mut parity).expect("valid shards"))
         });
         let raid6 = Raid6::new(3).expect("valid shape");
         g.bench_with_input(BenchmarkId::new("raid6(3+2)", len), &refs, |b, refs| {
@@ -94,6 +114,126 @@ fn bench_update_planning(c: &mut Criterion) {
     });
 }
 
+/// Refreshes the repo-root `BENCH_gfec.json` with wall-clock MB/s for
+/// each hot path, fast kernels and the naive log/exp reference side by
+/// side. `BENCH_JSON_ONLY` shortens the per-measurement time box so the
+/// CI smoke run finishes in seconds.
+fn write_summary() {
+    let t = if summary::json_only() {
+        Duration::from_millis(120)
+    } else {
+        Duration::from_millis(400)
+    };
+
+    // Raw slice kernels, 1 MiB.
+    let src = vec![0xA7u8; MB];
+    let mut dst = vec![0x5Cu8; MB];
+    let mul_fast = summary::throughput_mbps(MB, t, || mul_slice_acc(&mut dst, &src, Gf256(0x53)));
+    let mul_naive =
+        summary::throughput_mbps(MB, t, || reference::mul_slice_acc(&mut dst, &src, Gf256(0x53)));
+    let xor = summary::throughput_mbps(MB, t, || xor_slice(&mut dst, &src));
+
+    // Encode, 3 × 1 MiB shards.
+    let data = shards(3, MB);
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let rs = ReedSolomon::new(3, 5).expect("valid shape");
+    let rs_fast = summary::throughput_mbps(3 * MB, t, || {
+        black_box(rs.encode(&refs).expect("valid shards"));
+    });
+    // Reused caller buffers: no per-call allocation, no page faults —
+    // the number the dispatcher's hot paths see.
+    let mut parity_bufs = vec![Vec::new(); 2];
+    let rs_into = summary::throughput_mbps(3 * MB, t, || {
+        rs.encode_into(&refs, &mut parity_bufs).expect("valid shards");
+        black_box(&parity_bufs);
+    });
+    // The seed algorithm: one naive log/exp sweep per parity row, with
+    // per-call allocation (as the seed's encode had) and warm-buffer.
+    let coeffs = rs.parity_coefficients();
+    let rs_naive = summary::throughput_mbps(3 * MB, t, || {
+        let mut parity = vec![vec![0u8; MB]; coeffs.len()];
+        for (row, cs) in parity.iter_mut().zip(&coeffs) {
+            for (shard, &c) in refs.iter().zip(cs.iter()) {
+                reference::mul_slice_acc(row, shard, c);
+            }
+        }
+        black_box(parity);
+    });
+    let mut naive_bufs = vec![vec![0u8; MB]; coeffs.len()];
+    let rs_naive_warm = summary::throughput_mbps(3 * MB, t, || {
+        for (row, cs) in naive_bufs.iter_mut().zip(&coeffs) {
+            row.fill(0);
+            for (shard, &c) in refs.iter().zip(cs.iter()) {
+                reference::mul_slice_acc(row, shard, c);
+            }
+        }
+        black_box(&naive_bufs);
+    });
+    let raid5 = Raid5::new(3).expect("valid shape");
+    let raid5_enc = summary::throughput_mbps(3 * MB, t, || {
+        black_box(raid5.encode(&refs).expect("valid shards"));
+    });
+    let raid6 = Raid6::new(3).expect("valid shape");
+    let raid6_enc = summary::throughput_mbps(3 * MB, t, || {
+        black_box(raid6.encode(&refs).expect("valid shards"));
+    });
+
+    // Decode, 3 MiB object.
+    let object: Vec<u8> = (0..3 * MB).map(|i| (i % 251) as u8).collect();
+    let planner5 = StripePlanner::new(3, 5).expect("valid shape");
+    let (layout5, frags5) = planner5.encode_object(&rs, &object).expect("encodes");
+    let two_lost: Vec<Fragment> =
+        frags5.iter().filter(|f| f.index != 0 && f.index != 3).cloned().collect();
+    let rs_dec = summary::throughput_mbps(3 * MB, t, || {
+        black_box(rs.reconstruct(&two_lost, layout5.shard_len).expect("decodable"));
+    });
+    let planner4 = StripePlanner::new(3, 4).expect("valid shape");
+    let (layout4, frags4) = planner4.encode_object(&raid5, &object).expect("encodes");
+    let degraded: Vec<Fragment> = frags4.iter().filter(|f| f.index != 1).cloned().collect();
+    let raid5_dec = summary::throughput_mbps(3 * MB, t, || {
+        black_box(raid5.reconstruct(&degraded, layout4.shard_len).expect("decodable"));
+    });
+
+    // Ranged partial update: 4 KiB rewritten inside the 3 MiB object.
+    let plan = plan_update(&layout5, 1_234_567, 4096).expect("in bounds");
+    let (lo, hi) = parity_window(&plan.touched);
+    let old_segments: Vec<Vec<u8>> = plan
+        .touched
+        .iter()
+        .map(|&(sh, st, l)| frags5[sh].data[st..st + l].to_vec())
+        .collect();
+    let old_parities: Vec<Vec<u8>> = (3..5).map(|p| frags5[p].data[lo..hi].to_vec()).collect();
+    let new_bytes: Vec<u8> = (0..4096).map(|i| (i * 89) as u8).collect();
+    let upd = summary::throughput_mbps(4096, t, || {
+        black_box(
+            apply_ranged_update_multi(&plan.touched, &old_segments, &old_parities, &new_bytes, &coeffs)
+                .expect("consistent update"),
+        );
+    });
+
+    summary::merge(&[
+        ("shard_bytes", serde_json::json!(MB)),
+        ("mul_slice_acc_mbps", summary::round1(mul_fast)),
+        ("mul_slice_acc_naive_mbps", summary::round1(mul_naive)),
+        ("xor_slice_mbps", summary::round1(xor)),
+        ("rs_3_5_encode_mbps", summary::round1(rs_fast)),
+        ("rs_3_5_encode_into_mbps", summary::round1(rs_into)),
+        ("rs_3_5_encode_naive_mbps", summary::round1(rs_naive)),
+        ("rs_3_5_encode_naive_warm_mbps", summary::round1(rs_naive_warm)),
+        // Warm-vs-warm is the kernel comparison; the alloc-inclusive
+        // pair above shows how much page faults cost either path.
+        (
+            "rs_3_5_encode_speedup",
+            serde_json::json!(((rs_into / rs_naive_warm) * 100.0).round() / 100.0),
+        ),
+        ("raid5_encode_mbps", summary::round1(raid5_enc)),
+        ("raid6_encode_mbps", summary::round1(raid6_enc)),
+        ("rs_3_5_decode_two_erasures_mbps", summary::round1(rs_dec)),
+        ("raid5_degraded_decode_mbps", summary::round1(raid5_dec)),
+        ("ranged_update_4k_mbps", summary::round1(upd)),
+    ]);
+}
+
 criterion_group!(
     benches,
     bench_gf_kernels,
@@ -101,4 +241,13 @@ criterion_group!(
     bench_reconstruct,
     bench_update_planning
 );
-criterion_main!(benches);
+
+fn main() {
+    if summary::json_only() {
+        write_summary();
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+    write_summary();
+}

@@ -2,8 +2,16 @@
 //! end-to-end PostMark replay throughput (virtual time is free — these
 //! measure the *client-side CPU cost* of the placement machinery, not
 //! the simulated network).
+//!
+//! Like `gfec_benches`, contributes its keys to the repo-root
+//! `BENCH_gfec.json`; `BENCH_JSON_ONLY=1` skips Criterion entirely.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, Criterion, Throughput};
+
+use hyrd_bench::summary;
 
 use hyrd::driver::{replay, synth_content, ReplayOptions};
 use hyrd::prelude::*;
@@ -118,5 +126,47 @@ fn bench_replay(c: &mut Criterion) {
     g.finish();
 }
 
+/// Wall-clock MB/s for the dispatcher's large-file write and read paths
+/// (ghost-mode providers, so this is pure client CPU: striping, the
+/// fused encode, and the zero-copy fragment plumbing).
+fn write_summary() {
+    let t = if summary::json_only() {
+        Duration::from_millis(120)
+    } else {
+        Duration::from_millis(400)
+    };
+    let large = synth_content("/l", 0, 4 << 20);
+
+    let create = summary::throughput_mbps(large.len(), t, || {
+        let fleet = Fleet::standard_four(SimClock::new());
+        for p in fleet.providers() {
+            p.set_ghost_mode(true);
+        }
+        let mut h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config");
+        black_box(h.create_file("/l", &large).expect("fleet up"));
+    });
+
+    let fleet = Fleet::standard_four(SimClock::new());
+    let mut h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config");
+    h.create_file("/l", &large).expect("fleet up");
+    let read = summary::throughput_mbps(large.len(), t, || {
+        black_box(h.read_file("/l").expect("fleet up"));
+    });
+
+    summary::merge(&[
+        ("dispatcher_create_4mb_mbps", summary::round1(create)),
+        ("dispatcher_read_4mb_mbps", summary::round1(read)),
+    ]);
+}
+
 criterion_group!(benches, bench_dispatcher_ops, bench_replay);
-criterion_main!(benches);
+
+fn main() {
+    if summary::json_only() {
+        write_summary();
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+    write_summary();
+}

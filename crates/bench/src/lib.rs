@@ -10,6 +10,7 @@ use std::path::PathBuf;
 use serde::Serialize;
 
 pub mod fig6;
+pub mod summary;
 
 /// Directory experiment outputs land in.
 pub fn experiments_dir() -> PathBuf {

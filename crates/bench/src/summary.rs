@@ -1,0 +1,79 @@
+//! Machine-readable bench baseline: `BENCH_gfec.json` at the repo root.
+//!
+//! Both Criterion bench binaries call into this module at the end of a
+//! run (or immediately, when `BENCH_JSON_ONLY` is set) to record wall-
+//! clock MB/s for the hot paths. The file is a flat JSON object so CI
+//! and DESIGN.md can diff throughput across commits without parsing
+//! Criterion's per-sample output.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Repo-root path of the bench baseline file.
+pub fn bench_summary_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_gfec.json")
+}
+
+/// True when the caller asked for the quick JSON-only run (CI smoke).
+pub fn json_only() -> bool {
+    std::env::var_os("BENCH_JSON_ONLY").is_some()
+}
+
+/// Merges `entries` into the existing `BENCH_gfec.json` object (creating
+/// the file if absent), so each bench binary contributes its own keys
+/// without clobbering the other's.
+pub fn merge(entries: &[(&str, serde_json::Value)]) {
+    let path = bench_summary_path();
+    let mut root = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+        .filter(serde_json::Value::is_object)
+        .unwrap_or_else(|| serde_json::json!({}));
+    let obj = root.as_object_mut().expect("root is an object by construction");
+    for (k, v) in entries {
+        obj.insert((*k).to_string(), v.clone());
+    }
+    let body = serde_json::to_string_pretty(&root).expect("serialize bench summary");
+    std::fs::write(&path, body + "\n").expect("write BENCH_gfec.json");
+    println!("[bench summary merged into {}]", path.display());
+}
+
+/// Times `op` (which processes `bytes` per call) and returns MB/s.
+///
+/// One warmup call, then at least three timed iterations and at least
+/// `min_runtime` of wall clock — enough that the quick CI smoke run
+/// produces a number without being flaky about *having* one, while the
+/// full run amortizes allocator noise.
+pub fn throughput_mbps(bytes: usize, min_runtime: Duration, mut op: impl FnMut()) -> f64 {
+    op();
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while iters < 3 || start.elapsed() < min_runtime {
+        op();
+        iters += 1;
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (bytes as f64 * iters as f64) / (1024.0 * 1024.0) / secs
+}
+
+/// Rounds a throughput to one decimal for stable-ish JSON diffs.
+pub fn round1(v: f64) -> serde_json::Value {
+    serde_json::json!((v * 10.0).round() / 10.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_positive_and_finite() {
+        let mut sink = 0u64;
+        let v = throughput_mbps(1 << 10, Duration::from_millis(1), || sink = sink.wrapping_add(1));
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn round1_rounds() {
+        assert_eq!(round1(123.456), serde_json::json!(123.5));
+    }
+}

@@ -39,7 +39,7 @@ use bytes::Bytes;
 
 use hyrd_cloudsim::{Fleet, SimProvider};
 use hyrd_gcsapi::{BatchReport, CloudError, CloudResult, CloudStorage, ObjectKey, ProviderId};
-use hyrd_gfec::parallel::encode_parallel;
+use hyrd_gfec::parallel::{decode_object_parallel, encode_parallel};
 use hyrd_gfec::stripe::StripePlanner;
 use hyrd_gfec::{ErasureCode, Fragment, Raid5, Raid6, ReedSolomon};
 use hyrd_metastore::{MetaStore, MetadataBlock, NormPath, Placement};
@@ -768,7 +768,9 @@ impl Hyrd {
                         }
                         Verdict::Verified | Verdict::Unknown => {
                             ops.push(out.report);
-                            got.push(Fragment::new(idx, out.value.to_vec()));
+                            // `into` reclaims the Bytes' unique buffer —
+                            // no copy of the fragment payload.
+                            got.push(Fragment::new(idx, out.value.into()));
                             break;
                         }
                     },
@@ -782,7 +784,7 @@ impl Hyrd {
                 detail: "fragment fetches failed mid-read".to_string(),
             });
         }
-        let object = self.planner.decode_object(self.code.as_code(), layout, &got)?;
+        let object = decode_object_parallel(self.code.as_code(), &self.planner, layout, &got)?;
         Ok((Bytes::from(object), BatchReport::parallel(ops)))
     }
 
@@ -1008,21 +1010,25 @@ impl Hyrd {
     /// Reads a whole file (degraded reads during outages are automatic).
     pub fn read_file(&mut self, path: &str) -> SchemeResult<(Bytes, BatchReport)> {
         let npath = NormPath::parse(path)?;
+        // Borrow the placement rather than cloning it: the fragment name
+        // list can be long for wide codes and the read path is hot. The
+        // shared borrow ends with the last fragment fetch, before the
+        // mutating hot-cache bookkeeping below.
         let inode = self.meta.get(&npath)?;
-        match inode.placement.clone() {
+        match &inode.placement {
             Placement::Pending => Err(SchemeError::DataUnavailable {
                 path: path.to_string(),
                 detail: "file has no placement".to_string(),
             }),
             Placement::Replicated { providers, object } => {
-                self.read_replicated(path, &providers, &object)
+                self.read_replicated(path, providers, object)
             }
             Placement::ErasureCoded { layout, fragments, hot_copy } => {
                 // Prefer the hot copy (one fast whole-object Get) — but
                 // only when it is current (no pending replay), its
                 // breaker admits the call, and its bytes verify; any
                 // doubt falls back to the erasure-coded truth.
-                if let Some((p, name)) = &hot_copy {
+                if let Some((p, name)) = hot_copy {
                     let hot_key = Self::key(name);
                     if !self.log.is_pending(*p, &hot_key)
                         && self.health.admits(*p, self.now())
@@ -1040,7 +1046,7 @@ impl Hyrd {
                         }
                     }
                 }
-                let (bytes, batch) = self.read_erasure(path, &layout, &fragments)?;
+                let (bytes, batch) = self.read_erasure(path, layout, fragments)?;
                 let batch = self.maybe_cache_hot(&npath, &bytes, batch);
                 Ok((bytes, batch))
             }

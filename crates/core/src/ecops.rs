@@ -27,6 +27,7 @@ use bytes::Bytes;
 
 use hyrd_cloudsim::{Fleet, SimProvider};
 use hyrd_gcsapi::{BatchReport, CloudStorage, ObjectKey, ProviderId};
+use hyrd_gfec::parallel::{encode_parallel, reconstruct_parallel};
 use hyrd_gfec::stripe::FragmentLayout;
 use hyrd_gfec::update::{
     apply_ranged_update_multi, parity_window, plan_update, recompute_parity_windows,
@@ -275,7 +276,8 @@ pub fn rebuild_fragment<C: ErasureCode + ?Sized>(
         }
         if let Ok(out) = p.get(&key(name)) {
             read_ops.push(out.report);
-            got.push(Fragment::new(i, out.value.to_vec()));
+            // `into` reclaims the Bytes' unique buffer — no survivor copy.
+            got.push(Fragment::new(i, out.value.into()));
         }
     }
     if got.len() < layout.m {
@@ -284,12 +286,12 @@ pub fn rebuild_fragment<C: ErasureCode + ?Sized>(
             detail: format!("only {} survivors for rebuild, need {}", got.len(), layout.m),
         });
     }
-    let shards = code.reconstruct(&got, layout.shard_len)?;
+    let mut shards = reconstruct_parallel(code, &got, layout.shard_len)?;
     let bytes = if target < layout.m {
-        shards[target].clone()
+        shards.swap_remove(target)
     } else {
         let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
-        code.encode(&refs)?[target - layout.m].clone()
+        encode_parallel(code, &refs)?.swap_remove(target - layout.m)
     };
     let n = bytes.len() as u64;
     let (pid, name) = &fragments[target];

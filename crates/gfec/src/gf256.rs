@@ -5,6 +5,22 @@
 //! AES-adjacent storage codes and the classic Rizzo FEC paper. Log/exp
 //! tables are built at compile time by a `const fn`, so there is no lazy
 //! initialization and no runtime branching on table readiness.
+//!
+//! ## Slice kernels
+//!
+//! The block operations ([`mul_slice`], [`mul_slice_acc`], [`xor_slice`])
+//! are the inner loops of every encode, decode, scrub and partial update
+//! in the system. They use per-coefficient **split-nibble product tables**
+//! (ISA-L style): for a fixed coefficient `c`, `c * x` is
+//! `LO[c][x & 0xf] ^ HI[c][x >> 4]` — two 16-entry lookups from one
+//! 32-byte table row that stays resident in L1, with no per-byte zero
+//! branch and no dependent log→exp lookup chain. On x86_64 with AVX2 the
+//! two 16-entry tables become `vpshufb` operands, doing 32 bytes of
+//! products per shuffle pair; elsewhere (and for tails) the products of
+//! an 8-byte chunk are assembled into a `u64` and XOR-accumulated with a
+//! single wide load/store pair (SWAR). The log/exp routines are kept in [`reference`] as
+//! the property-test oracle; the fast kernels are proven bit-identical
+//! to them for every coefficient and every tail length.
 
 /// The primitive polynomial 0x11d, with the implicit x^8 term.
 pub const PRIMITIVE_POLY: u16 = 0x11d;
@@ -165,34 +181,168 @@ impl std::ops::Div for Gf256 {
 }
 
 // ---------------------------------------------------------------------------
+// Split-nibble product tables — built once, at compile time.
+// ---------------------------------------------------------------------------
+
+/// Carry-less "Russian peasant" multiply. Only used at table-build time
+/// (and as a cross-check in tests); deliberately independent of the
+/// log/exp tables so the two constructions validate each other.
+const fn gf_mul_const(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80 != 0;
+        a <<= 1;
+        if hi {
+            a ^= (PRIMITIVE_POLY & 0xff) as u8;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+const fn build_nibble_tables() -> [[u8; 32]; 256] {
+    let mut t = [[0u8; 32]; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        let mut x = 0usize;
+        while x < 16 {
+            t[c][x] = gf_mul_const(c as u8, x as u8);
+            t[c][16 + x] = gf_mul_const(c as u8, (x as u8) << 4);
+            x += 1;
+        }
+        c += 1;
+    }
+    t
+}
+
+/// Per-coefficient split-nibble product tables (8 KiB total).
+///
+/// `NIBBLE[c][x]` is `c * x` for `x < 16`, and `NIBBLE[c][16 + x]` is
+/// `c * (x << 4)`, so a full product is two 16-entry lookups:
+/// `c * b == NIBBLE[c][b & 0xf] ^ NIBBLE[c][16 + (b >> 4)]`. Each row is
+/// 32 bytes — half a cache line — so a whole shard sweep with one fixed
+/// coefficient touches exactly one line of table state.
+static NIBBLE: [[u8; 32]; 256] = build_nibble_tables();
+
+/// Byte budget one fused encode pass keeps hot per shard; see
+/// `Matrix::mul_shards_into`. Sized so `(parity_rows + 1) * FUSED_BLOCK`
+/// fits comfortably in L1/L2 for realistic parity counts.
+pub const FUSED_BLOCK: usize = 16 * 1024;
+
+/// AVX2 nibble-shuffle kernels: `vpshufb` performs all sixteen low-nibble
+/// table lookups of a 128-bit lane in a single instruction, so a 32-byte
+/// chunk costs two shuffles and three XORs instead of 64 scalar table
+/// loads. Gated at runtime; the portable SWAR loops below remain the
+/// fallback (and handle the tail the vector loop leaves behind).
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use std::arch::x86_64::*;
+
+    /// Whether the AVX2 path may be used. `std` caches the CPUID probe,
+    /// so calling this per slice operation is a load, not a `cpuid`.
+    #[inline]
+    pub fn usable() -> bool {
+        std::is_x86_feature_detected!("avx2")
+    }
+
+    /// Processes the 32-byte-aligned prefix of `dst[i] ^= c * src[i]`,
+    /// returning the number of bytes consumed. `table` is the
+    /// coefficient's 32-byte split-nibble row (`lo` then `hi` half).
+    ///
+    /// # Safety
+    /// The caller must ensure AVX2 is available (see [`usable`]) and that
+    /// `dst` and `src` have equal length.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul_slice_acc(dst: &mut [u8], src: &[u8], table: &[u8; 32]) -> usize {
+        let n = dst.len() & !31;
+        let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(table.as_ptr().cast()));
+        let hi_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(table.as_ptr().add(16).cast()));
+        let mask = _mm256_set1_epi8(0x0f);
+        let mut i = 0;
+        while i < n {
+            let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+            let lo = _mm256_shuffle_epi8(lo_t, _mm256_and_si256(s, mask));
+            let hi = _mm256_shuffle_epi8(hi_t, _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask));
+            let prod = _mm256_xor_si256(lo, hi);
+            let d = dst.as_mut_ptr().add(i);
+            let acc = _mm256_xor_si256(_mm256_loadu_si256(d.cast()), prod);
+            _mm256_storeu_si256(d.cast(), acc);
+            i += 32;
+        }
+        n
+    }
+
+    /// Same shuffle kernel without the accumulate: `dst[i] = c * src[i]`.
+    ///
+    /// # Safety
+    /// As for [`mul_slice_acc`].
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul_slice(dst: &mut [u8], src: &[u8], table: &[u8; 32]) -> usize {
+        let n = dst.len() & !31;
+        let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(table.as_ptr().cast()));
+        let hi_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(table.as_ptr().add(16).cast()));
+        let mask = _mm256_set1_epi8(0x0f);
+        let mut i = 0;
+        while i < n {
+            let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+            let lo = _mm256_shuffle_epi8(lo_t, _mm256_and_si256(s, mask));
+            let hi = _mm256_shuffle_epi8(hi_t, _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask));
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), _mm256_xor_si256(lo, hi));
+            i += 32;
+        }
+        n
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Block (slice) operations — the hot loops of encoding.
 // ---------------------------------------------------------------------------
 
-/// `dst[i] ^= c * src[i]` over whole slices. This is the inner loop of
-/// Reed-Solomon encoding; it is written index-free so LLVM autovectorizes.
+/// `dst[i] ^= c * src[i]` over whole slices — the inner loop of
+/// Reed-Solomon encoding. Uses the split-nibble tables and processes
+/// 8 bytes per iteration, folding the accumulate into one u64 XOR.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
-pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: Gf256) {
-    assert_eq!(dst.len(), src.len(), "mul_acc_slice length mismatch");
+pub fn mul_slice_acc(dst: &mut [u8], src: &[u8], c: Gf256) {
+    assert_eq!(dst.len(), src.len(), "mul_slice_acc length mismatch");
     if c.0 == 0 {
         return;
     }
     if c.0 == 1 {
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d ^= *s;
-        }
+        xor_slice(dst, src);
         return;
     }
-    let lc = LOG[c.0 as usize] as usize;
-    for (d, s) in dst.iter_mut().zip(src) {
-        if *s != 0 {
-            *d ^= EXP[lc + LOG[*s as usize] as usize];
+    let table = &NIBBLE[c.0 as usize];
+    #[allow(unused_mut)]
+    let mut done = 0;
+    #[cfg(target_arch = "x86_64")]
+    if simd::usable() {
+        // SAFETY: AVX2 presence was just checked; lengths match per the
+        // assert above.
+        done = unsafe { simd::mul_slice_acc(dst, src, table) };
+    }
+    let (lo, hi) = table.split_at(16);
+    let mut d8 = dst[done..].chunks_exact_mut(8);
+    let mut s8 = src[done..].chunks_exact(8);
+    for (d, s) in (&mut d8).zip(&mut s8) {
+        let mut prod = [0u8; 8];
+        for (p, &b) in prod.iter_mut().zip(s) {
+            *p = lo[(b & 0x0f) as usize] ^ hi[(b >> 4) as usize];
         }
+        let acc = u64::from_le_bytes(<[u8; 8]>::try_from(&d[..]).expect("8-byte chunk"))
+            ^ u64::from_le_bytes(prod);
+        d.copy_from_slice(&acc.to_le_bytes());
+    }
+    for (d, &b) in d8.into_remainder().iter_mut().zip(s8.remainder()) {
+        *d ^= lo[(b & 0x0f) as usize] ^ hi[(b >> 4) as usize];
     }
 }
 
-/// `dst[i] = c * src[i]` over whole slices.
+/// `dst[i] = c * src[i]` over whole slices, via the split-nibble tables.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
@@ -206,20 +356,99 @@ pub fn mul_slice(dst: &mut [u8], src: &[u8], c: Gf256) {
         dst.copy_from_slice(src);
         return;
     }
-    let lc = LOG[c.0 as usize] as usize;
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d = if *s == 0 { 0 } else { EXP[lc + LOG[*s as usize] as usize] };
+    let table = &NIBBLE[c.0 as usize];
+    #[allow(unused_mut)]
+    let mut done = 0;
+    #[cfg(target_arch = "x86_64")]
+    if simd::usable() {
+        // SAFETY: AVX2 presence was just checked; lengths match per the
+        // assert above.
+        done = unsafe { simd::mul_slice(dst, src, table) };
+    }
+    let (lo, hi) = table.split_at(16);
+    let mut d8 = dst[done..].chunks_exact_mut(8);
+    let mut s8 = src[done..].chunks_exact(8);
+    for (d, s) in (&mut d8).zip(&mut s8) {
+        let mut prod = [0u8; 8];
+        for (p, &b) in prod.iter_mut().zip(s) {
+            *p = lo[(b & 0x0f) as usize] ^ hi[(b >> 4) as usize];
+        }
+        d.copy_from_slice(&prod);
+    }
+    for (d, &b) in d8.into_remainder().iter_mut().zip(s8.remainder()) {
+        *d = lo[(b & 0x0f) as usize] ^ hi[(b >> 4) as usize];
     }
 }
 
-/// `dst[i] ^= src[i]` — pure XOR accumulate (the RAID5 hot loop).
+/// `dst[i] ^= src[i]` — pure XOR accumulate (the RAID5 hot loop),
+/// 8 bytes at a time via u64 loads with a scalar tail.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "xor_slice length mismatch");
-    for (d, s) in dst.iter_mut().zip(src) {
+    let mut d8 = dst.chunks_exact_mut(8);
+    let mut s8 = src.chunks_exact(8);
+    for (d, s) in (&mut d8).zip(&mut s8) {
+        let x = u64::from_le_bytes(<[u8; 8]>::try_from(&d[..]).expect("8-byte chunk"))
+            ^ u64::from_le_bytes(<[u8; 8]>::try_from(s).expect("8-byte chunk"));
+        d.copy_from_slice(&x.to_le_bytes());
+    }
+    for (d, s) in d8.into_remainder().iter_mut().zip(s8.remainder()) {
         *d ^= *s;
+    }
+}
+
+/// Naive byte-at-a-time kernels through the log/exp tables — the seed
+/// implementation, kept verbatim as the property-test oracle that the
+/// fast split-nibble paths are proven bit-identical against. Never used
+/// on hot paths.
+pub mod reference {
+    use super::{Gf256, EXP, LOG};
+
+    /// `dst[i] ^= c * src[i]`, one dependent log→exp lookup per byte.
+    pub fn mul_slice_acc(dst: &mut [u8], src: &[u8], c: Gf256) {
+        assert_eq!(dst.len(), src.len(), "mul_slice_acc length mismatch");
+        if c.0 == 0 {
+            return;
+        }
+        if c.0 == 1 {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= *s;
+            }
+            return;
+        }
+        let lc = LOG[c.0 as usize] as usize;
+        for (d, s) in dst.iter_mut().zip(src) {
+            if *s != 0 {
+                *d ^= EXP[lc + LOG[*s as usize] as usize];
+            }
+        }
+    }
+
+    /// `dst[i] = c * src[i]`, one dependent log→exp lookup per byte.
+    pub fn mul_slice(dst: &mut [u8], src: &[u8], c: Gf256) {
+        assert_eq!(dst.len(), src.len(), "mul_slice length mismatch");
+        if c.0 == 0 {
+            dst.fill(0);
+            return;
+        }
+        if c.0 == 1 {
+            dst.copy_from_slice(src);
+            return;
+        }
+        let lc = LOG[c.0 as usize] as usize;
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = if *s == 0 { 0 } else { EXP[lc + LOG[*s as usize] as usize] };
+        }
+    }
+
+    /// `dst[i] ^= src[i]`, one byte at a time.
+    pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
+        assert_eq!(dst.len(), src.len(), "xor_slice length mismatch");
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= *s;
+        }
     }
 }
 
@@ -326,12 +555,25 @@ mod tests {
     }
 
     #[test]
+    fn nibble_tables_match_log_exp_mul() {
+        // Every split-nibble product agrees with the log/exp multiply,
+        // cross-validating the two table constructions.
+        for c in 0..=255u8 {
+            let (lo, hi) = NIBBLE[c as usize].split_at(16);
+            for b in 0..=255u8 {
+                let fast = lo[(b & 0x0f) as usize] ^ hi[(b >> 4) as usize];
+                assert_eq!(fast, (Gf256(c) * Gf256(b)).0, "mismatch at {c} * {b}");
+            }
+        }
+    }
+
+    #[test]
     fn slice_ops_match_scalar() {
         let src: Vec<u8> = (0..=255).collect();
         for c in [0u8, 1, 2, 3, 0x53, 0xff] {
             let mut dst = vec![0xAAu8; 256];
             let mut expect = dst.clone();
-            mul_acc_slice(&mut dst, &src, Gf256(c));
+            mul_slice_acc(&mut dst, &src, Gf256(c));
             for (e, s) in expect.iter_mut().zip(&src) {
                 *e ^= (Gf256(c) * Gf256(*s)).0;
             }
@@ -345,6 +587,41 @@ mod tests {
         let mut d = vec![0b1010u8; 16];
         xor_slice(&mut d, &vec![0b0110u8; 16]);
         assert!(d.iter().all(|&b| b == 0b1100));
+    }
+
+    #[test]
+    fn fast_kernels_match_reference_at_all_tail_lengths() {
+        // Exercise every alignment case of the 8-byte SWAR loop: empty,
+        // shorter than one chunk, exact multiples, and odd tails.
+        let mut state = 0x243F_6A88_85A3_08D3u64; // deterministic PRNG
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as u8
+        };
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 24, 31, 63, 257] {
+            let src: Vec<u8> = (0..len).map(|_| next()).collect();
+            let base: Vec<u8> = (0..len).map(|_| next()).collect();
+            for c in [0u8, 1, 2, 0x1d, 0x8e, 0xff, next()] {
+                let mut fast = base.clone();
+                let mut slow = base.clone();
+                mul_slice_acc(&mut fast, &src, Gf256(c));
+                reference::mul_slice_acc(&mut slow, &src, Gf256(c));
+                assert_eq!(fast, slow, "mul_slice_acc len={len} c={c}");
+
+                let mut fast = base.clone();
+                let mut slow = base.clone();
+                mul_slice(&mut fast, &src, Gf256(c));
+                reference::mul_slice(&mut slow, &src, Gf256(c));
+                assert_eq!(fast, slow, "mul_slice len={len} c={c}");
+            }
+            let mut fast = base.clone();
+            let mut slow = base.clone();
+            xor_slice(&mut fast, &src);
+            reference::xor_slice(&mut slow, &src);
+            assert_eq!(fast, slow, "xor_slice len={len}");
+        }
     }
 
     #[test]

@@ -130,6 +130,26 @@ pub trait ErasureCode: Send + Sync {
     /// returning the parity shards. `shards` must contain exactly `m`
     /// equal-length slices.
     fn encode(&self, shards: &[&[u8]]) -> Result<Vec<Vec<u8>>>;
+
+    /// Encodes into caller-provided parity buffers, avoiding per-call
+    /// allocation on repeated encodes. `parity` must hold exactly
+    /// `n - m` vectors; each is resized to the shard length and fully
+    /// overwritten (prior contents are discarded). The default
+    /// implementation falls back to [`encode`](Self::encode) and moves
+    /// the results into the buffers; the concrete codes override it with
+    /// fused allocation-free kernels.
+    fn encode_into(&self, shards: &[&[u8]], parity: &mut [Vec<u8>]) -> Result<()> {
+        assert_eq!(
+            parity.len(),
+            self.parity_fragments(),
+            "parity buffer count must equal n - m"
+        );
+        for (buf, row) in parity.iter_mut().zip(self.encode(shards)?) {
+            *buf = row;
+        }
+        Ok(())
+    }
+
     /// Reconstructs the `m` data shards from any `m` of the `n` fragments.
     fn reconstruct(&self, available: &[Fragment], shard_len: usize) -> Result<Vec<Vec<u8>>>;
 

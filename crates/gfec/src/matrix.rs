@@ -209,16 +209,58 @@ impl Matrix {
     /// # Panics
     /// Panics if `shards.len() != cols` or shard lengths differ.
     pub fn mul_shards(&self, shards: &[&[u8]]) -> Vec<Vec<u8>> {
+        let len = shards.first().map_or(0, |s| s.len());
+        let mut out = vec![Vec::new(); self.rows];
+        self.mul_shards_into(shards, &mut out);
+        debug_assert!(out.iter().all(|r| r.len() == len));
+        out
+    }
+
+    /// Fused, cache-blocked `mul_shards` into caller-provided buffers —
+    /// no per-call allocation once the buffers have capacity.
+    ///
+    /// Output rows are resized to the shard length and recomputed from
+    /// scratch (any prior contents are discarded). The sweep is blocked
+    /// along the byte axis in [`FUSED_BLOCK`](crate::gf256::FUSED_BLOCK)
+    /// chunks, and within a block each shard is read once while hot and
+    /// accumulated into *every* output row before moving on — memory
+    /// traffic is one pass over the data plus one streaming pass per
+    /// output row, instead of one full data sweep per row.
+    ///
+    /// # Panics
+    /// Panics if `shards.len() != cols`, shard lengths differ, or
+    /// `out.len() != rows`.
+    pub fn mul_shards_into(&self, shards: &[&[u8]], out: &mut [Vec<u8>]) {
         assert_eq!(shards.len(), self.cols, "shard count must equal matrix cols");
+        assert_eq!(out.len(), self.rows, "output row count must equal matrix rows");
         let len = shards.first().map_or(0, |s| s.len());
         assert!(shards.iter().all(|s| s.len() == len), "ragged shards");
-        let mut out = vec![vec![0u8; len]; self.rows];
-        for (i, out_row) in out.iter_mut().enumerate() {
-            for (j, shard) in shards.iter().enumerate() {
-                crate::gf256::mul_acc_slice(out_row, shard, self.get(i, j));
-            }
+        // Rows are fully overwritten by the j == 0 pass below, so a dirty
+        // reused buffer only needs its length fixed, not a zero fill.
+        for row in out.iter_mut() {
+            row.resize(len, 0);
         }
-        out
+        if self.cols == 0 {
+            // No shards: `len` is zero and every row was just truncated.
+            return;
+        }
+        let mut start = 0;
+        while start < len {
+            let end = (start + crate::gf256::FUSED_BLOCK).min(len);
+            for (j, shard) in shards.iter().enumerate() {
+                let src = &shard[start..end];
+                for (i, row) in out.iter_mut().enumerate() {
+                    if j == 0 {
+                        // Overwrite instead of zero-then-accumulate: saves
+                        // the memset and one read pass over every row.
+                        crate::gf256::mul_slice(&mut row[start..end], src, self.get(i, 0));
+                    } else {
+                        crate::gf256::mul_slice_acc(&mut row[start..end], src, self.get(i, j));
+                    }
+                }
+            }
+            start = end;
+        }
     }
 }
 
@@ -308,6 +350,38 @@ mod tests {
                 }
                 assert_eq!(*byte, expect.0);
             }
+        }
+    }
+
+    #[test]
+    fn mul_shards_into_reuses_dirty_buffers() {
+        let a = Matrix::cauchy(3, 4);
+        let shards: Vec<Vec<u8>> = (0..4u8).map(|j| vec![j * 17 + 1; 100]).collect();
+        let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+        let expect = a.mul_shards(&refs);
+        // Wrong-size, garbage-filled buffers must still produce identical
+        // output — callers recycle parity buffers across stripes.
+        let mut out = vec![vec![0xEEu8; 7], Vec::new(), vec![1u8; 500]];
+        a.mul_shards_into(&refs, &mut out);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn fused_blocked_mul_matches_row_at_a_time_reference() {
+        // Lengths straddling the fused block boundary, checked against the
+        // seed algorithm: one full naive sweep per output row.
+        let a = Matrix::cauchy(2, 3);
+        for len in [0usize, 1, crate::gf256::FUSED_BLOCK - 3, crate::gf256::FUSED_BLOCK + 5] {
+            let shards: Vec<Vec<u8>> =
+                (0..3u8).map(|j| (0..len).map(|b| (b as u8).wrapping_mul(j + 3)).collect()).collect();
+            let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+            let mut expect = vec![vec![0u8; len]; 2];
+            for (i, row) in expect.iter_mut().enumerate() {
+                for (j, shard) in refs.iter().enumerate() {
+                    crate::gf256::reference::mul_slice_acc(row, shard, a.get(i, j));
+                }
+            }
+            assert_eq!(a.mul_shards(&refs), expect, "len={len}");
         }
     }
 

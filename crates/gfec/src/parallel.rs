@@ -1,15 +1,17 @@
-//! Rayon-parallel encoding for large objects.
+//! Rayon-parallel encoding and decoding for large objects.
 //!
 //! The paper's large-file tier erasure-codes objects up to 100 MB; the
 //! GF(2^8) parity loops are embarrassingly parallel across byte blocks,
 //! so we chunk each shard into fixed-size blocks and encode blocks with
 //! `par_iter`. Results are bit-identical to the sequential path (the code
 //! is a per-byte linear map, so any partition of the byte axis commutes
-//! with encoding).
+//! with encoding). Decoding is the same linear map through the inverted
+//! matrix, so [`reconstruct_parallel`] blocks it the same way.
 
 use rayon::prelude::*;
 
-use crate::{ErasureCode, Result};
+use crate::stripe::{FragmentLayout, StripePlanner};
+use crate::{ErasureCode, Fragment, GfecError, Result};
 
 /// Block size for parallel encoding. Large enough that per-task overhead
 /// vanishes, small enough to parallelize a few-MB object across cores.
@@ -48,6 +50,65 @@ pub fn encode_parallel<C: ErasureCode + ?Sized>(code: &C, shards: &[&[u8]]) -> R
         }
     }
     Ok(out)
+}
+
+/// Reconstructs the `m` data shards from any `m` fragments, in parallel
+/// byte blocks. Bit-identical to [`ErasureCode::reconstruct`]; falls back
+/// to it outright for inputs below one block.
+pub fn reconstruct_parallel<C: ErasureCode + ?Sized>(
+    code: &C,
+    available: &[Fragment],
+    shard_len: usize,
+) -> Result<Vec<Vec<u8>>> {
+    if shard_len <= PARALLEL_BLOCK {
+        return code.reconstruct(available, shard_len);
+    }
+    // Length validation must happen before slicing fragment views; index
+    // validation is repeated (cheaply) by every per-block reconstruct.
+    for f in available {
+        if f.data.len() != shard_len {
+            return Err(GfecError::FragmentSizeMismatch {
+                expected: shard_len,
+                got: f.data.len(),
+            });
+        }
+    }
+    let block_count = shard_len.div_ceil(PARALLEL_BLOCK);
+    let blocks: Result<Vec<Vec<Vec<u8>>>> = (0..block_count)
+        .into_par_iter()
+        .map(|b| {
+            let start = b * PARALLEL_BLOCK;
+            let end = (start + PARALLEL_BLOCK).min(shard_len);
+            let views: Vec<Fragment> = available
+                .iter()
+                .map(|f| Fragment::new(f.index, f.data[start..end].to_vec()))
+                .collect();
+            code.reconstruct(&views, end - start)
+        })
+        .collect();
+    let blocks = blocks?;
+
+    let m = code.data_fragments();
+    let mut out = vec![Vec::with_capacity(shard_len); m];
+    for block in blocks {
+        debug_assert_eq!(block.len(), m);
+        for (acc, part) in out.iter_mut().zip(block) {
+            acc.extend_from_slice(&part);
+        }
+    }
+    Ok(out)
+}
+
+/// Convenience: parallel reconstruct + join back into the original object
+/// — the large-object read path of the dispatcher.
+pub fn decode_object_parallel<C: ErasureCode + ?Sized>(
+    code: &C,
+    planner: &StripePlanner,
+    layout: &FragmentLayout,
+    available: &[Fragment],
+) -> Result<Vec<u8>> {
+    let shards = reconstruct_parallel(code, available, layout.shard_len)?;
+    planner.join(layout, &shards)
 }
 
 #[cfg(test)]
@@ -101,5 +162,51 @@ mod tests {
         let a = vec![0u8; 2 * PARALLEL_BLOCK];
         // Wrong shard count should error, not panic.
         assert!(encode_parallel(&code, &[a.as_slice()]).is_err());
+    }
+
+    #[test]
+    fn parallel_reconstruct_matches_sequential() {
+        let code = ReedSolomon::new(3, 5).unwrap();
+        let shard_len = PARALLEL_BLOCK + 4_321;
+        let shards = big_shards(3, shard_len);
+        let frags = code.encode_fragments(shards).unwrap();
+        // Drop two fragments (one data, one parity) — a degraded read.
+        let avail: Vec<Fragment> =
+            frags.into_iter().filter(|f| f.index != 1 && f.index != 4).collect();
+        let seq = code.reconstruct(&avail, shard_len).unwrap();
+        let par = reconstruct_parallel(&code, &avail, shard_len).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_reconstruct_validates_lengths() {
+        let code = Raid5::new(2).unwrap();
+        let shard_len = PARALLEL_BLOCK + 1;
+        let frags = vec![
+            Fragment::new(0, vec![0u8; shard_len]),
+            Fragment::new(1, vec![0u8; 16]),
+        ];
+        assert!(matches!(
+            reconstruct_parallel(&code, &frags, shard_len),
+            Err(GfecError::FragmentSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_decode_object_roundtrips() {
+        let planner = StripePlanner::new(3, 4).unwrap();
+        let code = Raid5::new(3).unwrap();
+        let obj: Vec<u8> = (0..(3 * PARALLEL_BLOCK + 777))
+            .map(|i| ((i * 31) % 251) as u8)
+            .collect();
+        let (layout, frags) = planner.encode_object(&code, &obj).unwrap();
+        for lost in 0..4 {
+            let avail: Vec<Fragment> =
+                frags.iter().filter(|f| f.index != lost).cloned().collect();
+            let seq = planner.decode_object(&code, &layout, &avail).unwrap();
+            let par = decode_object_parallel(&code, &planner, &layout, &avail).unwrap();
+            assert_eq!(par, seq, "lost={lost}");
+            assert_eq!(par, obj, "lost={lost}");
+        }
     }
 }

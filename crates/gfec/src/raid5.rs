@@ -84,6 +84,23 @@ impl ErasureCode for Raid5 {
         Ok(vec![Self::xor_all(shards)])
     }
 
+    fn encode_into(&self, shards: &[&[u8]], parity: &mut [Vec<u8>]) -> Result<()> {
+        let len = self.validate(shards)?;
+        assert_eq!(parity.len(), 1, "RAID5 produces exactly one parity shard");
+        let p = &mut parity[0];
+        // The first shard overwrites the row, so a dirty reused buffer
+        // only needs its length fixed — no zero fill.
+        p.resize(len, 0);
+        for (i, s) in shards.iter().enumerate() {
+            if i == 0 {
+                p.copy_from_slice(s);
+            } else {
+                xor_slice(p, s);
+            }
+        }
+        Ok(())
+    }
+
     fn parity_coefficients(&self) -> Vec<Vec<crate::gf256::Gf256>> {
         vec![vec![crate::gf256::Gf256::ONE; self.m]]
     }
@@ -234,7 +251,7 @@ mod tests {
         let d = mk_shards(3, 48);
         let refs: Vec<&[u8]> = d.iter().map(|x| x.as_slice()).collect();
 
-        let frags_rs = rs.encode_fragments(&refs).unwrap();
+        let frags_rs = rs.encode_fragments(d.clone()).unwrap();
         let avail: Vec<Fragment> = frags_rs.iter().filter(|f| f.index != 1).cloned().collect();
         // Both codes recover identical data from index loss 1 (parity
         // encodings differ; the recovered *data* must not).
@@ -249,6 +266,17 @@ mod tests {
 
         assert_eq!(via_rs, via_r5);
         assert_eq!(via_r5, d);
+    }
+
+    #[test]
+    fn encode_into_reuses_dirty_buffers() {
+        let r = Raid5::new(3).unwrap();
+        let d = mk_shards(3, 50);
+        let refs: Vec<&[u8]> = d.iter().map(|x| x.as_slice()).collect();
+        let expect = r.encode(&refs).unwrap();
+        let mut parity = vec![vec![0xABu8; 9]];
+        r.encode_into(&refs, &mut parity).unwrap();
+        assert_eq!(parity, expect);
     }
 
     #[test]

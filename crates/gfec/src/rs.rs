@@ -30,8 +30,7 @@ pub enum MatrixKind {
 ///
 /// let rs = ReedSolomon::new(3, 5).unwrap();
 /// let shards: Vec<Vec<u8>> = (0..3).map(|i| vec![i as u8; 64]).collect();
-/// let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
-/// let fragments = rs.encode_fragments(&refs).unwrap();
+/// let fragments = rs.encode_fragments(shards.clone()).unwrap();
 ///
 /// // Lose any two of the five fragments — the data still decodes.
 /// let survivors: Vec<Fragment> =
@@ -44,6 +43,10 @@ pub struct ReedSolomon {
     n: usize,
     /// Full `n x m` encode matrix; top `m` rows are the identity.
     encode_matrix: Matrix,
+    /// The bottom `n - m` parity rows, pre-selected at construction so
+    /// every encode goes straight into the fused kernel without an
+    /// allocating `select_rows` per call.
+    parity_matrix: Matrix,
 }
 
 impl ReedSolomon {
@@ -81,7 +84,8 @@ impl ReedSolomon {
                 e
             }
         };
-        Ok(ReedSolomon { m, n, encode_matrix })
+        let parity_matrix = encode_matrix.select_rows(&(m..n).collect::<Vec<_>>());
+        Ok(ReedSolomon { m, n, encode_matrix, parity_matrix })
     }
 
     /// The full `n x m` encode matrix (top `m` rows are the identity).
@@ -90,12 +94,15 @@ impl ReedSolomon {
     }
 
     /// Encodes `m` equal-length data shards into the full fragment set
-    /// (data fragments first, verbatim, then parity).
-    pub fn encode_fragments(&self, shards: &[&[u8]]) -> Result<Vec<Fragment>> {
-        let parity = self.encode(shards)?;
+    /// (data fragments first, verbatim, then parity). Takes the shards by
+    /// value: the code is systematic, so each data shard is *moved* into
+    /// its fragment rather than copied — only parity bytes are produced.
+    pub fn encode_fragments(&self, shards: Vec<Vec<u8>>) -> Result<Vec<Fragment>> {
+        let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+        let parity = self.encode(&refs)?;
         let mut out = Vec::with_capacity(self.n);
-        for (i, s) in shards.iter().enumerate() {
-            out.push(Fragment::new(i, s.to_vec()));
+        for (i, s) in shards.into_iter().enumerate() {
+            out.push(Fragment::new(i, s));
         }
         for (k, p) in parity.into_iter().enumerate() {
             out.push(Fragment::new(self.m + k, p));
@@ -180,8 +187,13 @@ impl ErasureCode for ReedSolomon {
 
     fn encode(&self, shards: &[&[u8]]) -> Result<Vec<Vec<u8>>> {
         self.validate_shards(shards)?;
-        let parity_rows: Vec<usize> = (self.m..self.n).collect();
-        Ok(self.encode_matrix.select_rows(&parity_rows).mul_shards(shards))
+        Ok(self.parity_matrix.mul_shards(shards))
+    }
+
+    fn encode_into(&self, shards: &[&[u8]], parity: &mut [Vec<u8>]) -> Result<()> {
+        self.validate_shards(shards)?;
+        self.parity_matrix.mul_shards_into(shards, parity);
+        Ok(())
     }
 
     fn parity_coefficients(&self) -> Vec<Vec<Gf256>> {
@@ -237,8 +249,7 @@ mod tests {
     fn roundtrip(kind: MatrixKind, m: usize, n: usize) {
         let rs = ReedSolomon::with_kind(m, n, kind).unwrap();
         let data = shards(m, 64, 7);
-        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
-        let frags = rs.encode_fragments(&refs).unwrap();
+        let frags = rs.encode_fragments(data.clone()).unwrap();
         assert_eq!(frags.len(), n);
 
         // Every way of losing up to n-m fragments must still decode.
@@ -294,8 +305,7 @@ mod tests {
     fn data_fragments_are_verbatim() {
         let rs = ReedSolomon::new(3, 5).unwrap();
         let data = shards(3, 32, 1);
-        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
-        let frags = rs.encode_fragments(&refs).unwrap();
+        let frags = rs.encode_fragments(data.clone()).unwrap();
         for i in 0..3 {
             assert_eq!(frags[i].data, data[i]);
         }
@@ -305,8 +315,7 @@ mod tests {
     fn reconstruct_single_fragment_data_and_parity() {
         let rs = ReedSolomon::new(3, 5).unwrap();
         let data = shards(3, 48, 9);
-        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
-        let frags = rs.encode_fragments(&refs).unwrap();
+        let frags = rs.encode_fragments(data).unwrap();
         for target in 0..5 {
             let avail: Vec<Fragment> =
                 frags.iter().filter(|f| f.index != target).cloned().collect();
@@ -327,8 +336,7 @@ mod tests {
     fn decode_input_validation() {
         let rs = ReedSolomon::new(3, 4).unwrap();
         let data = shards(3, 16, 2);
-        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
-        let frags = rs.encode_fragments(&refs).unwrap();
+        let frags = rs.encode_fragments(data).unwrap();
 
         // Too few.
         let err = rs.reconstruct(&frags[..2], 16).unwrap_err();
@@ -366,6 +374,19 @@ mod tests {
     }
 
     #[test]
+    fn encode_into_matches_encode_with_dirty_buffers() {
+        let rs = ReedSolomon::new(3, 5).unwrap();
+        let data = shards(3, 100, 4);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let expect = rs.encode(&refs).unwrap();
+        let mut parity = vec![vec![0xDDu8; 3], vec![0u8; 1000]];
+        rs.encode_into(&refs, &mut parity).unwrap();
+        assert_eq!(parity, expect);
+        // Validation errors surface before any buffer is touched.
+        assert!(rs.encode_into(&refs[..2], &mut parity).is_err());
+    }
+
+    #[test]
     fn rate_and_overhead() {
         let rs = ReedSolomon::new(3, 4).unwrap();
         assert_eq!(rs.data_fragments(), 3);
@@ -381,7 +402,7 @@ mod tests {
         // fragments (the interpolating polynomial is constant).
         let rs = ReedSolomon::with_kind(3, 5, MatrixKind::Vandermonde).unwrap();
         let d = vec![0x5Au8; 16];
-        let frags = rs.encode_fragments(&[&d, &d, &d]).unwrap();
+        let frags = rs.encode_fragments(vec![d.clone(), d.clone(), d.clone()]).unwrap();
         for f in &frags {
             assert_eq!(f.data, d, "fragment {} not constant", f.index);
         }

@@ -259,7 +259,7 @@ pub fn apply_ranged_update_multi(
                 n: coeffs[j].len(),
             })?;
             let w = &mut parity[start - lo..start - lo + len];
-            crate::gf256::mul_acc_slice(w, &diff, c);
+            crate::gf256::mul_slice_acc(w, &diff, c);
         }
         segments.push(new_seg.to_vec());
     }
@@ -291,7 +291,7 @@ pub fn recompute_parity_windows(
         }
         let mut p = vec![0u8; len];
         for (i, w) in data_windows.iter().enumerate() {
-            crate::gf256::mul_acc_slice(&mut p, w, row[i]);
+            crate::gf256::mul_slice_acc(&mut p, w, row[i]);
         }
         out.push(p);
     }

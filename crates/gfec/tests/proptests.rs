@@ -3,7 +3,7 @@
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 
-use hyrd_gfec::gf256::{mul_acc_slice, Gf256};
+use hyrd_gfec::gf256::{mul_slice_acc, Gf256};
 use hyrd_gfec::raid5::Raid5;
 use hyrd_gfec::raid6::Raid6;
 use hyrd_gfec::rs::{MatrixKind, ReedSolomon};
@@ -77,10 +77,10 @@ proptest! {
     fn mul_acc_is_linear(data in pvec(any::<u8>(), 1..256), c1: u8, c2: u8) {
         // (c1 + c2) * x == c1 * x + c2 * x applied to whole slices.
         let mut lhs = vec![0u8; data.len()];
-        mul_acc_slice(&mut lhs, &data, Gf256(c1) + Gf256(c2));
+        mul_slice_acc(&mut lhs, &data, Gf256(c1) + Gf256(c2));
         let mut rhs = vec![0u8; data.len()];
-        mul_acc_slice(&mut rhs, &data, Gf256(c1));
-        mul_acc_slice(&mut rhs, &data, Gf256(c2));
+        mul_slice_acc(&mut rhs, &data, Gf256(c1));
+        mul_slice_acc(&mut rhs, &data, Gf256(c2));
         prop_assert_eq!(lhs, rhs);
     }
 

@@ -18,3 +18,13 @@ chaos-full:
 # Regenerate the paper-figure experiment JSONs.
 experiments:
     cargo run --release -p hyrd-bench --bin fig6
+
+# Refresh the repo-root BENCH_gfec.json throughput baseline without the
+# full Criterion sampling (quick wall-clock measurements only).
+bench-json:
+    BENCH_JSON_ONLY=1 cargo bench -p hyrd-bench --bench gfec_benches
+    BENCH_JSON_ONLY=1 cargo bench -p hyrd-bench --bench scheme_benches
+
+# Full Criterion run (also refreshes BENCH_gfec.json at the end).
+bench:
+    cargo bench -p hyrd-bench
