@@ -313,6 +313,7 @@ pub fn ec_update<C: ErasureCode + ?Sized>(
     let out = hyrd::ecops::ranged_update(
         code,
         fleet_lookup,
+        &hyrd::telemetry::Collector::disabled(),
         layout,
         fragments,
         path,

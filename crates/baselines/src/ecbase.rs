@@ -161,6 +161,7 @@ impl<C: ErasureCode> EcEverything<C> {
                 match hyrd::ecops::rebuild_fragment(
                     &self.code,
                     &lookup,
+                    &hyrd::telemetry::Collector::disabled(),
                     &layout,
                     &fragments,
                     idx,

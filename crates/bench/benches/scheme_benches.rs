@@ -6,7 +6,9 @@
 //! Like `gfec_benches`, contributes its keys to the repo-root
 //! `BENCH_gfec.json`; `BENCH_JSON_ONLY=1` skips Criterion entirely.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use criterion::{criterion_group, Criterion, Throughput};
@@ -17,6 +19,59 @@ use hyrd::driver::{replay, synth_content, ReplayOptions};
 use hyrd::prelude::*;
 use hyrd_baselines::{DuraCloud, Racs};
 use hyrd_workloads::{PostMark, PostMarkConfig};
+
+/// System allocator with an allocation counter, backing the telemetry
+/// disabled-path guard below.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The telemetry zero-cost contract: a disabled [`Collector`] must not
+/// allocate on any instrumentation call — spans, events, field chains, or
+/// metrics. Run before the benchmarks so a regression fails loudly instead
+/// of silently taxing every instrumented hot path.
+fn assert_disabled_telemetry_never_allocates() {
+    let tel = hyrd::telemetry::Collector::disabled();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..1_000u64 {
+        let _guard = tel.span_labeled("bench.span", "provider");
+        let inner = tel.span_with("bench.inner").field("iter", i).field("tag", "t").start();
+        tel.event("bench.event").field("iter", i).field("tag", "t").emit();
+        tel.inc("bench.counter", 1);
+        tel.inc_labeled("bench.counter", "provider", 1);
+        tel.observe("bench.hist", i);
+        tel.observe_labeled("bench.hist", "provider", i);
+        black_box(tel.enabled());
+        inner.end();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled telemetry allocated {} times in 1000 iterations",
+        after - before
+    );
+    println!("telemetry disabled-path guard: 0 allocations across 1000 iterations");
+}
 
 fn small_postmark(seed: u64) -> PostMarkConfig {
     PostMarkConfig {
@@ -162,6 +217,7 @@ fn write_summary() {
 criterion_group!(benches, bench_dispatcher_ops, bench_replay);
 
 fn main() {
+    assert_disabled_telemetry_never_allocates();
     if summary::json_only() {
         write_summary();
         return;

@@ -11,10 +11,14 @@
 //! allowed (and reported); serving *wrong bytes*, or failing to produce a
 //! file's bytes after the faults have cleared and recovery has run, is
 //! not. Everything is derived from `--seed`, so the same seed produces a
-//! byte-identical report (`--selfcheck` proves it in-process).
+//! byte-identical report AND a byte-identical telemetry trace — records
+//! are stamped with the virtual clock only (`--selfcheck` proves both
+//! in-process).
 //!
-//! Usage: `chaos_drill [--ops N] [--seed S] [--smoke] [--selfcheck]`
+//! Usage: `chaos_drill [--ops N] [--seed S] [--smoke] [--selfcheck]
+//! [--trace PATH]`
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use serde::Serialize;
@@ -22,6 +26,7 @@ use serde::Serialize;
 use hyrd::driver::{replay_with_state, ReplayOptions, ReplayState};
 use hyrd::prelude::*;
 use hyrd::scrub::ScrubReport;
+use hyrd::telemetry::{Collector, SharedBuf, SlowSpan};
 use hyrd_bench::{header, write_json};
 use hyrd_cloudsim::FaultPlan;
 use hyrd_workloads::{FsOp, IaTrace};
@@ -124,12 +129,35 @@ struct ChaosReport {
     final_sweep_mismatches: u64,
     final_sweep_errors: u64,
     unrecoverable_reads: u64,
+    // What the trace collector saw (virtual-clock data only, so this
+    // section is as deterministic as the rest of the report).
+    telemetry: TelemetrySection,
 }
 
-fn run_drill(seed: u64, ops_target: usize) -> ChaosReport {
+/// Report section distilled from the telemetry collector. Only
+/// virtual-clock-derived values belong here: wall-clock histograms (e.g.
+/// `ec.encode_wall_ns`) stay out so same-seed reports stay byte-identical.
+#[derive(Debug, Serialize, PartialEq)]
+struct TelemetrySection {
+    /// Lines in the JSONL trace (spans, events, meta).
+    trace_records: u64,
+    /// The five slowest spans by virtual duration, flame path included.
+    spans_top5: Vec<SlowSpan>,
+    /// Provider operations issued, per provider.
+    provider_ops: BTreeMap<String, u64>,
+    /// Faults injected by the simulator, per provider.
+    provider_faults: BTreeMap<String, u64>,
+    /// Retry backoffs taken by the dispatcher, per provider.
+    retry_backoffs: BTreeMap<String, u64>,
+}
+
+fn run_drill(seed: u64, ops_target: usize) -> (ChaosReport, Vec<u8>) {
     let clock = SimClock::new();
     let fleet = Fleet::standard_four(clock.clone());
-    let mut h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid default config");
+    let trace_buf = SharedBuf::new();
+    let telemetry = Collector::builder(clock.clone()).jsonl(trace_buf.clone()).build();
+    let mut h = Hyrd::with_telemetry(&fleet, HyrdConfig::default(), telemetry.clone())
+        .expect("valid default config");
 
     let trace = IaTrace::synthesize(seed);
     let ops = build_ops(&trace, seed, ops_target);
@@ -141,7 +169,11 @@ fn run_drill(seed: u64, ops_target: usize) -> ChaosReport {
         p.set_fault_plan(FaultPlan::chaos(mix(seed, idx as u64 + 1), horizon));
     }
 
-    let opts = ReplayOptions { verify_reads: true, ..ReplayOptions::default() };
+    let opts = ReplayOptions {
+        verify_reads: true,
+        telemetry: telemetry.clone(),
+        ..ReplayOptions::default()
+    };
     let mut state = ReplayState::default();
     let mut replay_errors = 0u64;
     let mut verify_failures = 0u64;
@@ -216,10 +248,21 @@ fn run_drill(seed: u64, ops_target: usize) -> ChaosReport {
         }
     }
 
+    telemetry.flush();
+    let trace = trace_buf.contents();
+    let snapshot = telemetry.metrics();
+    let telemetry_section = TelemetrySection {
+        trace_records: trace.iter().filter(|b| **b == b'\n').count() as u64,
+        spans_top5: telemetry.slowest_spans(5),
+        provider_ops: snapshot.counters_labeled("provider.ops").into_iter().collect(),
+        provider_faults: snapshot.counters_labeled("provider.faults").into_iter().collect(),
+        retry_backoffs: snapshot.counters_labeled("retry.backoffs").into_iter().collect(),
+    };
+
     let counters = h.fault_counters();
     let unrecoverable =
         verify_failures + mismatches + sweep_errors + final_scrub.unrecoverable;
-    ChaosReport {
+    let report = ChaosReport {
         seed,
         ops_requested: ops_target,
         ops_replayed,
@@ -240,13 +283,16 @@ fn run_drill(seed: u64, ops_target: usize) -> ChaosReport {
         final_sweep_mismatches: mismatches,
         final_sweep_errors: sweep_errors,
         unrecoverable_reads: unrecoverable,
-    }
+        telemetry: telemetry_section,
+    };
+    (report, trace)
 }
 
 fn main() {
     let mut ops: usize = 10_000;
     let mut seed: u64 = 42;
     let mut selfcheck = false;
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -254,19 +300,30 @@ fn main() {
             "--seed" => seed = args.next().expect("--seed S").parse().expect("numeric --seed"),
             "--smoke" => ops = 1_200,
             "--selfcheck" => selfcheck = true,
+            "--trace" => trace_path = Some(args.next().expect("--trace PATH")),
             other => panic!("unknown argument: {other}"),
         }
     }
 
     header(&format!("chaos drill: {ops} ops, seed {seed}"));
-    let report = run_drill(seed, ops);
+    let (report, trace) = run_drill(seed, ops);
     let body = serde_json::to_string_pretty(&report).expect("serialize report");
 
     if selfcheck {
-        let again = run_drill(seed, ops);
+        let (again, trace2) = run_drill(seed, ops);
         let body2 = serde_json::to_string_pretty(&again).expect("serialize report");
         assert_eq!(body, body2, "same seed must produce a byte-identical report");
-        println!("selfcheck: two runs, byte-identical reports ✓");
+        assert_eq!(trace, trace2, "same seed must produce a byte-identical trace");
+        println!("selfcheck: two runs, byte-identical reports and traces ✓");
+    }
+
+    if let Some(path) = &trace_path {
+        std::fs::write(path, &trace).expect("write trace file");
+        println!(
+            "trace: {} records ({:.1} MB) -> {path}",
+            report.telemetry.trace_records,
+            trace.len() as f64 / 1e6
+        );
     }
 
     println!("{body}");

@@ -56,6 +56,14 @@ impl SimClock {
     }
 }
 
+/// The simulation's telemetry traces are stamped with *virtual* time,
+/// which is what makes same-seed runs byte-identical.
+impl hyrd_telemetry::TelemetryClock for SimClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::Acquire)
+    }
+}
+
 /// Handy duration constructors used throughout the simulation configs.
 pub mod units {
     use std::time::Duration;
@@ -135,6 +143,16 @@ mod tests {
             }
         });
         assert_eq!(c.now(), Duration::from_nanos(8 * 1000 * 3));
+    }
+
+    #[test]
+    fn telemetry_clock_reads_virtual_nanos() {
+        use hyrd_telemetry::TelemetryClock;
+        let c = SimClock::new();
+        c.advance(Duration::from_nanos(1234));
+        assert_eq!(c.now_nanos(), 1234);
+        c.advance(Duration::from_secs(1));
+        assert_eq!(c.now_nanos(), 1_000_001_234);
     }
 
     #[test]

@@ -102,6 +102,15 @@ impl Fleet {
     pub fn total_stored_bytes(&self) -> u64 {
         self.providers.iter().map(|p| p.stored_bytes()).sum()
     }
+
+    /// Installs a telemetry collector on every provider, so each op and
+    /// injected fault lands in the shared trace. The collector should be
+    /// built on this fleet's [`SimClock`] for reproducible timestamps.
+    pub fn set_telemetry(&self, collector: &hyrd_telemetry::Collector) {
+        for p in &self.providers {
+            p.set_telemetry(collector.clone());
+        }
+    }
 }
 
 #[cfg(test)]

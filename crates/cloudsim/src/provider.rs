@@ -18,6 +18,7 @@ use hyrd_gcsapi::{
     CloudError, CloudResult, CloudStorage, ObjectKey, OpKind, OpOutcome, OpReport, OpStats,
     ProviderId, StatsSnapshot,
 };
+use hyrd_telemetry::Collector;
 
 use crate::clock::SimClock;
 use crate::faults::FaultPlan;
@@ -72,6 +73,8 @@ pub struct SimProvider {
     faults: RwLock<FaultPlan>,
     /// How many of the plan's rot events have been applied.
     rot_applied: AtomicU64,
+    /// Telemetry sink; disabled (no-op) by default.
+    telemetry: RwLock<Collector>,
 }
 
 impl SimProvider {
@@ -90,6 +93,32 @@ impl SimProvider {
             ghost: AtomicBool::new(false),
             faults: RwLock::new(FaultPlan::quiet()),
             rot_applied: AtomicU64::new(0),
+            telemetry: RwLock::new(Collector::disabled()),
+        }
+    }
+
+    /// Installs a telemetry collector; every subsequent op emits a
+    /// `provider.op` event (kind, bytes, priced cost) and every injected
+    /// fault a `provider.fault` event. Pass `Collector::disabled()` to
+    /// turn instrumentation back into a no-op.
+    pub fn set_telemetry(&self, collector: Collector) {
+        *self.telemetry.write() = collector;
+    }
+
+    fn telemetry(&self) -> Collector {
+        self.telemetry.read().clone()
+    }
+
+    /// Emits a fault event + counter. `reason` matches the `CloudError`
+    /// reason string where one exists.
+    fn note_fault(&self, reason: &str) {
+        let tel = self.telemetry();
+        if tel.enabled() {
+            tel.event("provider.fault")
+                .field("provider", self.profile.name.as_str())
+                .field("reason", reason)
+                .emit();
+            tel.inc_labeled("provider.faults", &self.profile.name, 1);
         }
     }
 
@@ -203,6 +232,7 @@ impl SimProvider {
                 return;
             };
             self.rot_applied.store(consumed as u64 + 1, Ordering::Relaxed);
+            self.note_fault("bit rot");
             let mut s = self.store.write();
             let total: usize = s.values().map(|c| c.len()).sum();
             if total == 0 {
@@ -233,6 +263,7 @@ impl SimProvider {
         self.apply_due_rot();
         if !self.outage.read().is_up(self.clock.now()) {
             self.stats.record_err();
+            self.note_fault("outage");
             return Err(CloudError::Unavailable { provider: self.id });
         }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
@@ -244,11 +275,13 @@ impl SimProvider {
             z ^= z >> 31;
             if z % 1000 < flake {
                 self.stats.record_err();
+                self.note_fault("injected");
                 return Err(CloudError::Transient { provider: self.id, reason: "injected" });
             }
         }
         if self.faults.read().burst_error(self.clock.now(), seq) {
             self.stats.record_err();
+            self.note_fault("burst");
             return Err(CloudError::Transient { provider: self.id, reason: "burst" });
         }
         Ok(seq)
@@ -263,6 +296,26 @@ impl SimProvider {
         }
         let report = OpReport { provider: self.id, kind, latency, bytes_in, bytes_out };
         self.stats.record_ok(&report);
+        let tel = self.telemetry();
+        if tel.enabled() {
+            // Priced cost of this single op under the provider's Table II
+            // plan: its transaction class plus any transfer charges.
+            let (put_class, get_class) = if kind.is_put_class() { (1, 0) } else { (0, 1) };
+            let cost = self.profile.prices.transaction_cost(put_class, get_class)
+                + self.profile.prices.transfer_cost(bytes_in, bytes_out);
+            let name = self.profile.name.as_str();
+            let latency_ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+            tel.event("provider.op")
+                .field("provider", name)
+                .field("op", kind.to_string())
+                .field("bytes_in", bytes_in)
+                .field("bytes_out", bytes_out)
+                .field("latency_ns", latency_ns)
+                .field("cost", cost)
+                .emit();
+            tel.inc_labeled("provider.ops", name, 1);
+            tel.observe_labeled("provider.latency_ns", name, latency_ns);
+        }
         report
     }
 }
@@ -311,6 +364,7 @@ impl CloudStorage for SimProvider {
             self.stored_bytes.fetch_add(keep as u64, Ordering::Relaxed);
             self.stored_bytes.fetch_sub(old_len, Ordering::Relaxed);
             self.stats.record_err();
+            self.note_fault("torn write");
             return Err(CloudError::Transient { provider: self.id, reason: "torn write" });
         }
         let new_len = data.len() as u64;
@@ -349,6 +403,7 @@ impl CloudStorage for SimProvider {
                 let target = ((entropy >> 11) as usize) % (v.len() * 8);
                 v[target / 8] ^= 1 << (target % 8);
                 data = Bytes::from(v);
+                self.note_fault("wire corruption");
             }
         }
         let len = data.len() as u64;
@@ -666,6 +721,75 @@ mod tests {
         let ops_before = p.stats().get;
         let _ = p.stats();
         assert_eq!(p.stats().get, ops_before, "the backdoor is not an op");
+    }
+
+    #[test]
+    fn telemetry_emits_op_events_with_priced_cost() {
+        use hyrd_telemetry::{Collector, Value};
+        let clock = SimClock::new();
+        let p = SimProvider::well_known(ProviderId(0), WellKnownProvider::AmazonS3, clock.clone());
+        p.create("data").unwrap();
+        let tel = Collector::builder(clock).ring(64).build();
+        p.set_telemetry(tel.clone());
+
+        let key = ObjectKey::new("data", "k");
+        p.put(&key, Bytes::from(vec![1u8; 2048])).unwrap();
+        p.get(&key).unwrap();
+
+        let recs = tel.ring_records();
+        let ops: Vec<_> = recs.iter().filter(|r| r.is_event("provider.op")).collect();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].field_str("provider"), Some("Amazon S3"));
+        assert_eq!(ops[0].field_str("op"), Some("Put"));
+        assert_eq!(ops[0].field_u64("bytes_in"), Some(2048));
+        assert!(ops[0].field_u64("latency_ns").unwrap() > 0);
+        // S3 bills Put in the put class: $0.047 per 10K transactions.
+        match ops[0].fields().unwrap().get("cost") {
+            Some(Value::F64(c)) => assert!((c - 0.047 / 10_000.0).abs() < 1e-12),
+            other => panic!("missing cost: {other:?}"),
+        }
+        // Get pays the get class plus per-GB egress.
+        assert_eq!(ops[1].field_str("op"), Some("Get"));
+        match ops[1].fields().unwrap().get("cost") {
+            Some(Value::F64(c)) => {
+                let expect = 0.0037 / 10_000.0 + (2048.0 / 1e9) * 0.201;
+                assert!((c - expect).abs() < 1e-12, "cost={c}");
+            }
+            other => panic!("missing cost: {other:?}"),
+        }
+        assert_eq!(tel.counter("provider.ops[Amazon S3]"), 2);
+        assert_eq!(
+            tel.histogram("provider.latency_ns[Amazon S3]").unwrap().count(),
+            2
+        );
+    }
+
+    #[test]
+    fn telemetry_emits_fault_events() {
+        use hyrd_telemetry::Collector;
+        let (p, clock) = provider();
+        let tel = Collector::builder(clock).ring(64).build();
+        p.set_telemetry(tel.clone());
+        let key = ObjectKey::new("data", "k");
+
+        p.force_down();
+        let _ = p.get(&key);
+        p.restore();
+        p.set_fault_plan(FaultPlan::quiet().with_seed(9).with_torn_puts(1000));
+        let _ = p.put(&key, Bytes::from(vec![7u8; 64]));
+        p.set_fault_plan(FaultPlan::quiet());
+
+        let reasons: Vec<String> = tel
+            .ring_records()
+            .iter()
+            .filter(|r| r.is_event("provider.fault"))
+            .map(|r| r.field_str("reason").unwrap().to_string())
+            .collect();
+        assert_eq!(reasons, vec!["outage", "torn write"]);
+        assert_eq!(tel.counter("provider.faults[test]"), 2);
+        // Successful retry after the faults shows up as a normal op.
+        p.put(&key, Bytes::from(vec![7u8; 64])).unwrap();
+        assert_eq!(tel.counter("provider.ops[test]"), 1);
     }
 
     #[test]

@@ -43,6 +43,7 @@ use hyrd_gfec::parallel::{decode_object_parallel, encode_parallel};
 use hyrd_gfec::stripe::StripePlanner;
 use hyrd_gfec::{ErasureCode, Fragment, Raid5, Raid6, ReedSolomon};
 use hyrd_metastore::{MetaStore, MetadataBlock, NormPath, Placement};
+use hyrd_telemetry::Collector;
 
 use crate::config::{CodeChoice, FragmentSelection, HyrdConfig};
 use crate::evaluator::Evaluator;
@@ -134,6 +135,7 @@ pub struct Hyrd {
     pub(crate) health: HealthTracker,
     pub(crate) integrity: IntegrityIndex,
     pub(crate) counters: FaultCounters,
+    pub(crate) telemetry: Collector,
 }
 
 impl Hyrd {
@@ -141,13 +143,34 @@ impl Hyrd {
     /// probes the providers (the evaluator's setup cost is retained in
     /// [`Self::setup_cost`]) and derives the placement tiers.
     pub fn new(fleet: &Fleet, config: HyrdConfig) -> SchemeResult<Self> {
+        Hyrd::with_telemetry(fleet, config, Collector::disabled())
+    }
+
+    /// Like [`Hyrd::new`], but with an attached telemetry collector: the
+    /// fleet's providers, the circuit breakers and the dispatcher itself
+    /// all emit spans and events into it. Build the collector on the
+    /// fleet's clock so trace timestamps are virtual (and same-seed runs
+    /// byte-identical).
+    pub fn with_telemetry(
+        fleet: &Fleet,
+        config: HyrdConfig,
+        telemetry: Collector,
+    ) -> SchemeResult<Self> {
         config
             .validate(fleet.len())
             .map_err(|detail| SchemeError::DataUnavailable { path: String::new(), detail })?;
-        let (evaluator, setup_cost) = Evaluator::assess(fleet, config.probe_bytes);
+        fleet.set_telemetry(&telemetry);
+        let (evaluator, setup_cost) = {
+            let _span = telemetry
+                .span_with("setup.assess")
+                .field("probe_bytes", config.probe_bytes as u64)
+                .start();
+            Evaluator::assess(fleet, config.probe_bytes)
+        };
         let code = CodeImpl::build(config.code)?;
         let planner = StripePlanner::new(config.code.m(), config.code.n())?;
-        let health = HealthTracker::new(config.breaker);
+        let mut health = HealthTracker::new(config.breaker);
+        health.set_telemetry(telemetry.clone());
         Ok(Hyrd {
             fleet: fleet.clone(),
             monitor: WorkloadMonitor::new(config.threshold),
@@ -163,8 +186,14 @@ impl Hyrd {
             health,
             integrity: IntegrityIndex::new(),
             counters: FaultCounters::default(),
+            telemetry,
             config,
         })
+    }
+
+    /// The attached telemetry collector (disabled for [`Hyrd::new`]).
+    pub fn telemetry(&self) -> &Collector {
+        &self.telemetry
     }
 
     /// Attaches to an **existing** namespace: builds a client and loads
@@ -299,12 +328,23 @@ impl Hyrd {
                 detail: format!("{id} not in fleet"),
             })?
             .clone();
+        let _span = self.telemetry.span_labeled("recover_provider", provider.name());
         // The provider is declaredly back: give it a clean bill of health
         // so the replay and the reads that follow are not short-circuited
         // by a breaker left open from its bad spell.
         self.health.reset(id);
         // Phase 2a: replay whole-object writes the provider missed.
         let (mut report, mut batch) = self.log.replay(provider.as_ref())?;
+        if self.telemetry.enabled() {
+            self.telemetry
+                .event("recovery.replay")
+                .field("provider", provider.name())
+                .field("puts", report.puts_replayed)
+                .field("removes", report.removes_replayed)
+                .field("bytes", report.bytes_restored)
+                .emit();
+            self.telemetry.inc("recovery.replays", 1);
+        }
         // Phase 2b: rebuild fragments dirtied by degraded updates.
         let lookup = {
             let fleet = self.fleet.clone();
@@ -331,12 +371,22 @@ impl Hyrd {
                 match crate::ecops::rebuild_fragment(
                     self.code.as_code(),
                     &lookup,
+                    &self.telemetry,
                     &layout,
                     &fragments,
                     idx,
                     &path,
                 ) {
                     Ok((b, bytes)) => {
+                        if self.telemetry.enabled() {
+                            self.telemetry
+                                .event("recovery.rebuild")
+                                .field("path", path.as_str())
+                                .field("fragment", idx as u64)
+                                .field("bytes", bytes)
+                                .emit();
+                            self.telemetry.inc("recovery.rebuilds", 1);
+                        }
                         report.puts_replayed += 1;
                         report.bytes_restored += bytes;
                         batch = batch.then(b);
@@ -376,16 +426,26 @@ impl Hyrd {
         mut op: impl FnMut(&SimProvider) -> CloudResult<T>,
     ) -> CloudResult<T> {
         if !self.health.probe(id, self.now()) {
-            self.counters.note_breaker_rejection();
+            self.note_breaker_reject(id);
             return Err(CloudError::Unavailable { provider: id });
         }
         let provider = self.provider(id).clone();
         let clock = self.fleet.clock().clone();
         let policy = self.config.retry;
+        let telemetry = &self.telemetry;
         let mut retries = 0u32;
         let result = policy.run_with(
             |delay| {
                 retries += 1;
+                if telemetry.enabled() {
+                    telemetry
+                        .event("retry.backoff")
+                        .field("provider", provider.name())
+                        .field("attempt", retries as u64)
+                        .field("delay_ns", delay.as_nanos() as u64)
+                        .emit();
+                    telemetry.inc_labeled("retry.backoffs", provider.name(), 1);
+                }
                 clock.advance(delay);
             },
             || op(provider.as_ref()),
@@ -403,6 +463,45 @@ impl Hyrd {
                 }
                 Err(e)
             }
+        }
+    }
+
+    /// Starts a wall-clock timer, but only when telemetry is enabled.
+    /// Wall timings land in registry histograms only — never in the
+    /// trace, which is stamped purely with virtual time so same-seed
+    /// runs stay byte-identical.
+    fn wall_start(&self) -> Option<std::time::Instant> {
+        self.telemetry.enabled().then(std::time::Instant::now)
+    }
+
+    fn observe_wall(&self, metric: &str, started: Option<std::time::Instant>) {
+        if let Some(t0) = started {
+            self.telemetry.observe(metric, t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Counts a breaker rejection and traces which provider was refused.
+    fn note_breaker_reject(&self, id: ProviderId) {
+        self.counters.note_breaker_rejection();
+        if self.telemetry.enabled() {
+            self.telemetry
+                .event("breaker.reject")
+                .field("provider", self.provider(id).name())
+                .emit();
+            self.telemetry.inc_labeled("breaker.rejects", self.provider(id).name(), 1);
+        }
+    }
+
+    /// Counts a detected integrity failure and traces the object.
+    fn note_corruption(&self, id: ProviderId, object: &str) {
+        self.counters.note_corruption();
+        if self.telemetry.enabled() {
+            self.telemetry
+                .event("integrity.corrupt")
+                .field("provider", self.provider(id).name())
+                .field("object", object)
+                .emit();
+            self.telemetry.inc("integrity.corruptions", 1);
         }
     }
 
@@ -477,12 +576,16 @@ impl Hyrd {
                 // Open breaker: skip the call, log the write like an
                 // outage miss. If it turns out no target takes the write
                 // we come back to these below.
-                self.counters.note_breaker_rejection();
+                self.note_breaker_reject(t);
                 rejected.push(t);
                 self.log.log_put(t, key.clone(), data.clone());
                 continue;
             }
-            match self.guarded(t, |p| p.put(&key, data.clone())) {
+            let put = {
+                let _put = self.telemetry.span_labeled("put_replica", self.provider(t).name());
+                self.guarded(t, |p| p.put(&key, data.clone()))
+            };
+            match put {
                 Ok(out) => {
                     ops.push(out.report);
                     live += 1;
@@ -574,7 +677,18 @@ impl Hyrd {
         // Split + encode (rayon-parallel for multi-MB objects).
         let (layout, shards) = self.planner.split(data);
         let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
-        let parity = encode_parallel(self.code.as_code(), &refs)?;
+        let parity = {
+            let _enc = self
+                .telemetry
+                .span_with("ec.encode")
+                .field("bytes", data.len() as u64)
+                .field("m", self.config.code.m() as u64)
+                .start();
+            let wall = self.wall_start();
+            let parity = encode_parallel(self.code.as_code(), &refs)?;
+            self.observe_wall("ec.encode_wall_ns", wall);
+            parity
+        };
 
         let mut fragments: Vec<(ProviderId, String)> = Vec::with_capacity(targets.len());
         let mut ops = Vec::new();
@@ -587,11 +701,16 @@ impl Hyrd {
             let bytes = Bytes::from(shard);
             self.integrity.record(&name, &bytes);
             if !self.health.admits(target, self.now()) {
-                self.counters.note_breaker_rejection();
+                self.note_breaker_reject(target);
                 self.log.log_put(target, key, bytes.clone());
                 rejected.push((target, name.clone(), bytes));
             } else {
-                match self.guarded(target, |p| p.put(&key, bytes.clone())) {
+                let put = {
+                    let _put =
+                        self.telemetry.span_labeled("put_fragment", self.provider(target).name());
+                    self.guarded(target, |p| p.put(&key, bytes.clone()))
+                };
+                match put {
                     Ok(out) => {
                         ops.push(out.report);
                         live += 1;
@@ -675,10 +794,15 @@ impl Hyrd {
             // are per-attempt); a second mismatch means the *stored*
             // copy is bad, so fail over and leave it to scrub.
             for _ in 0..2 {
-                match self.guarded(id, |p| p.get(&key)) {
+                let fetched = {
+                    let _get =
+                        self.telemetry.span_labeled("fetch_replica", self.provider(id).name());
+                    self.guarded(id, |p| p.get(&key))
+                };
+                match fetched {
                     Ok(out) => match self.check(id, object, &out.value) {
                         Verdict::Corrupt => {
-                            self.counters.note_corruption();
+                            self.note_corruption(id, object);
                             ops.push(out.report);
                             continue;
                         }
@@ -735,6 +859,18 @@ impl Hyrd {
             )
         });
 
+        if self.telemetry.enabled() && candidates.len() < fragments.len() {
+            // Some fragment was unreachable or stale: this read runs
+            // degraded (or fails below) — worth a mark either way.
+            self.telemetry
+                .event("read.degraded")
+                .field("path", path)
+                .field("reachable", candidates.len() as u64)
+                .field("total", fragments.len() as u64)
+                .emit();
+            self.telemetry.inc("read.degraded", 1);
+        }
+
         let m = layout.m;
         if candidates.len() < m {
             return Err(SchemeError::DataUnavailable {
@@ -759,10 +895,15 @@ impl Hyrd {
             // per-attempt; a repeat means the stored fragment is bad and
             // decode must route around it (scrub repairs it later).
             for _ in 0..2 {
-                match self.guarded(p, |prov| prov.get(&key)) {
+                let fetched = {
+                    let _get =
+                        self.telemetry.span_labeled("fetch_fragment", self.provider(p).name());
+                    self.guarded(p, |prov| prov.get(&key))
+                };
+                match fetched {
                     Ok(out) => match self.check(p, name, &out.value) {
                         Verdict::Corrupt => {
-                            self.counters.note_corruption();
+                            self.note_corruption(p, name);
                             ops.push(out.report);
                             continue;
                         }
@@ -784,7 +925,18 @@ impl Hyrd {
                 detail: "fragment fetches failed mid-read".to_string(),
             });
         }
-        let object = decode_object_parallel(self.code.as_code(), &self.planner, layout, &got)?;
+        let object = {
+            let _dec = self
+                .telemetry
+                .span_with("ec.decode")
+                .field("path", path)
+                .field("fragments", got.len() as u64)
+                .start();
+            let wall = self.wall_start();
+            let object = decode_object_parallel(self.code.as_code(), &self.planner, layout, &got)?;
+            self.observe_wall("ec.decode_wall_ns", wall);
+            object
+        };
         Ok((Bytes::from(object), BatchReport::parallel(ops)))
     }
 
@@ -877,7 +1029,7 @@ impl Hyrd {
         let mut rejected: Vec<ProviderId> = Vec::new();
         for &t in &providers {
             if !self.health.admits(t, self.now()) {
-                self.counters.note_breaker_rejection();
+                self.note_breaker_reject(t);
                 rejected.push(t);
                 self.log.log_put(t, key.clone(), bytes.clone());
                 continue;
@@ -954,6 +1106,7 @@ impl Hyrd {
         let outcome = crate::ecops::ranged_update(
             self.code.as_code(),
             &lookup,
+            &self.telemetry,
             &layout,
             &fragments,
             path.as_str(),
@@ -1000,6 +1153,12 @@ impl Hyrd {
 
     /// Creates a file, classifying it through the Workload Monitor.
     pub fn create_file(&mut self, path: &str, data: &[u8]) -> SchemeResult<BatchReport> {
+        let _span = self
+            .telemetry
+            .span_with("create_file")
+            .field("path", path)
+            .field("bytes", data.len() as u64)
+            .start();
         let path = NormPath::parse(path)?;
         match self.monitor.classify(data.len() as u64) {
             DataClass::SmallFile | DataClass::Metadata => self.create_small(&path, data),
@@ -1009,6 +1168,7 @@ impl Hyrd {
 
     /// Reads a whole file (degraded reads during outages are automatic).
     pub fn read_file(&mut self, path: &str) -> SchemeResult<(Bytes, BatchReport)> {
+        let _span = self.telemetry.span_with("read_file").field("path", path).start();
         let npath = NormPath::parse(path)?;
         // Borrow the placement rather than cloning it: the fragment name
         // list can be long for wide codes and the read path is hot. The
@@ -1035,7 +1195,7 @@ impl Hyrd {
                     {
                         if let Ok(out) = self.guarded(*p, |prov| prov.get(&hot_key)) {
                             match self.check(*p, name, &out.value) {
-                                Verdict::Corrupt => self.counters.note_corruption(),
+                                Verdict::Corrupt => self.note_corruption(*p, name),
                                 Verdict::Verified | Verdict::Unknown => {
                                     return Ok((
                                         out.value,
@@ -1045,6 +1205,12 @@ impl Hyrd {
                             }
                         }
                     }
+                }
+                if self.telemetry.enabled() && hot_copy.is_some() {
+                    // The fast whole-object path existed but could not
+                    // serve this read (stale, rejected or corrupt).
+                    self.telemetry.event("read.fallback").field("path", path).emit();
+                    self.telemetry.inc("read.fallbacks", 1);
                 }
                 let (bytes, batch) = self.read_erasure(path, layout, fragments)?;
                 let batch = self.maybe_cache_hot(&npath, &bytes, batch);
@@ -1060,6 +1226,13 @@ impl Hyrd {
         offset: u64,
         data: &[u8],
     ) -> SchemeResult<BatchReport> {
+        let _span = self
+            .telemetry
+            .span_with("update_file")
+            .field("path", path)
+            .field("offset", offset)
+            .field("bytes", data.len() as u64)
+            .start();
         let npath = NormPath::parse(path)?;
         let inode = self.meta.get(&npath)?;
         let size = inode.size;
@@ -1087,6 +1260,7 @@ impl Hyrd {
 
     /// Deletes a file and its physical objects.
     pub fn delete_file(&mut self, path: &str) -> SchemeResult<BatchReport> {
+        let _span = self.telemetry.span_with("delete_file").field("path", path).start();
         let npath = NormPath::parse(path)?;
         let inode = self.meta.remove_file(&npath)?;
         self.cache.remove(path);
@@ -1126,6 +1300,7 @@ impl Hyrd {
     /// available replica first (the metadata access the workload studies
     /// say dominates).
     pub fn list_dir(&mut self, path: &str) -> SchemeResult<(Vec<String>, BatchReport)> {
+        let _span = self.telemetry.span_with("list_dir").field("path", path).start();
         let npath = NormPath::parse(path)?;
         let name = MetadataBlock::object_name(&npath);
         let targets = self.replica_targets();

@@ -9,6 +9,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use hyrd_cloudsim::SimClock;
+use hyrd_telemetry::Collector;
 use hyrd_workloads::FsOp;
 
 use crate::scheme::Scheme;
@@ -25,6 +26,10 @@ pub struct ReplayOptions {
     pub advance_clock: bool,
     /// Small/large boundary used for *reporting* (class breakdown).
     pub stats_threshold: u64,
+    /// Trace collector: each replayed request emits a `replay.op` event
+    /// (class, latency, provider ops) and bumps per-class counters.
+    /// Disabled by default.
+    pub telemetry: Collector,
 }
 
 impl Default for ReplayOptions {
@@ -33,6 +38,7 @@ impl Default for ReplayOptions {
             verify_reads: false,
             advance_clock: true,
             stats_threshold: 1024 * 1024,
+            telemetry: Collector::disabled(),
         }
     }
 }
@@ -183,6 +189,18 @@ pub fn replay_with_state(
         stats.provider_ops += batch.op_count() as u64;
         stats.bytes_in += batch.bytes_in();
         stats.bytes_out += batch.bytes_out();
+        if opts.telemetry.enabled() {
+            let class = class.to_string();
+            opts.telemetry
+                .event("replay.op")
+                .field("class", class.as_str())
+                .field("latency_ns", batch.latency.as_nanos() as u64)
+                .field("provider_ops", batch.op_count() as u64)
+                .emit();
+            opts.telemetry.inc_labeled("replay.ops", &class, 1);
+            opts.telemetry
+                .observe_labeled("replay.latency_ns", &class, batch.latency.as_nanos() as u64);
+        }
         if opts.advance_clock {
             clock.advance(batch.latency);
         }

@@ -33,6 +33,7 @@ use hyrd_gfec::update::{
     apply_ranged_update_multi, parity_window, plan_update, recompute_parity_windows,
 };
 use hyrd_gfec::{ErasureCode, Fragment};
+use hyrd_telemetry::Collector;
 
 use crate::scheme::{SchemeError, SchemeResult};
 
@@ -111,12 +112,19 @@ pub struct EcUpdateOutcome {
 pub fn ranged_update<C: ErasureCode + ?Sized>(
     code: &C,
     lookup: &dyn Fn(ProviderId) -> Arc<SimProvider>,
+    telemetry: &Collector,
     layout: &FragmentLayout,
     fragments: &[(ProviderId, String)],
     path: &str,
     offset: usize,
     data: &[u8],
 ) -> SchemeResult<EcUpdateOutcome> {
+    let _span = telemetry
+        .span_with("ec.update")
+        .field("path", path)
+        .field("offset", offset as u64)
+        .field("bytes", data.len() as u64)
+        .start();
     let plan = plan_update(layout, offset, data.len())?;
     let coeffs = code.parity_coefficients();
     let (lo, hi) = parity_window(&plan.touched);
@@ -143,8 +151,12 @@ pub fn ranged_update<C: ErasureCode + ?Sized>(
             old_parities.push(out.value.to_vec());
         }
 
+        let wall = telemetry.enabled().then(std::time::Instant::now);
         let (new_segments, new_parities) =
             apply_ranged_update_multi(&plan.touched, &old_segments, &old_parities, data, &coeffs)?;
+        if let Some(t0) = wall {
+            telemetry.observe("ec.update_wall_ns", t0.elapsed().as_nanos() as u64);
+        }
 
         // Writes are not allowed to abort the stripe half-written: a
         // provider that fails mid-phase (a transient burst, say) just
@@ -181,6 +193,15 @@ pub fn ranged_update<C: ErasureCode + ?Sized>(
 
     // Degraded update: decode the window from any m reachable fragments.
     let reachable: Vec<usize> = (0..layout.n).filter(|&i| up(i)).collect();
+    if telemetry.enabled() {
+        telemetry
+            .event("update.degraded")
+            .field("path", path)
+            .field("reachable", reachable.len() as u64)
+            .field("total", layout.n as u64)
+            .emit();
+        telemetry.inc("update.degraded", 1);
+    }
     if reachable.len() < layout.m {
         return Err(SchemeError::DataUnavailable {
             path: path.to_string(),
@@ -209,7 +230,11 @@ pub fn ranged_update<C: ErasureCode + ?Sized>(
     }
     // Decode the data windows; code.reconstruct works positionwise, so
     // feeding it window slices is valid for these linear codes.
+    let wall = telemetry.enabled().then(std::time::Instant::now);
     let mut data_windows = code.reconstruct(&window_frags, hi - lo)?;
+    if let Some(t0) = wall {
+        telemetry.observe("ec.update_wall_ns", t0.elapsed().as_nanos() as u64);
+    }
 
     // Patch the new bytes into the decoded windows.
     let mut consumed = 0usize;
@@ -253,11 +278,17 @@ pub fn ranged_update<C: ErasureCode + ?Sized>(
 pub fn rebuild_fragment<C: ErasureCode + ?Sized>(
     code: &C,
     lookup: &dyn Fn(ProviderId) -> Arc<SimProvider>,
+    telemetry: &Collector,
     layout: &FragmentLayout,
     fragments: &[(ProviderId, String)],
     target: usize,
     path: &str,
 ) -> SchemeResult<(BatchReport, u64)> {
+    let _span = telemetry
+        .span_with("ec.rebuild")
+        .field("path", path)
+        .field("fragment", target as u64)
+        .start();
     if target >= fragments.len() {
         return Err(SchemeError::Code(hyrd_gfec::GfecError::BadFragmentIndex {
             index: target,
@@ -286,6 +317,7 @@ pub fn rebuild_fragment<C: ErasureCode + ?Sized>(
             detail: format!("only {} survivors for rebuild, need {}", got.len(), layout.m),
         });
     }
+    let wall = telemetry.enabled().then(std::time::Instant::now);
     let mut shards = reconstruct_parallel(code, &got, layout.shard_len)?;
     let bytes = if target < layout.m {
         shards.swap_remove(target)
@@ -293,6 +325,9 @@ pub fn rebuild_fragment<C: ErasureCode + ?Sized>(
         let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
         encode_parallel(code, &refs)?.swap_remove(target - layout.m)
     };
+    if let Some(t0) = wall {
+        telemetry.observe("ec.rebuild_wall_ns", t0.elapsed().as_nanos() as u64);
+    }
     let n = bytes.len() as u64;
     let (pid, name) = &fragments[target];
     let out = lookup(*pid).put(&key(name), Bytes::from(bytes))?;
@@ -350,8 +385,9 @@ mod tests {
         let (fleet, code, layout, map) = setup(&obj);
         let lookup = |id: ProviderId| fleet.get(id).unwrap().clone();
         let patch = vec![0xEEu8; 100];
+        let off = Collector::disabled();
         let out =
-            ranged_update(&code, &lookup, &layout, &map, "/t", 500, &patch).unwrap();
+            ranged_update(&code, &lookup, &off, &layout, &map, "/t", 500, &patch).unwrap();
         assert!(out.missed.is_empty());
         obj[500..600].copy_from_slice(&patch);
         assert_eq!(read_all(&fleet, &code, &layout, &map), obj);
@@ -367,7 +403,8 @@ mod tests {
         let victim = map[0].0;
         fleet.get(victim).unwrap().force_down();
         let patch = vec![0xABu8; 64];
-        let out = ranged_update(&code, &lookup, &layout, &map, "/t", 10, &patch).unwrap();
+        let off = Collector::disabled();
+        let out = ranged_update(&code, &lookup, &off, &layout, &map, "/t", 10, &patch).unwrap();
         assert_eq!(out.missed, vec![0], "fragment 0 missed the write");
         obj[10..74].copy_from_slice(&patch);
 
@@ -376,7 +413,7 @@ mod tests {
         // restore+rebuild).
         fleet.get(victim).unwrap().restore();
         let (batch, bytes) =
-            rebuild_fragment(&code, &lookup, &layout, &map, 0, "/t").unwrap();
+            rebuild_fragment(&code, &lookup, &off, &layout, &map, 0, "/t").unwrap();
         assert!(bytes > 0);
         assert!(batch.op_count() >= 4, "m reads + 1 write");
         assert_eq!(read_all(&fleet, &code, &layout, &map), obj);
@@ -418,7 +455,8 @@ mod tests {
         let lookup = |id: ProviderId| fleet.get(id).unwrap().clone();
         fleet.get(map[0].0).unwrap().force_down();
         fleet.get(map[1].0).unwrap().force_down();
-        let r = ranged_update(&code, &lookup, &layout, &map, "/t", 0, &[0u8; 8]);
+        let off = Collector::disabled();
+        let r = ranged_update(&code, &lookup, &off, &layout, &map, "/t", 0, &[0u8; 8]);
         assert!(matches!(r, Err(SchemeError::DataUnavailable { .. })));
     }
 }

@@ -18,6 +18,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use hyrd_gcsapi::ProviderId;
+use hyrd_telemetry::Collector;
 
 /// Circuit-breaker tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -135,24 +136,58 @@ impl CircuitBreaker {
     }
 }
 
+/// Short state label for telemetry events (streak counts and cooldown
+/// deadlines are payload, not state identity).
+fn state_name(s: BreakerState) -> &'static str {
+    match s {
+        BreakerState::Closed { .. } => "closed",
+        BreakerState::Open { .. } => "open",
+        BreakerState::HalfOpen => "half_open",
+    }
+}
+
 /// The dispatcher's per-provider breaker map. Interior mutability so the
 /// read paths (which take `&self`) can record outcomes.
 #[derive(Debug, Default)]
 pub struct HealthTracker {
     settings: BreakerSettings,
     breakers: Mutex<BTreeMap<ProviderId, CircuitBreaker>>,
+    telemetry: Collector,
 }
 
 impl HealthTracker {
     /// A tracker with the given settings (every provider starts closed).
     pub fn new(settings: BreakerSettings) -> Self {
-        HealthTracker { settings, breakers: Mutex::new(BTreeMap::new()) }
+        HealthTracker {
+            settings,
+            breakers: Mutex::new(BTreeMap::new()),
+            telemetry: Collector::disabled(),
+        }
+    }
+
+    /// Installs a telemetry collector: every breaker state *transition*
+    /// (closed → open, open → half-open, half-open → closed, …) is emitted
+    /// as a `breaker.transition` event from then on.
+    pub fn set_telemetry(&mut self, collector: Collector) {
+        self.telemetry = collector;
     }
 
     fn with<T>(&self, id: ProviderId, f: impl FnOnce(&mut CircuitBreaker) -> T) -> T {
         let mut map = self.breakers.lock();
         let breaker = map.entry(id).or_insert_with(|| CircuitBreaker::new(self.settings));
-        f(breaker)
+        let before = breaker.state();
+        let out = f(breaker);
+        let after = breaker.state();
+        if self.telemetry.enabled() && state_name(before) != state_name(after) {
+            self.telemetry
+                .event("breaker.transition")
+                .field("provider", u64::from(id.0))
+                .field("from", state_name(before))
+                .field("to", state_name(after))
+                .emit();
+            self.telemetry.inc("breaker.transitions", 1);
+        }
+        out
     }
 
     /// Consuming admission check for a call happening now (see
@@ -313,6 +348,45 @@ mod tests {
         t.reset(a);
         assert!(t.admits(a, secs(2)), "reset closes the breaker immediately");
         assert_eq!(t.trips(), 1, "reset does not erase history");
+    }
+
+    #[test]
+    fn tracker_emits_transition_events_not_streak_noise() {
+        use hyrd_telemetry::{Collector, ManualClock, TraceRecord};
+        use std::sync::Arc;
+
+        let collector = Collector::builder(Arc::new(ManualClock::new())).ring(64).build();
+        let mut t = HealthTracker::new(BreakerSettings { trip_after: 3, cooldown: secs(10) });
+        t.set_telemetry(collector.clone());
+        let id = ProviderId(2);
+
+        t.record_failure(id, secs(1)); // closed streak 1: same state kind, no event
+        t.record_failure(id, secs(2)); // closed streak 2
+        t.record_failure(id, secs(3)); // trips: closed → open
+        assert!(t.probe(id, secs(13)), "cooldown over"); // open → half_open
+        t.record_success(id); // half_open → closed
+
+        let transitions: Vec<(String, String)> = collector
+            .ring_records()
+            .iter()
+            .filter(|r| r.is_event("breaker.transition"))
+            .map(|r| {
+                (
+                    r.field_str("from").unwrap().to_string(),
+                    r.field_str("to").unwrap().to_string(),
+                )
+            })
+            .collect();
+        let expect = |a: &str, b: &str| (a.to_string(), b.to_string());
+        assert_eq!(
+            transitions,
+            vec![
+                expect("closed", "open"),
+                expect("open", "half_open"),
+                expect("half_open", "closed"),
+            ]
+        );
+        assert_eq!(collector.counter("breaker.transitions"), 3);
     }
 
     #[test]

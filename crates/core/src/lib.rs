@@ -74,6 +74,10 @@ pub use recovery::{LogRecord, RecoveryReport, UpdateLog};
 pub use scheme::{Scheme, SchemeError, SchemeResult};
 pub use scrub::ScrubReport;
 
+/// Structured tracing and metrics ([`hyrd_telemetry`]), re-exported so
+/// downstream crates need no direct dependency.
+pub use hyrd_telemetry as telemetry;
+
 /// One-stop imports for examples and benches.
 pub mod prelude {
     pub use crate::config::{CodeChoice, FragmentSelection, HyrdConfig};

@@ -62,6 +62,19 @@ impl ScrubReport {
 }
 
 impl Hyrd {
+    /// Traces a digest mismatch found by the sweep (distinct from
+    /// `integrity.corrupt`, which marks read-path detections).
+    fn note_scrub_corrupt(&self, provider: ProviderId, object: &str) {
+        if self.telemetry.enabled() {
+            self.telemetry
+                .event("scrub.corrupt")
+                .field("provider", self.provider(provider).name())
+                .field("object", object)
+                .emit();
+            self.telemetry.inc("scrub.corruptions", 1);
+        }
+    }
+
     /// Whether scrub may touch `provider`'s copy of `object` right now.
     fn scrubbable(&self, provider: ProviderId, name: &str) -> bool {
         self.provider(provider).is_available()
@@ -98,6 +111,14 @@ impl Hyrd {
         match self.guarded(provider, |p| p.put(&key, good.clone())) {
             Ok(out) => {
                 ops.push(out.report);
+                if self.telemetry.enabled() {
+                    self.telemetry
+                        .event("scrub.repair")
+                        .field("provider", self.provider(provider).name())
+                        .field("object", name)
+                        .emit();
+                    self.telemetry.inc("scrub.repairs", 1);
+                }
                 true
             }
             Err(_) => false,
@@ -137,6 +158,7 @@ impl Hyrd {
                     }
                     Verdict::Corrupt => {
                         report.corrupt_detected += 1;
+                        self.note_scrub_corrupt(*p, object);
                         bad.push(*p);
                     }
                     Verdict::Unknown => unreachable!("digest is on record"),
@@ -186,6 +208,7 @@ impl Hyrd {
                 let verdict = self.integrity.verify(name, &bytes);
                 if verdict == Verdict::Corrupt {
                     report.corrupt_detected += 1;
+                    self.note_scrub_corrupt(*p, name);
                 }
                 fetched.push((i, *p, bytes, verdict));
             }
@@ -260,6 +283,7 @@ impl Hyrd {
                     report.objects_swept += 1;
                     if bytes[..] != object[..] {
                         report.corrupt_detected += 1;
+                        self.note_scrub_corrupt(*p, name);
                         let good = Bytes::from(object.clone());
                         if self.scrub_rewrite(*p, name, &good, ops) {
                             report.repaired += 1;
@@ -282,6 +306,7 @@ impl Hyrd {
     /// was found/fixed plus the op accounting (scrub is background
     /// traffic: latencies sum serially).
     pub fn scrub(&mut self) -> SchemeResult<(ScrubReport, BatchReport)> {
+        let _span = self.telemetry.span("scrub");
         let mut report = ScrubReport::default();
         let mut ops: Vec<OpReport> = Vec::new();
 

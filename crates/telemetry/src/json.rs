@@ -1,0 +1,62 @@
+//! Minimal JSON emission helpers.
+//!
+//! The trace writer hand-rolls its JSON instead of going through a generic
+//! serializer so that the byte-level output is fully under this crate's
+//! control: field order is fixed in code, numbers use Rust's shortest
+//! round-trip formatting, and nothing about the output can drift with a
+//! dependency upgrade. That is what makes the "two runs, same seed,
+//! byte-identical traces" CI gate cheap to uphold.
+
+use std::fmt::Write as _;
+
+/// Append `s` as a JSON string literal (with quotes) to `out`.
+pub(crate) fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a JSON number for `v`. Uses `{}` (shortest round-trip) formatting;
+/// non-finite values have no JSON representation and are emitted as `null`.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_str_escaped(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn f64_formats() {
+        let mut s = String::new();
+        push_f64(&mut s, 0.5);
+        s.push(',');
+        push_f64(&mut s, 3.0);
+        s.push(',');
+        push_f64(&mut s, f64::NAN);
+        assert_eq!(s, "0.5,3,null");
+    }
+}

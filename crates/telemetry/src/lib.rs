@@ -1,0 +1,812 @@
+//! `hyrd-telemetry`: virtual-clock tracing and metrics for the HyRD stack.
+//!
+//! The central type is [`Collector`] — a cheaply cloneable handle that is
+//! either *disabled* (the default; every call is a no-op and allocates
+//! nothing) or *enabled*, in which case it stamps structured spans and
+//! events with a [`TelemetryClock`] and fans them out to sinks:
+//!
+//! * a JSONL trace writer (one [`TraceRecord`] per line, schema
+//!   [`TRACE_SCHEMA_VERSION`]),
+//! * an in-memory ring buffer for tests ([`Collector::ring_records`]),
+//! * an aggregated flame-style summary ([`Collector::summary`]).
+//!
+//! Alongside the trace it keeps a [`Registry`] of counters, gauges and
+//! bounded log₂ [`Histogram`]s.
+//!
+//! Determinism is a design invariant, not an accident: with a fixed seed
+//! and the simulator's virtual clock, two identical runs emit
+//! byte-identical traces (timestamps included), so CI can diff them.
+//!
+//! ```
+//! use hyrd_telemetry::{Collector, ManualClock, SharedBuf};
+//! use std::sync::Arc;
+//!
+//! let clock = Arc::new(ManualClock::new());
+//! let buf = SharedBuf::new();
+//! let c = Collector::builder(clock.clone()).jsonl(buf.clone()).ring(64).build();
+//!
+//! let span = c.span("read_file");
+//! clock.advance(1_000);
+//! c.event("retry.backoff").field("delay_ns", 1_000u64).emit();
+//! drop(span);
+//! c.flush();
+//! assert!(buf.text().lines().count() == 4); // meta, start, event, end
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod hist;
+mod json;
+mod record;
+mod registry;
+mod summary;
+
+pub use hist::{Histogram, HIST_BUCKETS};
+pub use record::{Fields, IntoValue, TraceRecord, Value, TRACE_SCHEMA_VERSION};
+pub use registry::{HistogramSummary, MetricsSnapshot, Registry};
+pub use summary::{fmt_ns, SlowSpan};
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use summary::{slow_span_order, SpanAgg, PATH_SEP};
+
+/// Clock a collector stamps records with. Simulation code implements this
+/// for its virtual clock; [`WallClock`] is provided for real-time use.
+pub trait TelemetryClock: Send + Sync {
+    fn now_nanos(&self) -> u64;
+}
+
+/// A hand-cranked clock for tests.
+#[derive(Debug, Default)]
+pub struct ManualClock(AtomicU64);
+
+impl ManualClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn advance(&self, ns: u64) {
+        self.0.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    pub fn set(&self, ns: u64) {
+        self.0.store(ns, Ordering::SeqCst);
+    }
+}
+
+impl TelemetryClock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+impl TelemetryClock for Arc<ManualClock> {
+    fn now_nanos(&self) -> u64 {
+        self.as_ref().now_nanos()
+    }
+}
+
+/// Wall-clock time, anchored at construction. Traces stamped with this are
+/// *not* reproducible; the simulator uses its virtual clock instead.
+#[derive(Debug, Clone)]
+pub struct WallClock(std::time::Instant);
+
+impl WallClock {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        WallClock(std::time::Instant::now())
+    }
+}
+
+impl TelemetryClock for WallClock {
+    fn now_nanos(&self) -> u64 {
+        self.0.elapsed().as_nanos() as u64
+    }
+}
+
+/// Number of completed spans retained for [`Collector::slowest_spans`].
+const SLOW_CAP: usize = 32;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct OpenSpan {
+    name: String,
+    /// Full flame path including ancestors, e.g. `read_file → ec.decode`.
+    path: String,
+    start: u64,
+}
+
+struct Ring {
+    cap: usize,
+    buf: VecDeque<TraceRecord>,
+}
+
+struct State {
+    next_id: u64,
+    jsonl: Option<Box<dyn Write + Send>>,
+    ring: Option<Ring>,
+    /// Innermost-last stack of open span ids (the instrumented request path
+    /// is single-threaded; events attribute to the innermost open span).
+    stack: Vec<u64>,
+    open: BTreeMap<u64, OpenSpan>,
+    agg: BTreeMap<String, SpanAgg>,
+    slowest: Vec<SlowSpan>,
+    spans_ended: u64,
+}
+
+struct Inner {
+    clock: Box<dyn TelemetryClock>,
+    state: Mutex<State>,
+    registry: Registry,
+}
+
+impl Inner {
+    fn emit(&self, state: &mut State, rec: TraceRecord) {
+        if let Some(w) = state.jsonl.as_mut() {
+            let mut line = rec.to_json();
+            line.push('\n');
+            let _ = w.write_all(line.as_bytes());
+        }
+        if let Some(ring) = state.ring.as_mut() {
+            if ring.buf.len() == ring.cap {
+                ring.buf.pop_front();
+            }
+            ring.buf.push_back(rec);
+        }
+    }
+}
+
+/// Telemetry handle. `Collector::default()` / [`Collector::disabled`] is
+/// the no-op collector: every method returns immediately without touching a
+/// lock or allocating, so instrumentation can stay unconditionally in place
+/// on hot paths.
+#[derive(Clone, Default)]
+pub struct Collector(Option<Arc<Inner>>);
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector").field("enabled", &self.enabled()).finish()
+    }
+}
+
+impl Collector {
+    /// The no-op collector.
+    pub fn disabled() -> Self {
+        Collector(None)
+    }
+
+    /// Start building an enabled collector stamping records with `clock`.
+    pub fn builder(clock: impl TelemetryClock + 'static) -> CollectorBuilder {
+        CollectorBuilder {
+            clock: Box::new(clock),
+            clock_label: "virtual",
+            jsonl: None,
+            ring: None,
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Open a span. Close it by dropping the guard (or calling
+    /// [`SpanGuard::end`]).
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_with(name).start()
+    }
+
+    /// Open a span named `name[label]` — the conventional shape for
+    /// per-provider phases, e.g. `fetch_fragment[aliyun]`. The format only
+    /// happens when enabled.
+    pub fn span_labeled(&self, name: &str, label: &str) -> SpanGuard {
+        if self.0.is_none() {
+            return SpanGuard {
+                collector: Collector(None),
+                id: 0,
+            };
+        }
+        self.span_with(&format!("{name}[{label}]")).start()
+    }
+
+    /// Span builder, for attaching fields to the start record.
+    pub fn span_with(&self, name: &str) -> SpanBuilder<'_> {
+        SpanBuilder {
+            collector: self,
+            inner: self.0.as_ref().map(|_| (name.to_string(), Fields::new())),
+        }
+    }
+
+    /// Point event, attributed to the innermost open span.
+    pub fn event(&self, name: &str) -> EventBuilder<'_> {
+        EventBuilder {
+            collector: self,
+            inner: self.0.as_ref().map(|_| (name.to_string(), Fields::new())),
+        }
+    }
+
+    /// Increment counter `name`.
+    pub fn inc(&self, name: &str, by: u64) {
+        if let Some(i) = &self.0 {
+            i.registry.inc(name, by);
+        }
+    }
+
+    /// Increment counter `name[label]` (format deferred to the enabled path).
+    pub fn inc_labeled(&self, name: &str, label: &str, by: u64) {
+        if let Some(i) = &self.0 {
+            i.registry.inc(&format!("{name}[{label}]"), by);
+        }
+    }
+
+    /// Record `v` into histogram `name`.
+    pub fn observe(&self, name: &str, v: u64) {
+        if let Some(i) = &self.0 {
+            i.registry.observe(name, v);
+        }
+    }
+
+    /// Record `v` into histogram `name[label]`.
+    pub fn observe_labeled(&self, name: &str, label: &str, v: u64) {
+        if let Some(i) = &self.0 {
+            i.registry.observe(&format!("{name}[{label}]"), v);
+        }
+    }
+
+    pub fn set_gauge(&self, name: &str, v: i64) {
+        if let Some(i) = &self.0 {
+            i.registry.set_gauge(name, v);
+        }
+    }
+
+    /// Counter value (0 when disabled or never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.0.as_ref().map_or(0, |i| i.registry.counter(name))
+    }
+
+    /// Clone of histogram `name`, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.0.as_ref().and_then(|i| i.registry.histogram(name))
+    }
+
+    /// Snapshot of all metrics (empty when disabled).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.0
+            .as_ref()
+            .map_or_else(MetricsSnapshot::default, |i| i.registry.snapshot())
+    }
+
+    /// Contents of the ring-buffer sink, oldest first (empty when disabled
+    /// or no ring was configured).
+    pub fn ring_records(&self) -> Vec<TraceRecord> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(i) => {
+                let state = lock(&i.state);
+                state
+                    .ring
+                    .as_ref()
+                    .map_or_else(Vec::new, |r| r.buf.iter().cloned().collect())
+            }
+        }
+    }
+
+    /// The `k` slowest completed spans (deterministic order; at most
+    /// `SLOW_CAP` retained).
+    pub fn slowest_spans(&self, k: usize) -> Vec<SlowSpan> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(i) => {
+                let state = lock(&i.state);
+                state.slowest.iter().take(k).cloned().collect()
+            }
+        }
+    }
+
+    /// Render the flame-style summary of where (trace-clock) time went.
+    pub fn summary(&self) -> String {
+        match &self.0 {
+            None => String::new(),
+            Some(i) => {
+                let snapshot = i.registry.snapshot();
+                let state = lock(&i.state);
+                summary::render(&state.agg, state.spans_ended, &snapshot)
+            }
+        }
+    }
+
+    /// Flush the JSONL sink.
+    pub fn flush(&self) {
+        if let Some(i) = &self.0 {
+            let mut state = lock(&i.state);
+            if let Some(w) = state.jsonl.as_mut() {
+                let _ = w.flush();
+            }
+        }
+    }
+
+    /// Current trace-clock reading, when enabled. Lets instrumented code
+    /// measure durations on the same clock records are stamped with.
+    pub fn now_nanos(&self) -> Option<u64> {
+        self.0.as_ref().map(|i| i.clock.now_nanos())
+    }
+
+    fn start_span(&self, name: String, fields: Fields) -> SpanGuard {
+        let inner = match &self.0 {
+            None => {
+                return SpanGuard {
+                    collector: Collector(None),
+                    id: 0,
+                }
+            }
+            Some(i) => i,
+        };
+        let t = inner.clock.now_nanos();
+        let mut state = lock(&inner.state);
+        state.next_id += 1;
+        let id = state.next_id;
+        let parent = state.stack.last().copied();
+        let path = match parent.and_then(|p| state.open.get(&p)) {
+            Some(p) => format!("{}{PATH_SEP}{name}", p.path),
+            None => name.clone(),
+        };
+        state.open.insert(
+            id,
+            OpenSpan {
+                name: name.clone(),
+                path,
+                start: t,
+            },
+        );
+        state.stack.push(id);
+        inner.emit(
+            &mut state,
+            TraceRecord::SpanStart {
+                id,
+                parent,
+                name,
+                t,
+                fields,
+            },
+        );
+        SpanGuard {
+            collector: self.clone(),
+            id,
+        }
+    }
+
+    fn end_span(&self, id: u64) {
+        let inner = match &self.0 {
+            None => return,
+            Some(i) => i,
+        };
+        let t = inner.clock.now_nanos();
+        let mut state = lock(&inner.state);
+        let span = match state.open.remove(&id) {
+            None => return, // already ended explicitly
+            Some(s) => s,
+        };
+        // Normally LIFO; remove by value to stay correct if guards are
+        // dropped out of order.
+        if state.stack.last() == Some(&id) {
+            state.stack.pop();
+        } else {
+            state.stack.retain(|&s| s != id);
+        }
+        let dur_ns = t.saturating_sub(span.start);
+        let agg = state.agg.entry(span.path.clone()).or_default();
+        agg.count += 1;
+        agg.total_ns += dur_ns;
+        let slow = SlowSpan {
+            path: span.path,
+            dur_ns,
+            start_ns: span.start,
+        };
+        state.slowest.push(slow);
+        state.slowest.sort_by(slow_span_order);
+        state.slowest.truncate(SLOW_CAP);
+        state.spans_ended += 1;
+        inner.emit(
+            &mut state,
+            TraceRecord::SpanEnd {
+                id,
+                name: span.name,
+                t,
+                dur_ns,
+                fields: Fields::new(),
+            },
+        );
+    }
+
+    fn emit_event(&self, name: String, fields: Fields) {
+        let inner = match &self.0 {
+            None => return,
+            Some(i) => i,
+        };
+        let t = inner.clock.now_nanos();
+        let mut state = lock(&inner.state);
+        let span = state.stack.last().copied();
+        inner.emit(
+            &mut state,
+            TraceRecord::Event {
+                span,
+                name,
+                t,
+                fields,
+            },
+        );
+    }
+}
+
+/// Builder for an enabled [`Collector`].
+pub struct CollectorBuilder {
+    clock: Box<dyn TelemetryClock>,
+    clock_label: &'static str,
+    jsonl: Option<Box<dyn Write + Send>>,
+    ring: Option<usize>,
+}
+
+impl CollectorBuilder {
+    /// Attach a JSONL trace sink.
+    pub fn jsonl(mut self, w: impl Write + Send + 'static) -> Self {
+        self.jsonl = Some(Box::new(w));
+        self
+    }
+
+    /// Attach an in-memory ring buffer keeping the last `cap` records.
+    pub fn ring(mut self, cap: usize) -> Self {
+        self.ring = Some(cap.max(1));
+        self
+    }
+
+    /// Label for the clock domain in the trace's meta record (default
+    /// `"virtual"`; pass `"wall"` with [`WallClock`]).
+    pub fn clock_label(mut self, label: &'static str) -> Self {
+        self.clock_label = label;
+        self
+    }
+
+    /// Build the collector and emit the leading meta record.
+    pub fn build(self) -> Collector {
+        let t = self.clock.now_nanos();
+        let inner = Inner {
+            clock: self.clock,
+            state: Mutex::new(State {
+                next_id: 0,
+                jsonl: self.jsonl,
+                ring: self.ring.map(|cap| Ring {
+                    cap,
+                    buf: VecDeque::with_capacity(cap.min(1024)),
+                }),
+                stack: Vec::new(),
+                open: BTreeMap::new(),
+                agg: BTreeMap::new(),
+                slowest: Vec::new(),
+                spans_ended: 0,
+            }),
+            registry: Registry::default(),
+        };
+        {
+            let mut state = lock(&inner.state);
+            let meta = TraceRecord::Meta {
+                schema: TRACE_SCHEMA_VERSION,
+                clock: self.clock_label.to_string(),
+                t,
+            };
+            inner.emit(&mut state, meta);
+        }
+        Collector(Some(Arc::new(inner)))
+    }
+}
+
+/// RAII guard closing its span on drop.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard {
+    collector: Collector,
+    id: u64,
+}
+
+impl SpanGuard {
+    /// The span id (0 when telemetry is disabled).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Close the span now.
+    pub fn end(self) {
+        drop(self);
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.collector.0.is_some() {
+            self.collector.end_span(self.id);
+        }
+    }
+}
+
+/// Builder attaching fields to a span-start record.
+pub struct SpanBuilder<'c> {
+    collector: &'c Collector,
+    inner: Option<(String, Fields)>,
+}
+
+impl SpanBuilder<'_> {
+    pub fn field(mut self, key: &str, v: impl IntoValue) -> Self {
+        if let Some((_, f)) = &mut self.inner {
+            f.insert(key.to_string(), v.into_value());
+        }
+        self
+    }
+
+    pub fn start(self) -> SpanGuard {
+        match self.inner {
+            None => SpanGuard {
+                collector: Collector(None),
+                id: 0,
+            },
+            Some((name, fields)) => self.collector.start_span(name, fields),
+        }
+    }
+}
+
+/// Builder attaching fields to a point event.
+pub struct EventBuilder<'c> {
+    collector: &'c Collector,
+    inner: Option<(String, Fields)>,
+}
+
+impl EventBuilder<'_> {
+    pub fn field(mut self, key: &str, v: impl IntoValue) -> Self {
+        if let Some((_, f)) = &mut self.inner {
+            f.insert(key.to_string(), v.into_value());
+        }
+        self
+    }
+
+    pub fn emit(self) {
+        if let Some((name, fields)) = self.inner {
+            self.collector.emit_event(name, fields);
+        }
+    }
+}
+
+/// Cloneable in-memory byte sink for JSONL traces in tests and drills.
+#[derive(Clone, Default)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn contents(&self) -> Vec<u8> {
+        lock(&self.0).clone()
+    }
+
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.contents()).into_owned()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        lock(&self.0).extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manual() -> (Arc<ManualClock>, Collector, SharedBuf) {
+        let clock = Arc::new(ManualClock::new());
+        let buf = SharedBuf::new();
+        let c = Collector::builder(clock.clone())
+            .jsonl(buf.clone())
+            .ring(128)
+            .build();
+        (clock, c, buf)
+    }
+
+    #[test]
+    fn disabled_collector_is_inert() {
+        let c = Collector::disabled();
+        assert!(!c.enabled());
+        let g = c.span("nothing");
+        c.event("nope").field("k", 1u64).emit();
+        c.inc("n", 1);
+        c.inc_labeled("n", "l", 1);
+        c.observe("h", 5);
+        drop(g);
+        assert_eq!(c.counter("n"), 0);
+        assert!(c.ring_records().is_empty());
+        assert!(c.metrics().counters.is_empty());
+        assert_eq!(c.summary(), "");
+        assert!(c.slowest_spans(5).is_empty());
+        assert_eq!(c.now_nanos(), None);
+    }
+
+    #[test]
+    fn meta_record_carries_schema_version() {
+        let (_, c, _) = manual();
+        let recs = c.ring_records();
+        assert!(matches!(
+            &recs[0],
+            TraceRecord::Meta { schema, clock, .. }
+                if *schema == TRACE_SCHEMA_VERSION && clock == "virtual"
+        ));
+    }
+
+    #[test]
+    fn span_nesting_links_parents_and_paths() {
+        let (clock, c, _) = manual();
+        let outer = c.span("read_file");
+        clock.advance(10);
+        {
+            let _inner = c.span_labeled("fetch_fragment", "aliyun");
+            clock.advance(5);
+        }
+        clock.advance(1);
+        drop(outer);
+
+        let recs = c.ring_records();
+        // meta, start(outer), start(inner), end(inner), end(outer)
+        assert_eq!(recs.len(), 5);
+        let outer_id = match &recs[1] {
+            TraceRecord::SpanStart {
+                id, parent: None, name, ..
+            } if name == "read_file" => *id,
+            r => panic!("unexpected: {r:?}"),
+        };
+        match &recs[2] {
+            TraceRecord::SpanStart { parent, name, .. } => {
+                assert_eq!(*parent, Some(outer_id));
+                assert_eq!(name, "fetch_fragment[aliyun]");
+            }
+            r => panic!("unexpected: {r:?}"),
+        }
+        match &recs[3] {
+            TraceRecord::SpanEnd { dur_ns, .. } => assert_eq!(*dur_ns, 5),
+            r => panic!("unexpected: {r:?}"),
+        }
+        match &recs[4] {
+            TraceRecord::SpanEnd { name, dur_ns, .. } => {
+                assert_eq!(name, "read_file");
+                assert_eq!(*dur_ns, 16);
+            }
+            r => panic!("unexpected: {r:?}"),
+        }
+
+        let summary = c.summary();
+        assert!(summary.contains("read_file"), "{summary}");
+        assert!(summary.contains("→ fetch_fragment[aliyun]"), "{summary}");
+    }
+
+    #[test]
+    fn events_attribute_to_innermost_span() {
+        let (_, c, _) = manual();
+        c.event("outside").emit();
+        let g = c.span("op");
+        c.event("inside").field("attempt", 2u64).emit();
+        drop(g);
+        let recs = c.ring_records();
+        assert!(matches!(&recs[1], TraceRecord::Event { span: None, .. }));
+        match &recs[3] {
+            TraceRecord::Event { span, name, fields, .. } => {
+                assert!(span.is_some());
+                assert_eq!(name, "inside");
+                assert_eq!(fields.get("attempt"), Some(&Value::U64(2)));
+            }
+            r => panic!("unexpected: {r:?}"),
+        }
+    }
+
+    #[test]
+    fn same_inputs_byte_identical_jsonl() {
+        let run = || {
+            let (clock, c, buf) = manual();
+            let g = c.span_with("write").field("bytes", 4096u64).start();
+            clock.advance(1_000);
+            c.event("retry.backoff").field("delay_ns", 250u64).emit();
+            clock.advance(250);
+            drop(g);
+            c.flush();
+            buf.contents()
+        };
+        let (a, b) = (run(), run());
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ring_buffer_caps_and_evicts_oldest() {
+        let clock = Arc::new(ManualClock::new());
+        let c = Collector::builder(clock).ring(3).build();
+        for i in 0..10u64 {
+            c.event("e").field("i", i).emit();
+        }
+        let recs = c.ring_records();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[2].field_u64("i"), Some(9));
+        assert_eq!(recs[0].field_u64("i"), Some(7));
+    }
+
+    #[test]
+    fn slowest_spans_deterministic_and_capped() {
+        let (clock, c, _) = manual();
+        for i in 0..40u64 {
+            let g = c.span("op");
+            clock.advance(100 * (i % 7 + 1));
+            drop(g);
+        }
+        let top = c.slowest_spans(5);
+        assert_eq!(top.len(), 5);
+        assert!(top.windows(2).all(|w| w[0].dur_ns >= w[1].dur_ns));
+        assert_eq!(top[0].dur_ns, 700);
+        assert_eq!(c.slowest_spans(1000).len(), SLOW_CAP);
+    }
+
+    #[test]
+    fn metrics_round_trip() {
+        let (_, c, _) = manual();
+        c.inc("ops", 3);
+        c.inc_labeled("provider.faults", "azure", 2);
+        c.observe("lat_ns", 1_500);
+        c.observe("lat_ns", 3_000);
+        c.set_gauge("open_spans", 1);
+        let m = c.metrics();
+        assert_eq!(m.counter("ops"), 3);
+        assert_eq!(m.counters_labeled("provider.faults"), vec![("azure".to_string(), 2)]);
+        assert_eq!(m.histograms["lat_ns"].count, 2);
+        assert_eq!(m.gauges["open_spans"], 1);
+        assert_eq!(c.histogram("lat_ns").unwrap().sum(), 4_500);
+    }
+
+    #[test]
+    fn out_of_order_guard_drop_is_tolerated() {
+        let (clock, c, _) = manual();
+        let a = c.span("a");
+        let b = c.span("b");
+        clock.advance(5);
+        drop(a); // dropped before inner span `b`
+        drop(b);
+        let recs = c.ring_records();
+        assert_eq!(
+            recs.iter()
+                .filter(|r| matches!(r, TraceRecord::SpanEnd { .. }))
+                .count(),
+            2
+        );
+        // A fresh span after the mess still opens at the root.
+        let g = c.span("c");
+        drop(g);
+        match c.ring_records().last().unwrap() {
+            TraceRecord::SpanEnd { name, .. } => assert_eq!(name, "c"),
+            r => panic!("unexpected: {r:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_end_is_idempotent_with_drop() {
+        let (_, c, _) = manual();
+        let g = c.span("once");
+        g.end();
+        let ends = c
+            .ring_records()
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::SpanEnd { .. }))
+            .count();
+        assert_eq!(ends, 1);
+    }
+}

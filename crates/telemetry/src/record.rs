@@ -1,0 +1,348 @@
+//! Trace records: the wire format of a telemetry trace.
+//!
+//! A trace is a sequence of JSONL lines, one [`TraceRecord`] each. The first
+//! record is always a `meta` line carrying [`TRACE_SCHEMA_VERSION`] and the
+//! clock domain; the rest are span starts/ends and point events. All
+//! timestamps are nanoseconds on the collector's clock — for simulation runs
+//! that is the *virtual* `SimClock`, which is what makes traces reproducible.
+
+use std::collections::BTreeMap;
+
+use crate::json::{push_f64, push_str_escaped};
+
+/// Version stamped into every trace's leading `meta` record. Bump when the
+/// JSONL shape changes incompatibly (renamed fields, changed units, ...).
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// A typed field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+}
+
+impl Value {
+    fn push_json(&self, out: &mut String) {
+        match self {
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(v) => {
+                out.push_str(itoa_u64(*v).as_str());
+            }
+            Value::I64(v) => {
+                if *v < 0 {
+                    out.push('-');
+                    out.push_str(itoa_u64(v.unsigned_abs()).as_str());
+                } else {
+                    out.push_str(itoa_u64(*v as u64).as_str());
+                }
+            }
+            Value::F64(v) => push_f64(out, *v),
+            Value::Str(s) => push_str_escaped(out, s),
+        }
+    }
+
+    /// The string payload, if this is a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a `U64` value.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+fn itoa_u64(v: u64) -> String {
+    // Plain Display; tiny helper so call sites stay terse.
+    v.to_string()
+}
+
+/// Conversion into [`Value`], deferred until the collector is known to be
+/// enabled. Implementors must not allocate in their own construction — the
+/// allocation (if any) happens inside `into_value`, which the builders only
+/// call on the enabled path.
+pub trait IntoValue {
+    fn into_value(self) -> Value;
+}
+
+impl IntoValue for Value {
+    fn into_value(self) -> Value {
+        self
+    }
+}
+impl IntoValue for bool {
+    fn into_value(self) -> Value {
+        Value::Bool(self)
+    }
+}
+impl IntoValue for u64 {
+    fn into_value(self) -> Value {
+        Value::U64(self)
+    }
+}
+impl IntoValue for u32 {
+    fn into_value(self) -> Value {
+        Value::U64(self as u64)
+    }
+}
+impl IntoValue for usize {
+    fn into_value(self) -> Value {
+        Value::U64(self as u64)
+    }
+}
+impl IntoValue for i64 {
+    fn into_value(self) -> Value {
+        Value::I64(self)
+    }
+}
+impl IntoValue for i32 {
+    fn into_value(self) -> Value {
+        Value::I64(self as i64)
+    }
+}
+impl IntoValue for f64 {
+    fn into_value(self) -> Value {
+        Value::F64(self)
+    }
+}
+impl IntoValue for &str {
+    fn into_value(self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl IntoValue for String {
+    fn into_value(self) -> Value {
+        Value::Str(self)
+    }
+}
+
+/// Key/value fields on a record. `BTreeMap` keeps JSON key order sorted and
+/// therefore deterministic.
+pub type Fields = BTreeMap<String, Value>;
+
+fn push_fields(out: &mut String, fields: &Fields) {
+    if fields.is_empty() {
+        return;
+    }
+    out.push_str(",\"fields\":{");
+    let mut first = true;
+    for (k, v) in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        push_str_escaped(out, k);
+        out.push(':');
+        v.push_json(out);
+    }
+    out.push('}');
+}
+
+/// One line of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// Leading record: schema version and clock domain ("virtual" or "wall").
+    Meta { schema: u32, clock: String, t: u64 },
+    /// A span opened at `t`; `parent` links to the enclosing span, if any.
+    SpanStart {
+        id: u64,
+        parent: Option<u64>,
+        name: String,
+        t: u64,
+        fields: Fields,
+    },
+    /// The matching close: `dur_ns` is `t_end - t_start` on the trace clock.
+    SpanEnd {
+        id: u64,
+        name: String,
+        t: u64,
+        dur_ns: u64,
+        fields: Fields,
+    },
+    /// A point event, attributed to the innermost open span (if any).
+    Event {
+        span: Option<u64>,
+        name: String,
+        t: u64,
+        fields: Fields,
+    },
+}
+
+impl TraceRecord {
+    /// Render this record as a single JSON object (no trailing newline).
+    /// Field order is fixed; see module docs for why this is hand-rolled.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        match self {
+            TraceRecord::Meta { schema, clock, t } => {
+                s.push_str("{\"kind\":\"meta\",\"schema\":");
+                s.push_str(&schema.to_string());
+                s.push_str(",\"clock\":");
+                push_str_escaped(&mut s, clock);
+                s.push_str(",\"t\":");
+                s.push_str(&t.to_string());
+                s.push('}');
+            }
+            TraceRecord::SpanStart {
+                id,
+                parent,
+                name,
+                t,
+                fields,
+            } => {
+                s.push_str("{\"kind\":\"span_start\",\"id\":");
+                s.push_str(&id.to_string());
+                s.push_str(",\"parent\":");
+                match parent {
+                    Some(p) => s.push_str(&p.to_string()),
+                    None => s.push_str("null"),
+                }
+                s.push_str(",\"name\":");
+                push_str_escaped(&mut s, name);
+                s.push_str(",\"t\":");
+                s.push_str(&t.to_string());
+                push_fields(&mut s, fields);
+                s.push('}');
+            }
+            TraceRecord::SpanEnd {
+                id,
+                name,
+                t,
+                dur_ns,
+                fields,
+            } => {
+                s.push_str("{\"kind\":\"span_end\",\"id\":");
+                s.push_str(&id.to_string());
+                s.push_str(",\"name\":");
+                push_str_escaped(&mut s, name);
+                s.push_str(",\"t\":");
+                s.push_str(&t.to_string());
+                s.push_str(",\"dur_ns\":");
+                s.push_str(&dur_ns.to_string());
+                push_fields(&mut s, fields);
+                s.push('}');
+            }
+            TraceRecord::Event {
+                span,
+                name,
+                t,
+                fields,
+            } => {
+                s.push_str("{\"kind\":\"event\",\"span\":");
+                match span {
+                    Some(p) => s.push_str(&p.to_string()),
+                    None => s.push_str("null"),
+                }
+                s.push_str(",\"name\":");
+                push_str_escaped(&mut s, name);
+                s.push_str(",\"t\":");
+                s.push_str(&t.to_string());
+                push_fields(&mut s, fields);
+                s.push('}');
+            }
+        }
+        s
+    }
+
+    /// The record's `name` (span or event name); meta records have none.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            TraceRecord::Meta { .. } => None,
+            TraceRecord::SpanStart { name, .. }
+            | TraceRecord::SpanEnd { name, .. }
+            | TraceRecord::Event { name, .. } => Some(name.as_str()),
+        }
+    }
+
+    /// The record's fields (empty for meta records).
+    pub fn fields(&self) -> Option<&Fields> {
+        match self {
+            TraceRecord::Meta { .. } => None,
+            TraceRecord::SpanStart { fields, .. }
+            | TraceRecord::SpanEnd { fields, .. }
+            | TraceRecord::Event { fields, .. } => Some(fields),
+        }
+    }
+
+    /// True for an `Event` record with the given name.
+    pub fn is_event(&self, event_name: &str) -> bool {
+        matches!(self, TraceRecord::Event { name, .. } if name == event_name)
+    }
+
+    /// Convenience: field `key` as a string, if present.
+    pub fn field_str(&self, key: &str) -> Option<&str> {
+        self.fields().and_then(|f| f.get(key)).and_then(Value::as_str)
+    }
+
+    /// Convenience: field `key` as a u64, if present.
+    pub fn field_u64(&self, key: &str) -> Option<u64> {
+        self.fields().and_then(|f| f.get(key)).and_then(Value::as_u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_json_shape() {
+        let r = TraceRecord::Meta {
+            schema: TRACE_SCHEMA_VERSION,
+            clock: "virtual".into(),
+            t: 0,
+        };
+        assert_eq!(r.to_json(), "{\"kind\":\"meta\",\"schema\":1,\"clock\":\"virtual\",\"t\":0}");
+    }
+
+    #[test]
+    fn event_json_sorted_fields() {
+        let mut f = Fields::new();
+        f.insert("zeta".into(), Value::U64(9));
+        f.insert("alpha".into(), Value::Str("a\"b".into()));
+        f.insert("neg".into(), Value::I64(-3));
+        let r = TraceRecord::Event {
+            span: Some(4),
+            name: "provider.fault".into(),
+            t: 17,
+            fields: f,
+        };
+        assert_eq!(
+            r.to_json(),
+            "{\"kind\":\"event\",\"span\":4,\"name\":\"provider.fault\",\"t\":17,\
+             \"fields\":{\"alpha\":\"a\\\"b\",\"neg\":-3,\"zeta\":9}}"
+        );
+    }
+
+    #[test]
+    fn span_records_roundtrip_names() {
+        let start = TraceRecord::SpanStart {
+            id: 1,
+            parent: None,
+            name: "read_file".into(),
+            t: 5,
+            fields: Fields::new(),
+        };
+        assert_eq!(
+            start.to_json(),
+            "{\"kind\":\"span_start\",\"id\":1,\"parent\":null,\"name\":\"read_file\",\"t\":5}"
+        );
+        let end = TraceRecord::SpanEnd {
+            id: 1,
+            name: "read_file".into(),
+            t: 9,
+            dur_ns: 4,
+            fields: Fields::new(),
+        };
+        assert_eq!(end.name(), Some("read_file"));
+        assert!(end.to_json().contains("\"dur_ns\":4"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Metrics registry: named counters, gauges and histograms.
+//!
+//! All maps are `BTreeMap` so snapshots iterate in a deterministic order —
+//! anything derived from a snapshot (summaries, report sections) is then
+//! stable across runs with the same seed.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::hist::Histogram;
+
+/// Lock that shrugs off poisoning: metrics must never turn a panicking test
+/// into a deadlocked one.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, i64>>,
+    hists: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    pub fn inc(&self, name: &str, by: u64) {
+        let mut c = lock(&self.counters);
+        match c.get_mut(name) {
+            Some(v) => *v += by,
+            None => {
+                c.insert(name.to_string(), by);
+            }
+        }
+    }
+
+    pub fn set_gauge(&self, name: &str, v: i64) {
+        lock(&self.gauges).insert(name.to_string(), v);
+    }
+
+    pub fn observe(&self, name: &str, v: u64) {
+        let mut h = lock(&self.hists);
+        match h.get_mut(name) {
+            Some(hist) => hist.record(v),
+            None => {
+                let mut hist = Histogram::new();
+                hist.record(v);
+                h.insert(name.to_string(), hist);
+            }
+        }
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        lock(&self.counters).get(name).copied().unwrap_or(0)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        lock(&self.hists).get(name).cloned()
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: lock(&self.counters).clone(),
+            gauges: lock(&self.gauges).clone(),
+            histograms: lock(&self.hists)
+                .iter()
+                .map(|(k, h)| (k.clone(), HistogramSummary::of(h)))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time view of every registered metric.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, 0 if never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// `(suffix, value)` for every counter named `prefix[suffix]`, e.g.
+    /// `counters_labeled("provider.faults")` → one entry per provider.
+    pub fn counters_labeled(&self, prefix: &str) -> Vec<(String, u64)> {
+        let open = format!("{prefix}[");
+        self.counters
+            .iter()
+            .filter_map(|(k, v)| {
+                let rest = k.strip_prefix(&open)?;
+                Some((rest.strip_suffix(']')?.to_string(), *v))
+            })
+            .collect()
+    }
+}
+
+/// Bucket-derived digest of one histogram.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    pub fn of(h: &Histogram) -> Self {
+        HistogramSummary {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let r = Registry::default();
+        r.inc("ops", 2);
+        r.inc("ops", 3);
+        r.set_gauge("depth", -4);
+        assert_eq!(r.counter("ops"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        let s = r.snapshot();
+        assert_eq!(s.counter("ops"), 5);
+        assert_eq!(s.gauges.get("depth"), Some(&-4));
+    }
+
+    #[test]
+    fn labeled_counter_scan() {
+        let r = Registry::default();
+        r.inc("provider.faults[aliyun]", 1);
+        r.inc("provider.faults[azure]", 7);
+        r.inc("provider.ops[azure]", 9);
+        let s = r.snapshot();
+        assert_eq!(
+            s.counters_labeled("provider.faults"),
+            vec![("aliyun".to_string(), 1), ("azure".to_string(), 7)]
+        );
+    }
+
+    #[test]
+    fn histogram_snapshot_digest() {
+        let r = Registry::default();
+        for v in [10u64, 20, 30, 40, 1000] {
+            r.observe("lat", v);
+        }
+        let s = r.snapshot();
+        let d = &s.histograms["lat"];
+        assert_eq!(d.count, 5);
+        assert_eq!(d.sum, 1100);
+        assert_eq!(d.min, 10);
+        assert_eq!(d.max, 1000);
+        assert!(d.p50 >= 30 && d.p99 <= 1023);
+    }
+}

@@ -15,6 +15,13 @@ chaos:
 chaos-full:
     cargo run --release -p hyrd-bench --bin chaos_drill
 
+# Smoke drill with the telemetry trace written out: every span and event
+# on the request path, stamped with the virtual clock, as JSONL.
+trace:
+    mkdir -p target/experiments
+    cargo run --release -p hyrd-bench --bin chaos_drill -- --smoke --trace target/experiments/chaos_trace.jsonl
+    @echo "trace at target/experiments/chaos_trace.jsonl"
+
 # Regenerate the paper-figure experiment JSONs.
 experiments:
     cargo run --release -p hyrd-bench --bin fig6
