@@ -105,11 +105,14 @@ impl DepSky {
     }
 
     fn flush_metadata(&mut self) -> BatchReport {
-        let blocks = self.core.meta.flush_dirty();
+        let blocks = self.core.meta.flush_dirty_encoded();
+        if blocks.is_empty() {
+            return BatchReport::empty();
+        }
         let mut batch = BatchReport::empty();
         for block in blocks {
-            let name = MetadataBlock::object_name(&block.dir);
-            let bytes = Bytes::from(block.to_bytes());
+            let name = block.object_name();
+            let bytes = Bytes::from(block.bytes);
             let (b, _) = self.put_quorum(&name, &bytes);
             batch = batch.alongside(b);
         }

@@ -71,12 +71,15 @@ impl DuraCloud {
     }
 
     fn flush_metadata(&mut self) -> BatchReport {
-        let blocks = self.core.meta.flush_dirty();
+        let blocks = self.core.meta.flush_dirty_encoded();
+        if blocks.is_empty() {
+            return BatchReport::empty();
+        }
         let targets = self.targets();
         let mut batch = BatchReport::empty();
         for block in blocks {
-            let name = MetadataBlock::object_name(&block.dir);
-            let bytes = Bytes::from(block.to_bytes());
+            let name = block.object_name();
+            let bytes = Bytes::from(block.bytes);
             // Metadata follows the same synchronized path.
             let (b, _) = common::put_serial(&targets, &name, &bytes, &mut self.core.log);
             batch = batch.alongside(b);

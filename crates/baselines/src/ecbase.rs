@@ -90,12 +90,15 @@ impl<C: ErasureCode> EcEverything<C> {
     }
 
     fn flush_metadata(&mut self) -> BatchReport {
-        let blocks = self.core.meta.flush_dirty();
+        let blocks = self.core.meta.flush_dirty_encoded();
+        if blocks.is_empty() {
+            return BatchReport::empty();
+        }
         let providers = self.core.fleet.providers().to_vec();
         let mut batch = BatchReport::empty();
         for block in blocks {
-            let name = MetadataBlock::object_name(&block.dir);
-            let bytes = block.to_bytes();
+            let name = block.object_name();
+            let bytes = block.bytes;
             // Metadata blocks are small: they take the strip layout (one
             // provider + parity), exactly like small files.
             if bytes.len() <= self.strip_unit {

@@ -51,12 +51,15 @@ impl SingleCloud {
     }
 
     fn flush_metadata(&mut self) -> BatchReport {
-        let blocks = self.core.meta.flush_dirty();
+        let blocks = self.core.meta.flush_dirty_encoded();
+        if blocks.is_empty() {
+            return BatchReport::empty();
+        }
         let targets = self.targets();
         let mut ops = Vec::new();
         for block in blocks {
-            let name = MetadataBlock::object_name(&block.dir);
-            let bytes = Bytes::from(block.to_bytes());
+            let name = block.object_name();
+            let bytes = Bytes::from(block.bytes);
             let (batch, _) = common::put_parallel(&targets, &name, &bytes, &mut self.core.log);
             ops.extend(batch.ops);
         }

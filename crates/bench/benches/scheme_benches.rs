@@ -15,10 +15,10 @@ use criterion::{criterion_group, Criterion, Throughput};
 
 use hyrd_bench::summary;
 
-use hyrd::driver::{replay, synth_content, ReplayOptions};
+use hyrd::driver::{replay, replay_with_state, synth_content, ReplayOptions, ReplayState};
 use hyrd::prelude::*;
 use hyrd_baselines::{DuraCloud, Racs};
-use hyrd_workloads::{PostMark, PostMarkConfig};
+use hyrd_workloads::{FsOp, PostMark, PostMarkConfig};
 
 /// System allocator with an allocation counter, backing the telemetry
 /// disabled-path guard below.
@@ -71,6 +71,60 @@ fn assert_disabled_telemetry_never_allocates() {
         after - before
     );
     println!("telemetry disabled-path guard: 0 allocations across 1000 iterations");
+}
+
+/// Allocation-diet guard for the replay hot loop: once the pool, the
+/// synth-content scratch buffer and the caches are warm, a steady-state
+/// lap of reads and in-place updates must stay inside a fixed allocation
+/// budget per op. The budget is deliberately loose — it exists to catch
+/// per-op blowups (re-serializing unchanged metadata, O(n) cache
+/// shuffles), not to freeze the exact count.
+fn assert_replay_allocation_budget() {
+    let (ops, _) = PostMark::new(small_postmark(2)).generate();
+    let clock = SimClock::new();
+    let fleet = Fleet::standard_four(clock.clone());
+    for p in fleet.providers() {
+        p.set_ghost_mode(true);
+    }
+    let mut h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config");
+    let opts = ReplayOptions::default();
+    let mut state = ReplayState::default();
+    replay_with_state(&mut h, &ops, &clock, &opts, &mut state);
+
+    // Steady state: no pool growth, just reads and small updates over
+    // the surviving files (every file is ≥ 1 KB, so offset+len fit).
+    let paths: Vec<String> = state.expected_paths().iter().map(|s| s.to_string()).collect();
+    assert!(!paths.is_empty(), "warmup left no live files");
+    let steady: Vec<FsOp> = paths
+        .iter()
+        .cycle()
+        .take(300)
+        .enumerate()
+        .map(|(i, p)| {
+            if i % 3 == 0 {
+                FsOp::Update { path: p.clone(), offset: (i as u64 % 8) * 64, len: 64 }
+            } else {
+                FsOp::Read { path: p.clone() }
+            }
+        })
+        .collect();
+
+    // One warm lap, then the measured lap.
+    let warm = replay_with_state(&mut h, &steady, &clock, &opts, &mut state);
+    assert_eq!(warm.errors, 0, "steady-state warm lap errored");
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let measured = replay_with_state(&mut h, &steady, &clock, &opts, &mut state);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(measured.errors, 0, "steady-state measured lap errored");
+    let per_op = (after - before) / steady.len() as u64;
+    assert!(
+        per_op <= 1000,
+        "steady-state replay allocates {per_op} times/op (budget 1000)"
+    );
+    println!(
+        "replay allocation guard: {per_op} allocations/op across {} steady-state ops",
+        steady.len()
+    );
 }
 
 fn small_postmark(seed: u64) -> PostMarkConfig {
@@ -218,6 +272,7 @@ criterion_group!(benches, bench_dispatcher_ops, bench_replay);
 
 fn main() {
     assert_disabled_telemetry_never_allocates();
+    assert_replay_allocation_budget();
     if summary::json_only() {
         write_summary();
         return;

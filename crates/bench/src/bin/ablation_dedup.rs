@@ -9,7 +9,7 @@
 
 use hyrd::prelude::*;
 use hyrd_bench::header;
-use hyrd_dedup::DedupStore;
+use hyrd::DedupStore;
 
 fn content(len: usize, seed: u64) -> Vec<u8> {
     let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;

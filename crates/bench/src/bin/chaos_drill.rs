@@ -12,11 +12,13 @@
 //! file's bytes after the faults have cleared and recovery has run, is
 //! not. Everything is derived from `--seed`, so the same seed produces a
 //! byte-identical report AND a byte-identical telemetry trace — records
-//! are stamped with the virtual clock only (`--selfcheck` proves both
-//! in-process).
+//! are stamped with the virtual clock only. `--selfcheck` proves both
+//! in-process, and re-runs the drill through the parallel sweep engine
+//! (`--jobs N` worker threads) to show the results are byte-identical
+//! no matter how many threads carry them.
 //!
 //! Usage: `chaos_drill [--ops N] [--seed S] [--smoke] [--selfcheck]
-//! [--trace PATH]`
+//! [--jobs N] [--trace PATH]`
 
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -292,6 +294,7 @@ fn main() {
     let mut ops: usize = 10_000;
     let mut seed: u64 = 42;
     let mut selfcheck = false;
+    let mut jobs: usize = 2;
     let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -300,6 +303,7 @@ fn main() {
             "--seed" => seed = args.next().expect("--seed S").parse().expect("numeric --seed"),
             "--smoke" => ops = 1_200,
             "--selfcheck" => selfcheck = true,
+            "--jobs" => jobs = args.next().expect("--jobs N").parse().expect("numeric --jobs"),
             "--trace" => trace_path = Some(args.next().expect("--trace PATH")),
             other => panic!("unknown argument: {other}"),
         }
@@ -310,11 +314,23 @@ fn main() {
     let body = serde_json::to_string_pretty(&report).expect("serialize report");
 
     if selfcheck {
-        let (again, trace2) = run_drill(seed, ops);
-        let body2 = serde_json::to_string_pretty(&again).expect("serialize report");
-        assert_eq!(body, body2, "same seed must produce a byte-identical report");
-        assert_eq!(trace, trace2, "same seed must produce a byte-identical trace");
-        println!("selfcheck: two runs, byte-identical reports and traces ✓");
+        // Two more drills through the parallel sweep engine at the
+        // requested worker count: every swept report and trace must be
+        // byte-identical to the inline run above — same-seed
+        // repeatability and sweep-engine neutrality in one check.
+        let cells: Vec<Box<dyn FnOnce() -> (String, Vec<u8>) + Send>> = (0..2)
+            .map(|_| {
+                Box::new(move || {
+                    let (r, t) = run_drill(seed, ops);
+                    (serde_json::to_string_pretty(&r).expect("serialize report"), t)
+                }) as Box<dyn FnOnce() -> (String, Vec<u8>) + Send>
+            })
+            .collect();
+        for (i, (body_j, trace_j)) in replay_sweep(cells, jobs).into_iter().enumerate() {
+            assert_eq!(body, body_j, "swept run {i} (jobs={jobs}) diverged from inline report");
+            assert_eq!(trace, trace_j, "swept run {i} (jobs={jobs}) diverged from inline trace");
+        }
+        println!("selfcheck: inline + 2 swept runs (jobs={jobs}), byte-identical ✓");
     }
 
     if let Some(path) = &trace_path {

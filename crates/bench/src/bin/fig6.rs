@@ -7,8 +7,8 @@
 //! 27.3 % and 46.3 % respectively, and DuraCloud runs *faster* than in
 //! the normal state (single write path).
 
-use hyrd_bench::fig6::{extended_lineup, paper_postmark, run_scheme, Mode};
-use hyrd_bench::{header, write_json, Series};
+use hyrd_bench::fig6::{extended_lineup, paper_postmark, run_lineup_sweep};
+use hyrd_bench::{flag_usize, header, write_json, Series};
 
 fn main() {
     let config = paper_postmark(0xF16_6);
@@ -18,8 +18,11 @@ fn main() {
     let mut baseline = None;
 
     let verbose = std::env::args().any(|a| a == "--verbose");
-    for (name, make) in extended_lineup() {
-        let normal = run_scheme(make, Mode::Normal, &config);
+    // Every (scheme, mode) cell owns a fresh fleet + clock, so the grid
+    // runs on worker threads; collection order — and therefore all
+    // output — is identical for every job count.
+    let jobs = flag_usize("jobs", 0);
+    for (name, normal, outage) in run_lineup_sweep(extended_lineup(), &config, jobs) {
         if verbose {
             println!("--- {name} (normal) ---\n{}", normal.summary());
         }
@@ -28,14 +31,14 @@ fn main() {
             baseline = Some(mean_normal);
         }
         // Single clouds have no outage story (their outage IS the outage).
-        let mean_outage = if name == "Amazon S3" {
-            f64::NAN
-        } else {
-            let outage = run_scheme(make, Mode::AzureOutage, &config);
-            if verbose {
-                println!("--- {name} (outage) ---\n{}", outage.summary());
+        let mean_outage = match outage {
+            None => f64::NAN,
+            Some(outage) => {
+                if verbose {
+                    println!("--- {name} (outage) ---\n{}", outage.summary());
+                }
+                outage.mean_latency().as_secs_f64()
             }
-            outage.mean_latency().as_secs_f64()
         };
         results.push((name.to_string(), mean_normal, mean_outage));
     }

@@ -2,7 +2,7 @@
 //! latency under PostMark, normal state and Azure-outage state), reused
 //! by the threshold sweep and the ablation binaries.
 
-use hyrd::driver::{replay_with_state, ReplayOptions, ReplayState, ReplayStats};
+use hyrd::driver::{replay_sweep, replay_with_state, ReplayOptions, ReplayState, ReplayStats};
 use hyrd::prelude::*;
 use hyrd_baselines::{DepSky, DuraCloud, NcCloudLite, Racs, SingleCloud};
 use hyrd_workloads::{FsOp, PostMark, PostMarkConfig};
@@ -52,6 +52,46 @@ where
         fleet.by_name("Windows Azure").expect("standard fleet").force_down();
     }
     replay_with_state(scheme.as_mut(), &txns, &clock, &opts, &mut state)
+}
+
+/// One row of the Figure 6 grid: scheme name, normal-state stats, and
+/// outage-state stats (absent for the single-cloud baseline, whose
+/// outage *is* the outage).
+pub type LineupRow = (&'static str, ReplayStats, Option<ReplayStats>);
+
+/// Runs a whole lineup through the Figure 6 methodology as independent
+/// (scheme, mode) cells on `jobs` worker threads (`0` = one per core).
+///
+/// Each cell owns a fresh fleet and virtual clock, so cells share no
+/// state and the grid is embarrassingly parallel; [`replay_sweep`]
+/// collects results in submission order, which makes the output —
+/// including the JSON record — byte-identical for every job count.
+pub fn run_lineup_sweep(
+    schemes: Vec<(&'static str, fn(&Fleet) -> Box<dyn Scheme>)>,
+    config: &PostMarkConfig,
+    jobs: usize,
+) -> Vec<LineupRow> {
+    let mut cells: Vec<Box<dyn FnOnce() -> ReplayStats + Send>> = Vec::new();
+    let mut shape = Vec::new();
+    for (name, make) in schemes {
+        let cfg = config.clone();
+        cells.push(Box::new(move || run_scheme(make, Mode::Normal, &cfg)));
+        let has_outage = name != "Amazon S3";
+        if has_outage {
+            let cfg = config.clone();
+            cells.push(Box::new(move || run_scheme(make, Mode::AzureOutage, &cfg)));
+        }
+        shape.push((name, has_outage));
+    }
+    let mut results = replay_sweep(cells, jobs).into_iter();
+    shape
+        .into_iter()
+        .map(|(name, has_outage)| {
+            let normal = results.next().expect("one result per cell");
+            let outage = has_outage.then(|| results.next().expect("one result per cell"));
+            (name, normal, outage)
+        })
+        .collect()
 }
 
 /// The scheme lineup of Figure 6 (name, factory).
@@ -107,6 +147,27 @@ mod tests {
         assert_eq!(stats.errors, 0);
         assert!(stats.overall.count() > 30);
         assert_eq!(stats.verify_failures, 0);
+    }
+
+    #[test]
+    fn lineup_sweep_matches_sequential_runs_for_any_job_count() {
+        let mut cfg = paper_postmark(4);
+        cfg.initial_files = 8;
+        cfg.transactions = 20;
+        let schemes = || lineup().into_iter().take(2).collect::<Vec<_>>();
+        let sequential: Vec<_> = schemes()
+            .into_iter()
+            .map(|(name, make)| {
+                let normal = run_scheme(make, Mode::Normal, &cfg);
+                let outage = (name != "Amazon S3")
+                    .then(|| run_scheme(make, Mode::AzureOutage, &cfg));
+                (name, normal, outage)
+            })
+            .collect();
+        for jobs in [1, 3] {
+            let swept = run_lineup_sweep(schemes(), &cfg, jobs);
+            assert_eq!(swept, sequential, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -34,6 +34,25 @@ pub fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Parses `--<flag> N` from the process arguments, falling back to a
+/// default. Shared by the binaries that take `--jobs`, `--weeks`, …
+pub fn flag_usize(flag: &str, default: usize) -> usize {
+    let needle = format!("--{flag}");
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == needle {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{needle} expects an unsigned integer"));
+        }
+        if let Some(v) = a.strip_prefix(&format!("{needle}=")) {
+            return v.parse().unwrap_or_else(|_| panic!("{needle} expects an unsigned integer"));
+        }
+    }
+    default
+}
+
 /// Formats seconds human-readably.
 pub fn secs(d: std::time::Duration) -> String {
     format!("{:.3}s", d.as_secs_f64())

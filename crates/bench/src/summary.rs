@@ -1,17 +1,28 @@
-//! Machine-readable bench baseline: `BENCH_gfec.json` at the repo root.
+//! Machine-readable bench baselines: `BENCH_gfec.json` and
+//! `BENCH_replay.json` at the repo root.
 //!
-//! Both Criterion bench binaries call into this module at the end of a
+//! The Criterion bench binaries call into this module at the end of a
 //! run (or immediately, when `BENCH_JSON_ONLY` is set) to record wall-
-//! clock MB/s for the hot paths. The file is a flat JSON object so CI
+//! clock MB/s for the hot paths. Each file is a flat JSON object so CI
 //! and DESIGN.md can diff throughput across commits without parsing
 //! Criterion's per-sample output.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-/// Repo-root path of the bench baseline file.
+/// Repo-root path of a named bench baseline file.
+pub fn repo_root_file(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join(name)
+}
+
+/// Repo-root path of the GF/EC bench baseline file.
 pub fn bench_summary_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_gfec.json")
+    repo_root_file("BENCH_gfec.json")
+}
+
+/// Repo-root path of the replay-throughput baseline file.
+pub fn replay_summary_path() -> PathBuf {
+    repo_root_file("BENCH_replay.json")
 }
 
 /// True when the caller asked for the quick JSON-only run (CI smoke).
@@ -23,8 +34,12 @@ pub fn json_only() -> bool {
 /// the file if absent), so each bench binary contributes its own keys
 /// without clobbering the other's.
 pub fn merge(entries: &[(&str, serde_json::Value)]) {
-    let path = bench_summary_path();
-    let mut root = std::fs::read_to_string(&path)
+    merge_into(&bench_summary_path(), entries);
+}
+
+/// [`merge`] against an arbitrary baseline file.
+pub fn merge_into(path: &Path, entries: &[(&str, serde_json::Value)]) {
+    let mut root = std::fs::read_to_string(path)
         .ok()
         .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
         .filter(serde_json::Value::is_object)
@@ -34,7 +49,7 @@ pub fn merge(entries: &[(&str, serde_json::Value)]) {
         obj.insert((*k).to_string(), v.clone());
     }
     let body = serde_json::to_string_pretty(&root).expect("serialize bench summary");
-    std::fs::write(&path, body + "\n").expect("write BENCH_gfec.json");
+    std::fs::write(path, body + "\n").expect("write bench summary");
     println!("[bench summary merged into {}]", path.display());
 }
 

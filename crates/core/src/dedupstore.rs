@@ -1,4 +1,4 @@
-//! [`DedupStore`]: the deduplicating layer over any [`hyrd::Scheme`].
+//! [`DedupStore`]: the deduplicating layer over any [`Scheme`].
 //!
 //! Files are stored as a **manifest** (the chunk fingerprint list, JSON
 //! like the metadata blocks) plus one object per *unique* chunk. A chunk
@@ -7,18 +7,22 @@
 //! scheme's redundancy policy: with HyRD underneath, the (small) chunks
 //! land replicated on the performance tier and the manifest rides the
 //! same path as metadata.
+//!
+//! The chunking, fingerprinting, and index primitives live in the leaf
+//! [`hyrd_dedup`] crate; this module supplies the [`Scheme`]-coupled
+//! store on top of them.
 
 use std::collections::HashMap;
 
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
-use hyrd::scheme::{Scheme, SchemeError, SchemeResult};
 use hyrd_gcsapi::BatchReport;
 
-use crate::chunker::{Chunker, ChunkerConfig};
-use crate::index::{ChunkIndex, Fingerprint};
-use crate::sha256::hex;
+use crate::scheme::{Scheme, SchemeError, SchemeResult};
+use hyrd_dedup::chunker::{Chunker, ChunkerConfig};
+use hyrd_dedup::index::{ChunkIndex, Fingerprint};
+use hyrd_dedup::sha256::hex;
 
 /// A stored file's chunk list.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
@@ -56,7 +60,7 @@ impl DedupStats {
 ///
 /// ```
 /// use hyrd::prelude::*;
-/// use hyrd_dedup::DedupStore;
+/// use hyrd::DedupStore;
 ///
 /// let fleet = Fleet::standard_four(SimClock::new());
 /// let hyrd = Hyrd::new(&fleet, HyrdConfig::default()).unwrap();
@@ -219,7 +223,9 @@ impl<S: Scheme> DedupStore<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hyrd::prelude::*;
+    use crate::config::HyrdConfig;
+    use crate::dispatcher::Hyrd;
+    use hyrd_cloudsim::{Fleet, SimClock};
 
     fn store() -> (Fleet, DedupStore<Hyrd>) {
         let fleet = Fleet::standard_four(SimClock::new());

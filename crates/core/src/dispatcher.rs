@@ -81,39 +81,66 @@ impl CodeImpl {
 /// Bounded write-through cache of small-file contents, so small updates
 /// need no read round. FIFO eviction is enough: the workloads touch
 /// recent files.
+///
+/// Entries carry a generation stamp so removal and re-insertion are
+/// O(1): the FIFO keeps stale `(path, generation)` records and the
+/// eviction loop discards any whose generation no longer matches the
+/// live entry (the classic lazy-deletion queue — the previous
+/// `order.retain` walked the whole queue on every update/delete, which
+/// was quadratic over a replay).
 struct SmallFileCache {
     budget: usize,
     used: usize,
-    map: HashMap<String, Bytes>,
-    order: VecDeque<String>,
+    generation: u64,
+    map: HashMap<String, (Bytes, u64)>,
+    order: VecDeque<(String, u64)>,
 }
 
 impl SmallFileCache {
     fn new(budget: usize) -> Self {
-        SmallFileCache { budget, used: 0, map: HashMap::new(), order: VecDeque::new() }
+        SmallFileCache {
+            budget,
+            used: 0,
+            generation: 0,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
     }
 
     fn put(&mut self, path: &str, data: Bytes) {
-        self.remove(path);
+        if let Some((old, _)) = self.map.remove(path) {
+            self.used -= old.len();
+        }
+        self.generation += 1;
         self.used += data.len();
-        self.map.insert(path.to_string(), data);
-        self.order.push_back(path.to_string());
+        self.map.insert(path.to_string(), (data, self.generation));
+        self.order.push_back((path.to_string(), self.generation));
         while self.used > self.budget {
-            let Some(victim) = self.order.pop_front() else { break };
-            if let Some(b) = self.map.remove(&victim) {
-                self.used -= b.len();
+            let Some((victim, generation)) = self.order.pop_front() else { break };
+            // Stale record: the path was removed or re-inserted since.
+            let live = self.map.get(&victim).is_some_and(|(_, g)| *g == generation);
+            if live {
+                if let Some((b, _)) = self.map.remove(&victim) {
+                    self.used -= b.len();
+                }
             }
+        }
+        // Bound the stale-record backlog independently of the byte
+        // budget so `order` cannot grow past O(live entries).
+        if self.order.len() > self.map.len() * 2 + 16 {
+            let map = &self.map;
+            self.order.retain(|(p, g)| map.get(p).is_some_and(|(_, live)| live == g));
         }
     }
 
     fn get(&self, path: &str) -> Option<Bytes> {
-        self.map.get(path).cloned()
+        self.map.get(path).map(|(b, _)| b.clone())
     }
 
     fn remove(&mut self, path: &str) {
-        if let Some(b) = self.map.remove(path) {
+        if let Some((b, _)) = self.map.remove(path) {
             self.used -= b.len();
-            self.order.retain(|p| p != path);
+            // The FIFO record goes stale and is skipped at eviction.
         }
     }
 }
@@ -245,8 +272,10 @@ impl Hyrd {
         for block in &blocks {
             hyrd.meta.load_block(block)?;
         }
-        // Loading is not a mutation; nothing needs re-flushing.
-        let _ = hyrd.meta.flush_dirty();
+        // Loading is not a mutation; nothing needs re-flushing. Draining
+        // the encoded flush also seeds the change-detection cache, so the
+        // first real mutation only ships the block that actually changed.
+        let _ = hyrd.meta.flush_dirty_encoded();
         Ok((hyrd, BatchReport::serial(ops)))
     }
 
@@ -614,15 +643,21 @@ impl Hyrd {
         (BatchReport::parallel(ops), live)
     }
 
-    /// Replicates every dirty metadata block to the metadata tier (one
-    /// parallel round; blocks are independent objects).
+    /// Replicates every **changed** dirty metadata block to the metadata
+    /// tier (one parallel round; blocks are independent objects). Blocks
+    /// whose bytes match their last flush are skipped by the metastore —
+    /// a flush with nothing new issues zero provider ops — and changed
+    /// blocks arrive pre-serialized, so nothing is encoded twice.
     fn flush_metadata(&mut self) -> BatchReport {
-        let blocks = self.meta.flush_dirty();
+        let blocks = self.meta.flush_dirty_encoded();
+        if blocks.is_empty() {
+            return BatchReport::empty();
+        }
         let targets = self.replica_targets();
         let mut ops = Vec::new();
         for block in blocks {
-            let name = MetadataBlock::object_name(&block.dir);
-            let bytes = Bytes::from(block.to_bytes());
+            let name = block.object_name();
+            let bytes = Bytes::from(block.bytes);
             let (batch, _) = self.put_replicated(&name, &bytes, &targets);
             ops.extend(batch.ops);
         }

@@ -7,6 +7,10 @@
 //! makes scheduled outage windows actually open and close during a replay.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
 
 use hyrd_cloudsim::SimClock;
 use hyrd_telemetry::Collector;
@@ -43,8 +47,9 @@ impl Default for ReplayOptions {
     }
 }
 
-/// What a replay produced.
-#[derive(Debug, Clone, Default)]
+/// What a replay produced. `PartialEq` + serde make sweep determinism
+/// checkable: same seed, same stats, any `--jobs`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ReplayStats {
     /// Scheme name.
     pub scheme: String,
@@ -126,6 +131,32 @@ pub fn synth_content(path: &str, version: u32, len: usize) -> Vec<u8> {
     vec![fill_byte(path, version); len]
 }
 
+/// Reusable scratch buffer for content synthesis: the replay loop fills
+/// it in place instead of allocating a fresh `Vec` per op (the per-op
+/// allocation that dominated steady-state replay profiles).
+#[derive(Debug, Default)]
+pub struct SynthBuf {
+    buf: Vec<u8>,
+}
+
+impl SynthBuf {
+    /// An empty scratch buffer.
+    pub fn new() -> Self {
+        SynthBuf::default()
+    }
+
+    /// Fills the buffer with the deterministic content for
+    /// `path`/`version` and returns it — same bytes as
+    /// [`synth_content`], no allocation once the buffer has grown to the
+    /// workload's largest op.
+    pub fn fill(&mut self, path: &str, version: u32, len: usize) -> &[u8] {
+        let byte = fill_byte(path, version);
+        self.buf.clear();
+        self.buf.resize(len, byte);
+        &self.buf
+    }
+}
+
 /// Driver state that must persist across phased replays (pool
 /// initialization, then transactions): the live-file table and, when
 /// verification is on, the expected contents.
@@ -178,6 +209,7 @@ pub fn replay_with_state(
 ) -> ReplayStats {
     let mut stats = ReplayStats { scheme: scheme.name().to_string(), ..Default::default() };
     let ReplayState { files, expected } = state;
+    let mut synth = SynthBuf::new();
 
     let record = |stats: &mut ReplayStats, class: OpClass, batch: &hyrd_gcsapi::BatchReport| {
         stats.overall.record(batch.latency);
@@ -209,8 +241,8 @@ pub fn replay_with_state(
     for op in ops {
         match op {
             FsOp::Create { path, size } => {
-                let data = synth_content(path, 0, *size as usize);
-                match scheme.create_file(path, &data) {
+                let data = synth.fill(path, 0, *size as usize);
+                match scheme.create_file(path, data) {
                     Ok(batch) => {
                         let class = if *size <= opts.stats_threshold {
                             OpClass::SmallWrite
@@ -220,7 +252,7 @@ pub fn replay_with_state(
                         record(&mut stats, class, &batch);
                         files.insert(path.clone(), (*size, 1));
                         if opts.verify_reads {
-                            expected.insert(path.clone(), data);
+                            expected.insert(path.clone(), data.to_vec());
                         }
                     }
                     Err(_) => stats.errors += 1,
@@ -251,8 +283,8 @@ pub fn replay_with_state(
             }
             FsOp::Update { path, offset, len } => {
                 let version = files.get(path).map_or(1, |(_, v)| *v);
-                let data = synth_content(path, version, *len as usize);
-                match scheme.update_file(path, *offset, &data) {
+                let data = synth.fill(path, version, *len as usize);
+                match scheme.update_file(path, *offset, data) {
                     Ok(batch) => {
                         record(&mut stats, OpClass::Update, &batch);
                         if let Some((_, v)) = files.get_mut(path) {
@@ -261,7 +293,7 @@ pub fn replay_with_state(
                         if opts.verify_reads {
                             if let Some(content) = expected.get_mut(path) {
                                 let off = *offset as usize;
-                                content[off..off + data.len()].copy_from_slice(&data);
+                                content[off..off + data.len()].copy_from_slice(data);
                             }
                         }
                     }
@@ -285,6 +317,67 @@ pub fn replay_with_state(
     stats
 }
 
+/// Resolves a `--jobs` request: `0` means "one worker per core".
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Runs independent sweep cells on `jobs` worker threads and collects
+/// their results **in cell order**.
+///
+/// Each cell must own everything it touches (fleet, clock, collector —
+/// the standing pattern in `fig6::run_scheme` and `chaos_drill`), which
+/// is what makes the sweep deterministic: cells never share mutable
+/// state, workers only race for *which* cell to run next, and results
+/// land in slots indexed by cell position. The output is therefore
+/// byte-identical for any job count, including `jobs == 1` (which runs
+/// inline on the caller's thread, no spawning).
+///
+/// `jobs == 0` uses one worker per available core.
+pub fn replay_sweep<T, F>(cells: Vec<F>, jobs: usize) -> Vec<T>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    let jobs = effective_jobs(jobs).min(cells.len().max(1));
+    if jobs <= 1 {
+        return cells.into_iter().map(|cell| cell()).collect();
+    }
+
+    let queue: Vec<Mutex<Option<F>>> = cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let slots: Vec<Mutex<Option<T>>> = queue.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= queue.len() {
+                    break;
+                }
+                let cell = queue[i]
+                    .lock()
+                    .expect("no panics while holding a cell")
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let result = cell();
+                *slots[i].lock().expect("no panics while holding a slot") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("workers have exited")
+                .expect("every claimed cell stored its result")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,5 +396,49 @@ mod tests {
         assert_eq!(o.stats_threshold, 1024 * 1024);
         assert!(o.advance_clock);
         assert!(!o.verify_reads);
+    }
+
+    #[test]
+    fn synth_buf_matches_synth_content_and_reuses_storage() {
+        let mut s = SynthBuf::new();
+        assert_eq!(s.fill("/a", 0, 100), &synth_content("/a", 0, 100)[..]);
+        assert_eq!(s.fill("/b", 3, 10), &synth_content("/b", 3, 10)[..]);
+        // Shrinking then regrowing stays within the grown capacity.
+        let cap = s.buf.capacity();
+        s.fill("/c", 1, 50);
+        assert_eq!(s.buf.capacity(), cap);
+        assert_eq!(s.fill("/a", 0, 0), &[] as &[u8]);
+    }
+
+    #[test]
+    fn replay_sweep_collects_in_cell_order_for_any_job_count() {
+        let make_cells = || -> Vec<Box<dyn FnOnce() -> u64 + Send>> {
+            (0..13u64)
+                .map(|i| {
+                    Box::new(move || {
+                        // Unequal cell durations exercise out-of-order
+                        // completion.
+                        let mut acc = i;
+                        for _ in 0..((13 - i) * 1000) {
+                            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        }
+                        std::hint::black_box(acc);
+                        i * i
+                    }) as Box<dyn FnOnce() -> u64 + Send>
+                })
+                .collect()
+        };
+        let want: Vec<u64> = (0..13u64).map(|i| i * i).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            assert_eq!(replay_sweep(make_cells(), jobs), want, "jobs={jobs}");
+        }
+        assert_eq!(replay_sweep(make_cells(), 0), want, "jobs=0 (auto)");
+        assert_eq!(replay_sweep(Vec::<Box<dyn FnOnce() -> u64 + Send>>::new(), 4), vec![]);
+    }
+
+    #[test]
+    fn effective_jobs_resolves_auto() {
+        assert_eq!(effective_jobs(3), 3);
+        assert!(effective_jobs(0) >= 1);
     }
 }

@@ -29,7 +29,9 @@
 //! Hardening modules: [`health`] (per-provider circuit breakers and fault
 //! counters), [`integrity`] (client-side SHA-256 digests verified on
 //! every whole-object read), [`scrub`] (the background sweep that finds
-//! and repairs silent corruption).
+//! and repairs silent corruption). Extension module: [`dedupstore`]
+//! (the §VI client-side deduplication layer over any [`Scheme`], built
+//! on the chunking/fingerprint primitives in [`hyrd_dedup`]).
 //!
 //! ## Quick start
 //!
@@ -52,6 +54,7 @@
 //! ```
 
 pub mod config;
+pub mod dedupstore;
 pub mod dispatcher;
 pub mod ecops;
 pub mod driver;
@@ -65,6 +68,7 @@ pub mod scrub;
 pub mod stats;
 
 pub use config::{CodeChoice, FragmentSelection, HyrdConfig};
+pub use dedupstore::{DedupStats, DedupStore};
 pub use dispatcher::Hyrd;
 pub use evaluator::{Evaluator, ProviderAssessment};
 pub use health::{BreakerSettings, BreakerState, FaultCounterSnapshot, HealthTracker};
@@ -82,7 +86,7 @@ pub use hyrd_telemetry as telemetry;
 pub mod prelude {
     pub use crate::config::{CodeChoice, FragmentSelection, HyrdConfig};
     pub use crate::dispatcher::Hyrd;
-    pub use crate::driver::{ReplayOptions, ReplayStats, replay};
+    pub use crate::driver::{ReplayOptions, ReplayStats, replay, replay_sweep};
     pub use crate::scheme::{Scheme, SchemeError};
     pub use hyrd_cloudsim::{Fleet, SimClock};
     pub use hyrd_gcsapi::{BatchReport, CloudStorage};

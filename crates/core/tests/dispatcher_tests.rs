@@ -506,3 +506,42 @@ fn duplicate_create_is_rejected() {
     h.create_file("/f", &[1u8; 10]).unwrap();
     assert!(matches!(h.create_file("/f", &[2u8; 10]), Err(SchemeError::Meta(_))));
 }
+
+#[test]
+fn rolled_back_create_ships_no_metadata_on_the_next_flush() {
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+    h.create_file("/a/f1", &synth_content("/a/f1", 0, 4 * KB)).unwrap();
+
+    // Full outage: the large create inserts the inode, fails to store a
+    // single fragment, and rolls the inode back — leaving "/a" marked
+    // dirty but byte-identical to its last flushed block.
+    for p in fleet.providers() {
+        p.force_down();
+    }
+    assert!(h.create_file("/a/huge", &synth_content("/a/huge", 0, 3 * MB)).is_err());
+    for p in fleet.providers() {
+        p.restore();
+    }
+
+    // The next successful op drains the dirty set. Only "/b" actually
+    // changed; the netted-out "/a" must be neither re-serialized nor
+    // re-replicated, so the flush ships exactly one block to the same
+    // replica set the 4 KB data puts went to.
+    let report = h.create_file("/b/f2", &synth_content("/b/f2", 0, 4 * KB)).unwrap();
+    let data_puts = report
+        .ops
+        .iter()
+        .filter(|o| o.kind == OpKind::Put && o.bytes_in as usize == 4 * KB)
+        .count();
+    let meta_puts = report
+        .ops
+        .iter()
+        .filter(|o| o.kind == OpKind::Put && (o.bytes_in as usize) < 4 * KB)
+        .count();
+    assert!(data_puts >= 1, "small create replicates the data");
+    assert_eq!(
+        meta_puts, data_puts,
+        "one metadata block (\"/b\") per replica; more means the rolled-back \"/a\" was re-shipped"
+    );
+}

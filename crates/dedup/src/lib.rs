@@ -11,24 +11,26 @@
 //! This crate is that module, built to the constraint:
 //!
 //! * [`sha256`] — a from-scratch FIPS 180-4 SHA-256 for chunk
-//!   fingerprints (verified against the standard test vectors).
+//!   fingerprints, with runtime-dispatched fast kernels (x86 SHA-NI and
+//!   a fully-unrolled scalar compress) and the original straightforward
+//!   implementation preserved as [`sha256::reference`] — every kernel is
+//!   verified bit-identical against the standard test vectors.
 //! * [`chunker`] — FastCDC-style content-defined chunking with a gear
 //!   hash: boundaries follow content, so an insertion early in a file
 //!   shifts chunk boundaries only locally and the rest of the file still
 //!   dedups.
 //! * [`index`] — the in-memory fingerprint index with reference counts —
 //!   the "extra memory space" §VI warns about, measured and bounded.
-//! * [`store`] — [`DedupStore`], a layer over any [`hyrd::Scheme`]: files
-//!   become chunk manifests; unique chunks are stored once (under the
-//!   scheme's own redundancy policy — small chunks get replicated, the
-//!   rare huge ones erasure-coded); duplicate chunks never hit the
-//!   network again.
+//!
+//! The `Scheme`-coupled store built on these primitives (files become
+//! chunk manifests; unique chunks are stored once under the scheme's own
+//! redundancy policy) lives in `hyrd::dedupstore` — this crate stays a
+//! leaf so core's integrity/scrub paths can use the hash kernels without
+//! a package cycle.
 
 pub mod chunker;
 pub mod index;
 pub mod sha256;
-pub mod store;
 
 pub use chunker::{Chunk, Chunker, ChunkerConfig};
 pub use index::{ChunkIndex, Fingerprint};
-pub use store::{DedupStats, DedupStore};

@@ -1,0 +1,100 @@
+//! SHA-256 kernel correctness suite: FIPS 180-4 vectors on every
+//! available kernel, incremental split-point equivalence, and SHA-NI vs
+//! scalar vs `reference` bit-identity on random lengths including the
+//! empty input and the 63/64/65-byte block boundaries.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+use hyrd_dedup::sha256::{hex, reference, sha256, sha256_with_kernel, Kernel, Sha256};
+
+/// NIST FIPS 180-4 / CAVP short-message vectors.
+const VECTORS: &[(&[u8], &str)] = &[
+    (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+    (b"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+    (
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+    ),
+    (
+        b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+        "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+    ),
+];
+
+#[test]
+fn fips_vectors_on_every_kernel() {
+    for (input, want) in VECTORS {
+        assert_eq!(hex(&reference::sha256(input)), *want, "reference");
+        for k in Kernel::available() {
+            assert_eq!(hex(&sha256_with_kernel(k, input)), *want, "kernel {}", k.name());
+        }
+    }
+}
+
+#[test]
+fn block_boundaries_bit_identical_across_kernels() {
+    // 0..=130 covers the empty input, the 55/56 padding split, and the
+    // 63/64/65 and 127/128/129 block boundaries.
+    for len in 0..=130usize {
+        let data: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(37).wrapping_add(11)).collect();
+        let want = reference::sha256(&data);
+        for k in Kernel::available() {
+            assert_eq!(
+                sha256_with_kernel(k, &data),
+                want,
+                "kernel {} diverges at len {len}",
+                k.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn million_a_on_every_kernel() {
+    let block = [b'a'; 1000];
+    for k in Kernel::available() {
+        let mut h = Sha256::with_kernel(k);
+        for _ in 0..1000 {
+            h.update(&block);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0",
+            "kernel {}",
+            k.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn kernels_match_reference_on_random_inputs(data in pvec(any::<u8>(), 0..5000)) {
+        let want = reference::sha256(&data);
+        prop_assert_eq!(sha256(&data), want);
+        for k in Kernel::available() {
+            prop_assert_eq!(sha256_with_kernel(k, &data), want, "kernel {}", k.name());
+        }
+    }
+
+    #[test]
+    fn incremental_updates_match_oneshot_at_any_splits(
+        data in pvec(any::<u8>(), 0..3000),
+        a in 0usize..3000,
+        b in 0usize..3000,
+    ) {
+        let a = a.min(data.len());
+        let b = b.min(data.len());
+        let (lo, hi) = (a.min(b), a.max(b));
+        let want = reference::sha256(&data);
+        for k in Kernel::available() {
+            let mut h = Sha256::with_kernel(k);
+            h.update(&data[..lo]);
+            h.update(&data[lo..hi]);
+            h.update(&data[hi..]);
+            prop_assert_eq!(h.finalize(), want, "kernel {} splits {lo}/{hi}", k.name());
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Compact length-framed binary encoding for metadata blocks — the
+//! flush hot path. Every mutating op re-serializes its directory's
+//! block; at replay scale the serde_json encoder and its output size
+//! both showed up in profiles, so the default wire format is this
+//! fixed-layout little-endian framing instead. JSON stays readable on
+//! the way *in* forever ([`MetadataBlock::from_bytes`] sniffs the magic
+//! and falls back), and writable behind the `json-blocks` feature for
+//! debugging sessions that want human-inspectable provider objects.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! block   := MAGIC("HYM1") dir:str version:u64 body
+//! body    := count:u32 entry*
+//! entry   := name:str inode
+//! inode   := id:u64 size:u64 version:u64 created:time modified:time place
+//! time    := secs:u64 nanos:u32
+//! place   := 0x00
+//!          | 0x01 providers:u32 provider:u16* object:str
+//!          | 0x02 object_len:u64 m:u32 n:u32 shard_len:u64
+//!                 frags:u32 (provider:u16 object:str)* hot:u8 (provider:u16 object:str)?
+//! str     := len:u32 utf8*
+//! ```
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use hyrd_gcsapi::ProviderId;
+use hyrd_gfec::FragmentLayout;
+
+use crate::inode::{FileId, Inode, Placement};
+use crate::path::NormPath;
+use crate::store::MetadataBlock;
+use crate::{MetaError, Result};
+
+/// Leading bytes of every binary-encoded block.
+pub const MAGIC: &[u8; 4] = b"HYM1";
+
+/// Encodes the entry table alone — the part whose bytes decide whether
+/// a flush has anything new to ship (the header repeats dir + version).
+pub fn encode_entries(entries: &BTreeMap<String, Inode>) -> Vec<u8> {
+    // Entries dominate: ~90 bytes each plus names; headroom avoids
+    // doubling mid-encode.
+    let mut out = Vec::with_capacity(16 + entries.len() * 128);
+    put_u32(&mut out, entries.len() as u32);
+    for (name, inode) in entries {
+        put_str(&mut out, name);
+        put_inode(&mut out, inode);
+    }
+    out
+}
+
+/// Assembles the full wire bytes from a pre-encoded entry body.
+pub fn assemble_block(dir: &NormPath, version: u64, body: &[u8]) -> Vec<u8> {
+    let dir = dir.as_str();
+    let mut out = Vec::with_capacity(MAGIC.len() + 4 + dir.len() + 8 + body.len());
+    out.extend_from_slice(MAGIC);
+    put_str(&mut out, dir);
+    put_u64(&mut out, version);
+    out.extend_from_slice(body);
+    out
+}
+
+/// Encodes a whole block.
+pub fn encode_block(block: &MetadataBlock) -> Vec<u8> {
+    assemble_block(&block.dir, block.version, &encode_entries(&block.entries))
+}
+
+/// Decodes a binary block (the caller has already checked [`MAGIC`]).
+pub fn decode_block(bytes: &[u8]) -> Result<MetadataBlock> {
+    let mut r = Reader { bytes, pos: 0 };
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(MetaError::CorruptBlock("bad magic".to_string()));
+    }
+    let dir = NormPath::parse(r.str()?).map_err(|e| MetaError::CorruptBlock(e.to_string()))?;
+    let version = r.u64()?;
+    let count = r.u32()? as usize;
+    let mut entries = BTreeMap::new();
+    for _ in 0..count {
+        let name = r.str()?.to_string();
+        let inode = r.inode()?;
+        entries.insert(name, inode);
+    }
+    if r.pos != bytes.len() {
+        return Err(MetaError::CorruptBlock(format!(
+            "{} trailing bytes after block",
+            bytes.len() - r.pos
+        )));
+    }
+    Ok(MetadataBlock { dir, version, entries })
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_time(out: &mut Vec<u8>, t: Duration) {
+    put_u64(out, t.as_secs());
+    put_u32(out, t.subsec_nanos());
+}
+
+fn put_inode(out: &mut Vec<u8>, inode: &Inode) {
+    put_u64(out, inode.id.0);
+    put_u64(out, inode.size);
+    put_u64(out, inode.version);
+    put_time(out, inode.created);
+    put_time(out, inode.modified);
+    match &inode.placement {
+        Placement::Pending => out.push(0),
+        Placement::Replicated { providers, object } => {
+            out.push(1);
+            put_u32(out, providers.len() as u32);
+            for p in providers {
+                out.extend_from_slice(&p.0.to_le_bytes());
+            }
+            put_str(out, object);
+        }
+        Placement::ErasureCoded { layout, fragments, hot_copy } => {
+            out.push(2);
+            put_u64(out, layout.object_len as u64);
+            put_u32(out, layout.m as u32);
+            put_u32(out, layout.n as u32);
+            put_u64(out, layout.shard_len as u64);
+            put_u32(out, fragments.len() as u32);
+            for (p, object) in fragments {
+                out.extend_from_slice(&p.0.to_le_bytes());
+                put_str(out, object);
+            }
+            match hot_copy {
+                None => out.push(0),
+                Some((p, object)) => {
+                    out.push(1);
+                    out.extend_from_slice(&p.0.to_le_bytes());
+                    put_str(out, object);
+                }
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.bytes.len() - self.pos < n {
+            return Err(MetaError::CorruptBlock("truncated block".to_string()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("take(2)")))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("take(4)")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("take(8)")))
+    }
+
+    fn str(&mut self) -> Result<&'a str> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.take(len)?)
+            .map_err(|e| MetaError::CorruptBlock(format!("bad utf8: {e}")))
+    }
+
+    fn time(&mut self) -> Result<Duration> {
+        let secs = self.u64()?;
+        let nanos = self.u32()?;
+        Ok(Duration::new(secs, nanos))
+    }
+
+    fn provider(&mut self) -> Result<ProviderId> {
+        Ok(ProviderId(self.u16()?))
+    }
+
+    fn inode(&mut self) -> Result<Inode> {
+        let id = FileId(self.u64()?);
+        let size = self.u64()?;
+        let version = self.u64()?;
+        let created = self.time()?;
+        let modified = self.time()?;
+        let placement = match self.take(1)?[0] {
+            0 => Placement::Pending,
+            1 => {
+                let n = self.u32()? as usize;
+                let mut providers = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    providers.push(self.provider()?);
+                }
+                let object = self.str()?.to_string();
+                Placement::Replicated { providers, object }
+            }
+            2 => {
+                let layout = FragmentLayout {
+                    object_len: self.u64()? as usize,
+                    m: self.u32()? as usize,
+                    n: self.u32()? as usize,
+                    shard_len: self.u64()? as usize,
+                };
+                let nf = self.u32()? as usize;
+                let mut fragments = Vec::with_capacity(nf.min(1024));
+                for _ in 0..nf {
+                    let p = self.provider()?;
+                    fragments.push((p, self.str()?.to_string()));
+                }
+                let hot_copy = match self.take(1)?[0] {
+                    0 => None,
+                    1 => {
+                        let p = self.provider()?;
+                        Some((p, self.str()?.to_string()))
+                    }
+                    t => {
+                        return Err(MetaError::CorruptBlock(format!("bad hot-copy tag {t}")));
+                    }
+                };
+                Placement::ErasureCoded { layout, fragments, hot_copy }
+            }
+            t => return Err(MetaError::CorruptBlock(format!("bad placement tag {t}"))),
+        };
+        Ok(Inode { id, size, placement, version, created, modified })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> NormPath {
+        NormPath::parse(s).unwrap()
+    }
+
+    fn sample_block() -> MetadataBlock {
+        let mut entries = BTreeMap::new();
+        let mut a = Inode::new(FileId(3), 1234, Duration::from_millis(1500));
+        a.placement = Placement::Replicated {
+            providers: vec![ProviderId(0), ProviderId(2)],
+            object: "obj-a".into(),
+        };
+        a.touch(Duration::from_millis(2750));
+        entries.insert("a.txt".to_string(), a);
+        let mut b = Inode::new(FileId(9), 4 << 20, Duration::from_secs(40));
+        b.placement = Placement::ErasureCoded {
+            layout: FragmentLayout { object_len: 4 << 20, m: 3, n: 5, shard_len: 1398112 },
+            fragments: (0..5).map(|i| (ProviderId(i), format!("frag{i}"))).collect(),
+            hot_copy: Some((ProviderId(1), "hot".into())),
+        };
+        entries.insert("b.bin".to_string(), b);
+        entries.insert("pending".to_string(), Inode::new(FileId(11), 0, Duration::ZERO));
+        MetadataBlock { dir: p("/docs/deep"), version: 7, entries }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let block = sample_block();
+        let bytes = encode_block(&block);
+        assert_eq!(&bytes[..4], MAGIC);
+        assert_eq!(decode_block(&bytes).unwrap(), block);
+    }
+
+    #[test]
+    fn empty_directory_roundtrips() {
+        let block =
+            MetadataBlock { dir: NormPath::root(), version: 0, entries: BTreeMap::new() };
+        assert_eq!(decode_block(&encode_block(&block)).unwrap(), block);
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json() {
+        let block = sample_block();
+        let bin = encode_block(&block).len();
+        let json = serde_json::to_vec(&block).unwrap().len();
+        assert!(bin * 2 < json, "binary {bin} B vs json {json} B");
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_corrupt_errors() {
+        let bytes = encode_block(&sample_block());
+        for cut in [0, 3, 4, 10, bytes.len() - 1] {
+            assert!(
+                matches!(decode_block(&bytes[..cut]), Err(MetaError::CorruptBlock(_))),
+                "cut={cut}"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(decode_block(&trailing), Err(MetaError::CorruptBlock(_))));
+        assert!(matches!(decode_block(b"HYM1"), Err(MetaError::CorruptBlock(_))));
+        assert!(matches!(decode_block(b"not a block"), Err(MetaError::CorruptBlock(_))));
+    }
+
+    #[test]
+    fn assemble_matches_encode() {
+        let block = sample_block();
+        let body = encode_entries(&block.entries);
+        assert_eq!(assemble_block(&block.dir, block.version, &body), encode_block(&block));
+    }
+}

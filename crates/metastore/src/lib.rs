@@ -17,12 +17,17 @@
 //! * [`store`] — the [`MetaStore`] facade: inode table + namespace +
 //!   dirty-directory tracking, and (de)serialization of per-directory
 //!   **metadata blocks**, the replication unit the dispatcher ships to
-//!   performance-oriented providers.
-//!
-//! The justification for `serde_json` (DESIGN.md §2): metadata blocks are
-//! the only wire format in the system that benefits from being
-//! human-inspectable, and JSON keeps recovery debugging honest.
+//!   performance-oriented providers. Flushes are change-detected: a
+//!   block whose bytes match its last flush is neither re-serialized
+//!   nor re-replicated ([`MetaStore::flush_dirty_encoded`]).
+//! * [`codec`] — the compact length-framed binary wire format blocks
+//!   ship in by default. JSON writing stays available behind the
+//!   `json-blocks` feature (human-inspectable provider objects for
+//!   recovery debugging), and JSON *reading* is always available:
+//!   [`MetadataBlock::from_bytes`] sniffs the binary magic and falls
+//!   back, so legacy blocks keep loading.
 
+pub mod codec;
 pub mod inode;
 pub mod namespace;
 pub mod path;
@@ -31,7 +36,7 @@ pub mod store;
 pub use inode::{FileId, Inode, Placement};
 pub use namespace::Namespace;
 pub use path::NormPath;
-pub use store::{MetaStore, MetadataBlock};
+pub use store::{EncodedBlock, MetaStore, MetadataBlock};
 
 /// Errors from the metadata layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -5,13 +5,17 @@
 //! per directory holding that directory's file entries and their inodes
 //! ("groups the metadata in a directory together to exploit the access
 //! locality", §III-C). The store tracks which directories changed since
-//! the last flush so the dispatcher only re-replicates dirty blocks.
+//! the last flush so the dispatcher only re-replicates dirty blocks —
+//! and caches each directory's last-flushed encoding so a dirty mark
+//! whose bytes come out unchanged (rollbacks, repeated `mkdir_all`)
+//! ships nothing at all.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
+use crate::codec;
 use crate::inode::{FileId, Inode, Placement};
 use crate::namespace::{DirEntry, Namespace};
 use crate::path::NormPath;
@@ -29,13 +33,28 @@ pub struct MetadataBlock {
 }
 
 impl MetadataBlock {
-    /// Serializes to the bytes the dispatcher ships to providers.
+    /// Serializes to the bytes the dispatcher ships to providers: the
+    /// compact length-framed [`codec`] by default, or JSON when the
+    /// `json-blocks` feature asks for human-inspectable objects.
     pub fn to_bytes(&self) -> Vec<u8> {
-        serde_json::to_vec(self).expect("metadata blocks always serialize")
+        #[cfg(feature = "json-blocks")]
+        {
+            serde_json::to_vec(self).expect("metadata blocks always serialize")
+        }
+        #[cfg(not(feature = "json-blocks"))]
+        {
+            codec::encode_block(self)
+        }
     }
 
-    /// Parses a block fetched from a provider.
+    /// Parses a block fetched from a provider. Both encodings are always
+    /// readable — the binary magic is sniffed first, anything else is
+    /// treated as legacy JSON — so mixed fleets and old traces keep
+    /// loading regardless of the write-side feature.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.starts_with(codec::MAGIC) {
+            return codec::decode_block(bytes);
+        }
         serde_json::from_slice(bytes).map_err(|e| MetaError::CorruptBlock(e.to_string()))
     }
 
@@ -43,6 +62,25 @@ impl MetadataBlock {
     pub fn object_name(dir: &NormPath) -> String {
         // Encode the path so it is a legal flat object name.
         format!("meta:{}", dir.as_str().replace('/', "\u{1}"))
+    }
+}
+
+/// A flushed metadata block, already serialized for the wire: what the
+/// dispatcher replicates without re-encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedBlock {
+    /// The directory this block describes.
+    pub dir: NormPath,
+    /// Block version assigned at flush time.
+    pub version: u64,
+    /// The exact bytes to ship to every replica.
+    pub bytes: Vec<u8>,
+}
+
+impl EncodedBlock {
+    /// The object name this block is stored under on every replica.
+    pub fn object_name(&self) -> String {
+        MetadataBlock::object_name(&self.dir)
     }
 }
 
@@ -54,8 +92,9 @@ pub struct MetaStore {
     paths: BTreeMap<FileId, NormPath>,
     next_id: u64,
     dirty_dirs: BTreeSet<NormPath>,
-    /// Structural version bumps per directory (file create/remove).
-    dir_versions: BTreeMap<NormPath, u64>,
+    /// Per directory: the version and entry-table bytes of the last
+    /// flushed block. A re-flush whose entry bytes match is a no-op.
+    flushed: BTreeMap<NormPath, (u64, Vec<u8>)>,
 }
 
 impl MetaStore {
@@ -152,7 +191,8 @@ impl MetaStore {
     }
 
     fn mark_dirty(&mut self, dir: &NormPath) {
-        *self.dir_versions.entry(dir.clone()).or_insert(0) += 1;
+        // Marks coalesce: any number of mutations between flushes cost
+        // one set insertion each and at most one re-encode at flush time.
         self.dirty_dirs.insert(dir.clone());
     }
 
@@ -166,7 +206,7 @@ impl MetaStore {
     pub fn block_for(&self, dir: &NormPath) -> Result<MetadataBlock> {
         let files = self.namespace.files_in(dir)?;
         let mut entries = BTreeMap::new();
-        let mut version = self.dir_versions.get(dir).copied().unwrap_or(0);
+        let mut version = self.flushed.get(dir).map_or(0, |(v, _)| *v);
         for (name, id) in files {
             let inode = self.inodes.get(&id).expect("in sync").clone();
             version = version.max(inode.version);
@@ -175,14 +215,55 @@ impl MetaStore {
         Ok(MetadataBlock { dir: dir.clone(), version, entries })
     }
 
-    /// Returns the blocks for all dirty directories and clears the dirty
-    /// set — the dispatcher replicates exactly these.
+    /// Returns the blocks for all dirty directories whose bytes actually
+    /// changed since their last flush, and clears the dirty set — the
+    /// dispatcher replicates exactly these.
     pub fn flush_dirty(&mut self) -> Vec<MetadataBlock> {
-        let dirs: Vec<NormPath> = self.dirty_dirs.iter().cloned().collect();
-        self.dirty_dirs.clear();
-        dirs.iter()
-            .filter_map(|d| self.block_for(d).ok())
+        self.flush_changed().into_iter().map(|(block, _)| block).collect()
+    }
+
+    /// Like [`Self::flush_dirty`], but returns blocks pre-serialized for
+    /// the wire — the flush hot path: unchanged blocks are skipped
+    /// without re-encoding, changed blocks are encoded exactly once.
+    pub fn flush_dirty_encoded(&mut self) -> Vec<EncodedBlock> {
+        self.flush_changed()
+            .into_iter()
+            .map(|(block, bytes)| EncodedBlock { dir: block.dir, version: block.version, bytes })
             .collect()
+    }
+
+    /// The shared flush walk: for each dirty directory, re-encode its
+    /// entry table and compare against the last flushed bytes. Identical
+    /// bytes → nothing to ship (the dirty mark was a rollback, a repeated
+    /// `mkdir_all`, or an update that netted out); changed bytes → bump
+    /// the flushed version and emit the assembled block.
+    fn flush_changed(&mut self) -> Vec<(MetadataBlock, Vec<u8>)> {
+        let dirs = std::mem::take(&mut self.dirty_dirs);
+        let mut out = Vec::new();
+        for dir in dirs {
+            let Ok(files) = self.namespace.files_in(&dir) else { continue };
+            let mut entries = BTreeMap::new();
+            let mut inode_version = 0;
+            for (name, id) in files {
+                let inode = self.inodes.get(&id).expect("in sync").clone();
+                inode_version = inode_version.max(inode.version);
+                entries.insert(name, inode);
+            }
+            let body = codec::encode_entries(&entries);
+            let version = match self.flushed.get(&dir) {
+                Some((_, cached)) if *cached == body => continue,
+                Some((v, _)) => v + 1,
+                None => inode_version,
+            };
+            let block = MetadataBlock { dir: dir.clone(), version, entries };
+            #[cfg(feature = "json-blocks")]
+            let bytes = block.to_bytes();
+            #[cfg(not(feature = "json-blocks"))]
+            let bytes = codec::assemble_block(&dir, version, &body);
+            self.flushed.insert(dir, (version, body));
+            out.push((block, bytes));
+        }
+        out
     }
 
     /// Merges a metadata block loaded from a provider (the bootstrap and
@@ -276,6 +357,58 @@ mod tests {
         s.set_placement(&p("/a/one"), replicated(), 1, t(3)).unwrap();
         assert_eq!(s.dirty_dirs().len(), 1);
         assert_eq!(s.dirty_dirs()[0].as_str(), "/a");
+    }
+
+    #[test]
+    fn unchanged_dirs_flush_nothing() {
+        let mut s = MetaStore::new();
+        s.create_file(&p("/a/one"), 1, t(0)).unwrap();
+        let first = s.flush_dirty_encoded();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].object_name(), MetadataBlock::object_name(&p("/a")));
+
+        // Re-marking without a real change (repeated mkdir_all, or a
+        // create that was rolled back) must ship nothing.
+        s.mkdir_all(&p("/a"));
+        assert_eq!(s.dirty_dirs().len(), 1);
+        assert!(s.flush_dirty_encoded().is_empty());
+        assert!(s.dirty_dirs().is_empty());
+
+        // A real change flushes exactly that directory, version bumped.
+        s.set_placement(&p("/a/one"), replicated(), 1, t(2)).unwrap();
+        let second = s.flush_dirty_encoded();
+        assert_eq!(second.len(), 1);
+        assert!(second[0].version > first[0].version);
+        assert_ne!(second[0].bytes, first[0].bytes);
+    }
+
+    #[test]
+    fn create_then_remove_nets_out_to_an_empty_flush() {
+        let mut s = MetaStore::new();
+        s.create_file(&p("/d/keep"), 5, t(0)).unwrap();
+        s.flush_dirty_encoded();
+
+        // A failed create's rollback: insert then remove the same file.
+        s.create_file(&p("/d/tmp"), 9, t(1)).unwrap();
+        s.remove_file(&p("/d/tmp")).unwrap();
+        assert!(
+            s.flush_dirty_encoded().is_empty(),
+            "netted-out mutations must not re-replicate the block"
+        );
+    }
+
+    #[test]
+    fn encoded_flush_bytes_parse_back() {
+        let mut s = MetaStore::new();
+        s.create_file(&p("/dir/x"), 100, t(1)).unwrap();
+        s.set_placement(&p("/dir/x"), replicated(), 100, t(3)).unwrap();
+        let blocks = s.flush_dirty_encoded();
+        assert_eq!(blocks.len(), 1);
+        let parsed = MetadataBlock::from_bytes(&blocks[0].bytes).unwrap();
+        assert_eq!(parsed.dir, p("/dir"));
+        assert_eq!(parsed.version, blocks[0].version);
+        assert_eq!(parsed.entries.len(), 1);
+        assert_eq!(parsed.entries["x"].size, 100);
     }
 
     #[test]

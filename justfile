@@ -32,6 +32,13 @@ bench-json:
     BENCH_JSON_ONLY=1 cargo bench -p hyrd-bench --bench gfec_benches
     BENCH_JSON_ONLY=1 cargo bench -p hyrd-bench --bench scheme_benches
 
+# Refresh the repo-root BENCH_replay.json baseline (SHA-256 kernels,
+# replay ops/s, sweep scaling) and prove jobs-invariance on a one-week
+# archive sweep.
+bench-replay:
+    BENCH_JSON_ONLY=1 cargo bench -p hyrd-bench --bench replay_benches
+    cargo run --release -p hyrd-bench --bin replay_sweep -- --weeks 1 --jobs 2 --check
+
 # Full Criterion run (also refreshes BENCH_gfec.json at the end).
 bench:
     cargo bench -p hyrd-bench

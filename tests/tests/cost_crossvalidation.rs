@@ -88,16 +88,26 @@ fn modelled_cost(model: &mut dyn CostModel) -> f64 {
     usage.iter().zip(prices).map(|(u, p)| u.cost(&p)).sum()
 }
 
+/// The four executable schemes, replayed as independent cells on worker
+/// threads; `replay_sweep` keeps the results in lineup order.
+fn measured_lineup(jobs: usize) -> Vec<(&'static str, f64)> {
+    let cells: Vec<Box<dyn FnOnce() -> f64 + Send>> = vec![
+        Box::new(|| measured_cost(|f| Box::new(SingleCloud::amazon_s3(f).expect("has S3")))),
+        Box::new(|| measured_cost(|f| Box::new(DuraCloud::standard(f).expect("std")))),
+        Box::new(|| measured_cost(|f| Box::new(Racs::new(f).expect("4p")))),
+        Box::new(|| {
+            measured_cost(|f| Box::new(Hyrd::new(f, HyrdConfig::default()).expect("valid config")))
+        }),
+    ];
+    ["S3", "DuraCloud", "RACS", "HyRD"]
+        .into_iter()
+        .zip(replay_sweep(cells, jobs))
+        .collect()
+}
+
 #[test]
 fn analytic_models_match_the_executable_schemes() {
-    let measured = [
-        ("S3", measured_cost(|f| Box::new(SingleCloud::amazon_s3(f).expect("has S3")))),
-        ("DuraCloud", measured_cost(|f| Box::new(DuraCloud::standard(f).expect("std")))),
-        ("RACS", measured_cost(|f| Box::new(Racs::new(f).expect("4p")))),
-        ("HyRD", measured_cost(|f| {
-            Box::new(Hyrd::new(f, HyrdConfig::default()).expect("valid config"))
-        })),
-    ];
+    let measured = measured_lineup(0);
     let modelled = [
         ("S3", modelled_cost(&mut SingleModel::new("S3", S3))),
         ("DuraCloud", modelled_cost(&mut DuraCloudModel::new())),
@@ -110,7 +120,7 @@ fn analytic_models_match_the_executable_schemes() {
     let get = |set: &[(&str, f64)], n: &str| {
         set.iter().find(|(name, _)| *name == n).expect("present").1
     };
-    for set in [&measured, &modelled] {
+    for set in [&measured[..], &modelled[..]] {
         assert!(
             get(set, "HyRD") < get(set, "RACS"),
             "HyRD {:.4} vs RACS {:.4}",
@@ -135,10 +145,14 @@ fn analytic_models_match_the_executable_schemes() {
 
 #[test]
 fn measured_hyrd_discount_lands_in_the_papers_band() {
-    let dura = measured_cost(|f| Box::new(DuraCloud::standard(f).expect("std")));
-    let hyrd = measured_cost(|f| {
-        Box::new(Hyrd::new(f, HyrdConfig::default()).expect("valid config"))
-    });
+    let cells: Vec<Box<dyn FnOnce() -> f64 + Send>> = vec![
+        Box::new(|| measured_cost(|f| Box::new(DuraCloud::standard(f).expect("std")))),
+        Box::new(|| {
+            measured_cost(|f| Box::new(Hyrd::new(f, HyrdConfig::default()).expect("valid config")))
+        }),
+    ];
+    let costs = replay_sweep(cells, 0);
+    let (dura, hyrd) = (costs[0], costs[1]);
     let discount = 1.0 - hyrd / dura;
     // Paper's cumulative figure is 33.4%; a single synthetic month with
     // replicated-metadata overhead lands looser, but the sign and
