@@ -13,19 +13,25 @@
 //! not. Everything is derived from `--seed`, so the same seed produces a
 //! byte-identical report AND a byte-identical telemetry trace — records
 //! are stamped with the virtual clock only. `--selfcheck` proves both
-//! in-process, and re-runs the drill through the parallel sweep engine
+//! in-process, re-runs the drill through the parallel sweep engine
 //! (`--jobs N` worker threads) to show the results are byte-identical
-//! no matter how many threads carry them.
+//! no matter how many threads carry them, and runs one drill at a
+//! *different* `--clients` count to show the trace is client-count
+//! invariant (DESIGN.md §11).
+//!
+//! `--clients N` replays the drill as N closed-loop sessions sharing the
+//! namespace through the deterministic multi-client engine — the fault
+//! schedule now lands on concurrent sessions instead of one.
 //!
 //! Usage: `chaos_drill [--ops N] [--seed S] [--smoke] [--selfcheck]
-//! [--jobs N] [--trace PATH]`
+//! [--clients N] [--jobs N] [--trace PATH]`
 
 use std::collections::BTreeMap;
 use std::time::Duration;
 
 use serde::Serialize;
 
-use hyrd::driver::{replay_with_state, ReplayOptions, ReplayState};
+use hyrd::driver::ReplayOptions;
 use hyrd::prelude::*;
 use hyrd::scrub::ScrubReport;
 use hyrd::telemetry::{Collector, SharedBuf, SlowSpan};
@@ -108,6 +114,7 @@ fn build_ops(trace: &IaTrace, seed: u64, want: usize) -> Vec<FsOp> {
 #[derive(Debug, Serialize, PartialEq)]
 struct ChaosReport {
     seed: u64,
+    clients: usize,
     ops_requested: usize,
     ops_replayed: usize,
     files_live: usize,
@@ -131,6 +138,9 @@ struct ChaosReport {
     final_sweep_mismatches: u64,
     final_sweep_errors: u64,
     unrecoverable_reads: u64,
+    // Per-session op counts (these legitimately vary with `--clients`;
+    // everything above, and the trace, does not).
+    session_ops: BTreeMap<String, u64>,
     // What the trace collector saw (virtual-clock data only, so this
     // section is as deterministic as the rest of the report).
     telemetry: TelemetrySection,
@@ -153,12 +163,12 @@ struct TelemetrySection {
     retry_backoffs: BTreeMap<String, u64>,
 }
 
-fn run_drill(seed: u64, ops_target: usize) -> (ChaosReport, Vec<u8>) {
+fn run_drill(seed: u64, ops_target: usize, clients: usize) -> (ChaosReport, Vec<u8>) {
     let clock = SimClock::new();
     let fleet = Fleet::standard_four(clock.clone());
     let trace_buf = SharedBuf::new();
     let telemetry = Collector::builder(clock.clone()).jsonl(trace_buf.clone()).build();
-    let mut h = Hyrd::with_telemetry(&fleet, HyrdConfig::default(), telemetry.clone())
+    let h = Hyrd::with_telemetry(&fleet, HyrdConfig::default(), telemetry.clone())
         .expect("valid default config");
 
     let trace = IaTrace::synthesize(seed);
@@ -176,7 +186,8 @@ fn run_drill(seed: u64, ops_target: usize) -> (ChaosReport, Vec<u8>) {
         telemetry: telemetry.clone(),
         ..ReplayOptions::default()
     };
-    let mut state = ReplayState::default();
+    let engine =
+        MultiClient::new(&h, &clock, MultiClientOptions { clients, jobs: 1, replay: opts });
     let mut replay_errors = 0u64;
     let mut verify_failures = 0u64;
     let mut ops_replayed = 0usize;
@@ -190,7 +201,7 @@ fn run_drill(seed: u64, ops_target: usize) -> (ChaosReport, Vec<u8>) {
     let scrub_every = (n_chunks / 4).max(1);
     let victim = fleet.by_name("Windows Azure").expect("standard fleet");
 
-    let recover_available = |h: &mut Hyrd, recovery: &mut hyrd::RecoveryReport| {
+    let recover_available = |h: &Hyrd, recovery: &mut hyrd::RecoveryReport| {
         for p in fleet.providers() {
             if p.is_available() {
                 if let Ok((r, _)) = h.recover_provider(p.id()) {
@@ -208,9 +219,9 @@ fn run_drill(seed: u64, ops_target: usize) -> (ChaosReport, Vec<u8>) {
         }
         if i == up_at {
             victim.restore();
-            recover_available(&mut h, &mut recovery);
+            recover_available(&h, &mut recovery);
         }
-        let stats = replay_with_state(&mut h, chunk, &clock, &opts, &mut state);
+        let stats = engine.run_ops(chunk);
         replay_errors += stats.errors;
         verify_failures += stats.verify_failures;
         ops_replayed += chunk.len();
@@ -218,7 +229,7 @@ fn run_drill(seed: u64, ops_target: usize) -> (ChaosReport, Vec<u8>) {
         // Periodic maintenance: drain logs/dirty fragments of whoever is
         // reachable, and scrub each quarter of the drill.
         if i % 8 == 7 {
-            recover_available(&mut h, &mut recovery);
+            recover_available(&h, &mut recovery);
         }
         if i % scrub_every == scrub_every - 1 {
             let (s, _) = h.scrub().expect("scrub runs");
@@ -231,15 +242,15 @@ fn run_drill(seed: u64, ops_target: usize) -> (ChaosReport, Vec<u8>) {
         p.set_fault_plan(FaultPlan::quiet());
         p.restore();
     }
-    recover_available(&mut h, &mut recovery);
+    recover_available(&h, &mut recovery);
     let (final_scrub, _) = h.scrub().expect("clean-state scrub");
-    recover_available(&mut h, &mut recovery);
+    recover_available(&h, &mut recovery);
 
     let mut mismatches = 0u64;
     let mut sweep_errors = 0u64;
-    let paths: Vec<String> = state.expected_paths().iter().map(|s| s.to_string()).collect();
+    let paths: Vec<String> = engine.expected_paths();
     for path in &paths {
-        let want = state.expected_content(path).expect("expected table has the path");
+        let want = engine.expected_content(path).expect("expected table has the path");
         match h.read_file(path) {
             Ok((got, _)) => {
                 if got[..] != want[..] {
@@ -266,9 +277,10 @@ fn run_drill(seed: u64, ops_target: usize) -> (ChaosReport, Vec<u8>) {
         verify_failures + mismatches + sweep_errors + final_scrub.unrecoverable;
     let report = ChaosReport {
         seed,
+        clients: engine.options().clients.max(1),
         ops_requested: ops_target,
         ops_replayed,
-        files_live: state.live_files(),
+        files_live: engine.live_files(),
         virtual_hours: clock.now().as_secs_f64() / 3600.0,
         replay_errors,
         retries: counters.retries,
@@ -285,6 +297,7 @@ fn run_drill(seed: u64, ops_target: usize) -> (ChaosReport, Vec<u8>) {
         final_sweep_mismatches: mismatches,
         final_sweep_errors: sweep_errors,
         unrecoverable_reads: unrecoverable,
+        session_ops: engine.sessions().iter().map(|s| (s.label.clone(), s.ops)).collect(),
         telemetry: telemetry_section,
     };
     (report, trace)
@@ -294,6 +307,7 @@ fn main() {
     let mut ops: usize = 10_000;
     let mut seed: u64 = 42;
     let mut selfcheck = false;
+    let mut clients: usize = 1;
     let mut jobs: usize = 2;
     let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -303,14 +317,17 @@ fn main() {
             "--seed" => seed = args.next().expect("--seed S").parse().expect("numeric --seed"),
             "--smoke" => ops = 1_200,
             "--selfcheck" => selfcheck = true,
+            "--clients" => {
+                clients = args.next().expect("--clients N").parse().expect("numeric --clients");
+            }
             "--jobs" => jobs = args.next().expect("--jobs N").parse().expect("numeric --jobs"),
             "--trace" => trace_path = Some(args.next().expect("--trace PATH")),
             other => panic!("unknown argument: {other}"),
         }
     }
 
-    header(&format!("chaos drill: {ops} ops, seed {seed}"));
-    let (report, trace) = run_drill(seed, ops);
+    header(&format!("chaos drill: {ops} ops, seed {seed}, {clients} client(s)"));
+    let (report, trace) = run_drill(seed, ops, clients);
     let body = serde_json::to_string_pretty(&report).expect("serialize report");
 
     if selfcheck {
@@ -321,7 +338,7 @@ fn main() {
         let cells: Vec<Box<dyn FnOnce() -> (String, Vec<u8>) + Send>> = (0..2)
             .map(|_| {
                 Box::new(move || {
-                    let (r, t) = run_drill(seed, ops);
+                    let (r, t) = run_drill(seed, ops, clients);
                     (serde_json::to_string_pretty(&r).expect("serialize report"), t)
                 }) as Box<dyn FnOnce() -> (String, Vec<u8>) + Send>
             })
@@ -330,7 +347,18 @@ fn main() {
             assert_eq!(body, body_j, "swept run {i} (jobs={jobs}) diverged from inline report");
             assert_eq!(trace, trace_j, "swept run {i} (jobs={jobs}) diverged from inline trace");
         }
-        println!("selfcheck: inline + 2 swept runs (jobs={jobs}), byte-identical ✓");
+        // One drill at a different session count: per-session tallies
+        // differ, but the telemetry trace must not (DESIGN.md §11).
+        let alt_clients = if clients == 1 { 4 } else { 1 };
+        let (_, trace_alt) = run_drill(seed, ops, alt_clients);
+        assert_eq!(
+            trace, trace_alt,
+            "trace diverged between --clients {clients} and {alt_clients}"
+        );
+        println!(
+            "selfcheck: inline + 2 swept runs (jobs={jobs}) byte-identical, \
+             trace invariant across --clients {clients}/{alt_clients} ✓"
+        );
     }
 
     if let Some(path) = &trace_path {

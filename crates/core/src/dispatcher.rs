@@ -31,11 +31,27 @@
 //! ([`crate::scrub`]). Breakers never veto a read outright: when no
 //! healthier copy is left, the suspect breaker is force-closed and the
 //! read proceeds — a probing read beats a refused one.
+//!
+//! # Concurrency
+//!
+//! The whole CRUD surface takes `&self`: the mutable interior state is
+//! **lock-striped** — namespace metadata, the update log, the small-file
+//! cache, the hot-read counters, the dirty-fragment set, the workload
+//! monitor and the integrity index each sit behind their own
+//! `parking_lot::Mutex` (fleet, health, counters and telemetry were
+//! already interior-mutable). Guards are scoped to single statements, so
+//! the client never holds two stripes at once; the canonical acquisition
+//! order (monitor → meta → cache → read_counts → log → dirty → integrity)
+//! is documented in DESIGN.md §11 for any future section that must nest.
+//! Contended acquisitions are counted and timed into registry histograms
+//! (`lock.contended[..]`, `lock.wait_ns[..]`) — wall timings never reach
+//! the trace, which stays virtual-time-stamped and byte-deterministic.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use bytes::Bytes;
+use parking_lot::{Mutex, MutexGuard};
 
 use hyrd_cloudsim::{Fleet, SimProvider};
 use hyrd_gcsapi::{BatchReport, CloudError, CloudResult, CloudStorage, ObjectKey, ProviderId};
@@ -51,7 +67,7 @@ use crate::health::{FaultCounterSnapshot, FaultCounters, HealthTracker};
 use crate::integrity::{IntegrityIndex, Verdict};
 use crate::monitor::{DataClass, WorkloadMonitor};
 use crate::recovery::{RecoveryReport, UpdateLog};
-use crate::scheme::{Scheme, SchemeError, SchemeResult};
+use crate::scheme::{Scheme, SchemeError, SchemeResult, SharedScheme};
 
 /// Concrete erasure code behind [`CodeChoice`].
 pub(crate) enum CodeImpl {
@@ -108,6 +124,16 @@ impl SmallFileCache {
     }
 
     fn put(&mut self, path: &str, data: Bytes) {
+        // A payload larger than the whole budget can never stay resident:
+        // admitting it would evict every live entry and then evict itself
+        // — a full cache flush that caches nothing. Reject it up front.
+        // Any previously cached entry for the path still goes: the
+        // authoritative content just changed, so the cached bytes are
+        // stale either way.
+        if data.len() > self.budget {
+            self.remove(path);
+            return;
+        }
         if let Some((old, _)) = self.map.remove(path) {
             self.used -= old.len();
         }
@@ -146,21 +172,25 @@ impl SmallFileCache {
 }
 
 /// The HyRD client. See the crate docs for an end-to-end example.
+///
+/// `Hyrd` is `Sync`: every CRUD operation takes `&self` (see the module
+/// docs on lock striping), so one client can be shared across threads or
+/// across the sessions of [`crate::driver::multi_client`].
 pub struct Hyrd {
     pub(crate) fleet: Fleet,
     pub(crate) config: HyrdConfig,
-    monitor: WorkloadMonitor,
+    monitor: Mutex<WorkloadMonitor>,
     evaluator: Evaluator,
-    pub(crate) meta: MetaStore,
-    pub(crate) log: UpdateLog,
+    pub(crate) meta: Mutex<MetaStore>,
+    pub(crate) log: Mutex<UpdateLog>,
     pub(crate) planner: StripePlanner,
     pub(crate) code: CodeImpl,
-    cache: SmallFileCache,
-    read_counts: HashMap<String, u32>,
-    pub(crate) dirty: crate::ecops::DirtyFragments,
+    cache: Mutex<SmallFileCache>,
+    read_counts: Mutex<HashMap<String, u32>>,
+    pub(crate) dirty: Mutex<crate::ecops::DirtyFragments>,
     setup_cost: BatchReport,
     pub(crate) health: HealthTracker,
-    pub(crate) integrity: IntegrityIndex,
+    pub(crate) integrity: Mutex<IntegrityIndex>,
     pub(crate) counters: FaultCounters,
     pub(crate) telemetry: Collector,
 }
@@ -200,18 +230,18 @@ impl Hyrd {
         health.set_telemetry(telemetry.clone());
         Ok(Hyrd {
             fleet: fleet.clone(),
-            monitor: WorkloadMonitor::new(config.threshold),
+            monitor: Mutex::new(WorkloadMonitor::new(config.threshold)),
             evaluator,
-            meta: MetaStore::new(),
-            log: UpdateLog::new(),
+            meta: Mutex::new(MetaStore::new()),
+            log: Mutex::new(UpdateLog::new()),
             planner,
             code,
-            cache: SmallFileCache::new(256 << 20),
-            read_counts: HashMap::new(),
-            dirty: crate::ecops::DirtyFragments::new(),
+            cache: Mutex::new(SmallFileCache::new(256 << 20)),
+            read_counts: Mutex::new(HashMap::new()),
+            dirty: Mutex::new(crate::ecops::DirtyFragments::new()),
             setup_cost,
             health,
-            integrity: IntegrityIndex::new(),
+            integrity: Mutex::new(IntegrityIndex::new()),
             counters: FaultCounters::default(),
             telemetry,
             config,
@@ -234,7 +264,7 @@ impl Hyrd {
     /// the previous client is gone (object names embed the file ids the
     /// loaded blocks carry, which `load_block` adopts).
     pub fn attach(fleet: &Fleet, config: HyrdConfig) -> SchemeResult<(Self, BatchReport)> {
-        let mut hyrd = Hyrd::new(fleet, config)?;
+        let hyrd = Hyrd::new(fleet, config)?;
         let mut ops = Vec::new();
 
         // Find a metadata replica that answers a List.
@@ -269,24 +299,83 @@ impl Hyrd {
         }
         // Parent directories first so joins always resolve.
         blocks.sort_by(|a, b| a.dir.cmp(&b.dir));
-        for block in &blocks {
-            hyrd.meta.load_block(block)?;
+        {
+            let mut meta = hyrd.meta_l();
+            for block in &blocks {
+                meta.load_block(block)?;
+            }
+            // Loading is not a mutation; nothing needs re-flushing.
+            // Draining the encoded flush also seeds the change-detection
+            // cache, so the first real mutation only ships the block that
+            // actually changed.
+            let _ = meta.flush_dirty_encoded();
         }
-        // Loading is not a mutation; nothing needs re-flushing. Draining
-        // the encoded flush also seeds the change-detection cache, so the
-        // first real mutation only ships the block that actually changed.
-        let _ = hyrd.meta.flush_dirty_encoded();
         Ok((hyrd, BatchReport::serial(ops)))
     }
+
+    // ------------------------------------------------------------------
+    // Lock stripes
+    // ------------------------------------------------------------------
+
+    /// Acquires one stripe, counting and (wall-)timing contended waits
+    /// into registry metrics — `lock.contended[name]` and
+    /// `lock.wait_ns[name]`. The fast path is an uncontended `try_lock`
+    /// with zero bookkeeping, so single-session runs pay nothing.
+    fn stripe<'a, T>(&self, name: &'static str, lock: &'a Mutex<T>) -> MutexGuard<'a, T> {
+        if let Some(guard) = lock.try_lock() {
+            return guard;
+        }
+        let waited = std::time::Instant::now();
+        let guard = lock.lock();
+        if self.telemetry.enabled() {
+            self.telemetry.inc_labeled("lock.contended", name, 1);
+            let waited_ns = waited.elapsed().as_nanos() as u64;
+            self.telemetry.observe_labeled("lock.wait_ns", name, waited_ns);
+        }
+        guard
+    }
+
+    fn monitor_l(&self) -> MutexGuard<'_, WorkloadMonitor> {
+        self.stripe("monitor", &self.monitor)
+    }
+
+    pub(crate) fn meta_l(&self) -> MutexGuard<'_, MetaStore> {
+        self.stripe("meta", &self.meta)
+    }
+
+    fn cache_l(&self) -> MutexGuard<'_, SmallFileCache> {
+        self.stripe("cache", &self.cache)
+    }
+
+    fn reads_l(&self) -> MutexGuard<'_, HashMap<String, u32>> {
+        self.stripe("read_counts", &self.read_counts)
+    }
+
+    pub(crate) fn log_l(&self) -> MutexGuard<'_, UpdateLog> {
+        self.stripe("log", &self.log)
+    }
+
+    pub(crate) fn dirty_l(&self) -> MutexGuard<'_, crate::ecops::DirtyFragments> {
+        self.stripe("dirty", &self.dirty)
+    }
+
+    pub(crate) fn integrity_l(&self) -> MutexGuard<'_, IntegrityIndex> {
+        self.stripe("integrity", &self.integrity)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
 
     /// What provider probing cost at construction.
     pub fn setup_cost(&self) -> &BatchReport {
         &self.setup_cost
     }
 
-    /// The workload monitor (sizes observed, classification stats).
-    pub fn monitor(&self) -> &WorkloadMonitor {
-        &self.monitor
+    /// A snapshot of the workload monitor (sizes observed, classification
+    /// stats). Cloned out of its stripe so callers never hold the lock.
+    pub fn monitor(&self) -> WorkloadMonitor {
+        self.monitor_l().clone()
     }
 
     /// The evaluator's provider assessments.
@@ -307,7 +396,7 @@ impl Hyrd {
 
     /// Objects with a recorded client-side checksum.
     pub fn integrity_len(&self) -> usize {
-        self.integrity.len()
+        self.integrity_l().len()
     }
 
     /// Re-runs the Cost & Performance Evaluator and adopts the fresh
@@ -329,24 +418,24 @@ impl Hyrd {
 
     /// Logical bytes stored (sum of file sizes).
     pub fn logical_bytes(&self) -> u64 {
-        self.meta.logical_bytes()
+        self.meta_l().logical_bytes()
     }
 
     /// Physical bytes stored across providers (redundancy included).
     pub fn physical_bytes(&self) -> u64 {
-        self.meta.physical_bytes()
+        self.meta_l().physical_bytes()
     }
 
     /// Pending consistency-update records (writes missed by providers
     /// currently in outage).
     pub fn pending_log_len(&self) -> usize {
-        self.log.len()
+        self.log_l().len()
     }
 
     /// Runs the consistency-update phase for a returned provider —
     /// §III-C phase 2. Call after the provider's outage ends.
     pub fn recover_provider(
-        &mut self,
+        &self,
         id: ProviderId,
     ) -> SchemeResult<(RecoveryReport, BatchReport)> {
         let provider = self
@@ -362,8 +451,10 @@ impl Hyrd {
         // so the replay and the reads that follow are not short-circuited
         // by a breaker left open from its bad spell.
         self.health.reset(id);
-        // Phase 2a: replay whole-object writes the provider missed.
-        let (mut report, mut batch) = self.log.replay(provider.as_ref())?;
+        // Phase 2a: replay whole-object writes the provider missed. The
+        // log stripe stays held across the replay so a concurrent writer
+        // cannot append a record for this provider mid-drain.
+        let (mut report, mut batch) = self.log_l().replay(provider.as_ref())?;
         if self.telemetry.enabled() {
             self.telemetry
                 .event("recovery.replay")
@@ -379,18 +470,18 @@ impl Hyrd {
             let fleet = self.fleet.clone();
             move |pid: ProviderId| fleet.get(pid).expect("fleet member").clone()
         };
-        for path in self.dirty.paths() {
+        let dirty_paths = self.dirty_l().paths();
+        for path in dirty_paths {
             let Ok(npath) = NormPath::parse(&path) else { continue };
-            let Ok(inode) = self.meta.get(&npath) else {
-                self.dirty.forget(&path);
+            let Ok(inode) = self.meta_l().inode(&npath) else {
+                self.dirty_l().forget(&path);
                 continue;
             };
-            let Placement::ErasureCoded { layout, fragments, .. } = inode.placement.clone()
-            else {
-                self.dirty.forget(&path);
+            let Placement::ErasureCoded { layout, fragments, .. } = inode.placement else {
+                self.dirty_l().forget(&path);
                 continue;
             };
-            let indices = self.dirty.take(&path);
+            let indices = self.dirty_l().take(&path);
             let mut remaining = std::collections::BTreeSet::new();
             for idx in indices {
                 if fragments.get(idx).map(|(p, _)| *p) != Some(id) {
@@ -425,14 +516,14 @@ impl Hyrd {
                     }
                 }
             }
-            self.dirty.put_back(&path, remaining);
+            self.dirty_l().put_back(&path, remaining);
         }
         Ok((report, batch))
     }
 
     /// Fragments awaiting rebuild after degraded updates.
     pub fn pending_dirty_fragments(&self) -> usize {
-        self.dirty.len()
+        self.dirty_l().len()
     }
 
     // ------------------------------------------------------------------
@@ -541,7 +632,7 @@ impl Hyrd {
         if self.provider(id).ghost_mode() {
             Verdict::Unknown
         } else {
-            self.integrity.verify(object, bytes)
+            self.integrity_l().verify(object, bytes)
         }
     }
 
@@ -588,7 +679,7 @@ impl Hyrd {
     /// update. Returns the batch and how many targets took the write
     /// synchronously.
     fn put_replicated(
-        &mut self,
+        &self,
         name: &str,
         data: &Bytes,
         targets: &[ProviderId],
@@ -596,7 +687,7 @@ impl Hyrd {
         let key = Self::key(name);
         // The digest is what the object *should* hold from now on; it is
         // recorded up front so even log-replayed copies verify.
-        self.integrity.record(name, data);
+        self.integrity_l().record(name, data);
         let mut ops = Vec::new();
         let mut live = 0;
         let mut rejected: Vec<ProviderId> = Vec::new();
@@ -607,7 +698,7 @@ impl Hyrd {
                 // we come back to these below.
                 self.note_breaker_reject(t);
                 rejected.push(t);
-                self.log.log_put(t, key.clone(), data.clone());
+                self.log_l().log_put(t, key.clone(), data.clone());
                 continue;
             }
             let put = {
@@ -623,20 +714,23 @@ impl Hyrd {
                     // Outages, exhausted retries, container errors — all
                     // become missed writes; the replay path will surface
                     // persistent problems.
-                    self.log.log_put(t, key.clone(), data.clone());
+                    self.log_l().log_put(t, key.clone(), data.clone());
                 }
             }
         }
         if live == 0 && !rejected.is_empty() {
             // Desperation pass: every admitted target failed, so a
             // breaker verdict is no longer allowed to cost us the write.
-            // Force the rejected breakers closed and try for real (the
-            // pessimistic log entries stay — replay is idempotent).
+            // Force the rejected breakers closed and try for real.
             for t in rejected {
                 self.health.reset(t);
                 if let Ok(out) = self.guarded(t, |p| p.put(&key, data.clone())) {
                     ops.push(out.report);
                     live += 1;
+                    // The forced put landed the authoritative bytes;
+                    // the pessimistic log entry would only re-ship them
+                    // on recovery. Discharge it.
+                    self.log_l().discharge(t, &key);
                 }
             }
         }
@@ -648,8 +742,8 @@ impl Hyrd {
     /// whose bytes match their last flush are skipped by the metastore —
     /// a flush with nothing new issues zero provider ops — and changed
     /// blocks arrive pre-serialized, so nothing is encoded twice.
-    fn flush_metadata(&mut self) -> BatchReport {
-        let blocks = self.meta.flush_dirty_encoded();
+    fn flush_metadata(&self) -> BatchReport {
+        let blocks = self.meta_l().flush_dirty_encoded();
         if blocks.is_empty() {
             return BatchReport::empty();
         }
@@ -672,9 +766,9 @@ impl Hyrd {
     // Create
     // ------------------------------------------------------------------
 
-    fn create_small(&mut self, path: &NormPath, data: &[u8]) -> SchemeResult<BatchReport> {
+    fn create_small(&self, path: &NormPath, data: &[u8]) -> SchemeResult<BatchReport> {
         let now = self.now();
-        self.meta.create_file(path, data.len() as u64, now)?;
+        self.meta_l().create_file(path, data.len() as u64, now)?;
         let name = crate::scheme::object_name(path.as_str());
         let bytes = Bytes::copy_from_slice(data);
         let targets = self.replica_targets();
@@ -682,19 +776,20 @@ impl Hyrd {
         let (batch, live) = self.put_replicated(&name, &bytes, &targets);
         if live == 0 {
             // No provider holds the data — fail the write and roll back.
-            self.meta.remove_file(path)?;
-            self.integrity.forget(&name);
+            self.meta_l().remove_file(path)?;
+            self.integrity_l().forget(&name);
+            let mut log = self.log_l();
             for &t in &targets {
                 // Drop the logged writes for the rolled-back object.
-                self.log.log_remove(t, Self::key(&name));
+                log.log_remove(t, Self::key(&name));
             }
             return Err(SchemeError::DataUnavailable {
                 path: path.to_string(),
                 detail: "all replica targets unavailable".to_string(),
             });
         }
-        self.cache.put(path.as_str(), bytes);
-        self.meta.set_placement(
+        self.cache_l().put(path.as_str(), bytes);
+        self.meta_l().set_placement(
             path,
             Placement::Replicated { providers: targets, object: name },
             data.len() as u64,
@@ -703,9 +798,9 @@ impl Hyrd {
         Ok(batch.then(self.flush_metadata()))
     }
 
-    fn create_large(&mut self, path: &NormPath, data: &[u8]) -> SchemeResult<BatchReport> {
+    fn create_large(&self, path: &NormPath, data: &[u8]) -> SchemeResult<BatchReport> {
         let now = self.now();
-        self.meta.create_file(path, data.len() as u64, now)?;
+        self.meta_l().create_file(path, data.len() as u64, now)?;
         let base_name = crate::scheme::object_name(path.as_str());
         let targets = self.fragment_targets();
 
@@ -734,10 +829,10 @@ impl Hyrd {
             let name = format!("{base_name}.f{idx}");
             let key = Self::key(&name);
             let bytes = Bytes::from(shard);
-            self.integrity.record(&name, &bytes);
+            self.integrity_l().record(&name, &bytes);
             if !self.health.admits(target, self.now()) {
                 self.note_breaker_reject(target);
-                self.log.log_put(target, key, bytes.clone());
+                self.log_l().log_put(target, key, bytes.clone());
                 rejected.push((target, name.clone(), bytes));
             } else {
                 let put = {
@@ -750,7 +845,7 @@ impl Hyrd {
                         ops.push(out.report);
                         live += 1;
                     }
-                    Err(_) => self.log.log_put(target, key, bytes),
+                    Err(_) => self.log_l().log_put(target, key, bytes),
                 }
             }
             fragments.push((target, name));
@@ -765,6 +860,9 @@ impl Hyrd {
                 if let Ok(out) = self.guarded(t, |p| p.put(&key, bytes.clone())) {
                     ops.push(out.report);
                     live += 1;
+                    // The fragment landed after all: drop the pending-log
+                    // entry so recovery does not re-ship identical bytes.
+                    self.log_l().discharge(t, &key);
                 }
             }
         }
@@ -772,13 +870,13 @@ impl Hyrd {
         if live < self.config.code.m() {
             // Not enough survivors to make the object durable: undo —
             // remove what landed, supersede the logged writes.
-            self.meta.remove_file(path)?;
+            self.meta_l().remove_file(path)?;
             for (t, name) in &fragments {
                 let key = Self::key(name);
-                self.integrity.forget(name);
+                self.integrity_l().forget(name);
                 match self.guarded(*t, |p| p.remove(&key)) {
                     Ok(out) => ops.push(out.report),
-                    Err(_) => self.log.log_remove(*t, key),
+                    Err(_) => self.log_l().log_remove(*t, key),
                 }
             }
             return Err(SchemeError::DataUnavailable {
@@ -787,7 +885,7 @@ impl Hyrd {
             });
         }
 
-        self.meta.set_placement(
+        self.meta_l().set_placement(
             path,
             Placement::ErasureCoded { layout, fragments, hot_copy: None },
             data.len() as u64,
@@ -816,7 +914,7 @@ impl Hyrd {
         for id in order {
             // A replica with a pending log record holds stale bytes (it
             // missed the latest write); never serve a read from it.
-            if self.log.is_pending(id, &key) {
+            if self.log_l().is_pending(id, &key) {
                 continue;
             }
             if !self.health.admits(id, self.now()) {
@@ -882,8 +980,8 @@ impl Hyrd {
             .enumerate()
             .filter(|(i, (p, name))| {
                 self.provider(*p).is_available()
-                    && !self.log.is_pending(*p, &Self::key(name))
-                    && !self.dirty.contains(path, *i)
+                    && !self.log_l().is_pending(*p, &Self::key(name))
+                    && !self.dirty_l().contains(path, *i)
             })
             .map(|(i, (p, name))| (i, *p, name))
             .collect();
@@ -910,7 +1008,11 @@ impl Hyrd {
         if candidates.len() < m {
             return Err(SchemeError::DataUnavailable {
                 path: path.to_string(),
-                detail: format!("{} of {} fragments reachable, need {m}", candidates.len(), fragments.len()),
+                detail: format!(
+                    "{} of {} fragments reachable, need {m}",
+                    candidates.len(),
+                    fragments.len()
+                ),
             });
         }
 
@@ -980,18 +1082,22 @@ impl Hyrd {
     /// the configured read count (Figure 2's overlap region). The fill is
     /// background traffic: it costs ops/bytes, not user latency.
     fn maybe_cache_hot(
-        &mut self,
+        &self,
         path: &NormPath,
         data: &Bytes,
         batch: BatchReport,
     ) -> BatchReport {
         let Some(threshold) = self.config.hot_read_threshold else { return batch };
-        let count = self.read_counts.entry(path.to_string()).or_insert(0);
-        *count += 1;
-        if *count != threshold {
+        let count = {
+            let mut reads = self.reads_l();
+            let count = reads.entry(path.to_string()).or_insert(0);
+            *count += 1;
+            *count
+        };
+        if count != threshold {
             return batch;
         }
-        let Some((size, layout, fragments)) = self.meta.get(path).ok().and_then(|inode| {
+        let Some((size, layout, fragments)) = self.meta_l().get(path).ok().and_then(|inode| {
             match &inode.placement {
                 Placement::ErasureCoded { layout, fragments, hot_copy: None } => {
                     Some((inode.size, *layout, fragments.clone()))
@@ -1007,8 +1113,8 @@ impl Hyrd {
         let hot_key = Self::key(&name);
         match self.guarded(target, |p| p.put(&hot_key, data.clone())) {
             Ok(out) => {
-                self.integrity.record(&name, data);
-                let _ = self.meta.set_placement(
+                self.integrity_l().record(&name, data);
+                let _ = self.meta_l().set_placement(
                     path,
                     Placement::ErasureCoded {
                         layout,
@@ -1030,7 +1136,7 @@ impl Hyrd {
     // ------------------------------------------------------------------
 
     fn update_replicated(
-        &mut self,
+        &self,
         path: &NormPath,
         providers: Vec<ProviderId>,
         object: String,
@@ -1039,7 +1145,7 @@ impl Hyrd {
         data: &[u8],
     ) -> SchemeResult<BatchReport> {
         // Base version: write-through cache, or one replica read.
-        let (mut content, read_batch) = match self.cache.get(path.as_str()) {
+        let (mut content, read_batch) = match self.cache_l().get(path.as_str()) {
             Some(b) => (b.to_vec(), BatchReport::empty()),
             None => {
                 let (b, r) = self.read_replicated(path.as_str(), &providers, &object)?;
@@ -1066,7 +1172,7 @@ impl Hyrd {
             if !self.health.admits(t, self.now()) {
                 self.note_breaker_reject(t);
                 rejected.push(t);
-                self.log.log_put(t, key.clone(), bytes.clone());
+                self.log_l().log_put(t, key.clone(), bytes.clone());
                 continue;
             }
             match self.guarded(t, |p| p.put_range(&key, offset, patch.clone())) {
@@ -1074,17 +1180,22 @@ impl Hyrd {
                     ops.push(out.report);
                     live += 1;
                 }
-                Err(_) => self.log.log_put(t, key.clone(), bytes.clone()),
+                Err(_) => self.log_l().log_put(t, key.clone(), bytes.clone()),
             }
         }
         if live == 0 && !rejected.is_empty() {
             // Desperation pass (see put_replicated): no admitted replica
-            // took the update, so open breakers lose their veto.
+            // took the update, so open breakers lose their veto. A forced
+            // *ranged* write would land on a possibly-stale base — this
+            // replica was breaker-rejected, so its recent writes may have
+            // been missed. Ship the whole post-update object instead,
+            // then discharge the log entry it makes redundant.
             for t in rejected {
                 self.health.reset(t);
-                if let Ok(out) = self.guarded(t, |p| p.put_range(&key, offset, patch.clone())) {
+                if let Ok(out) = self.guarded(t, |p| p.put(&key, bytes.clone())) {
                     ops.push(out.report);
                     live += 1;
+                    self.log_l().discharge(t, &key);
                 }
             }
         }
@@ -1097,8 +1208,9 @@ impl Hyrd {
             old[offset as usize..offset as usize + old_window.len()]
                 .copy_from_slice(&old_window);
             let old_bytes = Bytes::from(old);
+            let mut log = self.log_l();
             for &t in &providers {
-                self.log.log_put(t, key.clone(), old_bytes.clone());
+                log.log_put(t, key.clone(), old_bytes.clone());
             }
             return Err(SchemeError::DataUnavailable {
                 path: path.to_string(),
@@ -1107,10 +1219,10 @@ impl Hyrd {
         }
         // The object's authoritative content changed: refresh the digest
         // (live replicas hold it; logged replicas will after replay).
-        self.integrity.record(&object, &bytes);
-        self.cache.put(path.as_str(), bytes);
+        self.integrity_l().record(&object, &bytes);
+        self.cache_l().put(path.as_str(), bytes);
         let now = self.now();
-        self.meta.set_placement(
+        self.meta_l().set_placement(
             path,
             Placement::Replicated { providers, object },
             size,
@@ -1121,7 +1233,7 @@ impl Hyrd {
 
     #[allow(clippy::too_many_arguments)]
     fn update_erasure(
-        &mut self,
+        &self,
         path: &NormPath,
         layout: hyrd_gfec::FragmentLayout,
         fragments: Vec<(ProviderId, String)>,
@@ -1149,31 +1261,42 @@ impl Hyrd {
             data,
         )?;
         let mut batch = outcome.batch;
-        for idx in outcome.missed {
-            self.dirty.mark(path.as_str(), idx);
+        {
+            let mut dirty = self.dirty_l();
+            for idx in outcome.missed {
+                dirty.mark(path.as_str(), idx);
+            }
         }
         // Ranged writes changed the fragments in place; the recorded
         // whole-fragment digests no longer apply. Drop them — reads fall
         // back to `Unknown` until the scrub pass re-records them.
-        for (_, name) in &fragments {
-            self.integrity.forget(name);
+        {
+            let mut integrity = self.integrity_l();
+            for (_, name) in &fragments {
+                integrity.forget(name);
+            }
         }
 
         // A stale hot copy must not serve future reads: drop it.
         let mut new_hot = hot_copy;
         if let Some((p, name)) = new_hot.take() {
             let hot_key = Self::key(&name);
-            self.integrity.forget(&name);
+            self.integrity_l().forget(&name);
             match self.guarded(p, |prov| prov.remove(&hot_key)) {
                 Ok(out) => batch = batch.with_background(BatchReport::parallel(vec![out.report])),
-                Err(CloudError::Unavailable { .. }) => self.log.log_remove(p, hot_key),
-                Err(_) => {}
+                // Verifiably gone already — nothing left to reclaim.
+                Err(CloudError::NoSuchObject { .. })
+                | Err(CloudError::NoSuchContainer { .. }) => {}
+                // Outage, timeout, retries exhausted: the stale copy may
+                // well still occupy (billed) provider storage. Log a
+                // pending remove so recovery reclaims it.
+                Err(_) => self.log_l().log_remove(p, hot_key),
             }
-            self.read_counts.remove(path.as_str());
+            self.reads_l().remove(path.as_str());
         }
 
         let now = self.now();
-        self.meta.set_placement(
+        self.meta_l().set_placement(
             path,
             Placement::ErasureCoded { layout, fragments, hot_copy: None },
             size,
@@ -1183,11 +1306,11 @@ impl Hyrd {
     }
 
     // ------------------------------------------------------------------
-    // Inherent API mirrored by the Scheme impl
+    // Inherent API mirrored by the Scheme/SharedScheme impls
     // ------------------------------------------------------------------
 
     /// Creates a file, classifying it through the Workload Monitor.
-    pub fn create_file(&mut self, path: &str, data: &[u8]) -> SchemeResult<BatchReport> {
+    pub fn create_file(&self, path: &str, data: &[u8]) -> SchemeResult<BatchReport> {
         let _span = self
             .telemetry
             .span_with("create_file")
@@ -1195,21 +1318,20 @@ impl Hyrd {
             .field("bytes", data.len() as u64)
             .start();
         let path = NormPath::parse(path)?;
-        match self.monitor.classify(data.len() as u64) {
+        match self.monitor_l().classify(data.len() as u64) {
             DataClass::SmallFile | DataClass::Metadata => self.create_small(&path, data),
             DataClass::LargeFile => self.create_large(&path, data),
         }
     }
 
     /// Reads a whole file (degraded reads during outages are automatic).
-    pub fn read_file(&mut self, path: &str) -> SchemeResult<(Bytes, BatchReport)> {
+    pub fn read_file(&self, path: &str) -> SchemeResult<(Bytes, BatchReport)> {
         let _span = self.telemetry.span_with("read_file").field("path", path).start();
         let npath = NormPath::parse(path)?;
-        // Borrow the placement rather than cloning it: the fragment name
-        // list can be long for wide codes and the read path is hot. The
-        // shared borrow ends with the last fragment fetch, before the
-        // mutating hot-cache bookkeeping below.
-        let inode = self.meta.get(&npath)?;
+        // Clone the placement out of the metadata stripe: the lock must
+        // not be held across provider fetches (other sessions' metadata
+        // operations would serialize behind this read).
+        let inode = self.meta_l().inode(&npath)?;
         match &inode.placement {
             Placement::Pending => Err(SchemeError::DataUnavailable {
                 path: path.to_string(),
@@ -1225,7 +1347,7 @@ impl Hyrd {
                 // doubt falls back to the erasure-coded truth.
                 if let Some((p, name)) = hot_copy {
                     let hot_key = Self::key(name);
-                    if !self.log.is_pending(*p, &hot_key)
+                    if !self.log_l().is_pending(*p, &hot_key)
                         && self.health.admits(*p, self.now())
                     {
                         if let Ok(out) = self.guarded(*p, |prov| prov.get(&hot_key)) {
@@ -1256,7 +1378,7 @@ impl Hyrd {
 
     /// Overwrites a byte range.
     pub fn update_file(
-        &mut self,
+        &self,
         path: &str,
         offset: u64,
         data: &[u8],
@@ -1269,9 +1391,16 @@ impl Hyrd {
             .field("bytes", data.len() as u64)
             .start();
         let npath = NormPath::parse(path)?;
-        let inode = self.meta.get(&npath)?;
+        let inode = self.meta_l().inode(&npath)?;
         let size = inode.size;
-        if offset + data.len() as u64 > size {
+        // `offset + len` can wrap for offsets near `u64::MAX`, which
+        // would pass a plain `>` check and then panic at the slice index
+        // in the update paths below. Checked arithmetic keeps adversarial
+        // offsets in the error path.
+        let in_range = offset
+            .checked_add(data.len() as u64)
+            .is_some_and(|end| end <= size);
+        if !in_range {
             return Err(SchemeError::BadRange {
                 path: path.to_string(),
                 offset,
@@ -1279,7 +1408,7 @@ impl Hyrd {
                 size,
             });
         }
-        match inode.placement.clone() {
+        match inode.placement {
             Placement::Pending => Err(SchemeError::DataUnavailable {
                 path: path.to_string(),
                 detail: "file has no placement".to_string(),
@@ -1294,37 +1423,44 @@ impl Hyrd {
     }
 
     /// Deletes a file and its physical objects.
-    pub fn delete_file(&mut self, path: &str) -> SchemeResult<BatchReport> {
+    pub fn delete_file(&self, path: &str) -> SchemeResult<BatchReport> {
         let _span = self.telemetry.span_with("delete_file").field("path", path).start();
         let npath = NormPath::parse(path)?;
-        let inode = self.meta.remove_file(&npath)?;
-        self.cache.remove(path);
-        self.read_counts.remove(path);
-        self.dirty.forget(path);
+        let inode = self.meta_l().remove_file(&npath)?;
+        self.cache_l().remove(path);
+        self.reads_l().remove(path);
+        self.dirty_l().forget(path);
 
         let mut ops = Vec::new();
-        let mut remove_one = |this: &mut Self, p: ProviderId, name: &str| {
+        let mut remove_one = |p: ProviderId, name: &str| {
             let key = Self::key(name);
-            this.integrity.forget(name);
-            match this.guarded(p, |prov| prov.remove(&key)) {
+            self.integrity_l().forget(name);
+            match self.guarded(p, |prov| prov.remove(&key)) {
                 Ok(out) => ops.push(out.report),
-                Err(CloudError::Unavailable { .. }) => this.log.log_remove(p, key),
-                Err(_) => {} // already gone (e.g. never landed): fine
+                // The object verifiably does not exist (e.g. a logged
+                // write that never landed): nothing to reclaim.
+                Err(CloudError::NoSuchObject { .. })
+                | Err(CloudError::NoSuchContainer { .. }) => {}
+                // Unavailable, timed out, retries exhausted — the object
+                // may well still be there. Dropping the metadata while
+                // leaving the bytes behind would leak billed storage
+                // forever; log a pending remove so recovery reclaims it.
+                Err(_) => self.log_l().log_remove(p, key),
             }
         };
         match &inode.placement {
             Placement::Pending => {}
             Placement::Replicated { providers, object } => {
                 for &p in providers {
-                    remove_one(self, p, object);
+                    remove_one(p, object);
                 }
             }
             Placement::ErasureCoded { fragments, hot_copy, .. } => {
                 for (p, name) in fragments {
-                    remove_one(self, *p, name);
+                    remove_one(*p, name);
                 }
                 if let Some((p, name)) = hot_copy {
-                    remove_one(self, *p, name);
+                    remove_one(*p, name);
                 }
             }
         }
@@ -1334,7 +1470,7 @@ impl Hyrd {
     /// Lists a directory; fetches its metadata block from the fastest
     /// available replica first (the metadata access the workload studies
     /// say dominates).
-    pub fn list_dir(&mut self, path: &str) -> SchemeResult<(Vec<String>, BatchReport)> {
+    pub fn list_dir(&self, path: &str) -> SchemeResult<(Vec<String>, BatchReport)> {
         let _span = self.telemetry.span_with("list_dir").field("path", path).start();
         let npath = NormPath::parse(path)?;
         let name = MetadataBlock::object_name(&npath);
@@ -1346,7 +1482,7 @@ impl Hyrd {
             Err(_) => BatchReport::empty(),
         };
         let names = self
-            .meta
+            .meta_l()
             .list(&npath)?
             .into_iter()
             .map(|e| match e {
@@ -1360,7 +1496,7 @@ impl Hyrd {
     /// Logical size of a file.
     pub fn file_size(&self, path: &str) -> Option<u64> {
         let npath = NormPath::parse(path).ok()?;
-        self.meta.get(&npath).ok().map(|i| i.size)
+        self.meta_l().get(&npath).ok().map(|i| i.size)
     }
 }
 
@@ -1398,5 +1534,88 @@ impl Scheme for Hyrd {
         id: ProviderId,
     ) -> SchemeResult<(RecoveryReport, BatchReport)> {
         Hyrd::recover_provider(self, id)
+    }
+}
+
+impl SharedScheme for Hyrd {
+    fn name(&self) -> &str {
+        "HyRD"
+    }
+
+    fn create_file(&self, path: &str, data: &[u8]) -> SchemeResult<BatchReport> {
+        Hyrd::create_file(self, path, data)
+    }
+
+    fn read_file(&self, path: &str) -> SchemeResult<(Bytes, BatchReport)> {
+        Hyrd::read_file(self, path)
+    }
+
+    fn update_file(&self, path: &str, offset: u64, data: &[u8]) -> SchemeResult<BatchReport> {
+        Hyrd::update_file(self, path, offset, data)
+    }
+
+    fn delete_file(&self, path: &str) -> SchemeResult<BatchReport> {
+        Hyrd::delete_file(self, path)
+    }
+
+    fn list_dir(&self, path: &str) -> SchemeResult<(Vec<String>, BatchReport)> {
+        Hyrd::list_dir(self, path)
+    }
+
+    fn file_size(&self, path: &str) -> Option<u64> {
+        Hyrd::file_size(self, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The lock-striping refactor's whole point: the client is shareable
+    /// across threads.
+    #[test]
+    fn hyrd_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Hyrd>();
+    }
+
+    #[test]
+    fn oversized_cache_put_is_rejected_without_flushing_live_entries() {
+        let mut cache = SmallFileCache::new(100);
+        cache.put("/a", Bytes::from(vec![1u8; 40]));
+        cache.put("/b", Bytes::from(vec![2u8; 40]));
+        assert_eq!(cache.used, 80);
+
+        // A payload over the whole budget must not land — and, crucially,
+        // must not evict every live entry on its way to being evicted
+        // itself (the pre-fix behaviour flushed the entire cache).
+        cache.put("/huge", Bytes::from(vec![3u8; 101]));
+        assert!(cache.get("/huge").is_none());
+        assert_eq!(cache.used, 80, "live entries survive an oversized put");
+        assert_eq!(cache.map.len(), 2);
+        assert!(cache.get("/a").is_some());
+        assert!(cache.get("/b").is_some());
+    }
+
+    #[test]
+    fn oversized_cache_put_still_invalidates_the_stale_entry() {
+        let mut cache = SmallFileCache::new(100);
+        cache.put("/f", Bytes::from(vec![1u8; 30]));
+        cache.put("/other", Bytes::from(vec![2u8; 30]));
+        // The file grew past the budget: its cached bytes are stale and
+        // must go, but unrelated entries stay.
+        cache.put("/f", Bytes::from(vec![9u8; 200]));
+        assert!(cache.get("/f").is_none());
+        assert!(cache.get("/other").is_some());
+        assert_eq!(cache.used, 30);
+        assert_eq!(cache.map.len(), 1);
+    }
+
+    #[test]
+    fn exactly_budget_sized_put_is_admitted() {
+        let mut cache = SmallFileCache::new(100);
+        cache.put("/f", Bytes::from(vec![1u8; 100]));
+        assert!(cache.get("/f").is_some());
+        assert_eq!(cache.used, 100);
     }
 }

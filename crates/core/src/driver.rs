@@ -19,6 +19,8 @@ use hyrd_workloads::FsOp;
 use crate::scheme::Scheme;
 use crate::stats::{LatencyStats, OpClass};
 
+pub mod multi_client;
+
 /// Replay knobs.
 #[derive(Debug, Clone)]
 pub struct ReplayOptions {
@@ -78,6 +80,25 @@ impl ReplayStats {
     /// Mean latency across all requests.
     pub fn mean_latency(&self) -> std::time::Duration {
         self.overall.mean()
+    }
+
+    /// Folds another replay's tallies into this one — used by phased
+    /// drivers (chaos drill chunks, multi-client batches) to keep one
+    /// cumulative view. Latency digests merge exactly (running sums +
+    /// bucket adds); `scheme` is adopted from `other` if unset.
+    pub fn absorb(&mut self, other: &ReplayStats) {
+        if self.scheme.is_empty() {
+            self.scheme = other.scheme.clone();
+        }
+        self.overall.merge(&other.overall);
+        for (class, stats) in &other.per_class {
+            self.per_class.entry(class.clone()).or_default().merge(stats);
+        }
+        self.errors += other.errors;
+        self.provider_ops += other.provider_ops;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.verify_failures += other.verify_failures;
     }
 
     /// A human-readable summary table.
@@ -197,6 +218,113 @@ pub fn replay(
     replay_with_state(scheme, ops, clock, opts, &mut state)
 }
 
+/// What [`exec_one`] observed for a successfully executed op.
+pub(crate) struct ExecOk {
+    pub(crate) class: OpClass,
+    pub(crate) batch: hyrd_gcsapi::BatchReport,
+    pub(crate) verify_failure: bool,
+}
+
+/// Executes one [`FsOp`] against `scheme`, maintaining the live-file /
+/// expected-content tables. This is the single op-semantics kernel shared
+/// by [`replay_with_state`] and the [`multi_client`] engine, so both
+/// agree byte-for-byte on classification, verification and bookkeeping.
+/// `Err(())` means the scheme refused the op (the caller counts it).
+pub(crate) fn exec_one(
+    scheme: &mut dyn Scheme,
+    op: &FsOp,
+    state: &mut ReplayState,
+    synth: &mut SynthBuf,
+    opts: &ReplayOptions,
+) -> Result<ExecOk, ()> {
+    let ReplayState { files, expected } = state;
+    match op {
+        FsOp::Create { path, size } => {
+            let data = synth.fill(path, 0, *size as usize);
+            let batch = scheme.create_file(path, data).map_err(|_| ())?;
+            let class = if *size <= opts.stats_threshold {
+                OpClass::SmallWrite
+            } else {
+                OpClass::LargeWrite
+            };
+            files.insert(path.clone(), (*size, 1));
+            if opts.verify_reads {
+                expected.insert(path.clone(), data.to_vec());
+            }
+            Ok(ExecOk { class, batch, verify_failure: false })
+        }
+        FsOp::Read { path } => {
+            let size = files.get(path).map_or(0, |(s, _)| *s);
+            let (bytes, batch) = scheme.read_file(path).map_err(|_| ())?;
+            let class = if size <= opts.stats_threshold {
+                OpClass::SmallRead
+            } else {
+                OpClass::LargeRead
+            };
+            let verify_failure = if opts.verify_reads {
+                expected.get(path).is_some_and(|want| &bytes[..] != want.as_slice())
+            } else {
+                bytes.len() as u64 != size
+            };
+            Ok(ExecOk { class, batch, verify_failure })
+        }
+        FsOp::Update { path, offset, len } => {
+            let version = files.get(path).map_or(1, |(_, v)| *v);
+            let data = synth.fill(path, version, *len as usize);
+            let batch = scheme.update_file(path, *offset, data).map_err(|_| ())?;
+            if let Some((_, v)) = files.get_mut(path) {
+                *v += 1;
+            }
+            if opts.verify_reads {
+                if let Some(content) = expected.get_mut(path) {
+                    let off = *offset as usize;
+                    content[off..off + data.len()].copy_from_slice(data);
+                }
+            }
+            Ok(ExecOk { class: OpClass::Update, batch, verify_failure: false })
+        }
+        FsOp::Delete { path } => {
+            let batch = scheme.delete_file(path).map_err(|_| ())?;
+            files.remove(path);
+            expected.remove(path);
+            Ok(ExecOk { class: OpClass::Delete, batch, verify_failure: false })
+        }
+        FsOp::ListDir { path } => {
+            let (_, batch) = scheme.list_dir(path).map_err(|_| ())?;
+            Ok(ExecOk { class: OpClass::Metadata, batch, verify_failure: false })
+        }
+    }
+}
+
+/// Folds one executed op into `stats` and emits the `replay.op`
+/// telemetry — everything [`replay_with_state`]'s record step does
+/// *except* advancing the clock, which stays at the call site (the
+/// multi-client engine interleaves session bookkeeping between the two).
+pub(crate) fn record_into(
+    stats: &mut ReplayStats,
+    class: OpClass,
+    batch: &hyrd_gcsapi::BatchReport,
+    opts: &ReplayOptions,
+) {
+    stats.overall.record(batch.latency);
+    stats.per_class.entry(class.to_string()).or_default().record(batch.latency);
+    stats.provider_ops += batch.op_count() as u64;
+    stats.bytes_in += batch.bytes_in();
+    stats.bytes_out += batch.bytes_out();
+    if opts.telemetry.enabled() {
+        let class = class.to_string();
+        opts.telemetry
+            .event("replay.op")
+            .field("class", class.as_str())
+            .field("latency_ns", batch.latency.as_nanos() as u64)
+            .field("provider_ops", batch.op_count() as u64)
+            .emit();
+        opts.telemetry.inc_labeled("replay.ops", &class, 1);
+        opts.telemetry
+            .observe_labeled("replay.latency_ns", &class, batch.latency.as_nanos() as u64);
+    }
+}
+
 /// Replays `ops` through `scheme`, carrying `state` across calls —
 /// use this when splitting a workload into phases (e.g. Figure 6's
 /// pool-load in the normal state, transactions during the outage).
@@ -208,110 +336,19 @@ pub fn replay_with_state(
     state: &mut ReplayState,
 ) -> ReplayStats {
     let mut stats = ReplayStats { scheme: scheme.name().to_string(), ..Default::default() };
-    let ReplayState { files, expected } = state;
     let mut synth = SynthBuf::new();
-
-    let record = |stats: &mut ReplayStats, class: OpClass, batch: &hyrd_gcsapi::BatchReport| {
-        stats.overall.record(batch.latency);
-        stats
-            .per_class
-            .entry(class.to_string())
-            .or_default()
-            .record(batch.latency);
-        stats.provider_ops += batch.op_count() as u64;
-        stats.bytes_in += batch.bytes_in();
-        stats.bytes_out += batch.bytes_out();
-        if opts.telemetry.enabled() {
-            let class = class.to_string();
-            opts.telemetry
-                .event("replay.op")
-                .field("class", class.as_str())
-                .field("latency_ns", batch.latency.as_nanos() as u64)
-                .field("provider_ops", batch.op_count() as u64)
-                .emit();
-            opts.telemetry.inc_labeled("replay.ops", &class, 1);
-            opts.telemetry
-                .observe_labeled("replay.latency_ns", &class, batch.latency.as_nanos() as u64);
-        }
-        if opts.advance_clock {
-            clock.advance(batch.latency);
-        }
-    };
-
     for op in ops {
-        match op {
-            FsOp::Create { path, size } => {
-                let data = synth.fill(path, 0, *size as usize);
-                match scheme.create_file(path, data) {
-                    Ok(batch) => {
-                        let class = if *size <= opts.stats_threshold {
-                            OpClass::SmallWrite
-                        } else {
-                            OpClass::LargeWrite
-                        };
-                        record(&mut stats, class, &batch);
-                        files.insert(path.clone(), (*size, 1));
-                        if opts.verify_reads {
-                            expected.insert(path.clone(), data.to_vec());
-                        }
-                    }
-                    Err(_) => stats.errors += 1,
+        match exec_one(scheme, op, state, &mut synth, opts) {
+            Ok(done) => {
+                record_into(&mut stats, done.class, &done.batch, opts);
+                if done.verify_failure {
+                    stats.verify_failures += 1;
+                }
+                if opts.advance_clock {
+                    clock.advance(done.batch.latency);
                 }
             }
-            FsOp::Read { path } => {
-                let size = files.get(path).map_or(0, |(s, _)| *s);
-                match scheme.read_file(path) {
-                    Ok((bytes, batch)) => {
-                        let class = if size <= opts.stats_threshold {
-                            OpClass::SmallRead
-                        } else {
-                            OpClass::LargeRead
-                        };
-                        record(&mut stats, class, &batch);
-                        if opts.verify_reads {
-                            if let Some(want) = expected.get(path) {
-                                if &bytes[..] != want.as_slice() {
-                                    stats.verify_failures += 1;
-                                }
-                            }
-                        } else if bytes.len() as u64 != size {
-                            stats.verify_failures += 1;
-                        }
-                    }
-                    Err(_) => stats.errors += 1,
-                }
-            }
-            FsOp::Update { path, offset, len } => {
-                let version = files.get(path).map_or(1, |(_, v)| *v);
-                let data = synth.fill(path, version, *len as usize);
-                match scheme.update_file(path, *offset, data) {
-                    Ok(batch) => {
-                        record(&mut stats, OpClass::Update, &batch);
-                        if let Some((_, v)) = files.get_mut(path) {
-                            *v += 1;
-                        }
-                        if opts.verify_reads {
-                            if let Some(content) = expected.get_mut(path) {
-                                let off = *offset as usize;
-                                content[off..off + data.len()].copy_from_slice(data);
-                            }
-                        }
-                    }
-                    Err(_) => stats.errors += 1,
-                }
-            }
-            FsOp::Delete { path } => match scheme.delete_file(path) {
-                Ok(batch) => {
-                    record(&mut stats, OpClass::Delete, &batch);
-                    files.remove(path);
-                    expected.remove(path);
-                }
-                Err(_) => stats.errors += 1,
-            },
-            FsOp::ListDir { path } => match scheme.list_dir(path) {
-                Ok((_, batch)) => record(&mut stats, OpClass::Metadata, &batch),
-                Err(_) => stats.errors += 1,
-            },
+            Err(()) => stats.errors += 1,
         }
     }
     stats

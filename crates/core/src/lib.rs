@@ -25,7 +25,9 @@
 //! Supporting modules: [`config`] (tunables with the paper's defaults),
 //! [`scheme`] (the `Scheme` trait every Cloud-of-Clouds layout — HyRD and
 //! the baselines — implements), [`recovery`] (the update log), [`driver`]
-//! (workload replay), [`stats`] (latency statistics the figures report).
+//! (workload replay, including the deterministic multi-client engine
+//! `driver::multi_client` over the `&self` [`scheme::SharedScheme`]
+//! surface), [`stats`] (latency statistics the figures report).
 //! Hardening modules: [`health`] (per-provider circuit breakers and fault
 //! counters), [`integrity`] (client-side SHA-256 digests verified on
 //! every whole-object read), [`scrub`] (the background sweep that finds
@@ -75,7 +77,7 @@ pub use health::{BreakerSettings, BreakerState, FaultCounterSnapshot, HealthTrac
 pub use integrity::{IntegrityIndex, Verdict};
 pub use monitor::{DataClass, WorkloadMonitor};
 pub use recovery::{LogRecord, RecoveryReport, UpdateLog};
-pub use scheme::{Scheme, SchemeError, SchemeResult};
+pub use scheme::{Scheme, SchemeError, SchemeResult, SharedAsScheme, SharedScheme};
 pub use scrub::ScrubReport;
 
 /// Structured tracing and metrics ([`hyrd_telemetry`]), re-exported so
@@ -86,8 +88,9 @@ pub use hyrd_telemetry as telemetry;
 pub mod prelude {
     pub use crate::config::{CodeChoice, FragmentSelection, HyrdConfig};
     pub use crate::dispatcher::Hyrd;
+    pub use crate::driver::multi_client::{MultiClient, MultiClientOptions, MultiClientReport};
     pub use crate::driver::{ReplayOptions, ReplayStats, replay, replay_sweep};
-    pub use crate::scheme::{Scheme, SchemeError};
+    pub use crate::scheme::{Scheme, SchemeError, SharedScheme};
     pub use hyrd_cloudsim::{Fleet, SimClock};
     pub use hyrd_gcsapi::{BatchReport, CloudStorage};
 }

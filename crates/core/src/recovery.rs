@@ -75,6 +75,14 @@ impl UpdateLog {
         self.records.retain(|(p, r)| !(*p == provider && r.key() == key));
     }
 
+    /// Discharges the pending record for `key` on `provider`: the write
+    /// (or remove) it described has since landed through another route —
+    /// e.g. a desperation-pass forced put — so replaying it would only
+    /// re-ship bytes the provider already holds.
+    pub fn discharge(&mut self, provider: ProviderId, key: &ObjectKey) {
+        self.supersede(provider, key);
+    }
+
     /// Logs a missed Put.
     pub fn log_put(&mut self, provider: ProviderId, key: ObjectKey, data: Bytes) {
         self.supersede(provider, &key);
@@ -183,6 +191,22 @@ mod tests {
         log.log_remove(p, key("a"));
         assert_eq!(log.len(), 1);
         assert!(matches!(log.pending_for(p)[0], LogRecord::Remove { .. }));
+    }
+
+    #[test]
+    fn discharge_drops_only_the_named_record() {
+        let mut log = UpdateLog::new();
+        let p = ProviderId(0);
+        log.log_put(p, key("a"), Bytes::from_static(b"v1"));
+        log.log_put(p, key("b"), Bytes::from_static(b"v1"));
+        log.log_put(ProviderId(1), key("a"), Bytes::from_static(b"v1"));
+        log.discharge(p, &key("a"));
+        assert!(!log.is_pending(p, &key("a")));
+        assert!(log.is_pending(p, &key("b")));
+        assert!(log.is_pending(ProviderId(1), &key("a")));
+        // Discharging an absent record is a no-op.
+        log.discharge(p, &key("zzz"));
+        assert_eq!(log.len(), 2);
     }
 
     #[test]

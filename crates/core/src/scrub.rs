@@ -79,7 +79,7 @@ impl Hyrd {
     fn scrubbable(&self, provider: ProviderId, name: &str) -> bool {
         self.provider(provider).is_available()
             && self.health.admits(provider, self.now())
-            && !self.log.is_pending(provider, &Self::key(name))
+            && !self.log_l().is_pending(provider, &Self::key(name))
     }
 
     /// Fetches one copy for scrubbing, pushing its op on success.
@@ -126,7 +126,7 @@ impl Hyrd {
     }
 
     fn scrub_replicated(
-        &mut self,
+        &self,
         providers: &[ProviderId],
         object: &str,
         report: &mut ScrubReport,
@@ -146,11 +146,11 @@ impl Hyrd {
         if copies.is_empty() {
             return;
         }
-        if self.integrity.digest(object).is_some() {
+        if self.integrity_l().digest(object).is_some() {
             let mut good: Option<Bytes> = None;
             let mut bad: Vec<ProviderId> = Vec::new();
             for (p, bytes) in &copies {
-                match self.integrity.verify(object, bytes) {
+                match self.integrity_l().verify(object, bytes) {
                     Verdict::Verified => {
                         if good.is_none() {
                             good = Some(bytes.clone());
@@ -179,7 +179,7 @@ impl Hyrd {
             // if every reachable copy agrees, otherwise flag it — there
             // is no way to tell which copy is the truth.
             if copies.iter().all(|(_, b)| b == &copies[0].1) {
-                self.integrity.record(object, &copies[0].1);
+                self.integrity_l().record(object, &copies[0].1);
                 report.digests_refreshed += 1;
             } else {
                 report.unrecoverable += 1;
@@ -189,7 +189,7 @@ impl Hyrd {
 
     #[allow(clippy::too_many_arguments)]
     fn scrub_erasure(
-        &mut self,
+        &self,
         path: &str,
         layout: &hyrd_gfec::FragmentLayout,
         fragments: &[(ProviderId, String)],
@@ -199,13 +199,13 @@ impl Hyrd {
     ) {
         let mut fetched: Vec<(usize, ProviderId, Bytes, Verdict)> = Vec::new();
         for (i, (p, name)) in fragments.iter().enumerate() {
-            if !self.scrubbable(*p, name) || self.dirty.contains(path, i) {
+            if !self.scrubbable(*p, name) || self.dirty_l().contains(path, i) {
                 report.skipped += 1;
                 continue;
             }
             if let Some(bytes) = self.scrub_fetch(*p, name, ops) {
                 report.objects_swept += 1;
-                let verdict = self.integrity.verify(name, &bytes);
+                let verdict = self.integrity_l().verify(name, &bytes);
                 if verdict == Verdict::Corrupt {
                     report.corrupt_detected += 1;
                     self.note_scrub_corrupt(*p, name);
@@ -271,7 +271,7 @@ impl Hyrd {
                     report.repaired += 1;
                 }
             } else if *verdict == Verdict::Unknown {
-                self.integrity.record(&fragments[*i].1, want);
+                self.integrity_l().record(&fragments[*i].1, want);
                 report.digests_refreshed += 1;
             }
         }
@@ -287,10 +287,10 @@ impl Hyrd {
                         let good = Bytes::from(object.clone());
                         if self.scrub_rewrite(*p, name, &good, ops) {
                             report.repaired += 1;
-                            self.integrity.record(name, &good);
+                            self.integrity_l().record(name, &good);
                         }
-                    } else if self.integrity.digest(name).is_none() {
-                        self.integrity.record(name, &bytes);
+                    } else if self.integrity_l().digest(name).is_none() {
+                        self.integrity_l().record(name, &bytes);
                         report.digests_refreshed += 1;
                     }
                 } else {
@@ -305,22 +305,22 @@ impl Hyrd {
     /// One full scrub pass over every file in the namespace. Returns what
     /// was found/fixed plus the op accounting (scrub is background
     /// traffic: latencies sum serially).
-    pub fn scrub(&mut self) -> SchemeResult<(ScrubReport, BatchReport)> {
+    pub fn scrub(&self) -> SchemeResult<(ScrubReport, BatchReport)> {
         let _span = self.telemetry.span("scrub");
         let mut report = ScrubReport::default();
         let mut ops: Vec<OpReport> = Vec::new();
 
-        let mut dirs = self.meta.all_dirs();
+        let mut dirs = self.meta_l().all_dirs();
         dirs.sort_by(|a, b| a.as_str().cmp(b.as_str()));
         for dir in dirs {
-            let entries = self.meta.list(&dir)?;
+            let entries = self.meta_l().list(&dir)?;
             for entry in entries {
                 let hyrd_metastore::namespace::DirEntry::File(name, _) = entry else {
                     continue;
                 };
                 let Ok(fpath) = dir.join(&name) else { continue };
-                let Ok(inode) = self.meta.get(&fpath) else { continue };
-                match inode.placement.clone() {
+                let Ok(inode) = self.meta_l().inode(&fpath) else { continue };
+                match inode.placement {
                     Placement::Pending => {}
                     Placement::Replicated { providers, object } => {
                         self.scrub_replicated(&providers, &object, &mut report, &mut ops);

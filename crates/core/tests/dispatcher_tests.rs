@@ -1,10 +1,12 @@
 //! End-to-end tests of the HyRD dispatcher over the simulated fleet.
 
+use std::time::Duration;
+
 use hyrd::config::{CodeChoice, FragmentSelection, HyrdConfig};
 use hyrd::driver::synth_content;
 use hyrd::scheme::{Scheme, SchemeError};
 use hyrd::Hyrd;
-use hyrd_cloudsim::{Fleet, SimClock};
+use hyrd_cloudsim::{FaultPlan, Fleet, SimClock};
 use hyrd_gcsapi::{CloudStorage, OpKind};
 
 const KB: usize = 1024;
@@ -544,4 +546,155 @@ fn rolled_back_create_ships_no_metadata_on_the_next_flush() {
         meta_puts, data_puts,
         "one metadata block (\"/b\") per replica; more means the rolled-back \"/a\" was re-shipped"
     );
+}
+
+/// Trips a provider's circuit breaker: five consecutive failures.
+fn trip_breaker(h: &Hyrd, fleet: &Fleet, clock: &SimClock, provider: &str) {
+    let id = fleet.by_name(provider).unwrap().id();
+    for _ in 0..5 {
+        h.health().record_failure(id, clock.now());
+    }
+}
+
+#[test]
+fn forced_small_create_discharges_its_pessimistic_log_entries() {
+    let clock = SimClock::new();
+    let fleet = Fleet::standard_four(clock.clone());
+    let h = hyrd(&fleet);
+    // Both performance-tier breakers open: every replica target is
+    // rejected up front (and pessimistically logged), so the create can
+    // only land through the desperation pass's forced puts.
+    trip_breaker(&h, &fleet, &clock, "Aliyun");
+    trip_breaker(&h, &fleet, &clock, "Windows Azure");
+
+    let data = synth_content("/forced", 0, 4 * KB);
+    h.create_file("/forced", &data).unwrap();
+    assert_eq!(
+        h.pending_log_len(),
+        0,
+        "the forced puts landed the bytes; stale log entries would re-ship them on recovery"
+    );
+    let (bytes, _) = h.read_file("/forced").unwrap();
+    assert_eq!(&bytes[..], &data[..]);
+}
+
+#[test]
+fn forced_large_create_discharges_its_pessimistic_log_entries() {
+    let clock = SimClock::new();
+    let fleet = Fleet::standard_four(clock.clone());
+    let h = hyrd(&fleet);
+    for p in ["Amazon S3", "Windows Azure", "Aliyun", "Rackspace"] {
+        trip_breaker(&h, &fleet, &clock, p);
+    }
+
+    // All four fragment targets breaker-rejected → below the durability
+    // floor → every fragment ships through the desperation pass.
+    let data = synth_content("/forced-big", 0, 2 * MB);
+    h.create_file("/forced-big", &data).unwrap();
+    assert_eq!(h.pending_log_len(), 0, "every forced fragment put must discharge its log entry");
+    let (bytes, _) = h.read_file("/forced-big").unwrap();
+    assert_eq!(&bytes[..], &data[..]);
+}
+
+#[test]
+fn forced_small_update_ships_the_full_object_and_discharges() {
+    let clock = SimClock::new();
+    let fleet = Fleet::standard_four(clock.clone());
+    let h = hyrd(&fleet);
+    let mut content = synth_content("/f", 0, 8 * KB);
+    h.create_file("/f", &content).unwrap();
+    assert_eq!(h.pending_log_len(), 0);
+
+    trip_breaker(&h, &fleet, &clock, "Aliyun");
+    trip_breaker(&h, &fleet, &clock, "Windows Azure");
+    let patch = synth_content("/f", 1, KB);
+    h.update_file("/f", 1000, &patch).unwrap();
+    content[1000..1000 + KB].copy_from_slice(&patch);
+    assert_eq!(h.pending_log_len(), 0, "the forced update discharged its log entries");
+
+    // The desperation pass ships the whole post-update object (a forced
+    // *ranged* write could land on a stale base), so either replica
+    // alone serves the patched content.
+    for victim in ["Aliyun", "Windows Azure"] {
+        fleet.by_name(victim).unwrap().force_down();
+        let (bytes, _) = h.read_file("/f").unwrap();
+        assert_eq!(&bytes[..], &content[..], "with {victim} down");
+        fleet.by_name(victim).unwrap().restore();
+    }
+}
+
+#[test]
+fn failed_delete_logs_pending_removes_and_recovery_reclaims_them() {
+    let clock = SimClock::new();
+    let fleet = Fleet::standard_four(clock.clone());
+    let h = hyrd(&fleet);
+    let data = synth_content("/leak", 0, 32 * KB);
+    h.create_file("/leak", &data).unwrap();
+    assert_eq!(h.pending_log_len(), 0);
+
+    // Every provider call now fails transiently — timeouts and
+    // throttling, NOT "object gone". A delete in this window must queue
+    // its removes for replay; treating the errors as already-gone would
+    // leak the billed replicas forever.
+    let until = clock.now() + Duration::from_secs(24 * 3600);
+    for p in fleet.providers() {
+        p.set_fault_plan(FaultPlan::quiet().with_burst(clock.now(), until, 1000));
+    }
+    h.delete_file("/leak").unwrap();
+    assert!(h.pending_log_len() > 0, "failed removes must be queued, not dropped");
+
+    // Faults clear; the consistency update reclaims the orphans.
+    for p in fleet.providers() {
+        p.set_fault_plan(FaultPlan::quiet());
+    }
+    let mut removes = 0;
+    for p in fleet.providers() {
+        let (r, _) = h.recover_provider(p.id()).unwrap();
+        removes += r.removes_replayed;
+    }
+    assert!(removes >= 2, "both leaked replicas reclaimed, got {removes}");
+    assert_eq!(h.pending_log_len(), 0);
+    assert!(
+        fleet.total_stored_bytes() < data.len() as u64,
+        "a 32 KB replica was left behind: {} bytes still stored",
+        fleet.total_stored_bytes()
+    );
+}
+
+#[test]
+fn concurrent_sessions_share_one_client_across_threads() {
+    let fleet = fleet();
+    let h = hyrd(&fleet);
+    // Free-running concurrency (no determinism claimed): four OS threads
+    // drive the same `&Hyrd` through the full CRUD surface on disjoint
+    // directories. This is the `Sync` guarantee the lock-striped
+    // dispatcher makes; the deterministic interleaving lives in
+    // `driver::multi_client`.
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let h = &h;
+            s.spawn(move || {
+                let dir = format!("/t{t}");
+                for i in 0..6 {
+                    let path = format!("{dir}/f{i}");
+                    let size = if i % 3 == 2 { 2 * MB } else { 8 * KB };
+                    let data = synth_content(&path, 0, size);
+                    h.create_file(&path, &data).unwrap();
+                    let (bytes, _) = h.read_file(&path).unwrap();
+                    assert_eq!(&bytes[..], &data[..], "{path}");
+                }
+                let patch = synth_content(&dir, 1, KB);
+                h.update_file(&format!("{dir}/f0"), 0, &patch).unwrap();
+                h.delete_file(&format!("{dir}/f1")).unwrap();
+            });
+        }
+    });
+    // Every thread's namespace survived everyone else's traffic.
+    for t in 0..4 {
+        let (names, _) = h.list_dir(&format!("/t{t}")).unwrap();
+        assert_eq!(names.len(), 5, "/t{t} lists {names:?}");
+        let (bytes, _) = h.read_file(&format!("/t{t}/f2")).unwrap();
+        assert_eq!(bytes.len(), 2 * MB);
+    }
+    assert_eq!(h.pending_log_len(), 0, "no outages, so no pending writes");
 }

@@ -1,10 +1,12 @@
 //! Tests of the replay driver: classification, verification, clock
-//! advancement, error accounting and phased state.
+//! advancement, error accounting and phased state — plus the
+//! deterministic multi-client engine's invariance contract.
 
-use hyrd::driver::{replay, replay_with_state, ReplayOptions, ReplayState};
+use hyrd::driver::{multi_client, replay, replay_with_state, ReplayOptions, ReplayState};
 use hyrd::prelude::*;
 use hyrd::stats::OpClass;
-use hyrd_workloads::FsOp;
+use hyrd::telemetry::{Collector, SharedBuf};
+use hyrd_workloads::{FileSizeDist, FsOp, PostMark, PostMarkConfig};
 
 const KB: u64 = 1024;
 const MB: u64 = 1024 * 1024;
@@ -126,4 +128,116 @@ fn provider_op_and_byte_accounting_matches_fleet_stats() {
     let fleet_in: u64 = fleet.providers().iter().map(|p| p.stats().bytes_in).sum();
     assert!(stats.bytes_in <= fleet_in);
     assert!(stats.bytes_in > 3 * MB, "the striped large file was uploaded");
+}
+
+/// A PostMark stream sized for the engine tests: enough ops to spread
+/// across many sessions, both tiers exercised, seconds not minutes.
+fn soak_ops() -> Vec<FsOp> {
+    let config = PostMarkConfig {
+        initial_files: 10,
+        transactions: 50,
+        size_dist: FileSizeDist::log_uniform(KB, 2 * MB),
+        seed: 11,
+        ..PostMarkConfig::default()
+    };
+    PostMark::new(config).generate().0
+}
+
+#[test]
+fn multi_client_merged_stats_equal_a_plain_replay() {
+    let ops = soak_ops();
+    let opts = || ReplayOptions { verify_reads: true, ..Default::default() };
+
+    let (clock, _fleet, mut h) = setup();
+    let plain = replay(&mut h, &ops, &clock, &opts());
+
+    let (clock2, _fleet2, h2) = setup();
+    let report = multi_client::run(
+        &h2,
+        &clock2,
+        &ops,
+        MultiClientOptions { clients: 3, jobs: 1, replay: opts() },
+    );
+    assert_eq!(report.merged, plain, "3 sessions must merge to the single-session stats");
+    assert_eq!(clock2.now(), clock.now(), "virtual schedules agree");
+    assert_eq!(plain.verify_failures, 0);
+}
+
+#[test]
+fn multi_client_output_is_invariant_across_clients_and_jobs() {
+    let ops = soak_ops();
+    let run = |clients: usize, jobs: usize| {
+        let clock = SimClock::new();
+        let fleet = Fleet::standard_four(clock.clone());
+        let buf = SharedBuf::new();
+        let telemetry = Collector::builder(clock.clone()).jsonl(buf.clone()).build();
+        let h = Hyrd::with_telemetry(&fleet, HyrdConfig::default(), telemetry.clone())
+            .expect("valid default config");
+        let opts = ReplayOptions {
+            verify_reads: true,
+            telemetry: telemetry.clone(),
+            ..Default::default()
+        };
+        let report = multi_client::run(
+            &h,
+            &clock,
+            &ops,
+            MultiClientOptions { clients, jobs, replay: opts },
+        );
+        telemetry.flush();
+        (serde_json::to_string(&report.merged).expect("serialize"), buf.contents(), report)
+    };
+
+    let (base_json, base_trace, base_report) = run(1, 1);
+    assert_eq!(base_report.sessions.len(), 1);
+    assert!(!base_trace.is_empty(), "the trace sink must actually receive events");
+    for (clients, jobs) in [(3, 1), (8, 2), (3, 4), (16, 1)] {
+        let (json, trace, report) = run(clients, jobs);
+        assert_eq!(json, base_json, "merged stats diverged at clients={clients} jobs={jobs}");
+        assert_eq!(trace, base_trace, "trace diverged at clients={clients} jobs={jobs}");
+        assert_eq!(report.sessions.len(), clients);
+
+        // The per-session tallies legitimately vary — but they must
+        // partition the merged totals exactly.
+        let ops_sum: u64 = report.sessions.iter().map(|s| s.ops).sum();
+        let err_sum: u64 = report.sessions.iter().map(|s| s.errors).sum();
+        assert_eq!(ops_sum, report.merged.overall.count() as u64);
+        assert_eq!(err_sum, report.merged.errors);
+        assert_eq!(ops_sum + err_sum, ops.len() as u64);
+        let prov_sum: u64 = report.sessions.iter().map(|s| s.provider_ops).sum();
+        assert_eq!(prov_sum, report.merged.provider_ops);
+        assert!(
+            report.sessions.iter().all(|s| s.ops > 0),
+            "queue sharing keeps every session busy (clients={clients})"
+        );
+    }
+}
+
+#[test]
+fn multi_client_batches_accumulate_like_phased_replay() {
+    let ops = soak_ops();
+    let mid = ops.len() / 2;
+
+    let (clock, _fleet, h) = setup();
+    let engine = MultiClient::new(
+        &h,
+        &clock,
+        MultiClientOptions { clients: 4, ..Default::default() },
+    );
+    let mut total = ReplayStats::default();
+    total.absorb(&engine.run_ops(&ops[..mid]));
+    total.absorb(&engine.run_ops(&ops[mid..]));
+
+    // The reference: the same two phases through the single-session
+    // driver, folded the same way (identical float grouping).
+    let (clock2, _fleet2, mut h2) = setup();
+    let opts = ReplayOptions::default();
+    let mut state = ReplayState::default();
+    let mut reference = ReplayStats::default();
+    reference.absorb(&replay_with_state(&mut h2, &ops[..mid], &clock2, &opts, &mut state));
+    reference.absorb(&replay_with_state(&mut h2, &ops[mid..], &clock2, &opts, &mut state));
+
+    assert_eq!(total, reference, "state carries across batches exactly like replay_with_state");
+    assert_eq!(clock.now(), clock2.now());
+    assert_eq!(engine.live_files(), 0, "postmark cleanup deletes the whole pool");
 }

@@ -121,6 +121,13 @@ impl MetaStore {
         Ok(self.inodes.get(&id).expect("namespace and inode table in sync"))
     }
 
+    /// Looks up a file's inode by path and clones it out. Callers holding
+    /// the store behind a lock use this to copy the placement and drop
+    /// the guard before doing provider I/O (see DESIGN.md §11).
+    pub fn inode(&self, path: &NormPath) -> Result<Inode> {
+        self.get(path).map(Inode::clone)
+    }
+
     /// Looks up by id.
     pub fn get_by_id(&self, id: FileId) -> Option<&Inode> {
         self.inodes.get(&id)

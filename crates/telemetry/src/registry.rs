@@ -96,6 +96,20 @@ impl MetricsSnapshot {
             })
             .collect()
     }
+
+    /// `(suffix, digest)` for every histogram named `prefix[suffix]`,
+    /// e.g. `histograms_labeled("lock.wait_ns")` → one entry per lock
+    /// stripe. The counter counterpart of [`Self::counters_labeled`].
+    pub fn histograms_labeled(&self, prefix: &str) -> Vec<(String, HistogramSummary)> {
+        let open = format!("{prefix}[");
+        self.histograms
+            .iter()
+            .filter_map(|(k, v)| {
+                let rest = k.strip_prefix(&open)?;
+                Some((rest.strip_suffix(']')?.to_string(), v.clone()))
+            })
+            .collect()
+    }
 }
 
 /// Bucket-derived digest of one histogram.
@@ -153,6 +167,24 @@ mod tests {
             s.counters_labeled("provider.faults"),
             vec![("aliyun".to_string(), 1), ("azure".to_string(), 7)]
         );
+    }
+
+    #[test]
+    fn labeled_histogram_scan() {
+        let r = Registry::default();
+        r.observe("lock.wait_ns[meta]", 100);
+        r.observe("lock.wait_ns[meta]", 300);
+        r.observe("lock.wait_ns[log]", 7);
+        r.observe("other_hist", 1);
+        let s = r.snapshot();
+        let labeled = s.histograms_labeled("lock.wait_ns");
+        assert_eq!(labeled.len(), 2);
+        assert_eq!(labeled[0].0, "log");
+        assert_eq!(labeled[0].1.count, 1);
+        assert_eq!(labeled[1].0, "meta");
+        assert_eq!(labeled[1].1.count, 2);
+        assert_eq!(labeled[1].1.sum, 400);
+        assert!(s.histograms_labeled("nope").is_empty());
     }
 
     #[test]

@@ -44,6 +44,15 @@ pub struct PostMarkConfig {
     pub list_every: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Directory the pool lives under. Multi-client soaks give each
+    /// generator its own root so independently seeded streams never
+    /// collide on paths; defaults to the classic `/postmark`.
+    #[serde(default = "default_root")]
+    pub root: String,
+}
+
+fn default_root() -> String {
+    "/postmark".to_string()
 }
 
 impl Default for PostMarkConfig {
@@ -58,6 +67,7 @@ impl Default for PostMarkConfig {
             update_len: 4 * 1024,
             list_every: 4,
             seed: 0xB0A7,
+            root: default_root(),
         }
     }
 }
@@ -123,7 +133,7 @@ impl PostMark {
             if !used.contains(&dir) {
                 used.push(dir);
             }
-            format!("/postmark/s{dir:02}/f{n:06}")
+            format!("{}/s{dir:02}/f{n:06}", c.root)
         };
 
         // Phase 1: build the pool.
@@ -172,7 +182,7 @@ impl PostMark {
             // received at least one file).
             if c.list_every > 0 && (t + 1) % c.list_every == 0 && !used_dirs.is_empty() {
                 let dir = used_dirs[rng.gen_range(0..used_dirs.len())];
-                ops.push(FsOp::ListDir { path: format!("/postmark/s{dir:02}") });
+                ops.push(FsOp::ListDir { path: format!("{}/s{dir:02}", c.root) });
                 report.lists += 1;
             }
         }
@@ -287,6 +297,35 @@ mod tests {
             .map(|o| &o.path()[..13]) // "/postmark/sNN"
             .collect();
         assert!(dirs.len() >= 3, "only {} subdirs used", dirs.len());
+    }
+
+    #[test]
+    fn custom_root_prefixes_every_path() {
+        let mut c = small_config(7);
+        c.root = "/mail/c03".to_string();
+        let (ops, _) = PostMark::new(c).generate();
+        assert!(!ops.is_empty());
+        for op in &ops {
+            assert!(
+                op.path().starts_with("/mail/c03/s"),
+                "op escaped its root: {}",
+                op.path()
+            );
+        }
+        // Same seed, different roots: identical streams modulo prefix —
+        // what keeps per-session workloads comparable in multi-client
+        // soaks.
+        let base = PostMark::new(small_config(7)).generate().0;
+        let mut rerooted = small_config(7);
+        rerooted.root = "/mail/c03".to_string();
+        let moved = PostMark::new(rerooted).generate().0;
+        assert_eq!(base.len(), moved.len());
+        for (a, b) in base.iter().zip(&moved) {
+            assert_eq!(
+                a.path().replace("/postmark", "/mail/c03"),
+                b.path().to_string()
+            );
+        }
     }
 
     #[test]

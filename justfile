@@ -22,6 +22,12 @@ trace:
     cargo run --release -p hyrd-bench --bin chaos_drill -- --smoke --trace target/experiments/chaos_trace.jsonl
     @echo "trace at target/experiments/chaos_trace.jsonl"
 
+# Multi-client determinism soak: N closed-loop sessions over one shared
+# client; --check asserts merged stats + traces are byte-identical for
+# every session/worker count (DESIGN.md §11).
+multi-client:
+    cargo run --release -p hyrd-bench --bin multi_client -- --smoke --clients 4 --check
+
 # Regenerate the paper-figure experiment JSONs.
 experiments:
     cargo run --release -p hyrd-bench --bin fig6
