@@ -23,20 +23,28 @@
 //! namespace through the deterministic multi-client engine — the fault
 //! schedule now lands on concurrent sessions instead of one.
 //!
+//! `--crash` composes the chaos schedule with deterministic **client
+//! crashes**: the drill runs through the crash harness, a seeded
+//! [`CrashPlan`] kills the client at recurring op budgets (while
+//! throttling bursts, corruption and the mid-drill outage stay live),
+//! each death restarts from the crash journal, and the run ends with
+//! the strict durability audit — zero violations required.
+//!
 //! Usage: `chaos_drill [--ops N] [--seed S] [--smoke] [--selfcheck]
-//! [--clients N] [--jobs N] [--trace PATH]`
+//! [--clients N] [--jobs N] [--trace PATH] [--crash]`
 
 use std::collections::BTreeMap;
 use std::time::Duration;
 
 use serde::Serialize;
 
+use hyrd::crashtest::CrashHarness;
 use hyrd::driver::ReplayOptions;
 use hyrd::prelude::*;
 use hyrd::scrub::ScrubReport;
 use hyrd::telemetry::{Collector, SharedBuf, SlowSpan};
 use hyrd_bench::{header, write_json};
-use hyrd_cloudsim::FaultPlan;
+use hyrd_cloudsim::{CrashPlan, FaultPlan};
 use hyrd_workloads::{FsOp, IaTrace};
 
 const CHUNK: usize = 250;
@@ -303,6 +311,111 @@ fn run_drill(seed: u64, ops_target: usize, clients: usize) -> (ChaosReport, Vec<
     (report, trace)
 }
 
+/// Everything one crash-mode drill measured. All scalars, so the same
+/// seed serializes byte-identically.
+#[derive(Debug, Serialize, PartialEq)]
+struct CrashDrillReport {
+    seed: u64,
+    ops_replayed: usize,
+    acked: u64,
+    refused: u64,
+    crashes: u64,
+    restarts: u64,
+    restarts_gc_skipped: u64,
+    intents_rolled_forward: u64,
+    intents_rolled_back: u64,
+    replicas_healed: u64,
+    orphans_removed: u64,
+    pending_pruned: u64,
+    torn_blocks_seen: u64,
+    total_violations: u64,
+    violations: Vec<String>,
+}
+
+/// The chaos schedule with deterministic client deaths on top: the op
+/// stream runs through the crash harness, a fresh op-budget kill point
+/// is armed every ~90 ops, every death restarts from the crash journal
+/// (mid-outage restarts skip GC by design), and the drill ends with the
+/// strict final durability audit.
+fn run_crash_drill(seed: u64, ops_target: usize) -> CrashDrillReport {
+    let clock = SimClock::new();
+    let fleet = Fleet::standard_four(clock.clone());
+    let mut h = CrashHarness::new(&fleet, HyrdConfig::default(), Collector::disabled())
+        .expect("valid default config");
+    // Faults are live: unreadable files retry at the next audit instead
+    // of flagging immediately (the final audit is strict regardless).
+    h.set_strict_reads(false);
+
+    let trace = IaTrace::synthesize(seed);
+    let ops = build_ops(&trace, seed, ops_target);
+    let horizon = Duration::from_millis(ops.len() as u64 * 1500);
+    for (idx, p) in fleet.providers().iter().enumerate() {
+        p.set_fault_plan(FaultPlan::chaos(mix(seed, idx as u64 + 1), horizon));
+    }
+
+    let down_at = ops.len() * 2 / 5;
+    let up_at = ops.len() * 3 / 5;
+    let victim = fleet.by_name("Windows Azure").expect("standard fleet");
+    let switch = fleet.crash_switch();
+
+    for (i, op) in ops.iter().enumerate() {
+        if i == down_at {
+            victim.force_down();
+        }
+        if i == up_at {
+            victim.restore();
+            h.recover_all();
+        }
+        if h.is_dead() {
+            h.restart_and_audit();
+        }
+        // Arm after any restart (restarting disarms the switch): the
+        // next death lands somewhere in the following ~200 provider ops.
+        if i % 90 == 0 {
+            let delta = 1 + mix(seed ^ 0xDEAD_BEEF, i as u64) % 200;
+            switch.arm(CrashPlan::at_op(switch.op_count() + delta));
+        }
+        h.execute(op);
+    }
+
+    // Faults end; the drill must come back to a clean, whole state.
+    for p in fleet.providers() {
+        p.set_fault_plan(FaultPlan::quiet());
+        p.restore();
+    }
+    h.final_audit();
+
+    let (acked, refused, crashes) = h.tallies();
+    let mut report = CrashDrillReport {
+        seed,
+        ops_replayed: ops.len(),
+        acked,
+        refused,
+        crashes,
+        restarts: h.restart_reports().len() as u64,
+        restarts_gc_skipped: 0,
+        intents_rolled_forward: 0,
+        intents_rolled_back: 0,
+        replicas_healed: 0,
+        orphans_removed: 0,
+        pending_pruned: 0,
+        torn_blocks_seen: 0,
+        total_violations: h.violations().len() as u64,
+        violations: h.violations().to_vec(),
+    };
+    for r in h.restart_reports() {
+        report.restarts_gc_skipped += u64::from(r.gc_skipped);
+        report.intents_rolled_forward += r.intents_rolled_forward;
+        report.intents_rolled_back += r.intents_rolled_back;
+        report.replicas_healed += r.replicas_healed;
+        report.orphans_removed += r.orphans_removed;
+        report.pending_pruned += r.pending_pruned;
+        report.torn_blocks_seen += r.torn_blocks;
+    }
+    report.violations.truncate(40); // count stays full
+    report
+}
+
 fn main() {
     let mut ops: usize = 10_000;
     let mut seed: u64 = 42;
@@ -310,6 +423,7 @@ fn main() {
     let mut clients: usize = 1;
     let mut jobs: usize = 2;
     let mut trace_path: Option<String> = None;
+    let mut crash = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -322,8 +436,39 @@ fn main() {
             }
             "--jobs" => jobs = args.next().expect("--jobs N").parse().expect("numeric --jobs"),
             "--trace" => trace_path = Some(args.next().expect("--trace PATH")),
+            "--crash" => crash = true,
             other => panic!("unknown argument: {other}"),
         }
+    }
+
+    if crash {
+        header(&format!("chaos crash drill: {ops} ops, seed {seed}"));
+        let report = run_crash_drill(seed, ops);
+        let body = serde_json::to_string_pretty(&report).expect("serialize report");
+        if selfcheck {
+            let again = run_crash_drill(seed, ops);
+            assert_eq!(report, again, "crash drill diverged between same-seed runs");
+            println!("selfcheck: crash-mode report byte-identical across two runs ✓");
+        }
+        println!("{body}");
+        write_json("chaos_crash_drill", &report);
+        assert_eq!(
+            report.total_violations, 0,
+            "durability violations under chaos + client crashes:\n{}",
+            report.violations.join("\n")
+        );
+        println!(
+            "survived: {} ops, {} client crashes, {} restarts ({} mid-outage, GC deferred), \
+             {} intents rolled forward, {} rolled back, {} orphans GC'd — 0 durability violations",
+            report.ops_replayed,
+            report.crashes,
+            report.restarts,
+            report.restarts_gc_skipped,
+            report.intents_rolled_forward,
+            report.intents_rolled_back,
+            report.orphans_removed,
+        );
+        return;
     }
 
     header(&format!("chaos drill: {ops} ops, seed {seed}, {clients} client(s)"));

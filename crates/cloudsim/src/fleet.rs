@@ -5,6 +5,7 @@ use std::sync::Arc;
 use hyrd_gcsapi::{CloudStorage, ProviderId};
 
 use crate::clock::SimClock;
+use crate::crash::CrashSwitch;
 use crate::profiles::{ProviderProfile, WellKnownProvider};
 use crate::provider::SimProvider;
 
@@ -13,20 +14,27 @@ use crate::provider::SimProvider;
 pub struct Fleet {
     clock: SimClock,
     providers: Vec<Arc<SimProvider>>,
+    crash: Arc<CrashSwitch>,
 }
 
 impl Fleet {
     /// The container name every scheme stores objects under.
     pub const CONTAINER: &'static str = "hyrd";
 
-    /// Builds a fleet from profiles, assigning sequential ids.
+    /// Builds a fleet from profiles, assigning sequential ids. All
+    /// providers share one [`CrashSwitch`] (disarmed by default): a
+    /// crash budget counts admitted ops fleet-wide, not per provider.
     pub fn new(clock: SimClock, profiles: Vec<ProviderProfile>) -> Self {
-        let providers = profiles
+        let crash = Arc::new(CrashSwitch::new());
+        let providers: Vec<Arc<SimProvider>> = profiles
             .into_iter()
             .enumerate()
             .map(|(i, p)| Arc::new(SimProvider::new(ProviderId(i as u16), p, clock.clone())))
             .collect();
-        Fleet { clock, providers }
+        for p in &providers {
+            p.set_crash_switch(crash.clone());
+        }
+        Fleet { clock, providers, crash }
     }
 
     /// The paper's evaluation fleet: Amazon S3, Windows Azure, Aliyun and
@@ -101,6 +109,12 @@ impl Fleet {
     /// Total bytes stored across the fleet (space-overhead metric).
     pub fn total_stored_bytes(&self) -> u64 {
         self.providers.iter().map(|p| p.stored_bytes()).sum()
+    }
+
+    /// The fleet-wide crash switch (see [`crate::crash`]). Arm it to
+    /// kill the client at a chosen op boundary; disarmed it just counts.
+    pub fn crash_switch(&self) -> &Arc<CrashSwitch> {
+        &self.crash
     }
 
     /// Installs a telemetry collector on every provider, so each op and

@@ -17,6 +17,9 @@
 //! * **seeded fault injection** ([`faults`]): throttling bursts, latency
 //!   spikes, wire corruption, torn writes and bit rot, reproducible from
 //!   one seed,
+//! * **deterministic client-crash injection** ([`crash`]): a fleet-shared
+//!   switch that kills the client at a chosen op boundary or named
+//!   crashpoint, so a torture harness can sweep every crash site,
 //! * full **op/byte accounting** for the cost simulator.
 //!
 //! Time is virtual: ops return their latency in the `OpReport` and the
@@ -27,6 +30,7 @@
 //! demos that want to *feel* the latencies.
 
 pub mod clock;
+pub mod crash;
 pub mod dircloud;
 pub mod faults;
 pub mod fleet;
@@ -38,6 +42,7 @@ pub mod provider;
 pub mod realtime;
 
 pub use clock::SimClock;
+pub use crash::{CrashPlan, CrashSite, CrashSwitch};
 pub use dircloud::DirCloud;
 pub use faults::{FaultPlan, FaultWindow, LatencySpike};
 pub use fleet::Fleet;

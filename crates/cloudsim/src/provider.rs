@@ -21,6 +21,7 @@ use hyrd_gcsapi::{
 use hyrd_telemetry::Collector;
 
 use crate::clock::SimClock;
+use crate::crash::CrashSwitch;
 use crate::faults::FaultPlan;
 use crate::outage::OutageSchedule;
 use crate::pricing::{PriceBook, ProviderCategory};
@@ -75,6 +76,8 @@ pub struct SimProvider {
     rot_applied: AtomicU64,
     /// Telemetry sink; disabled (no-op) by default.
     telemetry: RwLock<Collector>,
+    /// Fleet-shared client-crash switch; absent for standalone providers.
+    crash: RwLock<Option<std::sync::Arc<CrashSwitch>>>,
 }
 
 impl SimProvider {
@@ -94,7 +97,14 @@ impl SimProvider {
             faults: RwLock::new(FaultPlan::quiet()),
             rot_applied: AtomicU64::new(0),
             telemetry: RwLock::new(Collector::disabled()),
+            crash: RwLock::new(None),
         }
+    }
+
+    /// Attaches the fleet's shared [`CrashSwitch`]; every admitted op
+    /// consults (and counts on) it. Called by `Fleet::new`.
+    pub fn set_crash_switch(&self, switch: std::sync::Arc<CrashSwitch>) {
+        *self.crash.write() = Some(switch);
     }
 
     /// Installs a telemetry collector; every subsequent op emits a
@@ -161,6 +171,17 @@ impl SimProvider {
     /// Number of stored objects across containers.
     pub fn object_count(&self) -> usize {
         self.store.read().values().map(|c| c.len()).sum()
+    }
+
+    /// Audit backdoor: every `(name, length)` stored in `container`, in
+    /// name order, without an op, stats, or latency — the durability
+    /// auditor's ground-truth view of what physically exists.
+    pub fn object_inventory(&self, container: &str) -> Vec<(String, u64)> {
+        self.store
+            .read()
+            .get(container)
+            .map(|c| c.iter().map(|(k, v)| (k.clone(), v.len())).collect())
+            .unwrap_or_default()
     }
 
     /// Forces the provider into an outage (Figure 6 methodology).
@@ -260,6 +281,16 @@ impl SimProvider {
 
     /// Availability check + per-op bookkeeping; returns the jitter seq.
     fn admit(&self) -> CloudResult<u64> {
+        // Crash check first: a dead client issues no ops at all, so the
+        // boundary counter must see every attempt, including ones an
+        // outage or fault would have rejected anyway.
+        if let Some(crash) = self.crash.read().clone() {
+            if crash.on_op() {
+                self.stats.record_err();
+                self.note_fault("crash");
+                return Err(CloudError::Crashed { provider: self.id });
+            }
+        }
         self.apply_due_rot();
         if !self.outage.read().is_up(self.clock.now()) {
             self.stats.record_err();

@@ -65,6 +65,7 @@ use crate::config::{CodeChoice, FragmentSelection, HyrdConfig};
 use crate::evaluator::Evaluator;
 use crate::health::{FaultCounterSnapshot, FaultCounters, HealthTracker};
 use crate::integrity::{IntegrityIndex, Verdict};
+use crate::journal::{FragWrite, Intent, Journal};
 use crate::monitor::{DataClass, WorkloadMonitor};
 use crate::recovery::{RecoveryReport, UpdateLog};
 use crate::scheme::{Scheme, SchemeError, SchemeResult, SharedScheme};
@@ -193,6 +194,9 @@ pub struct Hyrd {
     pub(crate) integrity: Mutex<IntegrityIndex>,
     pub(crate) counters: FaultCounters,
     pub(crate) telemetry: Collector,
+    /// Crash journal (disabled outside the crash harness; see
+    /// [`crate::journal`]).
+    pub(crate) journal: Journal,
 }
 
 impl Hyrd {
@@ -213,6 +217,21 @@ impl Hyrd {
         config: HyrdConfig,
         telemetry: Collector,
     ) -> SchemeResult<Self> {
+        Hyrd::with_journal(fleet, config, telemetry, Journal::disabled())
+    }
+
+    /// Like [`Hyrd::with_telemetry`], with an attached crash journal:
+    /// the dispatcher mirrors its recovery log and dirty-fragment set
+    /// into the journal and records per-operation intents, and the
+    /// journal's crashpoints become live (see [`crate::journal`] and
+    /// [`Hyrd::restart`]). Ordinary clients pass [`Journal::disabled`].
+    pub fn with_journal(
+        fleet: &Fleet,
+        config: HyrdConfig,
+        telemetry: Collector,
+        journal: Journal,
+    ) -> SchemeResult<Self> {
+        journal.set_crash_switch(fleet.crash_switch().clone());
         config
             .validate(fleet.len())
             .map_err(|detail| SchemeError::DataUnavailable { path: String::new(), detail })?;
@@ -245,6 +264,7 @@ impl Hyrd {
             counters: FaultCounters::default(),
             telemetry,
             config,
+            journal,
         })
     }
 
@@ -264,7 +284,21 @@ impl Hyrd {
     /// the previous client is gone (object names embed the file ids the
     /// loaded blocks carry, which `load_block` adopts).
     pub fn attach(fleet: &Fleet, config: HyrdConfig) -> SchemeResult<(Self, BatchReport)> {
-        let hyrd = Hyrd::new(fleet, config)?;
+        Hyrd::attach_with(fleet, config, Collector::disabled())
+    }
+
+    /// [`Hyrd::attach`] with a telemetry collector. A metadata block
+    /// that fails its length/checksum validation (a torn write caught
+    /// by the `HYM2` codec) does **not** abort the mount: the other
+    /// replicas are tried directly, and a block with no intact replica
+    /// is skipped with a `attach.block_lost` event — the rest of the
+    /// namespace stays mountable.
+    pub fn attach_with(
+        fleet: &Fleet,
+        config: HyrdConfig,
+        telemetry: Collector,
+    ) -> SchemeResult<(Self, BatchReport)> {
+        let hyrd = Hyrd::with_telemetry(fleet, config, telemetry)?;
         let mut ops = Vec::new();
 
         // Find a metadata replica that answers a List.
@@ -289,12 +323,48 @@ impl Hyrd {
         let targets = hyrd.replica_targets();
         let mut blocks = Vec::new();
         for name in names.iter().filter(|n| n.starts_with("meta:")) {
+            let mut decoded: Option<MetadataBlock> = None;
+            let mut torn = false;
             match hyrd.read_replicated("<bootstrap>", &targets, name) {
                 Ok((bytes, batch)) => {
                     ops.extend(batch.ops);
-                    blocks.push(MetadataBlock::from_bytes(&bytes)?);
+                    match MetadataBlock::from_bytes(&bytes) {
+                        Ok(block) => decoded = Some(block),
+                        Err(_) => torn = true,
+                    }
                 }
                 Err(_) => continue, // an orphaned or unreachable block
+            }
+            if torn {
+                // The chosen replica served a torn block (e.g. a crash
+                // mid-flush tore the write). Try the remaining replicas
+                // directly: any intact copy keeps the directory.
+                if hyrd.telemetry.enabled() {
+                    hyrd.telemetry.event("attach.torn_block").field("object", name).emit();
+                    hyrd.telemetry.inc("attach.torn_blocks", 1);
+                }
+                for &t in &targets {
+                    if decoded.is_some() {
+                        break;
+                    }
+                    if let Ok(out) = hyrd.guarded(t, |p| p.get(&Self::key(name))) {
+                        ops.push(out.report);
+                        if let Ok(block) = MetadataBlock::from_bytes(&out.value) {
+                            decoded = Some(block);
+                        }
+                    }
+                }
+            }
+            match decoded {
+                Some(block) => blocks.push(block),
+                None => {
+                    // No replica holds an intact copy: mount without the
+                    // directory rather than refusing the namespace.
+                    if hyrd.telemetry.enabled() {
+                        hyrd.telemetry.event("attach.block_lost").field("object", name).emit();
+                        hyrd.telemetry.inc("attach.blocks_lost", 1);
+                    }
+                }
             }
         }
         // Parent directories first so joins always resolve.
@@ -453,8 +523,24 @@ impl Hyrd {
         self.health.reset(id);
         // Phase 2a: replay whole-object writes the provider missed. The
         // log stripe stays held across the replay so a concurrent writer
-        // cannot append a record for this provider mid-drain.
-        let (mut report, mut batch) = self.log_l().replay(provider.as_ref())?;
+        // cannot append a record for this provider mid-drain; the
+        // journal mirror is synced under the same guard so a crash can
+        // never observe the drain half-recorded.
+        let replayed = {
+            let mut log = self.log_l();
+            let result = log.replay(provider.as_ref());
+            if result.is_ok() {
+                self.journal.sync_pending(&log);
+            }
+            result
+        };
+        let (mut report, mut batch) = match replayed {
+            Ok(ok) => ok,
+            Err(e) => {
+                crate::crashtest::escalate_if_crashed(&e);
+                return Err(e.into());
+            }
+        };
         if self.telemetry.enabled() {
             self.telemetry
                 .event("recovery.replay")
@@ -518,6 +604,7 @@ impl Hyrd {
             }
             self.dirty_l().put_back(&path, remaining);
         }
+        self.sync_dirty_journal();
         Ok((report, batch))
     }
 
@@ -578,6 +665,9 @@ impl Hyrd {
             }
             Err(re) => {
                 let e = re.into_cloud_error();
+                // An injected client crash is a process death, not a
+                // provider fault: no bookkeeping may run past it.
+                crate::crashtest::escalate_if_crashed(&e);
                 if e.counts_against_health() {
                     self.health.record_failure(id, self.now());
                 }
@@ -639,7 +729,7 @@ impl Hyrd {
     /// Replica targets for metadata/small files: performance tier fastest
     /// first, padded from the global fastest ranking if the tier is
     /// smaller than the replication level.
-    fn replica_targets(&self) -> Vec<ProviderId> {
+    pub(crate) fn replica_targets(&self) -> Vec<ProviderId> {
         let mut targets = self.evaluator.performance_tier();
         for id in self.evaluator.fastest_first() {
             if targets.len() >= self.config.replication_level {
@@ -674,11 +764,46 @@ impl Hyrd {
         ObjectKey::new(Fleet::CONTAINER, name)
     }
 
+    // ------------------------------------------------------------------
+    // Write-ahead log helpers
+    //
+    // Every recovery-log mutation goes through one of these so the crash
+    // journal's mirror is synced under the same stripe guard — before
+    // the next provider op (the next possible crash boundary) can run.
+    // ------------------------------------------------------------------
+
+    pub(crate) fn wal_log_put(&self, target: ProviderId, key: ObjectKey, data: Bytes) {
+        let mut log = self.log_l();
+        log.log_put(target, key, data);
+        self.journal.sync_pending(&log);
+    }
+
+    pub(crate) fn wal_log_remove(&self, target: ProviderId, key: ObjectKey) {
+        let mut log = self.log_l();
+        log.log_remove(target, key);
+        self.journal.sync_pending(&log);
+    }
+
+    pub(crate) fn wal_discharge(&self, target: ProviderId, key: &ObjectKey) {
+        let mut log = self.log_l();
+        log.discharge(target, key);
+        self.journal.sync_pending(&log);
+    }
+
+    /// Mirrors the dirty-fragment set into the journal. Call after any
+    /// dirty mutation, with the dirty stripe released.
+    pub(crate) fn sync_dirty_journal(&self) {
+        if self.journal.enabled() {
+            let snapshot = self.dirty_l().clone();
+            self.journal.sync_dirty(&snapshot);
+        }
+    }
+
     /// Puts `data` to every target in parallel. Unavailable (or
     /// breaker-rejected) targets get the write logged for the consistency
     /// update. Returns the batch and how many targets took the write
     /// synchronously.
-    fn put_replicated(
+    pub(crate) fn put_replicated(
         &self,
         name: &str,
         data: &Bytes,
@@ -698,7 +823,7 @@ impl Hyrd {
                 // we come back to these below.
                 self.note_breaker_reject(t);
                 rejected.push(t);
-                self.log_l().log_put(t, key.clone(), data.clone());
+                self.wal_log_put(t, key.clone(), data.clone());
                 continue;
             }
             let put = {
@@ -714,7 +839,7 @@ impl Hyrd {
                     // Outages, exhausted retries, container errors — all
                     // become missed writes; the replay path will surface
                     // persistent problems.
-                    self.log_l().log_put(t, key.clone(), data.clone());
+                    self.wal_log_put(t, key.clone(), data.clone());
                 }
             }
         }
@@ -730,7 +855,7 @@ impl Hyrd {
                     // The forced put landed the authoritative bytes;
                     // the pessimistic log entry would only re-ship them
                     // on recovery. Discharge it.
-                    self.log_l().discharge(t, &key);
+                    self.wal_discharge(t, &key);
                 }
             }
         }
@@ -742,7 +867,8 @@ impl Hyrd {
     /// whose bytes match their last flush are skipped by the metastore —
     /// a flush with nothing new issues zero provider ops — and changed
     /// blocks arrive pre-serialized, so nothing is encoded twice.
-    fn flush_metadata(&self) -> BatchReport {
+    pub(crate) fn flush_metadata(&self) -> BatchReport {
+        self.journal.crashpoint("meta.flush.pre");
         let blocks = self.meta_l().flush_dirty_encoded();
         if blocks.is_empty() {
             return BatchReport::empty();
@@ -755,6 +881,7 @@ impl Hyrd {
             let (batch, _) = self.put_replicated(&name, &bytes, &targets);
             ops.extend(batch.ops);
         }
+        self.journal.crashpoint("meta.flush.post");
         BatchReport::parallel(ops)
     }
 
@@ -772,16 +899,19 @@ impl Hyrd {
         let name = crate::scheme::object_name(path.as_str());
         let bytes = Bytes::copy_from_slice(data);
         let targets = self.replica_targets();
+        let _intent = self.journal.begin(Intent::Create {
+            path: path.as_str().to_string(),
+            objects: targets.iter().map(|&t| (t, name.clone())).collect(),
+        });
 
         let (batch, live) = self.put_replicated(&name, &bytes, &targets);
         if live == 0 {
             // No provider holds the data — fail the write and roll back.
             self.meta_l().remove_file(path)?;
             self.integrity_l().forget(&name);
-            let mut log = self.log_l();
             for &t in &targets {
                 // Drop the logged writes for the rolled-back object.
-                log.log_remove(t, Self::key(&name));
+                self.wal_log_remove(t, Self::key(&name));
             }
             return Err(SchemeError::DataUnavailable {
                 path: path.to_string(),
@@ -803,6 +933,12 @@ impl Hyrd {
         self.meta_l().create_file(path, data.len() as u64, now)?;
         let base_name = crate::scheme::object_name(path.as_str());
         let targets = self.fragment_targets();
+        let _intent = self.journal.begin(Intent::Create {
+            path: path.as_str().to_string(),
+            objects: (0..targets.len())
+                .map(|i| (targets[i], format!("{base_name}.f{i}")))
+                .collect(),
+        });
 
         // Split + encode (rayon-parallel for multi-MB objects).
         let (layout, shards) = self.planner.split(data);
@@ -832,7 +968,7 @@ impl Hyrd {
             self.integrity_l().record(&name, &bytes);
             if !self.health.admits(target, self.now()) {
                 self.note_breaker_reject(target);
-                self.log_l().log_put(target, key, bytes.clone());
+                self.wal_log_put(target, key, bytes.clone());
                 rejected.push((target, name.clone(), bytes));
             } else {
                 let put = {
@@ -845,7 +981,7 @@ impl Hyrd {
                         ops.push(out.report);
                         live += 1;
                     }
-                    Err(_) => self.log_l().log_put(target, key, bytes),
+                    Err(_) => self.wal_log_put(target, key, bytes),
                 }
             }
             fragments.push((target, name));
@@ -862,7 +998,7 @@ impl Hyrd {
                     live += 1;
                     // The fragment landed after all: drop the pending-log
                     // entry so recovery does not re-ship identical bytes.
-                    self.log_l().discharge(t, &key);
+                    self.wal_discharge(t, &key);
                 }
             }
         }
@@ -876,7 +1012,7 @@ impl Hyrd {
                 self.integrity_l().forget(name);
                 match self.guarded(*t, |p| p.remove(&key)) {
                     Ok(out) => ops.push(out.report),
-                    Err(_) => self.log_l().log_remove(*t, key),
+                    Err(_) => self.wal_log_remove(*t, key),
                 }
             }
             return Err(SchemeError::DataUnavailable {
@@ -1165,6 +1301,12 @@ impl Hyrd {
         // consistency update restores a complete object.
         let key = Self::key(&object);
         let patch = Bytes::copy_from_slice(data);
+        let _intent = self.journal.begin(Intent::UpdateReplicated {
+            path: path.as_str().to_string(),
+            object: object.clone(),
+            providers: providers.clone(),
+            bytes: bytes.clone(),
+        });
         let mut ops = Vec::new();
         let mut live = 0;
         let mut rejected: Vec<ProviderId> = Vec::new();
@@ -1172,7 +1314,7 @@ impl Hyrd {
             if !self.health.admits(t, self.now()) {
                 self.note_breaker_reject(t);
                 rejected.push(t);
-                self.log_l().log_put(t, key.clone(), bytes.clone());
+                self.wal_log_put(t, key.clone(), bytes.clone());
                 continue;
             }
             match self.guarded(t, |p| p.put_range(&key, offset, patch.clone())) {
@@ -1180,7 +1322,7 @@ impl Hyrd {
                     ops.push(out.report);
                     live += 1;
                 }
-                Err(_) => self.log_l().log_put(t, key.clone(), bytes.clone()),
+                Err(_) => self.wal_log_put(t, key.clone(), bytes.clone()),
             }
         }
         if live == 0 && !rejected.is_empty() {
@@ -1195,7 +1337,7 @@ impl Hyrd {
                 if let Ok(out) = self.guarded(t, |p| p.put(&key, bytes.clone())) {
                     ops.push(out.report);
                     live += 1;
-                    self.log_l().discharge(t, &key);
+                    self.wal_discharge(t, &key);
                 }
             }
         }
@@ -1208,9 +1350,8 @@ impl Hyrd {
             old[offset as usize..offset as usize + old_window.len()]
                 .copy_from_slice(&old_window);
             let old_bytes = Bytes::from(old);
-            let mut log = self.log_l();
             for &t in &providers {
-                log.log_put(t, key.clone(), old_bytes.clone());
+                self.wal_log_put(t, key.clone(), old_bytes.clone());
             }
             return Err(SchemeError::DataUnavailable {
                 path: path.to_string(),
@@ -1250,7 +1391,20 @@ impl Hyrd {
             let fleet = self.fleet.clone();
             move |id: ProviderId| fleet.get(id).expect("fleet member").clone()
         };
-        let outcome = crate::ecops::ranged_update(
+        // The intent starts with an empty write set: it is amended with
+        // the planned fragment writes *inside* the engine, after the
+        // deltas are computed but before the first provider mutation, so
+        // a crash earlier than that rolls back to "nothing happened".
+        let intent = self.journal.begin(Intent::UpdateErasure {
+            path: path.as_str().to_string(),
+            writes: Vec::new(),
+            hot_remove: hot_copy.clone(),
+        });
+        let seq = intent.seq();
+        let wal_cb = |writes: &[FragWrite]| self.journal.amend_update_writes(seq, writes.to_vec());
+        let wal: Option<&dyn Fn(&[FragWrite])> =
+            if self.journal.enabled() { Some(&wal_cb) } else { None };
+        let outcome = crate::ecops::ranged_update_with(
             self.code.as_code(),
             &lookup,
             &self.telemetry,
@@ -1259,6 +1413,7 @@ impl Hyrd {
             path.as_str(),
             offset as usize,
             data,
+            wal,
         )?;
         let mut batch = outcome.batch;
         {
@@ -1267,6 +1422,7 @@ impl Hyrd {
                 dirty.mark(path.as_str(), idx);
             }
         }
+        self.sync_dirty_journal();
         // Ranged writes changed the fragments in place; the recorded
         // whole-fragment digests no longer apply. Drop them — reads fall
         // back to `Unknown` until the scrub pass re-records them.
@@ -1290,7 +1446,7 @@ impl Hyrd {
                 // Outage, timeout, retries exhausted: the stale copy may
                 // well still occupy (billed) provider storage. Log a
                 // pending remove so recovery reclaims it.
-                Err(_) => self.log_l().log_remove(p, hot_key),
+                Err(_) => self.wal_log_remove(p, hot_key),
             }
             self.reads_l().remove(path.as_str());
         }
@@ -1426,10 +1582,36 @@ impl Hyrd {
     pub fn delete_file(&self, path: &str) -> SchemeResult<BatchReport> {
         let _span = self.telemetry.span_with("delete_file").field("path", path).start();
         let npath = NormPath::parse(path)?;
-        let inode = self.meta_l().remove_file(&npath)?;
+        // Enumerate the doomed objects and journal the intent *before*
+        // touching metadata or providers: a crash mid-delete then rolls
+        // forward (finish the removes) instead of leaking billed storage.
+        let inode = self.meta_l().inode(&npath)?;
+        let mut doomed: Vec<(ProviderId, String)> = Vec::new();
+        match &inode.placement {
+            Placement::Pending => {}
+            Placement::Replicated { providers, object } => {
+                for &p in providers {
+                    doomed.push((p, object.clone()));
+                }
+            }
+            Placement::ErasureCoded { fragments, hot_copy, .. } => {
+                for (p, name) in fragments {
+                    doomed.push((*p, name.clone()));
+                }
+                if let Some((p, name)) = hot_copy {
+                    doomed.push((*p, name.clone()));
+                }
+            }
+        }
+        let _intent = self.journal.begin(Intent::Delete {
+            path: npath.as_str().to_string(),
+            objects: doomed.clone(),
+        });
+        self.meta_l().remove_file(&npath)?;
         self.cache_l().remove(path);
         self.reads_l().remove(path);
         self.dirty_l().forget(path);
+        self.sync_dirty_journal();
 
         let mut ops = Vec::new();
         let mut remove_one = |p: ProviderId, name: &str| {
@@ -1445,24 +1627,11 @@ impl Hyrd {
                 // may well still be there. Dropping the metadata while
                 // leaving the bytes behind would leak billed storage
                 // forever; log a pending remove so recovery reclaims it.
-                Err(_) => self.log_l().log_remove(p, key),
+                Err(_) => self.wal_log_remove(p, key),
             }
         };
-        match &inode.placement {
-            Placement::Pending => {}
-            Placement::Replicated { providers, object } => {
-                for &p in providers {
-                    remove_one(p, object);
-                }
-            }
-            Placement::ErasureCoded { fragments, hot_copy, .. } => {
-                for (p, name) in fragments {
-                    remove_one(*p, name);
-                }
-                if let Some((p, name)) = hot_copy {
-                    remove_one(*p, name);
-                }
-            }
+        for (p, name) in &doomed {
+            remove_one(*p, name);
         }
         Ok(BatchReport::parallel(ops).then(self.flush_metadata()))
     }

@@ -35,16 +35,28 @@ use hyrd_gfec::update::{
 use hyrd_gfec::{ErasureCode, Fragment};
 use hyrd_telemetry::Collector;
 
+use crate::journal::FragWrite;
 use crate::scheme::{SchemeError, SchemeResult};
 
 fn key(name: &str) -> ObjectKey {
     ObjectKey::new(Fleet::CONTAINER, name)
 }
 
+/// Escalates an injected client crash before the caller's fault
+/// tolerance can swallow it: a dead client must not mark fragments
+/// dirty and ack the update (the crash harness would then observe an
+/// acked write whose bytes exist nowhere).
+fn chk<T>(r: hyrd_gcsapi::CloudResult<T>) -> hyrd_gcsapi::CloudResult<T> {
+    if let Err(e) = &r {
+        crate::crashtest::escalate_if_crashed(e);
+    }
+    r
+}
+
 /// Fragments that missed a write during an outage and must be rebuilt
 /// from survivors when their provider returns, keyed by file path.
 /// `BTreeMap` so recovery and scrub iterate paths deterministically.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DirtyFragments {
     map: BTreeMap<String, BTreeSet<usize>>,
 }
@@ -119,6 +131,27 @@ pub fn ranged_update<C: ErasureCode + ?Sized>(
     offset: usize,
     data: &[u8],
 ) -> SchemeResult<EcUpdateOutcome> {
+    ranged_update_with(code, lookup, telemetry, layout, fragments, path, offset, data, None)
+}
+
+/// [`ranged_update`] with a write-ahead hook: `wal`, when present, is
+/// invoked with the *complete* planned write set (data segments and
+/// parity windows, with their final bytes and offsets) after the delta
+/// is computed but before the first range write is issued. The crash
+/// journal uses it to record an intent that can be rolled forward if
+/// the client dies mid-write-phase.
+#[allow(clippy::too_many_arguments)]
+pub fn ranged_update_with<C: ErasureCode + ?Sized>(
+    code: &C,
+    lookup: &dyn Fn(ProviderId) -> Arc<SimProvider>,
+    telemetry: &Collector,
+    layout: &FragmentLayout,
+    fragments: &[(ProviderId, String)],
+    path: &str,
+    offset: usize,
+    data: &[u8],
+    wal: Option<&dyn Fn(&[FragWrite])>,
+) -> SchemeResult<EcUpdateOutcome> {
     let _span = telemetry
         .span_with("ec.update")
         .field("path", path)
@@ -139,14 +172,14 @@ pub fn ranged_update<C: ErasureCode + ?Sized>(
         let mut old_segments = Vec::with_capacity(plan.touched.len());
         for &(shard, start, len) in &plan.touched {
             let (pid, name) = &fragments[shard];
-            let out = lookup(*pid).get_range(&key(name), start as u64, len as u64)?;
+            let out = chk(lookup(*pid).get_range(&key(name), start as u64, len as u64))?;
             read_ops.push(out.report);
             old_segments.push(out.value.to_vec());
         }
         let mut old_parities = Vec::with_capacity(layout.n - layout.m);
         for p in layout.m..layout.n {
             let (pid, name) = &fragments[p];
-            let out = lookup(*pid).get_range(&key(name), lo as u64, (hi - lo) as u64)?;
+            let out = chk(lookup(*pid).get_range(&key(name), lo as u64, (hi - lo) as u64))?;
             read_ops.push(out.report);
             old_parities.push(out.value.to_vec());
         }
@@ -161,26 +194,40 @@ pub fn ranged_update<C: ErasureCode + ?Sized>(
         // Writes are not allowed to abort the stripe half-written: a
         // provider that fails mid-phase (a transient burst, say) just
         // misses the write and its fragment goes dirty, exactly like the
-        // degraded path below.
-        let mut write_ops = Vec::new();
-        let mut missed = Vec::new();
-        for (k, &(shard, start, _)) in plan.touched.iter().enumerate() {
+        // degraded path below. The full write set is handed to the WAL
+        // hook before the first write so a crash mid-phase rolls forward.
+        let mut planned: Vec<FragWrite> =
+            Vec::with_capacity(plan.touched.len() + layout.n - layout.m);
+        for (&(shard, start, _), seg) in plan.touched.iter().zip(new_segments) {
             let (pid, name) = &fragments[shard];
-            match lookup(*pid).put_range(
-                &key(name),
-                start as u64,
-                Bytes::from(new_segments[k].clone()),
-            ) {
-                Ok(out) => write_ops.push(out.report),
-                Err(_) => missed.push(shard),
-            }
+            planned.push(FragWrite {
+                index: shard,
+                provider: *pid,
+                object: name.clone(),
+                offset: start as u64,
+                bytes: Bytes::from(seg),
+            });
         }
         for (j, w) in new_parities.into_iter().enumerate() {
             let idx = layout.m + j;
             let (pid, name) = &fragments[idx];
-            match lookup(*pid).put_range(&key(name), lo as u64, Bytes::from(w)) {
+            planned.push(FragWrite {
+                index: idx,
+                provider: *pid,
+                object: name.clone(),
+                offset: lo as u64,
+                bytes: Bytes::from(w),
+            });
+        }
+        if let Some(wal) = wal {
+            wal(&planned);
+        }
+        let mut write_ops = Vec::new();
+        let mut missed = Vec::new();
+        for w in &planned {
+            match chk(lookup(w.provider).put_range(&key(&w.object), w.offset, w.bytes.clone())) {
                 Ok(out) => write_ops.push(out.report),
-                Err(_) => missed.push(idx),
+                Err(_) => missed.push(w.index),
             }
         }
         missed.sort_unstable();
@@ -217,7 +264,7 @@ pub fn ranged_update<C: ErasureCode + ?Sized>(
     let mut window_frags: Vec<Fragment> = Vec::new();
     for &i in &reachable {
         let (pid, name) = &fragments[i];
-        if let Ok(out) = lookup(*pid).get_range(&key(name), lo as u64, (hi - lo) as u64) {
+        if let Ok(out) = chk(lookup(*pid).get_range(&key(name), lo as u64, (hi - lo) as u64)) {
             read_ops.push(out.report);
             window_frags.push(Fragment::new(i, out.value.to_vec()));
         }
@@ -245,23 +292,40 @@ pub fn ranged_update<C: ErasureCode + ?Sized>(
     }
     let new_parities = recompute_parity_windows(&data_windows, &coeffs)?;
 
-    // Write back what is reachable; everything else goes dirty.
-    let mut write_ops = Vec::new();
-    let mut missed = Vec::new();
+    // Write back what is reachable; everything else goes dirty. As in
+    // the normal path, the WAL hook sees the full write set first.
+    let mut planned: Vec<FragWrite> = Vec::new();
     for &(shard, start, len) in &plan.touched {
         let (pid, name) = &fragments[shard];
         let seg = data_windows[shard][start - lo..start - lo + len].to_vec();
-        match lookup(*pid).put_range(&key(name), start as u64, Bytes::from(seg)) {
-            Ok(out) => write_ops.push(out.report),
-            Err(_) => missed.push(shard),
-        }
+        planned.push(FragWrite {
+            index: shard,
+            provider: *pid,
+            object: name.clone(),
+            offset: start as u64,
+            bytes: Bytes::from(seg),
+        });
     }
     for (j, w) in new_parities.into_iter().enumerate() {
         let idx = layout.m + j;
         let (pid, name) = &fragments[idx];
-        match lookup(*pid).put_range(&key(name), lo as u64, Bytes::from(w)) {
+        planned.push(FragWrite {
+            index: idx,
+            provider: *pid,
+            object: name.clone(),
+            offset: lo as u64,
+            bytes: Bytes::from(w),
+        });
+    }
+    if let Some(wal) = wal {
+        wal(&planned);
+    }
+    let mut write_ops = Vec::new();
+    let mut missed = Vec::new();
+    for w in &planned {
+        match chk(lookup(w.provider).put_range(&key(&w.object), w.offset, w.bytes.clone())) {
             Ok(out) => write_ops.push(out.report),
-            Err(_) => missed.push(idx),
+            Err(_) => missed.push(w.index),
         }
     }
     missed.sort_unstable();
@@ -305,7 +369,7 @@ pub fn rebuild_fragment<C: ErasureCode + ?Sized>(
         if !p.is_available() {
             continue;
         }
-        if let Ok(out) = p.get(&key(name)) {
+        if let Ok(out) = chk(p.get(&key(name))) {
             read_ops.push(out.report);
             // `into` reclaims the Bytes' unique buffer — no survivor copy.
             got.push(Fragment::new(i, out.value.into()));
@@ -330,7 +394,7 @@ pub fn rebuild_fragment<C: ErasureCode + ?Sized>(
     }
     let n = bytes.len() as u64;
     let (pid, name) = &fragments[target];
-    let out = lookup(*pid).put(&key(name), Bytes::from(bytes))?;
+    let out = chk(lookup(*pid).put(&key(name), Bytes::from(bytes)))?;
     let mut ops = read_ops;
     ops.push(out.report);
     Ok((BatchReport::serial(ops), n))

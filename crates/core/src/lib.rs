@@ -31,7 +31,12 @@
 //! Hardening modules: [`health`] (per-provider circuit breakers and fault
 //! counters), [`integrity`] (client-side SHA-256 digests verified on
 //! every whole-object read), [`scrub`] (the background sweep that finds
-//! and repairs silent corruption). Extension module: [`dedupstore`]
+//! and repairs silent corruption). Crash-durability modules: [`journal`]
+//! (the crash journal: mirrored recovery state plus per-operation
+//! intents), [`restart`] ([`Hyrd::restart`] — rebuilding a client purely
+//! from persisted state) and [`crashtest`] (the deterministic
+//! crash-injection harness and durability auditor; see DESIGN.md §12).
+//! Extension module: [`dedupstore`]
 //! (the §VI client-side deduplication layer over any [`Scheme`], built
 //! on the chunking/fingerprint primitives in [`hyrd_dedup`]).
 //!
@@ -56,6 +61,7 @@
 //! ```
 
 pub mod config;
+pub mod crashtest;
 pub mod dedupstore;
 pub mod dispatcher;
 pub mod ecops;
@@ -63,15 +69,20 @@ pub mod driver;
 pub mod evaluator;
 pub mod health;
 pub mod integrity;
+pub mod journal;
 pub mod monitor;
 pub mod recovery;
+pub mod restart;
 pub mod scheme;
 pub mod scrub;
 pub mod stats;
 
 pub use config::{CodeChoice, FragmentSelection, HyrdConfig};
+pub use crashtest::{ClientCrashed, CrashHarness, silence_crash_panics};
 pub use dedupstore::{DedupStats, DedupStore};
 pub use dispatcher::Hyrd;
+pub use journal::{FragWrite, Intent, Journal};
+pub use restart::RestartReport;
 pub use evaluator::{Evaluator, ProviderAssessment};
 pub use health::{BreakerSettings, BreakerState, FaultCounterSnapshot, HealthTracker};
 pub use integrity::{IntegrityIndex, Verdict};

@@ -60,7 +60,7 @@ pub struct RecoveryReport {
 /// Later records supersede earlier ones for the same object, so replay
 /// applies only the final state of each object (the log is compacted on
 /// append).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct UpdateLog {
     records: Vec<(ProviderId, LogRecord)>,
 }
@@ -93,6 +93,23 @@ impl UpdateLog {
     pub fn log_remove(&mut self, provider: ProviderId, key: ObjectKey) {
         self.supersede(provider, &key);
         self.records.push((provider, LogRecord::Remove { key }));
+    }
+
+    /// All pending records in append order, for journaling and audit.
+    pub fn records(&self) -> &[(ProviderId, LogRecord)] {
+        &self.records
+    }
+
+    /// Rebuilds a log from journaled records (restart path). Records are
+    /// assumed already compacted — they came out of a compacted log.
+    pub fn from_records(records: Vec<(ProviderId, LogRecord)>) -> Self {
+        UpdateLog { records }
+    }
+
+    /// Keeps only the records the predicate accepts (restart GC drops
+    /// pending puts for objects no longer referenced by any inode).
+    pub fn retain_records(&mut self, mut keep: impl FnMut(ProviderId, &LogRecord) -> bool) {
+        self.records.retain(|(p, r)| keep(*p, r));
     }
 
     /// Number of pending records across providers.

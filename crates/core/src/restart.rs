@@ -1,0 +1,483 @@
+//! Crash restart: rebuilding a dispatcher purely from persisted state.
+//!
+//! [`Hyrd::restart`] is what a client process runs after dying mid-flight
+//! (see [`crate::crashtest`]): it reconstructs the dispatcher from the
+//! two durable sources a crashed client leaves behind —
+//!
+//! 1. the **metadata blocks** replicated on the providers (plus any
+//!    block bytes still sitting in the journal's pending-log mirror,
+//!    which may be newer than anything that landed), and
+//! 2. the **crash journal** ([`crate::journal`]): the mirrored recovery
+//!    log, the mirrored dirty-fragment set, and the intents of the
+//!    operations in flight when the client died.
+//!
+//! The flow, in order:
+//!
+//! * **Recover metadata**: union the `meta:` listings of every available
+//!   provider with the journal's pending block writes; for each block
+//!   name, decode every reachable candidate (torn blocks fail the `HYM2`
+//!   validation and are skipped with a `restart.torn_block` event) and
+//!   keep the highest version. Load winners parent-first and seed the
+//!   flush cache at each winner's version so re-flushes never regress.
+//! * **Reinstall journal state**: the mirrored recovery log (minus
+//!   `meta:` records — the heal below re-establishes those) and the
+//!   mirrored dirty set become the new dispatcher's volatile state.
+//! * **Heal replicas**: re-put each winning block to the metadata tier,
+//!   converging replicas that diverged mid-flush (unavailable replicas
+//!   get the write logged, like any replicated put).
+//! * **Resolve intents** in journal order: creates roll *back* (the
+//!   caller never got an ack; absence is the clean outcome), updates
+//!   and deletes roll *forward* (redo is idempotent). Each resolved
+//!   intent is committed.
+//! * **Recover providers**: run the consistency-update replay for every
+//!   available provider, draining the restored log and rebuilding dirty
+//!   fragments.
+//! * **Collect garbage**: any object on an available provider that no
+//!   inode, hot copy or metadata block references is removed, and
+//!   pending-log puts for unreferenced objects are pruned. GC only runs
+//!   when the whole fleet is reachable and no block was lost — with
+//!   providers down, an "unreferenced" object may simply belong to
+//!   metadata this client cannot see yet.
+//! * **Flush** whatever metadata the resolution dirtied.
+//!
+//! The result is a [`RestartReport`] of plain scalars, so crash-torture
+//! reports stay byte-deterministic.
+
+use std::collections::BTreeSet;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use hyrd_cloudsim::Fleet;
+use hyrd_gcsapi::CloudError;
+use hyrd_metastore::{MetadataBlock, NormPath, Placement};
+use hyrd_telemetry::Collector;
+
+use crate::config::HyrdConfig;
+use crate::dispatcher::Hyrd;
+use crate::journal::{Intent, Journal};
+use crate::recovery::LogRecord;
+use crate::scheme::SchemeResult;
+
+/// What a [`Hyrd::restart`] accomplished — all plain scalars so sweep
+/// reports serialize byte-identically run over run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RestartReport {
+    /// Metadata blocks recovered and loaded.
+    pub meta_blocks_loaded: u64,
+    /// Block candidates that failed length/checksum validation.
+    pub torn_blocks: u64,
+    /// Block names with no intact candidate anywhere.
+    pub blocks_lost: u64,
+    /// Winning blocks re-replicated to the metadata tier.
+    pub replicas_healed: u64,
+    /// Recovery-log records reinstalled from the journal mirror.
+    pub log_records_restored: u64,
+    /// Dirty fragments reinstalled from the journal mirror.
+    pub dirty_restored: u64,
+    /// In-flight intents rolled forward (updates, deletes).
+    pub intents_rolled_forward: u64,
+    /// In-flight intents rolled back (creates, unplanned updates).
+    pub intents_rolled_back: u64,
+    /// Unreferenced provider objects removed by the GC pass.
+    pub orphans_removed: u64,
+    /// Pending-log puts pruned because their object is unreferenced.
+    pub pending_pruned: u64,
+    /// Whether GC was skipped (providers down or blocks lost).
+    pub gc_skipped: bool,
+}
+
+impl Hyrd {
+    /// Restarts a crashed client: builds a fresh dispatcher over `fleet`
+    /// and rebuilds its state purely from the persisted metadata blocks
+    /// and the crash `journal` (see the module docs for the exact flow).
+    /// Disarm the fleet's crash switch first — a client cannot restart
+    /// while the injected crash is still killing every op.
+    pub fn restart(
+        fleet: &Fleet,
+        config: HyrdConfig,
+        telemetry: Collector,
+        journal: Journal,
+    ) -> SchemeResult<(Self, RestartReport)> {
+        let hyrd = Hyrd::with_journal(fleet, config, telemetry, journal.clone())?;
+        let mut report = RestartReport::default();
+        let _span = hyrd.telemetry.span_with("restart").start();
+        if hyrd.telemetry.enabled() {
+            hyrd.telemetry.event("restart.begin").emit();
+        }
+
+        let (pending, dirty, intents) = journal.restart_state();
+
+        // ------------------------------------------------------------------
+        // Phase 1: recover the metadata blocks.
+        // ------------------------------------------------------------------
+        let mut names: BTreeSet<String> = BTreeSet::new();
+        for p in fleet.available() {
+            if let Ok(out) = p.list(Fleet::CONTAINER) {
+                names.extend(out.value.into_iter().filter(|n| n.starts_with("meta:")));
+            }
+        }
+        for (_, record) in pending.records() {
+            if let LogRecord::Put { key, .. } = record {
+                if key.name.starts_with("meta:") {
+                    names.insert(key.name.clone());
+                }
+            }
+        }
+
+        let mut winners: Vec<(MetadataBlock, Bytes)> = Vec::new();
+        for name in &names {
+            let mut best: Option<(MetadataBlock, Bytes)> = None;
+            let mut better = |block: MetadataBlock, bytes: Bytes| {
+                if best.as_ref().map_or(true, |(b, _)| block.version > b.version) {
+                    best = Some((block, bytes));
+                }
+            };
+            let key = Self::key(name);
+            for p in fleet.available() {
+                // A torn read (truncated or bit-flipped bytes, caught by
+                // the HYM2 length/checksum validation) is retried twice —
+                // wire corruption is transient — before the replica is
+                // skipped in favor of the other candidates.
+                for _attempt in 0..3 {
+                    let Ok(out) = hyrd.guarded(p.id(), |prov| prov.get(&key)) else { break };
+                    match MetadataBlock::from_bytes(&out.value) {
+                        Ok(block) => {
+                            better(block, out.value);
+                            break;
+                        }
+                        Err(_) => {
+                            report.torn_blocks += 1;
+                            if hyrd.telemetry.enabled() {
+                                hyrd.telemetry
+                                    .event("restart.torn_block")
+                                    .field("object", name.as_str())
+                                    .field("provider", p.name())
+                                    .emit();
+                                hyrd.telemetry.inc("restart.torn_blocks", 1);
+                            }
+                        }
+                    }
+                }
+            }
+            // The journal's pending puts may hold block bytes newer than
+            // anything that landed (the crashed client was mid-ship).
+            for (_, record) in pending.records() {
+                if let LogRecord::Put { key, data } = record {
+                    if key.name == *name {
+                        if let Ok(block) = MetadataBlock::from_bytes(data) {
+                            better(block, data.clone());
+                        }
+                    }
+                }
+            }
+            match best {
+                Some(winner) => winners.push(winner),
+                None => {
+                    report.blocks_lost += 1;
+                    if hyrd.telemetry.enabled() {
+                        hyrd.telemetry
+                            .event("restart.block_lost")
+                            .field("object", name.as_str())
+                            .emit();
+                        hyrd.telemetry.inc("restart.blocks_lost", 1);
+                    }
+                }
+            }
+        }
+
+        // Parent directories first so joins always resolve; seed the
+        // flush cache at each winner's version so nothing regresses.
+        winners.sort_by(|a, b| a.0.dir.cmp(&b.0.dir));
+        {
+            let mut meta = hyrd.meta_l();
+            for (block, _) in &winners {
+                meta.load_block(block)?;
+            }
+            for (block, _) in &winners {
+                meta.seed_flushed(&block.dir, block.version);
+            }
+        }
+        report.meta_blocks_loaded = winners.len() as u64;
+
+        // ------------------------------------------------------------------
+        // Phase 2: reinstall the journal's mirrored recovery state.
+        // `meta:` records are dropped — the heal below re-establishes
+        // metadata replication from the winning (max-version) bytes,
+        // which supersede whatever block bytes the old log carried.
+        // ------------------------------------------------------------------
+        let mut pending = pending;
+        pending.retain_records(|_, record| match record {
+            LogRecord::Put { key, .. } => !key.name.starts_with("meta:"),
+            LogRecord::Remove { .. } => true,
+        });
+        report.log_records_restored = pending.len() as u64;
+        {
+            let mut log = hyrd.log_l();
+            *log = pending;
+            hyrd.journal.sync_pending(&log);
+        }
+        report.dirty_restored = dirty.len() as u64;
+        *hyrd.dirty_l() = dirty;
+        hyrd.sync_dirty_journal();
+
+        // ------------------------------------------------------------------
+        // Phase 3: heal metadata replicas (diverged mid-flush crashes).
+        // ------------------------------------------------------------------
+        let targets = hyrd.replica_targets();
+        for (block, bytes) in &winners {
+            let name = MetadataBlock::object_name(&block.dir);
+            let (_, _live) = hyrd.put_replicated(&name, bytes, &targets);
+            report.replicas_healed += 1;
+        }
+
+        // ------------------------------------------------------------------
+        // Phase 4: resolve in-flight intents, in journal order.
+        // ------------------------------------------------------------------
+        for (seq, intent) in intents {
+            hyrd.resolve_intent(&intent, &mut report);
+            journal.commit(seq);
+        }
+
+        // ------------------------------------------------------------------
+        // Phase 5: consistency-update replay for every available
+        // provider (drains the restored log, rebuilds dirty fragments).
+        // ------------------------------------------------------------------
+        for p in fleet.available() {
+            let _ = hyrd.recover_provider(p.id());
+        }
+
+        // ------------------------------------------------------------------
+        // Phase 6: garbage-collect orphaned objects. Only sound when the
+        // whole fleet answered and every block decoded: an object that
+        // looks unreferenced might belong to metadata this client could
+        // not see.
+        // ------------------------------------------------------------------
+        let gc_sound = report.blocks_lost == 0 && fleet.available().len() == fleet.len();
+        if gc_sound {
+            let refs = hyrd.audit_references();
+            for p in fleet.available() {
+                for (name, _) in p.object_inventory(Fleet::CONTAINER) {
+                    if refs.contains(&name) {
+                        continue;
+                    }
+                    let key = Self::key(&name);
+                    match hyrd.guarded(p.id(), |prov| prov.remove(&key)) {
+                        Ok(_) => {
+                            report.orphans_removed += 1;
+                            if hyrd.telemetry.enabled() {
+                                hyrd.telemetry
+                                    .event("restart.orphan_removed")
+                                    .field("object", name.as_str())
+                                    .field("provider", p.name())
+                                    .emit();
+                                hyrd.telemetry.inc("restart.orphans_removed", 1);
+                            }
+                        }
+                        Err(CloudError::NoSuchObject { .. })
+                        | Err(CloudError::NoSuchContainer { .. }) => {}
+                        Err(_) => hyrd.wal_log_remove(p.id(), key),
+                    }
+                }
+            }
+            // Pending puts for unreferenced objects would only recreate
+            // the orphans on replay; prune them (removes stay — they
+            // still reclaim storage on providers currently down).
+            let mut log = hyrd.log_l();
+            let before = log.len();
+            log.retain_records(|_, record| match record {
+                LogRecord::Put { key, .. } => refs.contains(&key.name),
+                LogRecord::Remove { .. } => true,
+            });
+            report.pending_pruned = (before - log.len()) as u64;
+            hyrd.journal.sync_pending(&log);
+        } else {
+            report.gc_skipped = true;
+            if hyrd.telemetry.enabled() {
+                hyrd.telemetry.event("restart.gc_skipped").emit();
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Phase 7: ship whatever metadata the resolution dirtied.
+        // ------------------------------------------------------------------
+        let _ = hyrd.flush_metadata();
+
+        if hyrd.telemetry.enabled() {
+            hyrd.telemetry
+                .event("restart.complete")
+                .field("meta_blocks", report.meta_blocks_loaded)
+                .field("torn", report.torn_blocks)
+                .field("rolled_forward", report.intents_rolled_forward)
+                .field("rolled_back", report.intents_rolled_back)
+                .field("orphans_removed", report.orphans_removed)
+                .emit();
+            hyrd.telemetry.inc("restart.completes", 1);
+        }
+        Ok((hyrd, report))
+    }
+
+    /// Resolves one in-flight intent (see the module docs for the
+    /// roll-forward / roll-back contract of each variant).
+    fn resolve_intent(&self, intent: &Intent, report: &mut RestartReport) {
+        match intent {
+            Intent::Create { path, objects } => {
+                // Roll back: the caller never got an ack, so the clean
+                // outcome is total absence — no objects, no metadata.
+                for (p, object) in objects {
+                    let key = Self::key(object);
+                    self.integrity_l().forget(object);
+                    match self.guarded(*p, |prov| prov.remove(&key)) {
+                        // Gone (or never landed): also discharge any
+                        // pending put that would resurrect it on replay.
+                        Ok(_)
+                        | Err(CloudError::NoSuchObject { .. })
+                        | Err(CloudError::NoSuchContainer { .. }) => {
+                            self.wal_discharge(*p, &key);
+                        }
+                        // Unreachable: supersede the put with a remove.
+                        Err(_) => self.wal_log_remove(*p, key),
+                    }
+                }
+                if let Ok(npath) = NormPath::parse(path) {
+                    let present = self.meta_l().get(&npath).is_ok();
+                    if present {
+                        let _ = self.meta_l().remove_file(&npath);
+                    }
+                }
+                report.intents_rolled_back += 1;
+            }
+            Intent::UpdateReplicated { object, providers, bytes, .. } => {
+                // Roll forward: the intent holds the complete new
+                // content, so re-putting it everywhere is idempotent and
+                // converges every replica on the new version.
+                let key = Self::key(object);
+                self.integrity_l().record(object, bytes);
+                for &p in providers {
+                    match self.guarded(p, |prov| prov.put(&key, bytes.clone())) {
+                        Ok(_) => self.wal_discharge(p, &key),
+                        Err(_) => self.wal_log_put(p, key.clone(), bytes.clone()),
+                    }
+                }
+                report.intents_rolled_forward += 1;
+            }
+            Intent::UpdateErasure { path, writes, hot_remove } => {
+                if writes.is_empty() {
+                    // The crash landed before the delta was planned:
+                    // no fragment was touched, the old version (and any
+                    // hot copy) still stands in full.
+                    report.intents_rolled_back += 1;
+                    return;
+                }
+                // Roll forward: redo every planned range write (range
+                // puts are idempotent); what cannot be redone goes
+                // dirty for recover_provider to rebuild.
+                for w in writes {
+                    let key = Self::key(&w.object);
+                    self.integrity_l().forget(&w.object);
+                    match self.guarded(w.provider, |prov| {
+                        prov.put_range(&key, w.offset, w.bytes.clone())
+                    }) {
+                        Ok(_) => {}
+                        Err(_) => self.dirty_l().mark(path, w.index),
+                    }
+                }
+                if let Some((p, name)) = hot_remove {
+                    let key = Self::key(name);
+                    self.integrity_l().forget(name);
+                    match self.guarded(*p, |prov| prov.remove(&key)) {
+                        Ok(_)
+                        | Err(CloudError::NoSuchObject { .. })
+                        | Err(CloudError::NoSuchContainer { .. }) => {
+                            self.wal_discharge(*p, &key);
+                        }
+                        Err(_) => self.wal_log_remove(*p, key),
+                    }
+                }
+                // The stripe now holds the new bytes; a recovered
+                // placement may still advertise the stale hot copy.
+                if let Ok(npath) = NormPath::parse(path) {
+                    let recovered = self.meta_l().inode(&npath).ok();
+                    if let Some(inode) = recovered {
+                        if let Placement::ErasureCoded {
+                            layout,
+                            fragments,
+                            hot_copy: Some(_),
+                        } = inode.placement
+                        {
+                            let now = self.now();
+                            let _ = self.meta_l().set_placement(
+                                &npath,
+                                Placement::ErasureCoded { layout, fragments, hot_copy: None },
+                                inode.size,
+                                now,
+                            );
+                        }
+                    }
+                }
+                self.sync_dirty_journal();
+                report.intents_rolled_forward += 1;
+            }
+            Intent::Delete { path, objects } => {
+                // Roll forward: finish removing the objects and the
+                // metadata entry.
+                if let Ok(npath) = NormPath::parse(path) {
+                    let present = self.meta_l().get(&npath).is_ok();
+                    if present {
+                        let _ = self.meta_l().remove_file(&npath);
+                    }
+                    self.dirty_l().forget(path);
+                    self.sync_dirty_journal();
+                }
+                for (p, object) in objects {
+                    let key = Self::key(object);
+                    self.integrity_l().forget(object);
+                    match self.guarded(*p, |prov| prov.remove(&key)) {
+                        Ok(_)
+                        | Err(CloudError::NoSuchObject { .. })
+                        | Err(CloudError::NoSuchContainer { .. }) => {
+                            self.wal_discharge(*p, &key);
+                        }
+                        Err(_) => self.wal_log_remove(*p, key),
+                    }
+                }
+                report.intents_rolled_forward += 1;
+            }
+        }
+    }
+
+    /// Every object name the dispatcher's state references: placement
+    /// objects (replicas, fragments, hot copies) of every file, plus the
+    /// metadata block of every directory. Anything a provider stores
+    /// outside this set is an orphan (the durability auditor's rule, and
+    /// the restart GC's removal predicate).
+    pub fn audit_references(&self) -> BTreeSet<String> {
+        let mut refs = BTreeSet::new();
+        let meta = self.meta_l();
+        for dir in meta.all_dirs() {
+            refs.insert(MetadataBlock::object_name(&dir));
+            let Ok(entries) = meta.list(&dir) else { continue };
+            for entry in entries {
+                let hyrd_metastore::namespace::DirEntry::File(_, id) = entry else {
+                    continue;
+                };
+                let Some(inode) = meta.get_by_id(id) else { continue };
+                match &inode.placement {
+                    Placement::Pending => {}
+                    Placement::Replicated { object, .. } => {
+                        refs.insert(object.clone());
+                    }
+                    Placement::ErasureCoded { fragments, hot_copy, .. } => {
+                        for (_, name) in fragments {
+                            refs.insert(name.clone());
+                        }
+                        if let Some((_, name)) = hot_copy {
+                            refs.insert(name.clone());
+                        }
+                    }
+                }
+            }
+        }
+        refs
+    }
+}

@@ -62,6 +62,15 @@ pub enum CloudError {
         /// Backoff time spent before giving up.
         waited: Duration,
     },
+    /// The *client* process died at this operation boundary. Synthesized
+    /// by the crash-injection harness ([`CrashPlan`] in the simulator):
+    /// once armed, the fleet returns this from every subsequent op, and
+    /// the dispatcher escalates it to an immediate simulated process
+    /// death — no retry, no failover, no cleanup code may run.
+    Crashed {
+        /// Provider whose op boundary the crash landed on.
+        provider: ProviderId,
+    },
 }
 
 impl CloudError {
@@ -83,7 +92,9 @@ impl CloudError {
     /// re-punished them would keep rejecting a provider after its outage
     /// ended. Client errors (missing object/container) and integrity
     /// failures do not either — corruption is repaired by scrub, not
-    /// avoided by tripping the breaker.
+    /// avoided by tripping the breaker. `Crashed` is exempt too: it is
+    /// the *client* dying, not the provider misbehaving, and the restart
+    /// path must find the breakers in their persisted-truth state.
     pub fn counts_against_health(&self) -> bool {
         matches!(self, CloudError::Transient { .. } | CloudError::Timeout { .. })
     }
@@ -94,7 +105,8 @@ impl CloudError {
             CloudError::Unavailable { provider }
             | CloudError::Transient { provider, .. }
             | CloudError::Corrupted { provider, .. }
-            | CloudError::Timeout { provider, .. } => Some(*provider),
+            | CloudError::Timeout { provider, .. }
+            | CloudError::Crashed { provider } => Some(*provider),
             CloudError::NoSuchContainer { .. }
             | CloudError::NoSuchObject { .. }
             | CloudError::ContainerExists { .. } => None,
@@ -127,6 +139,9 @@ impl std::fmt::Display for CloudError {
                     "operation on {provider} exceeded its deadline budget after {:.3}s of backoff",
                     waited.as_secs_f64()
                 )
+            }
+            CloudError::Crashed { provider } => {
+                write!(f, "client crashed at an op boundary on {provider}")
             }
         }
     }
@@ -162,6 +177,10 @@ mod tests {
         let d = CloudError::Timeout { provider: ProviderId(1), waited: Duration::from_secs(9) };
         assert!(!d.is_retryable(), "the deadline budget is already spent");
         assert!(!d.is_outage());
+
+        let k = CloudError::Crashed { provider: ProviderId(2) };
+        assert!(!k.is_retryable(), "a dead client cannot retry anything");
+        assert!(!k.is_outage(), "the providers are fine; the client died");
     }
 
     #[test]
@@ -180,6 +199,7 @@ mod tests {
             CloudError::NoSuchObject { key: ObjectKey::new("c", "o") },
             CloudError::ContainerExists { container: "c".into() },
             CloudError::Corrupted { provider: ProviderId(0), key: ObjectKey::new("c", "o") },
+            CloudError::Crashed { provider: ProviderId(0) },
         ];
         for e in exempt {
             assert!(!e.counts_against_health(), "{e} should not count against health");
@@ -196,5 +216,8 @@ mod tests {
         assert!(e.to_string().contains("integrity"));
         let e = CloudError::Timeout { provider: ProviderId(3), waited: Duration::from_secs(2) };
         assert!(e.to_string().contains("deadline"));
+        let e = CloudError::Crashed { provider: ProviderId(1) };
+        assert!(e.to_string().contains("crashed"));
+        assert!(e.to_string().contains("provider#1"));
     }
 }

@@ -7,10 +7,20 @@
 //! and falls back), and writable behind the `json-blocks` feature for
 //! debugging sessions that want human-inspectable provider objects.
 //!
+//! The current frame (`HYM2`) carries an FNV-1a-64 checksum over
+//! everything after the 12-byte header, so a **torn block** — a write
+//! truncated or bit-flipped by a crash or fault mid-flush — fails
+//! validation deterministically instead of decoding into garbage (the
+//! reader's length framing alone already catches most truncations; the
+//! checksum closes the rest, including bit flips and torn tails that
+//! happen to land on a frame boundary). Legacy `HYM1` frames (no
+//! checksum) stay decodable forever.
+//!
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! block   := MAGIC("HYM1") dir:str version:u64 body
+//! block   := MAGIC("HYM2") checksum:u64 dir:str version:u64 body
+//!          | MAGIC("HYM1") dir:str version:u64 body          (legacy)
 //! body    := count:u32 entry*
 //! entry   := name:str inode
 //! inode   := id:u64 size:u64 version:u64 created:time modified:time place
@@ -20,6 +30,7 @@
 //!          | 0x02 object_len:u64 m:u32 n:u32 shard_len:u64
 //!                 frags:u32 (provider:u16 object:str)* hot:u8 (provider:u16 object:str)?
 //! str     := len:u32 utf8*
+//! checksum := FNV-1a-64 of every byte after the checksum field
 //! ```
 
 use std::collections::BTreeMap;
@@ -33,8 +44,23 @@ use crate::path::NormPath;
 use crate::store::MetadataBlock;
 use crate::{MetaError, Result};
 
-/// Leading bytes of every binary-encoded block.
+/// Leading bytes of a legacy (unchecksummed) binary-encoded block.
 pub const MAGIC: &[u8; 4] = b"HYM1";
+
+/// Leading bytes of a current, checksummed binary-encoded block.
+pub const MAGIC2: &[u8; 4] = b"HYM2";
+
+/// FNV-1a 64-bit. Not cryptographic — it guards against *accidental*
+/// corruption (torn writes, bit rot), which is all a metadata block
+/// needs; tamper resistance is out of scope for the simulator.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// Encodes the entry table alone — the part whose bytes decide whether
 /// a flush has anything new to ship (the header repeats dir + version).
@@ -50,14 +76,18 @@ pub fn encode_entries(entries: &BTreeMap<String, Inode>) -> Vec<u8> {
     out
 }
 
-/// Assembles the full wire bytes from a pre-encoded entry body.
+/// Assembles the full wire bytes from a pre-encoded entry body: an
+/// `HYM2` frame whose checksum covers everything after the header.
 pub fn assemble_block(dir: &NormPath, version: u64, body: &[u8]) -> Vec<u8> {
     let dir = dir.as_str();
-    let mut out = Vec::with_capacity(MAGIC.len() + 4 + dir.len() + 8 + body.len());
-    out.extend_from_slice(MAGIC);
+    let mut out = Vec::with_capacity(MAGIC2.len() + 8 + 4 + dir.len() + 8 + body.len());
+    out.extend_from_slice(MAGIC2);
+    out.extend_from_slice(&[0u8; 8]); // checksum, patched below
     put_str(&mut out, dir);
     put_u64(&mut out, version);
     out.extend_from_slice(body);
+    let checksum = fnv64(&out[12..]);
+    out[4..12].copy_from_slice(&checksum.to_le_bytes());
     out
 }
 
@@ -66,11 +96,20 @@ pub fn encode_block(block: &MetadataBlock) -> Vec<u8> {
     assemble_block(&block.dir, block.version, &encode_entries(&block.entries))
 }
 
-/// Decodes a binary block (the caller has already checked [`MAGIC`]).
+/// Decodes a binary block — `HYM2` (checksum-validated) or legacy
+/// `HYM1` (length framing only).
 pub fn decode_block(bytes: &[u8]) -> Result<MetadataBlock> {
     let mut r = Reader { bytes, pos: 0 };
     let magic = r.take(4)?;
-    if magic != MAGIC {
+    if magic == MAGIC2 {
+        let stored = r.u64()?;
+        let computed = fnv64(&bytes[12..]);
+        if stored != computed {
+            return Err(MetaError::CorruptBlock(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            )));
+        }
+    } else if magic != MAGIC {
         return Err(MetaError::CorruptBlock("bad magic".to_string()));
     }
     let dir = NormPath::parse(r.str()?).map_err(|e| MetaError::CorruptBlock(e.to_string()))?;
@@ -267,12 +306,55 @@ mod tests {
         MetadataBlock { dir: p("/docs/deep"), version: 7, entries }
     }
 
+    /// What `assemble_block` produced before the `HYM2` checksum frame:
+    /// the compatibility surface the legacy tests decode.
+    fn assemble_legacy(block: &MetadataBlock) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_str(&mut out, block.dir.as_str());
+        put_u64(&mut out, block.version);
+        out.extend_from_slice(&encode_entries(&block.entries));
+        out
+    }
+
     #[test]
     fn roundtrip_preserves_every_field() {
         let block = sample_block();
         let bytes = encode_block(&block);
+        assert_eq!(&bytes[..4], MAGIC2);
+        assert_eq!(decode_block(&bytes).unwrap(), block);
+    }
+
+    #[test]
+    fn legacy_hym1_blocks_still_decode() {
+        let block = sample_block();
+        let bytes = assemble_legacy(&block);
         assert_eq!(&bytes[..4], MAGIC);
         assert_eq!(decode_block(&bytes).unwrap(), block);
+    }
+
+    #[test]
+    fn every_truncation_of_a_checksummed_block_is_caught() {
+        let bytes = encode_block(&sample_block());
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(decode_block(&bytes[..cut]), Err(MetaError::CorruptBlock(_))),
+                "truncation to {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_caught() {
+        let bytes = encode_block(&sample_block());
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 1;
+            assert!(
+                matches!(decode_block(&flipped), Err(MetaError::CorruptBlock(_))),
+                "bit flip at byte {i} must not decode"
+            );
+        }
     }
 
     #[test]
@@ -303,6 +385,7 @@ mod tests {
         trailing.push(0);
         assert!(matches!(decode_block(&trailing), Err(MetaError::CorruptBlock(_))));
         assert!(matches!(decode_block(b"HYM1"), Err(MetaError::CorruptBlock(_))));
+        assert!(matches!(decode_block(b"HYM2"), Err(MetaError::CorruptBlock(_))));
         assert!(matches!(decode_block(b"not a block"), Err(MetaError::CorruptBlock(_))));
     }
 

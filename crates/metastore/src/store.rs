@@ -47,12 +47,15 @@ impl MetadataBlock {
         }
     }
 
-    /// Parses a block fetched from a provider. Both encodings are always
-    /// readable — the binary magic is sniffed first, anything else is
-    /// treated as legacy JSON — so mixed fleets and old traces keep
-    /// loading regardless of the write-side feature.
+    /// Parses a block fetched from a provider. Every encoding is always
+    /// readable — the binary magics (`HYM2` checksummed, `HYM1` legacy)
+    /// are sniffed first, anything else is treated as legacy JSON — so
+    /// mixed fleets and old traces keep loading regardless of the
+    /// write-side feature. A torn or bit-flipped binary block fails the
+    /// codec's length/checksum validation with
+    /// [`MetaError::CorruptBlock`] instead of decoding into garbage.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        if bytes.starts_with(codec::MAGIC) {
+        if bytes.starts_with(codec::MAGIC) || bytes.starts_with(codec::MAGIC2) {
             return codec::decode_block(bytes);
         }
         serde_json::from_slice(bytes).map_err(|e| MetaError::CorruptBlock(e.to_string()))
@@ -273,6 +276,23 @@ impl MetaStore {
         out
     }
 
+    /// Seeds the flush change-detection cache for `dir` at `version`
+    /// without shipping anything: the next real change to the directory
+    /// flushes at `version + 1`, and a flush whose entry bytes match the
+    /// current table is a no-op. The crash-restart path calls this after
+    /// [`Self::load_block`]-ing a block recovered from providers, so a
+    /// re-flushed block can never regress below the version already
+    /// stored in the cloud (a lower-version block would lose the
+    /// max-version vote at the *next* restart).
+    pub fn seed_flushed(&mut self, dir: &NormPath, version: u64) {
+        let Ok(files) = self.namespace.files_in(dir) else { return };
+        let mut entries = BTreeMap::new();
+        for (name, id) in files {
+            entries.insert(name, self.inodes.get(&id).expect("in sync").clone());
+        }
+        self.flushed.insert(dir.clone(), (version, codec::encode_entries(&entries)));
+    }
+
     /// Merges a metadata block loaded from a provider (the bootstrap and
     /// recovery paths). Entries newer than local state win; unknown files
     /// are created **keeping their original file ids** — placements refer
@@ -438,6 +458,51 @@ mod tests {
             MetadataBlock::from_bytes(b"not json"),
             Err(MetaError::CorruptBlock(_))
         ));
+    }
+
+    #[test]
+    fn torn_blocks_fail_validation_instead_of_decoding() {
+        let mut s = MetaStore::new();
+        s.create_file(&p("/dir/x"), 100, t(1)).unwrap();
+        s.set_placement(&p("/dir/x"), replicated(), 100, t(3)).unwrap();
+        let bytes = s.block_for(&p("/dir")).unwrap().to_bytes();
+        assert!(MetadataBlock::from_bytes(&bytes).is_ok());
+        // A write torn mid-flush: only a prefix landed.
+        let torn = &bytes[..bytes.len() / 2];
+        assert!(matches!(MetadataBlock::from_bytes(torn), Err(MetaError::CorruptBlock(_))));
+        // A bit flip anywhere in the payload.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert!(matches!(
+            MetadataBlock::from_bytes(&flipped),
+            Err(MetaError::CorruptBlock(_))
+        ));
+    }
+
+    #[test]
+    fn seeded_flush_version_never_regresses() {
+        // Simulates the restart path: load a recovered block, seed the
+        // flush cache at its version, then mutate — the re-flush must
+        // come out *above* the recovered version.
+        let mut src = MetaStore::new();
+        src.create_file(&p("/d/a"), 10, t(1)).unwrap();
+        src.set_placement(&p("/d/a"), replicated(), 10, t(2)).unwrap();
+        let mut block = src.block_for(&p("/d")).unwrap();
+        block.version = 9; // structural bumps pushed it past any inode version
+        let mut dst = MetaStore::new();
+        dst.load_block(&block).unwrap();
+        dst.seed_flushed(&p("/d"), block.version);
+
+        // An unchanged flush ships nothing.
+        dst.mkdir_all(&p("/d"));
+        assert!(dst.flush_dirty_encoded().is_empty());
+
+        // A real change flushes at version 10, not at the inode version.
+        dst.create_file(&p("/d/b"), 5, t(3)).unwrap();
+        let flushed = dst.flush_dirty_encoded();
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].version, 10);
     }
 
     #[test]

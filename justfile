@@ -15,6 +15,15 @@ chaos:
 chaos-full:
     cargo run --release -p hyrd-bench --bin chaos_drill
 
+# Crash-restart durability torture (DESIGN.md §12): exhaustive sweep of
+# every provider-op budget and journal crashpoint on a mixed trace, plus
+# seeded sampling on the IA trace; asserts zero durability violations
+# and a byte-identical report across worker counts. The crash-mode
+# chaos drill composes client crashes with live provider faults.
+crash-torture:
+    cargo run --release -p hyrd-bench --bin crash_torture -- --selfcheck
+    cargo run --release -p hyrd-bench --bin chaos_drill -- --smoke --crash --selfcheck
+
 # Smoke drill with the telemetry trace written out: every span and event
 # on the request path, stamped with the virtual clock, as JSONL.
 trace:
