@@ -50,6 +50,7 @@ fn week_ops(trace: &IaTrace, week: usize, seed: u64) -> Vec<FsOp> {
                     FsOp::Update { path: format!("{prefix}{path}"), offset, len }
                 }
                 FsOp::Delete { path } => FsOp::Delete { path: format!("{prefix}{path}") },
+                FsOp::ListDir { path } => FsOp::ListDir { path: format!("{prefix}{path}") },
             });
         }
     }

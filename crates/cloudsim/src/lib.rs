@@ -39,6 +39,7 @@ pub mod outage;
 pub mod pricing;
 pub mod profiles;
 pub mod provider;
+pub mod queue;
 pub mod realtime;
 
 pub use clock::SimClock;
@@ -51,6 +52,7 @@ pub use outage::OutageSchedule;
 pub use pricing::{PriceBook, ProviderCategory};
 pub use profiles::{ProviderProfile, WellKnownProvider};
 pub use provider::SimProvider;
+pub use queue::{Admission, ProviderQueue};
 
 /// Re-export of the middleware crate for downstream convenience.
 pub use hyrd_gcsapi as gcsapi;

@@ -26,6 +26,7 @@ use crate::faults::FaultPlan;
 use crate::outage::OutageSchedule;
 use crate::pricing::{PriceBook, ProviderCategory};
 use crate::profiles::{ProviderProfile, WellKnownProvider};
+use crate::queue::ProviderQueue;
 
 /// What the store keeps for one object. In **ghost mode** only the
 /// length is retained (Gets return zero-filled bytes of the right size),
@@ -78,6 +79,9 @@ pub struct SimProvider {
     telemetry: RwLock<Collector>,
     /// Fleet-shared client-crash switch; absent for standalone providers.
     crash: RwLock<Option<std::sync::Arc<CrashSwitch>>>,
+    /// Concurrency-limited server slots the event engine admits reads
+    /// through; closed-loop replay never saturates the default width.
+    queue: ProviderQueue,
 }
 
 impl SimProvider {
@@ -98,6 +102,7 @@ impl SimProvider {
             rot_applied: AtomicU64::new(0),
             telemetry: RwLock::new(Collector::disabled()),
             crash: RwLock::new(None),
+            queue: ProviderQueue::new(crate::queue::DEFAULT_CONCURRENCY),
         }
     }
 
@@ -161,6 +166,39 @@ impl SimProvider {
     /// Accumulated op statistics.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The provider's concurrency-limited admission queue. Only the
+    /// event engine's fan-out reads consult it; direct `CloudStorage`
+    /// calls stay queue-oblivious (closed-loop semantics).
+    pub fn queue(&self) -> &ProviderQueue {
+        &self.queue
+    }
+
+    /// Scenario knob: resizes the admission queue to `slots` concurrent
+    /// servers (clearing any accumulated busy times).
+    pub fn set_concurrency(&self, slots: usize) {
+        self.queue.set_concurrency(slots);
+    }
+
+    /// Credits back a cancelled in-flight op: the client aborted the
+    /// request after `billed` of its `report.latency` had elapsed, so
+    /// the payload bytes were never transferred. Op *counts* stay — the
+    /// request was issued and is billed as a transaction — but the
+    /// byte and latency tallies shrink so provider-side accounting
+    /// agrees with what the client actually consumed.
+    pub fn credit_cancelled(&self, report: &OpReport, billed: std::time::Duration) {
+        let latency_credit = report.latency.saturating_sub(billed);
+        self.stats.credit_cancelled(report.bytes_out, latency_credit.as_nanos() as u64);
+        let tel = self.telemetry();
+        if tel.enabled() {
+            tel.event("provider.cancel")
+                .field("provider", self.profile.name.as_str())
+                .field("bytes_out_credited", report.bytes_out)
+                .field("billed_ns", billed.as_nanos() as u64)
+                .emit();
+            tel.inc_labeled("provider.cancels", &self.profile.name, 1);
+        }
     }
 
     /// Bytes currently stored (the storage-cost gauge).

@@ -24,7 +24,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::Once;
 
 use hyrd_cloudsim::Fleet;
-use hyrd_gcsapi::CloudError;
+use hyrd_gcsapi::{CloudError, CloudStorage};
 use hyrd_telemetry::Collector;
 use hyrd_workloads::FsOp;
 

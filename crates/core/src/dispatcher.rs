@@ -54,7 +54,9 @@ use bytes::Bytes;
 use parking_lot::{Mutex, MutexGuard};
 
 use hyrd_cloudsim::{Fleet, SimProvider};
-use hyrd_gcsapi::{BatchReport, CloudError, CloudResult, CloudStorage, ObjectKey, ProviderId};
+use hyrd_gcsapi::{
+    BatchReport, CloudError, CloudResult, CloudStorage, ObjectKey, OpReport, ProviderId,
+};
 use hyrd_gfec::parallel::{decode_object_parallel, encode_parallel};
 use hyrd_gfec::stripe::StripePlanner;
 use hyrd_gfec::{ErasureCode, Fragment, Raid5, Raid6, ReedSolomon};
@@ -62,6 +64,7 @@ use hyrd_metastore::{MetaStore, MetadataBlock, NormPath, Placement};
 use hyrd_telemetry::Collector;
 
 use crate::config::{CodeChoice, FragmentSelection, HyrdConfig};
+use crate::engine::{self, Attempt, FanoutDriver, FanoutOutcome, HedgeStats, LaunchKind};
 use crate::evaluator::Evaluator;
 use crate::health::{FaultCounterSnapshot, FaultCounters, HealthTracker};
 use crate::integrity::{IntegrityIndex, Verdict};
@@ -340,7 +343,7 @@ impl Hyrd {
                 // mid-flush tore the write). Try the remaining replicas
                 // directly: any intact copy keeps the directory.
                 if hyrd.telemetry.enabled() {
-                    hyrd.telemetry.event("attach.torn_block").field("object", name).emit();
+                    hyrd.telemetry.event("attach.torn_block").field("object", name.as_str()).emit();
                     hyrd.telemetry.inc("attach.torn_blocks", 1);
                 }
                 for &t in &targets {
@@ -361,7 +364,7 @@ impl Hyrd {
                     // No replica holds an intact copy: mount without the
                     // directory rather than refusing the namespace.
                     if hyrd.telemetry.enabled() {
-                        hyrd.telemetry.event("attach.block_lost").field("object", name).emit();
+                        hyrd.telemetry.event("attach.block_lost").field("object", name.as_str()).emit();
                         hyrd.telemetry.inc("attach.blocks_lost", 1);
                     }
                 }
@@ -715,6 +718,27 @@ impl Hyrd {
         }
     }
 
+    /// Counts one fan-out read's hedging activity into the registry.
+    /// Quiet reads (nothing fired, no queueing) record nothing, so runs
+    /// with hedging disabled keep their pre-engine telemetry exactly.
+    fn note_hedges(&self, h: &HedgeStats) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        if h.fired > 0 {
+            self.telemetry.inc("hedge.fired", h.fired);
+        }
+        if h.won > 0 {
+            self.telemetry.inc("hedge.won", h.won);
+        }
+        if h.cancelled > 0 {
+            self.telemetry.inc("hedge.cancelled", h.cancelled);
+        }
+        if h.queue_delay_ns > 0 {
+            self.telemetry.observe("engine.queue_ns", h.queue_delay_ns);
+        }
+    }
+
     /// Verifies fetched whole-object bytes against the recorded digest.
     /// Ghost-mode providers return synthetic zeroes by design, so their
     /// payloads are exempt (`Unknown`).
@@ -1043,54 +1067,30 @@ impl Hyrd {
         let key = Self::key(object);
         // Fastest replica first — the evaluator's whole purpose — with
         // breaker-suspect providers demoted to the back of the line.
+        // A replica with a pending log record holds stale bytes (it
+        // missed the latest write); never serve a read from it.
         let mut order = Evaluator::order_by(&self.evaluator.fastest_first(), providers);
         let now = self.now();
         order.sort_by_key(|&id| !self.health.admits(id, now));
-        let mut ops = Vec::new();
-        for id in order {
-            // A replica with a pending log record holds stale bytes (it
-            // missed the latest write); never serve a read from it.
-            if self.log_l().is_pending(id, &key) {
-                continue;
-            }
-            if !self.health.admits(id, self.now()) {
-                // Last-resort candidate: every healthier replica already
-                // failed, so an open breaker must not veto the read.
-                // Force it closed — the attempt records a real outcome.
-                self.health.reset(id);
-            }
-            // A corrupt payload gets one immediate re-fetch (wire faults
-            // are per-attempt); a second mismatch means the *stored*
-            // copy is bad, so fail over and leave it to scrub.
-            for _ in 0..2 {
-                let fetched = {
-                    let _get =
-                        self.telemetry.span_labeled("fetch_replica", self.provider(id).name());
-                    self.guarded(id, |p| p.get(&key))
-                };
-                match fetched {
-                    Ok(out) => match self.check(id, object, &out.value) {
-                        Verdict::Corrupt => {
-                            self.note_corruption(id, object);
-                            ops.push(out.report);
-                            continue;
-                        }
-                        Verdict::Verified | Verdict::Unknown => {
-                            ops.push(out.report);
-                            // Serial: any corruption re-fetches happened
-                            // one after another. With a single clean op
-                            // this equals the old parallel report.
-                            return Ok((out.value, BatchReport::serial(ops)));
-                        }
-                    },
-                    Err(_) => break,
-                }
-            }
-        }
-        Err(SchemeError::DataUnavailable {
-            path: path.to_string(),
-            detail: format!("no replica of '{object}' reachable"),
-        })
+        let candidates: Vec<(ProviderId, String)> = order
+            .into_iter()
+            .filter(|&id| !self.log_l().is_pending(id, &key))
+            .map(|id| (id, object.to_string()))
+            .collect();
+        // One copy wins; the hedge timer fans out to a second replica
+        // when the first is slow (metadata and small files included —
+        // `list_dir`'s fastest-replica fetch rides the same path).
+        let mut fanout = ReadFanout { hyrd: self, span: "fetch_replica", candidates };
+        let Some(mut outcome) = engine::fanout_read(&mut fanout, 1, &self.config.hedge, now)
+        else {
+            return Err(SchemeError::DataUnavailable {
+                path: path.to_string(),
+                detail: format!("no replica of '{object}' reachable"),
+            });
+        };
+        self.note_hedges(&outcome.hedges);
+        let winner = outcome.winners.pop().expect("need=1 produced a winner");
+        Ok((winner.payload, outcome.report))
     }
 
     /// Fetches any `m` fragments (policy-ordered) and decodes. The
@@ -1152,52 +1152,30 @@ impl Hyrd {
             });
         }
 
-        let mut got: Vec<Fragment> = Vec::with_capacity(m);
-        let mut ops = Vec::new();
-        for (idx, p, name) in candidates {
-            if got.len() == m {
-                break;
-            }
-            let key = Self::key(name);
-            if !self.health.admits(p, self.now()) {
-                // Needed despite the open breaker (healthier candidates
-                // are exhausted): a read beats a refusal, force-close it.
-                self.health.reset(p);
-            }
-            // One re-fetch on a checksum mismatch: wire corruption is
-            // per-attempt; a repeat means the stored fragment is bad and
-            // decode must route around it (scrub repairs it later).
-            for _ in 0..2 {
-                let fetched = {
-                    let _get =
-                        self.telemetry.span_labeled("fetch_fragment", self.provider(p).name());
-                    self.guarded(p, |prov| prov.get(&key))
-                };
-                match fetched {
-                    Ok(out) => match self.check(p, name, &out.value) {
-                        Verdict::Corrupt => {
-                            self.note_corruption(p, name);
-                            ops.push(out.report);
-                            continue;
-                        }
-                        Verdict::Verified | Verdict::Unknown => {
-                            ops.push(out.report);
-                            // `into` reclaims the Bytes' unique buffer —
-                            // no copy of the fragment payload.
-                            got.push(Fragment::new(idx, out.value.into()));
-                            break;
-                        }
-                    },
-                    Err(_) => break, // raced an outage; try the next one
-                }
-            }
-        }
-        if got.len() < m {
+        // Fan the read out on the event engine: `m` required fragment
+        // fetches in flight at once, redundant extras after the hedge
+        // deadline, first `m` completions win, stragglers cancelled.
+        let frag_index: Vec<usize> = candidates.iter().map(|(i, _, _)| *i).collect();
+        let fanout_candidates: Vec<(ProviderId, String)> =
+            candidates.into_iter().map(|(_, p, name)| (p, name.clone())).collect();
+        let mut fanout =
+            ReadFanout { hyrd: self, span: "fetch_fragment", candidates: fanout_candidates };
+        let Some(outcome) = engine::fanout_read(&mut fanout, m, &self.config.hedge, self.now())
+        else {
             return Err(SchemeError::DataUnavailable {
                 path: path.to_string(),
                 detail: "fragment fetches failed mid-read".to_string(),
             });
-        }
+        };
+        self.note_hedges(&outcome.hedges);
+        let FanoutOutcome { winners, report, .. } = outcome;
+        let got: Vec<Fragment> = winners
+            .into_iter()
+            // `into` reclaims the Bytes' unique buffer — no copy of the
+            // fragment payload.
+            .map(|w| Fragment::new(frag_index[w.candidate], w.payload.into()))
+            .collect();
+        let ops = report;
         let object = {
             let _dec = self
                 .telemetry
@@ -1210,7 +1188,7 @@ impl Hyrd {
             self.observe_wall("ec.decode_wall_ns", wall);
             object
         };
-        Ok((Bytes::from(object), BatchReport::parallel(ops)))
+        Ok((Bytes::from(object), ops))
     }
 
     /// After a large read, track hotness and install a whole-object copy
@@ -1666,6 +1644,78 @@ impl Hyrd {
     pub fn file_size(&self, path: &str) -> Option<u64> {
         let npath = NormPath::parse(path).ok()?;
         self.meta_l().get(&npath).ok().map(|i| i.size)
+    }
+}
+
+/// The dispatcher's side of a fan-out read: the event engine owns the
+/// timeline, this adapter owns the cloud. `candidates` are ranked
+/// `(provider, object-name)` pairs; every fetch runs through the full
+/// hardening stack ([`Hyrd::guarded`]: breaker admission, retries with
+/// virtual-clock backoff, health bookkeeping) and integrity check, and
+/// every admission/cancellation goes to the provider's queue.
+struct ReadFanout<'a> {
+    hyrd: &'a Hyrd,
+    /// Telemetry span label ("fetch_replica" / "fetch_fragment").
+    span: &'static str,
+    candidates: Vec<(ProviderId, String)>,
+}
+
+impl FanoutDriver for ReadFanout<'_> {
+    fn candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    fn prepare(&mut self, idx: usize, kind: LaunchKind) -> bool {
+        let (id, _) = self.candidates[idx];
+        if self.hyrd.health.admits(id, self.hyrd.now()) {
+            return true;
+        }
+        match kind {
+            LaunchKind::Required => {
+                // Last-resort candidate: every healthier replica already
+                // failed, so an open breaker must not veto the read.
+                // Force it closed — the attempt records a real outcome.
+                self.hyrd.health.reset(id);
+                true
+            }
+            // A hedge is opportunistic extra work; aiming it at a
+            // breaker-suspect provider would spend the redundancy on
+            // the least likely candidate and poke a known-bad endpoint.
+            LaunchKind::Hedge => false,
+        }
+    }
+
+    fn attempt(&mut self, idx: usize) -> Attempt {
+        let (id, name) = &self.candidates[idx];
+        let key = Hyrd::key(name);
+        let fetched = {
+            let _get = self.hyrd.telemetry.span_labeled(self.span, self.hyrd.provider(*id).name());
+            self.hyrd.guarded(*id, |p| p.get(&key))
+        };
+        match fetched {
+            Ok(out) => match self.hyrd.check(*id, name, &out.value) {
+                Verdict::Corrupt => {
+                    self.hyrd.note_corruption(*id, name);
+                    Attempt::Corrupt { report: out.report }
+                }
+                Verdict::Verified | Verdict::Unknown => {
+                    Attempt::Done { report: out.report, payload: out.value }
+                }
+            },
+            Err(_) => Attempt::Failed, // raced an outage; try the next one
+        }
+    }
+
+    fn enqueue(&mut self, idx: usize, now_ns: u64, service_ns: u64) -> hyrd_cloudsim::Admission {
+        self.hyrd.provider(self.candidates[idx].0).queue().admit(now_ns, service_ns)
+    }
+
+    fn release(&mut self, idx: usize, done_ns: u64, free_at_ns: u64) {
+        self.hyrd.provider(self.candidates[idx].0).queue().release_early(done_ns, free_at_ns);
+    }
+
+    fn cancelled(&mut self, idx: usize, report: &OpReport, billed: std::time::Duration) {
+        self.hyrd.provider(self.candidates[idx].0).credit_cancelled(report, billed);
     }
 }
 

@@ -20,6 +20,7 @@ use crate::scheme::Scheme;
 use crate::stats::{LatencyStats, OpClass};
 
 pub mod multi_client;
+pub mod openloop;
 
 /// Replay knobs.
 #[derive(Debug, Clone)]
@@ -108,10 +109,13 @@ impl ReplayStats {
         writeln!(out, "scheme: {}", self.scheme).unwrap();
         writeln!(
             out,
-            "  overall: n={} mean={:.3}s p95={:.3}s errors={}",
+            "  overall: n={} mean={:.3}s p50={:.3}s p95={:.3}s p99={:.3}s p999={:.3}s errors={}",
             self.overall.count(),
             self.overall.mean().as_secs_f64(),
+            self.overall.quantile(0.5).as_secs_f64(),
             self.overall.quantile(0.95).as_secs_f64(),
+            self.overall.quantile(0.99).as_secs_f64(),
+            self.overall.quantile(0.999).as_secs_f64(),
             self.errors
         )
         .unwrap();

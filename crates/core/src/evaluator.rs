@@ -154,9 +154,17 @@ impl Evaluator {
     }
 
     /// All providers ordered fastest-first by measured Get latency.
+    ///
+    /// Ties are broken deterministically: equal Get probes fall back to
+    /// the Put probe, then to the provider id — so two providers with
+    /// identical latency profiles always rank in the same order, and
+    /// replay traces stay byte-identical across runs and worker counts.
     pub fn fastest_first(&self) -> Vec<ProviderId> {
         let mut ids: Vec<usize> = (0..self.assessments.len()).collect();
-        ids.sort_by_key(|&i| (self.assessments[i].probe_get, self.assessments[i].id));
+        ids.sort_by_key(|&i| {
+            let a = &self.assessments[i];
+            (a.probe_get, a.probe_put, a.id)
+        });
         ids.into_iter().map(|i| self.assessments[i].id).collect()
     }
 
@@ -230,6 +238,48 @@ mod tests {
         let names: Vec<String> = order.iter().map(|&id| e.get(id).unwrap().name.clone()).collect();
         assert_eq!(names[0], "Aliyun");
         assert_eq!(names[1], "Windows Azure");
+    }
+
+    #[test]
+    fn fastest_first_breaks_latency_ties_deterministically() {
+        // Equal Get probes fall back to the Put probe, then provider id.
+        let assessment = |id: u16, get_ms: u64, put_ms: u64| ProviderAssessment {
+            id: ProviderId(id),
+            name: format!("p{id}"),
+            probe_get: Duration::from_millis(get_ms),
+            probe_put: Duration::from_millis(put_ms),
+            prices: PriceBook::AMAZON_S3,
+            performance_oriented: true,
+            cost_oriented: false,
+        };
+        let e = Evaluator {
+            assessments: vec![
+                assessment(2, 10, 20), // ties with id 0 on both probes ⇒ id decides
+                assessment(1, 10, 15), // same Get, faster Put ⇒ ranks first
+                assessment(0, 10, 20),
+            ],
+        };
+        assert_eq!(
+            e.fastest_first(),
+            vec![ProviderId(1), ProviderId(0), ProviderId(2)],
+            "ties resolve by (probe_get, probe_put, id)"
+        );
+    }
+
+    #[test]
+    fn identical_profiles_rank_by_id_every_time() {
+        // A fleet of four byte-identical providers produces identical
+        // probe latencies (the jitter stream is per-provider-sequence,
+        // not per-id), so the order must collapse to provider id — and
+        // stay stable across repeated assessments.
+        let clock = SimClock::new();
+        let profile = Fleet::standard_four(SimClock::new()).providers()[0].profile().clone();
+        let fleet = Fleet::new(clock, vec![profile.clone(), profile.clone(), profile]);
+        let (e, _) = Evaluator::assess(&fleet, 64 * 1024);
+        let expected: Vec<ProviderId> = (0..3).map(ProviderId).collect();
+        assert_eq!(e.fastest_first(), expected);
+        let (e2, _) = Evaluator::assess(&fleet, 64 * 1024);
+        assert_eq!(e2.fastest_first(), expected, "re-assessment keeps the order");
     }
 
     #[test]

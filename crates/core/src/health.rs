@@ -226,9 +226,15 @@ impl HealthTracker {
         self.breakers.lock().values().map(|b| b.trips()).sum()
     }
 
-    /// Per-provider trip counts, sorted by provider id (deterministic).
+    /// Per-provider trip counts for providers that have tripped at
+    /// least once, sorted by provider id (deterministic).
     pub fn trip_counts(&self) -> Vec<(ProviderId, u64)> {
-        self.breakers.lock().iter().map(|(id, b)| (*id, b.trips())).collect()
+        self.breakers
+            .lock()
+            .iter()
+            .filter(|(_, b)| b.trips() > 0)
+            .map(|(id, b)| (*id, b.trips()))
+            .collect()
     }
 }
 

@@ -27,7 +27,11 @@
 //! the baselines — implements), [`recovery`] (the update log), [`driver`]
 //! (workload replay, including the deterministic multi-client engine
 //! `driver::multi_client` over the `&self` [`scheme::SharedScheme`]
-//! surface), [`stats`] (latency statistics the figures report).
+//! surface, and the open-loop Poisson driver `driver::openloop`),
+//! [`stats`] (latency statistics the figures report), [`engine`] (the
+//! discrete-event fan-out scheduler behind every read: in-flight
+//! operations on the virtual clock, per-provider queueing, hedged
+//! requests with straggler cancellation; DESIGN.md §13).
 //! Hardening modules: [`health`] (per-provider circuit breakers and fault
 //! counters), [`integrity`] (client-side SHA-256 digests verified on
 //! every whole-object read), [`scrub`] (the background sweep that finds
@@ -66,6 +70,7 @@ pub mod dedupstore;
 pub mod dispatcher;
 pub mod ecops;
 pub mod driver;
+pub mod engine;
 pub mod evaluator;
 pub mod health;
 pub mod integrity;
@@ -77,8 +82,9 @@ pub mod scheme;
 pub mod scrub;
 pub mod stats;
 
-pub use config::{CodeChoice, FragmentSelection, HyrdConfig};
+pub use config::{CodeChoice, FragmentSelection, HedgeConfig, HyrdConfig};
 pub use crashtest::{ClientCrashed, CrashHarness, silence_crash_panics};
+pub use engine::HedgeStats;
 pub use dedupstore::{DedupStats, DedupStore};
 pub use dispatcher::Hyrd;
 pub use journal::{FragWrite, Intent, Journal};
@@ -97,7 +103,7 @@ pub use hyrd_telemetry as telemetry;
 
 /// One-stop imports for examples and benches.
 pub mod prelude {
-    pub use crate::config::{CodeChoice, FragmentSelection, HyrdConfig};
+    pub use crate::config::{CodeChoice, FragmentSelection, HedgeConfig, HyrdConfig};
     pub use crate::dispatcher::Hyrd;
     pub use crate::driver::multi_client::{MultiClient, MultiClientOptions, MultiClientReport};
     pub use crate::driver::{ReplayOptions, ReplayStats, replay, replay_sweep};

@@ -49,7 +49,7 @@ use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use hyrd_cloudsim::Fleet;
-use hyrd_gcsapi::CloudError;
+use hyrd_gcsapi::{CloudError, CloudStorage};
 use hyrd_metastore::{MetadataBlock, NormPath, Placement};
 use hyrd_telemetry::Collector;
 

@@ -198,9 +198,10 @@ mod tests {
             assert!(got >= exact, "q={q}: {got} < exact {exact}");
             assert!(got <= exact.saturating_mul(2), "q={q}: {got} > 2x exact {exact}");
         }
-        // Mean and std-dev stay exact (running sums, not buckets).
+        // Mean stays exact up to Duration's nanosecond quantization
+        // (running sums, not buckets).
         let mean_ns = samples_ns.iter().sum::<u64>() as f64 / samples_ns.len() as f64;
-        assert!((s.mean().as_secs_f64() - mean_ns / 1e9).abs() < 1e-12);
+        assert!((s.mean().as_secs_f64() - mean_ns / 1e9).abs() < 1e-9);
     }
 
     #[test]

@@ -109,6 +109,15 @@ impl OpStats {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Credits back the unused portion of a cancelled op that was
+    /// previously recorded via [`OpStats::record_ok`]: the op count
+    /// stands (the request was issued), but `bytes_out` were never
+    /// delivered and only part of the latency elapsed before the abort.
+    pub fn credit_cancelled(&self, bytes_out: u64, latency_ns: u64) {
+        self.bytes_out.fetch_sub(bytes_out, Ordering::Relaxed);
+        self.latency_ns.fetch_sub(latency_ns, Ordering::Relaxed);
+    }
+
     fn record<T>(&self, kind: OpKind, result: &CloudResult<OpOutcome<T>>) {
         match result {
             Ok(out) => {

@@ -123,6 +123,7 @@ pub struct HistogramSummary {
     pub p50: u64,
     pub p95: u64,
     pub p99: u64,
+    pub p999: u64,
 }
 
 impl HistogramSummary {
@@ -135,6 +136,7 @@ impl HistogramSummary {
             p50: h.quantile(0.50),
             p95: h.quantile(0.95),
             p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
         }
     }
 }

@@ -84,11 +84,12 @@ pub(crate) fn render(
         out.push_str("histograms:\n");
         for (k, d) in &snapshot.histograms {
             out.push_str(&format!(
-                "  {k}: count={} p50={} p95={} p99={} max={}\n",
+                "  {k}: count={} p50={} p95={} p99={} p999={} max={}\n",
                 d.count,
                 fmt_ns(d.p50),
                 fmt_ns(d.p95),
                 fmt_ns(d.p99),
+                fmt_ns(d.p999),
                 fmt_ns(d.max)
             ));
         }

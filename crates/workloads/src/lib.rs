@@ -14,16 +14,22 @@
 //!   aggregate statistics Figure 3 reports: read:write volume 2.1:1 and
 //!   read:write request count 3.5:1, TB-scale monthly volumes with
 //!   seasonal variation.
+//! * [`openloop`] — an open-loop Poisson arrival stream for tail-latency
+//!   experiments: offered load (not completion of the previous request)
+//!   decides when the next request fires, so p99/p999 reflect queueing
+//!   and stragglers instead of being hidden by closed-loop self-throttling.
 //!
 //! Everything is deterministic given a seed, so every figure regenerates
 //! bit-identically.
 
 pub mod filesize;
 pub mod ia_trace;
+pub mod openloop;
 pub mod ops;
 pub mod postmark;
 
 pub use filesize::{FileSizeDist, SizeMixSummary};
 pub use ia_trace::{IaTrace, MonthTraffic};
+pub use openloop::{Arrival, OpenLoop, OpenLoopConfig};
 pub use ops::FsOp;
 pub use postmark::{PostMark, PostMarkConfig, PostMarkReport};

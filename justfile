@@ -54,6 +54,13 @@ bench-replay:
     BENCH_JSON_ONLY=1 cargo bench -p hyrd-bench --bench replay_benches
     cargo run --release -p hyrd-bench --bin replay_sweep -- --weeks 1 --jobs 2 --check
 
+# Refresh the repo-root BENCH_tail.json tail-latency baseline: the
+# open-loop Poisson workload swept over hedging delay × fault plan
+# (rotating x8 latency spikes), with --check proving stats and traces
+# are byte-identical across worker counts, hedging on or off.
+bench-tail:
+    cargo run --release -p hyrd-bench --bin tail_latency -- --check
+
 # Full Criterion run (also refreshes BENCH_gfec.json at the end).
 bench:
     cargo bench -p hyrd-bench

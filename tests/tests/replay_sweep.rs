@@ -28,6 +28,7 @@ fn month_ops(seed: u64) -> Vec<FsOp> {
                     FsOp::Update { path: format!("{prefix}{path}"), offset, len }
                 }
                 FsOp::Delete { path } => FsOp::Delete { path: format!("{prefix}{path}") },
+                FsOp::ListDir { path } => FsOp::ListDir { path: format!("{prefix}{path}") },
             });
         }
     }

@@ -134,7 +134,7 @@ fn crud_and_ec_spans_cover_the_request_path() {
         .iter()
         .find(|r| r.is_event("provider.op"))
         .expect("providers must trace their ops");
-    assert!(op.field_str("kind").is_some());
+    assert!(op.field_str("op").is_some());
     assert!(op.field_str("provider").is_some());
 
     // Spans nest: every ec.encode start has a parent (create_file).
