@@ -1,0 +1,177 @@
+//! Observability-overhead benchmarks for the availability observatory.
+//!
+//! Three questions, answered with a counting allocator and the virtual
+//! clock (ghost-mode providers, so everything measured is client CPU):
+//!
+//! 1. **Disabled is free.** With a disabled [`Collector`] every
+//!    instrumentation call — spans, events, metrics — must allocate
+//!    exactly zero times. Asserted, not just measured.
+//! 2. **Enabled is cheap.** The same seeded PostMark replay runs once
+//!    with telemetry off and once with the full observatory attached
+//!    (JSONL sink + live tap); the wall-clock delta and the extra
+//!    allocations per op are the price of watching.
+//! 3. **Offline analysis is fast.** Parsing the captured trace back
+//!    through [`hyrd::observatory::from_trace`] is timed at one and
+//!    four parser workers.
+//!
+//! Results land in the repo-root `BENCH_obs.json` (`just bench-obs`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use hyrd_bench::summary;
+
+use hyrd::driver::replay;
+use hyrd::observatory::{self, SharedObservatory};
+use hyrd::prelude::*;
+use hyrd::telemetry::{Collector, SharedBuf};
+use hyrd_workloads::{PostMark, PostMarkConfig};
+
+/// System allocator with an allocation counter.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The zero-cost contract the observatory inherits from the telemetry
+/// layer: when observability is off, the instrumented hot paths pay
+/// nothing — not a single allocation across spans, events, counters and
+/// histograms.
+fn assert_disabled_observability_never_allocates() {
+    let tel = Collector::disabled();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..1_000u64 {
+        let _guard = tel.span_labeled("obs.span", "provider");
+        let inner = tel.span_with("obs.inner").field("iter", i).field("op", "Get").start();
+        tel.event("obs.event").field("iter", i).field("provider", "S3").emit();
+        tel.inc("obs.counter", 1);
+        tel.observe_labeled("obs.hist", "provider", i);
+        black_box(tel.enabled());
+        inner.end();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled observability allocated {} times in 1000 iterations",
+        after - before
+    );
+    println!("observability disabled-path guard: 0 allocations across 1000 iterations");
+}
+
+fn workload() -> PostMarkConfig {
+    PostMarkConfig {
+        initial_files: 40,
+        transactions: if summary::json_only() { 150 } else { 400 },
+        size_dist: hyrd_workloads::FileSizeDist::log_uniform(4 * 1024, 2 * 1024 * 1024),
+        seed: 11,
+        ..PostMarkConfig::default()
+    }
+}
+
+struct Lap {
+    secs: f64,
+    allocs: u64,
+    ops: usize,
+    trace: Vec<u8>,
+}
+
+/// One seeded replay, with or without the observatory watching.
+fn lap(observed: bool) -> Lap {
+    let (ops, _) = PostMark::new(workload()).generate();
+    let clock = SimClock::new();
+    let fleet = Fleet::standard_four(clock.clone());
+    for p in fleet.providers() {
+        p.set_ghost_mode(true);
+    }
+    let buf = SharedBuf::new();
+    let obs = SharedObservatory::new();
+    let telemetry = if observed {
+        Collector::builder(clock.clone())
+            .clock_label("virtual")
+            .jsonl(buf.clone())
+            .tap(obs.tap())
+            .build()
+    } else {
+        Collector::disabled()
+    };
+    let mut h =
+        Hyrd::with_telemetry(&fleet, HyrdConfig::default(), telemetry.clone()).expect("valid");
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    let stats = replay(&mut h, &ops, &clock, &ReplayOptions::default());
+    let secs = t0.elapsed().as_secs_f64();
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(stats.errors, 0, "replay errored under the overhead bench");
+    telemetry.flush();
+    if observed {
+        black_box(obs.report());
+    }
+    Lap { secs, allocs, ops: ops.len(), trace: buf.contents() }
+}
+
+/// Time one offline parse+fold of `text` at `jobs` workers; returns MB/s.
+fn parse_mbps(text: &str, jobs: usize) -> f64 {
+    let t0 = Instant::now();
+    let obs = observatory::from_trace(text, jobs).expect("parse bench trace");
+    let secs = t0.elapsed().as_secs_f64();
+    black_box(obs.report());
+    (text.len() as f64 / 1e6) / secs.max(1e-9)
+}
+
+fn main() {
+    assert_disabled_observability_never_allocates();
+
+    let off = lap(false);
+    let on = lap(true);
+    assert_eq!(off.ops, on.ops);
+    let overhead_pct = (on.secs - off.secs) / off.secs.max(1e-9) * 100.0;
+    let extra_allocs_per_op = (on.allocs.saturating_sub(off.allocs)) as f64 / on.ops as f64;
+    println!(
+        "replay {} ops: telemetry off {:.3}s ({} allocs), observatory on {:.3}s ({} allocs) \
+         -> {:.1}% overhead, {:.1} extra allocs/op",
+        on.ops, off.secs, off.allocs, on.secs, on.allocs, overhead_pct, extra_allocs_per_op
+    );
+
+    let text = String::from_utf8(on.trace).expect("trace is utf-8");
+    let (j1, j4) = (parse_mbps(&text, 1), parse_mbps(&text, 4));
+    println!(
+        "trace {:.2} MB: offline parse+fold {:.1} MB/s (1 worker), {:.1} MB/s (4 workers)",
+        text.len() as f64 / 1e6,
+        j1,
+        j4
+    );
+
+    summary::merge_into(
+        &summary::repo_root_file("BENCH_obs.json"),
+        &[
+            ("replay_ops", serde_json::json!(on.ops)),
+            ("trace_mb", summary::round1(text.len() as f64 / 1e6)),
+            ("obs_overhead_pct", summary::round1(overhead_pct)),
+            ("obs_extra_allocs_per_op", summary::round1(extra_allocs_per_op)),
+            ("trace_parse_mbps_1worker", summary::round1(j1)),
+            ("trace_parse_mbps_4workers", summary::round1(j4)),
+        ],
+    );
+}

@@ -31,7 +31,11 @@
 //! the strict durability audit — zero violations required.
 //!
 //! Usage: `chaos_drill [--ops N] [--seed S] [--smoke] [--selfcheck]
-//! [--clients N] [--jobs N] [--trace PATH] [--crash]`
+//! [--clients N] [--jobs N] [--trace PATH] [--obs PATH] [--crash]`
+//!
+//! `--obs PATH` folds the drill's telemetry trace through the
+//! availability observatory ([`hyrd::observatory`]) and writes the
+//! rendered report (provider SLIs, redundancy exposure, read ledger).
 
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -423,6 +427,7 @@ fn main() {
     let mut clients: usize = 1;
     let mut jobs: usize = 2;
     let mut trace_path: Option<String> = None;
+    let mut obs_path: Option<String> = None;
     let mut crash = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -436,6 +441,7 @@ fn main() {
             }
             "--jobs" => jobs = args.next().expect("--jobs N").parse().expect("numeric --jobs"),
             "--trace" => trace_path = Some(args.next().expect("--trace PATH")),
+            "--obs" => obs_path = Some(args.next().expect("--obs PATH")),
             "--crash" => crash = true,
             other => panic!("unknown argument: {other}"),
         }
@@ -512,6 +518,19 @@ fn main() {
             "trace: {} records ({:.1} MB) -> {path}",
             report.telemetry.trace_records,
             trace.len() as f64 / 1e6
+        );
+    }
+
+    if let Some(path) = &obs_path {
+        let text = std::str::from_utf8(&trace).expect("trace is utf-8");
+        let obs = hyrd::observatory::from_trace(text, jobs).expect("parse drill trace");
+        let obs_report = obs.report();
+        std::fs::write(path, obs_report.render()).expect("write observatory report");
+        println!(
+            "observatory: {} provider(s), {} exposed file(s), {:.3}s exposure -> {path}",
+            obs_report.providers.len(),
+            obs_report.files.len(),
+            obs_report.total_exposure_ns() as f64 / 1e9
         );
     }
 

@@ -19,7 +19,7 @@
 //! files, closing the loop across processes.
 //!
 //! Usage: `multi_client [--clients N] [--jobs N] [--files N] [--ops N]
-//! [--seed S] [--smoke] [--check] [--trace PATH]`
+//! [--seed S] [--smoke] [--check] [--trace PATH] [--obs PATH]`
 
 use serde::Serialize;
 
@@ -91,6 +91,7 @@ fn main() {
     let mut seed: u64 = 7;
     let mut check = false;
     let mut trace_path: Option<String> = None;
+    let mut obs_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -109,6 +110,7 @@ fn main() {
             }
             "--check" => check = true,
             "--trace" => trace_path = Some(args.next().expect("--trace PATH")),
+            "--obs" => obs_path = Some(args.next().expect("--obs PATH")),
             other => panic!("unknown argument: {other}"),
         }
     }
@@ -197,6 +199,18 @@ fn main() {
             "trace: {} records ({:.1} MB) -> {path}",
             out.trace.iter().filter(|b| **b == b'\n').count(),
             out.trace.len() as f64 / 1e6
+        );
+    }
+
+    if let Some(path) = &obs_path {
+        let text = std::str::from_utf8(&out.trace).expect("trace is utf-8");
+        let obs = hyrd::observatory::from_trace(text, jobs).expect("parse soak trace");
+        let obs_report = obs.report();
+        std::fs::write(path, obs_report.render()).expect("write observatory report");
+        println!(
+            "observatory: {} provider(s), {} exposed file(s) -> {path}",
+            obs_report.providers.len(),
+            obs_report.files.len()
         );
     }
 

@@ -20,7 +20,7 @@
 //! extra provider ops paid for it) to repo-root `BENCH_tail.json`.
 //!
 //! Usage: `tail_latency [--arrivals N] [--rate R] [--seed S] [--jobs N]
-//! [--smoke] [--check] [--trace PATH]`
+//! [--smoke] [--check] [--trace PATH] [--obs PATH]`
 
 use std::time::Duration;
 
@@ -131,6 +131,7 @@ fn main() {
     let mut smoke = false;
     let mut check = false;
     let mut trace_path: Option<String> = None;
+    let mut obs_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -143,6 +144,7 @@ fn main() {
             "--smoke" => smoke = true,
             "--check" => check = true,
             "--trace" => trace_path = Some(args.next().expect("--trace PATH")),
+            "--obs" => obs_path = Some(args.next().expect("--obs PATH")),
             other => panic!("unknown argument: {other}"),
         }
     }
@@ -259,6 +261,19 @@ fn main() {
             "trace: {} records ({:.1} KB) -> {path}",
             hedged_default.trace.iter().filter(|b| **b == b'\n').count(),
             hedged_default.trace.len() as f64 / 1e3
+        );
+    }
+
+    if let Some(path) = &obs_path {
+        // Observatory view of the same headline cell.
+        let text = std::str::from_utf8(&hedged_default.trace).expect("trace is utf-8");
+        let obs = hyrd::observatory::from_trace(text, jobs).expect("parse tail trace");
+        let obs_report = obs.report();
+        std::fs::write(path, obs_report.render()).expect("write observatory report");
+        println!(
+            "observatory: {} provider(s), {} exposed file(s) -> {path}",
+            obs_report.providers.len(),
+            obs_report.files.len()
         );
     }
 

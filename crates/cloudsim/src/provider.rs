@@ -222,19 +222,43 @@ impl SimProvider {
             .unwrap_or_default()
     }
 
+    /// Emits a `provider.status` lifecycle event (the observatory derives
+    /// per-provider uptime windows from these).
+    fn note_status(&self, state: &str, reason: &str) {
+        let tel = self.telemetry();
+        if tel.enabled() {
+            tel.event("provider.status")
+                .field("provider", self.profile.name.as_str())
+                .field("state", state)
+                .field("reason", reason)
+                .emit();
+            tel.inc_labeled("provider.status_changes", &self.profile.name, 1);
+        }
+    }
+
     /// Forces the provider into an outage (Figure 6 methodology).
     pub fn force_down(&self) {
         self.outage.write().force_down();
+        self.note_status("down", "forced");
     }
 
     /// Ends a forced outage.
     pub fn restore(&self) {
         self.outage.write().restore();
+        self.note_status("up", "restored");
     }
 
     /// Adds a scheduled outage window in virtual time.
     pub fn schedule_outage(&self, start: std::time::Duration, end: std::time::Duration) {
         self.outage.write().add_window(start, end);
+        let tel = self.telemetry();
+        if tel.enabled() {
+            tel.event("provider.outage_scheduled")
+                .field("provider", self.profile.name.as_str())
+                .field("start_ns", start.as_nanos() as u64)
+                .field("end_ns", end.as_nanos() as u64)
+                .emit();
+        }
     }
 
     /// Sets the transient-fault probability (0.0–1.0), deterministic in

@@ -592,6 +592,7 @@ impl Hyrd {
                                 .event("recovery.rebuild")
                                 .field("path", path.as_str())
                                 .field("fragment", idx as u64)
+                                .field("provider", provider.name())
                                 .field("bytes", bytes)
                                 .emit();
                             self.telemetry.inc("recovery.rebuilds", 1);
@@ -1138,6 +1139,19 @@ impl Hyrd {
                 .field("total", fragments.len() as u64)
                 .emit();
             self.telemetry.inc("read.degraded", 1);
+            // One event per missing fragment so the exposure tracker can
+            // attribute the degradation to a fragment and its provider.
+            for (i, (p, _)) in fragments.iter().enumerate() {
+                if candidates.iter().any(|(ci, _, _)| *ci == i) {
+                    continue;
+                }
+                self.telemetry
+                    .event("read.degraded.fragment")
+                    .field("path", path)
+                    .field("fragment", i as u64)
+                    .field("provider", self.provider(*p).name())
+                    .emit();
+            }
         }
 
         let m = layout.m;
@@ -1707,7 +1721,18 @@ impl FanoutDriver for ReadFanout<'_> {
     }
 
     fn enqueue(&mut self, idx: usize, now_ns: u64, service_ns: u64) -> hyrd_cloudsim::Admission {
-        self.hyrd.provider(self.candidates[idx].0).queue().admit(now_ns, service_ns)
+        let provider = self.hyrd.provider(self.candidates[idx].0);
+        let admission = provider.queue().admit(now_ns, service_ns);
+        if self.hyrd.telemetry.enabled() {
+            // Registry-only backlog gauges (never the trace): the depth
+            // this arrival contends with, last value + distribution.
+            let depth = provider.queue().busy_at(now_ns) as u64;
+            self.hyrd
+                .telemetry
+                .set_gauge(&format!("engine.queue_depth[{}]", provider.name()), depth as i64);
+            self.hyrd.telemetry.observe_labeled("engine.queue_depth", provider.name(), depth);
+        }
+        admission
     }
 
     fn release(&mut self, idx: usize, done_ns: u64, free_at_ns: u64) {

@@ -329,6 +329,29 @@ pub(crate) fn record_into(
     }
 }
 
+/// Folds one refused op into `stats` and emits the `replay.error` trace
+/// event (op kind + path). Successful requests mark `replay.op`; these
+/// mark the failures, which is what lets the observatory measure
+/// empirical per-request availability straight from the trace.
+pub(crate) fn record_error(stats: &mut ReplayStats, op: &FsOp, opts: &ReplayOptions) {
+    stats.errors += 1;
+    if opts.telemetry.enabled() {
+        let (kind, path) = match op {
+            FsOp::Create { path, .. } => ("create", path),
+            FsOp::Read { path } => ("read", path),
+            FsOp::Update { path, .. } => ("update", path),
+            FsOp::Delete { path } => ("delete", path),
+            FsOp::ListDir { path } => ("listdir", path),
+        };
+        opts.telemetry
+            .event("replay.error")
+            .field("op", kind)
+            .field("path", path.as_str())
+            .emit();
+        opts.telemetry.inc_labeled("replay.errors", kind, 1);
+    }
+}
+
 /// Replays `ops` through `scheme`, carrying `state` across calls —
 /// use this when splitting a workload into phases (e.g. Figure 6's
 /// pool-load in the normal state, transactions during the outage).
@@ -352,7 +375,7 @@ pub fn replay_with_state(
                     clock.advance(done.batch.latency);
                 }
             }
-            Err(()) => stats.errors += 1,
+            Err(()) => record_error(&mut stats, op, opts),
         }
     }
     stats

@@ -265,7 +265,9 @@ impl<'a> MultiClient<'a> {
                 busy_until[session] = self.clock.now();
             }
             Err(()) => {
-                batch.errors += 1;
+                // `record_error` emits the session-agnostic `replay.error`
+                // trace event — the trace stays client-count invariant.
+                super::record_error(batch, op, opts);
                 tally.errors += 1;
                 if opts.telemetry.enabled() {
                     opts.telemetry.inc_labeled("session.errors", &tally.label, 1);

@@ -55,7 +55,7 @@ pub fn replay_arrivals(
                     stats.verify_failures += 1;
                 }
             }
-            Err(()) => stats.errors += 1,
+            Err(()) => super::record_error(&mut stats, &arrival.op, opts),
         }
     }
     stats

@@ -53,6 +53,27 @@ fn chk<T>(r: hyrd_gcsapi::CloudResult<T>) -> hyrd_gcsapi::CloudResult<T> {
     r
 }
 
+/// Traces one fragment write that missed during an update: the exposure
+/// tracker opens a below-redundancy interval keyed on exactly these
+/// fields (path, fragment index, provider) and closes it again at the
+/// matching `recovery.rebuild`.
+fn note_missed_write(
+    telemetry: &Collector,
+    lookup: &dyn Fn(ProviderId) -> Arc<SimProvider>,
+    path: &str,
+    w: &FragWrite,
+) {
+    if telemetry.enabled() {
+        telemetry
+            .event("update.dirty")
+            .field("path", path)
+            .field("fragment", w.index as u64)
+            .field("provider", lookup(w.provider).name())
+            .emit();
+        telemetry.inc("update.dirty", 1);
+    }
+}
+
 /// Fragments that missed a write during an outage and must be rebuilt
 /// from survivors when their provider returns, keyed by file path.
 /// `BTreeMap` so recovery and scrub iterate paths deterministically.
@@ -227,7 +248,10 @@ pub fn ranged_update_with<C: ErasureCode + ?Sized>(
         for w in &planned {
             match chk(lookup(w.provider).put_range(&key(&w.object), w.offset, w.bytes.clone())) {
                 Ok(out) => write_ops.push(out.report),
-                Err(_) => missed.push(w.index),
+                Err(_) => {
+                    note_missed_write(telemetry, lookup, path, w);
+                    missed.push(w.index);
+                }
             }
         }
         missed.sort_unstable();
@@ -325,7 +349,10 @@ pub fn ranged_update_with<C: ErasureCode + ?Sized>(
     for w in &planned {
         match chk(lookup(w.provider).put_range(&key(&w.object), w.offset, w.bytes.clone())) {
             Ok(out) => write_ops.push(out.report),
-            Err(_) => missed.push(w.index),
+            Err(_) => {
+                note_missed_write(telemetry, lookup, path, w);
+                missed.push(w.index);
+            }
         }
     }
     missed.sort_unstable();

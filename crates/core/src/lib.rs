@@ -76,6 +76,7 @@ pub mod health;
 pub mod integrity;
 pub mod journal;
 pub mod monitor;
+pub mod observatory;
 pub mod recovery;
 pub mod restart;
 pub mod scheme;
@@ -93,6 +94,9 @@ pub use evaluator::{Evaluator, ProviderAssessment};
 pub use health::{BreakerSettings, BreakerState, FaultCounterSnapshot, HealthTracker};
 pub use integrity::{IntegrityIndex, Verdict};
 pub use monitor::{DataClass, WorkloadMonitor};
+pub use observatory::{
+    FileExposure, Observatory, ObservatoryReport, ProviderHealthView, SharedObservatory,
+};
 pub use recovery::{LogRecord, RecoveryReport, UpdateLog};
 pub use scheme::{Scheme, SchemeError, SchemeResult, SharedAsScheme, SharedScheme};
 pub use scrub::ScrubReport;

@@ -1,0 +1,918 @@
+//! Availability observatory: streaming SLIs and redundancy-exposure
+//! accounting over the telemetry event stream.
+//!
+//! The observatory consumes [`TraceRecord`]s — either **online**, tapped
+//! straight off a live [`Collector`](hyrd_telemetry::Collector) via
+//! [`SharedObservatory`], or **offline**, by parsing a JSONL trace file —
+//! and folds them into three ledgers, all on the virtual clock:
+//!
+//! 1. **Per-provider SLIs** ([`ProviderTracker`] → [`ProviderHealthView`]):
+//!    op counts and per-kind latency histograms, fault/cancel/backoff/
+//!    breaker-reject tallies, an error-rate EWMA, and an availability
+//!    fraction derived from `provider.status` down/up windows.
+//! 2. **Per-file redundancy exposure** ([`FileTracker`] → [`FileExposure`]):
+//!    intervals during which a file sits below full redundancy. An
+//!    interval opens when a fragment goes dirty (`update.dirty`), is found
+//!    corrupt (`scrub.corrupt` with a fragment), or is observed missing at
+//!    read time (`read.degraded.fragment`); it closes when the fragment is
+//!    rebuilt (`recovery.rebuild`) or repaired (`scrub.repair`). The sum of
+//!    interval lengths is the file's **exposure-seconds**, attributed to
+//!    the provider that held the degraded fragment.
+//! 3. **A read ledger**: successful reads (`replay.op` with a read class)
+//!    versus refused reads (`replay.error` with `op == "read"`), giving the
+//!    empirical per-read availability that `trace_report` cross-checks
+//!    against the paper's analytical model.
+//!
+//! Determinism: ingestion is a pure left-fold over the record sequence and
+//! every map is a `BTreeMap`, so the rendered report is byte-identical for
+//! the same trace no matter how the records were produced or parsed (the
+//! parallel parser in [`parse_trace_jobs`] only parallelises *parsing*;
+//! ingestion order is always trace order). DESIGN.md §14 states the
+//! contract and defines each SLI precisely.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use hyrd_telemetry::{
+    parse_line, Histogram, MetricsSnapshot, ParseError, TraceRecord,
+};
+
+use crate::driver::replay_sweep;
+
+/// Smoothing factor for the per-provider error-rate EWMA: each op pulls
+/// the estimate toward 0, each fault toward 1. Small enough to remember
+/// a burst for ~dozens of ops, large enough to decay between incidents.
+const ERROR_EWMA_ALPHA: f64 = 0.05;
+
+/// Lines per parallel parse chunk in [`parse_trace_jobs`].
+const PARSE_CHUNK_LINES: usize = 512;
+
+// ---------------------------------------------------------------------------
+// Per-provider tracking
+// ---------------------------------------------------------------------------
+
+/// Streaming per-provider state. All counters are exact; the EWMA is the
+/// only smoothed quantity.
+#[derive(Debug, Clone, Default)]
+pub struct ProviderTracker {
+    /// Completed provider operations.
+    pub ops: u64,
+    /// Ops broken down by kind ("Get", "Put", ...).
+    pub ops_by_kind: BTreeMap<String, u64>,
+    /// Latency histogram per op kind, nanoseconds.
+    pub latency_by_kind: BTreeMap<String, Histogram>,
+    /// Latency across all kinds, nanoseconds.
+    pub latency: Histogram,
+    /// Bytes uploaded to the provider.
+    pub bytes_in: u64,
+    /// Bytes downloaded from the provider.
+    pub bytes_out: u64,
+    /// Faults, total and by reason string.
+    pub faults: u64,
+    pub faults_by_reason: BTreeMap<String, u64>,
+    /// Hedging cancellations credited to the provider.
+    pub cancels: u64,
+    /// Retry backoffs attributed to the provider.
+    pub backoffs: u64,
+    /// Requests the circuit breaker refused to send.
+    pub breaker_rejects: u64,
+    /// Error-rate EWMA in [0, 1]: ops pull toward 0, faults toward 1.
+    pub error_ewma: f64,
+    /// When the provider went down, if currently down.
+    pub down_since: Option<u64>,
+    /// Accumulated downtime from closed down/up windows, nanoseconds.
+    pub downtime_ns: u64,
+    /// Number of down transitions observed.
+    pub outages: u64,
+    /// Outage windows announced via `provider.outage_scheduled`.
+    pub outages_scheduled: u64,
+    /// Peak engine queue depth, folded in from the metrics registry by
+    /// [`Observatory::absorb_metrics`] (gauges never reach the trace).
+    pub queue_depth_peak: u64,
+}
+
+impl ProviderTracker {
+    fn note_op(&mut self, kind: &str, latency_ns: u64, bytes_in: u64, bytes_out: u64) {
+        self.ops += 1;
+        *self.ops_by_kind.entry(kind.to_string()).or_insert(0) += 1;
+        self.latency_by_kind.entry(kind.to_string()).or_default().record(latency_ns);
+        self.latency.record(latency_ns);
+        self.bytes_in += bytes_in;
+        self.bytes_out += bytes_out;
+        self.error_ewma *= 1.0 - ERROR_EWMA_ALPHA;
+    }
+
+    fn note_fault(&mut self, reason: &str) {
+        self.faults += 1;
+        *self.faults_by_reason.entry(reason.to_string()).or_insert(0) += 1;
+        self.error_ewma = self.error_ewma * (1.0 - ERROR_EWMA_ALPHA) + ERROR_EWMA_ALPHA;
+    }
+
+    /// Downtime including a still-open down window extended to `now_ns`.
+    fn downtime_at(&self, now_ns: u64) -> u64 {
+        let open = self.down_since.map_or(0, |s| now_ns.saturating_sub(s));
+        self.downtime_ns + open
+    }
+}
+
+/// Rendered per-provider SLI row: the health view the report exposes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProviderHealthView {
+    pub provider: String,
+    /// Uptime fraction over the trace horizon (1.0 when never down).
+    pub availability: f64,
+    pub error_ewma: f64,
+    pub ops: u64,
+    pub faults: u64,
+    pub cancels: u64,
+    pub backoffs: u64,
+    pub breaker_rejects: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    pub latency_p50_ns: u64,
+    pub latency_p99_ns: u64,
+    pub downtime_ns: u64,
+    pub outages: u64,
+    pub queue_depth_peak: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Per-file exposure tracking
+// ---------------------------------------------------------------------------
+
+/// Streaming per-file state: which fragments are currently below full
+/// redundancy and how much exposure has accumulated.
+#[derive(Debug, Clone, Default)]
+pub struct FileTracker {
+    /// Open exposure intervals keyed by (fragment index, provider name),
+    /// value = open timestamp. A fragment re-reported dirty while already
+    /// open keeps its original open time (exposure started then).
+    open: BTreeMap<(u64, String), u64>,
+    /// Exposure from closed intervals, nanoseconds.
+    pub exposure_ns: u64,
+    /// Closed interval count.
+    pub intervals_closed: u64,
+    /// Exposure attribution per provider (closed intervals), nanoseconds.
+    pub by_provider: BTreeMap<String, u64>,
+    /// Degraded reads observed for this file.
+    pub degraded_reads: u64,
+    /// Corruptions the scrubber detected on this file's objects.
+    pub corrupt: u64,
+}
+
+impl FileTracker {
+    fn open_interval(&mut self, fragment: u64, provider: &str, t: u64) {
+        self.open.entry((fragment, provider.to_string())).or_insert(t);
+    }
+
+    fn close_interval(&mut self, fragment: u64, provider: &str, t: u64) {
+        if let Some(since) = self.open.remove(&(fragment, provider.to_string())) {
+            let span = t.saturating_sub(since);
+            self.exposure_ns += span;
+            self.intervals_closed += 1;
+            *self.by_provider.entry(provider.to_string()).or_insert(0) += span;
+        }
+    }
+
+    /// Exposure including still-open intervals extended to `now_ns`.
+    fn exposure_at(&self, now_ns: u64) -> u64 {
+        let open: u64 =
+            self.open.values().map(|s| now_ns.saturating_sub(*s)).sum();
+        self.exposure_ns + open
+    }
+
+    /// Attribution including still-open intervals extended to `now_ns`.
+    fn attribution_at(&self, now_ns: u64) -> BTreeMap<String, u64> {
+        let mut out = self.by_provider.clone();
+        for ((_, provider), since) in &self.open {
+            *out.entry(provider.clone()).or_insert(0) += now_ns.saturating_sub(*since);
+        }
+        out
+    }
+}
+
+/// Rendered per-file exposure row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileExposure {
+    pub path: String,
+    /// Total exposure (closed + still-open-at-horizon), nanoseconds.
+    pub exposure_ns: u64,
+    /// Intervals still open when the trace ended.
+    pub open_intervals: u64,
+    pub intervals_closed: u64,
+    pub degraded_reads: u64,
+    pub corrupt: u64,
+    /// Exposure per provider, nanoseconds.
+    pub by_provider: BTreeMap<String, u64>,
+}
+
+// ---------------------------------------------------------------------------
+// The observatory
+// ---------------------------------------------------------------------------
+
+/// The streaming aggregator. Feed it records with [`Observatory::ingest`]
+/// (any order of construction works, but SLI semantics assume trace
+/// order); read results with [`Observatory::report`].
+#[derive(Debug, Clone, Default)]
+pub struct Observatory {
+    /// Schema version from the trace's meta record.
+    pub schema: Option<u32>,
+    /// Clock domain from the meta record ("virtual" or "wall").
+    pub clock_domain: String,
+    /// Records ingested, including meta.
+    pub records: u64,
+    /// First timestamp seen.
+    start_ns: Option<u64>,
+    /// Largest timestamp seen.
+    last_ns: u64,
+    providers: BTreeMap<String, ProviderTracker>,
+    files: BTreeMap<String, FileTracker>,
+    /// Successful reads by tier.
+    pub reads_ok_small: u64,
+    pub reads_ok_large: u64,
+    /// Reads the scheme refused (`replay.error` with `op == "read"`).
+    pub reads_failed: u64,
+    /// Successful non-read replay ops (context for the ledger).
+    pub other_ops_ok: u64,
+    /// Non-read replay errors.
+    pub other_ops_failed: u64,
+}
+
+impl Observatory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn provider(&mut self, name: &str) -> &mut ProviderTracker {
+        self.providers.entry(name.to_string()).or_default()
+    }
+
+    fn file(&mut self, path: &str) -> &mut FileTracker {
+        self.files.entry(path.to_string()).or_default()
+    }
+
+    /// Folds one record into the ledgers.
+    pub fn ingest(&mut self, rec: &TraceRecord) {
+        self.records += 1;
+        let t = match rec {
+            TraceRecord::Meta { schema, clock, t } => {
+                self.schema = Some(*schema);
+                self.clock_domain = clock.clone();
+                *t
+            }
+            TraceRecord::SpanStart { t, .. }
+            | TraceRecord::SpanEnd { t, .. }
+            | TraceRecord::Event { t, .. } => *t,
+        };
+        if self.start_ns.is_none() {
+            self.start_ns = Some(t);
+        }
+        self.last_ns = self.last_ns.max(t);
+
+        let TraceRecord::Event { name, fields, .. } = rec else {
+            return;
+        };
+        let fstr = |key: &str| fields.get(key).and_then(|v| v.as_str());
+        let fu64 = |key: &str| fields.get(key).and_then(|v| v.as_u64());
+        match name.as_str() {
+            "provider.op" => {
+                if let Some(p) = fstr("provider") {
+                    let kind = fstr("op").unwrap_or("?").to_string();
+                    let lat = fu64("latency_ns").unwrap_or(0);
+                    let bin = fu64("bytes_in").unwrap_or(0);
+                    let bout = fu64("bytes_out").unwrap_or(0);
+                    self.provider(p).note_op(&kind, lat, bin, bout);
+                }
+            }
+            "provider.fault" => {
+                if let Some(p) = fstr("provider") {
+                    let reason = fstr("reason").unwrap_or("?").to_string();
+                    self.provider(p).note_fault(&reason);
+                }
+            }
+            "provider.cancel" => {
+                if let Some(p) = fstr("provider") {
+                    self.provider(p).cancels += 1;
+                }
+            }
+            "retry.backoff" => {
+                if let Some(p) = fstr("provider") {
+                    self.provider(p).backoffs += 1;
+                }
+            }
+            "breaker.reject" => {
+                if let Some(p) = fstr("provider") {
+                    self.provider(p).breaker_rejects += 1;
+                }
+            }
+            "provider.status" => {
+                if let (Some(p), Some(state)) = (fstr("provider"), fstr("state")) {
+                    let tracker = self.provider(p);
+                    match state {
+                        "down" => {
+                            if tracker.down_since.is_none() {
+                                tracker.down_since = Some(t);
+                                tracker.outages += 1;
+                            }
+                        }
+                        "up" => {
+                            if let Some(since) = tracker.down_since.take() {
+                                tracker.downtime_ns += t.saturating_sub(since);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            "provider.outage_scheduled" => {
+                if let Some(p) = fstr("provider") {
+                    self.provider(p).outages_scheduled += 1;
+                }
+            }
+            "update.dirty" => {
+                if let (Some(path), Some(frag), Some(p)) =
+                    (fstr("path"), fu64("fragment"), fstr("provider"))
+                {
+                    let (path, p) = (path.to_string(), p.to_string());
+                    self.file(&path).open_interval(frag, &p, t);
+                }
+            }
+            "read.degraded.fragment" => {
+                if let (Some(path), Some(frag), Some(p)) =
+                    (fstr("path"), fu64("fragment"), fstr("provider"))
+                {
+                    let (path, p) = (path.to_string(), p.to_string());
+                    self.file(&path).open_interval(frag, &p, t);
+                }
+            }
+            "read.degraded" => {
+                if let Some(path) = fstr("path") {
+                    let path = path.to_string();
+                    self.file(&path).degraded_reads += 1;
+                }
+            }
+            "scrub.corrupt" => {
+                if let Some(path) = fstr("path") {
+                    let path = path.to_string();
+                    let frag = fu64("fragment");
+                    let p = fstr("provider").map(str::to_string);
+                    let tracker = self.file(&path);
+                    tracker.corrupt += 1;
+                    if let (Some(frag), Some(p)) = (frag, p) {
+                        tracker.open_interval(frag, &p, t);
+                    }
+                }
+            }
+            "scrub.repair" => {
+                if let (Some(path), Some(frag), Some(p)) =
+                    (fstr("path"), fu64("fragment"), fstr("provider"))
+                {
+                    let (path, p) = (path.to_string(), p.to_string());
+                    self.file(&path).close_interval(frag, &p, t);
+                }
+            }
+            "recovery.rebuild" => {
+                if let (Some(path), Some(frag), Some(p)) =
+                    (fstr("path"), fu64("fragment"), fstr("provider"))
+                {
+                    let (path, p) = (path.to_string(), p.to_string());
+                    self.file(&path).close_interval(frag, &p, t);
+                }
+            }
+            "replay.op" => match fstr("class") {
+                Some("small-read") => self.reads_ok_small += 1,
+                Some("large-read") => self.reads_ok_large += 1,
+                Some(_) => self.other_ops_ok += 1,
+                None => {}
+            },
+            "replay.error" => {
+                if fstr("op") == Some("read") {
+                    self.reads_failed += 1;
+                } else {
+                    self.other_ops_failed += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Folds registry-only signals (engine queue-depth histograms) into
+    /// the provider trackers. Gauges never reach the trace, so offline
+    /// analysis of a bare trace simply reports zero peaks.
+    pub fn absorb_metrics(&mut self, metrics: &MetricsSnapshot) {
+        for (provider, digest) in metrics.histograms_labeled("engine.queue_depth") {
+            let tracker = self.provider(&provider);
+            tracker.queue_depth_peak = tracker.queue_depth_peak.max(digest.max);
+        }
+    }
+
+    /// Trace horizon in nanoseconds (first to last timestamp).
+    pub fn horizon_ns(&self) -> u64 {
+        self.last_ns.saturating_sub(self.start_ns.unwrap_or(0))
+    }
+
+    /// Successful reads across both tiers.
+    pub fn reads_ok(&self) -> u64 {
+        self.reads_ok_small + self.reads_ok_large
+    }
+
+    /// Empirical per-read availability: `ok / (ok + failed)`; 1.0 when no
+    /// reads were attempted.
+    pub fn empirical_read_availability(&self) -> f64 {
+        let total = self.reads_ok() + self.reads_failed;
+        if total == 0 {
+            1.0
+        } else {
+            self.reads_ok() as f64 / total as f64
+        }
+    }
+
+    /// Fraction of successful reads that were small-tier (the model's
+    /// `small_request_frac` input, measured rather than assumed).
+    pub fn small_read_fraction(&self) -> f64 {
+        let ok = self.reads_ok();
+        if ok == 0 {
+            0.0
+        } else {
+            self.reads_ok_small as f64 / ok as f64
+        }
+    }
+
+    /// Snapshot of the per-provider SLIs, horizon-closed.
+    pub fn provider_health(&self) -> Vec<ProviderHealthView> {
+        let horizon = self.horizon_ns();
+        self.providers
+            .iter()
+            .map(|(name, tr)| {
+                let downtime = tr.downtime_at(self.last_ns);
+                let availability = if horizon == 0 {
+                    1.0
+                } else {
+                    1.0 - (downtime.min(horizon) as f64 / horizon as f64)
+                };
+                ProviderHealthView {
+                    provider: name.clone(),
+                    availability,
+                    error_ewma: tr.error_ewma,
+                    ops: tr.ops,
+                    faults: tr.faults,
+                    cancels: tr.cancels,
+                    backoffs: tr.backoffs,
+                    breaker_rejects: tr.breaker_rejects,
+                    bytes_in: tr.bytes_in,
+                    bytes_out: tr.bytes_out,
+                    latency_p50_ns: tr.latency.quantile(0.50),
+                    latency_p99_ns: tr.latency.quantile(0.99),
+                    downtime_ns: downtime,
+                    outages: tr.outages,
+                    queue_depth_peak: tr.queue_depth_peak,
+                }
+            })
+            .collect()
+    }
+
+    /// Snapshot of per-file exposure, horizon-closed, only files with any
+    /// exposure activity, sorted by path.
+    pub fn file_exposure(&self) -> Vec<FileExposure> {
+        self.files
+            .iter()
+            .filter(|(_, tr)| {
+                tr.exposure_at(self.last_ns) > 0 || tr.degraded_reads > 0 || tr.corrupt > 0
+            })
+            .map(|(path, tr)| FileExposure {
+                path: path.clone(),
+                exposure_ns: tr.exposure_at(self.last_ns),
+                open_intervals: tr.open.len() as u64,
+                intervals_closed: tr.intervals_closed,
+                degraded_reads: tr.degraded_reads,
+                corrupt: tr.corrupt,
+                by_provider: tr.attribution_at(self.last_ns),
+            })
+            .collect()
+    }
+
+    /// Full report snapshot.
+    pub fn report(&self) -> ObservatoryReport {
+        let files = self.file_exposure();
+        let mut exposure_by_provider: BTreeMap<String, u64> = BTreeMap::new();
+        for f in &files {
+            for (p, ns) in &f.by_provider {
+                *exposure_by_provider.entry(p.clone()).or_insert(0) += ns;
+            }
+        }
+        ObservatoryReport {
+            schema: self.schema,
+            clock_domain: self.clock_domain.clone(),
+            records: self.records,
+            horizon_ns: self.horizon_ns(),
+            providers: self.provider_health(),
+            files,
+            exposure_by_provider,
+            reads_ok_small: self.reads_ok_small,
+            reads_ok_large: self.reads_ok_large,
+            reads_failed: self.reads_failed,
+            empirical_read_availability: self.empirical_read_availability(),
+            small_read_fraction: self.small_read_fraction(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+/// Point-in-time observatory output: everything the SLI and exposure
+/// sections of `trace_report` print. Rendering is hand-rolled so the
+/// bytes are fully under this crate's control (same rationale as the
+/// trace emitter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservatoryReport {
+    pub schema: Option<u32>,
+    pub clock_domain: String,
+    pub records: u64,
+    pub horizon_ns: u64,
+    pub providers: Vec<ProviderHealthView>,
+    pub files: Vec<FileExposure>,
+    /// Exposure-seconds attributed per provider, across all files.
+    pub exposure_by_provider: BTreeMap<String, u64>,
+    pub reads_ok_small: u64,
+    pub reads_ok_large: u64,
+    pub reads_failed: u64,
+    pub empirical_read_availability: f64,
+    pub small_read_fraction: f64,
+}
+
+fn secs(ns: u64) -> String {
+    format!("{:.6}", ns as f64 / 1e9)
+}
+
+impl ObservatoryReport {
+    /// Total exposure-seconds across all files, nanoseconds.
+    pub fn total_exposure_ns(&self) -> u64 {
+        self.files.iter().map(|f| f.exposure_ns).sum()
+    }
+
+    /// Renders the deterministic text report.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("# availability observatory\n");
+        out.push_str(&format!(
+            "schema={} clock={} records={} horizon_s={}\n",
+            self.schema.map_or("?".to_string(), |s| s.to_string()),
+            if self.clock_domain.is_empty() { "?" } else { &self.clock_domain },
+            self.records,
+            secs(self.horizon_ns),
+        ));
+
+        out.push_str("\n## provider SLIs\n");
+        out.push_str(
+            "provider              avail     ewma    ops     faults cancels backoff rejects \
+             p50_s      p99_s      down_s     outages qpeak\n",
+        );
+        for p in &self.providers {
+            out.push_str(&format!(
+                "{:<21} {:<9.6} {:<7.4} {:<7} {:<6} {:<7} {:<7} {:<7} \
+                 {:<10} {:<10} {:<10} {:<7} {}\n",
+                p.provider,
+                p.availability,
+                p.error_ewma,
+                p.ops,
+                p.faults,
+                p.cancels,
+                p.backoffs,
+                p.breaker_rejects,
+                secs(p.latency_p50_ns),
+                secs(p.latency_p99_ns),
+                secs(p.downtime_ns),
+                p.outages,
+                p.queue_depth_peak,
+            ));
+        }
+
+        out.push_str("\n## redundancy exposure\n");
+        out.push_str(&format!(
+            "total_exposure_s={} files_exposed={}\n",
+            secs(self.total_exposure_ns()),
+            self.files.len(),
+        ));
+        if !self.files.is_empty() {
+            out.push_str(
+                "path                        exposure_s open closed degraded corrupt\n",
+            );
+            for f in &self.files {
+                out.push_str(&format!(
+                    "{:<27} {:<10} {:<4} {:<6} {:<8} {}\n",
+                    f.path,
+                    secs(f.exposure_ns),
+                    f.open_intervals,
+                    f.intervals_closed,
+                    f.degraded_reads,
+                    f.corrupt,
+                ));
+            }
+        }
+        if !self.exposure_by_provider.is_empty() {
+            out.push_str("attribution (provider -> exposure_s):\n");
+            for (p, ns) in &self.exposure_by_provider {
+                out.push_str(&format!("  {:<21} {}\n", p, secs(*ns)));
+            }
+        }
+
+        out.push_str("\n## read ledger\n");
+        out.push_str(&format!(
+            "reads_ok={} (small={} large={}) reads_failed={} \
+             empirical_availability={:.6} small_read_fraction={:.4}\n",
+            self.reads_ok_small + self.reads_ok_large,
+            self.reads_ok_small,
+            self.reads_ok_large,
+            self.reads_failed,
+            self.empirical_read_availability,
+            self.small_read_fraction,
+        ));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Online tap
+// ---------------------------------------------------------------------------
+
+/// A clonable handle wrapping an [`Observatory`] behind a mutex, so a
+/// live collector can stream records into it via
+/// [`CollectorBuilder::tap`](hyrd_telemetry::CollectorBuilder::tap):
+///
+/// ```ignore
+/// let obs = SharedObservatory::new();
+/// let collector = Collector::builder(clock).tap(obs.tap()).build();
+/// // ... run the workload ...
+/// let report = obs.report();
+/// ```
+///
+/// The tap runs under the collector lock in emission order, so the
+/// online fold sees exactly the sequence an offline parse of the same
+/// trace would — [`Observatory::report`] output is identical either way.
+#[derive(Clone, Default)]
+pub struct SharedObservatory(Arc<Mutex<Observatory>>);
+
+impl SharedObservatory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The closure to hand to `CollectorBuilder::tap`.
+    pub fn tap(&self) -> impl FnMut(&TraceRecord) + Send + 'static {
+        let shared = Arc::clone(&self.0);
+        move |rec: &TraceRecord| {
+            shared.lock().unwrap_or_else(|e| e.into_inner()).ingest(rec);
+        }
+    }
+
+    /// Clone of the current aggregator state.
+    pub fn snapshot(&self) -> Observatory {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Folds registry metrics in (see [`Observatory::absorb_metrics`]).
+    pub fn absorb_metrics(&self, metrics: &MetricsSnapshot) {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).absorb_metrics(metrics);
+    }
+
+    /// Current report.
+    pub fn report(&self) -> ObservatoryReport {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).report()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Offline parsing
+// ---------------------------------------------------------------------------
+
+/// Parses a JSONL trace with `jobs` worker threads. Lines are split into
+/// fixed-size chunks, chunks parse in parallel via [`replay_sweep`], and
+/// results are re-joined in line order — so the record sequence (and
+/// everything derived from it) is identical for every `jobs` value.
+pub fn parse_trace_jobs(text: &str, jobs: usize) -> Result<Vec<TraceRecord>, ParseError> {
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let cells: Vec<_> = lines
+        .chunks(PARSE_CHUNK_LINES)
+        .map(|chunk| {
+            move || -> Result<Vec<TraceRecord>, ParseError> {
+                chunk.iter().map(|line| parse_line(line)).collect()
+            }
+        })
+        .collect();
+    let mut out = Vec::with_capacity(lines.len());
+    for cell in replay_sweep(cells, jobs) {
+        out.extend(cell?);
+    }
+    Ok(out)
+}
+
+/// Builds an observatory from a JSONL trace in one call.
+pub fn from_trace(text: &str, jobs: usize) -> Result<Observatory, ParseError> {
+    let records = parse_trace_jobs(text, jobs)?;
+    let mut obs = Observatory::new();
+    for rec in &records {
+        obs.ingest(rec);
+    }
+    Ok(obs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyrd_telemetry::{Fields, Value};
+
+    fn event(name: &str, t: u64, fields: &[(&str, Value)]) -> TraceRecord {
+        let mut f = Fields::new();
+        for (k, v) in fields {
+            f.insert(k.to_string(), v.clone());
+        }
+        TraceRecord::Event { span: None, name: name.to_string(), t, fields: f }
+    }
+
+    fn s(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+
+    fn synthetic_trace() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::Meta { schema: 2, clock: "virtual".into(), t: 0 },
+            event(
+                "provider.op",
+                1_000_000_000,
+                &[
+                    ("provider", s("Amazon S3")),
+                    ("op", s("Get")),
+                    ("bytes_in", Value::U64(0)),
+                    ("bytes_out", Value::U64(4096)),
+                    ("latency_ns", Value::U64(5_000_000)),
+                ],
+            ),
+            event(
+                "provider.status",
+                2_000_000_000,
+                &[("provider", s("Windows Azure")), ("state", s("down")), ("reason", s("forced"))],
+            ),
+            event(
+                "update.dirty",
+                3_000_000_000,
+                &[
+                    ("path", s("/f/a")),
+                    ("fragment", Value::U64(1)),
+                    ("provider", s("Windows Azure")),
+                ],
+            ),
+            event("replay.op", 4_000_000_000, &[("class", s("large-read"))]),
+            event("replay.op", 4_500_000_000, &[("class", s("small-read"))]),
+            event("replay.error", 5_000_000_000, &[("op", s("read")), ("path", s("/f/b"))]),
+            event(
+                "provider.status",
+                6_000_000_000,
+                &[("provider", s("Windows Azure")), ("state", s("up")), ("reason", s("restored"))],
+            ),
+            event(
+                "recovery.rebuild",
+                7_000_000_000,
+                &[
+                    ("path", s("/f/a")),
+                    ("fragment", Value::U64(1)),
+                    ("provider", s("Windows Azure")),
+                    ("bytes", Value::U64(1024)),
+                ],
+            ),
+            event(
+                "provider.fault",
+                8_000_000_000,
+                &[("provider", s("Amazon S3")), ("reason", s("outage"))],
+            ),
+        ]
+    }
+
+    fn fold(records: &[TraceRecord]) -> Observatory {
+        let mut obs = Observatory::new();
+        for r in records {
+            obs.ingest(r);
+        }
+        obs
+    }
+
+    #[test]
+    fn sli_fold_is_correct_on_a_synthetic_trace() {
+        let obs = fold(&synthetic_trace());
+        assert_eq!(obs.schema, Some(2));
+        assert_eq!(obs.horizon_ns(), 8_000_000_000);
+        let health = obs.provider_health();
+        assert_eq!(health.len(), 2);
+        let azure = health.iter().find(|h| h.provider == "Windows Azure").unwrap();
+        // Down 2s..6s over an 8s horizon → 50% availability.
+        assert_eq!(azure.downtime_ns, 4_000_000_000);
+        assert!((azure.availability - 0.5).abs() < 1e-9, "{}", azure.availability);
+        assert_eq!(azure.outages, 1);
+        let s3 = health.iter().find(|h| h.provider == "Amazon S3").unwrap();
+        assert_eq!(s3.ops, 1);
+        assert_eq!(s3.faults, 1);
+        assert_eq!(s3.bytes_out, 4096);
+        assert!(s3.error_ewma > 0.0);
+    }
+
+    #[test]
+    fn exposure_interval_opens_and_closes() {
+        let obs = fold(&synthetic_trace());
+        let files = obs.file_exposure();
+        assert_eq!(files.len(), 1);
+        let f = &files[0];
+        assert_eq!(f.path, "/f/a");
+        // Dirty at 3s, rebuilt at 7s → 4s of exposure on Azure.
+        assert_eq!(f.exposure_ns, 4_000_000_000);
+        assert_eq!(f.intervals_closed, 1);
+        assert_eq!(f.open_intervals, 0);
+        assert_eq!(f.by_provider["Windows Azure"], 4_000_000_000);
+    }
+
+    #[test]
+    fn still_open_interval_extends_to_horizon() {
+        let mut records = synthetic_trace();
+        // Drop the rebuild: the interval stays open until the last record.
+        records.retain(|r| r.name() != Some("recovery.rebuild"));
+        let obs = fold(&records);
+        let f = &obs.file_exposure()[0];
+        // Dirty at 3s, horizon ends at 8s → 5s still-open exposure.
+        assert_eq!(f.exposure_ns, 5_000_000_000);
+        assert_eq!(f.open_intervals, 1);
+        assert_eq!(f.intervals_closed, 0);
+        assert_eq!(f.by_provider["Windows Azure"], 5_000_000_000);
+    }
+
+    #[test]
+    fn read_ledger_counts_ok_and_failed() {
+        let obs = fold(&synthetic_trace());
+        assert_eq!(obs.reads_ok_small, 1);
+        assert_eq!(obs.reads_ok_large, 1);
+        assert_eq!(obs.reads_failed, 1);
+        assert!((obs.empirical_read_availability() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((obs.small_read_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_renders_deterministically() {
+        let a = fold(&synthetic_trace()).report().render();
+        let b = fold(&synthetic_trace()).report().render();
+        assert_eq!(a, b);
+        assert!(a.contains("# availability observatory"));
+        assert!(a.contains("Windows Azure"));
+        assert!(a.contains("total_exposure_s=4.000000"));
+    }
+
+    #[test]
+    fn parse_jobs_is_order_preserving_and_jobs_invariant() {
+        let records = synthetic_trace();
+        let text: String =
+            records.iter().map(|r| r.to_json() + "\n").collect::<Vec<_>>().join("");
+        let one = parse_trace_jobs(&text, 1).unwrap();
+        let four = parse_trace_jobs(&text, 4).unwrap();
+        assert_eq!(one, records);
+        assert_eq!(one, four);
+        let via_file = from_trace(&text, 2).unwrap();
+        let direct = fold(&records);
+        assert_eq!(via_file.report(), direct.report());
+    }
+
+    #[test]
+    fn online_tap_matches_offline_parse() {
+        use hyrd_telemetry::{Collector, ManualClock, SharedBuf};
+        let obs = SharedObservatory::new();
+        let buf = SharedBuf::new();
+        let clock = ManualClock::new();
+        let c = Collector::builder(clock)
+            .clock_label("virtual")
+            .jsonl(buf.clone())
+            .tap(obs.tap())
+            .build();
+        c.event("provider.op")
+            .field("provider", "Aliyun")
+            .field("op", "Put")
+            .field("bytes_in", 512u64)
+            .field("bytes_out", 0u64)
+            .field("latency_ns", 7u64)
+            .emit();
+        c.event("replay.op").field("class", "small-read").emit();
+        c.flush();
+        let offline = from_trace(&buf.text(), 1).unwrap();
+        assert_eq!(obs.report(), offline.report());
+        assert_eq!(obs.report().render(), offline.report().render());
+    }
+
+    #[test]
+    fn absorb_metrics_folds_queue_depth_peaks() {
+        use hyrd_telemetry::Registry;
+        let reg = Registry::default();
+        reg.observe("engine.queue_depth[Aliyun]", 3);
+        reg.observe("engine.queue_depth[Aliyun]", 9);
+        let mut obs = Observatory::new();
+        obs.absorb_metrics(&reg.snapshot());
+        let health = obs.provider_health();
+        assert_eq!(health.len(), 1);
+        assert_eq!(health[0].queue_depth_peak, 9);
+    }
+}

@@ -63,14 +63,27 @@ impl ScrubReport {
 
 impl Hyrd {
     /// Traces a digest mismatch found by the sweep (distinct from
-    /// `integrity.corrupt`, which marks read-path detections).
-    fn note_scrub_corrupt(&self, provider: ProviderId, object: &str) {
+    /// `integrity.corrupt`, which marks read-path detections). Carries
+    /// the file identity — and the fragment index for erasure fragments —
+    /// so the exposure tracker can open a below-redundancy interval.
+    fn note_scrub_corrupt(
+        &self,
+        path: &str,
+        fragment: Option<u64>,
+        provider: ProviderId,
+        object: &str,
+    ) {
         if self.telemetry.enabled() {
-            self.telemetry
+            let mut ev = self
+                .telemetry
                 .event("scrub.corrupt")
+                .field("path", path)
                 .field("provider", self.provider(provider).name())
-                .field("object", object)
-                .emit();
+                .field("object", object);
+            if let Some(idx) = fragment {
+                ev = ev.field("fragment", idx);
+            }
+            ev.emit();
             self.telemetry.inc("scrub.corruptions", 1);
         }
     }
@@ -99,9 +112,13 @@ impl Hyrd {
         }
     }
 
-    /// Rewrites one copy with known-good bytes, pushing its op.
+    /// Rewrites one copy with known-good bytes, pushing its op. The
+    /// repair event mirrors `scrub.corrupt`'s identity fields so the
+    /// exposure tracker can close the interval the detection opened.
     fn scrub_rewrite(
         &self,
+        path: &str,
+        fragment: Option<u64>,
         provider: ProviderId,
         name: &str,
         good: &Bytes,
@@ -112,11 +129,16 @@ impl Hyrd {
             Ok(out) => {
                 ops.push(out.report);
                 if self.telemetry.enabled() {
-                    self.telemetry
+                    let mut ev = self
+                        .telemetry
                         .event("scrub.repair")
+                        .field("path", path)
                         .field("provider", self.provider(provider).name())
-                        .field("object", name)
-                        .emit();
+                        .field("object", name);
+                    if let Some(idx) = fragment {
+                        ev = ev.field("fragment", idx);
+                    }
+                    ev.emit();
                     self.telemetry.inc("scrub.repairs", 1);
                 }
                 true
@@ -127,6 +149,7 @@ impl Hyrd {
 
     fn scrub_replicated(
         &self,
+        path: &str,
         providers: &[ProviderId],
         object: &str,
         report: &mut ScrubReport,
@@ -158,7 +181,7 @@ impl Hyrd {
                     }
                     Verdict::Corrupt => {
                         report.corrupt_detected += 1;
-                        self.note_scrub_corrupt(*p, object);
+                        self.note_scrub_corrupt(path, None, *p, object);
                         bad.push(*p);
                     }
                     Verdict::Unknown => unreachable!("digest is on record"),
@@ -167,7 +190,7 @@ impl Hyrd {
             match good {
                 Some(good) => {
                     for p in bad {
-                        if self.scrub_rewrite(p, object, &good, ops) {
+                        if self.scrub_rewrite(path, None, p, object, &good, ops) {
                             report.repaired += 1;
                         }
                     }
@@ -208,7 +231,7 @@ impl Hyrd {
                 let verdict = self.integrity_l().verify(name, &bytes);
                 if verdict == Verdict::Corrupt {
                     report.corrupt_detected += 1;
-                    self.note_scrub_corrupt(*p, name);
+                    self.note_scrub_corrupt(path, Some(i as u64), *p, name);
                 }
                 fetched.push((i, *p, bytes, verdict));
             }
@@ -267,7 +290,8 @@ impl Hyrd {
             let want = &oracle[*i].data;
             if &bytes[..] != want.as_slice() {
                 let name = &fragments[*i].1;
-                if self.scrub_rewrite(*p, name, &Bytes::from(want.clone()), ops) {
+                if self.scrub_rewrite(path, Some(*i as u64), *p, name, &Bytes::from(want.clone()), ops)
+                {
                     report.repaired += 1;
                 }
             } else if *verdict == Verdict::Unknown {
@@ -283,9 +307,9 @@ impl Hyrd {
                     report.objects_swept += 1;
                     if bytes[..] != object[..] {
                         report.corrupt_detected += 1;
-                        self.note_scrub_corrupt(*p, name);
+                        self.note_scrub_corrupt(path, None, *p, name);
                         let good = Bytes::from(object.clone());
-                        if self.scrub_rewrite(*p, name, &good, ops) {
+                        if self.scrub_rewrite(path, None, *p, name, &good, ops) {
                             report.repaired += 1;
                             self.integrity_l().record(name, &good);
                         }
@@ -323,7 +347,13 @@ impl Hyrd {
                 match inode.placement {
                     Placement::Pending => {}
                     Placement::Replicated { providers, object } => {
-                        self.scrub_replicated(&providers, &object, &mut report, &mut ops);
+                        self.scrub_replicated(
+                            fpath.as_str(),
+                            &providers,
+                            &object,
+                            &mut report,
+                            &mut ops,
+                        );
                     }
                     Placement::ErasureCoded { layout, fragments, hot_copy } => {
                         self.scrub_erasure(

@@ -37,11 +37,13 @@
 
 mod hist;
 mod json;
+mod parse;
 mod record;
 mod registry;
 mod summary;
 
 pub use hist::{Histogram, HIST_BUCKETS};
+pub use parse::{parse_jsonl, parse_line, ParseError};
 pub use record::{Fields, IntoValue, TraceRecord, Value, TRACE_SCHEMA_VERSION};
 pub use registry::{HistogramSummary, MetricsSnapshot, Registry};
 pub use summary::{fmt_ns, SlowSpan};
@@ -130,6 +132,10 @@ struct State {
     next_id: u64,
     jsonl: Option<Box<dyn Write + Send>>,
     ring: Option<Ring>,
+    /// Online observer invoked with every record, in emission order and
+    /// under the collector lock — the deterministic feed the availability
+    /// observatory ingests without waiting for the JSONL trace.
+    tap: Option<Box<dyn FnMut(&TraceRecord) + Send>>,
     /// Innermost-last stack of open span ids (the instrumented request path
     /// is single-threaded; events attribute to the innermost open span).
     stack: Vec<u64>,
@@ -147,6 +153,9 @@ struct Inner {
 
 impl Inner {
     fn emit(&self, state: &mut State, rec: TraceRecord) {
+        if let Some(tap) = state.tap.as_mut() {
+            tap(&rec);
+        }
         if let Some(w) = state.jsonl.as_mut() {
             let mut line = rec.to_json();
             line.push('\n');
@@ -187,6 +196,7 @@ impl Collector {
             clock_label: "virtual",
             jsonl: None,
             ring: None,
+            tap: None,
         }
     }
 
@@ -448,6 +458,7 @@ pub struct CollectorBuilder {
     clock_label: &'static str,
     jsonl: Option<Box<dyn Write + Send>>,
     ring: Option<usize>,
+    tap: Option<Box<dyn FnMut(&TraceRecord) + Send>>,
 }
 
 impl CollectorBuilder {
@@ -460,6 +471,15 @@ impl CollectorBuilder {
     /// Attach an in-memory ring buffer keeping the last `cap` records.
     pub fn ring(mut self, cap: usize) -> Self {
         self.ring = Some(cap.max(1));
+        self
+    }
+
+    /// Attach an online record observer: `f` sees every record (the
+    /// leading meta line included) in emission order, under the collector
+    /// lock. Streaming consumers — the availability observatory — hang
+    /// off this instead of re-parsing the JSONL sink.
+    pub fn tap(mut self, f: impl FnMut(&TraceRecord) + Send + 'static) -> Self {
+        self.tap = Some(Box::new(f));
         self
     }
 
@@ -482,6 +502,7 @@ impl CollectorBuilder {
                     cap,
                     buf: VecDeque::with_capacity(cap.min(1024)),
                 }),
+                tap: self.tap,
                 stack: Vec::new(),
                 open: BTreeMap::new(),
                 agg: BTreeMap::new(),

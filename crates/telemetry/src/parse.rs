@@ -1,0 +1,443 @@
+//! Trace parsing: the inverse of [`TraceRecord::to_json`].
+//!
+//! The observatory and the `trace_report` analyzer consume traces that
+//! were written by this crate's own hand-rolled emitter, so the parser
+//! here is deliberately small: a recursive-descent JSON reader covering
+//! exactly the shapes the emitter produces (flat objects of scalars plus
+//! one nested `fields` object). Keeping it dependency-free means the
+//! whole trace → report pipeline stays testable in minimal environments
+//! and byte-level behaviour never drifts with an external serializer.
+//!
+//! Number mapping is type-directed rather than syntax-preserving: a
+//! bare integer becomes `Value::U64` (or `I64` when negative), anything
+//! with a fraction or exponent becomes `Value::F64`. A float that the
+//! emitter printed without a fractional part (`3`) therefore reads back
+//! as `U64(3)` — acceptable lossiness for analysis, called out here so
+//! nobody relies on exact `Value` round-trips for integral floats.
+
+use std::collections::BTreeMap;
+
+use crate::record::{Fields, TraceRecord, Value};
+
+/// Why a line failed to parse. The line number (0-based) is attached by
+/// [`parse_jsonl`]; single-line entry points report position only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Byte offset within the line where parsing gave up.
+    pub at: usize,
+    /// Human-readable description of what went wrong.
+    pub what: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed JSON value, only as rich as the trace format needs.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Obj(BTreeMap<String, Json>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, what: impl Into<String>) -> ParseError {
+        ParseError { at: self.pos, what: what.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b'[') => Err(self.err("arrays are not part of the trace format")),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected '{lit}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Combine a surrogate pair if one follows.
+                            if (0xD800..0xDC00).contains(&cp)
+                                && self.bytes[self.pos..].starts_with(b"\\u")
+                            {
+                                let save = self.pos;
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if (0xDC00..0xE000).contains(&lo) {
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    out.push(
+                                        char::from_u32(c)
+                                            .ok_or_else(|| self.err("bad surrogate pair"))?,
+                                    );
+                                    continue;
+                                }
+                                self.pos = save;
+                            }
+                            out.push(
+                                char::from_u32(cp).ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-borrow the original UTF-8: step back and take the
+                    // full char (multi-byte sequences arrive intact since
+                    // the input is a &str).
+                    self.pos -= 1;
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("empty string tail"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if float {
+            text.parse::<f64>().map(Json::F64).map_err(|_| self.err("bad float"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>().map(Json::I64).map_err(|_| self.err("bad integer"))
+        } else {
+            text.parse::<u64>().map(Json::U64).map_err(|_| self.err("bad integer"))
+        }
+    }
+}
+
+fn scalar(j: Json, at: usize) -> Result<Value, ParseError> {
+    match j {
+        Json::Bool(b) => Ok(Value::Bool(b)),
+        Json::U64(v) => Ok(Value::U64(v)),
+        Json::I64(v) => Ok(Value::I64(v)),
+        Json::F64(v) => Ok(Value::F64(v)),
+        Json::Str(s) => Ok(Value::Str(s)),
+        Json::Null | Json::Obj(_) => {
+            Err(ParseError { at, what: "field values must be scalars".into() })
+        }
+    }
+}
+
+fn take_u64(map: &mut BTreeMap<String, Json>, key: &str) -> Result<u64, ParseError> {
+    match map.remove(key) {
+        Some(Json::U64(v)) => Ok(v),
+        _ => Err(ParseError { at: 0, what: format!("missing or non-integer '{key}'") }),
+    }
+}
+
+fn take_str(map: &mut BTreeMap<String, Json>, key: &str) -> Result<String, ParseError> {
+    match map.remove(key) {
+        Some(Json::Str(s)) => Ok(s),
+        _ => Err(ParseError { at: 0, what: format!("missing or non-string '{key}'") }),
+    }
+}
+
+fn take_fields(map: &mut BTreeMap<String, Json>) -> Result<Fields, ParseError> {
+    let mut fields = Fields::new();
+    if let Some(j) = map.remove("fields") {
+        match j {
+            Json::Obj(inner) => {
+                for (k, v) in inner {
+                    fields.insert(k, scalar(v, 0)?);
+                }
+            }
+            _ => return Err(ParseError { at: 0, what: "'fields' must be an object".into() }),
+        }
+    }
+    Ok(fields)
+}
+
+/// Parse one JSONL line into a [`TraceRecord`].
+pub fn parse_line(line: &str) -> Result<TraceRecord, ParseError> {
+    let mut p = Parser::new(line);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing bytes after record"));
+    }
+    let Json::Obj(mut map) = v else {
+        return Err(ParseError { at: 0, what: "record is not an object".into() });
+    };
+    let kind = take_str(&mut map, "kind")?;
+    match kind.as_str() {
+        "meta" => Ok(TraceRecord::Meta {
+            schema: take_u64(&mut map, "schema")? as u32,
+            clock: take_str(&mut map, "clock")?,
+            t: take_u64(&mut map, "t")?,
+        }),
+        "span_start" => {
+            let parent = match map.remove("parent") {
+                Some(Json::U64(v)) => Some(v),
+                Some(Json::Null) | None => None,
+                _ => return Err(ParseError { at: 0, what: "bad 'parent'".into() }),
+            };
+            Ok(TraceRecord::SpanStart {
+                id: take_u64(&mut map, "id")?,
+                parent,
+                name: take_str(&mut map, "name")?,
+                t: take_u64(&mut map, "t")?,
+                fields: take_fields(&mut map)?,
+            })
+        }
+        "span_end" => Ok(TraceRecord::SpanEnd {
+            id: take_u64(&mut map, "id")?,
+            name: take_str(&mut map, "name")?,
+            t: take_u64(&mut map, "t")?,
+            dur_ns: take_u64(&mut map, "dur_ns")?,
+            fields: take_fields(&mut map)?,
+        }),
+        "event" => {
+            let span = match map.remove("span") {
+                Some(Json::U64(v)) => Some(v),
+                Some(Json::Null) | None => None,
+                _ => return Err(ParseError { at: 0, what: "bad 'span'".into() }),
+            };
+            Ok(TraceRecord::Event {
+                span,
+                name: take_str(&mut map, "name")?,
+                t: take_u64(&mut map, "t")?,
+                fields: take_fields(&mut map)?,
+            })
+        }
+        other => Err(ParseError { at: 0, what: format!("unknown record kind '{other}'") }),
+    }
+}
+
+/// Parse a whole JSONL trace. Blank lines are skipped; the first failing
+/// line aborts with its 0-based line number folded into the message.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Ok(r) => out.push(r),
+            Err(e) => {
+                return Err(ParseError { at: e.at, what: format!("line {i}: {}", e.what) });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TRACE_SCHEMA_VERSION;
+
+    fn roundtrip(r: &TraceRecord) {
+        let parsed = parse_line(&r.to_json()).expect("parses");
+        assert_eq!(&parsed, r);
+    }
+
+    #[test]
+    fn meta_roundtrips() {
+        roundtrip(&TraceRecord::Meta {
+            schema: TRACE_SCHEMA_VERSION,
+            clock: "virtual".into(),
+            t: 0,
+        });
+    }
+
+    #[test]
+    fn span_records_roundtrip() {
+        let mut fields = Fields::new();
+        fields.insert("bytes".into(), Value::U64(1 << 40));
+        fields.insert("who".into(), Value::Str("Windows Azure".into()));
+        roundtrip(&TraceRecord::SpanStart {
+            id: 7,
+            parent: Some(3),
+            name: "read_file".into(),
+            t: 11,
+            fields: fields.clone(),
+        });
+        roundtrip(&TraceRecord::SpanStart {
+            id: 8,
+            parent: None,
+            name: "read_file".into(),
+            t: 11,
+            fields: Fields::new(),
+        });
+        roundtrip(&TraceRecord::SpanEnd {
+            id: 7,
+            name: "read_file".into(),
+            t: 19,
+            dur_ns: 8,
+            fields,
+        });
+    }
+
+    #[test]
+    fn event_roundtrips_all_scalar_types() {
+        let mut fields = Fields::new();
+        fields.insert("b".into(), Value::Bool(true));
+        fields.insert("u".into(), Value::U64(u64::MAX));
+        fields.insert("i".into(), Value::I64(-42));
+        fields.insert("f".into(), Value::F64(0.125));
+        fields.insert("s".into(), Value::Str("a\"b\\c\nd\te\u{1}π".into()));
+        roundtrip(&TraceRecord::Event {
+            span: None,
+            name: "provider.fault".into(),
+            t: 99,
+            fields,
+        });
+    }
+
+    #[test]
+    fn jsonl_skips_blanks_and_reports_bad_lines() {
+        let good = TraceRecord::Meta { schema: 2, clock: "virtual".into(), t: 0 };
+        let text = format!("{}\n\n{}\n", good.to_json(), good.to_json());
+        assert_eq!(parse_jsonl(&text).unwrap().len(), 2);
+        let bad = format!("{}\nnot json\n", good.to_json());
+        let err = parse_jsonl(&bad).unwrap_err();
+        assert!(err.what.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_arrays() {
+        assert!(parse_line("{\"kind\":\"meta\",\"schema\":1,\"clock\":\"v\",\"t\":0}x").is_err());
+        assert!(parse_line("[1,2]").is_err());
+        assert!(parse_line("{\"kind\":\"nope\",\"t\":0}").is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        // 𝄞 (U+1D11E) as an escaped surrogate pair.
+        let line = "{\"kind\":\"event\",\"span\":null,\"name\":\"n\",\"t\":1,\
+                    \"fields\":{\"s\":\"\\ud834\\udd1e\"}}";
+        let r = parse_line(line).unwrap();
+        assert_eq!(r.field_str("s"), Some("\u{1D11E}"));
+    }
+}

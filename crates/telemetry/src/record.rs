@@ -12,7 +12,16 @@ use crate::json::{push_f64, push_str_escaped};
 
 /// Version stamped into every trace's leading `meta` record. Bump when the
 /// JSONL shape changes incompatibly (renamed fields, changed units, ...).
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+///
+/// History:
+/// * **1** — initial shape: meta / span_start / span_end / event lines.
+/// * **2** — exposure-tracker enrichment: `recovery.rebuild` carries
+///   `provider`; `scrub.corrupt`/`scrub.repair` carry `path` (and
+///   `fragment` for erasure fragments); per-fragment `update.dirty` and
+///   `read.degraded.fragment` events; `provider.status` /
+///   `provider.outage_scheduled` lifecycle events; `replay.error` events
+///   for refused requests.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 /// A typed field value attached to a span or event.
 #[derive(Debug, Clone, PartialEq)]
@@ -300,7 +309,7 @@ mod tests {
             clock: "virtual".into(),
             t: 0,
         };
-        assert_eq!(r.to_json(), "{\"kind\":\"meta\",\"schema\":1,\"clock\":\"virtual\",\"t\":0}");
+        assert_eq!(r.to_json(), "{\"kind\":\"meta\",\"schema\":2,\"clock\":\"virtual\",\"t\":0}");
     }
 
     #[test]

@@ -61,6 +61,24 @@ bench-replay:
 bench-tail:
     cargo run --release -p hyrd-bench --bin tail_latency -- --check
 
+# Refresh the repo-root BENCH_obs.json observability baseline: asserts
+# the disabled telemetry path allocates zero, then measures the replay
+# overhead of the full observatory (JSONL sink + live tap) and the
+# offline trace parse+fold throughput.
+bench-obs:
+    cargo bench -p hyrd-bench --bench obs_benches
+
+# Availability-observatory report over a seeded smoke drill: writes the
+# telemetry trace, then renders provider SLIs, redundancy exposure and
+# the read ledger from it, with the analyzer's waterfalls/flame/heatmap
+# appendix and the measured-vs-modeled availability cross-check.
+obs-report:
+    mkdir -p target/experiments
+    cargo run --release -p hyrd-bench --bin chaos_drill -- --smoke --trace target/experiments/chaos_trace.jsonl --obs target/experiments/obs_report.txt
+    cargo run --release -p hyrd-bench --bin trace_report -- --trace target/experiments/chaos_trace.jsonl --jobs 4 --check-model --out target/experiments/trace_report.txt
+    @echo "observatory report at target/experiments/obs_report.txt"
+    @echo "trace analysis at target/experiments/trace_report.txt"
+
 # Full Criterion run (also refreshes BENCH_gfec.json at the end).
 bench:
     cargo bench -p hyrd-bench
