@@ -69,6 +69,7 @@ fn run_soak(
     };
     let report =
         multi_client::run(&h, &clock, &ops, MultiClientOptions { clients, jobs, replay: opts });
+    h.publish_meta_metrics();
     telemetry.flush();
     SoakOutput { report, trace: trace_buf.contents(), snapshot: telemetry.metrics() }
 }
@@ -167,6 +168,13 @@ fn main() {
             }
         }
     }
+    let gauge = |name: &str| out.snapshot.gauges.get(name).copied().unwrap_or(0);
+    println!(
+        "meta OCC: conflicts={} retries={} chain_max={}",
+        gauge("meta.occ.conflicts"),
+        gauge("meta.occ.retries"),
+        gauge("meta.chain.max"),
+    );
 
     if check {
         // The determinism contract, in-process: merged stats and trace

@@ -9,8 +9,13 @@
 //! breakdown is byte-identical to the single-client run (DESIGN.md §11),
 //! and the bin prints the per-session split on top.
 //!
+//! `--check` reruns the stream at `--clients 1 --jobs 1` and at the
+//! requested client count with `--jobs 2`, asserting the merged stats
+//! JSON matches the primary run byte for byte — the metastore's OCC
+//! sharding must never leak into the deterministic artifact.
+//!
 //! Usage: `postmark [--files N] [--ops N] [--seed S] [--clients N]
-//! [--jobs N] [--smoke]`
+//! [--jobs N] [--smoke] [--check]`
 
 use serde::Serialize;
 
@@ -27,12 +32,29 @@ struct PostMarkRecord {
     report: MultiClientReport,
 }
 
+/// One fresh replay of `ops`: new fleet, clock and HyRD client.
+fn run_replay(ops: &[hyrd_workloads::FsOp], clients: usize, jobs: usize) -> MultiClientReport {
+    let clock = SimClock::new();
+    let fleet = Fleet::standard_four(clock.clone());
+    for p in fleet.providers() {
+        p.set_ghost_mode(true);
+    }
+    let h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid default config");
+    multi_client::run(
+        &h,
+        &clock,
+        ops,
+        MultiClientOptions { clients, jobs, replay: ReplayOptions::default() },
+    )
+}
+
 fn main() {
     let mut files: usize = 100;
     let mut transactions: usize = 400;
     let mut seed: u64 = 0xB0A7;
     let mut clients: usize = 1;
     let mut jobs: usize = 1;
+    let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -49,6 +71,7 @@ fn main() {
                 files = 20;
                 transactions = 80;
             }
+            "--check" => check = true,
             other => panic!("unknown argument: {other}"),
         }
     }
@@ -68,18 +91,7 @@ fn main() {
         workload.bytes_written as f64 / 1e6
     );
 
-    let clock = SimClock::new();
-    let fleet = Fleet::standard_four(clock.clone());
-    for p in fleet.providers() {
-        p.set_ghost_mode(true);
-    }
-    let h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid default config");
-    let report = multi_client::run(
-        &h,
-        &clock,
-        &ops,
-        MultiClientOptions { clients, jobs, replay: ReplayOptions::default() },
-    );
+    let report = run_replay(&ops, clients, jobs);
 
     print!("{}", report.merged.summary());
     if report.clients > 1 {
@@ -94,6 +106,18 @@ fn main() {
                 s.busy.as_secs_f64(),
             );
         }
+    }
+
+    if check {
+        let merged_json =
+            serde_json::to_string_pretty(&report.merged).expect("serialize merged stats");
+        for (c, j) in [(1usize, 1usize), (clients, 2)] {
+            let alt = run_replay(&ops, c, j);
+            let alt_json =
+                serde_json::to_string_pretty(&alt.merged).expect("serialize merged stats");
+            assert_eq!(merged_json, alt_json, "merged stats diverged at --clients {c} --jobs {j}");
+        }
+        println!("check: merged stats byte-identical across --clients {clients}/1, --jobs 1/2 ✓");
     }
 
     write_json("postmark", &PostMarkRecord { seed, clients, workload, report });

@@ -119,6 +119,11 @@ pub struct HyrdConfig {
     pub breaker: BreakerSettings,
     /// Hedged/redundant read policy (off by default).
     pub hedge: HedgeConfig,
+    /// Shards the client-side metastore (and the hot-read counters) are
+    /// hash-partitioned into. Purely a concurrency knob: the flushed
+    /// bytes and every trace event are independent of the shard count,
+    /// so deterministic runs stay byte-identical across values.
+    pub meta_shards: usize,
 }
 
 impl Default for HyrdConfig {
@@ -133,6 +138,7 @@ impl Default for HyrdConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerSettings::default(),
             hedge: HedgeConfig::default(),
+            meta_shards: 16,
         }
     }
 }
@@ -162,6 +168,9 @@ impl HyrdConfig {
         if self.hedge.enabled && self.hedge.extra == 0 {
             return Err("hedging enabled with zero extra requests".to_string());
         }
+        if self.meta_shards == 0 {
+            return Err("meta_shards must be at least 1".to_string());
+        }
         Ok(())
     }
 }
@@ -182,6 +191,7 @@ mod tests {
         assert_eq!(c.breaker, BreakerSettings::default());
         assert!(!c.hedge.enabled, "hedging is opt-in");
         assert_eq!(c.hedge.extra, 1);
+        assert_eq!(c.meta_shards, 16);
         assert!(c.validate(4).is_ok());
     }
 
@@ -223,5 +233,9 @@ mod tests {
         assert!(c.validate(4).is_err());
         c.hedge.extra = 1;
         assert!(c.validate(4).is_ok());
+
+        let mut c = HyrdConfig::default();
+        c.meta_shards = 0;
+        assert!(c.validate(4).is_err());
     }
 }

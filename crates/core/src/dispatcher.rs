@@ -35,17 +35,24 @@
 //! # Concurrency
 //!
 //! The whole CRUD surface takes `&self`: the mutable interior state is
-//! **lock-striped** — namespace metadata, the update log, the small-file
-//! cache, the hot-read counters, the dirty-fragment set, the workload
-//! monitor and the integrity index each sit behind their own
-//! `parking_lot::Mutex` (fleet, health, counters and telemetry were
-//! already interior-mutable). Guards are scoped to single statements, so
-//! the client never holds two stripes at once; the canonical acquisition
-//! order (monitor → meta → cache → read_counts → log → dirty → integrity)
-//! is documented in DESIGN.md §11 for any future section that must nest.
-//! Contended acquisitions are counted and timed into registry histograms
-//! (`lock.contended[..]`, `lock.wait_ns[..]`) — wall timings never reach
-//! the trace, which stays virtual-time-stamped and byte-deterministic.
+//! **lock-striped** — the update log, the small-file cache, the
+//! dirty-fragment set, the workload monitor and the integrity index each
+//! sit behind their own `parking_lot::Mutex` (fleet, health, counters
+//! and telemetry were already interior-mutable). Namespace metadata no
+//! longer has a stripe at all: it lives in a
+//! [`hyrd_metastore::ShardedMetaStore`] — hash-partitioned by directory
+//! into independently `RwLock`ed shards with optimistic
+//! read-validate-commit mutations (DESIGN.md §15) — and the hot-read
+//! counters are sharded alongside it, keyed by [`NormPath`]. Guards are
+//! scoped to single statements, so the client never holds two stripes at
+//! once; the canonical acquisition order (monitor → meta shard → cache →
+//! read_counts shard → log → dirty → integrity) is documented in
+//! DESIGN.md §11 for any future section that must nest. Contended
+//! acquisitions are counted and timed into registry histograms
+//! (`lock.contended[..]`, `lock.wait_ns[..]`; the meta shards publish
+//! theirs through [`Hyrd::publish_meta_metrics`]) — wall timings never
+//! reach the trace, which stays virtual-time-stamped and
+//! byte-deterministic.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -60,7 +67,10 @@ use hyrd_gcsapi::{
 use hyrd_gfec::parallel::{decode_object_parallel, encode_parallel};
 use hyrd_gfec::stripe::StripePlanner;
 use hyrd_gfec::{ErasureCode, Fragment, Raid5, Raid6, ReedSolomon};
-use hyrd_metastore::{MetaStore, MetadataBlock, NormPath, Placement};
+use hyrd_metastore::{
+    resolve_chain, DiffBlock, FlushKind, MetaOccStats, MetadataBlock, NormPath, Placement,
+    ShardedMetaStore,
+};
 use hyrd_telemetry::Collector;
 
 use crate::config::{CodeChoice, FragmentSelection, HyrdConfig};
@@ -175,6 +185,25 @@ impl SmallFileCache {
     }
 }
 
+/// Hot-read counters, sharded alongside the metastore: keyed by
+/// [`NormPath`] (the caller already holds one, so bumping a counter
+/// allocates nothing) and partitioned with the same directory hash, so
+/// reads in different directories touch independent locks instead of
+/// convoying on one map.
+struct ReadCounts {
+    shards: Vec<Mutex<HashMap<NormPath, u32>>>,
+}
+
+impl ReadCounts {
+    fn new(shards: usize) -> Self {
+        ReadCounts { shards: (0..shards.max(1)).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    fn shard(&self, path: &NormPath) -> &Mutex<HashMap<NormPath, u32>> {
+        &self.shards[ShardedMetaStore::shard_of(path, self.shards.len())]
+    }
+}
+
 /// The HyRD client. See the crate docs for an end-to-end example.
 ///
 /// `Hyrd` is `Sync`: every CRUD operation takes `&self` (see the module
@@ -185,12 +214,15 @@ pub struct Hyrd {
     pub(crate) config: HyrdConfig,
     monitor: Mutex<WorkloadMonitor>,
     evaluator: Evaluator,
-    pub(crate) meta: Mutex<MetaStore>,
+    pub(crate) meta: ShardedMetaStore,
     pub(crate) log: Mutex<UpdateLog>,
     pub(crate) planner: StripePlanner,
     pub(crate) code: CodeImpl,
     cache: Mutex<SmallFileCache>,
-    read_counts: Mutex<HashMap<String, u32>>,
+    read_counts: ReadCounts,
+    /// Meta-shard contention totals already published to the registry
+    /// (so [`Hyrd::publish_meta_metrics`] increments deltas, not totals).
+    meta_published: Mutex<MetaOccStats>,
     pub(crate) dirty: Mutex<crate::ecops::DirtyFragments>,
     setup_cost: BatchReport,
     pub(crate) health: HealthTracker,
@@ -254,12 +286,13 @@ impl Hyrd {
             fleet: fleet.clone(),
             monitor: Mutex::new(WorkloadMonitor::new(config.threshold)),
             evaluator,
-            meta: Mutex::new(MetaStore::new()),
+            meta: ShardedMetaStore::with_shards(config.meta_shards),
             log: Mutex::new(UpdateLog::new()),
             planner,
             code,
             cache: Mutex::new(SmallFileCache::new(256 << 20)),
-            read_counts: Mutex::new(HashMap::new()),
+            read_counts: ReadCounts::new(config.meta_shards),
+            meta_published: Mutex::new(MetaOccStats::default()),
             dirty: Mutex::new(crate::ecops::DirtyFragments::new()),
             setup_cost,
             health,
@@ -321,69 +354,116 @@ impl Hyrd {
             detail: "no provider answered the bootstrap List".to_string(),
         })?;
 
-        // Fetch every metadata block (they are small; fastest replica
-        // first with failover, like any metadata read).
+        // Fetch every metadata block and diff (they are small; fastest
+        // replica first with failover, like any metadata read).
         let targets = hyrd.replica_targets();
-        let mut blocks = Vec::new();
-        for name in names.iter().filter(|n| n.starts_with("meta:")) {
-            let mut decoded: Option<MetadataBlock> = None;
-            let mut torn = false;
-            match hyrd.read_replicated("<bootstrap>", &targets, name) {
-                Ok((bytes, batch)) => {
-                    ops.extend(batch.ops);
-                    match MetadataBlock::from_bytes(&bytes) {
-                        Ok(block) => decoded = Some(block),
-                        Err(_) => torn = true,
-                    }
+        let mut blocks: Vec<MetadataBlock> = Vec::new();
+        let mut dir_diffs: std::collections::BTreeMap<NormPath, Vec<DiffBlock>> =
+            std::collections::BTreeMap::new();
+        for name in &names {
+            if DiffBlock::is_diff_object(name) {
+                // A torn or lost diff just truncates that directory's
+                // chain at the gap — resolve_chain strands the suffix.
+                if let Some(diff) =
+                    Self::fetch_decoded(&hyrd, &targets, name, &mut ops, |b| {
+                        DiffBlock::from_bytes(b).ok()
+                    })
+                {
+                    dir_diffs.entry(diff.dir.clone()).or_default().push(diff);
                 }
-                Err(_) => continue, // an orphaned or unreachable block
-            }
-            if torn {
-                // The chosen replica served a torn block (e.g. a crash
-                // mid-flush tore the write). Try the remaining replicas
-                // directly: any intact copy keeps the directory.
-                if hyrd.telemetry.enabled() {
-                    hyrd.telemetry.event("attach.torn_block").field("object", name.as_str()).emit();
-                    hyrd.telemetry.inc("attach.torn_blocks", 1);
-                }
-                for &t in &targets {
-                    if decoded.is_some() {
-                        break;
-                    }
-                    if let Ok(out) = hyrd.guarded(t, |p| p.get(&Self::key(name))) {
-                        ops.push(out.report);
-                        if let Ok(block) = MetadataBlock::from_bytes(&out.value) {
-                            decoded = Some(block);
-                        }
-                    }
-                }
-            }
-            match decoded {
-                Some(block) => blocks.push(block),
-                None => {
-                    // No replica holds an intact copy: mount without the
-                    // directory rather than refusing the namespace.
-                    if hyrd.telemetry.enabled() {
-                        hyrd.telemetry.event("attach.block_lost").field("object", name.as_str()).emit();
-                        hyrd.telemetry.inc("attach.blocks_lost", 1);
-                    }
+            } else if name.starts_with("meta:") {
+                if let Some(block) =
+                    Self::fetch_decoded(&hyrd, &targets, name, &mut ops, |b| {
+                        MetadataBlock::from_bytes(b).ok()
+                    })
+                {
+                    blocks.push(block);
                 }
             }
         }
-        // Parent directories first so joins always resolve.
+        // Parent directories first so joins always resolve. Each block
+        // is folded with its surviving diff chain before loading; the
+        // flush state is seeded at the resolved version (the next real
+        // change ships a diff on top) and the applied diffs stay
+        // recorded as the live chain so a later compaction supersedes
+        // them on the providers.
         blocks.sort_by(|a, b| a.dir.cmp(&b.dir));
-        {
-            let mut meta = hyrd.meta_l();
-            for block in &blocks {
-                meta.load_block(block)?;
-            }
-            // Loading is not a mutation; nothing needs re-flushing.
-            // Draining the encoded flush also seeds the change-detection
-            // cache, so the first real mutation only ships the block that
-            // actually changed.
-            let _ = meta.flush_dirty_encoded();
+        for block in blocks {
+            let dir = block.dir.clone();
+            let diffs = dir_diffs.remove(&dir).unwrap_or_default();
+            let chain: Vec<String> =
+                Self::chain_objects(&block, &diffs);
+            let resolved = resolve_chain(block, diffs);
+            hyrd.meta.load_block(&resolved.block)?;
+            hyrd.meta.seed_flushed(&dir, resolved.block.version);
+            hyrd.meta.seed_chain(&dir, chain);
         }
         Ok((hyrd, BatchReport::serial(ops)))
+    }
+
+    /// The object names of the diffs that will link onto `block`, in
+    /// version order — exactly what [`resolve_chain`] applies, computed
+    /// up front because resolution consumes the diffs.
+    fn chain_objects(block: &MetadataBlock, diffs: &[DiffBlock]) -> Vec<String> {
+        let mut sorted: Vec<&DiffBlock> = diffs.iter().collect();
+        sorted.sort_by_key(|d| d.version);
+        let mut reached = block.version;
+        let mut chain = Vec::new();
+        for diff in sorted {
+            if diff.version <= reached || diff.base != reached {
+                continue;
+            }
+            chain.push(DiffBlock::object_name(&diff.dir, diff.version));
+            reached = diff.version;
+        }
+        chain
+    }
+
+    /// Fetches one metadata object during attach and decodes it with
+    /// `decode`, falling back to per-replica direct gets when the chosen
+    /// replica served torn bytes. Returns `None` (with `attach.torn_block`
+    /// / `attach.block_lost` marks) when no intact copy exists.
+    fn fetch_decoded<T>(
+        hyrd: &Hyrd,
+        targets: &[ProviderId],
+        name: &str,
+        ops: &mut Vec<OpReport>,
+        decode: impl Fn(&[u8]) -> Option<T>,
+    ) -> Option<T> {
+        let mut decoded = match hyrd.read_replicated("<bootstrap>", targets, name) {
+            Ok((bytes, batch)) => {
+                ops.extend(batch.ops);
+                decode(&bytes)
+            }
+            Err(_) => return None, // an orphaned or unreachable object
+        };
+        if decoded.is_none() {
+            // The chosen replica served a torn object (e.g. a crash
+            // mid-flush tore the write). Try the remaining replicas
+            // directly: any intact copy keeps the directory.
+            if hyrd.telemetry.enabled() {
+                hyrd.telemetry.event("attach.torn_block").field("object", name).emit();
+                hyrd.telemetry.inc("attach.torn_blocks", 1);
+            }
+            for &t in targets {
+                if decoded.is_some() {
+                    break;
+                }
+                if let Ok(out) = hyrd.guarded(t, |p| p.get(&Self::key(name))) {
+                    ops.push(out.report);
+                    decoded = decode(&out.value);
+                }
+            }
+            if decoded.is_none() {
+                // No replica holds an intact copy: mount without the
+                // directory rather than refusing the namespace.
+                if hyrd.telemetry.enabled() {
+                    hyrd.telemetry.event("attach.block_lost").field("object", name).emit();
+                    hyrd.telemetry.inc("attach.blocks_lost", 1);
+                }
+            }
+        }
+        decoded
     }
 
     // ------------------------------------------------------------------
@@ -412,16 +492,23 @@ impl Hyrd {
         self.stripe("monitor", &self.monitor)
     }
 
-    pub(crate) fn meta_l(&self) -> MutexGuard<'_, MetaStore> {
-        self.stripe("meta", &self.meta)
-    }
-
     fn cache_l(&self) -> MutexGuard<'_, SmallFileCache> {
         self.stripe("cache", &self.cache)
     }
 
-    fn reads_l(&self) -> MutexGuard<'_, HashMap<String, u32>> {
-        self.stripe("read_counts", &self.read_counts)
+    /// Bumps a file's hot-read counter, returning the new count. The
+    /// counter map is sharded by the same hash as the metastore; only
+    /// the owning shard's lock is taken.
+    fn reads_bump(&self, path: &NormPath) -> u32 {
+        let mut shard = self.stripe("read_counts", self.read_counts.shard(path));
+        let count = shard.entry(path.clone()).or_insert(0);
+        *count += 1;
+        *count
+    }
+
+    /// Drops a file's hot-read counter (delete, or hot-copy turnover).
+    fn reads_remove(&self, path: &NormPath) {
+        self.stripe("read_counts", self.read_counts.shard(path)).remove(path);
     }
 
     pub(crate) fn log_l(&self) -> MutexGuard<'_, UpdateLog> {
@@ -491,12 +578,12 @@ impl Hyrd {
 
     /// Logical bytes stored (sum of file sizes).
     pub fn logical_bytes(&self) -> u64 {
-        self.meta_l().logical_bytes()
+        self.meta.logical_bytes()
     }
 
     /// Physical bytes stored across providers (redundancy included).
     pub fn physical_bytes(&self) -> u64 {
-        self.meta_l().physical_bytes()
+        self.meta.physical_bytes()
     }
 
     /// Pending consistency-update records (writes missed by providers
@@ -562,7 +649,7 @@ impl Hyrd {
         let dirty_paths = self.dirty_l().paths();
         for path in dirty_paths {
             let Ok(npath) = NormPath::parse(&path) else { continue };
-            let Ok(inode) = self.meta_l().inode(&npath) else {
+            let Ok(inode) = self.meta.inode(&npath) else {
                 self.dirty_l().forget(&path);
                 continue;
             };
@@ -887,27 +974,107 @@ impl Hyrd {
         (BatchReport::parallel(ops), live)
     }
 
-    /// Replicates every **changed** dirty metadata block to the metadata
-    /// tier (one parallel round; blocks are independent objects). Blocks
-    /// whose bytes match their last flush are skipped by the metastore —
-    /// a flush with nothing new issues zero provider ops — and changed
-    /// blocks arrive pre-serialized, so nothing is encoded twice.
+    /// Replicates every **changed** dirty directory's flush item to the
+    /// metadata tier (one parallel round; items are independent
+    /// objects). Directories whose bytes match their last flush are
+    /// skipped by the metastore — a flush with nothing new issues zero
+    /// provider ops — and steady-state changes ship as incremental
+    /// diffs, with every [`hyrd_metastore::shard::COMPACT_EVERY`]th
+    /// flush folding the chain back into a full block and deleting the
+    /// superseded diff objects.
+    ///
+    /// Each shipped item leaves a `meta.flush.block` / `meta.flush.diff`
+    /// / `meta.flush.compact` trace event. The fields (dir, version,
+    /// records, bytes) are pure functions of the serialized op order, so
+    /// deterministic runs stay byte-identical.
     pub(crate) fn flush_metadata(&self) -> BatchReport {
         self.journal.crashpoint("meta.flush.pre");
-        let blocks = self.meta_l().flush_dirty_encoded();
-        if blocks.is_empty() {
+        let items = self.meta.flush_dirty_encoded();
+        if items.is_empty() {
             return BatchReport::empty();
         }
         let targets = self.replica_targets();
         let mut ops = Vec::new();
-        for block in blocks {
-            let name = block.object_name();
-            let bytes = Bytes::from(block.bytes);
-            let (batch, _) = self.put_replicated(&name, &bytes, &targets);
+        for item in items {
+            let bytes = Bytes::from(item.bytes);
+            let (batch, _) = self.put_replicated(&item.object, &bytes, &targets);
             ops.extend(batch.ops);
+            if self.telemetry.enabled() {
+                let (event, counter) = match item.kind {
+                    FlushKind::Block => ("meta.flush.block", "meta.flush.blocks"),
+                    FlushKind::Diff => ("meta.flush.diff", "meta.flush.diffs"),
+                    FlushKind::Compact => ("meta.flush.compact", "meta.flush.compacts"),
+                };
+                let mut ev = self
+                    .telemetry
+                    .event(event)
+                    .field("dir", item.dir.as_str())
+                    .field("version", item.version)
+                    .field("records", item.records as u64)
+                    .field("bytes", bytes.len() as u64);
+                if item.kind == FlushKind::Compact {
+                    ev = ev.field("folded", item.supersedes.len() as u64);
+                }
+                ev.emit();
+                self.telemetry.inc(counter, 1);
+            }
+            // A compaction's full block supersedes its diff chain: the
+            // diff objects are garbage now, and leaving them would both
+            // leak billed storage and re-apply on the next restart (a
+            // no-op by version, but the GC pass would never converge).
+            for stale in &item.supersedes {
+                self.integrity_l().forget(stale);
+                let key = Self::key(stale);
+                for &t in &targets {
+                    match self.guarded(t, |p| p.remove(&key)) {
+                        Ok(out) => ops.push(out.report),
+                        // Verifiably gone — nothing left to reclaim.
+                        Err(CloudError::NoSuchObject { .. })
+                        | Err(CloudError::NoSuchContainer { .. }) => {}
+                        // Unreachable: log the remove so recovery
+                        // reclaims the stale diff later.
+                        Err(_) => self.wal_log_remove(t, key.clone()),
+                    }
+                }
+            }
         }
         self.journal.crashpoint("meta.flush.post");
         BatchReport::parallel(ops)
+    }
+
+    /// Publishes the sharded metastore's health into the metrics
+    /// registry: OCC totals (`meta.occ.conflicts` / `meta.occ.retries`),
+    /// shard-lock contention deltas under the `meta` label of
+    /// `lock.contended` / `lock.wait_ns` (alongside the mutex stripes),
+    /// and per-shard gauges (`meta.shard.dirty[i]`, `meta.chain.max`).
+    /// Registry-only — never the trace — so callers may invoke it at any
+    /// cadence without disturbing determinism. The drivers call it once
+    /// before snapshotting.
+    pub fn publish_meta_metrics(&self) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let stats = self.meta.occ_stats();
+        self.telemetry.set_gauge("meta.occ.conflicts", stats.conflicts as i64);
+        self.telemetry.set_gauge("meta.occ.retries", stats.retries as i64);
+        {
+            let mut last = self.stripe("meta_published", &self.meta_published);
+            let contended = stats.contended - last.contended;
+            let wait_ns = stats.wait_ns - last.wait_ns;
+            if contended > 0 {
+                self.telemetry.inc_labeled("lock.contended", "meta", contended);
+            }
+            if wait_ns > 0 {
+                self.telemetry.observe_labeled("lock.wait_ns", "meta", wait_ns);
+            }
+            *last = stats;
+        }
+        let gauges = self.meta.shard_gauges();
+        for (i, g) in gauges.iter().enumerate() {
+            self.telemetry.set_gauge(&format!("meta.shard.dirty[{i}]"), g.dirty as i64);
+        }
+        let chain_max = gauges.iter().map(|g| g.chain_max).max().unwrap_or(0);
+        self.telemetry.set_gauge("meta.chain.max", chain_max as i64);
     }
 
     pub(crate) fn now(&self) -> std::time::Duration {
@@ -920,7 +1087,7 @@ impl Hyrd {
 
     fn create_small(&self, path: &NormPath, data: &[u8]) -> SchemeResult<BatchReport> {
         let now = self.now();
-        self.meta_l().create_file(path, data.len() as u64, now)?;
+        self.meta.create_file(path, data.len() as u64, now)?;
         let name = crate::scheme::object_name(path.as_str());
         let bytes = Bytes::copy_from_slice(data);
         let targets = self.replica_targets();
@@ -932,7 +1099,7 @@ impl Hyrd {
         let (batch, live) = self.put_replicated(&name, &bytes, &targets);
         if live == 0 {
             // No provider holds the data — fail the write and roll back.
-            self.meta_l().remove_file(path)?;
+            self.meta.remove_file(path)?;
             self.integrity_l().forget(&name);
             for &t in &targets {
                 // Drop the logged writes for the rolled-back object.
@@ -944,7 +1111,7 @@ impl Hyrd {
             });
         }
         self.cache_l().put(path.as_str(), bytes);
-        self.meta_l().set_placement(
+        self.meta.set_placement(
             path,
             Placement::Replicated { providers: targets, object: name },
             data.len() as u64,
@@ -955,7 +1122,7 @@ impl Hyrd {
 
     fn create_large(&self, path: &NormPath, data: &[u8]) -> SchemeResult<BatchReport> {
         let now = self.now();
-        self.meta_l().create_file(path, data.len() as u64, now)?;
+        self.meta.create_file(path, data.len() as u64, now)?;
         let base_name = crate::scheme::object_name(path.as_str());
         let targets = self.fragment_targets();
         let _intent = self.journal.begin(Intent::Create {
@@ -1031,7 +1198,7 @@ impl Hyrd {
         if live < self.config.code.m() {
             // Not enough survivors to make the object durable: undo —
             // remove what landed, supersede the logged writes.
-            self.meta_l().remove_file(path)?;
+            self.meta.remove_file(path)?;
             for (t, name) in &fragments {
                 let key = Self::key(name);
                 self.integrity_l().forget(name);
@@ -1046,7 +1213,7 @@ impl Hyrd {
             });
         }
 
-        self.meta_l().set_placement(
+        self.meta.set_placement(
             path,
             Placement::ErasureCoded { layout, fragments, hot_copy: None },
             data.len() as u64,
@@ -1216,16 +1383,11 @@ impl Hyrd {
         batch: BatchReport,
     ) -> BatchReport {
         let Some(threshold) = self.config.hot_read_threshold else { return batch };
-        let count = {
-            let mut reads = self.reads_l();
-            let count = reads.entry(path.to_string()).or_insert(0);
-            *count += 1;
-            *count
-        };
+        let count = self.reads_bump(path);
         if count != threshold {
             return batch;
         }
-        let Some((size, layout, fragments)) = self.meta_l().get(path).ok().and_then(|inode| {
+        let Some((size, layout, fragments)) = self.meta.inode(path).ok().and_then(|inode| {
             match &inode.placement {
                 Placement::ErasureCoded { layout, fragments, hot_copy: None } => {
                     Some((inode.size, *layout, fragments.clone()))
@@ -1242,7 +1404,7 @@ impl Hyrd {
         match self.guarded(target, |p| p.put(&hot_key, data.clone())) {
             Ok(out) => {
                 self.integrity_l().record(&name, data);
-                let _ = self.meta_l().set_placement(
+                let _ = self.meta.set_placement(
                     path,
                     Placement::ErasureCoded {
                         layout,
@@ -1355,7 +1517,7 @@ impl Hyrd {
         self.integrity_l().record(&object, &bytes);
         self.cache_l().put(path.as_str(), bytes);
         let now = self.now();
-        self.meta_l().set_placement(
+        self.meta.set_placement(
             path,
             Placement::Replicated { providers, object },
             size,
@@ -1440,11 +1602,11 @@ impl Hyrd {
                 // pending remove so recovery reclaims it.
                 Err(_) => self.wal_log_remove(p, hot_key),
             }
-            self.reads_l().remove(path.as_str());
+            self.reads_remove(path);
         }
 
         let now = self.now();
-        self.meta_l().set_placement(
+        self.meta.set_placement(
             path,
             Placement::ErasureCoded { layout, fragments, hot_copy: None },
             size,
@@ -1479,7 +1641,7 @@ impl Hyrd {
         // Clone the placement out of the metadata stripe: the lock must
         // not be held across provider fetches (other sessions' metadata
         // operations would serialize behind this read).
-        let inode = self.meta_l().inode(&npath)?;
+        let inode = self.meta.inode(&npath)?;
         match &inode.placement {
             Placement::Pending => Err(SchemeError::DataUnavailable {
                 path: path.to_string(),
@@ -1539,7 +1701,7 @@ impl Hyrd {
             .field("bytes", data.len() as u64)
             .start();
         let npath = NormPath::parse(path)?;
-        let inode = self.meta_l().inode(&npath)?;
+        let inode = self.meta.inode(&npath)?;
         let size = inode.size;
         // `offset + len` can wrap for offsets near `u64::MAX`, which
         // would pass a plain `>` check and then panic at the slice index
@@ -1577,7 +1739,7 @@ impl Hyrd {
         // Enumerate the doomed objects and journal the intent *before*
         // touching metadata or providers: a crash mid-delete then rolls
         // forward (finish the removes) instead of leaking billed storage.
-        let inode = self.meta_l().inode(&npath)?;
+        let inode = self.meta.inode(&npath)?;
         let mut doomed: Vec<(ProviderId, String)> = Vec::new();
         match &inode.placement {
             Placement::Pending => {}
@@ -1599,9 +1761,9 @@ impl Hyrd {
             path: npath.as_str().to_string(),
             objects: doomed.clone(),
         });
-        self.meta_l().remove_file(&npath)?;
+        self.meta.remove_file(&npath)?;
         self.cache_l().remove(path);
-        self.reads_l().remove(path);
+        self.reads_remove(&npath);
         self.dirty_l().forget(path);
         self.sync_dirty_journal();
 
@@ -1643,7 +1805,7 @@ impl Hyrd {
             Err(_) => BatchReport::empty(),
         };
         let names = self
-            .meta_l()
+            .meta
             .list(&npath)?
             .into_iter()
             .map(|e| match e {
@@ -1657,7 +1819,7 @@ impl Hyrd {
     /// Logical size of a file.
     pub fn file_size(&self, path: &str) -> Option<u64> {
         let npath = NormPath::parse(path).ok()?;
-        self.meta_l().get(&npath).ok().map(|i| i.size)
+        self.meta.inode(&npath).ok().map(|i| i.size)
     }
 }
 

@@ -236,6 +236,26 @@ pub struct Observatory {
     pub other_ops_ok: u64,
     /// Non-read replay errors.
     pub other_ops_failed: u64,
+    /// Metadata-plane flush ledger (`meta.flush.*` events).
+    meta: MetaPlaneTracker,
+}
+
+/// Running totals for the metadata plane: how the metastore shipped its
+/// state (full blocks vs incremental diffs vs compactions) and, via
+/// [`Observatory::absorb_metrics`], the OCC contention gauges.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct MetaPlaneTracker {
+    flush_blocks: u64,
+    flush_diffs: u64,
+    flush_compacts: u64,
+    records: u64,
+    bytes: u64,
+    /// Diff frames folded away by compactions.
+    diffs_folded: u64,
+    /// Registry-only OCC gauges (zero when analysing a bare trace).
+    occ_conflicts: u64,
+    occ_retries: u64,
+    chain_max: u64,
 }
 
 impl Observatory {
@@ -392,6 +412,18 @@ impl Observatory {
                     self.other_ops_failed += 1;
                 }
             }
+            "meta.flush.block" | "meta.flush.diff" | "meta.flush.compact" => {
+                match name.as_str() {
+                    "meta.flush.block" => self.meta.flush_blocks += 1,
+                    "meta.flush.diff" => self.meta.flush_diffs += 1,
+                    _ => {
+                        self.meta.flush_compacts += 1;
+                        self.meta.diffs_folded += fu64("folded").unwrap_or(0);
+                    }
+                }
+                self.meta.records += fu64("records").unwrap_or(0);
+                self.meta.bytes += fu64("bytes").unwrap_or(0);
+            }
             _ => {}
         }
     }
@@ -404,6 +436,12 @@ impl Observatory {
             let tracker = self.provider(&provider);
             tracker.queue_depth_peak = tracker.queue_depth_peak.max(digest.max);
         }
+        let gauge = |name: &str| {
+            metrics.gauges.get(name).copied().map_or(0, |v| v.max(0) as u64)
+        };
+        self.meta.occ_conflicts = self.meta.occ_conflicts.max(gauge("meta.occ.conflicts"));
+        self.meta.occ_retries = self.meta.occ_retries.max(gauge("meta.occ.retries"));
+        self.meta.chain_max = self.meta.chain_max.max(gauge("meta.chain.max"));
     }
 
     /// Trace horizon in nanoseconds (first to last timestamp).
@@ -513,6 +551,15 @@ impl Observatory {
             reads_failed: self.reads_failed,
             empirical_read_availability: self.empirical_read_availability(),
             small_read_fraction: self.small_read_fraction(),
+            meta_flush_blocks: self.meta.flush_blocks,
+            meta_flush_diffs: self.meta.flush_diffs,
+            meta_flush_compacts: self.meta.flush_compacts,
+            meta_flush_records: self.meta.records,
+            meta_flush_bytes: self.meta.bytes,
+            meta_diffs_folded: self.meta.diffs_folded,
+            meta_occ_conflicts: self.meta.occ_conflicts,
+            meta_occ_retries: self.meta.occ_retries,
+            meta_chain_max: self.meta.chain_max,
         }
     }
 }
@@ -540,6 +587,20 @@ pub struct ObservatoryReport {
     pub reads_failed: u64,
     pub empirical_read_availability: f64,
     pub small_read_fraction: f64,
+    /// Metadata-plane flush ledger: full blocks, incremental diffs and
+    /// compactions shipped by `flush_metadata`.
+    pub meta_flush_blocks: u64,
+    pub meta_flush_diffs: u64,
+    pub meta_flush_compacts: u64,
+    pub meta_flush_records: u64,
+    pub meta_flush_bytes: u64,
+    /// Diff frames folded into full blocks by compaction.
+    pub meta_diffs_folded: u64,
+    /// OCC contention gauges (registry-only; zero on a bare trace).
+    pub meta_occ_conflicts: u64,
+    pub meta_occ_retries: u64,
+    /// Longest live diff chain observed behind any directory block.
+    pub meta_chain_max: u64,
 }
 
 fn secs(ns: u64) -> String {
@@ -616,6 +677,27 @@ impl ObservatoryReport {
             for (p, ns) in &self.exposure_by_provider {
                 out.push_str(&format!("  {:<21} {}\n", p, secs(*ns)));
             }
+        }
+
+        let meta_flushes =
+            self.meta_flush_blocks + self.meta_flush_diffs + self.meta_flush_compacts;
+        if meta_flushes > 0 || self.meta_occ_conflicts > 0 || self.meta_occ_retries > 0 {
+            out.push_str("\n## metadata plane\n");
+            out.push_str(&format!(
+                "flushes={} (blocks={} diffs={} compacts={}) records={} bytes={} \
+                 diffs_folded={}\n",
+                meta_flushes,
+                self.meta_flush_blocks,
+                self.meta_flush_diffs,
+                self.meta_flush_compacts,
+                self.meta_flush_records,
+                self.meta_flush_bytes,
+                self.meta_diffs_folded,
+            ));
+            out.push_str(&format!(
+                "occ_conflicts={} occ_retries={} chain_max={}\n",
+                self.meta_occ_conflicts, self.meta_occ_retries, self.meta_chain_max,
+            ));
         }
 
         out.push_str("\n## read ledger\n");

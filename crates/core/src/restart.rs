@@ -13,12 +13,17 @@
 //!
 //! The flow, in order:
 //!
-//! * **Recover metadata**: union the `meta:` listings of every available
-//!   provider with the journal's pending block writes; for each block
-//!   name, decode every reachable candidate (torn blocks fail the `HYM2`
-//!   validation and are skipped with a `restart.torn_block` event) and
-//!   keep the highest version. Load winners parent-first and seed the
-//!   flush cache at each winner's version so re-flushes never regress.
+//! * **Recover metadata**: union the `meta:` *and* `metad:` (diff)
+//!   listings of every available provider with the journal's pending
+//!   block/diff writes; for each block name, decode every reachable
+//!   candidate (torn blocks fail the `HYM2`/`HYD1` validation and are
+//!   skipped with a `restart.torn_block` event) and keep the highest
+//!   version, then fold each directory's surviving diff chain onto its
+//!   winning block with [`resolve_chain`] — a torn or lost diff strands
+//!   the chain's suffix there, exactly like a torn block (the journal
+//!   re-drives the operations that produced it). Load the resolved
+//!   winners parent-first and seed the flush cache at each resolved
+//!   version so re-flushes never regress.
 //! * **Reinstall journal state**: the mirrored recovery log (minus
 //!   `meta:` records — the heal below re-establishes those) and the
 //!   mirrored dirty set become the new dispatcher's volatile state.
@@ -43,14 +48,14 @@
 //! The result is a [`RestartReport`] of plain scalars, so crash-torture
 //! reports stay byte-deterministic.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use hyrd_cloudsim::Fleet;
 use hyrd_gcsapi::{CloudError, CloudStorage};
-use hyrd_metastore::{MetadataBlock, NormPath, Placement};
+use hyrd_metastore::{resolve_chain, DiffBlock, MetadataBlock, NormPath, Placement};
 use hyrd_telemetry::Collector;
 
 use crate::config::HyrdConfig;
@@ -65,9 +70,11 @@ use crate::scheme::SchemeResult;
 pub struct RestartReport {
     /// Metadata blocks recovered and loaded.
     pub meta_blocks_loaded: u64,
-    /// Block candidates that failed length/checksum validation.
+    /// Incremental diffs folded onto their base blocks.
+    pub diffs_applied: u64,
+    /// Block/diff candidates that failed length/checksum validation.
     pub torn_blocks: u64,
-    /// Block names with no intact candidate anywhere.
+    /// Block/diff names with no intact candidate anywhere.
     pub blocks_lost: u64,
     /// Winning blocks re-replicated to the metadata tier.
     pub replicas_healed: u64,
@@ -114,20 +121,27 @@ impl Hyrd {
         let mut names: BTreeSet<String> = BTreeSet::new();
         for p in fleet.available() {
             if let Ok(out) = p.list(Fleet::CONTAINER) {
-                names.extend(out.value.into_iter().filter(|n| n.starts_with("meta:")));
+                names.extend(
+                    out.value
+                        .into_iter()
+                        .filter(|n| n.starts_with("meta:") || DiffBlock::is_diff_object(n)),
+                );
             }
         }
         for (_, record) in pending.records() {
             if let LogRecord::Put { key, .. } = record {
-                if key.name.starts_with("meta:") {
+                if key.name.starts_with("meta:") || DiffBlock::is_diff_object(&key.name) {
                     names.insert(key.name.clone());
                 }
             }
         }
 
         let mut winners: Vec<(MetadataBlock, Bytes)> = Vec::new();
+        let mut dir_diffs: BTreeMap<NormPath, Vec<DiffBlock>> = BTreeMap::new();
         for name in &names {
+            let is_diff = DiffBlock::is_diff_object(name);
             let mut best: Option<(MetadataBlock, Bytes)> = None;
+            let mut diff: Option<DiffBlock> = None;
             let mut better = |block: MetadataBlock, bytes: Bytes| {
                 if best.as_ref().map_or(true, |(b, _)| block.version > b.version) {
                     best = Some((block, bytes));
@@ -135,45 +149,75 @@ impl Hyrd {
             };
             let key = Self::key(name);
             for p in fleet.available() {
+                // A diff object is written once and never overwritten, so
+                // any intact copy is authoritative — stop at the first.
+                if is_diff && diff.is_some() {
+                    break;
+                }
                 // A torn read (truncated or bit-flipped bytes, caught by
-                // the HYM2 length/checksum validation) is retried twice —
-                // wire corruption is transient — before the replica is
-                // skipped in favor of the other candidates.
+                // the HYM2/HYD1 length/checksum validation) is retried
+                // twice — wire corruption is transient — before the
+                // replica is skipped in favor of the other candidates.
                 for _attempt in 0..3 {
                     let Ok(out) = hyrd.guarded(p.id(), |prov| prov.get(&key)) else { break };
-                    match MetadataBlock::from_bytes(&out.value) {
-                        Ok(block) => {
-                            better(block, out.value);
-                            break;
-                        }
-                        Err(_) => {
-                            report.torn_blocks += 1;
-                            if hyrd.telemetry.enabled() {
-                                hyrd.telemetry
-                                    .event("restart.torn_block")
-                                    .field("object", name.as_str())
-                                    .field("provider", p.name())
-                                    .emit();
-                                hyrd.telemetry.inc("restart.torn_blocks", 1);
+                    let decoded = if is_diff {
+                        match DiffBlock::from_bytes(&out.value) {
+                            Ok(d) => {
+                                diff = Some(d);
+                                true
                             }
+                            Err(_) => false,
                         }
+                    } else {
+                        match MetadataBlock::from_bytes(&out.value) {
+                            Ok(block) => {
+                                better(block, out.value);
+                                true
+                            }
+                            Err(_) => false,
+                        }
+                    };
+                    if decoded {
+                        break;
+                    }
+                    report.torn_blocks += 1;
+                    if hyrd.telemetry.enabled() {
+                        hyrd.telemetry
+                            .event("restart.torn_block")
+                            .field("object", name.as_str())
+                            .field("provider", p.name())
+                            .emit();
+                        hyrd.telemetry.inc("restart.torn_blocks", 1);
                     }
                 }
             }
-            // The journal's pending puts may hold block bytes newer than
-            // anything that landed (the crashed client was mid-ship).
+            // The journal's pending puts may hold block or diff bytes
+            // newer than anything that landed (the crashed client was
+            // mid-ship).
             for (_, record) in pending.records() {
                 if let LogRecord::Put { key, data } = record {
                     if key.name == *name {
-                        if let Ok(block) = MetadataBlock::from_bytes(data) {
+                        if is_diff {
+                            if diff.is_none() {
+                                diff = DiffBlock::from_bytes(data).ok();
+                            }
+                        } else if let Ok(block) = MetadataBlock::from_bytes(data) {
                             better(block, data.clone());
                         }
                     }
                 }
             }
+            if let Some(d) = diff {
+                dir_diffs.entry(d.dir.clone()).or_default().push(d);
+                continue;
+            }
             match best {
                 Some(winner) => winners.push(winner),
                 None => {
+                    // A lost diff also lands here: the chain truncates at
+                    // the gap, and — like a lost block — GC soundness is
+                    // off the table, since objects referenced only by the
+                    // stranded suffix would look orphaned.
                     report.blocks_lost += 1;
                     if hyrd.telemetry.enabled() {
                         hyrd.telemetry
@@ -186,17 +230,35 @@ impl Hyrd {
             }
         }
 
+        // Fold each directory's surviving diff chain onto its winning
+        // block. The resolved block is re-encoded only when a diff
+        // actually applied; diffs that resolve nothing (stale, or
+        // stranded past a gap) leave the winner's original bytes — and
+        // the heal below re-replicates full blocks, so every applied
+        // chain is compacted away by construction.
+        let mut resolved: Vec<(MetadataBlock, Bytes)> = Vec::with_capacity(winners.len());
+        for (block, bytes) in winners {
+            let diffs = dir_diffs.remove(&block.dir).unwrap_or_default();
+            if diffs.is_empty() {
+                resolved.push((block, bytes));
+                continue;
+            }
+            let r = resolve_chain(block, diffs);
+            report.diffs_applied += r.applied as u64;
+            let bytes = if r.applied > 0 { Bytes::from(r.block.to_bytes()) } else { bytes };
+            resolved.push((r.block, bytes));
+        }
+        let mut winners = resolved;
+
         // Parent directories first so joins always resolve; seed the
-        // flush cache at each winner's version so nothing regresses.
+        // flush cache at each winner's resolved version so nothing
+        // regresses.
         winners.sort_by(|a, b| a.0.dir.cmp(&b.0.dir));
-        {
-            let mut meta = hyrd.meta_l();
-            for (block, _) in &winners {
-                meta.load_block(block)?;
-            }
-            for (block, _) in &winners {
-                meta.seed_flushed(&block.dir, block.version);
-            }
+        for (block, _) in &winners {
+            hyrd.meta.load_block(block)?;
+        }
+        for (block, _) in &winners {
+            hyrd.meta.seed_flushed(&block.dir, block.version);
         }
         report.meta_blocks_loaded = winners.len() as u64;
 
@@ -208,7 +270,9 @@ impl Hyrd {
         // ------------------------------------------------------------------
         let mut pending = pending;
         pending.retain_records(|_, record| match record {
-            LogRecord::Put { key, .. } => !key.name.starts_with("meta:"),
+            LogRecord::Put { key, .. } => {
+                !key.name.starts_with("meta:") && !DiffBlock::is_diff_object(&key.name)
+            }
             LogRecord::Remove { .. } => true,
         });
         report.log_records_restored = pending.len() as u64;
@@ -223,6 +287,9 @@ impl Hyrd {
 
         // ------------------------------------------------------------------
         // Phase 3: heal metadata replicas (diverged mid-flush crashes).
+        // Every winner ships as a *full* block at its resolved version —
+        // chains are compacted by restart, so the seeded stores carry no
+        // live diffs and the old diff objects become orphans for phase 6.
         // ------------------------------------------------------------------
         let targets = hyrd.replica_targets();
         for (block, bytes) in &winners {
@@ -340,9 +407,8 @@ impl Hyrd {
                     }
                 }
                 if let Ok(npath) = NormPath::parse(path) {
-                    let present = self.meta_l().get(&npath).is_ok();
-                    if present {
-                        let _ = self.meta_l().remove_file(&npath);
+                    if self.meta.inode(&npath).is_ok() {
+                        let _ = self.meta.remove_file(&npath);
                     }
                 }
                 report.intents_rolled_back += 1;
@@ -397,7 +463,7 @@ impl Hyrd {
                 // The stripe now holds the new bytes; a recovered
                 // placement may still advertise the stale hot copy.
                 if let Ok(npath) = NormPath::parse(path) {
-                    let recovered = self.meta_l().inode(&npath).ok();
+                    let recovered = self.meta.inode(&npath).ok();
                     if let Some(inode) = recovered {
                         if let Placement::ErasureCoded {
                             layout,
@@ -406,7 +472,7 @@ impl Hyrd {
                         } = inode.placement
                         {
                             let now = self.now();
-                            let _ = self.meta_l().set_placement(
+                            let _ = self.meta.set_placement(
                                 &npath,
                                 Placement::ErasureCoded { layout, fragments, hot_copy: None },
                                 inode.size,
@@ -422,9 +488,8 @@ impl Hyrd {
                 // Roll forward: finish removing the objects and the
                 // metadata entry.
                 if let Ok(npath) = NormPath::parse(path) {
-                    let present = self.meta_l().get(&npath).is_ok();
-                    if present {
-                        let _ = self.meta_l().remove_file(&npath);
+                    if self.meta.inode(&npath).is_ok() {
+                        let _ = self.meta.remove_file(&npath);
                     }
                     self.dirty_l().forget(path);
                     self.sync_dirty_journal();
@@ -447,21 +512,17 @@ impl Hyrd {
     }
 
     /// Every object name the dispatcher's state references: placement
-    /// objects (replicas, fragments, hot copies) of every file, plus the
-    /// metadata block of every directory. Anything a provider stores
+    /// objects (replicas, fragments, hot copies) of every file, the
+    /// metadata block of every directory, plus every live (unsuperseded)
+    /// metadata diff in a flush chain. Anything a provider stores
     /// outside this set is an orphan (the durability auditor's rule, and
     /// the restart GC's removal predicate).
     pub fn audit_references(&self) -> BTreeSet<String> {
         let mut refs = BTreeSet::new();
-        let meta = self.meta_l();
-        for dir in meta.all_dirs() {
+        for dir in self.meta.all_dirs() {
             refs.insert(MetadataBlock::object_name(&dir));
-            let Ok(entries) = meta.list(&dir) else { continue };
-            for entry in entries {
-                let hyrd_metastore::namespace::DirEntry::File(_, id) = entry else {
-                    continue;
-                };
-                let Some(inode) = meta.get_by_id(id) else { continue };
+            let Ok(entries) = self.meta.inodes_in(&dir) else { continue };
+            for (_, inode) in entries {
                 match &inode.placement {
                     Placement::Pending => {}
                     Placement::Replicated { object, .. } => {
@@ -478,6 +539,7 @@ impl Hyrd {
                 }
             }
         }
+        refs.extend(self.meta.live_diff_objects());
         refs
     }
 }

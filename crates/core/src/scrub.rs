@@ -334,16 +334,14 @@ impl Hyrd {
         let mut report = ScrubReport::default();
         let mut ops: Vec<OpReport> = Vec::new();
 
-        let mut dirs = self.meta_l().all_dirs();
+        let mut dirs = self.meta.all_dirs();
         dirs.sort_by(|a, b| a.as_str().cmp(b.as_str()));
         for dir in dirs {
-            let entries = self.meta_l().list(&dir)?;
-            for entry in entries {
-                let hyrd_metastore::namespace::DirEntry::File(name, _) = entry else {
-                    continue;
-                };
+            // One shard read-lock per directory: names and inodes come
+            // out together, so no per-file lookups are needed.
+            let entries = self.meta.inodes_in(&dir)?;
+            for (name, inode) in entries {
                 let Ok(fpath) = dir.join(&name) else { continue };
-                let Ok(inode) = self.meta_l().inode(&fpath) else { continue };
                 match inode.placement {
                     Placement::Pending => {}
                     Placement::Replicated { providers, object } => {

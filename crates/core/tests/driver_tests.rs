@@ -213,6 +213,67 @@ fn multi_client_output_is_invariant_across_clients_and_jobs() {
     }
 }
 
+/// The OCC linearizability contract (DESIGN.md §15): interleaved
+/// sessions through the engine must leave exactly the namespace a
+/// serial replay leaves, and must do so without a single OCC conflict —
+/// the engine serializes op execution, so any conflict or retry would
+/// be a determinism bug, not contention.
+#[test]
+fn sharded_metastore_matches_the_serial_oracle() {
+    // Truncate the postmark stream before its cleanup phase (which
+    // deletes the whole pool), so the final namespace is non-trivial.
+    let all = soak_ops();
+    let ops = &all[..all.len() * 2 / 3];
+
+    fn namespace(h: &Hyrd) -> Vec<(String, u64)> {
+        fn walk(h: &Hyrd, dir: &str, out: &mut Vec<(String, u64)>) {
+            let (names, _) = h.list_dir(dir).expect("listable");
+            for name in names {
+                let path =
+                    if dir == "/" { format!("/{name}") } else { format!("{dir}/{name}") };
+                match h.file_size(&path) {
+                    Some(size) => out.push((path, size)),
+                    None => walk(h, &path, out),
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(h, "/", &mut out);
+        out.sort();
+        out
+    }
+
+    let (clock, _fleet, mut serial) = setup();
+    let serial_stats = replay(&mut serial, ops, &clock, &ReplayOptions::default());
+    let oracle = namespace(&serial);
+    assert!(!oracle.is_empty(), "the truncated stream must leave live files");
+
+    for clients in [1usize, 8] {
+        let clock = SimClock::new();
+        let fleet = Fleet::standard_four(clock.clone());
+        let telemetry = Collector::builder(clock.clone()).build();
+        let h = Hyrd::with_telemetry(&fleet, HyrdConfig::default(), telemetry.clone())
+            .expect("valid default config");
+        let report = multi_client::run(
+            &h,
+            &clock,
+            ops,
+            MultiClientOptions { clients, jobs: 2, replay: ReplayOptions::default() },
+        );
+        assert_eq!(report.merged.errors, serial_stats.errors);
+        assert_eq!(namespace(&h), oracle, "namespace diverged at {clients} client(s)");
+
+        h.publish_meta_metrics();
+        let metrics = telemetry.metrics();
+        assert_eq!(
+            metrics.gauges.get("meta.occ.conflicts").copied().unwrap_or(0),
+            0,
+            "serialized engine execution must never see an OCC conflict"
+        );
+        assert_eq!(metrics.gauges.get("meta.occ.retries").copied().unwrap_or(0), 0);
+    }
+}
+
 #[test]
 fn multi_client_batches_accumulate_like_phased_replay() {
     let ops = soak_ops();

@@ -53,7 +53,7 @@ pub const MAGIC2: &[u8; 4] = b"HYM2";
 /// FNV-1a 64-bit. Not cryptographic — it guards against *accidental*
 /// corruption (torn writes, bit rot), which is all a metadata block
 /// needs; tamper resistance is out of scope for the simulator.
-fn fnv64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;
@@ -65,15 +65,34 @@ fn fnv64(bytes: &[u8]) -> u64 {
 /// Encodes the entry table alone — the part whose bytes decide whether
 /// a flush has anything new to ship (the header repeats dir + version).
 pub fn encode_entries(entries: &BTreeMap<String, Inode>) -> Vec<u8> {
+    encode_entries_iter(entries.len(), entries.iter().map(|(n, i)| (n.as_str(), i)))
+}
+
+/// Borrowing variant of [`encode_entries`]: encodes straight from
+/// `(name, &inode)` references so flush probes never clone entry tables
+/// just to serialize them. The iterator must yield entries in sorted
+/// name order (the namespace's `BTreeMap` order).
+pub fn encode_entries_iter<'a, I>(count: usize, entries: I) -> Vec<u8>
+where
+    I: Iterator<Item = (&'a str, &'a Inode)>,
+{
     // Entries dominate: ~90 bytes each plus names; headroom avoids
     // doubling mid-encode.
-    let mut out = Vec::with_capacity(16 + entries.len() * 128);
-    put_u32(&mut out, entries.len() as u32);
+    let mut out = Vec::with_capacity(16 + count * 128);
+    put_u32(&mut out, count as u32);
     for (name, inode) in entries {
         put_str(&mut out, name);
         put_inode(&mut out, inode);
     }
     out
+}
+
+/// Encodes one `name → inode` entry exactly as it appears inside a block
+/// body — the unit the diff codec reuses so a diff's upsert bytes equal
+/// the bytes the same entry would occupy in a full block.
+pub(crate) fn encode_entry(out: &mut Vec<u8>, name: &str, inode: &Inode) {
+    put_str(out, name);
+    put_inode(out, inode);
 }
 
 /// Assembles the full wire bytes from a pre-encoded entry body: an
@@ -130,15 +149,15 @@ pub fn decode_block(bytes: &[u8]) -> Result<MetadataBlock> {
     Ok(MetadataBlock { dir, version, entries })
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
@@ -187,13 +206,13 @@ fn put_inode(out: &mut Vec<u8>, inode: &Inode) {
     }
 }
 
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.bytes.len() - self.pos < n {
             return Err(MetaError::CorruptBlock("truncated block".to_string()));
         }
@@ -206,15 +225,15 @@ impl<'a> Reader<'a> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("take(2)")))
     }
 
-    fn u32(&mut self) -> Result<u32> {
+    pub(crate) fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("take(4)")))
     }
 
-    fn u64(&mut self) -> Result<u64> {
+    pub(crate) fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("take(8)")))
     }
 
-    fn str(&mut self) -> Result<&'a str> {
+    pub(crate) fn str(&mut self) -> Result<&'a str> {
         let len = self.u32()? as usize;
         std::str::from_utf8(self.take(len)?)
             .map_err(|e| MetaError::CorruptBlock(format!("bad utf8: {e}")))
@@ -230,7 +249,7 @@ impl<'a> Reader<'a> {
         Ok(ProviderId(self.u16()?))
     }
 
-    fn inode(&mut self) -> Result<Inode> {
+    pub(crate) fn inode(&mut self) -> Result<Inode> {
         let id = FileId(self.u64()?);
         let size = self.u64()?;
         let version = self.u64()?;

@@ -1,0 +1,1055 @@
+//! The sharded, OCC-versioned metastore — [`ShardedMetaStore`].
+//!
+//! The original [`crate::MetaStore`] is a single structure the
+//! dispatcher wraps in one mutex: at many-writer scale every metadata
+//! op convoys on that stripe, and every flush re-encodes whole
+//! directory blocks. This store removes both serialization points:
+//!
+//! * **Sharding.** The namespace is hash-partitioned *by directory*
+//!   ([`ShardedMetaStore::shard_of`]: FNV-1a-64 of the directory path
+//!   modulo the shard count — a pure function, so the same path lands
+//!   on the same shard in every process and across restarts). A file's
+//!   entry lives in its parent directory's state, so every op on one
+//!   directory touches exactly one shard, and ops on different
+//!   directories proceed in parallel under independent `RwLock`s.
+//! * **Optimistic concurrency.** Each shard carries a version counter
+//!   bumped on every committed mutation. Writers read-lock the shard,
+//!   plan the mutation against that snapshot, then write-lock and
+//!   commit only if the version is unchanged; a concurrent commit in
+//!   between costs a bounded retry (counted in `meta.occ.retries` /
+//!   `meta.occ.conflicts`; after [`MAX_OCC_RETRIES`] the plan is simply
+//!   redone under the write lock, so progress is guaranteed). Under the
+//!   deterministic multi-client engine ops are serialized, so conflict
+//!   counts are zero and the committed state — and therefore every
+//!   flushed byte — is a pure function of the op order.
+//! * **Incremental flushes.** Instead of re-encoding a dirty
+//!   directory's whole block, the flush walk diffs the directory's
+//!   current entries against their per-entry encodings at the last
+//!   flush and ships a compact [`DiffBlock`] of just the changes. Every
+//!   [`COMPACT_EVERY`] diffs the chain is folded back into a full block
+//!   (a [`FlushKind::Compact`] item that also names the superseded diff
+//!   objects so the dispatcher can delete them). Restart reconstructs
+//!   state with [`crate::diff::resolve_chain`]: the highest intact full
+//!   block plus every intact diff that links onto it.
+//!
+//! Lock-contention telemetry (contended acquisitions and wall-clock
+//! wait) is accumulated in atomics and published to the metrics
+//! registry by the dispatcher — never into the byte-compared trace.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
+
+use crate::codec;
+use crate::diff::{DiffBlock, EntryOp};
+use crate::inode::{FileId, Inode, Placement};
+use crate::namespace::DirEntry;
+use crate::path::NormPath;
+use crate::store::MetadataBlock;
+use crate::{MetaError, Result};
+
+/// Diff-chain length at which a flush folds the chain back into a full
+/// block. Short enough that restart never walks long chains, long
+/// enough that steady-state flushes ship O(changes) instead of O(dir).
+pub const COMPACT_EVERY: usize = 8;
+
+/// OCC retries before a writer falls back to planning under the write
+/// lock (guaranteed progress; still serializable).
+pub const MAX_OCC_RETRIES: usize = 8;
+
+/// What one flush item is, for telemetry and supersede bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushKind {
+    /// A directory's first flush: a full block.
+    Block,
+    /// An incremental diff on top of the previous flushed version.
+    Diff,
+    /// A full block that folds a diff chain (which it supersedes).
+    Compact,
+}
+
+/// One object to replicate on flush, pre-serialized for the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlushItem {
+    /// The directory this item describes.
+    pub dir: NormPath,
+    /// The flushed version the directory reaches with this item.
+    pub version: u64,
+    /// Provider object name to store the bytes under.
+    pub object: String,
+    /// The exact bytes to ship to every replica.
+    pub bytes: Vec<u8>,
+    /// Full block, diff, or compaction.
+    pub kind: FlushKind,
+    /// Changed entries (diff ops, or entry count for full blocks).
+    pub records: usize,
+    /// Diff objects this item makes obsolete (compaction only).
+    pub supersedes: Vec<String>,
+}
+
+/// Counter snapshot for the metrics registry (monotone totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetaOccStats {
+    /// OCC commit attempts that found the shard version bumped.
+    pub conflicts: u64,
+    /// Bounded retries taken after a conflict.
+    pub retries: u64,
+    /// Shard lock acquisitions that had to block.
+    pub contended: u64,
+    /// Total wall-clock nanoseconds spent blocked on shard locks.
+    pub wait_ns: u64,
+}
+
+/// Per-shard health gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardGauge {
+    /// Directories dirty (unflushed) in this shard.
+    pub dirty: usize,
+    /// Longest live diff chain in this shard.
+    pub chain_max: usize,
+}
+
+/// One directory's entries plus its flush bookkeeping.
+#[derive(Debug, Default)]
+struct DirState {
+    /// Child directory names (structure only; not persisted in blocks).
+    subdirs: BTreeSet<String>,
+    /// File entries: name → inode.
+    files: BTreeMap<String, Inode>,
+    /// Version reached by the last flush, `None` before the first.
+    flushed_version: Option<u64>,
+    /// Per-entry wire encoding (`name + inode`) at the last flush — the
+    /// unit of change detection, and the body source for full blocks so
+    /// unchanged entries are never re-encoded.
+    flushed_entries: BTreeMap<String, Vec<u8>>,
+    /// Live diff object names since the last full block, version order.
+    chain: Vec<String>,
+}
+
+impl DirState {
+    fn max_inode_version(&self) -> u64 {
+        self.files.values().map(|i| i.version).max().unwrap_or(0)
+    }
+}
+
+/// One shard: an independently versioned slice of the namespace.
+#[derive(Debug, Default)]
+struct Shard {
+    /// OCC token: bumped on every committed mutation.
+    version: u64,
+    /// Directories assigned to this shard.
+    dirs: BTreeMap<NormPath, DirState>,
+    /// Directories with unflushed changes.
+    dirty: BTreeSet<NormPath>,
+}
+
+/// The sharded store. All methods take `&self`; synchronization is
+/// internal (per-shard `RwLock` + OCC), so the dispatcher holds no
+/// store-wide stripe at all.
+#[derive(Debug)]
+pub struct ShardedMetaStore {
+    shards: Vec<RwLock<Shard>>,
+    next_id: AtomicU64,
+    occ_conflicts: AtomicU64,
+    occ_retries: AtomicU64,
+    contended: AtomicU64,
+    wait_ns: AtomicU64,
+}
+
+impl Default for ShardedMetaStore {
+    fn default() -> Self {
+        ShardedMetaStore::with_shards(16)
+    }
+}
+
+impl ShardedMetaStore {
+    /// An empty store over `shards` independently locked shards. The
+    /// shard count only changes concurrency, never any flushed byte:
+    /// versions and flush decisions are per-directory state.
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        let store = ShardedMetaStore {
+            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
+            next_id: AtomicU64::new(0),
+            occ_conflicts: AtomicU64::new(0),
+            occ_retries: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            wait_ns: AtomicU64::new(0),
+        };
+        // The root always exists, like `Namespace::default`.
+        store.write_shard(Self::shard_of(&NormPath::root(), shards)).dirs.entry(NormPath::root()).or_default();
+        store
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a directory's state lives in: FNV-1a-64 of the path
+    /// modulo the shard count. Pure — same path ⇒ same shard in every
+    /// process and across restarts.
+    pub fn shard_of(dir: &NormPath, shards: usize) -> usize {
+        (codec::fnv64(dir.as_str().as_bytes()) % shards.max(1) as u64) as usize
+    }
+
+    fn idx(&self, dir: &NormPath) -> usize {
+        Self::shard_of(dir, self.shards.len())
+    }
+
+    fn read_shard(&self, idx: usize) -> RwLockReadGuard<'_, Shard> {
+        if let Ok(g) = self.shards[idx].try_read() {
+            return g;
+        }
+        let start = Instant::now();
+        let g = self.shards[idx].read().expect("shard lock poisoned");
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        self.wait_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        g
+    }
+
+    fn write_shard(&self, idx: usize) -> RwLockWriteGuard<'_, Shard> {
+        if let Ok(g) = self.shards[idx].try_write() {
+            return g;
+        }
+        let start = Instant::now();
+        let g = self.shards[idx].write().expect("shard lock poisoned");
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        self.wait_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        g
+    }
+
+    /// The OCC commit protocol: plan against a read-locked snapshot at
+    /// version `v`, then commit under the write lock only if the shard
+    /// is still at `v`. A conflict retries (bounded); exhausted retries
+    /// re-plan under the write lock, which cannot conflict.
+    fn commit<T, R>(
+        &self,
+        idx: usize,
+        plan: impl Fn(&Shard) -> Result<T>,
+        apply: impl Fn(&mut Shard, T) -> R,
+    ) -> Result<R> {
+        let mut conflicts = 0usize;
+        loop {
+            let (seen, planned) = {
+                let shard = self.read_shard(idx);
+                (shard.version, plan(&shard)?)
+            };
+            let mut shard = self.write_shard(idx);
+            if shard.version != seen {
+                self.occ_conflicts.fetch_add(1, Ordering::Relaxed);
+                conflicts += 1;
+                if conflicts <= MAX_OCC_RETRIES {
+                    self.occ_retries.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let planned = plan(&shard)?;
+                let out = apply(&mut shard, planned);
+                shard.version += 1;
+                return Ok(out);
+            }
+            let out = apply(&mut shard, planned);
+            shard.version += 1;
+            return Ok(out);
+        }
+    }
+
+    /// Ensures the directory chain exists without marking anything
+    /// dirty (directory *structure* is not persisted in blocks; see the
+    /// namespace docs). One shard lock at a time — no ordering, no
+    /// deadlock.
+    fn ensure_dir(&self, dir: &NormPath) {
+        let mut cur = NormPath::root();
+        for comp in dir.components() {
+            let child = cur.join(comp).expect("normalized component");
+            let parent_idx = self.idx(&cur);
+            let known = {
+                let shard = self.read_shard(parent_idx);
+                shard.dirs.get(&cur).is_some_and(|d| d.subdirs.contains(comp))
+            };
+            if !known {
+                let name = comp.to_string();
+                let cur_owned = cur.clone();
+                let _ = self.commit(
+                    parent_idx,
+                    |_| Ok(()),
+                    move |shard, ()| {
+                        shard.dirs.entry(cur_owned.clone()).or_default().subdirs.insert(name.clone());
+                    },
+                );
+                let child_idx = self.idx(&child);
+                let child_owned = child.clone();
+                let _ = self.commit(
+                    child_idx,
+                    |_| Ok(()),
+                    move |shard, ()| {
+                        shard.dirs.entry(child_owned.clone()).or_default();
+                    },
+                );
+            }
+            cur = child;
+        }
+    }
+
+    /// Creates a directory chain and marks the target dirty (so a bare
+    /// `mkdir` ships an — possibly empty — block, exactly like
+    /// [`crate::MetaStore::mkdir_all`]).
+    pub fn mkdir_all(&self, dir: &NormPath) {
+        self.ensure_dir(dir);
+        let idx = self.idx(dir);
+        let _ = self.commit(
+            idx,
+            |_| Ok(()),
+            |shard, ()| {
+                shard.dirs.entry(dir.clone()).or_default();
+                shard.dirty.insert(dir.clone());
+            },
+        );
+    }
+
+    /// Creates a file of `size` bytes at `path` (virtual time `now`),
+    /// returning its id. Placement starts [`Placement::Pending`].
+    pub fn create_file(&self, path: &NormPath, size: u64, now: Duration) -> Result<FileId> {
+        let name = path
+            .file_name()
+            .ok_or_else(|| MetaError::BadPath(path.as_str().to_string()))?
+            .to_string();
+        let parent = path.parent();
+        self.ensure_dir(&parent);
+        let idx = self.idx(&parent);
+        self.commit(
+            idx,
+            |shard| {
+                let dir = shard
+                    .dirs
+                    .get(&parent)
+                    .ok_or_else(|| MetaError::NoSuchDirectory(parent.as_str().to_string()))?;
+                if dir.files.contains_key(&name) || dir.subdirs.contains(&name) {
+                    return Err(MetaError::AlreadyExists(path.as_str().to_string()));
+                }
+                Ok(())
+            },
+            |shard, ()| {
+                let id = FileId(self.next_id.fetch_add(1, Ordering::Relaxed));
+                let dir = shard.dirs.get_mut(&parent).expect("validated by plan");
+                dir.files.insert(name.clone(), Inode::new(id, size, now));
+                shard.dirty.insert(parent.clone());
+                id
+            },
+        )
+    }
+
+    /// Looks up a file's inode by path and clones it out — the caller
+    /// copies the placement and does provider I/O with no lock held.
+    pub fn inode(&self, path: &NormPath) -> Result<Inode> {
+        let name =
+            path.file_name().ok_or_else(|| MetaError::NoSuchFile(path.as_str().to_string()))?;
+        let parent = path.parent();
+        let shard = self.read_shard(self.idx(&parent));
+        shard
+            .dirs
+            .get(&parent)
+            .and_then(|d| d.files.get(name))
+            .cloned()
+            .ok_or_else(|| MetaError::NoSuchFile(path.as_str().to_string()))
+    }
+
+    /// Updates a file's placement (and optionally size) after dispatch,
+    /// bumping its version.
+    pub fn set_placement(
+        &self,
+        path: &NormPath,
+        placement: Placement,
+        size: u64,
+        now: Duration,
+    ) -> Result<()> {
+        let name = path
+            .file_name()
+            .ok_or_else(|| MetaError::NoSuchFile(path.as_str().to_string()))?
+            .to_string();
+        let parent = path.parent();
+        let idx = self.idx(&parent);
+        self.commit(
+            idx,
+            |shard| {
+                shard
+                    .dirs
+                    .get(&parent)
+                    .and_then(|d| d.files.get(&name))
+                    .map(|_| ())
+                    .ok_or_else(|| MetaError::NoSuchFile(path.as_str().to_string()))
+            },
+            |shard, ()| {
+                let dir = shard.dirs.get_mut(&parent).expect("validated by plan");
+                let inode = dir.files.get_mut(&name).expect("validated by plan");
+                inode.placement = placement.clone();
+                inode.size = size;
+                inode.touch(now);
+                shard.dirty.insert(parent.clone());
+            },
+        )
+    }
+
+    /// Removes a file, returning its inode (so the dispatcher can
+    /// delete the physical objects).
+    pub fn remove_file(&self, path: &NormPath) -> Result<Inode> {
+        let name = path
+            .file_name()
+            .ok_or_else(|| MetaError::NoSuchFile(path.as_str().to_string()))?
+            .to_string();
+        let parent = path.parent();
+        let idx = self.idx(&parent);
+        self.commit(
+            idx,
+            |shard| {
+                shard
+                    .dirs
+                    .get(&parent)
+                    .and_then(|d| d.files.get(&name))
+                    .map(|_| ())
+                    .ok_or_else(|| MetaError::NoSuchFile(path.as_str().to_string()))
+            },
+            |shard, ()| {
+                let dir = shard.dirs.get_mut(&parent).expect("validated by plan");
+                let inode = dir.files.remove(&name).expect("validated by plan");
+                shard.dirty.insert(parent.clone());
+                inode
+            },
+        )
+    }
+
+    /// Sorted listing: subdirectories first, then files, both in name
+    /// order (parity with [`crate::Namespace::list`]).
+    pub fn list(&self, dir: &NormPath) -> Result<Vec<DirEntry>> {
+        let shard = self.read_shard(self.idx(dir));
+        let state = shard
+            .dirs
+            .get(dir)
+            .ok_or_else(|| MetaError::NoSuchDirectory(dir.as_str().to_string()))?;
+        let mut out = Vec::with_capacity(state.subdirs.len() + state.files.len());
+        for name in &state.subdirs {
+            out.push(DirEntry::Dir(name.clone()));
+        }
+        for (name, inode) in &state.files {
+            out.push(DirEntry::File(name.clone(), inode.id));
+        }
+        Ok(out)
+    }
+
+    /// The `(name, inode)` pairs directly inside `dir` — what that
+    /// directory's metadata block persists. One lock, one pass; callers
+    /// that used to `list` + look up each id do this instead.
+    pub fn inodes_in(&self, dir: &NormPath) -> Result<Vec<(String, Inode)>> {
+        let shard = self.read_shard(self.idx(dir));
+        let state = shard
+            .dirs
+            .get(dir)
+            .ok_or_else(|| MetaError::NoSuchDirectory(dir.as_str().to_string()))?;
+        Ok(state.files.iter().map(|(n, i)| (n.clone(), i.clone())).collect())
+    }
+
+    /// Every directory, depth-first from the root — byte-for-byte the
+    /// order [`crate::Namespace::all_dirs`] produces, reconstructed from
+    /// a per-shard topology snapshot.
+    pub fn all_dirs(&self) -> Vec<NormPath> {
+        let mut children: BTreeMap<NormPath, Vec<String>> = BTreeMap::new();
+        for idx in 0..self.shards.len() {
+            let shard = self.read_shard(idx);
+            for (dir, state) in &shard.dirs {
+                children.insert(dir.clone(), state.subdirs.iter().cloned().collect());
+            }
+        }
+        let mut out = Vec::with_capacity(children.len());
+        fn walk(
+            dir: &NormPath,
+            children: &BTreeMap<NormPath, Vec<String>>,
+            out: &mut Vec<NormPath>,
+        ) {
+            out.push(dir.clone());
+            if let Some(subs) = children.get(dir) {
+                for name in subs {
+                    let child = dir.join(name).expect("tree names are valid components");
+                    walk(&child, children, out);
+                }
+            }
+        }
+        walk(&NormPath::root(), &children, &mut out);
+        out
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.read_shard(i).dirs.values().map(|d| d.files.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Logical bytes across all files.
+    pub fn logical_bytes(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| {
+                self.read_shard(i)
+                    .dirs
+                    .values()
+                    .flat_map(|d| d.files.values())
+                    .map(|inode| inode.size)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Physical bytes across all placements (the space-overhead metric).
+    pub fn physical_bytes(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| {
+                self.read_shard(i)
+                    .dirs
+                    .values()
+                    .flat_map(|d| d.files.values())
+                    .map(|inode| inode.placement.stored_bytes(inode.size))
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Directories with unflushed changes, sorted (test/debug surface).
+    pub fn dirty_dirs(&self) -> Vec<NormPath> {
+        let mut out: Vec<NormPath> = (0..self.shards.len())
+            .flat_map(|i| self.read_shard(i).dirty.iter().cloned().collect::<Vec<_>>())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The incremental flush walk. For each dirty directory, diff the
+    /// current entries against their per-entry encodings at the last
+    /// flush:
+    ///
+    /// * first flush → a full [`FlushKind::Block`] (version = max inode
+    ///   version, so a bare `mkdir` ships an empty block at version 0);
+    /// * no byte-level change → nothing (the dirty mark was a rollback
+    ///   or netted out) and **no version bump**;
+    /// * changes with a chain shorter than [`COMPACT_EVERY`] → a
+    ///   [`FlushKind::Diff`] carrying only the changed entries;
+    /// * changes on a full-length chain → a [`FlushKind::Compact`] full
+    ///   block that folds and supersedes the chain.
+    ///
+    /// Items come out sorted by directory, so the shipped sequence is
+    /// independent of the shard count and layout.
+    pub fn flush_dirty_encoded(&self) -> Vec<FlushItem> {
+        let mut items = Vec::new();
+        for idx in 0..self.shards.len() {
+            let mut shard = self.write_shard(idx);
+            if shard.dirty.is_empty() {
+                continue;
+            }
+            let dirty = std::mem::take(&mut shard.dirty);
+            let mut mutated = false;
+            for dir in dirty {
+                let Some(state) = shard.dirs.get_mut(&dir) else { continue };
+                if let Some(item) = Self::flush_dir(&dir, state) {
+                    items.push(item);
+                    mutated = true;
+                }
+            }
+            if mutated {
+                shard.version += 1;
+            }
+        }
+        items.sort_by(|a, b| a.dir.cmp(&b.dir));
+        items
+    }
+
+    /// Flushes one directory in place, returning the item to ship (or
+    /// `None` when nothing changed since the last flush).
+    fn flush_dir(dir: &NormPath, state: &mut DirState) -> Option<FlushItem> {
+        // Change detection against the last flush, encoding only
+        // entries that are new or changed.
+        let mut upserts: Vec<(String, Vec<u8>)> = Vec::new();
+        for (name, inode) in &state.files {
+            let mut enc = Vec::with_capacity(128);
+            codec::encode_entry(&mut enc, name, inode);
+            if state.flushed_entries.get(name) != Some(&enc) {
+                upserts.push((name.clone(), enc));
+            }
+        }
+        let removals: Vec<String> = state
+            .flushed_entries
+            .keys()
+            .filter(|name| !state.files.contains_key(*name))
+            .cloned()
+            .collect();
+
+        let first = state.flushed_version.is_none();
+        if !first && upserts.is_empty() && removals.is_empty() {
+            return None;
+        }
+
+        if first || state.chain.len() >= COMPACT_EVERY {
+            // Full block: fold everything into fresh entry encodings.
+            for name in &removals {
+                state.flushed_entries.remove(name);
+            }
+            for (name, enc) in upserts {
+                state.flushed_entries.insert(name, enc);
+            }
+            let version = match state.flushed_version {
+                None => state.max_inode_version(),
+                Some(v) => v + 1,
+            };
+            let mut body = Vec::with_capacity(
+                8 + state.flushed_entries.values().map(Vec::len).sum::<usize>(),
+            );
+            codec::put_u32(&mut body, state.flushed_entries.len() as u32);
+            for enc in state.flushed_entries.values() {
+                body.extend_from_slice(enc);
+            }
+            let bytes = codec::assemble_block(dir, version, &body);
+            let records = state.flushed_entries.len();
+            let supersedes = std::mem::take(&mut state.chain);
+            state.flushed_version = Some(version);
+            return Some(FlushItem {
+                dir: dir.clone(),
+                version,
+                object: MetadataBlock::object_name(dir),
+                bytes,
+                kind: if first { FlushKind::Block } else { FlushKind::Compact },
+                records,
+                supersedes,
+            });
+        }
+
+        // Incremental diff on top of the previous flushed version.
+        let base = state.flushed_version.expect("not first");
+        let version = base + 1;
+        let mut ops = Vec::with_capacity(upserts.len() + removals.len());
+        for name in &removals {
+            state.flushed_entries.remove(name);
+            ops.push(EntryOp::Remove(name.clone()));
+        }
+        for (name, enc) in upserts {
+            let inode = state.files.get(&name).expect("upsert names are current").clone();
+            ops.push(EntryOp::Upsert(name.clone(), inode));
+            state.flushed_entries.insert(name, enc);
+        }
+        // Ops sorted by name (removals may interleave with upserts).
+        ops.sort_by(|a, b| {
+            let name = |op: &EntryOp| match op {
+                EntryOp::Upsert(n, _) | EntryOp::Remove(n) => n.clone(),
+            };
+            name(a).cmp(&name(b))
+        });
+        let records = ops.len();
+        let diff = DiffBlock { dir: dir.clone(), base, version, ops };
+        let object = DiffBlock::object_name(dir, version);
+        state.chain.push(object.clone());
+        state.flushed_version = Some(version);
+        Some(FlushItem {
+            dir: dir.clone(),
+            version,
+            object,
+            bytes: diff.to_bytes(),
+            kind: FlushKind::Diff,
+            records,
+            supersedes: Vec::new(),
+        })
+    }
+
+    /// Seeds the flush change-detection state for `dir` at `version`
+    /// after the restart/attach path healed a full block there: the
+    /// next real change flushes a diff based on `version`, and a flush
+    /// whose entries match ships nothing. Clears the live chain — the
+    /// healed full block subsumes it.
+    pub fn seed_flushed(&self, dir: &NormPath, version: u64) {
+        let mut shard = self.write_shard(self.idx(dir));
+        let Some(state) = shard.dirs.get_mut(dir) else { return };
+        state.flushed_entries.clear();
+        for (name, inode) in &state.files {
+            let mut enc = Vec::with_capacity(128);
+            codec::encode_entry(&mut enc, name, inode);
+            state.flushed_entries.insert(name.clone(), enc);
+        }
+        state.flushed_version = Some(version);
+        state.chain.clear();
+        shard.version += 1;
+    }
+
+    /// Records recovered-but-unhealed diff objects as the live chain
+    /// for `dir` (the attach path, which loads state without rewriting
+    /// providers): the next compaction then supersedes them properly.
+    pub fn seed_chain(&self, dir: &NormPath, chain: Vec<String>) {
+        let mut shard = self.write_shard(self.idx(dir));
+        let Some(state) = shard.dirs.get_mut(dir) else { return };
+        state.chain = chain;
+        shard.version += 1;
+    }
+
+    /// Merges a metadata block loaded from a provider (bootstrap and
+    /// recovery). Entries newer than local state win; unknown files are
+    /// created **keeping their original file ids** (placements embed
+    /// them), and the id allocator is advanced past every adopted id.
+    /// Loads mark nothing dirty — the caller seeds the flush state.
+    pub fn load_block(&self, block: &MetadataBlock) -> Result<()> {
+        self.ensure_dir(&block.dir);
+        let idx = self.idx(&block.dir);
+        self.commit(
+            idx,
+            |shard| {
+                let dir = shard
+                    .dirs
+                    .get(&block.dir)
+                    .ok_or_else(|| MetaError::NoSuchDirectory(block.dir.as_str().to_string()))?;
+                for name in block.entries.keys() {
+                    if dir.subdirs.contains(name) {
+                        let path = block.dir.join(name)?;
+                        return Err(MetaError::AlreadyExists(path.as_str().to_string()));
+                    }
+                }
+                Ok(())
+            },
+            |shard, ()| {
+                let dir = shard.dirs.get_mut(&block.dir).expect("validated by plan");
+                for (name, inode) in &block.entries {
+                    match dir.files.get_mut(name) {
+                        Some(existing) => {
+                            if inode.version > existing.version {
+                                let keep = existing.id; // path keeps its local id
+                                *existing = inode.clone();
+                                existing.id = keep;
+                            }
+                        }
+                        None => {
+                            dir.files.insert(name.clone(), inode.clone());
+                            self.next_id.fetch_max(inode.id.0 + 1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            },
+        )
+    }
+
+    /// Every live diff object name (unsuperseded chains) — what the
+    /// durability auditor must treat as referenced.
+    pub fn live_diff_objects(&self) -> Vec<String> {
+        let mut out: Vec<String> = (0..self.shards.len())
+            .flat_map(|i| {
+                self.read_shard(i)
+                    .dirs
+                    .values()
+                    .flat_map(|d| d.chain.iter().cloned())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Monotone OCC/contention totals for the metrics registry.
+    pub fn occ_stats(&self) -> MetaOccStats {
+        MetaOccStats {
+            conflicts: self.occ_conflicts.load(Ordering::Relaxed),
+            retries: self.occ_retries.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+            wait_ns: self.wait_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-shard dirty/chain gauges for the metrics registry.
+    pub fn shard_gauges(&self) -> Vec<ShardGauge> {
+        (0..self.shards.len())
+            .map(|i| {
+                let shard = self.read_shard(i);
+                ShardGauge {
+                    dirty: shard.dirty.len(),
+                    chain_max: shard.dirs.values().map(|d| d.chain.len()).max().unwrap_or(0),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::resolve_chain;
+    use hyrd_gcsapi::ProviderId;
+
+    fn p(s: &str) -> NormPath {
+        NormPath::parse(s).unwrap()
+    }
+
+    fn t(secs: u64) -> Duration {
+        Duration::from_secs(secs)
+    }
+
+    fn replicated() -> Placement {
+        Placement::Replicated { providers: vec![ProviderId(1), ProviderId(2)], object: "o".into() }
+    }
+
+    #[test]
+    fn create_get_remove_lifecycle() {
+        let s = ShardedMetaStore::with_shards(4);
+        let id = s.create_file(&p("/docs/a.txt"), 123, t(1)).unwrap();
+        assert_eq!(s.inode(&p("/docs/a.txt")).unwrap().id, id);
+        assert_eq!(s.file_count(), 1);
+        let inode = s.remove_file(&p("/docs/a.txt")).unwrap();
+        assert_eq!(inode.id, id);
+        assert_eq!(s.file_count(), 0);
+        assert!(s.inode(&p("/docs/a.txt")).is_err());
+    }
+
+    #[test]
+    fn namespace_error_semantics_match_the_flat_store() {
+        let s = ShardedMetaStore::with_shards(4);
+        s.create_file(&p("/x"), 1, t(0)).unwrap();
+        assert!(matches!(
+            s.create_file(&p("/x"), 2, t(0)),
+            Err(MetaError::AlreadyExists(_))
+        ));
+        // A file may not shadow a directory either.
+        s.mkdir_all(&p("/dir"));
+        assert!(matches!(
+            s.create_file(&p("/dir"), 3, t(0)),
+            Err(MetaError::AlreadyExists(_))
+        ));
+        assert!(matches!(s.inode(&p("/nope/f")), Err(MetaError::NoSuchFile(_))));
+        assert!(matches!(s.list(&p("/nope")), Err(MetaError::NoSuchDirectory(_))));
+        assert!(matches!(s.remove_file(&p("/gone")), Err(MetaError::NoSuchFile(_))));
+    }
+
+    #[test]
+    fn listing_is_sorted_dirs_then_files() {
+        let s = ShardedMetaStore::with_shards(4);
+        s.create_file(&p("/d/zfile"), 1, t(0)).unwrap();
+        s.create_file(&p("/d/afile"), 2, t(0)).unwrap();
+        s.mkdir_all(&p("/d/subdir"));
+        let entries = s.list(&p("/d")).unwrap();
+        assert!(matches!(&entries[0], DirEntry::Dir(n) if n == "subdir"));
+        assert!(matches!(&entries[1], DirEntry::File(n, _) if n == "afile"));
+        assert!(matches!(&entries[2], DirEntry::File(n, _) if n == "zfile"));
+    }
+
+    #[test]
+    fn all_dirs_walks_depth_first_across_shards() {
+        let s = ShardedMetaStore::with_shards(7);
+        s.mkdir_all(&p("/a/b"));
+        s.mkdir_all(&p("/c"));
+        let dirs: Vec<String> = s.all_dirs().iter().map(|d| d.as_str().to_string()).collect();
+        assert_eq!(dirs, vec!["/", "/a", "/a/b", "/c"]);
+    }
+
+    #[test]
+    fn first_flush_is_a_full_block_then_diffs() {
+        let s = ShardedMetaStore::with_shards(4);
+        s.create_file(&p("/d/a"), 10, t(1)).unwrap();
+        let first = s.flush_dirty_encoded();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].kind, FlushKind::Block);
+        assert_eq!(first[0].object, MetadataBlock::object_name(&p("/d")));
+        let block = MetadataBlock::from_bytes(&first[0].bytes).unwrap();
+        assert_eq!(block.entries.len(), 1);
+        assert_eq!(block.version, first[0].version);
+
+        s.set_placement(&p("/d/a"), replicated(), 10, t(2)).unwrap();
+        let second = s.flush_dirty_encoded();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].kind, FlushKind::Diff);
+        assert_eq!(second[0].version, first[0].version + 1);
+        let diff = DiffBlock::from_bytes(&second[0].bytes).unwrap();
+        assert_eq!(diff.base, first[0].version);
+        assert_eq!(diff.ops.len(), 1);
+    }
+
+    #[test]
+    fn unchanged_and_netted_out_dirs_flush_nothing() {
+        let s = ShardedMetaStore::with_shards(4);
+        s.create_file(&p("/a/one"), 1, t(0)).unwrap();
+        assert_eq!(s.flush_dirty_encoded().len(), 1);
+
+        s.mkdir_all(&p("/a"));
+        assert_eq!(s.dirty_dirs().len(), 1);
+        assert!(s.flush_dirty_encoded().is_empty());
+        assert!(s.dirty_dirs().is_empty());
+
+        // A failed create's rollback: insert then remove the same file.
+        s.create_file(&p("/a/tmp"), 9, t(1)).unwrap();
+        s.remove_file(&p("/a/tmp")).unwrap();
+        assert!(s.flush_dirty_encoded().is_empty());
+    }
+
+    #[test]
+    fn bare_mkdir_ships_an_empty_block() {
+        let s = ShardedMetaStore::with_shards(4);
+        s.mkdir_all(&p("/empty"));
+        let items = s.flush_dirty_encoded();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].kind, FlushKind::Block);
+        let block = MetadataBlock::from_bytes(&items[0].bytes).unwrap();
+        assert_eq!(block.version, 0);
+        assert!(block.entries.is_empty());
+    }
+
+    #[test]
+    fn chains_compact_and_supersede() {
+        let s = ShardedMetaStore::with_shards(4);
+        s.create_file(&p("/d/f"), 1, t(0)).unwrap();
+        let first = s.flush_dirty_encoded();
+        assert_eq!(first[0].kind, FlushKind::Block);
+        let mut diff_objects = Vec::new();
+        for i in 0..COMPACT_EVERY {
+            s.set_placement(&p("/d/f"), replicated(), 1 + i as u64, t(i as u64 + 1)).unwrap();
+            let items = s.flush_dirty_encoded();
+            assert_eq!(items.len(), 1);
+            assert_eq!(items[0].kind, FlushKind::Diff, "flush {i} should be a diff");
+            diff_objects.push(items[0].object.clone());
+        }
+        assert_eq!(s.live_diff_objects().len(), COMPACT_EVERY);
+        // The next change folds the chain.
+        s.set_placement(&p("/d/f"), replicated(), 99, t(99)).unwrap();
+        let items = s.flush_dirty_encoded();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].kind, FlushKind::Compact);
+        assert_eq!(items[0].supersedes, diff_objects);
+        assert!(s.live_diff_objects().is_empty());
+        let block = MetadataBlock::from_bytes(&items[0].bytes).unwrap();
+        assert_eq!(block.entries["f"].size, 99);
+        assert_eq!(block.version, items[0].version);
+    }
+
+    #[test]
+    fn block_plus_diff_chain_resolves_to_current_state() {
+        let s = ShardedMetaStore::with_shards(4);
+        s.create_file(&p("/d/a"), 1, t(0)).unwrap();
+        s.create_file(&p("/d/b"), 2, t(0)).unwrap();
+        let mut base = None;
+        let mut diffs = Vec::new();
+        for item in s.flush_dirty_encoded() {
+            base = Some(MetadataBlock::from_bytes(&item.bytes).unwrap());
+        }
+        s.set_placement(&p("/d/a"), replicated(), 5, t(1)).unwrap();
+        for item in s.flush_dirty_encoded() {
+            diffs.push(DiffBlock::from_bytes(&item.bytes).unwrap());
+        }
+        s.remove_file(&p("/d/b")).unwrap();
+        s.create_file(&p("/d/c"), 7, t(2)).unwrap();
+        for item in s.flush_dirty_encoded() {
+            diffs.push(DiffBlock::from_bytes(&item.bytes).unwrap());
+        }
+        let r = resolve_chain(base.unwrap(), diffs);
+        assert_eq!(r.applied, 2);
+        assert_eq!(r.block.entries.keys().collect::<Vec<_>>(), vec!["a", "c"]);
+        assert_eq!(r.block.entries["a"].size, 5);
+        assert_eq!(r.block.entries["c"].size, 7);
+    }
+
+    #[test]
+    fn seeded_flush_version_never_regresses() {
+        let src = ShardedMetaStore::with_shards(4);
+        src.create_file(&p("/d/a"), 10, t(1)).unwrap();
+        src.set_placement(&p("/d/a"), replicated(), 10, t(2)).unwrap();
+        let mut items = src.flush_dirty_encoded();
+        let mut block = MetadataBlock::from_bytes(&items.remove(0).bytes).unwrap();
+        block.version = 9; // structural bumps pushed it past any inode version
+
+        let dst = ShardedMetaStore::with_shards(4);
+        dst.load_block(&block).unwrap();
+        dst.seed_flushed(&p("/d"), block.version);
+
+        dst.mkdir_all(&p("/d"));
+        assert!(dst.flush_dirty_encoded().is_empty());
+
+        dst.create_file(&p("/d/b"), 5, t(3)).unwrap();
+        let flushed = dst.flush_dirty_encoded();
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].version, 10);
+        assert_eq!(flushed[0].kind, FlushKind::Diff);
+    }
+
+    #[test]
+    fn load_block_merges_newer_and_creates_missing() {
+        let src = ShardedMetaStore::with_shards(4);
+        src.create_file(&p("/d/a"), 10, t(1)).unwrap();
+        src.create_file(&p("/d/b"), 20, t(1)).unwrap();
+        src.set_placement(&p("/d/a"), replicated(), 10, t(2)).unwrap();
+        let items = src.flush_dirty_encoded();
+        let block = MetadataBlock::from_bytes(&items[0].bytes).unwrap();
+
+        let dst = ShardedMetaStore::with_shards(4);
+        dst.create_file(&p("/d/a"), 999, t(0)).unwrap();
+        dst.load_block(&block).unwrap();
+        assert_eq!(dst.inode(&p("/d/a")).unwrap().size, 10);
+        assert_eq!(dst.inode(&p("/d/b")).unwrap().size, 20);
+        assert_eq!(dst.file_count(), 2);
+        dst.load_block(&block).unwrap();
+        assert_eq!(dst.file_count(), 2);
+
+        // New ids never collide with adopted ones.
+        let fresh = dst.create_file(&p("/d/new"), 1, t(5)).unwrap();
+        assert!(fresh.0 > block.entries["b"].id.0);
+    }
+
+    #[test]
+    fn shard_assignment_is_pure() {
+        for n in [1usize, 2, 4, 16, 64] {
+            for path in ["/", "/a", "/a/b", "/deep/nested/dir"] {
+                let d = p(path);
+                let first = ShardedMetaStore::shard_of(&d, n);
+                assert!(first < n);
+                assert_eq!(first, ShardedMetaStore::shard_of(&d, n));
+            }
+        }
+    }
+
+    #[test]
+    fn flush_bytes_do_not_depend_on_shard_count() {
+        let runs: Vec<Vec<FlushItem>> = [1usize, 3, 16]
+            .iter()
+            .map(|&n| {
+                let s = ShardedMetaStore::with_shards(n);
+                s.create_file(&p("/d/a"), 10, t(1)).unwrap();
+                s.create_file(&p("/e/b"), 20, t(1)).unwrap();
+                let mut all = s.flush_dirty_encoded();
+                s.set_placement(&p("/d/a"), replicated(), 10, t(2)).unwrap();
+                s.remove_file(&p("/e/b")).unwrap();
+                all.extend(s.flush_dirty_encoded());
+                all
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn concurrent_writers_converge_and_count_conflicts_coherently() {
+        let s = ShardedMetaStore::with_shards(4);
+        let threads = 8usize;
+        let per_thread = 50usize;
+        std::thread::scope(|scope| {
+            for th in 0..threads {
+                let s = &s;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let path = p(&format!("/hot/t{th}_{i}"));
+                        s.create_file(&path, 1, t(0)).unwrap();
+                        s.set_placement(&path, replicated(), 1, t(1)).unwrap();
+                        if i % 3 == 0 {
+                            s.remove_file(&path).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        let expect: usize = (0..threads)
+            .map(|_| per_thread - per_thread.div_ceil(3))
+            .sum();
+        assert_eq!(s.file_count(), expect);
+        let stats = s.occ_stats();
+        assert!(stats.retries <= stats.conflicts + threads as u64 * per_thread as u64);
+        // Every surviving file is intact and flushable.
+        let items = s.flush_dirty_encoded();
+        assert_eq!(items.len(), 1);
+        let block = MetadataBlock::from_bytes(&items[0].bytes).unwrap();
+        assert_eq!(block.entries.len(), expect);
+    }
+}

@@ -243,28 +243,38 @@ impl MetaStore {
     }
 
     /// The shared flush walk: for each dirty directory, re-encode its
-    /// entry table and compare against the last flushed bytes. Identical
-    /// bytes → nothing to ship (the dirty mark was a rollback, a repeated
-    /// `mkdir_all`, or an update that netted out); changed bytes → bump
-    /// the flushed version and emit the assembled block.
+    /// entry table **from borrowed inodes** and compare against the
+    /// last flushed bytes. Identical bytes → nothing to ship (the dirty
+    /// mark was a rollback, a repeated `mkdir_all`, or an update that
+    /// netted out) and not a single entry was cloned for the probe;
+    /// changed bytes → bump the flushed version, and only then
+    /// materialize the owned entry table for the emitted block.
     fn flush_changed(&mut self) -> Vec<(MetadataBlock, Vec<u8>)> {
         let dirs = std::mem::take(&mut self.dirty_dirs);
         let mut out = Vec::new();
         for dir in dirs {
             let Ok(files) = self.namespace.files_in(&dir) else { continue };
-            let mut entries = BTreeMap::new();
             let mut inode_version = 0;
-            for (name, id) in files {
-                let inode = self.inodes.get(&id).expect("in sync").clone();
-                inode_version = inode_version.max(inode.version);
-                entries.insert(name, inode);
-            }
-            let body = codec::encode_entries(&entries);
+            let body = codec::encode_entries_iter(
+                files.len(),
+                files.iter().map(|(name, id)| {
+                    let inode = self.inodes.get(id).expect("in sync");
+                    inode_version = inode_version.max(inode.version);
+                    (name.as_str(), inode)
+                }),
+            );
             let version = match self.flushed.get(&dir) {
                 Some((_, cached)) if *cached == body => continue,
                 Some((v, _)) => v + 1,
                 None => inode_version,
             };
+            let entries: BTreeMap<String, Inode> = files
+                .into_iter()
+                .map(|(name, id)| {
+                    let inode = self.inodes.get(&id).expect("in sync").clone();
+                    (name, inode)
+                })
+                .collect();
             let block = MetadataBlock { dir: dir.clone(), version, entries };
             #[cfg(feature = "json-blocks")]
             let bytes = block.to_bytes();
@@ -286,11 +296,13 @@ impl MetaStore {
     /// max-version vote at the *next* restart).
     pub fn seed_flushed(&mut self, dir: &NormPath, version: u64) {
         let Ok(files) = self.namespace.files_in(dir) else { return };
-        let mut entries = BTreeMap::new();
-        for (name, id) in files {
-            entries.insert(name, self.inodes.get(&id).expect("in sync").clone());
-        }
-        self.flushed.insert(dir.clone(), (version, codec::encode_entries(&entries)));
+        let body = codec::encode_entries_iter(
+            files.len(),
+            files.iter().map(|(name, id)| {
+                (name.as_str(), self.inodes.get(id).expect("in sync"))
+            }),
+        );
+        self.flushed.insert(dir.clone(), (version, body));
     }
 
     /// Merges a metadata block loaded from a provider (the bootstrap and

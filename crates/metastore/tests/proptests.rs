@@ -1,13 +1,18 @@
 //! Property-based tests for the metadata layer: a random operation
 //! sequence applied both to the [`MetaStore`] and to a plain
-//! `HashMap<String, u64>` model must always agree.
+//! `HashMap<String, u64>` model must always agree; the sharded store's
+//! flush output must be shard-count independent; and replaying a
+//! block + diff chain must reconstruct the exact flushed state, torn
+//! diffs stranding only the chain suffix behind the tear.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::Duration;
 
 use proptest::prelude::*;
 
-use hyrd_metastore::{MetaStore, MetadataBlock, NormPath};
+use hyrd_metastore::{
+    resolve_chain, DiffBlock, FlushKind, MetaStore, MetadataBlock, NormPath, ShardedMetaStore,
+};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -27,6 +32,23 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 fn path_of(dir: u8, name: u8) -> NormPath {
     NormPath::parse(&format!("/d{dir}/f{name}")).expect("well-formed")
+}
+
+/// Applies `ops` to a sharded store, advancing a shared tick counter so
+/// parallel stores see identical timestamps (and thus inode versions).
+fn apply_sharded(store: &ShardedMetaStore, ops: &[Op], t: &mut u64) {
+    for op in ops {
+        *t += 1;
+        match op {
+            Op::Create { dir, name, size } => {
+                let _ = store.create_file(&path_of(*dir, *name), *size, Duration::from_secs(*t));
+            }
+            Op::Remove { dir, name } => {
+                let _ = store.remove_file(&path_of(*dir, *name));
+            }
+            Op::Lookup { .. } => {}
+        }
+    }
 }
 
 proptest! {
@@ -122,6 +144,233 @@ proptest! {
                     .collect()
             };
             prop_assert_eq!(names(&a), names(&b), "dir {}", dir);
+        }
+    }
+
+    /// Shard assignment is a pure, stable function of the path: always
+    /// in range, identical across calls, and degenerate at one shard.
+    #[test]
+    fn shard_assignment_is_stable_and_in_range(dir in 0..64u8, name in 0..64u8, shards in 1..32usize) {
+        let p = path_of(dir, name);
+        let s = ShardedMetaStore::shard_of(&p, shards);
+        prop_assert!(s < shards);
+        prop_assert_eq!(s, ShardedMetaStore::shard_of(&p, shards));
+        prop_assert_eq!(ShardedMetaStore::shard_of(&p, 1), 0);
+    }
+
+    /// The DESIGN §15 determinism contract: the shard count is purely a
+    /// concurrency knob. The same op sequence with flushes at the same
+    /// points must produce byte-identical flush items (names, versions,
+    /// kinds, wire bytes) at 1, 5 and 16 shards.
+    #[test]
+    fn flush_output_is_shard_count_independent(
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 1..40), 1..4)
+    ) {
+        assert_flush_shard_independent(&rounds);
+    }
+
+    /// Replaying the shipped block + diff chain through
+    /// [`resolve_chain`] (with a wire round-trip on every frame)
+    /// reconstructs exactly the state the store last flushed.
+    #[test]
+    fn diff_chain_replay_matches_full_state(
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 1..30), 2..5)
+    ) {
+        assert_diff_chain_replay(&rounds);
+    }
+
+    /// A torn diff mid-chain fails validation and strands only the
+    /// suffix behind the tear: resolution stops at the last version
+    /// that still links onto the base.
+    #[test]
+    fn torn_diff_strands_the_chain_suffix(
+        links in 2..7usize, victim_seed in any::<usize>()
+    ) {
+        assert_torn_diff(links, victim_seed % links);
+    }
+}
+
+/// Shared body: identical op rounds at 1, 5 and 16 shards must flush
+/// identical items.
+fn assert_flush_shard_independent(rounds: &[Vec<Op>]) {
+    let a = ShardedMetaStore::with_shards(1);
+    let b = ShardedMetaStore::with_shards(5);
+    let c = ShardedMetaStore::with_shards(16);
+    let (mut ta, mut tb, mut tc) = (0u64, 0u64, 0u64);
+    for round in rounds {
+        apply_sharded(&a, round, &mut ta);
+        apply_sharded(&b, round, &mut tb);
+        apply_sharded(&c, round, &mut tc);
+        let fa = a.flush_dirty_encoded();
+        let fb = b.flush_dirty_encoded();
+        let fc = c.flush_dirty_encoded();
+        assert_eq!(fa, fb, "flush diverged between 1 and 5 shards");
+        assert_eq!(fb, fc, "flush diverged between 5 and 16 shards");
+    }
+}
+
+/// Shared body: resolve the shipped block + diff chain and compare the
+/// reconstruction against the store's live state, entry by entry.
+fn assert_diff_chain_replay(rounds: &[Vec<Op>]) {
+    let store = ShardedMetaStore::with_shards(4);
+    let mut t = 0u64;
+    let mut bases: BTreeMap<NormPath, MetadataBlock> = BTreeMap::new();
+    let mut chains: BTreeMap<NormPath, Vec<DiffBlock>> = BTreeMap::new();
+    for round in rounds {
+        apply_sharded(&store, round, &mut t);
+        for item in store.flush_dirty_encoded() {
+            match item.kind {
+                FlushKind::Block | FlushKind::Compact => {
+                    let block = MetadataBlock::from_bytes(&item.bytes).expect("own serialization");
+                    chains.remove(&item.dir);
+                    bases.insert(item.dir, block);
+                }
+                FlushKind::Diff => {
+                    let diff = DiffBlock::from_bytes(&item.bytes).expect("own serialization");
+                    chains.entry(item.dir).or_default().push(diff);
+                }
+            }
+        }
+    }
+
+    let mut fresh = MetaStore::new();
+    for (dir, base) in bases {
+        let diffs = chains.remove(&dir).unwrap_or_default();
+        let expected = diffs.last().map_or(base.version, |d| d.version);
+        let resolved = resolve_chain(base, diffs);
+        assert_eq!(resolved.block.version, expected, "chain resolution for {dir}");
+        let parsed =
+            MetadataBlock::from_bytes(&resolved.block.to_bytes()).expect("resolved round-trips");
+        fresh.load_block(&parsed).expect("well-formed block");
+    }
+
+    assert_eq!(fresh.file_count(), store.file_count());
+    assert_eq!(fresh.logical_bytes(), store.logical_bytes());
+    for dir in store.all_dirs() {
+        for (name, inode) in store.inodes_in(&dir).expect("dir exists") {
+            let path = dir.join(&name).expect("well-formed");
+            let reloaded = fresh.get(&path).expect("entry survives replay");
+            assert_eq!(reloaded.size, inode.size, "size of {path}");
+            assert_eq!(reloaded.version, inode.version, "version of {path}");
+        }
+    }
+}
+
+/// Shared body: build a chain of `links` diffs on one directory, tear
+/// diff `victim`, and verify resolution stops exactly at the tear.
+fn assert_torn_diff(links: usize, victim: usize) {
+    let store = ShardedMetaStore::with_shards(2);
+    let dir = NormPath::parse("/solo").expect("well-formed");
+    let mut base: Option<MetadataBlock> = None;
+    let mut diffs: Vec<DiffBlock> = Vec::new();
+    for i in 0..=links {
+        let path = dir.join(&format!("f{i}")).expect("well-formed");
+        store.create_file(&path, 64, Duration::from_secs(i as u64 + 1)).expect("create");
+        for item in store.flush_dirty_encoded() {
+            if item.dir != dir {
+                continue; // "/" structure-only flushes
+            }
+            match item.kind {
+                FlushKind::Block => {
+                    base = Some(MetadataBlock::from_bytes(&item.bytes).expect("own bytes"));
+                }
+                FlushKind::Diff => {
+                    diffs.push(DiffBlock::from_bytes(&item.bytes).expect("own bytes"));
+                }
+                FlushKind::Compact => unreachable!("chain stays below the compaction bound"),
+            }
+        }
+    }
+    let base = base.expect("first flush ships a block");
+    assert_eq!(diffs.len(), links);
+
+    // Tear one diff: any bit flip in the payload must fail the
+    // checksum, so the reader never sees the frame at all.
+    let mut torn = diffs[victim].to_bytes();
+    let last = torn.len() - 1;
+    torn[last] ^= 0xFF;
+    assert!(DiffBlock::from_bytes(&torn).is_err(), "torn diff must fail validation");
+
+    // Resolve with the torn frame missing: every diff before the tear
+    // applies, the suffix is stranded.
+    let intact: Vec<DiffBlock> =
+        diffs.iter().enumerate().filter(|(i, _)| *i != victim).map(|(_, d)| d.clone()).collect();
+    let expected_version = if victim == 0 { base.version } else { diffs[victim - 1].version };
+    let resolved = resolve_chain(base, intact);
+    assert_eq!(resolved.applied, victim);
+    assert_eq!(resolved.block.version, expected_version);
+
+    let mut fresh = MetaStore::new();
+    fresh.load_block(&resolved.block).expect("well-formed block");
+    // The block holds f0; diff i adds f{i+1}; `victim` applied diffs
+    // leave exactly 1 + victim files visible.
+    assert_eq!(fresh.file_count(), 1 + victim);
+}
+
+/// Deterministic scripts exercising the same properties, so the suite
+/// still covers them when the property harness is unavailable.
+mod deterministic {
+    use super::*;
+
+    /// Tiny LCG so the scripts are diverse but fixed.
+    fn scripted_rounds(seed: u64, rounds: usize, ops_per_round: usize) -> Vec<Vec<Op>> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        (0..rounds)
+            .map(|_| {
+                (0..ops_per_round)
+                    .map(|_| {
+                        let (dir, name) = ((next() % 4) as u8, (next() % 6) as u8);
+                        match next() % 3 {
+                            0 | 1 => Op::Create { dir, name, size: 1 + next() % 1_000_000 },
+                            _ => Op::Remove { dir, name },
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flush_is_shard_count_independent_on_scripted_runs() {
+        for seed in [3, 17, 2026] {
+            assert_flush_shard_independent(&scripted_rounds(seed, 3, 30));
+        }
+    }
+
+    #[test]
+    fn diff_chain_replay_matches_full_state_on_scripted_runs() {
+        for seed in [5, 23, 808] {
+            assert_diff_chain_replay(&scripted_rounds(seed, 4, 25));
+        }
+    }
+
+    #[test]
+    fn torn_diff_strands_the_suffix_for_every_victim() {
+        for links in [2usize, 4, 6] {
+            for victim in 0..links {
+                assert_torn_diff(links, victim);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for dir in 0..16u8 {
+            for name in 0..8u8 {
+                let p = path_of(dir, name);
+                for shards in 1..24usize {
+                    let s = ShardedMetaStore::shard_of(&p, shards);
+                    assert!(s < shards);
+                    assert_eq!(s, ShardedMetaStore::shard_of(&p, shards));
+                }
+                assert_eq!(ShardedMetaStore::shard_of(&p, 1), 0);
+            }
         }
     }
 }

@@ -79,6 +79,12 @@ obs-report:
     @echo "observatory report at target/experiments/obs_report.txt"
     @echo "trace analysis at target/experiments/trace_report.txt"
 
+# Refresh the repo-root BENCH_meta.json metastore baseline: free-running
+# writer contention at 1 vs 16 shards, writer scaling at 16 shards, and
+# the full-block vs incremental-diff flush byte ratio (DESIGN.md §15).
+bench-meta:
+    cargo bench -p hyrd-bench --bench meta_benches
+
 # Full Criterion run (also refreshes BENCH_gfec.json at the end).
 bench:
     cargo bench -p hyrd-bench
