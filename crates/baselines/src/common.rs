@@ -51,7 +51,9 @@ impl ContentCache {
         self.map.insert(path.to_string(), data);
         self.order.push_back(path.to_string());
         while self.used > self.budget {
-            let Some(victim) = self.order.pop_front() else { break };
+            let Some(victim) = self.order.pop_front() else {
+                break;
+            };
             if let Some(b) = self.map.remove(&victim) {
                 self.used -= b.len();
             }
@@ -212,9 +214,7 @@ pub fn remove_everywhere(
 /// does the same thing through measurements).
 pub fn fastest_first(providers: &[Arc<SimProvider>]) -> Vec<Arc<SimProvider>> {
     let mut v: Vec<Arc<SimProvider>> = providers.to_vec();
-    v.sort_by_key(|p| {
-        p.profile().latency.expected_latency(hyrd_gcsapi::OpKind::Get, 64 * 1024)
-    });
+    v.sort_by_key(|p| p.profile().latency.expected_latency(hyrd_gcsapi::OpKind::Get, 64 * 1024));
     v
 }
 
@@ -452,8 +452,7 @@ mod tests {
             assert_eq!(map[3].0, f.providers()[(3 + rot) % 4].id());
 
             let lookup = |id: ProviderId| f.get(id).unwrap().clone();
-            let (bytes, report) =
-                ec_read(&planner, &code, &lookup, &layout, &map, "/p").unwrap();
+            let (bytes, report) = ec_read(&planner, &code, &lookup, &layout, &map, "/p").unwrap();
             assert_eq!(&bytes[..], &data[..]);
             assert_eq!(report.op_count(), 3, "reads the three data fragments");
         }

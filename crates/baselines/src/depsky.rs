@@ -55,8 +55,7 @@ impl DepSky {
     /// user-visible latency is the quorum-th fastest put, and the
     /// stragglers complete in the background (still charged as ops).
     fn put_quorum(&mut self, name: &str, data: &Bytes) -> (BatchReport, usize) {
-        let (batch, live) =
-            common::put_parallel(&self.targets(), name, data, &mut self.core.log);
+        let (batch, live) = common::put_parallel(&self.targets(), name, data, &mut self.core.log);
         if live == 0 {
             return (batch, 0);
         }
@@ -126,7 +125,6 @@ impl DepSky {
     ) -> SchemeResult<(hyrd::recovery::RecoveryReport, BatchReport)> {
         self.core.recover_provider(id)
     }
-
 }
 
 impl Scheme for DepSky {
@@ -236,11 +234,10 @@ impl Scheme for DepSky {
     fn list_dir(&mut self, path: &str) -> SchemeResult<(Vec<String>, BatchReport)> {
         let npath = NormPath::parse(path)?;
         let name = MetadataBlock::object_name(&npath);
-        let batch =
-            match common::get_first(&common::fastest_first(&self.targets()), &name, path) {
-                Ok((_, b)) => b,
-                Err(_) => BatchReport::empty(),
-            };
+        let batch = match common::get_first(&common::fastest_first(&self.targets()), &name, path) {
+            Ok((_, b)) => b,
+            Err(_) => BatchReport::empty(),
+        };
         Ok((self.core.local_listing(&npath)?, batch))
     }
 
@@ -284,12 +281,8 @@ mod tests {
     fn write_latency_is_quorum_not_slowest() {
         let (fleet, mut d) = setup();
         let report = d.create_file("/a", &vec![1u8; 256 * 1024]).unwrap();
-        let mut lats: Vec<_> = report
-            .ops
-            .iter()
-            .filter(|o| o.bytes_in >= 256 * 1024)
-            .map(|o| o.latency)
-            .collect();
+        let mut lats: Vec<_> =
+            report.ops.iter().filter(|o| o.bytes_in >= 256 * 1024).map(|o| o.latency).collect();
         lats.sort();
         assert_eq!(lats.len(), 4);
         // Latency ≥ 3rd fastest (quorum of 3) but < the slowest + meta.

@@ -99,7 +99,6 @@ impl DuraCloud {
     pub fn pending_log_len(&self) -> usize {
         self.core.log.len()
     }
-
 }
 
 impl Scheme for DuraCloud {
@@ -113,8 +112,7 @@ impl Scheme for DuraCloud {
         self.core.meta.create_file(&npath, data.len() as u64, now)?;
         let name = hyrd::scheme::object_name(path);
         let bytes = Bytes::copy_from_slice(data);
-        let (batch, live) =
-            common::put_serial(&self.targets(), &name, &bytes, &mut self.core.log);
+        let (batch, live) = common::put_serial(&self.targets(), &name, &bytes, &mut self.core.log);
         if live == 0 {
             self.core.meta.remove_file(&npath)?;
             return Err(SchemeError::DataUnavailable {
@@ -257,8 +255,7 @@ mod tests {
         let azure = fleet.by_name("Windows Azure").unwrap();
         assert!(s3.stats().put >= 1);
         assert!(azure.stats().put >= 1);
-        let data_puts: Vec<_> =
-            report.ops.iter().filter(|o| o.bytes_in >= 200 * 1024).collect();
+        let data_puts: Vec<_> = report.ops.iter().filter(|o| o.bytes_in >= 200 * 1024).collect();
         assert_eq!(data_puts.len(), 2);
         let sum: std::time::Duration = data_puts.iter().map(|o| o.latency).sum();
         assert!(report.latency >= sum, "writes are synchronized (serial)");

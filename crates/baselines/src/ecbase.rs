@@ -200,7 +200,10 @@ impl<C: ErasureCode> EcEverything<C> {
     /// fragment back — the full-provider recovery whose cross-rack
     /// traffic §I quotes from the Facebook warehouse study. The provider
     /// must be back up (rebuild targets the repaired node).
-    pub fn repair_provider(&mut self, id: ProviderId) -> SchemeResult<(RepairTraffic, BatchReport)> {
+    pub fn repair_provider(
+        &mut self,
+        id: ProviderId,
+    ) -> SchemeResult<(RepairTraffic, BatchReport)> {
         let mut traffic = RepairTraffic::default();
         let mut ops = Vec::new();
 
@@ -222,8 +225,7 @@ impl<C: ErasureCode> EcEverything<C> {
         }
 
         // Strip-placed small objects and their parity strips.
-        let (rebuilt, read, written, strip_ops) =
-            self.strips.repair_provider(id, "repair")?;
+        let (rebuilt, read, written, strip_ops) = self.strips.repair_provider(id, "repair")?;
         traffic.fragments_rebuilt += rebuilt;
         traffic.bytes_read += read;
         traffic.bytes_written += written;
@@ -283,7 +285,6 @@ impl<C: ErasureCode> EcEverything<C> {
         }
         out
     }
-
 }
 
 impl<C: ErasureCode> Scheme for EcEverything<C> {
@@ -461,8 +462,14 @@ impl<C: ErasureCode> Scheme for EcEverything<C> {
         }
         let batch = match self.meta_blocks.get(npath.as_str()).cloned() {
             Some((layout, map)) => {
-                match common::ec_read(&self.planner, &self.code, &self.lookup(), &layout, &map, path)
-                {
+                match common::ec_read(
+                    &self.planner,
+                    &self.code,
+                    &self.lookup(),
+                    &layout,
+                    &map,
+                    path,
+                ) {
                     Ok((_, b)) => b,
                     Err(e) => return Err(e),
                 }

@@ -24,8 +24,8 @@
 
 pub mod common;
 pub mod depsky;
-pub mod ecbase;
 pub mod duracloud;
+pub mod ecbase;
 pub mod nccloud;
 pub mod racs;
 pub mod single;

@@ -88,7 +88,8 @@ impl hyrd::Scheme for NcCloudLite {
     fn recover_provider(
         &mut self,
         id: ProviderId,
-    ) -> hyrd::scheme::SchemeResult<(hyrd::recovery::RecoveryReport, hyrd_gcsapi::BatchReport)> {
+    ) -> hyrd::scheme::SchemeResult<(hyrd::recovery::RecoveryReport, hyrd_gcsapi::BatchReport)>
+    {
         NcCloudLite::recover_provider(self, id)
     }
 }

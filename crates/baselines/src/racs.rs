@@ -87,7 +87,8 @@ impl hyrd::Scheme for Racs {
     fn recover_provider(
         &mut self,
         id: ProviderId,
-    ) -> hyrd::scheme::SchemeResult<(hyrd::recovery::RecoveryReport, hyrd_gcsapi::BatchReport)> {
+    ) -> hyrd::scheme::SchemeResult<(hyrd::recovery::RecoveryReport, hyrd_gcsapi::BatchReport)>
+    {
         Racs::recover_provider(self, id)
     }
 }
@@ -177,10 +178,7 @@ mod tests {
         let holder = report.ops[0].provider;
         fleet.get(holder).unwrap().force_down();
         let (_, degraded) = r.list_dir("/dir").unwrap();
-        assert!(
-            degraded.op_count() >= 2,
-            "degraded metadata read reconstructs from survivors"
-        );
+        assert!(degraded.op_count() >= 2, "degraded metadata read reconstructs from survivors");
         assert!(degraded.ops.iter().all(|o| o.provider != holder));
     }
 
@@ -243,10 +241,6 @@ mod tests {
         // RAID5 repair reads roughly m = 3 survivor strips per rebuilt
         // strip (group reconstruction may read a little more when parity
         // strips also live on the failed provider).
-        assert!(
-            traffic.amplification() >= 2.5,
-            "amplification {}",
-            traffic.amplification()
-        );
+        assert!(traffic.amplification() >= 2.5, "amplification {}", traffic.amplification());
     }
 }

@@ -65,7 +65,6 @@ impl SingleCloud {
         }
         BatchReport::parallel(ops)
     }
-
 }
 
 impl Scheme for SingleCloud {

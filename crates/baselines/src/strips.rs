@@ -179,9 +179,7 @@ impl StripStore {
         let mut data_rows = Vec::new();
         for f in frags.iter().take(self.m) {
             let row: Vec<Gf256> = if f.index < self.m {
-                (0..self.m)
-                    .map(|c| if c == f.index { Gf256::ONE } else { Gf256::ZERO })
-                    .collect()
+                (0..self.m).map(|c| if c == f.index { Gf256::ONE } else { Gf256::ZERO }).collect()
             } else {
                 self.coeffs[f.index - self.m].clone()
             };
@@ -243,18 +241,13 @@ impl StripStore {
         log: &mut UpdateLog,
     ) -> SchemeResult<(ProviderId, BatchReport)> {
         // Find or open a group with a free slot.
-        let gid = match self
-            .groups
-            .iter()
-            .rposition(|g| g.members.iter().any(|s| s.is_none()))
-        {
+        let gid = match self.groups.iter().rposition(|g| g.members.iter().any(|s| s.is_none())) {
             Some(g) => g,
             None => {
                 let gid = self.groups.len();
                 let providers: Vec<ProviderId> =
                     (0..self.n).map(|p| self.fleet[(p + gid) % self.n].id()).collect();
-                let parity_names =
-                    (0..self.n - self.m).map(|j| format!("sg{gid}.p{j}")).collect();
+                let parity_names = (0..self.n - self.m).map(|j| format!("sg{gid}.p{j}")).collect();
                 self.groups.push(Group {
                     providers,
                     parity_names,
@@ -329,10 +322,7 @@ impl StripStore {
         group.strip_len = new_strip_len;
         group.members[slot] = Some(Member { object: object.to_string(), len: data.len() });
         self.by_object.insert(object.to_string(), StripRef { group: gid, slot });
-        Ok((
-            pid,
-            BatchReport::parallel(read_ops).then(BatchReport::parallel(write_ops)),
-        ))
+        Ok((pid, BatchReport::parallel(read_ops).then(BatchReport::parallel(write_ops))))
     }
 
     /// Reads a small object: one Get from its provider, or the
@@ -431,8 +421,7 @@ impl StripStore {
 
         let group = &mut self.groups[r.group];
         group.strip_len = new_strip_len;
-        group.members[r.slot] =
-            Some(Member { object: object.to_string(), len: new_data.len() });
+        group.members[r.slot] = Some(Member { object: object.to_string(), len: new_data.len() });
         Ok(BatchReport::parallel(read_ops).then(BatchReport::parallel(write_ops)))
     }
 
@@ -452,8 +441,7 @@ impl StripStore {
             path: path.to_string(),
             detail: format!("'{object}' is not strip-placed"),
         })?;
-        let member_len =
-            self.groups[r.group].members[r.slot].as_ref().expect("in sync").len;
+        let member_len = self.groups[r.group].members[r.slot].as_ref().expect("in sync").len;
         if offset + patch.len() > member_len {
             return Err(SchemeError::BadRange {
                 path: path.to_string(),
@@ -560,9 +548,7 @@ impl StripStore {
             path: path.to_string(),
             detail: format!("'{object}' is not strip-placed"),
         })?;
-        let zero_len = self.groups[r.group].members[r.slot]
-            .as_ref()
-            .map_or(0, |m| m.len);
+        let zero_len = self.groups[r.group].members[r.slot].as_ref().map_or(0, |m| m.len);
         let mut batch = self.replace(object, &vec![0u8; zero_len], log, path)?;
         let group = &self.groups[r.group];
         let pid = group.providers[r.slot];
@@ -606,8 +592,7 @@ mod tests {
     fn degraded_read_reconstructs_from_the_other_three() {
         let (fleet, mut s, mut log) = store();
         // Fill a whole group so reconstruction needs real reads.
-        let contents: Vec<Vec<u8>> =
-            (0..3).map(|i| vec![i as u8 + 1; 1000 + i * 37]).collect();
+        let contents: Vec<Vec<u8>> = (0..3).map(|i| vec![i as u8 + 1; 1000 + i * 37]).collect();
         let mut pids = Vec::new();
         for (i, c) in contents.iter().enumerate() {
             let (pid, _) = s.place(&format!("o{i}"), c, &mut log).unwrap();

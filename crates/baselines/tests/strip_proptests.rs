@@ -23,8 +23,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..5u8, size.clone()).prop_map(|(slot, size)| Op::Place { slot, size }),
         (0..5u8, size).prop_map(|(slot, size)| Op::Replace { slot, size }),
-        (0..5u8, 0.0..1.0f64, 1..2048usize)
-            .prop_map(|(slot, frac, len)| Op::Update { slot, frac, len }),
+        (0..5u8, 0.0..1.0f64, 1..2048usize).prop_map(|(slot, frac, len)| Op::Update {
+            slot,
+            frac,
+            len
+        }),
         (0..5u8).prop_map(|slot| Op::Remove { slot }),
         (0..5u8).prop_map(|slot| Op::ReadDegraded { slot }),
     ]

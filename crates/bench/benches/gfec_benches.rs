@@ -21,9 +21,7 @@ use hyrd_gfec::{ErasureCode, Fragment, Raid5, Raid6, ReedSolomon};
 const MB: usize = 1 << 20;
 
 fn shards(m: usize, len: usize) -> Vec<Vec<u8>> {
-    (0..m)
-        .map(|i| (0..len).map(|b| ((b * 31 + i * 7) % 251) as u8).collect())
-        .collect()
+    (0..m).map(|i| (0..len).map(|b| ((b * 31 + i * 7) % 251) as u8).collect()).collect()
 }
 
 fn bench_gf_kernels(c: &mut Criterion) {
@@ -119,11 +117,8 @@ fn bench_update_planning(c: &mut Criterion) {
 /// side. `BENCH_JSON_ONLY` shortens the per-measurement time box so the
 /// CI smoke run finishes in seconds.
 fn write_summary() {
-    let t = if summary::json_only() {
-        Duration::from_millis(120)
-    } else {
-        Duration::from_millis(400)
-    };
+    let t =
+        if summary::json_only() { Duration::from_millis(120) } else { Duration::from_millis(400) };
 
     // Raw slice kernels, 1 MiB.
     let src = vec![0xA7u8; MB];
@@ -197,17 +192,20 @@ fn write_summary() {
     // Ranged partial update: 4 KiB rewritten inside the 3 MiB object.
     let plan = plan_update(&layout5, 1_234_567, 4096).expect("in bounds");
     let (lo, hi) = parity_window(&plan.touched);
-    let old_segments: Vec<Vec<u8>> = plan
-        .touched
-        .iter()
-        .map(|&(sh, st, l)| frags5[sh].data[st..st + l].to_vec())
-        .collect();
+    let old_segments: Vec<Vec<u8>> =
+        plan.touched.iter().map(|&(sh, st, l)| frags5[sh].data[st..st + l].to_vec()).collect();
     let old_parities: Vec<Vec<u8>> = (3..5).map(|p| frags5[p].data[lo..hi].to_vec()).collect();
     let new_bytes: Vec<u8> = (0..4096).map(|i| (i * 89) as u8).collect();
     let upd = summary::throughput_mbps(4096, t, || {
         black_box(
-            apply_ranged_update_multi(&plan.touched, &old_segments, &old_parities, &new_bytes, &coeffs)
-                .expect("consistent update"),
+            apply_ranged_update_multi(
+                &plan.touched,
+                &old_segments,
+                &old_parities,
+                &new_bytes,
+                &coeffs,
+            )
+            .expect("consistent update"),
         );
     });
 
@@ -234,13 +232,7 @@ fn write_summary() {
     ]);
 }
 
-criterion_group!(
-    benches,
-    bench_gf_kernels,
-    bench_encode,
-    bench_reconstruct,
-    bench_update_planning
-);
+criterion_group!(benches, bench_gf_kernels, bench_encode, bench_reconstruct, bench_update_planning);
 
 fn main() {
     if summary::json_only() {

@@ -35,9 +35,7 @@ fn bench_sha_kernels(c: &mut Criterion) {
     }
     // The seed's straight-line compress, kept as the correctness oracle —
     // benched here so the kernel speedup stays visible.
-    g.bench_function("reference/1MiB", |b| {
-        b.iter(|| sha256::reference::sha256(black_box(&data)))
-    });
+    g.bench_function("reference/1MiB", |b| b.iter(|| sha256::reference::sha256(black_box(&data))));
     g.finish();
 }
 
@@ -84,11 +82,8 @@ fn bench_sweep(c: &mut Criterion) {
 /// the 8-cell sweep at jobs=1 vs jobs=8. On a single-core host the
 /// sweep ratio is ~1 by construction; `host_cores` records the context.
 fn write_summary() {
-    let t = if summary::json_only() {
-        Duration::from_millis(120)
-    } else {
-        Duration::from_millis(400)
-    };
+    let t =
+        if summary::json_only() { Duration::from_millis(120) } else { Duration::from_millis(400) };
     let data = payload(MB);
 
     let fast_kernel = sha256::Kernel::detect();

@@ -117,10 +117,7 @@ fn assert_replay_allocation_budget() {
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert_eq!(measured.errors, 0, "steady-state measured lap errored");
     let per_op = (after - before) / steady.len() as u64;
-    assert!(
-        per_op <= 1000,
-        "steady-state replay allocates {per_op} times/op (budget 1000)"
-    );
+    assert!(per_op <= 1000, "steady-state replay allocates {per_op} times/op (budget 1000)");
     println!(
         "replay allocation guard: {per_op} allocations/op across {} steady-state ops",
         steady.len()
@@ -239,11 +236,8 @@ fn bench_replay(c: &mut Criterion) {
 /// (ghost-mode providers, so this is pure client CPU: striping, the
 /// fused encode, and the zero-copy fragment plumbing).
 fn write_summary() {
-    let t = if summary::json_only() {
-        Duration::from_millis(120)
-    } else {
-        Duration::from_millis(400)
-    };
+    let t =
+        if summary::json_only() { Duration::from_millis(120) } else { Duration::from_millis(400) };
     let large = synth_content("/l", 0, 4 << 20);
 
     let create = summary::throughput_mbps(large.len(), t, || {

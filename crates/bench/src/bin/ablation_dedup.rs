@@ -8,8 +8,8 @@
 //! storage footprint, and the client-side index memory §VI warns about.
 
 use hyrd::prelude::*;
-use hyrd_bench::header;
 use hyrd::DedupStore;
+use hyrd_bench::header;
 
 fn content(len: usize, seed: u64) -> Vec<u8> {
     let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
@@ -77,8 +77,7 @@ fn main() {
             plain_latency += r.latency.as_secs_f64();
         }
     }
-    let plain_transferred: u64 =
-        fleet_plain.providers().iter().map(|p| p.stats().bytes_in).sum();
+    let plain_transferred: u64 = fleet_plain.providers().iter().map(|p| p.stats().bytes_in).sum();
 
     // HyRD + dedup: only changed chunks travel after day 0.
     let fleet_dedup = Fleet::standard_four(SimClock::new());
@@ -94,8 +93,7 @@ fn main() {
             dedup_latency += r.latency.as_secs_f64();
         }
     }
-    let dedup_transferred: u64 =
-        fleet_dedup.providers().iter().map(|p| p.stats().bytes_in).sum();
+    let dedup_transferred: u64 = fleet_dedup.providers().iter().map(|p| p.stats().bytes_in).sum();
 
     println!(
         "{:<14} {:>16} {:>16} {:>14} {:>12}",

@@ -12,10 +12,7 @@ use hyrd_gcsapi::CloudStorage;
 
 fn main() {
     header("Fragment selection: cheapest-egress vs fastest (20 x 6 MB reads)");
-    println!(
-        "{:<16} {:>14} {:>16} {:>16}",
-        "policy", "read lat (s)", "egress $ / read", "S3 gets"
-    );
+    println!("{:<16} {:>14} {:>16} {:>16}", "policy", "read lat (s)", "egress $ / read", "S3 gets");
 
     for (policy, name) in [
         (FragmentSelection::CheapestEgress, "cheapest-egress"),

@@ -41,10 +41,7 @@ fn main() {
     let (mtbf, mttr) = (720.0, 6.0);
     let p = mtbf / (mtbf + mttr);
     let horizon = 1_000_000.0;
-    println!(
-        "{:<18} {:>14} {:>14} {:>10}",
-        "layout", "closed form", "Monte Carlo", "delta"
-    );
+    println!("{:<18} {:>14} {:>14} {:>10}", "layout", "closed form", "Monte Carlo", "delta");
     for (name, k, n) in [
         ("any 1 of 2", 1u64, 2u64),
         ("any 1 of 4", 1, 4),
@@ -53,13 +50,7 @@ fn main() {
     ] {
         let cf = at_least_k_of_n(p, k, n);
         let mc = monte_carlo_k_of_n(k, n, mtbf, mttr, horizon, 0xA11).available;
-        println!(
-            "{:<18} {:>14.6} {:>14.6} {:>10.6}",
-            name,
-            cf,
-            mc,
-            (cf - mc).abs()
-        );
+        println!("{:<18} {:>14.6} {:>14.6} {:>10.6}", name, cf, mc, (cf - mc).abs());
     }
 
     header("The paper's design argument, in nines (p = 0.999 per provider)");

@@ -30,8 +30,18 @@
 //! each death restarts from the crash journal, and the run ends with
 //! the strict durability audit — zero violations required.
 //!
+//! `--migrate` enables the adaptive redundancy policy
+//! ([`hyrd::policy`]) and runs a background migration pass at the scrub
+//! cadence — files re-encode between replication and erasure coding
+//! *while* the fault schedule, the mid-drill outage and the concurrent
+//! sessions are live. The pass gates itself off while any provider is
+//! down, so the drill also exercises the deterministic skip path. The
+//! availability verdict is unchanged: zero unrecoverable reads, and the
+//! report and trace stay byte-identical per seed.
+//!
 //! Usage: `chaos_drill [--ops N] [--seed S] [--smoke] [--selfcheck]
-//! [--clients N] [--jobs N] [--trace PATH] [--obs PATH] [--crash]`
+//! [--clients N] [--jobs N] [--trace PATH] [--obs PATH] [--crash]
+//! [--migrate]`
 //!
 //! `--obs PATH` folds the drill's telemetry trace through the
 //! availability observatory ([`hyrd::observatory`]) and writes the
@@ -44,6 +54,7 @@ use serde::Serialize;
 
 use hyrd::crashtest::CrashHarness;
 use hyrd::driver::ReplayOptions;
+use hyrd::policy::MigrationReport;
 use hyrd::prelude::*;
 use hyrd::scrub::ScrubReport;
 use hyrd::telemetry::{Collector, SharedBuf, SlowSpan};
@@ -121,6 +132,32 @@ fn build_ops(trace: &IaTrace, seed: u64, want: usize) -> Vec<FsOp> {
     ops
 }
 
+/// Deterministic migration bait woven into the `--migrate` drill: four
+/// hot erasure-coded files re-read throughout the stream (promotion
+/// candidates at `promote_reads = 3`) and four cold replicated files
+/// above the demotion floor that are never touched again. The policy
+/// must move both kinds while the fault schedule runs, and the replay's
+/// read verification holds migrated files to the same
+/// zero-wrong-bytes bar as everything else.
+fn weave_policy_pool(ops: Vec<FsOp>) -> Vec<FsOp> {
+    const HOT: usize = 4;
+    const COLD: usize = 4;
+    let mut out = Vec::with_capacity(ops.len() + HOT + COLD + ops.len() / 25);
+    for i in 0..HOT {
+        out.push(FsOp::Create { path: format!("/pol/hot{i}"), size: 1536 * 1024 });
+    }
+    for i in 0..COLD {
+        out.push(FsOp::Create { path: format!("/pol/cold{i}"), size: 256 * 1024 });
+    }
+    for (n, op) in ops.into_iter().enumerate() {
+        out.push(op);
+        if n % 25 == 24 {
+            out.push(FsOp::Read { path: format!("/pol/hot{}", (n / 25) % HOT) });
+        }
+    }
+    out
+}
+
 /// Everything one drill run measured. Field order is the JSON order; all
 /// collections are scalar, so same-seed runs serialize byte-identically.
 #[derive(Debug, Serialize, PartialEq)]
@@ -144,6 +181,9 @@ struct ChaosReport {
     // Scrub passes during the drill, then the final clean-state pass.
     drill_scrub: ScrubReport,
     final_scrub: ScrubReport,
+    // Background migration activity (`--migrate`; `None` when the
+    // policy is off, so plain-drill reports keep their exact shape).
+    migrations: Option<MigrationReport>,
     // The availability verdict.
     verify_failures_mid_drill: u64,
     final_sweep_files: usize,
@@ -175,16 +215,36 @@ struct TelemetrySection {
     retry_backoffs: BTreeMap<String, u64>,
 }
 
-fn run_drill(seed: u64, ops_target: usize, clients: usize) -> (ChaosReport, Vec<u8>) {
+/// The `--migrate` drill config: adaptive policy on, tuned so both
+/// directions actually fire on the drill's file mix (the IA archive's
+/// small files start at 512 B, so the demotion floor drops to 64 KiB).
+fn migrate_config() -> HyrdConfig {
+    let mut cfg = HyrdConfig::default();
+    cfg.policy.enabled = true;
+    cfg.policy.demote_idle = Duration::from_secs(60);
+    cfg.policy.demote_min_bytes = 64 * 1024;
+    cfg.policy.max_per_pass = 4;
+    cfg
+}
+
+fn run_drill(
+    seed: u64,
+    ops_target: usize,
+    clients: usize,
+    migrate: bool,
+) -> (ChaosReport, Vec<u8>) {
     let clock = SimClock::new();
     let fleet = Fleet::standard_four(clock.clone());
     let trace_buf = SharedBuf::new();
     let telemetry = Collector::builder(clock.clone()).jsonl(trace_buf.clone()).build();
-    let h = Hyrd::with_telemetry(&fleet, HyrdConfig::default(), telemetry.clone())
-        .expect("valid default config");
+    let config = if migrate { migrate_config() } else { HyrdConfig::default() };
+    let h = Hyrd::with_telemetry(&fleet, config, telemetry.clone()).expect("valid default config");
 
     let trace = IaTrace::synthesize(seed);
-    let ops = build_ops(&trace, seed, ops_target);
+    let mut ops = build_ops(&trace, seed, ops_target);
+    if migrate {
+        ops = weave_policy_pool(ops);
+    }
 
     // Chaos schedules sized to the drill's rough virtual duration
     // (~1.5 s/op); per-provider seeds decorrelate the fault streams.
@@ -205,6 +265,7 @@ fn run_drill(seed: u64, ops_target: usize, clients: usize) -> (ChaosReport, Vec<
     let mut ops_replayed = 0usize;
     let mut recovery = hyrd::RecoveryReport::default();
     let mut drill_scrub = ScrubReport::default();
+    let mut drill_migrations = migrate.then(MigrationReport::default);
 
     let chunks: Vec<&[FsOp]> = ops.chunks(CHUNK).collect();
     let n_chunks = chunks.len();
@@ -246,6 +307,13 @@ fn run_drill(seed: u64, ops_target: usize, clients: usize) -> (ChaosReport, Vec<
         if i % scrub_every == scrub_every - 1 {
             let (s, _) = h.scrub().expect("scrub runs");
             drill_scrub.absorb(s);
+            // Background migration rides the scrub cadence; the pass
+            // skips itself (and says so in the report) while the victim
+            // is down, so the schedule stays deterministic.
+            if let Some(total) = drill_migrations.as_mut() {
+                let (m, _) = h.migrate_pass().expect("migrate pass runs");
+                total.absorb(m);
+            }
         }
     }
 
@@ -285,8 +353,7 @@ fn run_drill(seed: u64, ops_target: usize, clients: usize) -> (ChaosReport, Vec<
     };
 
     let counters = h.fault_counters();
-    let unrecoverable =
-        verify_failures + mismatches + sweep_errors + final_scrub.unrecoverable;
+    let unrecoverable = verify_failures + mismatches + sweep_errors + final_scrub.unrecoverable;
     let report = ChaosReport {
         seed,
         clients: engine.options().clients.max(1),
@@ -304,6 +371,7 @@ fn run_drill(seed: u64, ops_target: usize, clients: usize) -> (ChaosReport, Vec<
         recovery_bytes_restored: recovery.bytes_restored,
         drill_scrub,
         final_scrub,
+        migrations: drill_migrations,
         verify_failures_mid_drill: verify_failures,
         final_sweep_files: paths.len(),
         final_sweep_mismatches: mismatches,
@@ -429,6 +497,7 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut obs_path: Option<String> = None;
     let mut crash = false;
+    let mut migrate = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -443,6 +512,7 @@ fn main() {
             "--trace" => trace_path = Some(args.next().expect("--trace PATH")),
             "--obs" => obs_path = Some(args.next().expect("--obs PATH")),
             "--crash" => crash = true,
+            "--migrate" => migrate = true,
             other => panic!("unknown argument: {other}"),
         }
     }
@@ -459,7 +529,8 @@ fn main() {
         println!("{body}");
         write_json("chaos_crash_drill", &report);
         assert_eq!(
-            report.total_violations, 0,
+            report.total_violations,
+            0,
             "durability violations under chaos + client crashes:\n{}",
             report.violations.join("\n")
         );
@@ -477,8 +548,9 @@ fn main() {
         return;
     }
 
-    header(&format!("chaos drill: {ops} ops, seed {seed}, {clients} client(s)"));
-    let (report, trace) = run_drill(seed, ops, clients);
+    let policy = if migrate { ", adaptive policy on" } else { "" };
+    header(&format!("chaos drill: {ops} ops, seed {seed}, {clients} client(s){policy}"));
+    let (report, trace) = run_drill(seed, ops, clients, migrate);
     let body = serde_json::to_string_pretty(&report).expect("serialize report");
 
     if selfcheck {
@@ -489,7 +561,7 @@ fn main() {
         let cells: Vec<Box<dyn FnOnce() -> (String, Vec<u8>) + Send>> = (0..2)
             .map(|_| {
                 Box::new(move || {
-                    let (r, t) = run_drill(seed, ops, clients);
+                    let (r, t) = run_drill(seed, ops, clients, migrate);
                     (serde_json::to_string_pretty(&r).expect("serialize report"), t)
                 }) as Box<dyn FnOnce() -> (String, Vec<u8>) + Send>
             })
@@ -501,7 +573,7 @@ fn main() {
         // One drill at a different session count: per-session tallies
         // differ, but the telemetry trace must not (DESIGN.md §11).
         let alt_clients = if clients == 1 { 4 } else { 1 };
-        let (_, trace_alt) = run_drill(seed, ops, alt_clients);
+        let (_, trace_alt) = run_drill(seed, ops, alt_clients, migrate);
         assert_eq!(
             trace, trace_alt,
             "trace diverged between --clients {clients} and {alt_clients}"
@@ -536,6 +608,22 @@ fn main() {
 
     println!("{body}");
     write_json("chaos_drill", &report);
+
+    if let Some(m) = &report.migrations {
+        println!(
+            "migrations under fire: {} promoted, {} demoted, {} aborted, {} pass(es) skipped \
+             while unhealthy, {:.1} MB rewritten",
+            m.promoted,
+            m.demoted,
+            m.aborted,
+            m.skipped_unhealthy,
+            m.bytes_rewritten as f64 / 1e6,
+        );
+        assert!(
+            m.promoted + m.demoted > 0,
+            "--migrate drill performed no migrations — policy never fired"
+        );
+    }
 
     assert_eq!(
         report.unrecoverable_reads, 0,

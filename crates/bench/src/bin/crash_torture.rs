@@ -67,10 +67,10 @@ fn exhaustive_ops(limit: usize) -> Vec<FsOp> {
     let d = |path: &str| FsOp::Delete { path: path.into() };
     let l = |path: &str| FsOp::ListDir { path: path.into() };
     let mut ops = vec![
-        c("/a/small.txt", 700),      // replicated create
-        c("/a/big.bin", 20_000),     // erasure-coded create (4 KB threshold)
+        c("/a/small.txt", 700),  // replicated create
+        c("/a/big.bin", 20_000), // erasure-coded create (4 KB threshold)
         r("/a/small.txt"),
-        u("/a/small.txt", 10, 80),   // replicated update through the cache
+        u("/a/small.txt", 10, 80), // replicated update through the cache
         r("/a/big.bin"),
         r("/a/big.bin"),             // second read installs the hot copy
         u("/a/big.bin", 5_000, 900), // RAID5 RMW; drops the hot copy
@@ -78,11 +78,11 @@ fn exhaustive_ops(limit: usize) -> Vec<FsOp> {
         l("/a"),
         c("/a/mid.dat", 9_000),
         r("/a/mid.dat"),
-        r("/a/mid.dat"),             // hot copy on /a/mid.dat
+        r("/a/mid.dat"), // hot copy on /a/mid.dat
         u("/a/small.txt", 0, 240),
-        d("/a/mid.dat"),             // EC delete with a live hot copy
+        d("/a/mid.dat"), // EC delete with a live hot copy
         u("/a/big.bin", 0, 300),
-        d("/b/tiny.cfg"),            // replicated delete
+        d("/b/tiny.cfg"), // replicated delete
         c("/b/back.log", 5_000),
         r("/a/big.bin"),
         u("/b/back.log", 100, 400),
@@ -162,8 +162,7 @@ fn clean_run(ops: &[FsOp], config: &HyrdConfig) -> CleanRun {
     let fleet = Fleet::standard_four(clock.clone());
     let buf = SharedBuf::new();
     let telemetry = Collector::builder(clock.clone()).jsonl(buf.clone()).build();
-    let mut h =
-        CrashHarness::new(&fleet, config.clone(), telemetry.clone()).expect("valid config");
+    let mut h = CrashHarness::new(&fleet, config.clone(), telemetry.clone()).expect("valid config");
     let setup_ops = fleet.crash_switch().op_count();
     for op in ops {
         h.execute(op);
@@ -460,10 +459,7 @@ fn main() {
         }
     }
 
-    header(&format!(
-        "crash torture: {} trace ops exhaustive, seed {}",
-        opts.trace_ops, opts.seed
-    ));
+    header(&format!("crash torture: {} trace ops exhaustive, seed {}", opts.trace_ops, opts.seed));
     let (report, clean_trace) = run_torture(&opts);
     let body = serde_json::to_string_pretty(&report).expect("serialize report");
 
@@ -476,7 +472,10 @@ fn main() {
         let body_j = serde_json::to_string_pretty(&report_j).expect("serialize report");
         assert_eq!(body, body_j, "torture report diverged across worker counts");
         assert_eq!(clean_trace, trace_j, "clean-run trace diverged across worker counts");
-        println!("selfcheck: report + trace byte-identical across jobs {}/{} ✓", opts.jobs, alt.jobs);
+        println!(
+            "selfcheck: report + trace byte-identical across jobs {}/{} ✓",
+            opts.jobs, alt.jobs
+        );
     }
 
     println!("{body}");
@@ -487,7 +486,8 @@ fn main() {
         "a sweep cell never crashed — the clean-run budgets are stale"
     );
     assert_eq!(
-        report.total_violations, 0,
+        report.total_violations,
+        0,
         "durability violations found:\n{}",
         report.violations.join("\n")
     );

@@ -34,14 +34,8 @@ fn main() {
     }
 
     println!();
-    println!(
-        "volume ratio (read:write): {:.3}   [paper: {VOLUME_RATIO}]",
-        trace.volume_ratio()
-    );
-    println!(
-        "request ratio (read:write): {:.3}  [paper: {REQUEST_RATIO}]",
-        trace.request_ratio()
-    );
+    println!("volume ratio (read:write): {:.3}   [paper: {VOLUME_RATIO}]", trace.volume_ratio());
+    println!("request ratio (read:write): {:.3}  [paper: {REQUEST_RATIO}]", trace.request_ratio());
 
     let series = vec![
         Series {

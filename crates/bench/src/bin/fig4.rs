@@ -42,15 +42,10 @@ fn main() {
         println!("{:<14} ${:>10.0}", s.scheme, s.total());
     }
 
-    let total = |name: &str| {
-        series.iter().find(|s| s.scheme == name).expect("in lineup").total()
-    };
+    let total = |name: &str| series.iter().find(|s| s.scheme == name).expect("in lineup").total();
     let (hyrd, dura, racs) = (total("HyRD"), total("DuraCloud"), total("RACS"));
     println!();
-    println!(
-        "HyRD vs DuraCloud: {:.1}% lower   [paper: 33.4%]",
-        (1.0 - hyrd / dura) * 100.0
-    );
+    println!("HyRD vs DuraCloud: {:.1}% lower   [paper: 33.4%]", (1.0 - hyrd / dura) * 100.0);
     println!("HyRD vs RACS:      {:.1}% lower   [paper: 20.4%]", (1.0 - hyrd / racs) * 100.0);
 
     let json: Vec<Series> = series

@@ -35,7 +35,9 @@ fn main() {
     }
 
     let mut json = Vec::new();
-    for (kind, title) in [("read", "Figure 5a: read latency (s)"), ("write", "Figure 5b: write latency (s)")] {
+    for (kind, title) in
+        [("read", "Figure 5a: read latency (s)"), ("write", "Figure 5b: write latency (s)")]
+    {
         header(title);
         print!("{:<14}", "provider");
         for (_, label) in SIZES {
@@ -71,10 +73,7 @@ fn main() {
     header("1MB→4MB disproportion (latency ratio; 4x would be proportional)");
     for p in fleet.providers() {
         let lat = |bytes: u64| {
-            p.profile()
-                .latency
-                .expected_latency(hyrd_gcsapi::OpKind::Get, bytes)
-                .as_secs_f64()
+            p.profile().latency.expected_latency(hyrd_gcsapi::OpKind::Get, bytes).as_secs_f64()
         };
         println!("{:<14} {:.1}x", p.name(), lat(4 << 20) / lat(1 << 20));
     }

@@ -44,16 +44,12 @@ fn main() {
     }
 
     let base = baseline.expect("lineup includes the S3 baseline");
-    println!("{:<14} {:>14} {:>14} {:>12} {:>12}", "scheme", "normal (s)", "outage (s)", "norm.", "norm.outage");
+    println!(
+        "{:<14} {:>14} {:>14} {:>12} {:>12}",
+        "scheme", "normal (s)", "outage (s)", "norm.", "norm.outage"
+    );
     for (name, n, o) in &results {
-        println!(
-            "{:<14} {:>14.3} {:>14.3} {:>12.3} {:>12.3}",
-            name,
-            n,
-            o,
-            n / base,
-            o / base
-        );
+        println!("{:<14} {:>14.3} {:>14.3} {:>12.3} {:>12.3}", name, n, o, n / base, o / base);
     }
 
     // The paper's headline deltas.
@@ -86,10 +82,10 @@ fn main() {
     let series: Vec<Series> = results
         .iter()
         .flat_map(|(name, n, o)| {
-            vec![Series { label: format!("{name}/normal"), values: vec![n / base] }, Series {
-                label: format!("{name}/outage"),
-                values: vec![o / base],
-            }]
+            vec![
+                Series { label: format!("{name}/normal"), values: vec![n / base] },
+                Series { label: format!("{name}/outage"), values: vec![o / base] },
+            ]
         })
         .collect();
     write_json("fig6_normalized_latency", &series);

@@ -189,10 +189,7 @@ fn main() {
             let alt = run_soak(seed, files, transactions, c, j);
             let alt_json =
                 serde_json::to_string_pretty(&alt.report.merged).expect("serialize merged stats");
-            assert_eq!(
-                merged_json, alt_json,
-                "merged stats diverged at --clients {c} --jobs {j}"
-            );
+            assert_eq!(merged_json, alt_json, "merged stats diverged at --clients {c} --jobs {j}");
             assert_eq!(out.trace, alt.trace, "trace diverged at --clients {c} --jobs {j}");
         }
         println!(
@@ -222,8 +219,5 @@ fn main() {
         );
     }
 
-    write_json(
-        "multi_client",
-        &SoakRecord { seed, files, transactions, jobs, report: out.report },
-    );
+    write_json("multi_client", &SoakRecord { seed, files, transactions, jobs, report: out.report });
 }

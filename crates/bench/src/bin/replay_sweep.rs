@@ -23,9 +23,7 @@ use hyrd_workloads::{FsOp, IaTrace};
 /// spends the most ink on.
 fn lineup() -> Vec<(&'static str, fn(&Fleet) -> Box<dyn Scheme>)> {
     vec![
-        ("HyRD", |f| {
-            Box::new(Hyrd::new(f, HyrdConfig::default()).expect("valid default config"))
-        }),
+        ("HyRD", |f| Box::new(Hyrd::new(f, HyrdConfig::default()).expect("valid default config"))),
         ("RACS", |f| Box::new(Racs::new(f).expect("4-provider fleet"))),
         ("DuraCloud", |f| Box::new(DuraCloud::standard(f).expect("standard fleet"))),
     ]

@@ -15,7 +15,9 @@
 
 use hyrd_bench::fig6::{extended_lineup, paper_postmark, run_scheme, Mode};
 use hyrd_bench::header;
-use hyrd_costsim::model::{CostModel, DepSkyModel, DuraCloudModel, HyrdModel, RacsModel, SingleModel, S3};
+use hyrd_costsim::model::{
+    CostModel, DepSkyModel, DuraCloudModel, HyrdModel, RacsModel, SingleModel, S3,
+};
 use hyrd_costsim::report::run_model;
 use hyrd_workloads::IaTrace;
 
@@ -85,7 +87,13 @@ fn main() {
         "HyRD has the best performance of the CoC schemes: {}",
         l("HyRD") < l("RACS") && l("HyRD") < l("DuraCloud") && l("HyRD") < l("DepSky")
     );
-    println!("HyRD cost is low (below both DuraCloud and RACS): {}", c("HyRD") < c("DuraCloud") && c("HyRD") < c("RACS"));
-    println!("DuraCloud/DepSky cost is high (top of the lineup): {}", c("DuraCloud") > c("RACS") && c("DepSky") > c("RACS"));
+    println!(
+        "HyRD cost is low (below both DuraCloud and RACS): {}",
+        c("HyRD") < c("DuraCloud") && c("HyRD") < c("RACS")
+    );
+    println!(
+        "DuraCloud/DepSky cost is high (top of the lineup): {}",
+        c("DuraCloud") > c("RACS") && c("DepSky") > c("RACS")
+    );
     println!("RACS performance is low for small updates (see ablation_update_recovery)");
 }

@@ -25,15 +25,19 @@ fn main() {
     let row = |name: &str, f: &dyn Fn(usize) -> String| {
         println!("{:<38} {:>12} {:>14} {:>10} {:>10}", name, f(0), f(1), f(2), f(3));
     };
-    let money = |v: f64| if v == 0.0 { "Free".to_string() } else { format!("${v}") };
+    let money = |v: f64| {
+        if v == 0.0 {
+            "Free".to_string()
+        } else {
+            format!("${v}")
+        }
+    };
     row("Storage (per GB/month)", &|i| money(p[i].storage_gb_month));
     row("Data In (per GB)", &|i| money(p[i].data_in_gb));
     row("Data Out to Internet (per GB)", &|i| money(p[i].data_out_gb));
     row("Put, Copy, Post, List (per 10K)", &|i| money(p[i].put_class_10k));
     row("Get and others (per 10K)", &|i| money(p[i].get_class_10k));
-    row("Category (Table II last row)", &|i| {
-        category(fleet.providers()[i].category()).to_string()
-    });
+    row("Category (Table II last row)", &|i| category(fleet.providers()[i].category()).to_string());
 
     // The evaluator derives the same tiers from measurements + prices.
     let (eval, _) = Evaluator::assess(&fleet, 64 * 1024);

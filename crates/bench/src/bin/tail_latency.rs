@@ -74,8 +74,7 @@ fn run_cell(cell: &Cell, workload: &OpenLoop) -> CellOutput {
     let trace_buf = SharedBuf::new();
     let telemetry = Collector::builder(clock.clone()).jsonl(trace_buf.clone()).build();
     let config = HyrdConfig { hedge: cell.hedge.clone(), ..HyrdConfig::default() };
-    let mut hyrd =
-        Hyrd::with_telemetry(&fleet, config, telemetry.clone()).expect("valid config");
+    let mut hyrd = Hyrd::with_telemetry(&fleet, config, telemetry.clone()).expect("valid config");
     let opts = ReplayOptions {
         verify_reads: true,
         telemetry: telemetry.clone(),
@@ -211,17 +210,15 @@ fn main() {
 
     // Headline: the default-delay hedge vs unhedged, under spikes.
     let unhedged = outputs.iter().find(|o| o.label == "spikes/unhedged").expect("cell exists");
-    let hedged_default =
-        outputs
+    let hedged_default = outputs
         .iter()
         .find(|o| o.label == format!("spikes/hedge-{default_delay_s}s"))
         .expect("cell exists");
     let p99_un = unhedged.timed.overall.quantile(0.99).as_secs_f64();
     let p99_h = hedged_default.timed.overall.quantile(0.99).as_secs_f64();
     let speedup = p99_un / p99_h.max(1e-9);
-    let extra_ops = hedged_default.timed.provider_ops as f64
-        / unhedged.timed.provider_ops.max(1) as f64
-        - 1.0;
+    let extra_ops =
+        hedged_default.timed.provider_ops as f64 / unhedged.timed.provider_ops.max(1) as f64 - 1.0;
     println!(
         "\nheadline (spikes, {default_delay_s}s hedge): p99 {p99_un:.2}s -> {p99_h:.2}s ({speedup:.2}x), \
          provider ops +{:.1}%",
@@ -286,12 +283,14 @@ fn main() {
             ("spike_p99_unhedged_s", summary::round1(p99_un)),
             ("spike_p99_hedged_s", summary::round1(p99_h)),
             ("spike_p99_speedup", summary::round1(speedup)),
-            ("spike_p999_unhedged_s", summary::round1(
-                unhedged.timed.overall.quantile(0.999).as_secs_f64(),
-            )),
-            ("spike_p999_hedged_s", summary::round1(
-                hedged_default.timed.overall.quantile(0.999).as_secs_f64(),
-            )),
+            (
+                "spike_p999_unhedged_s",
+                summary::round1(unhedged.timed.overall.quantile(0.999).as_secs_f64()),
+            ),
+            (
+                "spike_p999_hedged_s",
+                summary::round1(hedged_default.timed.overall.quantile(0.999).as_secs_f64()),
+            ),
             ("extra_provider_ops_pct", summary::round1(extra_ops * 100.0)),
             ("hedges_fired", serde_json::json!(hedged_default.hedges_fired)),
             ("hedges_won", serde_json::json!(hedged_default.hedges_won)),

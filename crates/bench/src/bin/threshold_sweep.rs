@@ -78,9 +78,7 @@ fn main() {
         let cost = run_model(&mut model, &trace).total();
         let small_frac = dist.count_frac_below(threshold) * 100.0;
 
-        println!(
-            "{label:<8} {mean:>12.3} {overhead:>14.3} {cost:>12.0} {small_frac:>11.1}%"
-        );
+        println!("{label:<8} {mean:>12.3} {overhead:>14.3} {cost:>12.0} {small_frac:>11.1}%");
         lat_series.push(mean);
         cost_series.push(cost);
     }

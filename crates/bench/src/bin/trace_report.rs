@@ -144,13 +144,7 @@ fn render_waterfalls(out: &mut String, forest: &SpanForest, top: usize) {
         return;
     }
     for root in roots.into_iter().take(top) {
-        let _ = writeln!(
-            out,
-            "\n### {} t0={} dur={}",
-            root.name,
-            secs(root.start),
-            secs(root.dur)
-        );
+        let _ = writeln!(out, "\n### {} t0={} dur={}", root.name, secs(root.start), secs(root.dur));
         waterfall_line(out, forest, root, root, 0);
     }
 }
@@ -164,9 +158,11 @@ fn render_flame(out: &mut String, forest: &SpanForest, top: usize) {
     // Path of each span: names root→self joined with ';'.
     let mut paths: BTreeMap<u64, String> = BTreeMap::new();
     for s in &forest.spans {
-        let path = match s.parent.and_then(|p| forest.by_id.get(&p)).and_then(|i| {
-            paths.get(&forest.spans[*i].id)
-        }) {
+        let path = match s
+            .parent
+            .and_then(|p| forest.by_id.get(&p))
+            .and_then(|i| paths.get(&forest.spans[*i].id))
+        {
             Some(parent_path) => format!("{parent_path};{}", s.name),
             None => s.name.clone(),
         };
@@ -333,24 +329,16 @@ fn render_model_check(
     let p = if report.providers.is_empty() {
         1.0
     } else {
-        report.providers.iter().map(|h| h.availability).sum::<f64>()
-            / report.providers.len() as f64
+        report.providers.iter().map(|h| h.availability).sum::<f64>() / report.providers.len() as f64
     };
     let small_frac = report.small_read_fraction;
     let modeled = hyrd_availability(p, rep, m, n, small_frac);
     let measured = report.empirical_read_availability;
     let delta = (measured - modeled).abs();
     let pass = delta <= tolerance;
-    let _ = writeln!(
-        out,
-        "provider_availability_mean={:.6} small_read_fraction={:.4}",
-        p, small_frac
-    );
-    let _ = writeln!(
-        out,
-        "model: hyrd_availability(p, r={rep}, m={m}, n={n}) = {:.6}",
-        modeled
-    );
+    let _ =
+        writeln!(out, "provider_availability_mean={:.6} small_read_fraction={:.4}", p, small_frac);
+    let _ = writeln!(out, "model: hyrd_availability(p, r={rep}, m={m}, n={n}) = {:.6}", modeled);
     let _ = writeln!(out, "measured per-read availability = {:.6}", measured);
     let _ = writeln!(
         out,
@@ -431,15 +419,13 @@ fn main() {
     let text = std::fs::read_to_string(&trace)
         .unwrap_or_else(|e| panic!("cannot read trace {trace}: {e}"));
 
-    let (report, check) =
-        build_report(&text, jobs, top, buckets, slo_ms, rep, m, n, tolerance);
+    let (report, check) = build_report(&text, jobs, top, buckets, slo_ms, rep, m, n, tolerance);
 
     if selfcheck {
         // The whole pipeline re-run across several worker counts must
         // produce the same bytes.
         for alt in [1usize, 2, 8] {
-            let (again, _) =
-                build_report(&text, alt, top, buckets, slo_ms, rep, m, n, tolerance);
+            let (again, _) = build_report(&text, alt, top, buckets, slo_ms, rep, m, n, tolerance);
             assert_eq!(report, again, "report diverged between jobs={jobs} and jobs={alt}");
         }
         eprintln!("selfcheck: report byte-identical across jobs 1/2/8 ✓");

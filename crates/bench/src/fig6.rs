@@ -100,9 +100,7 @@ pub fn lineup() -> Vec<(&'static str, fn(&Fleet) -> Box<dyn Scheme>)> {
         ("Amazon S3", |f| Box::new(SingleCloud::amazon_s3(f).expect("fleet has S3"))),
         ("DuraCloud", |f| Box::new(DuraCloud::standard(f).expect("standard fleet"))),
         ("RACS", |f| Box::new(Racs::new(f).expect("4-provider fleet"))),
-        ("HyRD", |f| {
-            Box::new(Hyrd::new(f, HyrdConfig::default()).expect("valid default config"))
-        }),
+        ("HyRD", |f| Box::new(Hyrd::new(f, HyrdConfig::default()).expect("valid default config"))),
     ]
 }
 
@@ -139,11 +137,8 @@ mod tests {
         let mut cfg = paper_postmark(2);
         cfg.initial_files = 10;
         cfg.transactions = 30;
-        let stats = run_scheme(
-            |f| Box::new(SingleCloud::amazon_s3(f).unwrap()),
-            Mode::Normal,
-            &cfg,
-        );
+        let stats =
+            run_scheme(|f| Box::new(SingleCloud::amazon_s3(f).unwrap()), Mode::Normal, &cfg);
         assert_eq!(stats.errors, 0);
         assert!(stats.overall.count() > 30);
         assert_eq!(stats.verify_failures, 0);
@@ -159,8 +154,8 @@ mod tests {
             .into_iter()
             .map(|(name, make)| {
                 let normal = run_scheme(make, Mode::Normal, &cfg);
-                let outage = (name != "Amazon S3")
-                    .then(|| run_scheme(make, Mode::AzureOutage, &cfg));
+                let outage =
+                    (name != "Amazon S3").then(|| run_scheme(make, Mode::AzureOutage, &cfg));
                 (name, normal, outage)
             })
             .collect();

@@ -42,12 +42,8 @@ impl SimClock {
         let target = u64::try_from(t.as_nanos()).expect("virtual time overflow");
         let mut cur = self.nanos.load(Ordering::Acquire);
         while target > cur {
-            match self.nanos.compare_exchange_weak(
-                cur,
-                target,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self.nanos.compare_exchange_weak(cur, target, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return Duration::from_nanos(target),
                 Err(actual) => cur = actual,
             }

@@ -222,11 +222,9 @@ mod tests {
 
     #[test]
     fn plans_roundtrip_through_serde() {
-        for plan in [
-            CrashPlan::disarmed(),
-            CrashPlan::at_op(17),
-            CrashPlan::at_point("meta.flush.post", 3),
-        ] {
+        for plan in
+            [CrashPlan::disarmed(), CrashPlan::at_op(17), CrashPlan::at_point("meta.flush.post", 3)]
+        {
             let json = serde_json::to_string(&plan).unwrap();
             assert_eq!(serde_json::from_str::<CrashPlan>(&json).unwrap(), plan);
         }

@@ -36,9 +36,7 @@ fn encode_name(name: &str) -> String {
     let mut out = String::with_capacity(name.len());
     for b in name.bytes() {
         match b {
-            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'.' | b'-' | b'_' => {
-                out.push(b as char)
-            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'.' | b'-' | b'_' => out.push(b as char),
             _ => {
                 use std::fmt::Write;
                 write!(out, "%{b:02x}").expect("string write never fails");
@@ -217,10 +215,7 @@ mod tests {
     use super::*;
 
     fn tmp_root(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "hyrd-dircloud-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("hyrd-dircloud-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -249,8 +244,7 @@ mod tests {
         {
             let c = DirCloud::new(ProviderId(0), "disk", &root).expect("temp dir");
             c.create("hyrd").expect("fresh");
-            c.put(&ObjectKey::new("hyrd", "durable"), Bytes::from_static(b"x"))
-                .expect("writable");
+            c.put(&ObjectKey::new("hyrd", "durable"), Bytes::from_static(b"x")).expect("writable");
         }
         // A brand-new handle (fresh process, conceptually) sees the data.
         let c2 = DirCloud::new(ProviderId(1), "disk2", &root).expect("same dir");
@@ -291,10 +285,7 @@ mod tests {
         let c = cloud("outage");
         c.force_down();
         assert!(!c.is_available());
-        assert!(matches!(
-            c.get(&ObjectKey::new("hyrd", "k")),
-            Err(CloudError::Unavailable { .. })
-        ));
+        assert!(matches!(c.get(&ObjectKey::new("hyrd", "k")), Err(CloudError::Unavailable { .. })));
         c.restore();
         assert!(c.is_available());
         let _ = fs::remove_dir_all(c.root());
@@ -307,9 +298,8 @@ mod tests {
             .expect("temp dir")
             .with_latency(crate::profiles::WellKnownProvider::Aliyun.profile().latency);
         c.create("hyrd").expect("fresh");
-        let out = c
-            .put(&ObjectKey::new("hyrd", "k"), Bytes::from(vec![0u8; 1 << 20]))
-            .expect("writable");
+        let out =
+            c.put(&ObjectKey::new("hyrd", "k"), Bytes::from(vec![0u8; 1 << 20])).expect("writable");
         // ~1 MB to simulated Aliyun: around a second of virtual latency.
         assert!(out.report.latency.as_secs_f64() > 0.5);
         let _ = fs::remove_dir_all(&root);

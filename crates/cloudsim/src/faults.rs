@@ -161,7 +161,9 @@ impl FaultPlan {
 
     /// Whether op `seq` at virtual time `now` fails with a burst error.
     pub fn burst_error(&self, now: Duration, seq: u64) -> bool {
-        let Some(w) = self.bursts.iter().find(|w| w.contains(now)) else { return false };
+        let Some(w) = self.bursts.iter().find(|w| w.contains(now)) else {
+            return false;
+        };
         mix(self.seed ^ SALT_BURST, seq) % 1000 < w.per_milli as u64
     }
 
@@ -169,11 +171,7 @@ impl FaultPlan {
     /// overlapping spikes take the max, not the product — one saturated
     /// path does not get slower by being saturated twice).
     pub fn latency_multiplier(&self, now: Duration) -> f64 {
-        self.spikes
-            .iter()
-            .filter(|s| s.contains(now))
-            .map(|s| s.multiplier)
-            .fold(1.0, f64::max)
+        self.spikes.iter().filter(|s| s.contains(now)).map(|s| s.multiplier).fold(1.0, f64::max)
     }
 
     /// If op `seq`'s Get is wire-corrupted, the entropy to corrupt with.
@@ -268,9 +266,11 @@ mod tests {
 
     #[test]
     fn spikes_multiply_latency_and_overlaps_take_the_max() {
-        let p = FaultPlan::quiet()
-            .with_spike(secs(10), secs(20), 3.0)
-            .with_spike(secs(15), secs(30), 5.0);
+        let p = FaultPlan::quiet().with_spike(secs(10), secs(20), 3.0).with_spike(
+            secs(15),
+            secs(30),
+            5.0,
+        );
         assert_eq!(p.latency_multiplier(secs(5)), 1.0);
         assert_eq!(p.latency_multiplier(secs(12)), 3.0);
         assert_eq!(p.latency_multiplier(secs(17)), 5.0);

@@ -41,10 +41,7 @@ impl Fleet {
     /// Rackspace, in Table II column order, each with a ready `hyrd`
     /// container.
     pub fn standard_four(clock: SimClock) -> Self {
-        let fleet = Fleet::new(
-            clock,
-            WellKnownProvider::ALL.iter().map(|w| w.profile()).collect(),
-        );
+        let fleet = Fleet::new(clock, WellKnownProvider::ALL.iter().map(|w| w.profile()).collect());
         for p in &fleet.providers {
             p.create(Self::CONTAINER).expect("fresh provider");
         }
@@ -84,21 +81,13 @@ impl Fleet {
     /// Providers in the cost-oriented tier (Table II: S3, Aliyun,
     /// Rackspace).
     pub fn cost_oriented(&self) -> Vec<Arc<SimProvider>> {
-        self.providers
-            .iter()
-            .filter(|p| p.category().is_cost_oriented())
-            .cloned()
-            .collect()
+        self.providers.iter().filter(|p| p.category().is_cost_oriented()).cloned().collect()
     }
 
     /// Providers in the performance-oriented tier (Table II: Azure,
     /// Aliyun).
     pub fn performance_oriented(&self) -> Vec<Arc<SimProvider>> {
-        self.providers
-            .iter()
-            .filter(|p| p.category().is_performance_oriented())
-            .cloned()
-            .collect()
+        self.providers.iter().filter(|p| p.category().is_performance_oriented()).cloned().collect()
     }
 
     /// Providers currently answering requests.

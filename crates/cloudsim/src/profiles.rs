@@ -127,14 +127,8 @@ mod tests {
     use hyrd_gcsapi::OpKind;
 
     /// The request sizes of Figure 5.
-    const FIG5_SIZES: [u64; 6] = [
-        4 * 1024,
-        16 * 1024,
-        64 * 1024,
-        256 * 1024,
-        1024 * 1024,
-        4 * 1024 * 1024,
-    ];
+    const FIG5_SIZES: [u64; 6] =
+        [4 * 1024, 16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024, 4 * 1024 * 1024];
 
     #[test]
     fn aliyun_is_fastest_at_every_figure5_size() {

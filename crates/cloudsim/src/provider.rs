@@ -292,8 +292,12 @@ impl SimProvider {
     /// object is absent, empty, or ghost (nothing to corrupt).
     pub fn corrupt_object(&self, key: &ObjectKey, bit: u64) -> bool {
         let mut s = self.store.write();
-        let Some(container) = s.get_mut(&key.container) else { return false };
-        let Some(Stored::Real(b)) = container.get_mut(&key.name) else { return false };
+        let Some(container) = s.get_mut(&key.container) else {
+            return false;
+        };
+        let Some(Stored::Real(b)) = container.get_mut(&key.name) else {
+            return false;
+        };
         if b.is_empty() {
             return false;
         }
@@ -481,13 +485,10 @@ impl CloudStorage for SimProvider {
             self.stats.record_err();
             CloudError::NoSuchContainer { container: key.container.clone() }
         })?;
-        let mut data = container
-            .get(&key.name)
-            .map(Stored::to_bytes)
-            .ok_or_else(|| {
-                self.stats.record_err();
-                CloudError::NoSuchObject { key: key.clone() }
-            })?;
+        let mut data = container.get(&key.name).map(Stored::to_bytes).ok_or_else(|| {
+            self.stats.record_err();
+            CloudError::NoSuchObject { key: key.clone() }
+        })?;
         drop(s);
         if !data.is_empty() {
             if let Some(entropy) = self.faults.read().wire_corruption(seq) {
@@ -748,11 +749,7 @@ mod tests {
         let payload = Bytes::from(vec![1u8; 64 * 1024]);
         p.put(&key, payload).unwrap();
         let base = p.get(&key).unwrap().report.latency;
-        p.set_fault_plan(FaultPlan::quiet().with_spike(
-            std::time::Duration::ZERO,
-            hours(1),
-            4.0,
-        ));
+        p.set_fault_plan(FaultPlan::quiet().with_spike(std::time::Duration::ZERO, hours(1), 4.0));
         let spiked = p.get(&key).unwrap().report.latency;
         // The latency model jitters per seq, but a 4x multiplier
         // dominates that spread.
@@ -851,10 +848,7 @@ mod tests {
             other => panic!("missing cost: {other:?}"),
         }
         assert_eq!(tel.counter("provider.ops[Amazon S3]"), 2);
-        assert_eq!(
-            tel.histogram("provider.latency_ns[Amazon S3]").unwrap().count(),
-            2
-        );
+        assert_eq!(tel.histogram("provider.latency_ns[Amazon S3]").unwrap().count(), 2);
     }
 
     #[test]

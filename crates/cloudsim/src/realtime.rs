@@ -53,8 +53,7 @@ impl RealtimeRunner {
                 .map(|t| {
                     s.spawn(move || {
                         let batch = t();
-                        let wall =
-                            Duration::from_secs_f64(batch.latency.as_secs_f64() * scale);
+                        let wall = Duration::from_secs_f64(batch.latency.as_secs_f64() * scale);
                         if !wall.is_zero() {
                             std::thread::sleep(wall);
                         }

@@ -33,7 +33,9 @@ impl CodeChoice {
     /// Data fragment count `m`.
     pub fn m(&self) -> usize {
         match *self {
-            CodeChoice::Raid5 { m } | CodeChoice::Raid6 { m } | CodeChoice::ReedSolomon { m, .. } => m,
+            CodeChoice::Raid5 { m }
+            | CodeChoice::Raid6 { m }
+            | CodeChoice::ReedSolomon { m, .. } => m,
         }
     }
 
@@ -91,6 +93,57 @@ impl Default for HedgeConfig {
     }
 }
 
+/// Adaptive redundancy policy (see [`crate::policy`]): a background
+/// migrator re-encodes files between the replication and erasure tiers
+/// from observed heat, size and provider health, instead of freezing
+/// every file in the tier its creation size picked. Off by default —
+/// the static threshold is the paper's evaluated configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyConfig {
+    /// Master switch. When off, no heat is tracked beyond the hot-copy
+    /// counter and [`crate::Hyrd::migrate_pass`] is a no-op.
+    pub enabled: bool,
+    /// Reads (since creation or the last migration) at which an
+    /// erasure-coded file is promoted to whole-object replication on
+    /// the performance tier.
+    pub promote_reads: u32,
+    /// A replicated file with at most this many reads is a demotion
+    /// candidate (0 = only never-read files demote).
+    pub demote_max_reads: u32,
+    /// Minimum *virtual* idle time (since last modification) before a
+    /// cold replicated file may demote — young files get a grace
+    /// period so a burst of creates is not immediately re-encoded.
+    pub demote_idle: std::time::Duration,
+    /// Smallest replicated file worth demoting: below this, the EC
+    /// savings do not pay for the fragment-read overhead.
+    pub demote_min_bytes: u64,
+    /// Migrations per [`crate::Hyrd::migrate_pass`] — bounds the
+    /// background traffic one pass may generate.
+    pub max_per_pass: usize,
+    /// SLI gate: migration only runs when every provider's measured
+    /// availability is at least this (see
+    /// [`crate::observatory::ProviderHealthView`]).
+    pub min_availability: f64,
+    /// SLI gate: migration only runs when every provider's error EWMA
+    /// is at most this.
+    pub max_error_ewma: f64,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            enabled: false,
+            promote_reads: 3,
+            demote_max_reads: 0,
+            demote_idle: std::time::Duration::from_secs(3600),
+            demote_min_bytes: 256 * 1024,
+            max_per_pass: 8,
+            min_availability: 0.9,
+            max_error_ewma: 0.5,
+        }
+    }
+}
+
 /// Full HyRD configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HyrdConfig {
@@ -124,6 +177,11 @@ pub struct HyrdConfig {
     /// bytes and every trace event are independent of the shard count,
     /// so deterministic runs stay byte-identical across values.
     pub meta_shards: usize,
+    /// Adaptive redundancy policy + background migrator (off by
+    /// default; see [`crate::policy`]). Deserializes as the default
+    /// when absent, so stored configurations stay readable.
+    #[serde(default)]
+    pub policy: PolicyConfig,
 }
 
 impl Default for HyrdConfig {
@@ -139,6 +197,7 @@ impl Default for HyrdConfig {
             breaker: BreakerSettings::default(),
             hedge: HedgeConfig::default(),
             meta_shards: 16,
+            policy: PolicyConfig::default(),
         }
     }
 }
@@ -171,6 +230,23 @@ impl HyrdConfig {
         if self.meta_shards == 0 {
             return Err("meta_shards must be at least 1".to_string());
         }
+        if self.policy.enabled {
+            if self.policy.promote_reads == 0 {
+                return Err("policy.promote_reads must be at least 1".to_string());
+            }
+            if self.policy.max_per_pass == 0 {
+                return Err("policy.max_per_pass must be at least 1".to_string());
+            }
+            if !(0.0..=1.0).contains(&self.policy.min_availability) {
+                return Err(format!(
+                    "policy.min_availability {} outside [0, 1]",
+                    self.policy.min_availability
+                ));
+            }
+            if self.policy.max_error_ewma < 0.0 {
+                return Err("policy.max_error_ewma must be non-negative".to_string());
+            }
+        }
         Ok(())
     }
 }
@@ -192,6 +268,7 @@ mod tests {
         assert!(!c.hedge.enabled, "hedging is opt-in");
         assert_eq!(c.hedge.extra, 1);
         assert_eq!(c.meta_shards, 16);
+        assert!(!c.policy.enabled, "the adaptive policy is opt-in");
         assert!(c.validate(4).is_ok());
     }
 
@@ -236,6 +313,21 @@ mod tests {
 
         let mut c = HyrdConfig::default();
         c.meta_shards = 0;
+        assert!(c.validate(4).is_err());
+
+        let mut c = HyrdConfig::default();
+        c.policy.enabled = true;
+        assert!(c.validate(4).is_ok(), "default policy tunables are valid");
+        c.policy.promote_reads = 0;
+        assert!(c.validate(4).is_err());
+        c.policy.promote_reads = 3;
+        c.policy.max_per_pass = 0;
+        assert!(c.validate(4).is_err());
+        c.policy.max_per_pass = 8;
+        c.policy.min_availability = 1.5;
+        assert!(c.validate(4).is_err());
+        c.policy.min_availability = 0.9;
+        c.policy.max_error_ewma = -0.1;
         assert!(c.validate(4).is_err());
     }
 }

@@ -124,8 +124,7 @@ impl CrashHarness {
     pub fn new(fleet: &Fleet, config: HyrdConfig, telemetry: Collector) -> SchemeResult<Self> {
         silence_crash_panics();
         let journal = Journal::recording();
-        let client =
-            Hyrd::with_journal(fleet, config.clone(), telemetry.clone(), journal.clone())?;
+        let client = Hyrd::with_journal(fleet, config.clone(), telemetry.clone(), journal.clone())?;
         Ok(CrashHarness {
             fleet: fleet.clone(),
             config,
@@ -292,7 +291,9 @@ impl CrashHarness {
 
     /// Resolves the indeterminate op (if any) against observed state.
     fn resolve_pending_pin(&mut self) {
-        let Some(pin) = self.pending_pin.take() else { return };
+        let Some(pin) = self.pending_pin.take() else {
+            return;
+        };
         let Some(client) = &self.client else { return };
         let path = pin.path.as_str();
         let observed_size = client.file_size(path);
@@ -340,7 +341,9 @@ impl CrashHarness {
     /// Runs the durability audit against the current client. Violations
     /// accumulate in [`violations`](Self::violations).
     pub fn audit(&mut self) {
-        let Some(client) = self.client.take() else { return };
+        let Some(client) = self.client.take() else {
+            return;
+        };
 
         // 1. Content: every oracle file reads back byte-identical.
         for (path, f) in &self.oracle {
@@ -367,9 +370,9 @@ impl CrashHarness {
                         ));
                     }
                 }
-                Err(e) if self.strict_reads => self
-                    .violations
-                    .push(format!("durability: acked file '{path}' unreadable: {e}")),
+                Err(e) if self.strict_reads => {
+                    self.violations.push(format!("durability: acked file '{path}' unreadable: {e}"))
+                }
                 Err(_) => {}
             }
         }
@@ -418,7 +421,9 @@ impl CrashHarness {
     /// sweep is caught exactly like a crash inside [`execute`](Self::execute)
     /// (no pending pin: maintenance mutates no acked content).
     pub fn recover_all(&mut self) {
-        let Some(client) = self.client.take() else { return };
+        let Some(client) = self.client.take() else {
+            return;
+        };
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
             for p in self.fleet.available() {
                 let _ = client.recover_provider(p.id());
@@ -431,6 +436,35 @@ impl CrashHarness {
                     panic::resume_unwind(payload);
                 }
                 self.crashes += 1;
+            }
+        }
+    }
+
+    /// Runs one policy migration pass ([`Hyrd::migrate_pass`]) under
+    /// crash injection. Like [`recover_all`](Self::recover_all), an
+    /// armed plan can kill the client at any migration crashpoint
+    /// (`migrate.publish.pre`, `migrate.flip.pre/post`,
+    /// `migrate.gc.pre/post`) or provider op; no pending pin is taken
+    /// because a migration re-encodes acked bytes without changing them
+    /// — whichever placement survives the restart must still serve the
+    /// oracle content, which the ordinary audit checks.
+    pub fn migrate_pass(&mut self) -> Option<crate::policy::MigrationReport> {
+        let Some(client) = self.client.take() else {
+            return None;
+        };
+        let result =
+            panic::catch_unwind(AssertUnwindSafe(|| client.migrate_pass().map(|(r, _)| r)));
+        match result {
+            Ok(outcome) => {
+                self.client = Some(client);
+                outcome.ok()
+            }
+            Err(payload) => {
+                if !payload.is::<ClientCrashed>() {
+                    panic::resume_unwind(payload);
+                }
+                self.crashes += 1;
+                None
             }
         }
     }

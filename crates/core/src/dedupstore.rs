@@ -198,11 +198,9 @@ impl<S: Scheme> DedupStore<S> {
     /// Deletes a file; chunks whose last reference this was are removed
     /// from the cloud too (garbage collection by refcount).
     pub fn delete_file(&mut self, path: &str) -> SchemeResult<BatchReport> {
-        let (_, fps) = self.manifests.remove(path).ok_or_else(|| {
-            SchemeError::DataUnavailable {
-                path: path.to_string(),
-                detail: "not stored through this dedup client".to_string(),
-            }
+        let (_, fps) = self.manifests.remove(path).ok_or_else(|| SchemeError::DataUnavailable {
+            path: path.to_string(),
+            detail: "not stored through this dedup client".to_string(),
         })?;
         let mut batch = self.inner.delete_file(&Self::manifest_path(path))?;
         for fp in fps {
@@ -264,10 +262,7 @@ mod tests {
         d.write_file("/b", &data).expect("fleet up");
         let second_cost = d.stats().transferred_bytes - after_first;
         // Only the manifest travels for the duplicate file.
-        assert!(
-            second_cost < 20_000,
-            "duplicate file moved {second_cost} bytes over the network"
-        );
+        assert!(second_cost < 20_000, "duplicate file moved {second_cost} bytes over the network");
         assert!(d.stats().dedup_ratio() > 1.9, "ratio {}", d.stats().dedup_ratio());
 
         // Both files read correctly.

@@ -118,7 +118,7 @@ impl CodeImpl {
 /// live entry (the classic lazy-deletion queue — the previous
 /// `order.retain` walked the whole queue on every update/delete, which
 /// was quadratic over a replay).
-struct SmallFileCache {
+pub(crate) struct SmallFileCache {
     budget: usize,
     used: usize,
     generation: u64,
@@ -137,7 +137,7 @@ impl SmallFileCache {
         }
     }
 
-    fn put(&mut self, path: &str, data: Bytes) {
+    pub(crate) fn put(&mut self, path: &str, data: Bytes) {
         // A payload larger than the whole budget can never stay resident:
         // admitting it would evict every live entry and then evict itself
         // — a full cache flush that caches nothing. Reject it up front.
@@ -156,7 +156,9 @@ impl SmallFileCache {
         self.map.insert(path.to_string(), (data, self.generation));
         self.order.push_back((path.to_string(), self.generation));
         while self.used > self.budget {
-            let Some((victim, generation)) = self.order.pop_front() else { break };
+            let Some((victim, generation)) = self.order.pop_front() else {
+                break;
+            };
             // Stale record: the path was removed or re-inserted since.
             let live = self.map.get(&victim).is_some_and(|(_, g)| *g == generation);
             if live {
@@ -173,11 +175,11 @@ impl SmallFileCache {
         }
     }
 
-    fn get(&self, path: &str) -> Option<Bytes> {
+    pub(crate) fn get(&self, path: &str) -> Option<Bytes> {
         self.map.get(path).map(|(b, _)| b.clone())
     }
 
-    fn remove(&mut self, path: &str) {
+    pub(crate) fn remove(&mut self, path: &str) {
         if let Some((b, _)) = self.map.remove(path) {
             self.used -= b.len();
             // The FIFO record goes stale and is skipped at eviction.
@@ -364,19 +366,15 @@ impl Hyrd {
             if DiffBlock::is_diff_object(name) {
                 // A torn or lost diff just truncates that directory's
                 // chain at the gap — resolve_chain strands the suffix.
-                if let Some(diff) =
-                    Self::fetch_decoded(&hyrd, &targets, name, &mut ops, |b| {
-                        DiffBlock::from_bytes(b).ok()
-                    })
-                {
+                if let Some(diff) = Self::fetch_decoded(&hyrd, &targets, name, &mut ops, |b| {
+                    DiffBlock::from_bytes(b).ok()
+                }) {
                     dir_diffs.entry(diff.dir.clone()).or_default().push(diff);
                 }
             } else if name.starts_with("meta:") {
-                if let Some(block) =
-                    Self::fetch_decoded(&hyrd, &targets, name, &mut ops, |b| {
-                        MetadataBlock::from_bytes(b).ok()
-                    })
-                {
+                if let Some(block) = Self::fetch_decoded(&hyrd, &targets, name, &mut ops, |b| {
+                    MetadataBlock::from_bytes(b).ok()
+                }) {
                     blocks.push(block);
                 }
             }
@@ -391,8 +389,7 @@ impl Hyrd {
         for block in blocks {
             let dir = block.dir.clone();
             let diffs = dir_diffs.remove(&dir).unwrap_or_default();
-            let chain: Vec<String> =
-                Self::chain_objects(&block, &diffs);
+            let chain: Vec<String> = Self::chain_objects(&block, &diffs);
             let resolved = resolve_chain(block, diffs);
             hyrd.meta.load_block(&resolved.block)?;
             hyrd.meta.seed_flushed(&dir, resolved.block.version);
@@ -492,7 +489,7 @@ impl Hyrd {
         self.stripe("monitor", &self.monitor)
     }
 
-    fn cache_l(&self) -> MutexGuard<'_, SmallFileCache> {
+    pub(crate) fn cache_l(&self) -> MutexGuard<'_, SmallFileCache> {
         self.stripe("cache", &self.cache)
     }
 
@@ -506,8 +503,15 @@ impl Hyrd {
         *count
     }
 
-    /// Drops a file's hot-read counter (delete, or hot-copy turnover).
-    fn reads_remove(&self, path: &NormPath) {
+    /// A file's current hot-read count without bumping it — the
+    /// adaptive policy's heat input.
+    pub(crate) fn reads_of(&self, path: &NormPath) -> u32 {
+        self.stripe("read_counts", self.read_counts.shard(path)).get(path).copied().unwrap_or(0)
+    }
+
+    /// Drops a file's hot-read counter (delete, content turnover, or a
+    /// completed migration starting a fresh heat epoch).
+    pub(crate) fn reads_remove(&self, path: &NormPath) {
         self.stripe("read_counts", self.read_counts.shard(path)).remove(path);
     }
 
@@ -594,10 +598,7 @@ impl Hyrd {
 
     /// Runs the consistency-update phase for a returned provider —
     /// §III-C phase 2. Call after the provider's outage ends.
-    pub fn recover_provider(
-        &self,
-        id: ProviderId,
-    ) -> SchemeResult<(RecoveryReport, BatchReport)> {
+    pub fn recover_provider(&self, id: ProviderId) -> SchemeResult<(RecoveryReport, BatchReport)> {
         let provider = self
             .fleet
             .get(id)
@@ -648,7 +649,9 @@ impl Hyrd {
         };
         let dirty_paths = self.dirty_l().paths();
         for path in dirty_paths {
-            let Ok(npath) = NormPath::parse(&path) else { continue };
+            let Ok(npath) = NormPath::parse(&path) else {
+                continue;
+            };
             let Ok(inode) = self.meta.inode(&npath) else {
                 self.dirty_l().forget(&path);
                 continue;
@@ -857,7 +860,7 @@ impl Hyrd {
 
     /// Fragment targets for large files: cost tier cheapest-storage
     /// first, padded with the remaining fastest providers up to `n`.
-    fn fragment_targets(&self) -> Vec<ProviderId> {
+    pub(crate) fn fragment_targets(&self) -> Vec<ProviderId> {
         let n = self.config.code.n();
         let mut targets = self.evaluator.cost_tier();
         for id in self.evaluator.fastest_first() {
@@ -1226,7 +1229,7 @@ impl Hyrd {
     // Read
     // ------------------------------------------------------------------
 
-    fn read_replicated(
+    pub(crate) fn read_replicated(
         &self,
         path: &str,
         providers: &[ProviderId],
@@ -1249,8 +1252,7 @@ impl Hyrd {
         // when the first is slow (metadata and small files included —
         // `list_dir`'s fastest-replica fetch rides the same path).
         let mut fanout = ReadFanout { hyrd: self, span: "fetch_replica", candidates };
-        let Some(mut outcome) = engine::fanout_read(&mut fanout, 1, &self.config.hedge, now)
-        else {
+        let Some(mut outcome) = engine::fanout_read(&mut fanout, 1, &self.config.hedge, now) else {
             return Err(SchemeError::DataUnavailable {
                 path: path.to_string(),
                 detail: format!("no replica of '{object}' reachable"),
@@ -1264,7 +1266,7 @@ impl Hyrd {
     /// Fetches any `m` fragments (policy-ordered) and decodes. The
     /// degraded-read path is implicit: a lost data fragment simply means
     /// a parity fragment gets picked and the decode reconstructs.
-    fn read_erasure(
+    pub(crate) fn read_erasure(
         &self,
         path: &str,
         layout: &hyrd_gfec::FragmentLayout,
@@ -1376,44 +1378,75 @@ impl Hyrd {
     /// on the fastest performance-oriented provider once the file crosses
     /// the configured read count (Figure 2's overlap region). The fill is
     /// background traffic: it costs ops/bytes, not user latency.
+    ///
+    /// `inode` is the snapshot the fragments were read from. The install
+    /// commits through [`ShardedMetaStore::set_placement_if_version`]
+    /// at that snapshot's version: if a concurrent update (or delete)
+    /// moved the file since, the staged copy holds pre-update bytes and
+    /// is removed instead of installed — a hot copy must never shadow
+    /// newer fragments.
     fn maybe_cache_hot(
         &self,
         path: &NormPath,
+        inode: &hyrd_metastore::Inode,
         data: &Bytes,
         batch: BatchReport,
     ) -> BatchReport {
-        let Some(threshold) = self.config.hot_read_threshold else { return batch };
+        let Some(threshold) = self.config.hot_read_threshold else {
+            // No hot-copy cache, but the adaptive policy still wants
+            // heat on erasure-coded reads.
+            if self.config.policy.enabled {
+                self.reads_bump(path);
+            }
+            return batch;
+        };
         let count = self.reads_bump(path);
         if count != threshold {
             return batch;
         }
-        let Some((size, layout, fragments)) = self.meta.inode(path).ok().and_then(|inode| {
-            match &inode.placement {
-                Placement::ErasureCoded { layout, fragments, hot_copy: None } => {
-                    Some((inode.size, *layout, fragments.clone()))
-                }
-                _ => None,
-            }
-        }) else {
+        let Placement::ErasureCoded { layout, fragments, hot_copy: None } = &inode.placement else {
             return batch;
         };
-        let Some(&target) = self.evaluator.performance_tier().first() else { return batch };
+        let Some(&target) = self.evaluator.performance_tier().first() else {
+            return batch;
+        };
         let name = format!("{}.hot", crate::scheme::object_name(path.as_str()));
         let now = self.now();
         let hot_key = Self::key(&name);
         match self.guarded(target, |p| p.put(&hot_key, data.clone())) {
             Ok(out) => {
                 self.integrity_l().record(&name, data);
-                let _ = self.meta.set_placement(
+                let landed = self.meta.set_placement_if_version(
                     path,
+                    inode.version,
                     Placement::ErasureCoded {
-                        layout,
-                        fragments,
-                        hot_copy: Some((target, name)),
+                        layout: *layout,
+                        fragments: fragments.clone(),
+                        hot_copy: Some((target, name.clone())),
                     },
-                    size,
+                    inode.size,
                     now,
                 );
+                if !matches!(landed, Ok(true)) {
+                    // Raced an update or delete: the bytes we staged are
+                    // already stale. Take the copy back out.
+                    self.integrity_l().forget(&name);
+                    let mut ops = vec![out.report];
+                    match self.guarded(target, |p| p.remove(&hot_key)) {
+                        Ok(rm) => ops.push(rm.report),
+                        Err(CloudError::NoSuchObject { .. })
+                        | Err(CloudError::NoSuchContainer { .. }) => {}
+                        Err(_) => self.wal_log_remove(target, hot_key),
+                    }
+                    if self.telemetry.enabled() {
+                        self.telemetry
+                            .event("hot.install_raced")
+                            .field("path", path.as_str())
+                            .emit();
+                        self.telemetry.inc("hot.install_races", 1);
+                    }
+                    return batch.with_background(BatchReport::parallel(ops));
+                }
                 let meta_batch = self.flush_metadata();
                 batch.with_background(BatchReport::parallel(vec![out.report]).then(meta_batch))
             }
@@ -1501,8 +1534,7 @@ impl Hyrd {
             // with the pre-update content so replay restores the state
             // the caller was told still stands.
             let mut old = bytes.to_vec();
-            old[offset as usize..offset as usize + old_window.len()]
-                .copy_from_slice(&old_window);
+            old[offset as usize..offset as usize + old_window.len()].copy_from_slice(&old_window);
             let old_bytes = Bytes::from(old);
             for &t in &providers {
                 self.wal_log_put(t, key.clone(), old_bytes.clone());
@@ -1517,12 +1549,7 @@ impl Hyrd {
         self.integrity_l().record(&object, &bytes);
         self.cache_l().put(path.as_str(), bytes);
         let now = self.now();
-        self.meta.set_placement(
-            path,
-            Placement::Replicated { providers, object },
-            size,
-            now,
-        )?;
+        self.meta.set_placement(path, Placement::Replicated { providers, object }, size, now)?;
         Ok(read_batch.then(write_batch).then(self.flush_metadata()))
     }
 
@@ -1595,15 +1622,18 @@ impl Hyrd {
             match self.guarded(p, |prov| prov.remove(&hot_key)) {
                 Ok(out) => batch = batch.with_background(BatchReport::parallel(vec![out.report])),
                 // Verifiably gone already — nothing left to reclaim.
-                Err(CloudError::NoSuchObject { .. })
-                | Err(CloudError::NoSuchContainer { .. }) => {}
+                Err(CloudError::NoSuchObject { .. }) | Err(CloudError::NoSuchContainer { .. }) => {}
                 // Outage, timeout, retries exhausted: the stale copy may
                 // well still occupy (billed) provider storage. Log a
                 // pending remove so recovery reclaims it.
                 Err(_) => self.wal_log_remove(p, hot_key),
             }
-            self.reads_remove(path);
         }
+        // The content changed, so accumulated heat describes a file that
+        // no longer exists. Reset unconditionally — not just when a hot
+        // copy had to be dropped — or a file one read short of the
+        // threshold gets a hot copy on its first post-update read.
+        self.reads_remove(path);
 
         let now = self.now();
         self.meta.set_placement(
@@ -1628,10 +1658,16 @@ impl Hyrd {
             .field("bytes", data.len() as u64)
             .start();
         let path = NormPath::parse(path)?;
-        match self.monitor_l().classify(data.len() as u64) {
+        let result = match self.monitor_l().classify(data.len() as u64) {
             DataClass::SmallFile | DataClass::Metadata => self.create_small(&path, data),
             DataClass::LargeFile => self.create_large(&path, data),
+        };
+        if result.is_err() {
+            // The file never came to exist; keep the monitor describing
+            // live data only (its fractions feed the placement policy).
+            self.monitor_l().forget(data.len() as u64);
         }
+        result
     }
 
     /// Reads a whole file (degraded reads during outages are automatic).
@@ -1641,14 +1677,52 @@ impl Hyrd {
         // Clone the placement out of the metadata stripe: the lock must
         // not be held across provider fetches (other sessions' metadata
         // operations would serialize behind this read).
-        let inode = self.meta.inode(&npath)?;
+        let mut inode = self.meta.inode(&npath)?;
+        // A concurrent migration can flip the placement and GC the old
+        // objects between our metadata fetch and the provider ops. That
+        // manifests as a read error against a placement whose inode
+        // version has since moved — re-fetch and retry with the fresh
+        // placement. Version-unchanged errors (real outages) return
+        // unchanged, so non-migrating runs behave exactly as before.
+        const PLACEMENT_RETRIES: usize = 4;
+        let mut attempts = 0;
+        loop {
+            let err = match self.read_placed(&npath, path, &inode) {
+                Ok(out) => return Ok(out),
+                Err(err) => err,
+            };
+            attempts += 1;
+            if attempts >= PLACEMENT_RETRIES {
+                return Err(err);
+            }
+            match self.meta.inode(&npath) {
+                Ok(fresh) if fresh.version != inode.version => inode = fresh,
+                _ => return Err(err),
+            }
+        }
+    }
+
+    /// One read attempt against a fixed placement snapshot.
+    fn read_placed(
+        &self,
+        npath: &NormPath,
+        path: &str,
+        inode: &hyrd_metastore::Inode,
+    ) -> SchemeResult<(Bytes, BatchReport)> {
         match &inode.placement {
             Placement::Pending => Err(SchemeError::DataUnavailable {
                 path: path.to_string(),
                 detail: "file has no placement".to_string(),
             }),
             Placement::Replicated { providers, object } => {
-                self.read_replicated(path, providers, object)
+                let out = self.read_replicated(path, providers, object)?;
+                if self.config.policy.enabled {
+                    // The adaptive policy wants heat on every class of
+                    // read; without it, promoted files would look cold
+                    // and ping-pong straight back to erasure coding.
+                    self.reads_bump(npath);
+                }
+                Ok(out)
             }
             Placement::ErasureCoded { layout, fragments, hot_copy } => {
                 // Prefer the hot copy (one fast whole-object Get) — but
@@ -1657,13 +1731,15 @@ impl Hyrd {
                 // doubt falls back to the erasure-coded truth.
                 if let Some((p, name)) = hot_copy {
                     let hot_key = Self::key(name);
-                    if !self.log_l().is_pending(*p, &hot_key)
-                        && self.health.admits(*p, self.now())
+                    if !self.log_l().is_pending(*p, &hot_key) && self.health.admits(*p, self.now())
                     {
                         if let Ok(out) = self.guarded(*p, |prov| prov.get(&hot_key)) {
                             match self.check(*p, name, &out.value) {
                                 Verdict::Corrupt => self.note_corruption(*p, name),
                                 Verdict::Verified | Verdict::Unknown => {
+                                    if self.config.policy.enabled {
+                                        self.reads_bump(npath);
+                                    }
                                     return Ok((
                                         out.value,
                                         BatchReport::parallel(vec![out.report]),
@@ -1680,19 +1756,14 @@ impl Hyrd {
                     self.telemetry.inc("read.fallbacks", 1);
                 }
                 let (bytes, batch) = self.read_erasure(path, layout, fragments)?;
-                let batch = self.maybe_cache_hot(&npath, &bytes, batch);
+                let batch = self.maybe_cache_hot(npath, inode, &bytes, batch);
                 Ok((bytes, batch))
             }
         }
     }
 
     /// Overwrites a byte range.
-    pub fn update_file(
-        &self,
-        path: &str,
-        offset: u64,
-        data: &[u8],
-    ) -> SchemeResult<BatchReport> {
+    pub fn update_file(&self, path: &str, offset: u64, data: &[u8]) -> SchemeResult<BatchReport> {
         let _span = self
             .telemetry
             .span_with("update_file")
@@ -1707,9 +1778,7 @@ impl Hyrd {
         // would pass a plain `>` check and then panic at the slice index
         // in the update paths below. Checked arithmetic keeps adversarial
         // offsets in the error path.
-        let in_range = offset
-            .checked_add(data.len() as u64)
-            .is_some_and(|end| end <= size);
+        let in_range = offset.checked_add(data.len() as u64).is_some_and(|end| end <= size);
         if !in_range {
             return Err(SchemeError::BadRange {
                 path: path.to_string(),
@@ -1757,15 +1826,19 @@ impl Hyrd {
                 }
             }
         }
-        let _intent = self.journal.begin(Intent::Delete {
-            path: npath.as_str().to_string(),
-            objects: doomed.clone(),
-        });
+        let _intent = self
+            .journal
+            .begin(Intent::Delete { path: npath.as_str().to_string(), objects: doomed.clone() });
         self.meta.remove_file(&npath)?;
-        self.cache_l().remove(path);
+        // Cache and dirty-set keys are *normalized* paths (that is what
+        // the write paths insert); evicting under the caller's raw
+        // spelling would leave a live entry behind for aliases like
+        // `/a//b`, and a stale cached body later poisons update digests.
+        self.cache_l().remove(npath.as_str());
         self.reads_remove(&npath);
-        self.dirty_l().forget(path);
+        self.dirty_l().forget(npath.as_str());
         self.sync_dirty_journal();
+        self.monitor_l().forget(inode.size);
 
         let mut ops = Vec::new();
         let mut remove_one = |p: ProviderId, name: &str| {
@@ -1775,8 +1848,7 @@ impl Hyrd {
                 Ok(out) => ops.push(out.report),
                 // The object verifiably does not exist (e.g. a logged
                 // write that never landed): nothing to reclaim.
-                Err(CloudError::NoSuchObject { .. })
-                | Err(CloudError::NoSuchContainer { .. }) => {}
+                Err(CloudError::NoSuchObject { .. }) | Err(CloudError::NoSuchContainer { .. }) => {}
                 // Unavailable, timed out, retries exhausted — the object
                 // may well still be there. Dropping the metadata while
                 // leaving the bytes behind would leak billed storage
@@ -1935,10 +2007,7 @@ impl Scheme for Hyrd {
         Hyrd::file_size(self, path)
     }
 
-    fn recover_provider(
-        &mut self,
-        id: ProviderId,
-    ) -> SchemeResult<(RecoveryReport, BatchReport)> {
+    fn recover_provider(&mut self, id: ProviderId) -> SchemeResult<(RecoveryReport, BatchReport)> {
         Hyrd::recover_provider(self, id)
     }
 }

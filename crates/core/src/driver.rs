@@ -260,11 +260,8 @@ pub(crate) fn exec_one(
         FsOp::Read { path } => {
             let size = files.get(path).map_or(0, |(s, _)| *s);
             let (bytes, batch) = scheme.read_file(path).map_err(|_| ())?;
-            let class = if size <= opts.stats_threshold {
-                OpClass::SmallRead
-            } else {
-                OpClass::LargeRead
-            };
+            let class =
+                if size <= opts.stats_threshold { OpClass::SmallRead } else { OpClass::LargeRead };
             let verify_failure = if opts.verify_reads {
                 expected.get(path).is_some_and(|want| &bytes[..] != want.as_slice())
             } else {
@@ -324,8 +321,11 @@ pub(crate) fn record_into(
             .field("provider_ops", batch.op_count() as u64)
             .emit();
         opts.telemetry.inc_labeled("replay.ops", &class, 1);
-        opts.telemetry
-            .observe_labeled("replay.latency_ns", &class, batch.latency.as_nanos() as u64);
+        opts.telemetry.observe_labeled(
+            "replay.latency_ns",
+            &class,
+            batch.latency.as_nanos() as u64,
+        );
     }
 }
 
@@ -343,11 +343,7 @@ pub(crate) fn record_error(stats: &mut ReplayStats, op: &FsOp, opts: &ReplayOpti
             FsOp::Delete { path } => ("delete", path),
             FsOp::ListDir { path } => ("listdir", path),
         };
-        opts.telemetry
-            .event("replay.error")
-            .field("op", kind)
-            .field("path", path.as_str())
-            .emit();
+        opts.telemetry.event("replay.error").field("op", kind).field("path", path.as_str()).emit();
         opts.telemetry.inc_labeled("replay.errors", kind, 1);
     }
 }

@@ -97,8 +97,7 @@ mod tests {
         let clock = SimClock::new();
         let fleet = Fleet::standard_four(clock.clone());
         let mut hyrd = Hyrd::new(&fleet, HyrdConfig::default()).unwrap();
-        let report =
-            run_open_loop(&mut hyrd, &small_workload(), &clock, &ReplayOptions::default());
+        let report = run_open_loop(&mut hyrd, &small_workload(), &clock, &ReplayOptions::default());
         (report, clock.now())
     }
 

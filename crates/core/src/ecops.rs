@@ -184,8 +184,7 @@ pub fn ranged_update_with<C: ErasureCode + ?Sized>(
     let (lo, hi) = parity_window(&plan.touched);
     let up = |i: usize| lookup(fragments[i].0).is_available();
 
-    let all_needed_up =
-        plan.touched.iter().all(|&(s, _, _)| up(s)) && (layout.m..layout.n).all(up);
+    let all_needed_up = plan.touched.iter().all(|&(s, _, _)| up(s)) && (layout.m..layout.n).all(up);
 
     if all_needed_up {
         // Normal ranged RMW.
@@ -477,8 +476,7 @@ mod tests {
         let lookup = |id: ProviderId| fleet.get(id).unwrap().clone();
         let patch = vec![0xEEu8; 100];
         let off = Collector::disabled();
-        let out =
-            ranged_update(&code, &lookup, &off, &layout, &map, "/t", 500, &patch).unwrap();
+        let out = ranged_update(&code, &lookup, &off, &layout, &map, "/t", 500, &patch).unwrap();
         assert!(out.missed.is_empty());
         obj[500..600].copy_from_slice(&patch);
         assert_eq!(read_all(&fleet, &code, &layout, &map), obj);

@@ -253,8 +253,16 @@ pub fn fanout_read(
     // at t0. Each slot independently fails over through the shared
     // candidate list until it holds a flight or the list runs dry.
     for _ in 0..need {
-        match launch_next(driver, &mut next, &mut seq, t0_ns, LaunchKind::Required, false, &mut ops, &mut stats)
-        {
+        match launch_next(
+            driver,
+            &mut next,
+            &mut seq,
+            t0_ns,
+            LaunchKind::Required,
+            false,
+            &mut ops,
+            &mut stats,
+        ) {
             Launched::Flight(f) => active.push(f),
             Launched::Exhausted => return None,
         }
@@ -266,15 +274,25 @@ pub fn fanout_read(
 
     while winners.len() < need {
         // The engine's one rule: advance to the earliest posted event.
-        let next_done =
-            active.iter().map(|f| (f.done_ns, f.seq)).min().expect("initial wave filled `need` flights");
+        let next_done = active
+            .iter()
+            .map(|f| (f.done_ns, f.seq))
+            .min()
+            .expect("initial wave filled `need` flights");
         if hedges_left > 0 && next < driver.candidates() && hedge_at_ns < next_done.0 {
             // Deadline passed with the read still incomplete: launch the
             // redundant wave. The timer fires once; extras that find no
             // viable candidate lapse.
             while hedges_left > 0 && next < driver.candidates() {
                 match launch_next(
-                    driver, &mut next, &mut seq, hedge_at_ns, LaunchKind::Hedge, true, &mut ops, &mut stats,
+                    driver,
+                    &mut next,
+                    &mut seq,
+                    hedge_at_ns,
+                    LaunchKind::Hedge,
+                    true,
+                    &mut ops,
+                    &mut stats,
                 ) {
                     Launched::Flight(f) => {
                         active.push(f);

@@ -187,9 +187,7 @@ impl Evaluator {
     /// Orders the given providers by a reference ranking (providers not
     /// in the ranking keep their relative order at the end).
     pub fn order_by(ranking: &[ProviderId], subset: &[ProviderId]) -> Vec<ProviderId> {
-        let pos = |id: ProviderId| {
-            ranking.iter().position(|&r| r == id).unwrap_or(usize::MAX)
-        };
+        let pos = |id: ProviderId| ranking.iter().position(|&r| r == id).unwrap_or(usize::MAX);
         let mut out = subset.to_vec();
         out.sort_by_key(|&id| (pos(id), id));
         out
@@ -222,11 +220,7 @@ mod tests {
     #[test]
     fn aliyun_is_in_both_tiers() {
         let e = eval();
-        let aliyun = e
-            .assessments()
-            .iter()
-            .find(|a| a.name == "Aliyun")
-            .expect("aliyun assessed");
+        let aliyun = e.assessments().iter().find(|a| a.name == "Aliyun").expect("aliyun assessed");
         assert!(aliyun.performance_oriented && aliyun.cost_oriented);
     }
 

@@ -64,7 +64,11 @@ pub struct CircuitBreaker {
 impl CircuitBreaker {
     /// A closed breaker.
     pub fn new(settings: BreakerSettings) -> Self {
-        CircuitBreaker { settings, state: BreakerState::Closed { consecutive_failures: 0 }, trips: 0 }
+        CircuitBreaker {
+            settings,
+            state: BreakerState::Closed { consecutive_failures: 0 },
+            trips: 0,
+        }
     }
 
     /// Current state.
@@ -358,7 +362,7 @@ mod tests {
 
     #[test]
     fn tracker_emits_transition_events_not_streak_noise() {
-        use hyrd_telemetry::{Collector, ManualClock, TraceRecord};
+        use hyrd_telemetry::{Collector, ManualClock};
         use std::sync::Arc;
 
         let collector = Collector::builder(Arc::new(ManualClock::new())).ring(64).build();
@@ -377,10 +381,7 @@ mod tests {
             .iter()
             .filter(|r| r.is_event("breaker.transition"))
             .map(|r| {
-                (
-                    r.field_str("from").unwrap().to_string(),
-                    r.field_str("to").unwrap().to_string(),
-                )
+                (r.field_str("from").unwrap().to_string(), r.field_str("to").unwrap().to_string())
             })
             .collect();
         let expect = |a: &str, b: &str| (a.to_string(), b.to_string());

@@ -109,6 +109,23 @@ pub enum Intent {
         /// Every (provider, object) the delete must remove.
         objects: Vec<(ProviderId, String)>,
     },
+    /// A policy migration (scheme change) was in flight. Resolution is
+    /// decided by the *recovered metadata*: the flip through the
+    /// metastore is the commit point, and it is flushed durable before
+    /// any old object is garbage-collected. If the recovered placement
+    /// references any of `new_objects`, the flip committed — roll
+    /// *forward* by finishing the GC of `old_objects`; otherwise the
+    /// flip never happened — roll *back* by removing the staged
+    /// `new_objects`. Either way exactly one placement's objects
+    /// survive, so reads never see a torn scheme.
+    Migrate {
+        /// File path being migrated.
+        path: String,
+        /// The staged objects of the new placement.
+        new_objects: Vec<(ProviderId, String)>,
+        /// The objects of the old placement, doomed once the flip lands.
+        old_objects: Vec<(ProviderId, String)>,
+    },
 }
 
 impl Intent {
@@ -118,7 +135,8 @@ impl Intent {
             Intent::Create { path, .. }
             | Intent::UpdateReplicated { path, .. }
             | Intent::UpdateErasure { path, .. }
-            | Intent::Delete { path, .. } => path,
+            | Intent::Delete { path, .. }
+            | Intent::Migrate { path, .. } => path,
         }
     }
 }
@@ -267,8 +285,7 @@ impl Journal {
         match &self.inner {
             Some(inner) => {
                 let state = inner.state.lock();
-                let intents =
-                    state.intents.iter().map(|(s, i)| (*s, i.clone())).collect();
+                let intents = state.intents.iter().map(|(s, i)| (*s, i.clone())).collect();
                 (state.pending.clone(), state.dirty.clone(), intents)
             }
             None => (UpdateLog::new(), DirtyFragments::new(), Vec::new()),

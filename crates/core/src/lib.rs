@@ -68,8 +68,8 @@ pub mod config;
 pub mod crashtest;
 pub mod dedupstore;
 pub mod dispatcher;
-pub mod ecops;
 pub mod driver;
+pub mod ecops;
 pub mod engine;
 pub mod evaluator;
 pub mod health;
@@ -77,27 +77,29 @@ pub mod integrity;
 pub mod journal;
 pub mod monitor;
 pub mod observatory;
+pub mod policy;
 pub mod recovery;
 pub mod restart;
 pub mod scheme;
 pub mod scrub;
 pub mod stats;
 
-pub use config::{CodeChoice, FragmentSelection, HedgeConfig, HyrdConfig};
-pub use crashtest::{ClientCrashed, CrashHarness, silence_crash_panics};
-pub use engine::HedgeStats;
+pub use config::{CodeChoice, FragmentSelection, HedgeConfig, HyrdConfig, PolicyConfig};
+pub use crashtest::{silence_crash_panics, ClientCrashed, CrashHarness};
 pub use dedupstore::{DedupStats, DedupStore};
 pub use dispatcher::Hyrd;
-pub use journal::{FragWrite, Intent, Journal};
-pub use restart::RestartReport;
+pub use engine::HedgeStats;
 pub use evaluator::{Evaluator, ProviderAssessment};
 pub use health::{BreakerSettings, BreakerState, FaultCounterSnapshot, HealthTracker};
 pub use integrity::{IntegrityIndex, Verdict};
+pub use journal::{FragWrite, Intent, Journal};
 pub use monitor::{DataClass, WorkloadMonitor};
 pub use observatory::{
     FileExposure, Observatory, ObservatoryReport, ProviderHealthView, SharedObservatory,
 };
+pub use policy::{MigrationKind, MigrationReport, PolicyEngine};
 pub use recovery::{LogRecord, RecoveryReport, UpdateLog};
+pub use restart::RestartReport;
 pub use scheme::{Scheme, SchemeError, SchemeResult, SharedAsScheme, SharedScheme};
 pub use scrub::ScrubReport;
 
@@ -110,7 +112,7 @@ pub mod prelude {
     pub use crate::config::{CodeChoice, FragmentSelection, HedgeConfig, HyrdConfig};
     pub use crate::dispatcher::Hyrd;
     pub use crate::driver::multi_client::{MultiClient, MultiClientOptions, MultiClientReport};
-    pub use crate::driver::{ReplayOptions, ReplayStats, replay, replay_sweep};
+    pub use crate::driver::{replay, replay_sweep, ReplayOptions, ReplayStats};
     pub use crate::scheme::{Scheme, SchemeError, SharedScheme};
     pub use hyrd_cloudsim::{Fleet, SimClock};
     pub use hyrd_gcsapi::{BatchReport, CloudStorage};

@@ -36,12 +36,7 @@ impl WorkloadMonitor {
     /// Creates a monitor with the given large/small threshold.
     pub fn new(threshold: u64) -> Self {
         assert!(threshold > 0, "threshold must be positive");
-        WorkloadMonitor {
-            threshold,
-            histogram: vec![0; BUCKETS],
-            bytes_small: 0,
-            bytes_large: 0,
-        }
+        WorkloadMonitor { threshold, histogram: vec![0; BUCKETS], bytes_small: 0, bytes_large: 0 }
     }
 
     /// The active threshold.
@@ -60,6 +55,32 @@ impl WorkloadMonitor {
             self.bytes_large += size;
             DataClass::LargeFile
         }
+    }
+
+    /// Un-records a previously classified file of `size` bytes —
+    /// called on delete and on creates that fail after classification,
+    /// so the histogram and byte tallies track *live* data instead of
+    /// growing monotonically (which made `small_count_frac`, a policy
+    /// input, drift on churny create/delete workloads). Saturating, so
+    /// a spurious forget can never underflow.
+    pub fn forget(&mut self, size: u64) {
+        let bucket = (64 - size.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.histogram[bucket] = self.histogram[bucket].saturating_sub(1);
+        if size <= self.threshold {
+            self.bytes_small = self.bytes_small.saturating_sub(size);
+        } else {
+            self.bytes_large = self.bytes_large.saturating_sub(size);
+        }
+    }
+
+    /// Adjusts the tallies for an in-place overwrite that changed a
+    /// file's logical size from `old` to `new` bytes.
+    pub fn adjust(&mut self, old: u64, new: u64) {
+        if old == new {
+            return;
+        }
+        self.forget(old);
+        self.classify(new);
     }
 
     /// Classification without recording (for reads/planning).
@@ -165,6 +186,47 @@ mod tests {
         let small_bytes = 9.0 * 4096.0;
         let frac = small_bytes / (small_bytes + (8 << 20) as f64);
         assert!((m.small_bytes_frac() - frac).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forget_reverses_classify_exactly() {
+        let mut m = WorkloadMonitor::new(1 << 20);
+        for _ in 0..9 {
+            m.classify(4 * 1024);
+        }
+        m.classify(8 << 20);
+        // Churn: delete the large file and three small ones.
+        m.forget(8 << 20);
+        for _ in 0..3 {
+            m.forget(4 * 1024);
+        }
+        assert_eq!(m.files_seen(), 6);
+        assert_eq!(m.histogram()[12], 6);
+        assert_eq!(m.histogram()[23], 0);
+        assert!((m.small_count_frac() - 1.0).abs() < 1e-9);
+        assert!((m.small_bytes_frac() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forget_saturates_instead_of_underflowing() {
+        let mut m = WorkloadMonitor::new(1024);
+        m.forget(10);
+        m.forget(1 << 20);
+        assert_eq!(m.files_seen(), 0);
+        assert_eq!(m.small_bytes_frac(), 0.0);
+    }
+
+    #[test]
+    fn adjust_moves_a_file_between_tiers() {
+        let mut m = WorkloadMonitor::new(1 << 20);
+        m.classify(4 * 1024);
+        m.adjust(4 * 1024, 8 << 20);
+        assert_eq!(m.files_seen(), 1);
+        assert_eq!(m.small_count_frac(), 0.0);
+        assert_eq!(m.small_bytes_frac(), 0.0);
+        // No-op when the size is unchanged.
+        m.adjust(8 << 20, 8 << 20);
+        assert_eq!(m.files_seen(), 1);
     }
 
     #[test]

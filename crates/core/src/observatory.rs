@@ -33,9 +33,7 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-use hyrd_telemetry::{
-    parse_line, Histogram, MetricsSnapshot, ParseError, TraceRecord,
-};
+use hyrd_telemetry::{parse_line, Histogram, MetricsSnapshot, ParseError, TraceRecord};
 
 use crate::driver::replay_sweep;
 
@@ -176,8 +174,7 @@ impl FileTracker {
 
     /// Exposure including still-open intervals extended to `now_ns`.
     fn exposure_at(&self, now_ns: u64) -> u64 {
-        let open: u64 =
-            self.open.values().map(|s| now_ns.saturating_sub(*s)).sum();
+        let open: u64 = self.open.values().map(|s| now_ns.saturating_sub(*s)).sum();
         self.exposure_ns + open
     }
 
@@ -436,9 +433,7 @@ impl Observatory {
             let tracker = self.provider(&provider);
             tracker.queue_depth_peak = tracker.queue_depth_peak.max(digest.max);
         }
-        let gauge = |name: &str| {
-            metrics.gauges.get(name).copied().map_or(0, |v| v.max(0) as u64)
-        };
+        let gauge = |name: &str| metrics.gauges.get(name).copied().map_or(0, |v| v.max(0) as u64);
         self.meta.occ_conflicts = self.meta.occ_conflicts.max(gauge("meta.occ.conflicts"));
         self.meta.occ_retries = self.meta.occ_retries.max(gauge("meta.occ.retries"));
         self.meta.chain_max = self.meta.chain_max.max(gauge("meta.chain.max"));
@@ -657,9 +652,7 @@ impl ObservatoryReport {
             self.files.len(),
         ));
         if !self.files.is_empty() {
-            out.push_str(
-                "path                        exposure_s open closed degraded corrupt\n",
-            );
+            out.push_str("path                        exposure_s open closed degraded corrupt\n");
             for f in &self.files {
                 out.push_str(&format!(
                     "{:<27} {:<10} {:<4} {:<6} {:<8} {}\n",
@@ -949,8 +942,7 @@ mod tests {
     #[test]
     fn parse_jobs_is_order_preserving_and_jobs_invariant() {
         let records = synthetic_trace();
-        let text: String =
-            records.iter().map(|r| r.to_json() + "\n").collect::<Vec<_>>().join("");
+        let text: String = records.iter().map(|r| r.to_json() + "\n").collect::<Vec<_>>().join("");
         let one = parse_trace_jobs(&text, 1).unwrap();
         let four = parse_trace_jobs(&text, 4).unwrap();
         assert_eq!(one, records);

@@ -159,7 +159,9 @@ impl Hyrd {
                 // twice — wire corruption is transient — before the
                 // replica is skipped in favor of the other candidates.
                 for _attempt in 0..3 {
-                    let Ok(out) = hyrd.guarded(p.id(), |prov| prov.get(&key)) else { break };
+                    let Ok(out) = hyrd.guarded(p.id(), |prov| prov.get(&key)) else {
+                        break;
+                    };
                     let decoded = if is_diff {
                         match DiffBlock::from_bytes(&out.value) {
                             Ok(d) => {
@@ -441,9 +443,9 @@ impl Hyrd {
                 for w in writes {
                     let key = Self::key(&w.object);
                     self.integrity_l().forget(&w.object);
-                    match self.guarded(w.provider, |prov| {
-                        prov.put_range(&key, w.offset, w.bytes.clone())
-                    }) {
+                    match self
+                        .guarded(w.provider, |prov| prov.put_range(&key, w.offset, w.bytes.clone()))
+                    {
                         Ok(_) => {}
                         Err(_) => self.dirty_l().mark(path, w.index),
                     }
@@ -465,11 +467,8 @@ impl Hyrd {
                 if let Ok(npath) = NormPath::parse(path) {
                     let recovered = self.meta.inode(&npath).ok();
                     if let Some(inode) = recovered {
-                        if let Placement::ErasureCoded {
-                            layout,
-                            fragments,
-                            hot_copy: Some(_),
-                        } = inode.placement
+                        if let Placement::ErasureCoded { layout, fragments, hot_copy: Some(_) } =
+                            inode.placement
                         {
                             let now = self.now();
                             let _ = self.meta.set_placement(
@@ -508,6 +507,65 @@ impl Hyrd {
                 }
                 report.intents_rolled_forward += 1;
             }
+            Intent::Migrate { path, new_objects, old_objects } => {
+                // The metastore flip is the migration's commit point and
+                // it is flushed durable *before* any GC. So the recovered
+                // placement decides: if it references a staged object the
+                // flip committed — roll forward (finish the GC of the old
+                // placement); if not, the flip never happened — roll back
+                // (remove the staged objects). A deleted file references
+                // neither set, so both are swept.
+                let recovered =
+                    NormPath::parse(path).ok().and_then(|npath| self.meta.inode(&npath).ok());
+                let mut placed: BTreeSet<&str> = BTreeSet::new();
+                if let Some(inode) = &recovered {
+                    match &inode.placement {
+                        Placement::Pending => {}
+                        Placement::Replicated { object, .. } => {
+                            placed.insert(object.as_str());
+                        }
+                        Placement::ErasureCoded { fragments, hot_copy, .. } => {
+                            for (_, name) in fragments {
+                                placed.insert(name.as_str());
+                            }
+                            if let Some((_, name)) = hot_copy {
+                                placed.insert(name.as_str());
+                            }
+                        }
+                    }
+                }
+                let committed = new_objects.iter().any(|(_, name)| placed.contains(name.as_str()));
+                let sweep = |doomed: &[(hyrd_gcsapi::ProviderId, String)]| {
+                    for (p, object) in doomed {
+                        let key = Self::key(object);
+                        self.integrity_l().forget(object);
+                        match self.guarded(*p, |prov| prov.remove(&key)) {
+                            Ok(_)
+                            | Err(CloudError::NoSuchObject { .. })
+                            | Err(CloudError::NoSuchContainer { .. }) => {
+                                self.wal_discharge(*p, &key);
+                            }
+                            Err(_) => self.wal_log_remove(*p, key),
+                        }
+                    }
+                };
+                if recovered.is_none() {
+                    sweep(new_objects);
+                    sweep(old_objects);
+                    report.intents_rolled_forward += 1;
+                } else if committed {
+                    sweep(old_objects);
+                    report.intents_rolled_forward += 1;
+                } else {
+                    sweep(new_objects);
+                    report.intents_rolled_back += 1;
+                }
+                // Heat accumulated against the old scheme means nothing
+                // for the new one (and the file may be gone entirely).
+                if let Ok(npath) = NormPath::parse(path) {
+                    self.reads_remove(&npath);
+                }
+            }
         }
     }
 
@@ -521,7 +579,9 @@ impl Hyrd {
         let mut refs = BTreeSet::new();
         for dir in self.meta.all_dirs() {
             refs.insert(MetadataBlock::object_name(&dir));
-            let Ok(entries) = self.meta.inodes_in(&dir) else { continue };
+            let Ok(entries) = self.meta.inodes_in(&dir) else {
+                continue;
+            };
             for (_, inode) in entries {
                 match &inode.placement {
                     Placement::Pending => {}

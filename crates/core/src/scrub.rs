@@ -258,11 +258,8 @@ impl Hyrd {
             return; // nothing reachable; outage recovery's problem
         };
 
-        let frags: Vec<Fragment> = source
-            .iter()
-            .take(m)
-            .map(|(i, _, b, _)| Fragment::new(*i, b.to_vec()))
-            .collect();
+        let frags: Vec<Fragment> =
+            source.iter().take(m).map(|(i, _, b, _)| Fragment::new(*i, b.to_vec())).collect();
         let Ok(object) = self.planner.decode_object(self.code.as_code(), layout, &frags) else {
             report.unrecoverable += 1;
             return;
@@ -290,8 +287,14 @@ impl Hyrd {
             let want = &oracle[*i].data;
             if &bytes[..] != want.as_slice() {
                 let name = &fragments[*i].1;
-                if self.scrub_rewrite(path, Some(*i as u64), *p, name, &Bytes::from(want.clone()), ops)
-                {
+                if self.scrub_rewrite(
+                    path,
+                    Some(*i as u64),
+                    *p,
+                    name,
+                    &Bytes::from(want.clone()),
+                    ops,
+                ) {
                     report.repaired += 1;
                 }
             } else if *verdict == Verdict::Unknown {
@@ -387,7 +390,7 @@ mod tests {
     #[test]
     fn clean_store_scrubs_clean() {
         let fleet = fleet();
-        let mut h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config");
+        let h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config");
         h.create_file("/a", &synth_content("/a", 0, 8 * KB)).expect("up");
         h.create_file("/b", &synth_content("/b", 0, 2 * MB)).expect("up");
         let (report, batch) = h.scrub().expect("scrub runs");
@@ -401,7 +404,7 @@ mod tests {
     #[test]
     fn corrupt_replica_is_detected_and_rewritten() {
         let fleet = fleet();
-        let mut h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config");
+        let h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config");
         let data = synth_content("/f", 0, 8 * KB);
         h.create_file("/f", &data).expect("up");
 
@@ -432,7 +435,7 @@ mod tests {
     #[test]
     fn corrupt_fragment_is_rebuilt_from_the_stripe() {
         let fleet = fleet();
-        let mut h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config");
+        let h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config");
         let data = synth_content("/big", 0, 3 * MB);
         h.create_file("/big", &data).expect("up");
 
@@ -459,7 +462,7 @@ mod tests {
     #[test]
     fn ranged_update_drops_digests_and_scrub_refreshes_them() {
         let fleet = fleet();
-        let mut h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config");
+        let h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config");
         let data = synth_content("/big", 0, 2 * MB);
         h.create_file("/big", &data).expect("up");
         h.update_file("/big", 4096, &synth_content("/big", 1, 32 * KB)).expect("up");

@@ -54,12 +54,7 @@ fn large_file_is_erasure_coded_across_four_providers() {
     // One fragment object everywhere (4 fragments over 4 providers).
     for p in fleet.providers() {
         let frag_puts = p.stats().put - 1; // minus the probe
-        assert!(
-            frag_puts >= 1,
-            "{} holds no fragment (puts={})",
-            p.name(),
-            p.stats().put
-        );
+        assert!(frag_puts >= 1, "{} holds no fragment (puts={})", p.name(), p.stats().put);
     }
     // Physical bytes ≈ 4/3 of logical for RAID5(3+1) — plus replicated
     // metadata, which is small.
@@ -363,10 +358,7 @@ fn total_blackout_reports_data_unavailable() {
     }
     assert!(matches!(h.read_file("/f"), Err(SchemeError::DataUnavailable { .. })));
     assert!(matches!(h.read_file("/big"), Err(SchemeError::DataUnavailable { .. })));
-    assert!(matches!(
-        h.create_file("/new", &[0u8; 10]),
-        Err(SchemeError::DataUnavailable { .. })
-    ));
+    assert!(matches!(h.create_file("/new", &[0u8; 10]), Err(SchemeError::DataUnavailable { .. })));
 }
 
 #[test]
@@ -473,10 +465,7 @@ fn file_size_and_missing_paths() {
     assert_eq!(h.file_size("/nope"), None);
     assert!(matches!(h.read_file("/nope"), Err(SchemeError::Meta(_))));
     assert!(matches!(h.delete_file("/nope"), Err(SchemeError::Meta(_))));
-    assert!(matches!(
-        h.update_file("/f", 100, &[0u8; 100]),
-        Err(SchemeError::BadRange { .. })
-    ));
+    assert!(matches!(h.update_file("/f", 100, &[0u8; 100]), Err(SchemeError::BadRange { .. })));
 }
 
 #[test]
@@ -484,10 +473,7 @@ fn reassess_adopts_the_current_topology() {
     let fleet = fleet();
     let mut h = hyrd(&fleet);
     let aliyun = fleet.by_name("Aliyun").unwrap();
-    assert!(h
-        .evaluator()
-        .performance_tier()
-        .contains(&aliyun.id()));
+    assert!(h.evaluator().performance_tier().contains(&aliyun.id()));
 
     // Aliyun goes into a long outage; a re-assessment drops it from the
     // tiers so future small files land elsewhere.
@@ -659,6 +645,124 @@ fn failed_delete_logs_pending_removes_and_recovery_reclaims_them() {
         "a 32 KB replica was left behind: {} bytes still stored",
         fleet.total_stored_bytes()
     );
+}
+
+#[test]
+fn update_resets_heat_so_hot_copy_needs_fresh_reads() {
+    // Regression: `update_erasure` used to reset the hot-read counter
+    // only when a hot copy already existed. A file one read short of
+    // the threshold would then get a hot copy filled from its *first*
+    // post-update read — staging a copy whose heat belongs to content
+    // that no longer exists.
+    let fleet = fleet();
+    let mut cfg = HyrdConfig::default();
+    cfg.hot_read_threshold = Some(3);
+    let mut h = Hyrd::new(&fleet, cfg).unwrap();
+    let mut content = synth_content("/big", 0, 2 * MB);
+    h.create_file("/big", &content).unwrap();
+
+    // Two reads: one short of the threshold, no hot copy yet.
+    h.read_file("/big").unwrap();
+    h.read_file("/big").unwrap();
+
+    let patch = synth_content("/big", 1, KB);
+    h.update_file("/big", 777, &patch).unwrap();
+    content[777..777 + KB].copy_from_slice(&patch);
+
+    // The update changed the content, so heat must restart from zero:
+    // the next read is striped with no hot-copy fill.
+    let (bytes, r1) = h.read_file("/big").unwrap();
+    assert_eq!(&bytes[..], &content[..]);
+    assert_eq!(r1.ops.iter().filter(|o| o.kind == OpKind::Get).count(), 3);
+    assert!(
+        !r1.ops.iter().any(|o| o.kind == OpKind::Put),
+        "stale pre-update heat must not trigger a hot-copy fill"
+    );
+
+    // Three *fresh* reads cross the threshold again.
+    h.read_file("/big").unwrap();
+    let (_, r3) = h.read_file("/big").unwrap();
+    assert!(r3.ops.iter().any(|o| o.kind == OpKind::Put), "hot copy fill on fresh heat");
+    let (bytes, r4) = h.read_file("/big").unwrap();
+    assert_eq!(&bytes[..], &content[..], "the hot copy holds the post-update bytes");
+    assert_eq!(r4.op_count(), 1, "served from the hot copy");
+}
+
+#[test]
+fn monitor_tracks_live_data_through_delete_and_failed_create() {
+    // Regression: the monitor's tallies only ever grew, so its
+    // fractions — policy inputs — drifted on churny workloads: deleted
+    // files and rolled-back creates kept distorting the distribution
+    // forever.
+    let fleet = fleet();
+    let mut h = hyrd(&fleet);
+    h.create_file("/s", &synth_content("/s", 0, 4 * KB)).unwrap();
+    h.create_file("/l", &synth_content("/l", 0, 2 * MB)).unwrap();
+    assert_eq!(h.monitor().files_seen(), 2);
+    assert!(h.monitor().small_bytes_frac() < 0.01);
+
+    // Deleting the large file must un-record it.
+    h.delete_file("/l").unwrap();
+    assert_eq!(h.monitor().files_seen(), 1);
+    assert!((h.monitor().small_bytes_frac() - 1.0).abs() < 1e-9);
+    assert!((h.monitor().small_count_frac() - 1.0).abs() < 1e-9);
+
+    // A create that rolls back (total blackout) never produced a live
+    // file, so it must not leave a phantom entry either.
+    for p in fleet.providers() {
+        p.force_down();
+    }
+    assert!(h.create_file("/phantom", &synth_content("/phantom", 0, 3 * MB)).is_err());
+    for p in fleet.providers() {
+        p.restore();
+    }
+    assert_eq!(h.monitor().files_seen(), 1, "rolled-back create left a phantom tally");
+    assert!((h.monitor().small_bytes_frac() - 1.0).abs() < 1e-9);
+
+    // In-place updates keep the size, so the tallies are untouched.
+    h.update_file("/s", 0, &synth_content("/s", 1, KB)).unwrap();
+    assert_eq!(h.monitor().files_seen(), 1);
+}
+
+#[test]
+fn delete_via_alias_path_clears_heat_and_cache_for_the_successor() {
+    // Regression: delete evicted the cache and heat under the caller's
+    // raw spelling, so `/d//f` left the normalized entries alive — a
+    // recreated file under the same name inherited the old heat (the
+    // `count == threshold` edge then never fires again) and a stale
+    // cached body.
+    let fleet = fleet();
+    let mut cfg = HyrdConfig::default();
+    cfg.hot_read_threshold = Some(2);
+    let mut h = Hyrd::new(&fleet, cfg).unwrap();
+    h.create_file("/d/f", &synth_content("/d/f", 0, 2 * MB)).unwrap();
+    h.read_file("/d/f").unwrap();
+    h.read_file("/d/f").unwrap(); // crosses the threshold: hot copy installed
+
+    // Delete through a non-canonical alias of the same path.
+    h.delete_file("/d//f").unwrap();
+    assert!(matches!(h.read_file("/d/f"), Err(SchemeError::Meta(_))));
+
+    // Recreate under the canonical spelling with different content.
+    let mut content = synth_content("/d/f", 1, 2 * MB);
+    h.create_file("/d/f", &content).unwrap();
+
+    // Fresh heat epoch: the first read must not fill a hot copy, the
+    // second must — a leaked counter would skip the `== threshold` edge
+    // and never install one.
+    let (bytes, r1) = h.read_file("/d/f").unwrap();
+    assert_eq!(&bytes[..], &content[..], "successor must not serve the deleted bytes");
+    assert!(!r1.ops.iter().any(|o| o.kind == OpKind::Put), "heat leaked across delete");
+    let (_, r2) = h.read_file("/d/f").unwrap();
+    assert!(r2.ops.iter().any(|o| o.kind == OpKind::Put), "second fresh read installs the copy");
+
+    // An update digesting a stale cached body would corrupt the file;
+    // the striped read-back proves the cache entry died with the delete.
+    let patch = synth_content("/d/f", 2, 4 * KB);
+    h.update_file("/d/f", 123_456, &patch).unwrap();
+    content[123_456..123_456 + 4 * KB].copy_from_slice(&patch);
+    let (bytes, _) = h.read_file("/d/f").unwrap();
+    assert_eq!(&bytes[..], &content[..]);
 }
 
 #[test]

@@ -117,8 +117,7 @@ fn summary_is_readable() {
 #[test]
 fn provider_op_and_byte_accounting_matches_fleet_stats() {
     let (clock, fleet, mut h) = setup();
-    let before_ops: u64 =
-        fleet.providers().iter().map(|p| p.stats().total_ops()).sum();
+    let before_ops: u64 = fleet.providers().iter().map(|p| p.stats().total_ops()).sum();
     let stats = replay(&mut h, &ops(), &clock, &ReplayOptions::default());
     let after_ops: u64 = fleet.providers().iter().map(|p| p.stats().total_ops()).sum();
     // Replay-reported ops are a subset of fleet ops (fleet also counts
@@ -178,12 +177,8 @@ fn multi_client_output_is_invariant_across_clients_and_jobs() {
             telemetry: telemetry.clone(),
             ..Default::default()
         };
-        let report = multi_client::run(
-            &h,
-            &clock,
-            &ops,
-            MultiClientOptions { clients, jobs, replay: opts },
-        );
+        let report =
+            multi_client::run(&h, &clock, &ops, MultiClientOptions { clients, jobs, replay: opts });
         telemetry.flush();
         (serde_json::to_string(&report.merged).expect("serialize"), buf.contents(), report)
     };
@@ -229,8 +224,7 @@ fn sharded_metastore_matches_the_serial_oracle() {
         fn walk(h: &Hyrd, dir: &str, out: &mut Vec<(String, u64)>) {
             let (names, _) = h.list_dir(dir).expect("listable");
             for name in names {
-                let path =
-                    if dir == "/" { format!("/{name}") } else { format!("{dir}/{name}") };
+                let path = if dir == "/" { format!("/{name}") } else { format!("{dir}/{name}") };
                 match h.file_size(&path) {
                     Some(size) => out.push((path, size)),
                     None => walk(h, &path, out),
@@ -280,11 +274,8 @@ fn multi_client_batches_accumulate_like_phased_replay() {
     let mid = ops.len() / 2;
 
     let (clock, _fleet, h) = setup();
-    let engine = MultiClient::new(
-        &h,
-        &clock,
-        MultiClientOptions { clients: 4, ..Default::default() },
-    );
+    let engine =
+        MultiClient::new(&h, &clock, MultiClientOptions { clients: 4, ..Default::default() });
     let mut total = ReplayStats::default();
     total.absorb(&engine.run_ops(&ops[..mid]));
     total.absorb(&engine.run_ops(&ops[mid..]));

@@ -21,12 +21,7 @@ fn feed(samples: &[u64]) -> Histogram {
 /// Samples spread across the interesting ranges: zero, small counts,
 /// nanosecond-scale latencies, and the extreme top buckets.
 fn sample() -> impl Strategy<Value = u64> {
-    prop_oneof![
-        Just(0u64),
-        1u64..1024,
-        1_000u64..10_000_000_000,
-        (u64::MAX - 1024)..=u64::MAX,
-    ]
+    prop_oneof![Just(0u64), 1u64..1024, 1_000u64..10_000_000_000, (u64::MAX - 1024)..=u64::MAX,]
 }
 
 proptest! {

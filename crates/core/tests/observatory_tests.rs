@@ -87,8 +87,7 @@ fn outage_produces_exposure_attributed_to_the_right_file_and_provider() {
     assert_eq!(report.exposure_by_provider["Rackspace"], f.exposure_ns);
 
     // Provider SLIs see the outage window.
-    let rackspace =
-        report.providers.iter().find(|p| p.provider == "Rackspace").expect("tracked");
+    let rackspace = report.providers.iter().find(|p| p.provider == "Rackspace").expect("tracked");
     assert_eq!(rackspace.outages, 1);
     assert!(rackspace.downtime_ns > 0);
     assert!(rackspace.availability < 1.0);

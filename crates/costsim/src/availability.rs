@@ -34,9 +34,7 @@ fn binomial(n: u64, k: u64) -> f64 {
 /// with probability `p`) are up.
 pub fn at_least_k_of_n(p: f64, k: u64, n: u64) -> f64 {
     assert!((0.0..=1.0).contains(&p), "p is a probability");
-    (k..=n)
-        .map(|i| binomial(n, i) * p.powi(i as i32) * (1.0 - p).powi((n - i) as i32))
-        .sum()
+    (k..=n).map(|i| binomial(n, i) * p.powi(i as i32) * (1.0 - p).powi((n - i) as i32)).sum()
 }
 
 /// Read availability of `r`-way replication: any replica serves.
@@ -133,10 +131,7 @@ pub fn monte_carlo_k_of_n(
     }
     up_integral += span * up_count as f64;
 
-    McAvailability {
-        available: available_time / horizon,
-        mean_up: up_integral / horizon / 1.0,
-    }
+    McAvailability { available: available_time / horizon, mean_up: up_integral / horizon / 1.0 }
 }
 
 /// Minimal deterministic RNG (SplitMix64 + exponential sampling), local

@@ -253,10 +253,8 @@ mod tests {
 
     #[test]
     fn tables_render_all_series() {
-        let series = vec![
-            run(&mut SingleModel::new("Amazon S3", S3)),
-            run(&mut HyrdModel::paper_default()),
-        ];
+        let series =
+            vec![run(&mut SingleModel::new("Amazon S3", S3)), run(&mut HyrdModel::paper_default())];
         let m = monthly_table(&series);
         assert!(m.contains("Amazon S3"));
         assert!(m.contains("HyRD"));

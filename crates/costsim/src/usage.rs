@@ -73,7 +73,13 @@ mod tests {
 
     #[test]
     fn add_accumulates_fieldwise() {
-        let mut a = MonthlyUsage { stored_bytes: 1, bytes_in: 2, bytes_out: 3, put_class_ops: 4, get_class_ops: 5 };
+        let mut a = MonthlyUsage {
+            stored_bytes: 1,
+            bytes_in: 2,
+            bytes_out: 3,
+            put_class_ops: 4,
+            get_class_ops: 5,
+        };
         let b = a;
         a.add(&b);
         assert_eq!(a.stored_bytes, 2);

@@ -216,11 +216,8 @@ mod tests {
         let fps_a: std::collections::HashSet<_> =
             c.chunk(&a).into_iter().map(|ch| ch.digest).collect();
         let chunks_b = c.chunk(&b);
-        let shared_bytes: usize = chunks_b
-            .iter()
-            .filter(|ch| fps_a.contains(&ch.digest))
-            .map(|ch| ch.data.len())
-            .sum();
+        let shared_bytes: usize =
+            chunks_b.iter().filter(|ch| fps_a.contains(&ch.digest)).map(|ch| ch.data.len()).sum();
         assert!(
             shared_bytes > 150_000,
             "only {shared_bytes} of 200000 shared bytes dedup across files"

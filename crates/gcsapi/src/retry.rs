@@ -207,10 +207,11 @@ mod tests {
     #[test]
     fn exhaustion_returns_last_error() {
         let calls = std::cell::Cell::new(0);
-        let r: CloudResult<()> = RetryPolicy { max_attempts: 4, ..RetryPolicy::default() }.run(|| {
-            calls.set(calls.get() + 1);
-            Err(transient())
-        });
+        let r: CloudResult<()> =
+            RetryPolicy { max_attempts: 4, ..RetryPolicy::default() }.run(|| {
+                calls.set(calls.get() + 1);
+                Err(transient())
+            });
         assert!(matches!(r, Err(CloudError::Transient { .. })));
         assert_eq!(calls.get(), 4);
     }
@@ -271,9 +272,8 @@ mod tests {
         // Jitter stays within [0.5, 1.5) of the capped exponential base,
         // and the cap binds the tail of the schedule.
         for (i, d) in slept.iter().enumerate() {
-            let raw = Duration::from_millis(100)
-                .saturating_mul(1u32 << i)
-                .min(Duration::from_secs(2));
+            let raw =
+                Duration::from_millis(100).saturating_mul(1u32 << i).min(Duration::from_secs(2));
             assert!(*d >= raw.mul_f64(0.5) && *d <= Duration::from_secs(2), "attempt {i}: {d:?}");
         }
         // Same seed → identical schedule.

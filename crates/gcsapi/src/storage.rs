@@ -90,12 +90,7 @@ impl MemoryCloud {
 
     /// Total bytes currently stored, for space-overhead assertions.
     pub fn stored_bytes(&self) -> u64 {
-        self.containers
-            .read()
-            .values()
-            .flat_map(|c| c.values())
-            .map(|b| b.len() as u64)
-            .sum()
+        self.containers.read().values().flat_map(|c| c.values()).map(|b| b.len() as u64).sum()
     }
 
     /// Number of objects stored across all containers.
@@ -169,9 +164,7 @@ impl CloudStorage for MemoryCloud {
         let container = c
             .get_mut(&key.container)
             .ok_or_else(|| CloudError::NoSuchContainer { container: key.container.clone() })?;
-        container
-            .remove(&key.name)
-            .ok_or_else(|| CloudError::NoSuchObject { key: key.clone() })?;
+        container.remove(&key.name).ok_or_else(|| CloudError::NoSuchObject { key: key.clone() })?;
         Ok(OpOutcome::new((), self.report(OpKind::Remove, 0, 0)))
     }
 
@@ -268,10 +261,7 @@ mod tests {
         let c = MemoryCloud::new(ProviderId(1), "empty");
         let key = ObjectKey::new("nope", "k");
         assert!(matches!(c.get(&key), Err(CloudError::NoSuchContainer { .. })));
-        assert!(matches!(
-            c.put(&key, Bytes::new()),
-            Err(CloudError::NoSuchContainer { .. })
-        ));
+        assert!(matches!(c.put(&key, Bytes::new()), Err(CloudError::NoSuchContainer { .. })));
         assert!(matches!(c.list("nope"), Err(CloudError::NoSuchContainer { .. })));
     }
 

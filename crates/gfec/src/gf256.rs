@@ -503,11 +503,7 @@ mod tests {
         }
         for a in 0..=255u8 {
             for b in 0..=255u8 {
-                assert_eq!(
-                    Gf256(a).mul(Gf256(b)).0,
-                    slow_mul(a, b),
-                    "mismatch at {a} * {b}"
-                );
+                assert_eq!(Gf256(a).mul(Gf256(b)).0, slow_mul(a, b), "mismatch at {a} * {b}");
             }
         }
     }

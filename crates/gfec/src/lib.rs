@@ -139,11 +139,7 @@ pub trait ErasureCode: Send + Sync {
     /// the results into the buffers; the concrete codes override it with
     /// fused allocation-free kernels.
     fn encode_into(&self, shards: &[&[u8]], parity: &mut [Vec<u8>]) -> Result<()> {
-        assert_eq!(
-            parity.len(),
-            self.parity_fragments(),
-            "parity buffer count must equal n - m"
-        );
+        assert_eq!(parity.len(), self.parity_fragments(), "parity buffer count must equal n - m");
         for (buf, row) in parity.iter_mut().zip(self.encode(shards)?) {
             *buf = row;
         }

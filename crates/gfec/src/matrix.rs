@@ -67,10 +67,7 @@ impl Matrix {
     /// `x_i = i + cols`, `y_j = j` — every square submatrix is invertible,
     /// which makes Cauchy the safer construction for parity rows.
     pub fn cauchy(rows: usize, cols: usize) -> Self {
-        assert!(
-            rows + cols <= 256,
-            "Cauchy construction needs rows+cols <= 256 distinct elements"
-        );
+        assert!(rows + cols <= 256, "Cauchy construction needs rows+cols <= 256 distinct elements");
         let mut m = Matrix::zero(rows, cols);
         for i in 0..rows {
             let xi = Gf256((i + cols) as u8);
@@ -152,9 +149,8 @@ impl Matrix {
 
         for col in 0..n {
             // Partial pivot: find a nonzero entry at or below the diagonal.
-            let pivot = (col..n)
-                .find(|&r| a.get(r, col).0 != 0)
-                .ok_or(GfecError::SingularMatrix)?;
+            let pivot =
+                (col..n).find(|&r| a.get(r, col).0 != 0).ok_or(GfecError::SingularMatrix)?;
             if pivot != col {
                 a.swap_rows(pivot, col);
                 inv.swap_rows(pivot, col);
@@ -372,8 +368,9 @@ mod tests {
         // seed algorithm: one full naive sweep per output row.
         let a = Matrix::cauchy(2, 3);
         for len in [0usize, 1, crate::gf256::FUSED_BLOCK - 3, crate::gf256::FUSED_BLOCK + 5] {
-            let shards: Vec<Vec<u8>> =
-                (0..3u8).map(|j| (0..len).map(|b| (b as u8).wrapping_mul(j + 3)).collect()).collect();
+            let shards: Vec<Vec<u8>> = (0..3u8)
+                .map(|j| (0..len).map(|b| (b as u8).wrapping_mul(j + 3)).collect())
+                .collect();
             let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
             let mut expect = vec![vec![0u8; len]; 2];
             for (i, row) in expect.iter_mut().enumerate() {

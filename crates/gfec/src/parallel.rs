@@ -21,7 +21,10 @@ pub const PARALLEL_BLOCK: usize = 256 * 1024;
 ///
 /// Falls back to the plain sequential encode for inputs below one block —
 /// spawning tasks for a 4 KB shard costs more than the XORs themselves.
-pub fn encode_parallel<C: ErasureCode + ?Sized>(code: &C, shards: &[&[u8]]) -> Result<Vec<Vec<u8>>> {
+pub fn encode_parallel<C: ErasureCode + ?Sized>(
+    code: &C,
+    shards: &[&[u8]],
+) -> Result<Vec<Vec<u8>>> {
     let len = shards.first().map_or(0, |s| s.len());
     if len <= PARALLEL_BLOCK {
         return code.encode(shards);
@@ -67,10 +70,7 @@ pub fn reconstruct_parallel<C: ErasureCode + ?Sized>(
     // validation is repeated (cheaply) by every per-block reconstruct.
     for f in available {
         if f.data.len() != shard_len {
-            return Err(GfecError::FragmentSizeMismatch {
-                expected: shard_len,
-                got: f.data.len(),
-            });
+            return Err(GfecError::FragmentSizeMismatch { expected: shard_len, got: f.data.len() });
         }
     }
     let block_count = shard_len.div_ceil(PARALLEL_BLOCK);
@@ -119,11 +119,7 @@ mod tests {
 
     fn big_shards(m: usize, len: usize) -> Vec<Vec<u8>> {
         (0..m)
-            .map(|i| {
-                (0..len)
-                    .map(|b| ((b * 2654435761usize) >> 7) as u8 ^ (i as u8))
-                    .collect()
-            })
+            .map(|i| (0..len).map(|b| ((b * 2654435761usize) >> 7) as u8 ^ (i as u8)).collect())
             .collect()
     }
 
@@ -182,10 +178,7 @@ mod tests {
     fn parallel_reconstruct_validates_lengths() {
         let code = Raid5::new(2).unwrap();
         let shard_len = PARALLEL_BLOCK + 1;
-        let frags = vec![
-            Fragment::new(0, vec![0u8; shard_len]),
-            Fragment::new(1, vec![0u8; 16]),
-        ];
+        let frags = vec![Fragment::new(0, vec![0u8; shard_len]), Fragment::new(1, vec![0u8; 16])];
         assert!(matches!(
             reconstruct_parallel(&code, &frags, shard_len),
             Err(GfecError::FragmentSizeMismatch { .. })
@@ -196,13 +189,11 @@ mod tests {
     fn parallel_decode_object_roundtrips() {
         let planner = StripePlanner::new(3, 4).unwrap();
         let code = Raid5::new(3).unwrap();
-        let obj: Vec<u8> = (0..(3 * PARALLEL_BLOCK + 777))
-            .map(|i| ((i * 31) % 251) as u8)
-            .collect();
+        let obj: Vec<u8> =
+            (0..(3 * PARALLEL_BLOCK + 777)).map(|i| ((i * 31) % 251) as u8).collect();
         let (layout, frags) = planner.encode_object(&code, &obj).unwrap();
         for lost in 0..4 {
-            let avail: Vec<Fragment> =
-                frags.iter().filter(|f| f.index != lost).cloned().collect();
+            let avail: Vec<Fragment> = frags.iter().filter(|f| f.index != lost).cloned().collect();
             let seq = planner.decode_object(&code, &layout, &avail).unwrap();
             let par = decode_object_parallel(&code, &planner, &layout, &avail).unwrap();
             assert_eq!(par, seq, "lost={lost}");

@@ -209,14 +209,8 @@ mod tests {
         let d = mk_shards(3, 16);
         let refs: Vec<&[u8]> = d.iter().map(|x| x.as_slice()).collect();
         let parity = r.encode(&refs).unwrap().remove(0);
-        let frags = vec![
-            Fragment::new(0, d[0].clone()),
-            Fragment::new(3, parity),
-        ];
-        assert!(matches!(
-            r.reconstruct(&frags, 16),
-            Err(GfecError::NotEnoughFragments { .. })
-        ));
+        let frags = vec![Fragment::new(0, d[0].clone()), Fragment::new(3, parity)];
+        assert!(matches!(r.reconstruct(&frags, 16), Err(GfecError::NotEnoughFragments { .. })));
     }
 
     #[test]

@@ -50,11 +50,9 @@ impl Raid6 {
         b: usize,
         shard_len: usize,
     ) -> Result<(Vec<u8>, Vec<u8>)> {
-        let p = &by_index[self.m].ok_or(GfecError::NotEnoughFragments {
-            have: self.m,
-            need: self.m,
-        })?
-        .data;
+        let p = &by_index[self.m]
+            .ok_or(GfecError::NotEnoughFragments { have: self.m, need: self.m })?
+            .data;
         let q = &by_index[self.m + 1]
             .ok_or(GfecError::NotEnoughFragments { have: self.m, need: self.m })?
             .data;
@@ -133,10 +131,7 @@ impl ErasureCode for Raid6 {
     }
 
     fn parity_coefficients(&self) -> Vec<Vec<Gf256>> {
-        vec![
-            vec![Gf256::ONE; self.m],
-            (0..self.m).map(Gf256::exp).collect(),
-        ]
+        vec![vec![Gf256::ONE; self.m], (0..self.m).map(Gf256::exp).collect()]
     }
 
     fn reconstruct(&self, available: &[Fragment], shard_len: usize) -> Result<Vec<Vec<u8>>> {
@@ -163,9 +158,7 @@ impl ErasureCode for Raid6 {
 
         let missing_data: Vec<usize> = (0..self.m).filter(|&i| by_index[i].is_none()).collect();
         match missing_data.len() {
-            0 => Ok((0..self.m)
-                .map(|i| by_index[i].expect("present").data.clone())
-                .collect()),
+            0 => Ok((0..self.m).map(|i| by_index[i].expect("present").data.clone()).collect()),
             1 => {
                 let lost = missing_data[0];
                 // Prefer P-based XOR rebuild; fall back to Q if P is gone.
@@ -286,12 +279,8 @@ mod tests {
         let r = Raid6::new(m).unwrap();
         let d = mk_shards(m, 16);
         let frags = frags_for(&r, &d);
-        let avail: Vec<Fragment> =
-            frags.iter().filter(|f| f.index > 2).cloned().collect();
-        assert!(matches!(
-            r.reconstruct(&avail, 16),
-            Err(GfecError::NotEnoughFragments { .. })
-        ));
+        let avail: Vec<Fragment> = frags.iter().filter(|f| f.index > 2).cloned().collect();
+        assert!(matches!(r.reconstruct(&avail, 16), Err(GfecError::NotEnoughFragments { .. })));
     }
 
     #[test]

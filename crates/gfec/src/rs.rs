@@ -242,7 +242,9 @@ mod tests {
 
     fn shards(m: usize, len: usize, seed: u8) -> Vec<Vec<u8>> {
         (0..m)
-            .map(|i| (0..len).map(|b| (b as u8).wrapping_mul(31).wrapping_add(seed + i as u8)).collect())
+            .map(|i| {
+                (0..len).map(|b| (b as u8).wrapping_mul(31).wrapping_add(seed + i as u8)).collect()
+            })
             .collect()
     }
 
@@ -348,7 +350,10 @@ mod tests {
 
         // Bad index.
         let bad = vec![frags[0].clone(), frags[1].clone(), Fragment::new(9, vec![0; 16])];
-        assert!(matches!(rs.reconstruct(&bad, 16), Err(GfecError::BadFragmentIndex { index: 9, .. })));
+        assert!(matches!(
+            rs.reconstruct(&bad, 16),
+            Err(GfecError::BadFragmentIndex { index: 9, .. })
+        ));
 
         // Ragged sizes.
         let ragged = vec![frags[0].clone(), frags[1].clone(), Fragment::new(2, vec![0; 8])];
@@ -367,10 +372,7 @@ mod tests {
             rs.encode(&[a.as_slice(), a.as_slice(), b.as_slice()]),
             Err(GfecError::FragmentSizeMismatch { .. })
         ));
-        assert!(matches!(
-            rs.encode(&[a.as_slice()]),
-            Err(GfecError::NotEnoughFragments { .. })
-        ));
+        assert!(matches!(rs.encode(&[a.as_slice()]), Err(GfecError::NotEnoughFragments { .. })));
     }
 
     #[test]

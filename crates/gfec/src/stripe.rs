@@ -54,7 +54,11 @@ impl FragmentLayout {
 
     /// Maps an absolute byte range of the object to the set of data
     /// shards it touches, as `(shard_index, start_within_shard, len)`.
-    pub fn shards_for_range(&self, offset: usize, len: usize) -> Result<Vec<(usize, usize, usize)>> {
+    pub fn shards_for_range(
+        &self,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<(usize, usize, usize)>> {
         if offset + len > self.object_len {
             return Err(GfecError::RangeOutOfBounds { offset, len, object: self.object_len });
         }
@@ -176,11 +180,8 @@ impl StripePlanner {
         let (layout, shards) = self.split(object);
         let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
         let parity = code.encode(&refs)?;
-        let mut frags: Vec<Fragment> = shards
-            .into_iter()
-            .enumerate()
-            .map(|(i, s)| Fragment::new(i, s))
-            .collect();
+        let mut frags: Vec<Fragment> =
+            shards.into_iter().enumerate().map(|(i, s)| Fragment::new(i, s)).collect();
         for (k, p) in parity.into_iter().enumerate() {
             frags.push(Fragment::new(self.m + k, p));
         }
@@ -284,10 +285,7 @@ mod tests {
         // Empty range.
         assert!(l.shards_for_range(5, 0).unwrap().is_empty());
         // Out of bounds.
-        assert!(matches!(
-            l.shards_for_range(1020, 10),
-            Err(GfecError::RangeOutOfBounds { .. })
-        ));
+        assert!(matches!(l.shards_for_range(1020, 10), Err(GfecError::RangeOutOfBounds { .. })));
     }
 
     #[test]

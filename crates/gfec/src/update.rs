@@ -254,10 +254,10 @@ pub fn apply_ranged_update_multi(
         let mut diff = old_segments[k].clone();
         xor_slice(&mut diff, new_seg);
         for (j, parity) in parities.iter_mut().enumerate() {
-            let c = coeffs[j].get(shard).copied().ok_or(GfecError::BadFragmentIndex {
-                index: shard,
-                n: coeffs[j].len(),
-            })?;
+            let c = coeffs[j]
+                .get(shard)
+                .copied()
+                .ok_or(GfecError::BadFragmentIndex { index: shard, n: coeffs[j].len() })?;
             let w = &mut parity[start - lo..start - lo + len];
             crate::gf256::mul_slice_acc(w, &diff, c);
         }
@@ -352,15 +352,13 @@ mod tests {
     #[test]
     fn apply_update_matches_full_reencode() {
         let (planner, code, mut obj, layout, frags) = setup(8192);
-        for (offset, len) in [(0usize, 10usize), (5000, 200), (layout.shard_len - 3, 7), (8000, 192)] {
+        for (offset, len) in
+            [(0usize, 10usize), (5000, 200), (layout.shard_len - 3, 7), (8000, 192)]
+        {
             let plan = plan_update(&layout, offset, len).unwrap();
             let new_bytes: Vec<u8> = (0..len).map(|i| (i * 91 + offset) as u8).collect();
 
-            let old_data: Vec<Fragment> = plan
-                .reads
-                .iter()
-                .map(|&i| frags[i].clone())
-                .collect();
+            let old_data: Vec<Fragment> = plan.reads.iter().map(|&i| frags[i].clone()).collect();
             let (new_data, new_parity) =
                 apply_update(&layout, &plan, &old_data, &frags[3], offset, &new_bytes).unwrap();
 
@@ -418,8 +416,8 @@ mod tests {
         assert!(matches!(err, GfecError::NotEnoughFragments { .. }));
         // Wrong parity length.
         let bad_parity = Fragment::new(3, vec![0u8; 3]);
-        let err =
-            apply_update(&layout, &plan, &[frags[0].clone()], &bad_parity, 0, &[0u8; 10]).unwrap_err();
+        let err = apply_update(&layout, &plan, &[frags[0].clone()], &bad_parity, 0, &[0u8; 10])
+            .unwrap_err();
         assert!(matches!(err, GfecError::FragmentSizeMismatch { .. }));
     }
 
@@ -478,9 +476,8 @@ mod tests {
                     .iter()
                     .map(|&(s, st, l)| frags[s].data[st..st + l].to_vec())
                     .collect();
-                let old_parities: Vec<Vec<u8>> = (layout.m..layout.n)
-                    .map(|p| frags[p].data[lo..hi].to_vec())
-                    .collect();
+                let old_parities: Vec<Vec<u8>> =
+                    (layout.m..layout.n).map(|p| frags[p].data[lo..hi].to_vec()).collect();
 
                 let (new_segs, new_parities) = apply_ranged_update_multi(
                     &plan.touched,
@@ -524,8 +521,7 @@ mod tests {
         // Window [64, 160) recomputed from data windows must equal the
         // corresponding slice of the full parity.
         let windows: Vec<Vec<u8>> = shards.iter().map(|s| s[64..160].to_vec()).collect();
-        let got =
-            recompute_parity_windows(&windows, &code.parity_coefficients()).unwrap();
+        let got = recompute_parity_windows(&windows, &code.parity_coefficients()).unwrap();
         for (j, w) in got.iter().enumerate() {
             assert_eq!(&w[..], &full_parity[j][64..160]);
         }
@@ -537,13 +533,9 @@ mod tests {
         // Wrong segment count.
         assert!(apply_ranged_update(&touched, &[], &[0u8; 8], &[0u8; 8]).is_err());
         // Wrong parity window size.
-        assert!(
-            apply_ranged_update(&touched, &[vec![0u8; 8]], &[0u8; 4], &[0u8; 8]).is_err()
-        );
+        assert!(apply_ranged_update(&touched, &[vec![0u8; 8]], &[0u8; 4], &[0u8; 8]).is_err());
         // Wrong segment size.
-        assert!(
-            apply_ranged_update(&touched, &[vec![0u8; 3]], &[0u8; 8], &[0u8; 8]).is_err()
-        );
+        assert!(apply_ranged_update(&touched, &[vec![0u8; 3]], &[0u8; 8], &[0u8; 8]).is_err());
     }
 
     #[test]
@@ -556,10 +548,7 @@ mod tests {
     #[test]
     fn plan_rejects_out_of_bounds() {
         let (_, _, _, layout, _) = setup(100);
-        assert!(matches!(
-            plan_update(&layout, 90, 20),
-            Err(GfecError::RangeOutOfBounds { .. })
-        ));
+        assert!(matches!(plan_update(&layout, 90, 20), Err(GfecError::RangeOutOfBounds { .. })));
     }
 
     #[test]

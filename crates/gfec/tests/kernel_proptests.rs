@@ -21,13 +21,7 @@ use hyrd_gfec::{ErasureCode, Fragment, Matrix, StripePlanner};
 /// Lengths that stress every SWAR alignment case: empty, sub-chunk tails,
 /// exact multiples of 8, and odd sizes just past a multiple.
 fn kernel_len() -> impl Strategy<Value = usize> {
-    prop_oneof![
-        Just(0usize),
-        1usize..8,
-        Just(8usize),
-        Just(16usize),
-        9usize..300,
-    ]
+    prop_oneof![Just(0usize), 1usize..8, Just(8usize), Just(16usize), 9usize..300,]
 }
 
 proptest! {

@@ -378,8 +378,7 @@ mod tests {
 
     #[test]
     fn empty_directory_roundtrips() {
-        let block =
-            MetadataBlock { dir: NormPath::root(), version: 0, entries: BTreeMap::new() };
+        let block = MetadataBlock { dir: NormPath::root(), version: 0, entries: BTreeMap::new() };
         assert_eq!(decode_block(&encode_block(&block)).unwrap(), block);
     }
 

@@ -293,12 +293,7 @@ mod tests {
                 version: 5,
                 ops: vec![EntryOp::Upsert("c".into(), inode(3, 30, 1))],
             },
-            DiffBlock {
-                dir: p("/d"),
-                base: 3,
-                version: 4,
-                ops: vec![EntryOp::Remove("b".into())],
-            },
+            DiffBlock { dir: p("/d"), base: 3, version: 4, ops: vec![EntryOp::Remove("b".into())] },
         ];
         let r = resolve_chain(base, diffs);
         assert_eq!(r.applied, 2);

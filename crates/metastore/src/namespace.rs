@@ -114,9 +114,7 @@ impl Namespace {
         let node = self
             .node_mut(&path.parent())
             .map_err(|_| MetaError::NoSuchFile(path.as_str().to_string()))?;
-        node.files
-            .remove(&name)
-            .ok_or_else(|| MetaError::NoSuchFile(path.as_str().to_string()))
+        node.files.remove(&name).ok_or_else(|| MetaError::NoSuchFile(path.as_str().to_string()))
     }
 
     /// Sorted listing of a directory.
@@ -183,10 +181,7 @@ mod tests {
     fn duplicate_insert_fails() {
         let mut ns = Namespace::new();
         ns.insert_file(&p("/x"), FileId(1)).unwrap();
-        assert!(matches!(
-            ns.insert_file(&p("/x"), FileId(2)),
-            Err(MetaError::AlreadyExists(_))
-        ));
+        assert!(matches!(ns.insert_file(&p("/x"), FileId(2)), Err(MetaError::AlreadyExists(_))));
         // A file may not shadow a directory either.
         ns.mkdir_all(&p("/dir"));
         assert!(ns.insert_file(&p("/dir"), FileId(3)).is_err());

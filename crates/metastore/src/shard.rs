@@ -178,7 +178,11 @@ impl ShardedMetaStore {
             wait_ns: AtomicU64::new(0),
         };
         // The root always exists, like `Namespace::default`.
-        store.write_shard(Self::shard_of(&NormPath::root(), shards)).dirs.entry(NormPath::root()).or_default();
+        store
+            .write_shard(Self::shard_of(&NormPath::root(), shards))
+            .dirs
+            .entry(NormPath::root())
+            .or_default();
         store
     }
 
@@ -275,7 +279,12 @@ impl ShardedMetaStore {
                     parent_idx,
                     |_| Ok(()),
                     move |shard, ()| {
-                        shard.dirs.entry(cur_owned.clone()).or_default().subdirs.insert(name.clone());
+                        shard
+                            .dirs
+                            .entry(cur_owned.clone())
+                            .or_default()
+                            .subdirs
+                            .insert(name.clone());
                     },
                 );
                 let child_idx = self.idx(&child);
@@ -387,6 +396,61 @@ impl ShardedMetaStore {
                 inode.size = size;
                 inode.touch(now);
                 shard.dirty.insert(parent.clone());
+            },
+        )
+    }
+
+    /// Compare-and-swap placement flip: applies the new placement only
+    /// if the inode's version still equals `expect` — the OCC commit a
+    /// background migration (or a hot-copy install) uses so a concurrent
+    /// update or delete aborts the flip instead of being overwritten.
+    ///
+    /// Returns `Ok(true)` when the flip landed, `Ok(false)` when the
+    /// version moved (the caller owns cleanup of any objects it staged),
+    /// and `Err` when the file no longer exists.
+    pub fn set_placement_if_version(
+        &self,
+        path: &NormPath,
+        expect: u64,
+        placement: Placement,
+        size: u64,
+        now: Duration,
+    ) -> Result<bool> {
+        let name = path
+            .file_name()
+            .ok_or_else(|| MetaError::NoSuchFile(path.as_str().to_string()))?
+            .to_string();
+        let parent = path.parent();
+        let idx = self.idx(&parent);
+        self.commit(
+            idx,
+            |shard| {
+                let inode = shard
+                    .dirs
+                    .get(&parent)
+                    .and_then(|d| d.files.get(&name))
+                    .ok_or_else(|| MetaError::NoSuchFile(path.as_str().to_string()))?;
+                Ok(inode.version == expect)
+            },
+            |shard, matches| {
+                if !matches {
+                    return false;
+                }
+                let dir = shard.dirs.get_mut(&parent).expect("validated by plan");
+                let inode = dir.files.get_mut(&name).expect("validated by plan");
+                // Re-check under the write lock: the plan may have been
+                // re-run there after exhausted OCC retries, but a racing
+                // commit between plan and apply is impossible either way
+                // (the shard version guard covers it). The inode version
+                // is still the authority.
+                if inode.version != expect {
+                    return false;
+                }
+                inode.placement = placement.clone();
+                inode.size = size;
+                inode.touch(now);
+                shard.dirty.insert(parent.clone());
+                true
             },
         )
     }
@@ -547,7 +611,9 @@ impl ShardedMetaStore {
             let dirty = std::mem::take(&mut shard.dirty);
             let mut mutated = false;
             for dir in dirty {
-                let Some(state) = shard.dirs.get_mut(&dir) else { continue };
+                let Some(state) = shard.dirs.get_mut(&dir) else {
+                    continue;
+                };
                 if let Some(item) = Self::flush_dir(&dir, state) {
                     items.push(item);
                     mutated = true;
@@ -598,9 +664,8 @@ impl ShardedMetaStore {
                 None => state.max_inode_version(),
                 Some(v) => v + 1,
             };
-            let mut body = Vec::with_capacity(
-                8 + state.flushed_entries.values().map(Vec::len).sum::<usize>(),
-            );
+            let mut body =
+                Vec::with_capacity(8 + state.flushed_entries.values().map(Vec::len).sum::<usize>());
             codec::put_u32(&mut body, state.flushed_entries.len() as u32);
             for enc in state.flushed_entries.values() {
                 body.extend_from_slice(enc);
@@ -663,7 +728,9 @@ impl ShardedMetaStore {
     /// healed full block subsumes it.
     pub fn seed_flushed(&self, dir: &NormPath, version: u64) {
         let mut shard = self.write_shard(self.idx(dir));
-        let Some(state) = shard.dirs.get_mut(dir) else { return };
+        let Some(state) = shard.dirs.get_mut(dir) else {
+            return;
+        };
         state.flushed_entries.clear();
         for (name, inode) in &state.files {
             let mut enc = Vec::with_capacity(128);
@@ -680,7 +747,9 @@ impl ShardedMetaStore {
     /// providers): the next compaction then supersedes them properly.
     pub fn seed_chain(&self, dir: &NormPath, chain: Vec<String>) {
         let mut shard = self.write_shard(self.idx(dir));
-        let Some(state) = shard.dirs.get_mut(dir) else { return };
+        let Some(state) = shard.dirs.get_mut(dir) else {
+            return;
+        };
         state.chain = chain;
         shard.version += 1;
     }
@@ -800,19 +869,36 @@ mod tests {
     }
 
     #[test]
+    fn placement_cas_flips_only_at_the_expected_version() {
+        let s = ShardedMetaStore::with_shards(4);
+        s.create_file(&p("/d/f"), 10, t(1)).unwrap();
+        let v0 = s.inode(&p("/d/f")).unwrap().version;
+
+        // CAS at the current version lands and bumps the version.
+        assert!(s.set_placement_if_version(&p("/d/f"), v0, replicated(), 10, t(2)).unwrap());
+        let after = s.inode(&p("/d/f")).unwrap();
+        assert_eq!(after.version, v0 + 1);
+        assert_eq!(after.placement, replicated());
+
+        // A stale CAS is refused and mutates nothing.
+        assert!(!s.set_placement_if_version(&p("/d/f"), v0, Placement::Pending, 99, t(3)).unwrap());
+        let unchanged = s.inode(&p("/d/f")).unwrap();
+        assert_eq!(unchanged.version, v0 + 1);
+        assert_eq!(unchanged.placement, replicated());
+        assert_eq!(unchanged.size, 10);
+
+        // Missing file is an error, not a refusal.
+        assert!(s.set_placement_if_version(&p("/d/nope"), 0, replicated(), 1, t(4)).is_err());
+    }
+
+    #[test]
     fn namespace_error_semantics_match_the_flat_store() {
         let s = ShardedMetaStore::with_shards(4);
         s.create_file(&p("/x"), 1, t(0)).unwrap();
-        assert!(matches!(
-            s.create_file(&p("/x"), 2, t(0)),
-            Err(MetaError::AlreadyExists(_))
-        ));
+        assert!(matches!(s.create_file(&p("/x"), 2, t(0)), Err(MetaError::AlreadyExists(_))));
         // A file may not shadow a directory either.
         s.mkdir_all(&p("/dir"));
-        assert!(matches!(
-            s.create_file(&p("/dir"), 3, t(0)),
-            Err(MetaError::AlreadyExists(_))
-        ));
+        assert!(matches!(s.create_file(&p("/dir"), 3, t(0)), Err(MetaError::AlreadyExists(_))));
         assert!(matches!(s.inode(&p("/nope/f")), Err(MetaError::NoSuchFile(_))));
         assert!(matches!(s.list(&p("/nope")), Err(MetaError::NoSuchDirectory(_))));
         assert!(matches!(s.remove_file(&p("/gone")), Err(MetaError::NoSuchFile(_))));
@@ -1040,9 +1126,7 @@ mod tests {
                 });
             }
         });
-        let expect: usize = (0..threads)
-            .map(|_| per_thread - per_thread.div_ceil(3))
-            .sum();
+        let expect: usize = (0..threads).map(|_| per_thread - per_thread.div_ceil(3)).sum();
         assert_eq!(s.file_count(), expect);
         let stats = s.occ_stats();
         assert!(stats.retries <= stats.conflicts + threads as u64 * per_thread as u64);

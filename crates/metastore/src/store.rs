@@ -253,7 +253,9 @@ impl MetaStore {
         let dirs = std::mem::take(&mut self.dirty_dirs);
         let mut out = Vec::new();
         for dir in dirs {
-            let Ok(files) = self.namespace.files_in(&dir) else { continue };
+            let Ok(files) = self.namespace.files_in(&dir) else {
+                continue;
+            };
             let mut inode_version = 0;
             let body = codec::encode_entries_iter(
                 files.len(),
@@ -295,12 +297,12 @@ impl MetaStore {
     /// stored in the cloud (a lower-version block would lose the
     /// max-version vote at the *next* restart).
     pub fn seed_flushed(&mut self, dir: &NormPath, version: u64) {
-        let Ok(files) = self.namespace.files_in(dir) else { return };
+        let Ok(files) = self.namespace.files_in(dir) else {
+            return;
+        };
         let body = codec::encode_entries_iter(
             files.len(),
-            files.iter().map(|(name, id)| {
-                (name.as_str(), self.inodes.get(id).expect("in sync"))
-            }),
+            files.iter().map(|(name, id)| (name.as_str(), self.inodes.get(id).expect("in sync"))),
         );
         self.flushed.insert(dir.clone(), (version, body));
     }
@@ -466,10 +468,7 @@ mod tests {
 
     #[test]
     fn corrupt_block_is_an_error() {
-        assert!(matches!(
-            MetadataBlock::from_bytes(b"not json"),
-            Err(MetaError::CorruptBlock(_))
-        ));
+        assert!(matches!(MetadataBlock::from_bytes(b"not json"), Err(MetaError::CorruptBlock(_))));
     }
 
     #[test]
@@ -486,10 +485,7 @@ mod tests {
         let mut flipped = bytes.clone();
         let last = flipped.len() - 1;
         flipped[last] ^= 0x40;
-        assert!(matches!(
-            MetadataBlock::from_bytes(&flipped),
-            Err(MetaError::CorruptBlock(_))
-        ));
+        assert!(matches!(MetadataBlock::from_bytes(&flipped), Err(MetaError::CorruptBlock(_))));
     }
 
     #[test]

@@ -23,8 +23,11 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..4u8, 0..6u8, 1..1_000_000u64)
-            .prop_map(|(dir, name, size)| Op::Create { dir, name, size }),
+        (0..4u8, 0..6u8, 1..1_000_000u64).prop_map(|(dir, name, size)| Op::Create {
+            dir,
+            name,
+            size
+        }),
         (0..4u8, 0..6u8).prop_map(|(dir, name)| Op::Remove { dir, name }),
         (0..4u8, 0..6u8).prop_map(|(dir, name)| Op::Lookup { dir, name }),
     ]

@@ -26,13 +26,7 @@ pub struct Histogram {
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram {
-            buckets: vec![0; HIST_BUCKETS],
-            count: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-        }
+        Histogram { buckets: vec![0; HIST_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
     }
 }
 

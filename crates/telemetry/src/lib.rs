@@ -215,10 +215,7 @@ impl Collector {
     /// happens when enabled.
     pub fn span_labeled(&self, name: &str, label: &str) -> SpanGuard {
         if self.0.is_none() {
-            return SpanGuard {
-                collector: Collector(None),
-                id: 0,
-            };
+            return SpanGuard { collector: Collector(None), id: 0 };
         }
         self.span_with(&format!("{name}[{label}]")).start()
     }
@@ -285,9 +282,7 @@ impl Collector {
 
     /// Snapshot of all metrics (empty when disabled).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.0
-            .as_ref()
-            .map_or_else(MetricsSnapshot::default, |i| i.registry.snapshot())
+        self.0.as_ref().map_or_else(MetricsSnapshot::default, |i| i.registry.snapshot())
     }
 
     /// Contents of the ring-buffer sink, oldest first (empty when disabled
@@ -297,10 +292,7 @@ impl Collector {
             None => Vec::new(),
             Some(i) => {
                 let state = lock(&i.state);
-                state
-                    .ring
-                    .as_ref()
-                    .map_or_else(Vec::new, |r| r.buf.iter().cloned().collect())
+                state.ring.as_ref().map_or_else(Vec::new, |r| r.buf.iter().cloned().collect())
             }
         }
     }
@@ -347,12 +339,7 @@ impl Collector {
 
     fn start_span(&self, name: String, fields: Fields) -> SpanGuard {
         let inner = match &self.0 {
-            None => {
-                return SpanGuard {
-                    collector: Collector(None),
-                    id: 0,
-                }
-            }
+            None => return SpanGuard { collector: Collector(None), id: 0 },
             Some(i) => i,
         };
         let t = inner.clock.now_nanos();
@@ -364,29 +351,10 @@ impl Collector {
             Some(p) => format!("{}{PATH_SEP}{name}", p.path),
             None => name.clone(),
         };
-        state.open.insert(
-            id,
-            OpenSpan {
-                name: name.clone(),
-                path,
-                start: t,
-            },
-        );
+        state.open.insert(id, OpenSpan { name: name.clone(), path, start: t });
         state.stack.push(id);
-        inner.emit(
-            &mut state,
-            TraceRecord::SpanStart {
-                id,
-                parent,
-                name,
-                t,
-                fields,
-            },
-        );
-        SpanGuard {
-            collector: self.clone(),
-            id,
-        }
+        inner.emit(&mut state, TraceRecord::SpanStart { id, parent, name, t, fields });
+        SpanGuard { collector: self.clone(), id }
     }
 
     fn end_span(&self, id: u64) {
@@ -411,24 +379,14 @@ impl Collector {
         let agg = state.agg.entry(span.path.clone()).or_default();
         agg.count += 1;
         agg.total_ns += dur_ns;
-        let slow = SlowSpan {
-            path: span.path,
-            dur_ns,
-            start_ns: span.start,
-        };
+        let slow = SlowSpan { path: span.path, dur_ns, start_ns: span.start };
         state.slowest.push(slow);
         state.slowest.sort_by(slow_span_order);
         state.slowest.truncate(SLOW_CAP);
         state.spans_ended += 1;
         inner.emit(
             &mut state,
-            TraceRecord::SpanEnd {
-                id,
-                name: span.name,
-                t,
-                dur_ns,
-                fields: Fields::new(),
-            },
+            TraceRecord::SpanEnd { id, name: span.name, t, dur_ns, fields: Fields::new() },
         );
     }
 
@@ -440,15 +398,7 @@ impl Collector {
         let t = inner.clock.now_nanos();
         let mut state = lock(&inner.state);
         let span = state.stack.last().copied();
-        inner.emit(
-            &mut state,
-            TraceRecord::Event {
-                span,
-                name,
-                t,
-                fields,
-            },
-        );
+        inner.emit(&mut state, TraceRecord::Event { span, name, t, fields });
     }
 }
 
@@ -498,10 +448,9 @@ impl CollectorBuilder {
             state: Mutex::new(State {
                 next_id: 0,
                 jsonl: self.jsonl,
-                ring: self.ring.map(|cap| Ring {
-                    cap,
-                    buf: VecDeque::with_capacity(cap.min(1024)),
-                }),
+                ring: self
+                    .ring
+                    .map(|cap| Ring { cap, buf: VecDeque::with_capacity(cap.min(1024)) }),
                 tap: self.tap,
                 stack: Vec::new(),
                 open: BTreeMap::new(),
@@ -567,10 +516,7 @@ impl SpanBuilder<'_> {
 
     pub fn start(self) -> SpanGuard {
         match self.inner {
-            None => SpanGuard {
-                collector: Collector(None),
-                id: 0,
-            },
+            None => SpanGuard { collector: Collector(None), id: 0 },
             Some((name, fields)) => self.collector.start_span(name, fields),
         }
     }
@@ -633,10 +579,7 @@ mod tests {
     fn manual() -> (Arc<ManualClock>, Collector, SharedBuf) {
         let clock = Arc::new(ManualClock::new());
         let buf = SharedBuf::new();
-        let c = Collector::builder(clock.clone())
-            .jsonl(buf.clone())
-            .ring(128)
-            .build();
+        let c = Collector::builder(clock.clone()).jsonl(buf.clone()).ring(128).build();
         (clock, c, buf)
     }
 
@@ -685,9 +628,7 @@ mod tests {
         // meta, start(outer), start(inner), end(inner), end(outer)
         assert_eq!(recs.len(), 5);
         let outer_id = match &recs[1] {
-            TraceRecord::SpanStart {
-                id, parent: None, name, ..
-            } if name == "read_file" => *id,
+            TraceRecord::SpanStart { id, parent: None, name, .. } if name == "read_file" => *id,
             r => panic!("unexpected: {r:?}"),
         };
         match &recs[2] {
@@ -803,12 +744,7 @@ mod tests {
         drop(a); // dropped before inner span `b`
         drop(b);
         let recs = c.ring_records();
-        assert_eq!(
-            recs.iter()
-                .filter(|r| matches!(r, TraceRecord::SpanEnd { .. }))
-                .count(),
-            2
-        );
+        assert_eq!(recs.iter().filter(|r| matches!(r, TraceRecord::SpanEnd { .. })).count(), 2);
         // A fresh span after the mess still opens at the root.
         let g = c.span("c");
         drop(g);
@@ -823,11 +759,8 @@ mod tests {
         let (_, c, _) = manual();
         let g = c.span("once");
         g.end();
-        let ends = c
-            .ring_records()
-            .iter()
-            .filter(|r| matches!(r, TraceRecord::SpanEnd { .. }))
-            .count();
+        let ends =
+            c.ring_records().iter().filter(|r| matches!(r, TraceRecord::SpanEnd { .. })).count();
         assert_eq!(ends, 1);
     }
 }

@@ -175,9 +175,7 @@ impl<'a> Parser<'a> {
                                 }
                                 self.pos = save;
                             }
-                            out.push(
-                                char::from_u32(cp).ok_or_else(|| self.err("bad \\u escape"))?,
-                            );
+                            out.push(char::from_u32(cp).ok_or_else(|| self.err("bad \\u escape"))?);
                         }
                         _ => return Err(self.err("unknown escape")),
                     }
@@ -407,12 +405,7 @@ mod tests {
         fields.insert("i".into(), Value::I64(-42));
         fields.insert("f".into(), Value::F64(0.125));
         fields.insert("s".into(), Value::Str("a\"b\\c\nd\te\u{1}π".into()));
-        roundtrip(&TraceRecord::Event {
-            span: None,
-            name: "provider.fault".into(),
-            t: 99,
-            fields,
-        });
+        roundtrip(&TraceRecord::Event { span: None, name: "provider.fault".into(), t: 99, fields });
     }
 
     #[test]

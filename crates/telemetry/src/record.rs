@@ -162,28 +162,11 @@ pub enum TraceRecord {
     /// Leading record: schema version and clock domain ("virtual" or "wall").
     Meta { schema: u32, clock: String, t: u64 },
     /// A span opened at `t`; `parent` links to the enclosing span, if any.
-    SpanStart {
-        id: u64,
-        parent: Option<u64>,
-        name: String,
-        t: u64,
-        fields: Fields,
-    },
+    SpanStart { id: u64, parent: Option<u64>, name: String, t: u64, fields: Fields },
     /// The matching close: `dur_ns` is `t_end - t_start` on the trace clock.
-    SpanEnd {
-        id: u64,
-        name: String,
-        t: u64,
-        dur_ns: u64,
-        fields: Fields,
-    },
+    SpanEnd { id: u64, name: String, t: u64, dur_ns: u64, fields: Fields },
     /// A point event, attributed to the innermost open span (if any).
-    Event {
-        span: Option<u64>,
-        name: String,
-        t: u64,
-        fields: Fields,
-    },
+    Event { span: Option<u64>, name: String, t: u64, fields: Fields },
 }
 
 impl TraceRecord {
@@ -201,13 +184,7 @@ impl TraceRecord {
                 s.push_str(&t.to_string());
                 s.push('}');
             }
-            TraceRecord::SpanStart {
-                id,
-                parent,
-                name,
-                t,
-                fields,
-            } => {
+            TraceRecord::SpanStart { id, parent, name, t, fields } => {
                 s.push_str("{\"kind\":\"span_start\",\"id\":");
                 s.push_str(&id.to_string());
                 s.push_str(",\"parent\":");
@@ -222,13 +199,7 @@ impl TraceRecord {
                 push_fields(&mut s, fields);
                 s.push('}');
             }
-            TraceRecord::SpanEnd {
-                id,
-                name,
-                t,
-                dur_ns,
-                fields,
-            } => {
+            TraceRecord::SpanEnd { id, name, t, dur_ns, fields } => {
                 s.push_str("{\"kind\":\"span_end\",\"id\":");
                 s.push_str(&id.to_string());
                 s.push_str(",\"name\":");
@@ -240,12 +211,7 @@ impl TraceRecord {
                 push_fields(&mut s, fields);
                 s.push('}');
             }
-            TraceRecord::Event {
-                span,
-                name,
-                t,
-                fields,
-            } => {
+            TraceRecord::Event { span, name, t, fields } => {
                 s.push_str("{\"kind\":\"event\",\"span\":");
                 match span {
                     Some(p) => s.push_str(&p.to_string()),
@@ -304,11 +270,7 @@ mod tests {
 
     #[test]
     fn meta_json_shape() {
-        let r = TraceRecord::Meta {
-            schema: TRACE_SCHEMA_VERSION,
-            clock: "virtual".into(),
-            t: 0,
-        };
+        let r = TraceRecord::Meta { schema: TRACE_SCHEMA_VERSION, clock: "virtual".into(), t: 0 };
         assert_eq!(r.to_json(), "{\"kind\":\"meta\",\"schema\":2,\"clock\":\"virtual\",\"t\":0}");
     }
 
@@ -318,12 +280,8 @@ mod tests {
         f.insert("zeta".into(), Value::U64(9));
         f.insert("alpha".into(), Value::Str("a\"b".into()));
         f.insert("neg".into(), Value::I64(-3));
-        let r = TraceRecord::Event {
-            span: Some(4),
-            name: "provider.fault".into(),
-            t: 17,
-            fields: f,
-        };
+        let r =
+            TraceRecord::Event { span: Some(4), name: "provider.fault".into(), t: 17, fields: f };
         assert_eq!(
             r.to_json(),
             "{\"kind\":\"event\",\"span\":4,\"name\":\"provider.fault\",\"t\":17,\

@@ -31,10 +31,7 @@ pub struct SlowSpan {
 /// Deterministic ordering: longest first, earliest start breaks ties, then
 /// path for full stability.
 pub(crate) fn slow_span_order(a: &SlowSpan, b: &SlowSpan) -> std::cmp::Ordering {
-    b.dur_ns
-        .cmp(&a.dur_ns)
-        .then(a.start_ns.cmp(&b.start_ns))
-        .then(a.path.cmp(&b.path))
+    b.dur_ns.cmp(&a.dur_ns).then(a.start_ns.cmp(&b.start_ns)).then(a.path.cmp(&b.path))
 }
 
 /// Format nanoseconds with a unit chosen for readability. Deterministic
@@ -112,19 +109,10 @@ mod tests {
     #[test]
     fn render_indents_children_under_parent() {
         let mut agg = BTreeMap::new();
-        agg.insert(
-            "read_file".to_string(),
-            SpanAgg {
-                count: 2,
-                total_ns: 4_000_000,
-            },
-        );
+        agg.insert("read_file".to_string(), SpanAgg { count: 2, total_ns: 4_000_000 });
         agg.insert(
             format!("read_file{PATH_SEP}ec.decode"),
-            SpanAgg {
-                count: 2,
-                total_ns: 1_000_000,
-            },
+            SpanAgg { count: 2, total_ns: 1_000_000 },
         );
         let s = render(&agg, 4, &MetricsSnapshot::default());
         let lines: Vec<&str> = s.lines().collect();
@@ -135,21 +123,9 @@ mod tests {
 
     #[test]
     fn slow_span_ordering_is_total() {
-        let a = SlowSpan {
-            path: "a".into(),
-            dur_ns: 10,
-            start_ns: 5,
-        };
-        let b = SlowSpan {
-            path: "b".into(),
-            dur_ns: 10,
-            start_ns: 3,
-        };
-        let c = SlowSpan {
-            path: "c".into(),
-            dur_ns: 99,
-            start_ns: 9,
-        };
+        let a = SlowSpan { path: "a".into(), dur_ns: 10, start_ns: 5 };
+        let b = SlowSpan { path: "b".into(), dur_ns: 10, start_ns: 3 };
+        let c = SlowSpan { path: "c".into(), dur_ns: 99, start_ns: 9 };
         let mut v = vec![a.clone(), b.clone(), c.clone()];
         v.sort_by(slow_span_order);
         assert_eq!(v, vec![c, b, a]);

@@ -94,8 +94,8 @@ impl FileSizeDist {
                 acc += b.weight;
             } else if threshold > b.lo {
                 // log-uniform CDF within the band
-                let f = ((threshold as f64 / b.lo as f64).ln())
-                    / ((b.hi as f64 / b.lo as f64).ln());
+                let f =
+                    ((threshold as f64 / b.lo as f64).ln()) / ((b.hi as f64 / b.lo as f64).ln());
                 acc += b.weight * f;
             }
         }
@@ -206,8 +206,7 @@ mod tests {
     fn agrawal_fact_2_3_to_9mb_carry_80pct_of_bytes() {
         let sizes = sample_n(&FileSizeDist::agrawal(), 50_000, 43);
         let total: u64 = sizes.iter().sum();
-        let band: u64 =
-            sizes.iter().filter(|&&s| (3 << 20) <= s && s <= (9 << 20)).sum();
+        let band: u64 = sizes.iter().filter(|&&s| (3 << 20) <= s && s <= (9 << 20)).sum();
         let frac = band as f64 / total as f64;
         assert!(frac > 0.80, "3-9MB byte fraction {frac}");
     }
@@ -237,8 +236,7 @@ mod tests {
         let dist = FileSizeDist::agrawal();
         let analytic = dist.count_frac_below(4 * 1024);
         let sizes = sample_n(&dist, 50_000, 47);
-        let sampled =
-            sizes.iter().filter(|&&s| s <= 4 * 1024).count() as f64 / sizes.len() as f64;
+        let sampled = sizes.iter().filter(|&&s| s <= 4 * 1024).count() as f64 / sizes.len() as f64;
         assert!((analytic - sampled).abs() < 0.02, "analytic={analytic} sampled={sampled}");
     }
 

@@ -75,10 +75,8 @@ impl IaTrace {
 
         // Read volumes: same shape scaled, separate noise, then rescaled
         // so the yearly ratio is exactly VOLUME_RATIO.
-        let mut read: Vec<f64> = written
-            .iter()
-            .map(|w| w * VOLUME_RATIO * (1.0 + rng.gen_range(-0.20..0.20)))
-            .collect();
+        let mut read: Vec<f64> =
+            written.iter().map(|w| w * VOLUME_RATIO * (1.0 + rng.gen_range(-0.20..0.20))).collect();
         let w_sum: f64 = written.iter().sum();
         let r_sum: f64 = read.iter().sum();
         let scale = VOLUME_RATIO * w_sum / r_sum;

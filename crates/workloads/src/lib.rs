@@ -18,6 +18,10 @@
 //!   experiments: offered load (not completion of the previous request)
 //!   decides when the next request fires, so p99/p999 reflect queueing
 //!   and stragglers instead of being hidden by closed-loop self-throttling.
+//! * [`zipf`] — a Zipf-skewed popularity stream for the adaptive
+//!   redundancy-policy experiments: the hottest ranks are erasure-coded
+//!   large files (promotion bait), the cold tail holds sizable
+//!   replicated files (demotion bait).
 //!
 //! Everything is deterministic given a seed, so every figure regenerates
 //! bit-identically.
@@ -27,9 +31,11 @@ pub mod ia_trace;
 pub mod openloop;
 pub mod ops;
 pub mod postmark;
+pub mod zipf;
 
 pub use filesize::{FileSizeDist, SizeMixSummary};
 pub use ia_trace::{IaTrace, MonthTraffic};
 pub use openloop::{Arrival, OpenLoop, OpenLoopConfig};
 pub use ops::FsOp;
 pub use postmark::{PostMark, PostMarkConfig, PostMarkReport};
+pub use zipf::{ZipfConfig, ZipfPopularity, ZipfWorkload};

@@ -306,11 +306,7 @@ mod tests {
         let (ops, _) = PostMark::new(c).generate();
         assert!(!ops.is_empty());
         for op in &ops {
-            assert!(
-                op.path().starts_with("/mail/c03/s"),
-                "op escaped its root: {}",
-                op.path()
-            );
+            assert!(op.path().starts_with("/mail/c03/s"), "op escaped its root: {}", op.path());
         }
         // Same seed, different roots: identical streams modulo prefix —
         // what keeps per-session workloads comparable in multi-client
@@ -321,10 +317,7 @@ mod tests {
         let moved = PostMark::new(rerooted).generate().0;
         assert_eq!(base.len(), moved.len());
         for (a, b) in base.iter().zip(&moved) {
-            assert_eq!(
-                a.path().replace("/postmark", "/mail/c03"),
-                b.path().to_string()
-            );
+            assert_eq!(a.path().replace("/postmark", "/mail/c03"), b.path().to_string());
         }
     }
 

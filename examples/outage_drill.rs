@@ -40,7 +40,10 @@ fn main() {
     // t = 3h: inside the outage window.
     clock.advance(hours(3));
     assert!(!aliyun.is_available(), "scheduled window is open");
-    println!("\nt+3h: Aliyun is dark ({})", if aliyun.is_available() { "up?!" } else { "confirmed" });
+    println!(
+        "\nt+3h: Aliyun is dark ({})",
+        if aliyun.is_available() { "up?!" } else { "confirmed" }
+    );
 
     // Reads are served degraded.
     for (path, want) in &audit {

@@ -29,12 +29,20 @@ fn main() {
     // A small file: replicated on the performance tier (Aliyun + Azure).
     let note = b"meeting notes: move everything to the cloud-of-clouds".to_vec();
     let report = hyrd.create_file("/docs/note.txt", &note).expect("fleet is up");
-    println!("\nsmall file -> {} replica puts, {:.3}s", report.op_count(), report.latency.as_secs_f64());
+    println!(
+        "\nsmall file -> {} replica puts, {:.3}s",
+        report.op_count(),
+        report.latency.as_secs_f64()
+    );
 
     // A large file: RAID5-striped across all four providers.
     let video = vec![0x42u8; 8 << 20];
     let report = hyrd.create_file("/media/talk.mp4", &video).expect("fleet is up");
-    println!("large file -> {} fragment puts, {:.3}s", report.op_count(), report.latency.as_secs_f64());
+    println!(
+        "large file -> {} fragment puts, {:.3}s",
+        report.op_count(),
+        report.latency.as_secs_f64()
+    );
     println!(
         "storage overhead: {:.2}x logical",
         hyrd.physical_bytes() as f64 / hyrd.logical_bytes() as f64
@@ -43,12 +51,18 @@ fn main() {
     // Reads: small from the fastest replica, large striped in parallel.
     let (bytes, report) = hyrd.read_file("/docs/note.txt").expect("replica up");
     assert_eq!(bytes, note.as_slice());
-    println!("\nsmall read: 1 get from {} in {:.3}s",
+    println!(
+        "\nsmall read: 1 get from {} in {:.3}s",
         fleet.get(report.ops[0].provider).expect("fleet member").name(),
-        report.latency.as_secs_f64());
+        report.latency.as_secs_f64()
+    );
     let (bytes, report) = hyrd.read_file("/media/talk.mp4").expect("fragments up");
     assert_eq!(bytes.len(), video.len());
-    println!("large read: {} parallel fragment gets in {:.3}s", report.op_count(), report.latency.as_secs_f64());
+    println!(
+        "large read: {} parallel fragment gets in {:.3}s",
+        report.op_count(),
+        report.latency.as_secs_f64()
+    );
 
     // An outage: Azure goes dark. Everything keeps working.
     println!("\n== Windows Azure goes down ==");

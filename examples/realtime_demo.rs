@@ -48,15 +48,11 @@ fn main() {
     for i in 0..3 {
         hyrd.create_file(&format!("/c{i}.bin"), &video).expect("fleet up");
     }
-    let reports: Vec<_> = (0..3)
-        .map(|i| hyrd.read_file(&format!("/c{i}.bin")).expect("fleet up").1)
-        .collect();
+    let reports: Vec<_> =
+        (0..3).map(|i| hyrd.read_file(&format!("/c{i}.bin")).expect("fleet up").1).collect();
     let sum: f64 = reports.iter().map(|r| r.latency.as_secs_f64()).sum();
     let _t = Instant::now();
-    let tasks: Vec<_> = reports
-        .into_iter()
-        .map(|r| move || r)
-        .collect();
+    let tasks: Vec<_> = reports.into_iter().map(|r| move || r).collect();
     let (done, wall) = runner.fan_out(tasks);
     println!(
         "  {} reads, {:.1}s simulated if serial -> {:.2}s wall (parallel)",

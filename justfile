@@ -79,6 +79,14 @@ obs-report:
     @echo "observatory report at target/experiments/obs_report.txt"
     @echo "trace analysis at target/experiments/trace_report.txt"
 
+# Refresh the repo-root BENCH_policy.json adaptive-policy baseline: the
+# Zipf Pareto sweep (static baselines vs SLI-gated background migration,
+# DESIGN.md §16), with --check asserting the adaptive cell dominates at
+# least one static baseline and that cells + traces are byte-identical
+# across job counts.
+bench-policy:
+    cargo run --release -p hyrd-bench --bin policy_sweep -- --check
+
 # Refresh the repo-root BENCH_meta.json metastore baseline: free-running
 # writer contention at 1 vs 16 shards, writer scaling at 16 shards, and
 # the full-block vs incremental-diff flush byte ratio (DESIGN.md §15).

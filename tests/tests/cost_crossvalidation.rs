@@ -79,12 +79,8 @@ fn modelled_cost(model: &mut dyn CostModel) -> f64 {
         read_requests: (files.len() * READS_PER_FILE) as u64,
     };
     let usage = model.month(&traffic);
-    let prices = [
-        PriceBook::AMAZON_S3,
-        PriceBook::WINDOWS_AZURE,
-        PriceBook::ALIYUN,
-        PriceBook::RACKSPACE,
-    ];
+    let prices =
+        [PriceBook::AMAZON_S3, PriceBook::WINDOWS_AZURE, PriceBook::ALIYUN, PriceBook::RACKSPACE];
     usage.iter().zip(prices).map(|(u, p)| u.cost(&p)).sum()
 }
 
@@ -99,10 +95,7 @@ fn measured_lineup(jobs: usize) -> Vec<(&'static str, f64)> {
             measured_cost(|f| Box::new(Hyrd::new(f, HyrdConfig::default()).expect("valid config")))
         }),
     ];
-    ["S3", "DuraCloud", "RACS", "HyRD"]
-        .into_iter()
-        .zip(replay_sweep(cells, jobs))
-        .collect()
+    ["S3", "DuraCloud", "RACS", "HyRD"].into_iter().zip(replay_sweep(cells, jobs)).collect()
 }
 
 #[test]
@@ -117,9 +110,8 @@ fn analytic_models_match_the_executable_schemes() {
 
     // 1. Same ordering: HyRD < RACS < DuraCloud on both sides, singles
     //    cheapest.
-    let get = |set: &[(&str, f64)], n: &str| {
-        set.iter().find(|(name, _)| *name == n).expect("present").1
-    };
+    let get =
+        |set: &[(&str, f64)], n: &str| set.iter().find(|(name, _)| *name == n).expect("present").1;
     for set in [&measured[..], &modelled[..]] {
         assert!(
             get(set, "HyRD") < get(set, "RACS"),
@@ -157,8 +149,5 @@ fn measured_hyrd_discount_lands_in_the_papers_band() {
     // Paper's cumulative figure is 33.4%; a single synthetic month with
     // replicated-metadata overhead lands looser, but the sign and
     // magnitude class must hold.
-    assert!(
-        (0.10..0.75).contains(&discount),
-        "HyRD vs DuraCloud measured discount {discount:.3}"
-    );
+    assert!((0.10..0.75).contains(&discount), "HyRD vs DuraCloud measured discount {discount:.3}");
 }

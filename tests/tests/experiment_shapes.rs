@@ -4,7 +4,9 @@
 use hyrd::driver::{replay_with_state, ReplayOptions, ReplayState};
 use hyrd::prelude::*;
 use hyrd_baselines::{DuraCloud, Racs, SingleCloud};
-use hyrd_costsim::model::{CostModel, DuraCloudModel, HyrdModel, RacsModel, SingleModel, ALIYUN, S3};
+use hyrd_costsim::model::{
+    CostModel, DuraCloudModel, HyrdModel, RacsModel, SingleModel, ALIYUN, S3,
+};
 use hyrd_costsim::report::run_model;
 use hyrd_workloads::{IaTrace, PostMark, PostMarkConfig};
 
@@ -45,10 +47,8 @@ fn fig6_shape_normal_state() {
     let s3 = mean_latency(|f| Box::new(SingleCloud::amazon_s3(f).expect("has S3")), Outage::No);
     let dura = mean_latency(|f| Box::new(DuraCloud::standard(f).expect("std")), Outage::No);
     let racs = mean_latency(|f| Box::new(Racs::new(f).expect("4p")), Outage::No);
-    let hyrd = mean_latency(
-        |f| Box::new(Hyrd::new(f, HyrdConfig::default()).expect("valid")),
-        Outage::No,
-    );
+    let hyrd =
+        mean_latency(|f| Box::new(Hyrd::new(f, HyrdConfig::default()).expect("valid")), Outage::No);
 
     // Who wins: HyRD < RACS < S3 < DuraCloud (paper Figure 6).
     assert!(hyrd < racs, "HyRD {hyrd:.2}s vs RACS {racs:.2}s");

@@ -105,8 +105,7 @@ fn writes_fail_cleanly_when_too_many_providers_are_down() {
 
     // Small writes (replication level 2) still succeed on the two
     // surviving performance providers.
-    h.create_file("/small", &synth_content("/small", 0, 4 * KB))
-        .expect("Aliyun + Azure are up");
+    h.create_file("/small", &synth_content("/small", 0, 4 * KB)).expect("Aliyun + Azure are up");
 }
 
 #[test]
@@ -118,9 +117,7 @@ fn evaluator_reassessment_after_topology_change() {
     let mut h = Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config");
     let perf = h.evaluator().performance_tier();
     assert!(!perf.is_empty());
-    assert!(perf
-        .iter()
-        .all(|&id| fleet.get(id).expect("fleet member").name() != "Aliyun"));
+    assert!(perf.iter().all(|&id| fleet.get(id).expect("fleet member").name() != "Aliyun"));
 
     let data = synth_content("/f", 0, 8 * KB);
     h.create_file("/f", &data).expect("three providers suffice");

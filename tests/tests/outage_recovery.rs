@@ -39,8 +39,7 @@ fn hyrd_full_incident_with_mixed_writes_and_updates() {
     // Update a pre-outage large file (degraded update).
     let patch = synth_content("/pre/f1", 9, 64 * KB);
     h.update_file("/pre/f1", 1000, &patch).expect("degraded update");
-    audit.iter_mut().find(|(p, _)| p == "/pre/f1").expect("tracked").1
-        [1000..1000 + patch.len()]
+    audit.iter_mut().find(|(p, _)| p == "/pre/f1").expect("tracked").1[1000..1000 + patch.len()]
         .copy_from_slice(&patch);
     // Delete a pre-outage small file.
     h.delete_file("/pre/f0").expect("exists");

@@ -24,8 +24,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..6usize, prop_oneof![Just(512usize), Just(4096), Just(100_000), Just(2_200_000)])
             .prop_map(|(slot, size)| Op::Create { slot, size }),
-        (0..6usize, 0.0..1.0f64, 1..4096usize)
-            .prop_map(|(slot, frac, len)| Op::Update { slot, frac, len }),
+        (0..6usize, 0.0..1.0f64, 1..4096usize).prop_map(|(slot, frac, len)| Op::Update {
+            slot,
+            frac,
+            len
+        }),
         (0..6usize).prop_map(|slot| Op::Delete { slot }),
         (0..6usize).prop_map(|slot| Op::Read { slot }),
         (0..4usize).prop_map(|which| Op::FailProvider { which }),
@@ -54,7 +57,9 @@ fn run_against_model(mut scheme: Box<dyn Scheme>, fleet: &Fleet, ops: Vec<Op>) {
                 }
             }
             Op::Update { slot, frac, len } => {
-                let Some(content) = model[slot].clone() else { continue };
+                let Some(content) = model[slot].clone() else {
+                    continue;
+                };
                 if content.is_empty() {
                     continue;
                 }

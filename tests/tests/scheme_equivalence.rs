@@ -22,9 +22,9 @@ fn identical_content_roundtrips_through_every_scheme() {
     let (_, fleet) = fresh_fleet();
     for mut scheme in all_schemes(&fleet) {
         for (path, data) in &files {
-            scheme.create_file(path, data).unwrap_or_else(|e| {
-                panic!("{} create {path}: {e}", scheme.name())
-            });
+            scheme
+                .create_file(path, data)
+                .unwrap_or_else(|e| panic!("{} create {path}: {e}", scheme.name()));
             let (bytes, _) = scheme.read_file(path).expect("just wrote it");
             assert_eq!(&bytes[..], &data[..], "{} roundtrip {path}", scheme.name());
         }
@@ -47,9 +47,9 @@ fn updates_are_consistent_across_schemes() {
             [(0usize, 50usize), (MB - 7, 20), (2 * MB, 333), (500_000, 4 * KB)].iter().enumerate()
         {
             let patch = synth_content("/f", i as u32 + 1, *len);
-            scheme.update_file("/f", *offset as u64, &patch).unwrap_or_else(|e| {
-                panic!("{name} update ({offset},{len}): {e}")
-            });
+            scheme
+                .update_file("/f", *offset as u64, &patch)
+                .unwrap_or_else(|e| panic!("{name} update ({offset},{len}): {e}"));
             content[*offset..offset + len].copy_from_slice(&patch);
             let (bytes, _) = scheme.read_file("/f").expect("exists");
             assert_eq!(&bytes[..], &content[..], "{name} after update {i}");

@@ -42,9 +42,11 @@ fn breaker_walks_closed_open_half_open_closed_in_the_trace() {
     // Construction probed a healthy fleet; now Azure starts failing
     // every call for the next 60 virtual seconds.
     let azure = fleet.by_name("Windows Azure").expect("standard fleet");
-    azure.set_fault_plan(
-        FaultPlan::quiet().with_seed(11).with_burst(Duration::ZERO, secs(60), 1000),
-    );
+    azure.set_fault_plan(FaultPlan::quiet().with_seed(11).with_burst(
+        Duration::ZERO,
+        secs(60),
+        1000,
+    ));
 
     // Each small create writes the object + metadata to both replica
     // targets; two Azure failures trip the two-strike breaker while
@@ -130,10 +132,8 @@ fn crud_and_ec_spans_cover_the_request_path() {
     assert!(span_names.iter().any(|n| n.starts_with("fetch_replica[")), "{span_names:?}");
 
     // Provider ops carry kind/bytes/priced cost stamped by the sim.
-    let op = records
-        .iter()
-        .find(|r| r.is_event("provider.op"))
-        .expect("providers must trace their ops");
+    let op =
+        records.iter().find(|r| r.is_event("provider.op")).expect("providers must trace their ops");
     assert!(op.field_str("op").is_some());
     assert!(op.field_str("provider").is_some());
 
@@ -151,9 +151,11 @@ fn retry_backoffs_are_traced_per_attempt() {
     let mut h =
         Hyrd::with_telemetry(&fleet, HyrdConfig::default(), telemetry.clone()).expect("valid");
     let azure = fleet.by_name("Windows Azure").expect("standard fleet");
-    azure.set_fault_plan(
-        FaultPlan::quiet().with_seed(3).with_burst(Duration::ZERO, secs(600), 1000),
-    );
+    azure.set_fault_plan(FaultPlan::quiet().with_seed(3).with_burst(
+        Duration::ZERO,
+        secs(600),
+        1000,
+    ));
 
     h.create_file("/r", &synth_content("/r", 0, 4 * KB)).expect("other replica lands");
 
@@ -199,10 +201,8 @@ fn scrub_traces_corruption_and_repair() {
         .find(|r| r.is_event("scrub.corrupt"))
         .expect("scrub must trace the mismatch");
     assert_eq!(corrupt.field_str("object"), Some(object.as_str()));
-    let repair = records
-        .iter()
-        .find(|r| r.is_event("scrub.repair"))
-        .expect("scrub must trace the rewrite");
+    let repair =
+        records.iter().find(|r| r.is_event("scrub.repair")).expect("scrub must trace the rewrite");
     assert_eq!(repair.field_str("object"), Some(object.as_str()));
     assert_eq!(telemetry.counter("scrub.corruptions"), 1);
     assert_eq!(telemetry.counter("scrub.repairs"), 1);

@@ -20,9 +20,7 @@ fn an_archive_day_replays_clean_through_hyrd_and_racs() {
             p.set_ghost_mode(true);
         }
         let mut scheme: Box<dyn Scheme> = match which {
-            "hyrd" => {
-                Box::new(Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config"))
-            }
+            "hyrd" => Box::new(Hyrd::new(&fleet, HyrdConfig::default()).expect("valid config")),
             _ => Box::new(Racs::new(&fleet).expect("4-provider fleet")),
         };
         let stats = replay(scheme.as_mut(), &ops, &clock, &ReplayOptions::default());
@@ -70,9 +68,8 @@ fn hyrd_beats_racs_on_the_archive_day_too() {
             .mean_latency()
             .as_secs_f64()
     };
-    let hyrd = mean(Box::new(|f| {
-        Box::new(Hyrd::new(f, HyrdConfig::default()).expect("valid config"))
-    }));
+    let hyrd =
+        mean(Box::new(|f| Box::new(Hyrd::new(f, HyrdConfig::default()).expect("valid config"))));
     let racs = mean(Box::new(|f| Box::new(Racs::new(f).expect("4p"))));
     assert!(hyrd < racs, "HyRD {hyrd:.2}s vs RACS {racs:.2}s on archive traffic");
 }
